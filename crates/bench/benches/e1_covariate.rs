@@ -1,0 +1,35 @@
+//! E1 bench target — covariate shift (Fig. 1a): annotating a shifted
+//! corpus with the frozen global model, at severity 0 vs. 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tu_bench::BenchFixture;
+use tu_corpus::{generate_corpus, CorpusConfig, GenParams};
+
+fn bench(c: &mut Criterion) {
+    let f = BenchFixture::new();
+    let typer = f.customer();
+    let mut group = c.benchmark_group("e1_covariate");
+    group.sample_size(10);
+    for severity in [0.0, 1.0] {
+        let mut cfg = CorpusConfig::database_like(0xE1, 4);
+        cfg.params = GenParams::shifted(severity);
+        cfg.opaque_header_rate = 0.6;
+        let corpus = generate_corpus(&f.lab.global.ontology, &cfg);
+        group.bench_with_input(
+            BenchmarkId::new("annotate_shifted", severity),
+            &corpus,
+            |b, corpus| {
+                b.iter(|| {
+                    for at in &corpus.tables {
+                        black_box(typer.annotate(&at.table));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

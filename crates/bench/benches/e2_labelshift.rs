@@ -1,0 +1,42 @@
+//! E2 bench target — label shift (Fig. 1b): the cost of one explicit
+//! correction (the full DPBD loop with weak-label mining).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tu_bench::BenchFixture;
+use tu_corpus::{generate_corpus, remap_labels, CorpusConfig};
+use tu_ontology::builtin_id;
+
+fn bench(c: &mut Criterion) {
+    let f = BenchFixture::new();
+    let o = &f.lab.global.ontology;
+    let id = builtin_id(o, "identifier");
+    let phone = builtin_id(o, "phone number");
+    let mut history = generate_corpus(o, &CorpusConfig::database_like(0xE2, 10));
+    remap_labels(&mut history, &[(id, phone)]);
+    let (ti, ci) = history
+        .columns()
+        .find(|(_, _, l)| *l == phone)
+        .map(|(t, i, _)| {
+            let ti = history.tables.iter().position(|x| std::ptr::eq(x, t)).unwrap();
+            (ti, i)
+        })
+        .expect("remapped column");
+    let mut group = c.benchmark_group("e2_labelshift");
+    group.sample_size(10);
+    group.bench_function("feedback_with_mining", |b| {
+        b.iter(|| {
+            let mut typer = f.customer();
+            typer.feedback(
+                black_box(&history.tables[ti].table),
+                ci,
+                phone,
+                Some(&history),
+            );
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

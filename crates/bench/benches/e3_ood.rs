@@ -1,0 +1,28 @@
+//! E3 bench target — OOD detection (Fig. 1c): background-class scoring
+//! of in-distribution vs. OOD columns.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+use tu_bench::BenchFixture;
+use tu_corpus::ood::{generate_ood_column, OodKind};
+use tu_table::Column;
+
+fn bench(c: &mut Criterion) {
+    let f = BenchFixture::new();
+    let id_col = f.corpus.tables[0].table.column(0).expect("column").clone();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let ood_col = Column::new(
+        "sequence",
+        generate_ood_column(&mut rng, OodKind::GeneSequence, 100),
+    );
+    c.bench_function("e3_ood/unknown_probability_in_distribution", |b| {
+        b.iter(|| f.lab.global.embedding.unknown_probability(black_box(&id_col), &[]))
+    });
+    c.bench_function("e3_ood/unknown_probability_ood", |b| {
+        b.iter(|| f.lab.global.embedding.unknown_probability(black_box(&ood_col), &[]))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E4 bench target — adaptation (Fig. 2): one feedback iteration and an
+//! annotate pass with an active (finetuned) local model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tu_bench::BenchFixture;
+use tu_ontology::builtin_id;
+
+fn bench(c: &mut Criterion) {
+    let f = BenchFixture::new();
+    let o = &f.lab.global.ontology;
+    let salary = builtin_id(o, "salary");
+    // Prepare a customer that already adapted (local model active).
+    // Demonstrate on a salary column when one exists, else any column.
+    let mut adapted = f.customer();
+    let (ti, ci, ty) = f
+        .corpus
+        .columns()
+        .find(|(_, _, l)| *l == salary)
+        .or_else(|| f.corpus.columns().find(|(_, _, l)| !l.is_unknown()))
+        .map(|(t, i, l)| {
+            let ti = f.corpus.tables.iter().position(|x| std::ptr::eq(x, t)).unwrap();
+            (ti, i, l)
+        })
+        .expect("labeled column");
+    adapted.feedback(&f.corpus.tables[ti].table, ci, ty, None);
+
+    let table = &f.corpus.tables[(ti + 1) % f.corpus.tables.len()].table;
+    c.bench_function("e4_adaptation/annotate_with_local_model", |b| {
+        b.iter(|| adapted.annotate(black_box(table)))
+    });
+    let mut group = c.benchmark_group("e4_adaptation");
+    group.sample_size(10);
+    group.bench_function("feedback_no_mining", |b| {
+        b.iter(|| {
+            let mut typer = f.customer();
+            typer.feedback(black_box(&f.corpus.tables[ti].table), ci, ty, None);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E5 bench target — DPBD (Fig. 3): LF inference from a demonstration
+//! and weak-label mining over the table history.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tu_bench::BenchFixture;
+use tu_dp::{infer_lfs, mine_weak_labels, Demonstration, InferConfig, MiningConfig};
+use tu_ontology::builtin_id;
+
+fn bench(c: &mut Criterion) {
+    let f = BenchFixture::new();
+    let o = &f.lab.global.ontology;
+    let salary = builtin_id(o, "salary");
+    let (at, ci, demo_ty) = f
+        .corpus
+        .columns()
+        .find(|(_, _, l)| *l == salary)
+        .or_else(|| f.corpus.columns().find(|(_, _, l)| !l.is_unknown()))
+        .expect("labeled column");
+    let column = at.table.column(ci).expect("column");
+    let neighbors: Vec<tu_ontology::TypeId> = at
+        .labels
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != ci)
+        .map(|(_, l)| *l)
+        .collect();
+    let demo = Demonstration {
+        column,
+        neighbor_types: &neighbors,
+        ty: demo_ty,
+    };
+    c.bench_function("e5_dpbd/infer_lfs", |b| {
+        b.iter(|| infer_lfs(black_box(&demo), &InferConfig::default()))
+    });
+    let lfs = infer_lfs(&demo, &InferConfig::default());
+    let mut group = c.benchmark_group("e5_dpbd");
+    group.sample_size(20);
+    group.bench_function("mine_weak_labels_12_tables", |b| {
+        b.iter(|| mine_weak_labels(black_box(&f.corpus), &lfs, &MiningConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

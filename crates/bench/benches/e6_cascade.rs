@@ -1,0 +1,31 @@
+//! E6 bench target — cascade (Fig. 4): end-to-end annotation at
+//! different cascade thresholds c (lower c = fewer expensive steps).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tu_bench::BenchFixture;
+
+fn bench(c: &mut Criterion) {
+    let f = BenchFixture::new();
+    let mut group = c.benchmark_group("e6_cascade");
+    group.sample_size(20);
+    for threshold in [0.5, 0.82, 0.98] {
+        let mut typer = f.customer();
+        typer.config_mut().cascade_threshold = threshold;
+        group.bench_with_input(
+            BenchmarkId::new("annotate_at_c", threshold),
+            &typer,
+            |b, typer| {
+                b.iter(|| {
+                    for at in &f.corpus.tables {
+                        black_box(typer.annotate(&at.table));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E7 bench target — precision/coverage: evaluation sweep over τ and the
+//! baselines' prediction cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tu_bench::BenchFixture;
+use tu_eval::baselines::{RegexDictBaseline, SherlockBaseline};
+
+fn bench(c: &mut Criterion) {
+    let f = BenchFixture::new();
+    let o = &f.lab.global.ontology;
+    let mut group = c.benchmark_group("e7_precision_coverage");
+    group.sample_size(10);
+    group.bench_function("tau_sweep_3_points", |b| {
+        b.iter(|| {
+            for tau in [0.0, 0.4, 0.8] {
+                let mut typer = f.customer();
+                typer.config_mut().tau = tau;
+                black_box(tu_eval::evaluate(&typer, &f.corpus));
+            }
+        })
+    });
+    let sherlock = SherlockBaseline::train(o, &f.lab.pretrain, 24, 4);
+    group.bench_function("sherlock_baseline_predict_corpus", |b| {
+        b.iter(|| {
+            for at in &f.corpus.tables {
+                black_box(sherlock.predict_table(&at.table));
+            }
+        })
+    });
+    let regexdict = RegexDictBaseline::new(o);
+    group.bench_function("regexdict_baseline_predict_corpus", |b| {
+        b.iter(|| {
+            for at in &f.corpus.tables {
+                black_box(regexdict.predict_table(o, &at.table));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

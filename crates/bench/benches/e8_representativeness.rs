@@ -1,0 +1,42 @@
+//! E8 bench target — representativeness (§2.2): cost of pretraining the
+//! table-embedding model on web-like vs. database-like corpora (the
+//! structural contrast drives the cost difference).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sigmatyper::{train_embedding_model, TrainingConfig};
+use std::hint::black_box;
+use tu_corpus::{generate_corpus, CorpusConfig, TableProfile};
+use tu_embed::Embedder;
+use tu_ontology::builtin_ontology;
+
+fn bench(c: &mut Criterion) {
+    let o = builtin_ontology();
+    let embedder = Embedder::untrained(16);
+    let mut group = c.benchmark_group("e8_representativeness");
+    group.sample_size(10);
+    for profile in [TableProfile::WebLike, TableProfile::DatabaseLike] {
+        let cfg = match profile {
+            TableProfile::WebLike => CorpusConfig::web_like(0xE8, 20),
+            TableProfile::DatabaseLike => CorpusConfig::database_like(0xE8, 20),
+        };
+        let corpus = generate_corpus(&o, &cfg);
+        group.bench_with_input(
+            BenchmarkId::new("train_embedding_model", format!("{profile:?}")),
+            &corpus,
+            |b, corpus| {
+                b.iter(|| {
+                    black_box(train_embedding_model(
+                        &o,
+                        corpus,
+                        &embedder,
+                        &TrainingConfig::fast(),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Pipeline-step latency benches (the paper's §4.3 ordering claim:
+//! header < lookup < embedding per-column cost) and end-to-end
+//! annotation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tu_bench::BenchFixture;
+
+fn bench_steps(c: &mut Criterion) {
+    let f = BenchFixture::new();
+    let typer = f.customer();
+    let at = &f.corpus.tables[0];
+    let col = at.table.column(0).expect("column");
+    let headers = at.table.headers();
+    let neighbors: Vec<&str> = headers.iter().skip(1).copied().collect();
+    let cfg = typer.config();
+
+    c.bench_function("pipeline/step1_header_match", |b| {
+        b.iter(|| {
+            f.lab.global.header.match_header(
+                black_box(headers[0]),
+                &f.lab.global.embedder,
+                cfg,
+            )
+        })
+    });
+    let normalized = tu_text::normalize_header(headers[0]);
+    c.bench_function("pipeline/step2_value_lookup", |b| {
+        b.iter(|| {
+            f.lab.global.lookup.lookup(
+                black_box(col),
+                &normalized,
+                &[],
+                &[&f.lab.global.global_lfs],
+                cfg,
+            )
+        })
+    });
+    c.bench_function("pipeline/step3_embedding_predict", |b| {
+        b.iter(|| f.lab.global.embedding.predict(black_box(col), &neighbors))
+    });
+}
+
+fn bench_annotate(c: &mut Criterion) {
+    let f = BenchFixture::new();
+    let typer = f.customer();
+    let table = &f.corpus.tables[0].table;
+    c.bench_function("pipeline/annotate_table", |b| {
+        b.iter(|| typer.annotate(black_box(table)))
+    });
+    let mut group = c.benchmark_group("pipeline/annotate_corpus");
+    group.sample_size(20);
+    group.bench_function("12_tables", |b| {
+        b.iter(|| {
+            for at in &f.corpus.tables {
+                black_box(typer.annotate(&at.table));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_steps, bench_annotate);
+criterion_main!(benches);

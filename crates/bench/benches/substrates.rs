@@ -1,0 +1,114 @@
+//! Substrate microbenchmarks: the building blocks every pipeline step
+//! leans on (regex engine, fuzzy matching, profiler, features,
+//! embeddings, LFs, CSV, corpus generation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tu_corpus::{generate_corpus, CorpusConfig};
+use tu_dp::{infer_lfs, Demonstration, InferConfig};
+use tu_embed::Embedder;
+use tu_features::{FeatureConfig, FeatureExtractor};
+use tu_ontology::builtin_ontology;
+use tu_profile::{infer_suite, ColumnProfile};
+use tu_regex::{synthesize, Regex, SynthesisConfig};
+use tu_table::Column;
+use tu_text::fuzzy_score;
+
+fn sample_column() -> Column {
+    let vals: Vec<String> = (0..200)
+        .map(|i| format!("user{}@example-{}.com", i, i % 7))
+        .collect();
+    Column::from_raw("email", &vals)
+}
+
+fn numeric_column() -> Column {
+    let vals: Vec<String> = (0..200).map(|i| format!("{}", 40_000 + i * 173)).collect();
+    Column::from_raw("salary", &vals)
+}
+
+fn bench_regex(c: &mut Criterion) {
+    let re = Regex::new(r"[\w\.]+@[\w\.-]+\.[a-z]{2,4}").unwrap();
+    c.bench_function("regex/full_match_email", |b| {
+        b.iter(|| re.is_full_match(black_box("madelon.hulsebos@sigmacomputing.com")))
+    });
+    let pathological = Regex::new("(a*)*b").unwrap();
+    let input = "a".repeat(64);
+    c.bench_function("regex/pathological_linear", |b| {
+        b.iter(|| pathological.is_full_match(black_box(&input)))
+    });
+    let examples: Vec<String> = (0..16).map(|i| format!("AB-{i:04}")).collect();
+    let refs: Vec<&str> = examples.iter().map(String::as_str).collect();
+    c.bench_function("regex/synthesize_16_examples", |b| {
+        b.iter(|| synthesize(black_box(&refs), &SynthesisConfig::default()))
+    });
+}
+
+fn bench_text(c: &mut Criterion) {
+    c.bench_function("text/fuzzy_score", |b| {
+        b.iter(|| fuzzy_score(black_box("customer address"), black_box("street address")))
+    });
+    c.bench_function("text/normalize_header", |b| {
+        b.iter(|| tu_text::normalize_header(black_box("CUST_Addr_Line1")))
+    });
+}
+
+fn bench_profile(c: &mut Criterion) {
+    let col = sample_column();
+    c.bench_function("profile/column_profile_200_values", |b| {
+        b.iter(|| ColumnProfile::of(black_box(&col)))
+    });
+    c.bench_function("profile/infer_suite_200_values", |b| {
+        b.iter(|| infer_suite(black_box(&col)))
+    });
+}
+
+fn bench_features(c: &mut Criterion) {
+    let ex = FeatureExtractor::new(Embedder::untrained(32), FeatureConfig::default());
+    let col = sample_column();
+    c.bench_function("features/extract_200_values", |b| {
+        b.iter(|| ex.extract(black_box(&col)))
+    });
+}
+
+fn bench_embed(c: &mut Criterion) {
+    let e = Embedder::untrained(32);
+    c.bench_function("embed/phrase_vector", |b| {
+        b.iter(|| e.phrase_vector(black_box("annual gross salary")))
+    });
+}
+
+fn bench_dp(c: &mut Criterion) {
+    let col = numeric_column();
+    let demo = Demonstration {
+        column: &col,
+        neighbor_types: &[],
+        ty: tu_ontology::TypeId(12),
+    };
+    c.bench_function("dp/infer_lfs", |b| {
+        b.iter(|| infer_lfs(black_box(&demo), &InferConfig::default()))
+    });
+}
+
+fn bench_table(c: &mut Criterion) {
+    let o = builtin_ontology();
+    let corpus = generate_corpus(&o, &CorpusConfig::database_like(9, 3));
+    let csv = tu_table::csv::write_table(&corpus.tables[0].table, ',');
+    c.bench_function("table/csv_parse", |b| {
+        b.iter(|| tu_table::csv::parse_table("t", black_box(&csv), ','))
+    });
+    c.bench_function("corpus/generate_3_tables", |b| {
+        b.iter(|| generate_corpus(&o, &CorpusConfig::database_like(black_box(10), 3)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_regex,
+    bench_text,
+    bench_profile,
+    bench_features,
+    bench_embed,
+    bench_dp,
+    bench_table
+);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerate every experiment table of the reproduction (E1–E8).
+//!
+//! ```text
+//! cargo run --release --bin reproduce            # paper scale
+//! cargo run --release --bin reproduce -- --test  # fast CI scale
+//! ```
+//!
+//! Output is the full set of report tables; EXPERIMENTS.md records a
+//! captured run together with the expected shapes.
+
+use std::time::Instant;
+use tu_eval::{run_all, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--test") {
+        Scale::Test
+    } else {
+        Scale::Paper
+    };
+    let t0 = Instant::now();
+    println!("# SigmaTyper reproduction — experiment tables ({scale:?} scale)\n");
+    println!("Paper: Making Table Understanding Work in Practice (CIDR'22).");
+    println!("Every table below operationalizes one figure/claim; see DESIGN.md.\n");
+    for report in run_all(scale) {
+        println!("{}", report.render());
+    }
+    println!(
+        "total wall time: {:.1}s ({scale:?} scale)",
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,59 @@
+//! # tu-bench
+//!
+//! Benchmark support: shared fixtures for the Criterion benches and the
+//! `reproduce` binary that regenerates every experiment table (E1–E8)
+//! of the CIDR'22 reproduction. Run `cargo run --release --bin
+//! reproduce` for the tables and `cargo bench` for the latency suite.
+
+#![warn(missing_docs)]
+
+use sigmatyper::SigmaTyper;
+use tu_corpus::{generate_corpus, Corpus, CorpusConfig};
+use tu_eval::{Lab, Scale};
+
+/// A lab plus a standard evaluation corpus, shared by the bench targets.
+pub struct BenchFixture {
+    /// The pretrained lab.
+    pub lab: Lab,
+    /// A database-like evaluation corpus.
+    pub corpus: Corpus,
+}
+
+impl BenchFixture {
+    /// Build the standard test-scale fixture.
+    #[must_use]
+    pub fn new() -> Self {
+        let lab = Lab::new(Scale::Test);
+        let corpus = generate_corpus(
+            &lab.global.ontology,
+            &CorpusConfig::database_like(0xBE0, 12),
+        );
+        BenchFixture { lab, corpus }
+    }
+
+    /// A fresh customer over the shared global model.
+    #[must_use]
+    pub fn customer(&self) -> SigmaTyper {
+        self.lab.customer()
+    }
+}
+
+impl Default for BenchFixture {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_builds() {
+        let f = BenchFixture::new();
+        assert!(!f.corpus.tables.is_empty());
+        let t = f.customer();
+        let ann = t.annotate(&f.corpus.tables[0].table);
+        assert_eq!(ann.columns.len(), f.corpus.tables[0].table.n_cols());
+    }
+}

@@ -1,0 +1,181 @@
+//! Final aggregation: soft majority vote over step confidences + τ.
+//!
+//! "The final prediction for each column in T is the soft majority vote
+//! based on the concatenated confidence scores from each step. […] We
+//! infer a parameter τ and threshold predictions that are below τ such
+//! that the precision of the system is high." (§4.3)
+
+use crate::config::SigmaTyperConfig;
+use crate::prediction::{Candidate, Step, StepScores};
+use std::collections::HashMap;
+use tu_ontology::TypeId;
+
+/// Minimum best-candidate confidence for a step to count as having an
+/// opinion in the vote (see [`soft_majority_vote`]).
+pub const OPINION_FLOOR: f64 = 0.6;
+
+/// Weight of a step in the vote.
+#[must_use]
+pub fn step_weight(step: Step, config: &SigmaTyperConfig) -> f64 {
+    match step {
+        Step::Header => config.weight_header,
+        Step::Lookup => config.weight_lookup,
+        Step::Embedding => config.weight_embedding,
+    }
+}
+
+/// Soft majority vote over the steps that ran for one column.
+///
+/// Returns ranked candidates (top-k per config). The vote is a weighted
+/// average of per-step confidences, so steps that agree reinforce each
+/// other and a step that did not run neither helps nor hurts.
+#[must_use]
+pub fn soft_majority_vote(
+    executed: &[(Step, &StepScores)],
+    config: &SigmaTyperConfig,
+) -> Vec<Candidate> {
+    if executed.is_empty() {
+        return Vec::new();
+    }
+    // A step only counts as *voting* when it holds a real opinion: at
+    // least one candidate at or above the opinion floor. Steps below the
+    // floor are excluded from the vote entirely — letting their junk
+    // candidates add mass without weight would flip close votes. When no
+    // step clears the floor, every step with candidates votes instead.
+    let opinionated = |s: &StepScores| s.best_confidence() >= OPINION_FLOOR;
+    let any_opinion = executed.iter().any(|(_, s)| opinionated(s));
+    let participates = |s: &StepScores| {
+        if any_opinion {
+            opinionated(s)
+        } else {
+            !s.candidates.is_empty()
+        }
+    };
+    let total_weight: f64 = executed
+        .iter()
+        .filter(|(_, s)| participates(s))
+        .map(|(s, _)| step_weight(*s, config))
+        .sum();
+    if total_weight <= 0.0 {
+        return Vec::new();
+    }
+    let mut scores: HashMap<TypeId, f64> = HashMap::new();
+    for (step, s) in executed {
+        if !participates(s) {
+            continue;
+        }
+        let w = step_weight(*step, config);
+        for c in &s.candidates {
+            *scores.entry(c.ty).or_insert(0.0) += w * c.confidence;
+        }
+    }
+    let mut out: Vec<Candidate> = scores
+        .into_iter()
+        .map(|(ty, sum)| Candidate {
+            ty,
+            confidence: sum / total_weight,
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.confidence
+            .partial_cmp(&a.confidence)
+            .expect("finite")
+            .then(a.ty.cmp(&b.ty))
+    });
+    out.truncate(config.top_k);
+    out
+}
+
+/// Apply the abstention threshold τ: the final decision is `unknown`
+/// when the top candidate is `unknown` itself or its confidence is
+/// below τ.
+#[must_use]
+pub fn apply_tau(top: &[Candidate], tau: f64) -> (TypeId, f64) {
+    match top.first() {
+        Some(c) if !c.ty.is_unknown() && c.confidence >= tau => (c.ty, c.confidence),
+        Some(c) => (TypeId::UNKNOWN, c.confidence),
+        None => (TypeId::UNKNOWN, 0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scores(cands: &[(u16, f64)]) -> StepScores {
+        StepScores::from_candidates(
+            cands
+                .iter()
+                .map(|&(t, c)| Candidate {
+                    ty: TypeId(t),
+                    confidence: c,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn agreement_reinforces() {
+        let cfg = SigmaTyperConfig::default();
+        let h = scores(&[(1, 0.8)]);
+        let l = scores(&[(1, 0.9)]);
+        let agree = soft_majority_vote(&[(Step::Header, &h), (Step::Lookup, &l)], &cfg);
+        let single = soft_majority_vote(&[(Step::Header, &h)], &cfg);
+        assert_eq!(agree[0].ty, TypeId(1));
+        assert!(agree[0].confidence > 0.8);
+        assert!((single[0].confidence - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disagreement_dilutes() {
+        let cfg = SigmaTyperConfig::default();
+        let h = scores(&[(1, 0.9)]);
+        let l = scores(&[(2, 0.9)]);
+        let out = soft_majority_vote(&[(Step::Header, &h), (Step::Lookup, &l)], &cfg);
+        // Both remain but neither at 0.9.
+        assert_eq!(out.len(), 2);
+        assert!(out[0].confidence < 0.9);
+    }
+
+    #[test]
+    fn weights_matter() {
+        let cfg = SigmaTyperConfig {
+            weight_embedding: 3.0,
+            weight_header: 1.0,
+            ..SigmaTyperConfig::default()
+        };
+        let h = scores(&[(1, 0.9)]);
+        let e = scores(&[(2, 0.9)]);
+        let out = soft_majority_vote(&[(Step::Header, &h), (Step::Embedding, &e)], &cfg);
+        assert_eq!(out[0].ty, TypeId(2), "heavier step should win ties");
+    }
+
+    #[test]
+    fn top_k_truncation() {
+        let cfg = SigmaTyperConfig {
+            top_k: 2,
+            ..SigmaTyperConfig::default()
+        };
+        let h = scores(&[(1, 0.9), (2, 0.5), (3, 0.1)]);
+        let out = soft_majority_vote(&[(Step::Header, &h)], &cfg);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn tau_thresholding() {
+        let high = vec![Candidate { ty: TypeId(4), confidence: 0.8 }];
+        assert_eq!(apply_tau(&high, 0.4), (TypeId(4), 0.8));
+        let low = vec![Candidate { ty: TypeId(4), confidence: 0.2 }];
+        assert_eq!(apply_tau(&low, 0.4), (TypeId::UNKNOWN, 0.2));
+        // Top candidate unknown → abstain regardless.
+        let unk = vec![Candidate { ty: TypeId::UNKNOWN, confidence: 0.9 }];
+        assert_eq!(apply_tau(&unk, 0.4).0, TypeId::UNKNOWN);
+        assert_eq!(apply_tau(&[], 0.4), (TypeId::UNKNOWN, 0.0));
+    }
+
+    #[test]
+    fn empty_steps_vote_nothing() {
+        let cfg = SigmaTyperConfig::default();
+        assert!(soft_majority_vote(&[], &cfg).is_empty());
+    }
+}

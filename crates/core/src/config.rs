@@ -1,0 +1,117 @@
+//! System configuration: thresholds, step weights, and sizes.
+
+/// SigmaTyper configuration (paper §4.3).
+#[derive(Debug, Clone, Copy)]
+pub struct SigmaTyperConfig {
+    /// Cascade confidence threshold `c`: a later (slower) step runs for a
+    /// column only while its best confidence so far is below `c`.
+    pub cascade_threshold: f64,
+    /// Abstention threshold τ: final predictions below τ become `unknown`
+    /// ("we infer a parameter τ and threshold predictions that are below
+    /// τ such that the precision of the system is high").
+    pub tau: f64,
+    /// How many ranked candidates to report per column (top-k).
+    pub top_k: usize,
+    /// Vote weight of the header-matching step.
+    pub weight_header: f64,
+    /// Vote weight of the value-lookup step.
+    pub weight_lookup: f64,
+    /// Vote weight of the table-embedding step.
+    pub weight_embedding: f64,
+    /// Scale applied to lookup hits that come from numeric-range LFs
+    /// only — ranges are inherently ambiguous, so they must not clear the
+    /// cascade threshold unassisted.
+    pub range_lf_scale: f64,
+    /// Values sampled per column in the lookup step.
+    pub lookup_sample: usize,
+    /// Ablation: run the header-matching step.
+    pub enable_header: bool,
+    /// Ablation: run the value-lookup step.
+    pub enable_lookup: bool,
+    /// Ablation: run the table-embedding step.
+    pub enable_embedding: bool,
+}
+
+impl Default for SigmaTyperConfig {
+    fn default() -> Self {
+        SigmaTyperConfig {
+            cascade_threshold: 0.82,
+            tau: 0.4,
+            top_k: 3,
+            weight_header: 1.0,
+            weight_lookup: 1.0,
+            weight_embedding: 1.2,
+            range_lf_scale: 0.55,
+            lookup_sample: 40,
+            enable_header: true,
+            enable_lookup: true,
+            enable_embedding: true,
+        }
+    }
+}
+
+/// Training-time configuration for the global model.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainingConfig {
+    /// Embedding dimensionality.
+    pub embed_dim: usize,
+    /// Skip-gram epochs.
+    pub embed_epochs: usize,
+    /// MLP hidden width.
+    pub hidden: usize,
+    /// MLP epochs.
+    pub epochs: usize,
+    /// Fraction of training columns held out for temperature calibration.
+    pub calibration_fraction: f64,
+    /// Seed for all training randomness.
+    pub seed: u64,
+    /// Spare MLP output classes reserved for customer-registered custom
+    /// types (learned later via local finetuning).
+    pub reserve_classes: usize,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        TrainingConfig {
+            embed_dim: 32,
+            embed_epochs: 6,
+            hidden: 64,
+            epochs: 25,
+            calibration_fraction: 0.15,
+            seed: 0x516,
+            reserve_classes: 8,
+        }
+    }
+}
+
+impl TrainingConfig {
+    /// A small configuration for fast unit tests.
+    #[must_use]
+    pub fn fast() -> Self {
+        TrainingConfig {
+            embed_dim: 16,
+            embed_epochs: 2,
+            hidden: 24,
+            epochs: 8,
+            calibration_fraction: 0.15,
+            seed: 0x516,
+            reserve_classes: 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_sane() {
+        let c = SigmaTyperConfig::default();
+        assert!(c.cascade_threshold > c.tau);
+        assert!(c.top_k >= 1);
+        assert!(c.range_lf_scale < c.cascade_threshold);
+        let t = TrainingConfig::default();
+        assert!(t.calibration_fraction > 0.0 && t.calibration_fraction < 1.0);
+        assert!(TrainingConfig::fast().epochs < t.epochs);
+    }
+}

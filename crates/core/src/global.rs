@@ -1,0 +1,179 @@
+//! The global model: pretrained once, "identically deployed across all
+//! customers" (paper §1, Figure 2).
+
+use crate::config::TrainingConfig;
+use crate::embedstep::{train_embedding_model, TableEmbeddingModel};
+use crate::headerstep::HeaderMatcher;
+use crate::lookupstep::ValueLookup;
+use crate::regexbank::RegexBank;
+use tu_corpus::Corpus;
+use tu_dp::{LabelingFunction, LfKind, LfSource};
+use tu_embed::{Embedder, SkipGramConfig};
+use tu_kb::KnowledgeBase;
+use tu_ontology::Ontology;
+
+/// The pretrained global model shared by all customers.
+#[derive(Debug, Clone)]
+pub struct GlobalModel {
+    /// The semantic type ontology (DBpedia role, §4.1).
+    pub ontology: Ontology,
+    /// Trained word embedder (FastText role).
+    pub embedder: Embedder,
+    /// Step 1 matcher.
+    pub header: HeaderMatcher,
+    /// Step 2 lookup (KB + regex bank).
+    pub lookup: ValueLookup,
+    /// Global labeling functions (header-alias LFs, §4.3 source 1).
+    pub global_lfs: Vec<LabelingFunction>,
+    /// Step 3 model (TaBERT role) with background `unknown` class.
+    pub embedding: TableEmbeddingModel,
+}
+
+/// Build the token sequences the embedder trains on: for every corpus
+/// column, its type's surface forms and the (tokenized) header co-occur;
+/// additionally each type's alias set forms its own sequence. This is
+/// what makes "income" land near "salary".
+#[must_use]
+pub fn embedding_sequences(ontology: &Ontology, corpus: &Corpus) -> Vec<Vec<String>> {
+    let mut seqs: Vec<Vec<String>> = Vec::new();
+    // One sequence per type holding the canonical name and every alias
+    // together, repeated for weight. Skip-gram input vectors align only
+    // through *shared contexts*, so synonyms must co-occur inside one
+    // window rather than in isolated pairs.
+    for def in ontology.defs() {
+        if def.id.is_unknown() || def.aliases.is_empty() {
+            continue;
+        }
+        let mut seq: Vec<String> = def.name.split(' ').map(str::to_owned).collect();
+        for alias in &def.aliases {
+            seq.extend(alias.split(' ').map(str::to_owned));
+        }
+        for _ in 0..6 {
+            seqs.push(seq.clone());
+        }
+    }
+    // Corpus sequences: header tokens + type tokens per column, plus one
+    // table-level sequence of all type names (co-occurrence context).
+    for at in &corpus.tables {
+        let mut table_seq: Vec<String> = Vec::new();
+        for (ci, col) in at.table.columns().iter().enumerate() {
+            let label = at.labels[ci];
+            if label.is_unknown() {
+                continue;
+            }
+            let type_tokens: Vec<String> = ontology
+                .name(label)
+                .split(' ')
+                .map(str::to_owned)
+                .collect();
+            let mut seq = tu_text::header_tokens(&col.name);
+            seq.extend(type_tokens.iter().cloned());
+            seqs.push(seq);
+            table_seq.extend(type_tokens);
+        }
+        if table_seq.len() >= 2 {
+            seqs.push(table_seq);
+        }
+    }
+    seqs
+}
+
+/// Build the global LF bank: one header-equality LF per ontology surface
+/// form. These make alias knowledge available to the lookup step even
+/// when the header matcher is bypassed.
+#[must_use]
+pub fn global_lf_bank(ontology: &Ontology) -> Vec<LabelingFunction> {
+    ontology
+        .all_surfaces()
+        .into_iter()
+        .map(|(surface, ty)| LabelingFunction {
+            name: format!("global:header[{surface}]"),
+            ty,
+            source: LfSource::Global,
+            kind: LfKind::HeaderEquals(surface.to_owned()),
+        })
+        .collect()
+}
+
+/// Train the full global model on a pretraining corpus (GitTables role).
+#[must_use]
+pub fn train_global(
+    ontology: Ontology,
+    corpus: &Corpus,
+    config: &TrainingConfig,
+) -> GlobalModel {
+    let seqs = embedding_sequences(&ontology, corpus);
+    let embedder = Embedder::train(
+        &seqs,
+        &SkipGramConfig {
+            dim: config.embed_dim,
+            epochs: config.embed_epochs,
+            seed: config.seed,
+            ..SkipGramConfig::default()
+        },
+    );
+    let header = HeaderMatcher::new(&ontology, &embedder);
+    let kb = KnowledgeBase::builtin(&ontology);
+    let bank = RegexBank::builtin(&ontology);
+    let lookup = ValueLookup::new(kb, bank);
+    let global_lfs = global_lf_bank(&ontology);
+    let embedding = train_embedding_model(&ontology, corpus, &embedder, config);
+    GlobalModel {
+        ontology,
+        embedder,
+        header,
+        lookup,
+        global_lfs,
+        embedding,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tu_corpus::{generate_corpus, CorpusConfig};
+    use tu_ontology::{builtin_id, builtin_ontology};
+
+    #[test]
+    fn sequences_tie_aliases_to_types() {
+        let o = builtin_ontology();
+        let corpus = generate_corpus(&o, &CorpusConfig::database_like(41, 10));
+        let seqs = embedding_sequences(&o, &corpus);
+        assert!(seqs.len() > 100);
+        // Somewhere, "income" and "salary" co-occur.
+        assert!(seqs
+            .iter()
+            .any(|s| s.contains(&"income".to_string()) && s.contains(&"salary".to_string())));
+    }
+
+    #[test]
+    fn global_lf_bank_covers_all_surfaces() {
+        let o = builtin_ontology();
+        let bank = global_lf_bank(&o);
+        assert_eq!(bank.len(), o.all_surfaces().len());
+        assert!(bank.iter().all(|l| l.source == LfSource::Global));
+    }
+
+    #[test]
+    fn trained_global_model_components_work_together() {
+        let o = builtin_ontology();
+        let mut cfg = CorpusConfig::database_like(42, 50);
+        cfg.ood_column_rate = 0.2;
+        let corpus = generate_corpus(&o, &cfg);
+        let gm = train_global(builtin_ontology(), &corpus, &TrainingConfig::fast());
+        // Embedder learned synonym geometry.
+        let sim_syn = gm.embedder.similarity("income", "salary");
+        let sim_far = gm.embedder.similarity("income", "city");
+        assert!(
+            sim_syn > sim_far,
+            "income~salary {sim_syn} should beat income~city {sim_far}"
+        );
+        // Header matcher resolves an alias.
+        let s = gm.header.match_header(
+            "wage",
+            &gm.embedder,
+            &crate::config::SigmaTyperConfig::default(),
+        );
+        assert_eq!(s.best().unwrap().ty, builtin_id(&gm.ontology, "salary"));
+    }
+}

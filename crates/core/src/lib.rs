@@ -1,0 +1,54 @@
+//! # sigmatyper
+//!
+//! The core of the CIDR'22 *Making Table Understanding Work in Practice*
+//! reproduction: **SigmaTyper**, a hybrid, adaptive semantic column type
+//! detection system.
+//!
+//! Architecture (paper Figures 2–4):
+//! * a pretrained [`GlobalModel`] shared by all customers — header
+//!   matcher, value lookup (knowledge base + regex bank + global LFs),
+//!   and a table-embedding classifier with a background `unknown` class;
+//! * per-customer [`SigmaTyper`] instances holding a [`LocalModel`] that
+//!   adapts through **data programming by demonstration**: explicit
+//!   relabels and implicit approvals become labeling functions, mined
+//!   weak labels, and local finetuning, with per-type weights `Wl`
+//!   growing over time;
+//! * a 3-step **cascade** ordered by inference cost, gated by the
+//!   confidence threshold `c`, aggregated by a soft majority vote, and
+//!   thresholded by τ for high-precision abstention.
+//!
+//! ```
+//! use sigmatyper::{train_global, SigmaTyper, SigmaTyperConfig, TrainingConfig};
+//! use tu_corpus::{generate_corpus, CorpusConfig};
+//! use tu_ontology::builtin_ontology;
+//!
+//! let ontology = builtin_ontology();
+//! let corpus = generate_corpus(&ontology, &CorpusConfig::database_like(7, 20));
+//! let global = train_global(ontology, &corpus, &TrainingConfig::fast());
+//! let typer = SigmaTyper::new(std::sync::Arc::new(global), SigmaTyperConfig::default());
+//! let annotation = typer.annotate(&corpus.tables[0].table);
+//! assert_eq!(annotation.columns.len(), corpus.tables[0].table.n_cols());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod config;
+pub mod embedstep;
+pub mod global;
+pub mod headerstep;
+pub mod local;
+pub mod lookupstep;
+pub mod prediction;
+pub mod regexbank;
+pub mod system;
+
+pub use config::{SigmaTyperConfig, TrainingConfig};
+pub use embedstep::{train_embedding_model, TableEmbeddingModel};
+pub use global::{train_global, GlobalModel};
+pub use headerstep::HeaderMatcher;
+pub use local::LocalModel;
+pub use lookupstep::ValueLookup;
+pub use prediction::{Candidate, ColumnAnnotation, Step, StepScores, TableAnnotation};
+pub use regexbank::RegexBank;
+pub use system::SigmaTyper;

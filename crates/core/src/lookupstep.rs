@@ -1,0 +1,244 @@
+//! Pipeline step 2: value lookup (paper §4.3).
+//!
+//! Matches a sample of column values against three rule sources: (1) the
+//! labeling functions of the global and local models (DPBD products),
+//! (2) the knowledge-base dictionaries (DBpedia role), and (3) the regex
+//! bank. "The fraction of values that matched a type, is returned as the
+//! confidence for that type."
+
+use crate::config::SigmaTyperConfig;
+use crate::prediction::{Candidate, StepScores};
+use crate::regexbank::RegexBank;
+use tu_dp::{context, LabelingFunction};
+use tu_kb::KnowledgeBase;
+use tu_ontology::TypeId;
+use tu_table::Column;
+
+/// The value-lookup step.
+#[derive(Debug, Clone)]
+pub struct ValueLookup {
+    kb: KnowledgeBase,
+    bank: RegexBank,
+}
+
+impl ValueLookup {
+    /// Build from a knowledge base and a regex bank.
+    #[must_use]
+    pub fn new(kb: KnowledgeBase, bank: RegexBank) -> Self {
+        ValueLookup { kb, bank }
+    }
+
+    /// The knowledge base (shared with DPBD).
+    #[must_use]
+    pub fn kb(&self) -> &KnowledgeBase {
+        &self.kb
+    }
+
+    /// Mutable regex bank (user-expandable, §4.3).
+    pub fn bank_mut(&mut self) -> &mut RegexBank {
+        &mut self.bank
+    }
+
+    /// Look up one column. `lf_banks` are the LF banks to consult (the
+    /// global bank and the customer's local bank); `neighbor_types` are
+    /// the current predictions for the other columns (context for
+    /// co-occurrence LFs).
+    #[must_use]
+    pub fn lookup(
+        &self,
+        column: &Column,
+        normalized_header: &str,
+        neighbor_types: &[TypeId],
+        lf_banks: &[&[LabelingFunction]],
+        config: &SigmaTyperConfig,
+    ) -> StepScores {
+        self.lookup_weighted(column, normalized_header, neighbor_types, lf_banks, config, &|_| 1.0)
+    }
+
+    /// [`ValueLookup::lookup`] with a per-type weight applied to every
+    /// *globally sourced* candidate (KB, regex bank, global LFs). The
+    /// customer's local LFs are never discounted — this is how `Wg`
+    /// shrinks when the local context contradicts global knowledge.
+    #[must_use]
+    pub fn lookup_weighted(
+        &self,
+        column: &Column,
+        normalized_header: &str,
+        neighbor_types: &[TypeId],
+        lf_banks: &[&[LabelingFunction]],
+        config: &SigmaTyperConfig,
+        global_weight: &dyn Fn(TypeId) -> f64,
+    ) -> StepScores {
+        let mut cands: Vec<Candidate> = Vec::new();
+        let sample: Vec<String> = column
+            .sample(config.lookup_sample)
+            .into_iter()
+            .map(tu_table::Value::render)
+            .collect();
+
+        if !sample.is_empty() {
+            // Source 2: knowledge-base dictionaries.
+            for (ty, fraction) in self.kb.coverage(&sample) {
+                if fraction > 0.3 {
+                    cands.push(Candidate {
+                        ty,
+                        confidence: fraction * global_weight(ty),
+                    });
+                }
+            }
+            // Source 3: regex bank (shape rules).
+            for rule in &self.bank.shapes {
+                let hits = sample
+                    .iter()
+                    .filter(|v| rule.regex.is_full_match(v))
+                    .count();
+                let fraction = hits as f64 / sample.len() as f64;
+                if fraction > 0.5 {
+                    cands.push(Candidate {
+                        ty: rule.ty,
+                        confidence: fraction * global_weight(rule.ty),
+                    });
+                }
+            }
+            // Source 3b: numeric ranges — ambiguous alone, so scaled down
+            // to keep them from resolving the cascade unassisted.
+            let nums = column.numeric_values();
+            if !nums.is_empty() {
+                for rule in &self.bank.ranges {
+                    let hits = nums
+                        .iter()
+                        .filter(|v| **v >= rule.min && **v <= rule.max)
+                        .count();
+                    let fraction = hits as f64 / nums.len() as f64;
+                    if fraction > 0.9 {
+                        cands.push(Candidate {
+                            ty: rule.ty,
+                            confidence: fraction * config.range_lf_scale * global_weight(rule.ty),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Source 1: labeling functions (global + local). Strong LFs carry
+        // full weight; contextual LFs are scaled like range rules.
+        let ctx = context(column, normalized_header, neighbor_types);
+        for lf in lf_banks.iter().flat_map(|b| b.iter()) {
+            // Only identity-style LFs (header, dictionary, shape) vote at
+            // inference time. Numeric envelopes and co-occurrence are
+            // *data-programming* LFs: they mine weakly labeled training
+            // data (tu-dp), where the min-votes/strong gating controls
+            // their noise, but as direct voters they fire on far too many
+            // columns (measured in experiment E1).
+            let identity = matches!(
+                lf.kind,
+                tu_dp::LfKind::HeaderEquals(_)
+                    | tu_dp::LfKind::Dictionary(_)
+                    | tu_dp::LfKind::Pattern(_)
+            );
+            if !identity {
+                continue;
+            }
+            if let Some(ty) = lf.vote(&ctx) {
+                let mut confidence = 0.95;
+                if lf.source == tu_dp::LfSource::Global {
+                    confidence *= global_weight(ty);
+                }
+                cands.push(Candidate { ty, confidence });
+            }
+        }
+
+        let mut scores = StepScores::from_candidates(cands);
+        scores.candidates.truncate(config.top_k.max(8));
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tu_ontology::{builtin_id, builtin_ontology, Ontology};
+
+    fn setup() -> (Ontology, ValueLookup, SigmaTyperConfig) {
+        let o = builtin_ontology();
+        let kb = KnowledgeBase::builtin(&o);
+        let bank = RegexBank::builtin(&o);
+        (o, ValueLookup::new(kb, bank), SigmaTyperConfig::default())
+    }
+
+    #[test]
+    fn dictionary_lookup_cities() {
+        let (o, l, cfg) = setup();
+        let col = Column::from_raw("x", &["Amsterdam", "Paris", "Tokyo", "Berlin"]);
+        let s = l.lookup(&col, "x", &[], &[], &cfg);
+        assert_eq!(s.best().unwrap().ty, builtin_id(&o, "city"));
+        assert!(s.best().unwrap().confidence > 0.9);
+    }
+
+    #[test]
+    fn regex_lookup_emails() {
+        let (o, l, cfg) = setup();
+        let col = Column::from_raw("x", &["ada@sigma.com", "bob@example.org"]);
+        let s = l.lookup(&col, "x", &[], &[], &cfg);
+        assert_eq!(s.best().unwrap().ty, builtin_id(&o, "email"));
+    }
+
+    #[test]
+    fn fraction_confidence_reflects_dirt() {
+        let (o, l, cfg) = setup();
+        let col = Column::from_raw("x", &["ada@sigma.com", "not-an-email", "bob@x.org", "c@d.io"]);
+        let s = l.lookup(&col, "x", &[], &[], &cfg);
+        let email = builtin_id(&o, "email");
+        assert!((s.confidence_for(email) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_rules_are_scaled_down() {
+        let (o, l, cfg) = setup();
+        let col = Column::from_raw("x", &["21", "34", "57", "68"]);
+        let s = l.lookup(&col, "x", &[], &[], &cfg);
+        // Fires for age/percentage/rating ranges but never at full confidence.
+        assert!(!s.candidates.is_empty());
+        assert!(
+            s.best_confidence() <= cfg.range_lf_scale + 1e-9,
+            "range hits must stay below the cascade threshold: {:?}",
+            s.best()
+        );
+        let age = builtin_id(&o, "age");
+        assert!(s.confidence_for(age) > 0.0);
+    }
+
+    #[test]
+    fn local_lfs_vote() {
+        let (o, l, cfg) = setup();
+        let salary = builtin_id(&o, "salary");
+        let lfs = vec![tu_dp::LabelingFunction {
+            name: "lf4".into(),
+            ty: salary,
+            source: tu_dp::LfSource::Local,
+            kind: tu_dp::LfKind::HeaderEquals("income".into()),
+        }];
+        let col = Column::from_raw("Income", &["100", "200"]);
+        let s = l.lookup(&col, "income", &[], &[&lfs], &cfg);
+        assert!(s.confidence_for(salary) > 0.9);
+    }
+
+    #[test]
+    fn empty_column_scores_nothing_from_values() {
+        let (_, l, cfg) = setup();
+        let col = Column::new("x", vec![]);
+        let s = l.lookup(&col, "x", &[], &[], &cfg);
+        assert!(s.candidates.is_empty());
+    }
+
+    #[test]
+    fn ambiguous_tokens_produce_multiple_candidates() {
+        let (o, l, cfg) = setup();
+        // Month names: dictionary hit for `month`; also weekday dictionary
+        // must NOT fire.
+        let col = Column::from_raw("x", &["January", "March", "July"]);
+        let s = l.lookup(&col, "x", &[], &[], &cfg);
+        assert_eq!(s.best().unwrap().ty, builtin_id(&o, "month"));
+        assert_eq!(s.confidence_for(builtin_id(&o, "weekday")), 0.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Prediction types: per-step candidates and final annotations.
+
+use tu_ontology::TypeId;
+
+/// Which pipeline step produced a score (Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Step {
+    /// Step 1: header matching (syntactic + semantic).
+    Header,
+    /// Step 2: value lookup (LFs, knowledge base, regexes).
+    Lookup,
+    /// Step 3: table-embedding model.
+    Embedding,
+}
+
+impl Step {
+    /// All steps in execution (latency) order.
+    pub const ALL: [Step; 3] = [Step::Header, Step::Lookup, Step::Embedding];
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Step::Header => "header",
+            Step::Lookup => "lookup",
+            Step::Embedding => "embedding",
+        }
+    }
+}
+
+/// One candidate type with a confidence from one step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Proposed semantic type.
+    pub ty: TypeId,
+    /// Step-local confidence in `[0, 1]`.
+    pub confidence: f64,
+}
+
+/// Scores a single step assigned to a single column.
+#[derive(Debug, Clone, Default)]
+pub struct StepScores {
+    /// Candidates, sorted descending by confidence.
+    pub candidates: Vec<Candidate>,
+}
+
+impl StepScores {
+    /// Build from unsorted candidates (sorts, deduplicates by max).
+    #[must_use]
+    pub fn from_candidates(mut cands: Vec<Candidate>) -> Self {
+        // Deduplicate keeping the max confidence per type.
+        cands.sort_by(|a, b| {
+            a.ty.cmp(&b.ty)
+                .then(b.confidence.partial_cmp(&a.confidence).expect("finite"))
+        });
+        cands.dedup_by_key(|c| c.ty);
+        cands.sort_by(|a, b| {
+            b.confidence
+                .partial_cmp(&a.confidence)
+                .expect("finite")
+                .then(a.ty.cmp(&b.ty))
+        });
+        StepScores { candidates: cands }
+    }
+
+    /// Best candidate, if any.
+    #[must_use]
+    pub fn best(&self) -> Option<Candidate> {
+        self.candidates.first().copied()
+    }
+
+    /// Best confidence or 0.
+    #[must_use]
+    pub fn best_confidence(&self) -> f64 {
+        self.best().map_or(0.0, |c| c.confidence)
+    }
+
+    /// Confidence for a specific type (0 when absent).
+    #[must_use]
+    pub fn confidence_for(&self, ty: TypeId) -> f64 {
+        self.candidates
+            .iter()
+            .find(|c| c.ty == ty)
+            .map_or(0.0, |c| c.confidence)
+    }
+}
+
+/// Final annotation of one column.
+#[derive(Debug, Clone)]
+pub struct ColumnAnnotation {
+    /// Column index in the table.
+    pub col_idx: usize,
+    /// Aggregated top-k candidates, best first.
+    pub top_k: Vec<Candidate>,
+    /// Final decision after τ-thresholding: `TypeId::UNKNOWN` when the
+    /// system abstains.
+    pub predicted: TypeId,
+    /// Confidence of the final decision.
+    pub confidence: f64,
+    /// Which steps actually ran for this column.
+    pub steps_run: Vec<Step>,
+    /// Per-step scores (parallel to `steps_run`).
+    pub step_scores: Vec<StepScores>,
+}
+
+impl ColumnAnnotation {
+    /// Did the system abstain on this column?
+    #[must_use]
+    pub fn abstained(&self) -> bool {
+        self.predicted.is_unknown()
+    }
+
+    /// The step whose candidate confidence first met the cascade
+    /// threshold, if any (used by the E6 cascade experiment).
+    #[must_use]
+    pub fn resolving_step(&self, cascade_threshold: f64) -> Option<Step> {
+        for (step, scores) in self.steps_run.iter().zip(&self.step_scores) {
+            if scores.best_confidence() >= cascade_threshold {
+                return Some(*step);
+            }
+        }
+        None
+    }
+}
+
+/// Annotation of a whole table.
+#[derive(Debug, Clone)]
+pub struct TableAnnotation {
+    /// One annotation per column, in column order.
+    pub columns: Vec<ColumnAnnotation>,
+    /// Wall-clock nanoseconds spent per step across the table.
+    pub step_nanos: [u128; 3],
+}
+
+impl TableAnnotation {
+    /// Predicted types in column order.
+    #[must_use]
+    pub fn predictions(&self) -> Vec<TypeId> {
+        self.columns.iter().map(|c| c.predicted).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_scores_sort_and_dedup() {
+        let s = StepScores::from_candidates(vec![
+            Candidate { ty: TypeId(2), confidence: 0.5 },
+            Candidate { ty: TypeId(1), confidence: 0.9 },
+            Candidate { ty: TypeId(2), confidence: 0.7 },
+        ]);
+        assert_eq!(s.candidates.len(), 2);
+        assert_eq!(s.best().unwrap().ty, TypeId(1));
+        assert_eq!(s.confidence_for(TypeId(2)), 0.7);
+        assert_eq!(s.confidence_for(TypeId(9)), 0.0);
+        assert_eq!(StepScores::default().best_confidence(), 0.0);
+    }
+
+    #[test]
+    fn resolving_step_detection() {
+        let ann = ColumnAnnotation {
+            col_idx: 0,
+            top_k: vec![],
+            predicted: TypeId(1),
+            confidence: 0.9,
+            steps_run: vec![Step::Header, Step::Lookup],
+            step_scores: vec![
+                StepScores::from_candidates(vec![Candidate { ty: TypeId(1), confidence: 0.3 }]),
+                StepScores::from_candidates(vec![Candidate { ty: TypeId(1), confidence: 0.95 }]),
+            ],
+        };
+        assert_eq!(ann.resolving_step(0.8), Some(Step::Lookup));
+        assert_eq!(ann.resolving_step(0.99), None);
+        assert!(!ann.abstained());
+    }
+
+    #[test]
+    fn step_names() {
+        assert_eq!(Step::ALL.len(), 3);
+        assert_eq!(Step::Header.name(), "header");
+        assert_eq!(Step::Embedding.name(), "embedding");
+    }
+}

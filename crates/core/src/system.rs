@@ -1,0 +1,600 @@
+//! The SigmaTyper orchestrator: cascade, aggregation, and adaptation.
+
+use crate::aggregate::{apply_tau, soft_majority_vote};
+use crate::config::SigmaTyperConfig;
+use crate::global::GlobalModel;
+use crate::local::LocalModel;
+use crate::prediction::{
+    Candidate, ColumnAnnotation, Step, StepScores, TableAnnotation,
+};
+use std::sync::Arc;
+use std::time::Instant;
+use tu_corpus::Corpus;
+use tu_dp::{infer_lfs, mine_weak_labels, Demonstration, InferConfig, MiningConfig};
+use tu_ontology::{Category, Ontology, TypeId, ValueKind};
+use tu_table::Table;
+
+/// One customer's SigmaTyper instance: the shared global model plus this
+/// customer's local model (Figure 2's `Customer_i` box).
+#[derive(Debug, Clone)]
+pub struct SigmaTyper {
+    global: Arc<GlobalModel>,
+    /// Customer-local ontology (may gain custom types).
+    ontology: Ontology,
+    local: LocalModel,
+    config: SigmaTyperConfig,
+}
+
+impl SigmaTyper {
+    /// Create a customer instance over a shared global model.
+    #[must_use]
+    pub fn new(global: Arc<GlobalModel>, config: SigmaTyperConfig) -> Self {
+        let ontology = global.ontology.clone();
+        SigmaTyper {
+            global,
+            ontology,
+            local: LocalModel::new(),
+            config,
+        }
+    }
+
+    /// The (customer-local) ontology.
+    #[must_use]
+    pub fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    /// The shared global model.
+    #[must_use]
+    pub fn global(&self) -> &GlobalModel {
+        &self.global
+    }
+
+    /// The customer's local model.
+    #[must_use]
+    pub fn local(&self) -> &LocalModel {
+        &self.local
+    }
+
+    /// Current configuration.
+    #[must_use]
+    pub fn config(&self) -> &SigmaTyperConfig {
+        &self.config
+    }
+
+    /// Mutable configuration (τ sweeps and ablations).
+    pub fn config_mut(&mut self) -> &mut SigmaTyperConfig {
+        &mut self.config
+    }
+
+    /// Register a customer-specific semantic type. The type is matched
+    /// through locally inferred LFs and learned by the finetuned local
+    /// embedding model via one of the reserved MLP classes.
+    ///
+    /// # Panics
+    /// Panics when all reserved classes are exhausted.
+    pub fn register_custom_type(
+        &mut self,
+        name: &str,
+        kind: ValueKind,
+        aliases: &[&str],
+    ) -> TypeId {
+        let id = self.ontology.register(name, Category::Misc, kind, aliases, None);
+        assert!(
+            id.index() < self.global.embedding.n_classes(),
+            "reserved class space exhausted; raise TrainingConfig::reserve_classes"
+        );
+        id
+    }
+
+    /// Annotate a table: run the 3-step cascade per column, aggregate,
+    /// and apply τ (paper Figure 4).
+    #[must_use]
+    #[allow(clippy::needless_range_loop)] // `ci` also indexes sibling arrays
+    pub fn annotate(&self, table: &Table) -> TableAnnotation {
+        let n = table.n_cols();
+        let normalized: Vec<String> = table
+            .headers()
+            .iter()
+            .map(|h| tu_text::normalize_header(h))
+            .collect();
+
+        let mut per_column: Vec<Vec<(Step, StepScores)>> = vec![Vec::new(); n];
+        let mut step_nanos = [0u128; 3];
+
+        // ---- Step 1: header matching -------------------------------
+        let t0 = Instant::now();
+        if self.config.enable_header {
+            for (ci, header) in table.headers().iter().enumerate() {
+                let mut scores = self
+                    .global
+                    .header
+                    .match_header(header, &self.global.embedder, &self.config);
+                // Wg: global header knowledge the customer has repeatedly
+                // overridden in this header context loses influence (Fig. 2).
+                for c in &mut scores.candidates {
+                    c.confidence *= self.local.wg(c.ty, &normalized[ci]);
+                }
+                per_column[ci].push((Step::Header, scores));
+            }
+        }
+        step_nanos[0] = t0.elapsed().as_nanos();
+
+        // Tentative neighbor types from the best header candidates.
+        let tentative: Vec<TypeId> = per_column
+            .iter()
+            .map(|steps| {
+                steps
+                    .last()
+                    .and_then(|(_, s)| s.best())
+                    .map_or(TypeId::UNKNOWN, |c| c.ty)
+            })
+            .collect();
+
+        // ---- Step 2: value lookup (unresolved columns only) ---------
+        let t0 = Instant::now();
+        for ci in 0..n {
+            if !self.config.enable_lookup
+                || self.best_so_far(&per_column[ci]) >= self.config.cascade_threshold
+            {
+                continue;
+            }
+            let neighbors: Vec<TypeId> = tentative
+                .iter()
+                .enumerate()
+                .filter(|(i, t)| *i != ci && !t.is_unknown())
+                .map(|(_, t)| *t)
+                .collect();
+            let scores = self.global.lookup.lookup_weighted(
+                table.column(ci).expect("column in range"),
+                &normalized[ci],
+                &neighbors,
+                &[&self.global.global_lfs, &self.local.lfs],
+                &self.config,
+                &|t| self.local.wg(t, &normalized[ci]),
+            );
+            per_column[ci].push((Step::Lookup, scores));
+        }
+        step_nanos[1] = t0.elapsed().as_nanos();
+
+        // ---- Step 3: table-embedding model (still unresolved) -------
+        let t0 = Instant::now();
+        let headers = table.headers();
+        for ci in 0..n {
+            if !self.config.enable_embedding
+                || self.best_so_far(&per_column[ci]) >= self.config.cascade_threshold
+            {
+                continue;
+            }
+            let neighbors: Vec<&str> = headers
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != ci)
+                .map(|(_, h)| *h)
+                .collect();
+            let column = table.column(ci).expect("column in range");
+            let global_scores = self.global.embedding.predict(column, &neighbors);
+            let scores = match &self.local.finetuned {
+                Some(local_model) => {
+                    let local_scores = local_model.predict(column, &neighbors);
+                    self.blend(&global_scores, &local_scores, &normalized[ci])
+                }
+                None => global_scores,
+            };
+            per_column[ci].push((Step::Embedding, scores));
+        }
+        step_nanos[2] = t0.elapsed().as_nanos();
+
+        // ---- Aggregate + τ ------------------------------------------
+        let columns = per_column
+            .into_iter()
+            .enumerate()
+            .map(|(ci, steps)| {
+                let executed: Vec<(Step, &StepScores)> =
+                    steps.iter().map(|(s, sc)| (*s, sc)).collect();
+                let mut top_k = soft_majority_vote(&executed, &self.config);
+                self.prefer_specific(&mut top_k);
+                let (predicted, confidence) = apply_tau(&top_k, self.config.tau);
+                let (steps_run, step_scores): (Vec<Step>, Vec<StepScores>) =
+                    steps.into_iter().unzip();
+                ColumnAnnotation {
+                    col_idx: ci,
+                    top_k,
+                    predicted,
+                    confidence,
+                    steps_run,
+                    step_scores,
+                }
+            })
+            .collect();
+        TableAnnotation {
+            columns,
+            step_nanos,
+        }
+    }
+
+    /// Hierarchy-aware tie-breaking: when the two leading candidates are
+    /// ancestor and descendant in the ontology (`location` vs `city`),
+    /// prefer the more specific type unless the general one leads by a
+    /// clear margin. Dictionary evidence for a parent type necessarily
+    /// covers its children, so raw confidence favors the parent even
+    /// when the child is the right answer.
+    fn prefer_specific(&self, top_k: &mut [Candidate]) {
+        const SPECIFICITY_MARGIN: f64 = 0.15;
+        if top_k.len() < 2 {
+            return;
+        }
+        let leader = top_k[0];
+        if leader.ty.is_unknown() || leader.ty.index() >= self.ontology.len() {
+            return;
+        }
+        for i in 1..top_k.len() {
+            let challenger = top_k[i];
+            if challenger.ty.is_unknown() || challenger.ty.index() >= self.ontology.len() {
+                continue;
+            }
+            let challenger_is_descendant =
+                self.ontology.is_a(challenger.ty, leader.ty) && challenger.ty != leader.ty;
+            if challenger_is_descendant
+                && challenger.confidence >= leader.confidence - SPECIFICITY_MARGIN
+            {
+                // Promote the specific type to the decision slot while
+                // keeping the remainder in confidence order.
+                top_k[0..=i].rotate_right(1);
+                return;
+            }
+        }
+    }
+
+    fn best_so_far(&self, steps: &[(Step, StepScores)]) -> f64 {
+        steps
+            .iter()
+            .map(|(_, s)| s.best_confidence())
+            .fold(0.0, f64::max)
+    }
+
+    /// Blend global and local embedding scores with the per-type local
+    /// weights `Wl` ("the weight of the local model increases over
+    /// time", Figure 2).
+    fn blend(&self, global: &StepScores, local: &StepScores, normalized_header: &str) -> StepScores {
+        let mut types: Vec<TypeId> = global
+            .candidates
+            .iter()
+            .chain(&local.candidates)
+            .map(|c| c.ty)
+            .collect();
+        types.sort_unstable();
+        types.dedup();
+        let cands = types
+            .into_iter()
+            .map(|ty| {
+                let wl = self.local.wl(ty);
+                let wg = self.local.wg(ty, normalized_header);
+                let g = global.confidence_for(ty);
+                let l = local.confidence_for(ty);
+                // Finetuning on a handful of customer examples skews the
+                // local head toward the corrected classes, so its opinion
+                // only enters the blend when it is *decisive*; otherwise
+                // the (Wg-weighted) global model carries the type.
+                const LOCAL_TRUST_FLOOR: f64 = 0.7;
+                let local_term = if l >= LOCAL_TRUST_FLOOR { l } else { g * wg };
+                Candidate {
+                    ty,
+                    confidence: (1.0 - wl) * wg * g + wl * local_term,
+                }
+            })
+            .collect();
+        StepScores::from_candidates(cands)
+    }
+
+    /// Explicit feedback: the user relabels column `col_idx` of `table`
+    /// as `ty` (Figure 3 ①). Runs the full DPBD loop: infer LFs ②, mine
+    /// the customer's table history for weak labels ③/④, extend the
+    /// local training set, finetune the local model, and grow `Wl`.
+    ///
+    /// `history` is the customer's table corpus to mine; pass `None` to
+    /// skip mining (LFs still registered, demo column still learned).
+    pub fn feedback(
+        &mut self,
+        table: &Table,
+        col_idx: usize,
+        ty: TypeId,
+        history: Option<&Corpus>,
+    ) {
+        let annotation = self.annotate(table);
+        let neighbor_types: Vec<TypeId> = annotation
+            .columns
+            .iter()
+            .filter(|c| c.col_idx != col_idx && !c.predicted.is_unknown())
+            .map(|c| c.predicted)
+            .collect();
+        // The correction contradicts whatever the system predicted: the
+        // global weight of that (wrong) type shrinks in this context.
+        let previous = annotation.columns[col_idx].predicted;
+        if previous != ty && !previous.is_unknown() {
+            let header = tu_text::normalize_header(table.headers()[col_idx]);
+            // Generic headers ("field_3") appear on unrelated columns in
+            // other tables; discounting them there would be collateral
+            // damage, so only informative header contexts are recorded.
+            if !tu_dp::infer::is_generic_header(&header) {
+                self.local.record_override(previous, &header);
+            }
+        }
+        let column = table.column(col_idx).expect("column in range");
+
+        // ② Infer labeling functions from the demonstration.
+        let lfs = infer_lfs(
+            &Demonstration {
+                column,
+                neighbor_types: &neighbor_types,
+                ty,
+            },
+            &InferConfig::default(),
+        );
+        self.local.add_lfs(lfs);
+        self.local.record_feedback(ty);
+
+        // Demonstrated column itself becomes a training example.
+        let neighbors: Vec<String> = table
+            .headers()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != col_idx)
+            .map(|(_, h)| (*h).to_owned())
+            .collect();
+        let mut examples = vec![(column.clone(), neighbors, ty)];
+
+        // ③/④ Mine the customer's history with the full local LF bank.
+        if let Some(history) = history {
+            let mined = mine_weak_labels(history, &self.local.lfs, &MiningConfig::default());
+            for m in mined {
+                let at = &history.tables[m.table_idx];
+                let col = at.table.column(m.col_idx).expect("mined column");
+                let headers: Vec<String> = at
+                    .table
+                    .headers()
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != m.col_idx)
+                    .map(|(_, h)| (*h).to_owned())
+                    .collect();
+                examples.push((col.clone(), headers, m.label.ty));
+            }
+        }
+        self.local.add_training(examples);
+        self.refit_local();
+    }
+
+    /// Implicit feedback: the user left the remaining predictions as-is,
+    /// so they count as approvals (§4.2). Adds every confidently
+    /// predicted column to the local training set.
+    pub fn implicit_approve(&mut self, table: &Table, annotation: &TableAnnotation) {
+        let headers = table.headers();
+        let mut examples = Vec::new();
+        for col_ann in &annotation.columns {
+            if col_ann.abstained() {
+                continue;
+            }
+            let neighbors: Vec<String> = headers
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != col_ann.col_idx)
+                .map(|(_, h)| (*h).to_owned())
+                .collect();
+            let column = table.column(col_ann.col_idx).expect("column in range");
+            examples.push((column.clone(), neighbors, col_ann.predicted));
+            self.local.record_feedback(col_ann.predicted);
+        }
+        if !examples.is_empty() {
+            self.local.add_training(examples);
+            self.refit_local();
+        }
+    }
+
+    /// Finetune the local embedding model on all accumulated local
+    /// training data.
+    fn refit_local(&mut self) {
+        if self.local.training.is_empty() {
+            return;
+        }
+        let model = self
+            .local
+            .finetuned
+            .get_or_insert_with(|| self.global.embedding.clone());
+        let examples: Vec<(&tu_table::Column, Vec<&str>, TypeId)> = self
+            .local
+            .training
+            .iter()
+            .map(|(c, n, t)| (c, n.iter().map(String::as_str).collect(), *t))
+            .collect();
+        model.partial_fit(&examples, 6);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrainingConfig;
+    use crate::global::train_global;
+    use tu_corpus::{generate_corpus, CorpusConfig};
+    use tu_ontology::{builtin_id, builtin_ontology};
+    use tu_table::Column;
+
+    fn system() -> SigmaTyper {
+        let o = builtin_ontology();
+        let mut cfg = CorpusConfig::database_like(51, 60);
+        cfg.ood_column_rate = 0.25;
+        let corpus = generate_corpus(&o, &cfg);
+        let gm = train_global(o, &corpus, &TrainingConfig::fast());
+        SigmaTyper::new(Arc::new(gm), SigmaTyperConfig::default())
+    }
+
+    fn figure3_table() -> Table {
+        Table::new(
+            "employees",
+            vec![
+                Column::from_raw("Name", &["Han Phi", "Thomas Do", "Alexis Nan"]),
+                Column::from_raw("Income", &["50000", "60000", "70000"]),
+                Column::from_raw("Company", &["nytco", "Adyen", "Sigma"]),
+                Column::from_raw("Cities", &["New York", "Amsterdam", "San Francisco"]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn annotates_figure3_table() {
+        let st = system();
+        let o = st.ontology();
+        let ann = st.annotate(&figure3_table());
+        assert_eq!(ann.columns.len(), 4);
+        // Clear headers must resolve correctly.
+        assert_eq!(ann.columns[0].predicted, builtin_id(o, "name"));
+        assert_eq!(ann.columns[1].predicted, builtin_id(o, "salary"));
+        assert_eq!(ann.columns[3].predicted, builtin_id(o, "city"));
+        // Header step ran for every column; timings recorded.
+        assert!(ann.columns.iter().all(|c| c.steps_run[0] == Step::Header));
+        assert!(ann.step_nanos[0] > 0);
+    }
+
+    #[test]
+    fn cascade_skips_resolved_columns() {
+        let st = system();
+        let ann = st.annotate(&figure3_table());
+        // "Income" is an exact alias → header step confidence 1.0 → later
+        // steps must not run for it.
+        let income = &ann.columns[1];
+        assert_eq!(income.steps_run, vec![Step::Header]);
+        assert_eq!(income.resolving_step(st.config().cascade_threshold), Some(Step::Header));
+    }
+
+    #[test]
+    fn headerless_column_falls_through_to_lookup() {
+        let st = system();
+        let o = st.ontology();
+        let table = Table::new(
+            "t",
+            vec![Column::from_raw(
+                "c_17",
+                &["ada@x.com", "bob@y.org", "eve@z.net"],
+            )],
+        )
+        .unwrap();
+        let ann = st.annotate(&table);
+        assert!(ann.columns[0].steps_run.contains(&Step::Lookup));
+        assert_eq!(ann.columns[0].predicted, builtin_id(o, "email"));
+    }
+
+    #[test]
+    fn feedback_adapts_predictions() {
+        let mut st = system();
+        let o = st.ontology().clone();
+        let phone = builtin_id(&o, "phone number");
+        // A customer whose "contact" columns hold bare 8-digit numbers —
+        // initially mis-predicted (identifier-ish), per Fig. 1b.
+        let mk = |seed: u64| {
+            let vals: Vec<String> =
+                (0..30).map(|i| format!("{}", 20_000_000 + seed * 1000 + i * 137)).collect();
+            Table::new(
+                format!("contacts_{seed}"),
+                vec![Column::from_raw("contact", &vals)],
+            )
+            .unwrap()
+        };
+        let before = st.annotate(&mk(1)).columns[0].predicted;
+        assert_ne!(before, phone, "sanity: starts wrong");
+        // Three explicit corrections.
+        for s in 1..=3 {
+            st.feedback(&mk(s), 0, phone, None);
+        }
+        let after = st.annotate(&mk(9)).columns[0].predicted;
+        assert_eq!(after, phone, "system must adapt to the customer's context");
+        assert!(st.local().wl(phone) > 0.5);
+        assert!(!st.local().lfs.is_empty());
+    }
+
+    #[test]
+    fn implicit_approval_grows_training() {
+        let mut st = system();
+        let table = figure3_table();
+        let ann = st.annotate(&table);
+        let before = st.local().training.len();
+        st.implicit_approve(&table, &ann);
+        assert!(st.local().training.len() > before);
+        assert!(st.local().total_feedback() > 0);
+    }
+
+    #[test]
+    fn custom_type_registration_and_learning() {
+        let mut st = system();
+        let gene = st.register_custom_type("gene id", ValueKind::Identifier, &["ensembl id"]);
+        assert!(gene.index() >= st.global().ontology.len());
+        // Teach it via feedback.
+        let mk = |seed: u64| {
+            let vals: Vec<String> = (0..25).map(|i| format!("ENSG{:08}", seed * 100 + i)).collect();
+            Table::new(format!("genes_{seed}"), vec![Column::from_raw("gene", &vals)]).unwrap()
+        };
+        for s in 1..=3 {
+            st.feedback(&mk(s), 0, gene, None);
+        }
+        let ann = st.annotate(&mk(7));
+        assert_eq!(ann.columns[0].predicted, gene, "custom type must be learnable");
+    }
+
+    #[test]
+    fn ood_column_abstains() {
+        let st = system();
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let vals = tu_corpus::ood::generate_ood_column(
+            &mut rng,
+            tu_corpus::OodKind::GeneSequence,
+            30,
+        );
+        let table = Table::new("t", vec![Column::new("sequence", vals)]).unwrap();
+        let ann = st.annotate(&table);
+        assert!(
+            ann.columns[0].abstained() || ann.columns[0].confidence < 0.7,
+            "OOD column should abstain or be unconfident: {:?} conf {}",
+            ann.columns[0].predicted,
+            ann.columns[0].confidence
+        );
+    }
+
+    #[test]
+    fn specific_type_beats_its_ancestor_on_close_votes() {
+        let st = system();
+        let o = st.ontology();
+        let city = builtin_id(o, "city");
+        let location = builtin_id(o, "location");
+        let mut top = vec![
+            Candidate { ty: location, confidence: 0.95 },
+            Candidate { ty: city, confidence: 0.88 },
+        ];
+        st.prefer_specific(&mut top);
+        assert_eq!(top[0].ty, city, "child within margin wins");
+        // A clear margin keeps the general type.
+        let mut top = vec![
+            Candidate { ty: location, confidence: 0.95 },
+            Candidate { ty: city, confidence: 0.5 },
+        ];
+        st.prefer_specific(&mut top);
+        assert_eq!(top[0].ty, location);
+        // Unrelated types never swap.
+        let salary = builtin_id(o, "salary");
+        let mut top = vec![
+            Candidate { ty: location, confidence: 0.9 },
+            Candidate { ty: salary, confidence: 0.89 },
+        ];
+        st.prefer_specific(&mut top);
+        assert_eq!(top[0].ty, location);
+    }
+
+    #[test]
+    fn tau_zero_never_abstains_on_candidates() {
+        let mut st = system();
+        st.config_mut().tau = 0.0;
+        let ann = st.annotate(&figure3_table());
+        assert!(ann.columns.iter().all(|c| !c.top_k.is_empty()));
+    }
+}

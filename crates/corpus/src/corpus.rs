@@ -1,0 +1,351 @@
+//! Corpus assembly: annotated tables with ground-truth column types.
+
+use crate::generators::generate_column_values;
+use crate::headers::{render_headers, HeaderStyle};
+use crate::ood::{generate_ood_column, OodKind, ALL_OOD_KINDS};
+use crate::params::GenParams;
+use crate::templates::{TableProfile, Template, TEMPLATES};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use tu_ontology::{Ontology, TypeId};
+use tu_table::{Column, Table};
+
+/// A table with ground-truth semantic type per column
+/// (`TypeId::UNKNOWN` marks injected OOD columns).
+#[derive(Debug, Clone)]
+pub struct AnnotatedTable {
+    /// The table itself.
+    pub table: Table,
+    /// One label per column, aligned with `table.columns()`.
+    pub labels: Vec<TypeId>,
+}
+
+impl AnnotatedTable {
+    /// Label of column `idx`.
+    #[must_use]
+    pub fn label(&self, idx: usize) -> TypeId {
+        self.labels[idx]
+    }
+}
+
+/// A generated corpus.
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    /// The annotated tables.
+    pub tables: Vec<AnnotatedTable>,
+}
+
+/// Configuration of a corpus generation run.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// RNG seed; everything downstream is deterministic in it.
+    pub seed: u64,
+    /// Number of tables.
+    pub n_tables: usize,
+    /// Structural profile (database-like vs web-like).
+    pub profile: TableProfile,
+    /// Value-generation parameters (shift knobs live here).
+    pub params: GenParams,
+    /// Probability that a table gets one extra out-of-distribution column.
+    pub ood_column_rate: f64,
+    /// Probability that a column's header is replaced by an uninformative
+    /// generic name (`field_3`, `c7`, …). Real enterprise schemas are full
+    /// of these; shift experiments use them to force the pipeline past
+    /// the header step.
+    pub opaque_header_rate: f64,
+}
+
+impl CorpusConfig {
+    /// A database-like corpus with default (training) parameters.
+    #[must_use]
+    pub fn database_like(seed: u64, n_tables: usize) -> Self {
+        CorpusConfig {
+            seed,
+            n_tables,
+            profile: TableProfile::DatabaseLike,
+            params: GenParams::train(),
+            ood_column_rate: 0.0,
+            opaque_header_rate: 0.0,
+        }
+    }
+
+    /// A web-like corpus with default (training) parameters.
+    #[must_use]
+    pub fn web_like(seed: u64, n_tables: usize) -> Self {
+        CorpusConfig {
+            seed,
+            n_tables,
+            profile: TableProfile::WebLike,
+            params: GenParams::train(),
+            ood_column_rate: 0.0,
+            opaque_header_rate: 0.0,
+        }
+    }
+}
+
+/// Generate a corpus from templates.
+#[must_use]
+pub fn generate_corpus(ontology: &Ontology, config: &CorpusConfig) -> Corpus {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let style = HeaderStyle::for_profile(config.profile);
+    let mut tables = Vec::with_capacity(config.n_tables);
+    for i in 0..config.n_tables {
+        let template = TEMPLATES.choose(&mut rng).expect("templates nonempty");
+        tables.push(generate_table(
+            ontology,
+            &mut rng,
+            template,
+            config,
+            &style,
+            i,
+        ));
+    }
+    Corpus { tables }
+}
+
+/// Generate one table from a specific template.
+#[must_use]
+pub fn generate_table(
+    ontology: &Ontology,
+    rng: &mut StdRng,
+    template: &Template,
+    config: &CorpusConfig,
+    style: &HeaderStyle,
+    index: usize,
+) -> AnnotatedTable {
+    // Choose column set: all required + a profile-dependent slice of optional.
+    let mut types: Vec<TypeId> = template
+        .required
+        .iter()
+        .map(|n| ontology.lookup_exact(n).expect("template type registered"))
+        .collect();
+    let (lo, hi) = config.profile.optional_fraction();
+    let frac = rng.random_range(lo..=hi);
+    let n_opt = (template.optional.len() as f64 * frac).round() as usize;
+    let mut optional: Vec<&&str> = template.optional.iter().collect();
+    optional.shuffle(rng);
+    for name in optional.into_iter().take(n_opt) {
+        types.push(ontology.lookup_exact(name).expect("template type registered"));
+    }
+
+    let (rlo, rhi) = config.profile.row_range();
+    let n_rows = rng.random_range(rlo..=rhi);
+
+    let mut labels = types.clone();
+    let mut columns: Vec<Column> = Vec::with_capacity(types.len() + 1);
+    let mut headers = render_headers(rng, ontology, &types, style);
+    // Replace a fraction of headers with uninformative generic names.
+    if config.opaque_header_rate > 0.0 {
+        for (i, h) in headers.iter_mut().enumerate() {
+            if rng.random_bool(config.opaque_header_rate.min(1.0)) {
+                *h = match rng.random_range(0..4) {
+                    0 => format!("field_{i}"),
+                    1 => format!("c{i}"),
+                    2 => format!("attr_{i}"),
+                    _ => format!("column_{i}"),
+                };
+            }
+        }
+    }
+
+    // Optionally append one OOD column.
+    let mut ood_kind: Option<OodKind> = None;
+    if config.ood_column_rate > 0.0 && rng.random_bool(config.ood_column_rate.min(1.0)) {
+        let kind = *ALL_OOD_KINDS.choose(rng).expect("ood kinds");
+        ood_kind = Some(kind);
+        labels.push(TypeId::UNKNOWN);
+        let mut h = kind.header().to_owned();
+        while headers.contains(&h) {
+            h.push('x');
+        }
+        headers.push(h);
+    }
+
+    for (t, h) in types.iter().zip(&headers) {
+        let values = generate_column_values(rng, ontology, *t, n_rows, &config.params);
+        columns.push(Column::new(h.clone(), values));
+    }
+    if let Some(kind) = ood_kind {
+        let values = generate_ood_column(rng, kind, n_rows);
+        columns.push(Column::new(headers.last().expect("ood header").clone(), values));
+    }
+
+    let table = Table::new(format!("{}_{index}", template.name), columns)
+        .expect("generated tables are rectangular with unique headers");
+    AnnotatedTable { table, labels }
+}
+
+impl Corpus {
+    /// Total number of labeled columns.
+    #[must_use]
+    pub fn n_columns(&self) -> usize {
+        self.tables.iter().map(|t| t.labels.len()).sum()
+    }
+
+    /// Iterate `(table, column index, label)` over all columns.
+    pub fn columns(&self) -> impl Iterator<Item = (&AnnotatedTable, usize, TypeId)> {
+        self.tables
+            .iter()
+            .flat_map(|t| t.labels.iter().enumerate().map(move |(i, &l)| (t, i, l)))
+    }
+
+    /// Deterministic table-level split into `(train, test)`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 < train_fraction < 1.0`.
+    #[must_use]
+    pub fn split(&self, train_fraction: f64, seed: u64) -> (Corpus, Corpus) {
+        assert!(
+            train_fraction > 0.0 && train_fraction < 1.0,
+            "train_fraction must be in (0,1)"
+        );
+        let mut idx: Vec<usize> = (0..self.tables.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        let cut = ((self.tables.len() as f64) * train_fraction).round() as usize;
+        let cut = cut.clamp(1, self.tables.len().saturating_sub(1).max(1));
+        let train = idx[..cut].iter().map(|&i| self.tables[i].clone()).collect();
+        let test = idx[cut..].iter().map(|&i| self.tables[i].clone()).collect();
+        (Corpus { tables: train }, Corpus { tables: test })
+    }
+
+    /// Count of columns per label, sorted descending.
+    #[must_use]
+    pub fn label_histogram(&self) -> Vec<(TypeId, usize)> {
+        let mut counts: std::collections::HashMap<TypeId, usize> =
+            std::collections::HashMap::new();
+        for (_, _, l) in self.columns() {
+            *counts.entry(l).or_insert(0) += 1;
+        }
+        let mut v: Vec<(TypeId, usize)> = counts.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tu_ontology::builtin_ontology;
+
+    fn corpus(seed: u64, n: usize) -> (Ontology, Corpus) {
+        let o = builtin_ontology();
+        let c = generate_corpus(&o, &CorpusConfig::database_like(seed, n));
+        (o, c)
+    }
+
+    #[test]
+    fn generates_requested_tables() {
+        let (_, c) = corpus(1, 20);
+        assert_eq!(c.tables.len(), 20);
+        assert!(c.n_columns() >= 20 * 3);
+        for t in &c.tables {
+            assert_eq!(t.table.n_cols(), t.labels.len());
+            assert!(t.table.n_rows() >= 40);
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let (_, a) = corpus(9, 5);
+        let (_, b) = corpus(9, 5);
+        for (ta, tb) in a.tables.iter().zip(&b.tables) {
+            assert_eq!(ta.table, tb.table);
+            assert_eq!(ta.labels, tb.labels);
+        }
+        let (_, c) = corpus(10, 5);
+        assert!(
+            a.tables.iter().zip(&c.tables).any(|(x, y)| x.table != y.table),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn web_vs_database_shapes() {
+        let o = builtin_ontology();
+        let db = generate_corpus(&o, &CorpusConfig::database_like(3, 30));
+        let web = generate_corpus(&o, &CorpusConfig::web_like(3, 30));
+        let avg_rows = |c: &Corpus| {
+            c.tables.iter().map(|t| t.table.n_rows()).sum::<usize>() as f64
+                / c.tables.len() as f64
+        };
+        let avg_cols = |c: &Corpus| {
+            c.tables.iter().map(|t| t.table.n_cols()).sum::<usize>() as f64
+                / c.tables.len() as f64
+        };
+        assert!(avg_rows(&db) > 4.0 * avg_rows(&web));
+        assert!(avg_cols(&db) > avg_cols(&web));
+    }
+
+    #[test]
+    fn ood_columns_injected_and_labeled_unknown() {
+        let o = builtin_ontology();
+        let mut cfg = CorpusConfig::database_like(4, 40);
+        cfg.ood_column_rate = 1.0;
+        let c = generate_corpus(&o, &cfg);
+        for t in &c.tables {
+            assert_eq!(
+                t.labels.iter().filter(|l| l.is_unknown()).count(),
+                1,
+                "exactly one OOD column per table at rate 1.0"
+            );
+        }
+    }
+
+    #[test]
+    fn split_partitions_tables() {
+        let (_, c) = corpus(5, 20);
+        let (train, test) = c.split(0.75, 99);
+        assert_eq!(train.tables.len() + test.tables.len(), 20);
+        assert_eq!(train.tables.len(), 15);
+        // Same seed → same split.
+        let (train2, _) = c.split(0.75, 99);
+        assert_eq!(
+            train.tables.iter().map(|t| &t.table.name).collect::<Vec<_>>(),
+            train2.tables.iter().map(|t| &t.table.name).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "train_fraction")]
+    fn split_rejects_bad_fraction() {
+        let (_, c) = corpus(5, 4);
+        let _ = c.split(1.5, 0);
+    }
+
+    #[test]
+    fn label_histogram_sums_to_columns() {
+        let (_, c) = corpus(6, 15);
+        let hist = c.label_histogram();
+        let total: usize = hist.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, c.n_columns());
+        assert!(hist.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn labels_align_with_plausible_values() {
+        // Spot-check: a city-labeled column contains known city names.
+        let (o, c) = corpus(7, 30);
+        let city = tu_ontology::builtin_id(&o, "city");
+        let mut checked = false;
+        for (t, i, l) in c.columns() {
+            if l == city {
+                let col = t.table.column(i).unwrap();
+                let texts = col.text_values();
+                if texts.is_empty() {
+                    continue;
+                }
+                let known = texts
+                    .iter()
+                    .filter(|v| tu_kb::data::CITIES.iter().any(|c| c == *v))
+                    .count();
+                assert!(
+                    known * 2 > texts.len(),
+                    "most city values should be from the dictionary"
+                );
+                checked = true;
+            }
+        }
+        assert!(checked, "corpus should contain at least one city column");
+    }
+}

@@ -1,0 +1,156 @@
+//! Header rendering: how a semantic type surfaces as a column name.
+//!
+//! Real headers vary in surface form (canonical names vs. aliases vs.
+//! abbreviations), casing convention, and decoration (`col_`, `_1`). The
+//! renderer reproduces that variety so the header-matching step has a
+//! realistic job to do.
+
+use crate::templates::TableProfile;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use tu_ontology::{Ontology, TypeId};
+use tu_text::{apply_case, CaseStyle};
+
+/// Header-noise options.
+#[derive(Debug, Clone, Copy)]
+pub struct HeaderStyle {
+    /// Probability of using an alias instead of the canonical name.
+    pub alias_rate: f64,
+    /// Probability of decorating the header (`col_x`, `x_1`).
+    pub decoration_rate: f64,
+    /// Case styles to draw from.
+    pub cases: &'static [CaseStyle],
+}
+
+impl HeaderStyle {
+    /// Style for a table profile.
+    #[must_use]
+    pub fn for_profile(profile: TableProfile) -> Self {
+        match profile {
+            TableProfile::DatabaseLike => HeaderStyle {
+                alias_rate: 0.45,
+                decoration_rate: 0.12,
+                cases: &[
+                    CaseStyle::Snake,
+                    CaseStyle::Snake,
+                    CaseStyle::Snake,
+                    CaseStyle::ScreamingSnake,
+                    CaseStyle::Camel,
+                    CaseStyle::Lower,
+                ],
+            },
+            TableProfile::WebLike => HeaderStyle {
+                alias_rate: 0.2,
+                decoration_rate: 0.0,
+                cases: &[CaseStyle::Title, CaseStyle::Title, CaseStyle::Pascal],
+            },
+        }
+    }
+}
+
+/// Render a header for `ty`, drawing surface form, casing, and decoration.
+#[must_use]
+pub fn render_header(
+    rng: &mut StdRng,
+    ontology: &Ontology,
+    ty: TypeId,
+    style: &HeaderStyle,
+) -> String {
+    let def = ontology.def(ty);
+    let surface: &str = if !def.aliases.is_empty() && rng.random_bool(style.alias_rate) {
+        def.aliases.choose(rng).expect("nonempty aliases")
+    } else {
+        &def.name
+    };
+    let tokens: Vec<&str> = surface.split(' ').collect();
+    let case = *style.cases.choose(rng).expect("nonempty cases");
+    let mut header = apply_case(&tokens, case);
+    if style.decoration_rate > 0.0 && rng.random_bool(style.decoration_rate) {
+        header = match rng.random_range(0..3) {
+            0 => format!("{header}_{}", rng.random_range(1..4)),
+            1 => format!("col_{header}"),
+            _ => format!("{header}2"),
+        };
+    }
+    header
+}
+
+/// Render headers for a whole column list, de-duplicating collisions by
+/// suffixing an index (tables must have unique headers).
+#[must_use]
+pub fn render_headers(
+    rng: &mut StdRng,
+    ontology: &Ontology,
+    types: &[TypeId],
+    style: &HeaderStyle,
+) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(types.len());
+    for &t in types {
+        let mut h = render_header(rng, ontology, t, style);
+        let mut i = 2;
+        while !seen.insert(h.clone()) {
+            h = format!("{h}_{i}");
+            i += 1;
+        }
+        out.push(h);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tu_ontology::{builtin_id, builtin_ontology};
+
+    #[test]
+    fn renders_vary_and_normalize_back() {
+        let o = builtin_ontology();
+        let salary = builtin_id(&o, "salary");
+        let mut rng = StdRng::seed_from_u64(5);
+        let style = HeaderStyle::for_profile(TableProfile::DatabaseLike);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..100 {
+            distinct.insert(render_header(&mut rng, &o, salary, &style));
+        }
+        assert!(distinct.len() > 3, "expected header variety, got {distinct:?}");
+    }
+
+    #[test]
+    fn weblike_headers_are_clean() {
+        let o = builtin_ontology();
+        let city = builtin_id(&o, "city");
+        let mut rng = StdRng::seed_from_u64(6);
+        let style = HeaderStyle::for_profile(TableProfile::WebLike);
+        for _ in 0..50 {
+            let h = render_header(&mut rng, &o, city, &style);
+            assert!(!h.contains('_'), "web headers should not be snake: {h}");
+        }
+    }
+
+    #[test]
+    fn deduplication() {
+        let o = builtin_ontology();
+        let city = builtin_id(&o, "city");
+        let mut rng = StdRng::seed_from_u64(7);
+        let style = HeaderStyle {
+            alias_rate: 0.0,
+            decoration_rate: 0.0,
+            cases: &[CaseStyle::Snake],
+        };
+        let headers = render_headers(&mut rng, &o, &[city, city, city], &style);
+        let set: std::collections::HashSet<&String> = headers.iter().collect();
+        assert_eq!(set.len(), 3, "headers must be unique: {headers:?}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let o = builtin_ontology();
+        let email = builtin_id(&o, "email");
+        let style = HeaderStyle::for_profile(TableProfile::DatabaseLike);
+        let a = render_header(&mut StdRng::seed_from_u64(8), &o, email, &style);
+        let b = render_header(&mut StdRng::seed_from_u64(8), &o, email, &style);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,118 @@
+//! Generation parameters: the knobs that create distribution shift.
+//!
+//! Figure 1 of the paper distinguishes covariate shift, label shift, and
+//! out-of-distribution data. Covariate shift is produced here by changing
+//! *how values look* for the same semantic type: different dictionary
+//! slices, different numeric scales/offsets, different surface formats,
+//! and typos.
+
+/// Which slice of an entity dictionary a generator may draw from.
+///
+/// Training on [`DictSlice::FirstHalf`] and evaluating on
+/// [`DictSlice::SecondHalf`] yields vocabulary-level covariate shift:
+/// same type, unseen values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DictSlice {
+    /// The whole dictionary.
+    All,
+    /// First half only.
+    FirstHalf,
+    /// Second half only.
+    SecondHalf,
+}
+
+impl DictSlice {
+    /// Apply the slice to a list.
+    #[must_use]
+    pub fn apply<T>(self, list: &[T]) -> &[T] {
+        let mid = list.len() / 2;
+        match self {
+            DictSlice::All => list,
+            DictSlice::FirstHalf => &list[..mid.max(1)],
+            DictSlice::SecondHalf => &list[mid.min(list.len().saturating_sub(1))..],
+        }
+    }
+}
+
+/// Parameters threaded through every value generator.
+#[derive(Debug, Clone, Copy)]
+pub struct GenParams {
+    /// Dictionary slice for textual types.
+    pub dict_slice: DictSlice,
+    /// Covariate-shift severity in `[0, 1]`: scales/offsets numeric
+    /// distributions and switches to rarer surface formats.
+    pub shift: f64,
+    /// Probability of a typo in a generated textual value.
+    pub typo_rate: f64,
+    /// Probability of a null cell.
+    pub null_rate: f64,
+}
+
+impl Default for GenParams {
+    fn default() -> Self {
+        GenParams {
+            dict_slice: DictSlice::All,
+            shift: 0.0,
+            typo_rate: 0.0,
+            null_rate: 0.02,
+        }
+    }
+}
+
+impl GenParams {
+    /// In-distribution training parameters.
+    #[must_use]
+    pub fn train() -> Self {
+        GenParams {
+            dict_slice: DictSlice::FirstHalf,
+            ..Self::default()
+        }
+    }
+
+    /// Covariate-shifted parameters at the given severity.
+    ///
+    /// Severity 0 equals the training distribution; severity 1 draws from
+    /// the unseen dictionary half with heavy format drift and typos.
+    #[must_use]
+    pub fn shifted(severity: f64) -> Self {
+        let severity = severity.clamp(0.0, 1.0);
+        GenParams {
+            dict_slice: if severity > 0.5 {
+                DictSlice::SecondHalf
+            } else {
+                DictSlice::All
+            },
+            shift: severity,
+            typo_rate: severity * 0.15,
+            null_rate: 0.02 + severity * 0.08,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slices() {
+        let list = [1, 2, 3, 4];
+        assert_eq!(DictSlice::All.apply(&list), &[1, 2, 3, 4]);
+        assert_eq!(DictSlice::FirstHalf.apply(&list), &[1, 2]);
+        assert_eq!(DictSlice::SecondHalf.apply(&list), &[3, 4]);
+        let one = [9];
+        assert_eq!(DictSlice::FirstHalf.apply(&one), &[9]);
+        assert_eq!(DictSlice::SecondHalf.apply(&one), &[9]);
+    }
+
+    #[test]
+    fn shifted_severity_monotone() {
+        let s0 = GenParams::shifted(0.0);
+        let s1 = GenParams::shifted(1.0);
+        assert!(s0.typo_rate < s1.typo_rate);
+        assert!(s0.null_rate < s1.null_rate);
+        assert_eq!(s0.dict_slice, DictSlice::All);
+        assert_eq!(s1.dict_slice, DictSlice::SecondHalf);
+        // Clamped.
+        assert_eq!(GenParams::shifted(7.0).shift, 1.0);
+    }
+}

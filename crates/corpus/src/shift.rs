@@ -1,0 +1,101 @@
+//! Shift scenario builders (paper Figure 1).
+//!
+//! Covariate shift is produced by [`crate::params::GenParams::shifted`];
+//! this module adds **label shift** (same values, different meaning in the
+//! customer's context) and **domain-restricted customer corpora** used by
+//! the adaptation experiments.
+
+use crate::corpus::{generate_table, AnnotatedTable, Corpus, CorpusConfig};
+use crate::headers::HeaderStyle;
+use crate::templates::TEMPLATES;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use tu_ontology::{Ontology, TypeId};
+
+/// Rewrite ground-truth labels: every column labeled `from` becomes
+/// labeled `to`. The *values are untouched* — that is precisely label
+/// shift (Fig. 1b): the same data means something else in this context.
+pub fn remap_labels(corpus: &mut Corpus, remap: &[(TypeId, TypeId)]) {
+    for t in &mut corpus.tables {
+        for l in &mut t.labels {
+            if let Some((_, to)) = remap.iter().find(|(from, _)| from == l) {
+                *l = *to;
+            }
+        }
+    }
+}
+
+/// Generate a customer-domain corpus drawn only from the named templates
+/// (a customer's tables cluster in one domain; §2.1 "one system does not
+/// fit every context").
+///
+/// # Panics
+/// Panics when no template matches any of the requested names.
+#[must_use]
+pub fn domain_corpus(
+    ontology: &Ontology,
+    config: &CorpusConfig,
+    template_names: &[&str],
+) -> Corpus {
+    let selected: Vec<_> = TEMPLATES
+        .iter()
+        .filter(|t| template_names.contains(&t.name))
+        .collect();
+    assert!(
+        !selected.is_empty(),
+        "no template matches {template_names:?}"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let style = HeaderStyle::for_profile(config.profile);
+    let tables: Vec<AnnotatedTable> = (0..config.n_tables)
+        .map(|i| {
+            let template = selected.choose(&mut rng).expect("nonempty");
+            generate_table(ontology, &mut rng, template, config, &style, i)
+        })
+        .collect();
+    Corpus { tables }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::generate_corpus;
+    use tu_ontology::{builtin_id, builtin_ontology};
+
+    #[test]
+    fn remap_changes_labels_not_values() {
+        let o = builtin_ontology();
+        let mut c = generate_corpus(&o, &CorpusConfig::database_like(1, 10));
+        let before: Vec<_> = c.tables.iter().map(|t| t.table.clone()).collect();
+        let id = builtin_id(&o, "identifier");
+        let phone = builtin_id(&o, "phone number");
+        remap_labels(&mut c, &[(id, phone)]);
+        assert!(c.columns().all(|(_, _, l)| l != id));
+        for (t, orig) in c.tables.iter().zip(&before) {
+            assert_eq!(&t.table, orig, "values must be untouched");
+        }
+    }
+
+    #[test]
+    fn domain_corpus_restricts_templates() {
+        let o = builtin_ontology();
+        let cfg = CorpusConfig::database_like(2, 12);
+        let c = domain_corpus(&o, &cfg, &["orders", "shipments"]);
+        assert_eq!(c.tables.len(), 12);
+        for t in &c.tables {
+            assert!(
+                t.table.name.starts_with("orders") || t.table.name.starts_with("shipments"),
+                "unexpected table {}",
+                t.table.name
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no template matches")]
+    fn domain_corpus_rejects_unknown_templates() {
+        let o = builtin_ontology();
+        let cfg = CorpusConfig::database_like(2, 3);
+        let _ = domain_corpus(&o, &cfg, &["no_such_domain"]);
+    }
+}

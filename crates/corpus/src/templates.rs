@@ -1,0 +1,219 @@
+//! Schema templates: realistic co-occurring column sets.
+//!
+//! Columns in real tables are correlated — an `order id` appears next to
+//! `quantity` and `price`, not next to `blood type`. Templates give the
+//! corpus this structure, which the DPBD co-occurrence labeling function
+//! (LF3 in paper Figure 3) and the table-context encoder both exploit.
+
+/// One schema template: a table-name stem, mandatory columns, and a pool
+/// of optional columns (referenced by canonical ontology type names).
+#[derive(Debug, Clone)]
+pub struct Template {
+    /// Table-name stem, e.g. `"orders"`.
+    pub name: &'static str,
+    /// Types always present.
+    pub required: &'static [&'static str],
+    /// Types sampled per table instance.
+    pub optional: &'static [&'static str],
+}
+
+/// All built-in schema templates.
+pub const TEMPLATES: &[Template] = &[
+    Template {
+        name: "employees",
+        required: &["identifier", "name", "email", "job title", "salary"],
+        optional: &[
+            "phone number", "birth date", "city", "country", "gender", "age", "boolean flag",
+            "team",
+        ],
+    },
+    Template {
+        name: "customers",
+        required: &["identifier", "first name", "last name", "email", "country"],
+        optional: &[
+            "phone number", "address", "city", "zip code", "state", "language", "username",
+            "gender",
+        ],
+    },
+    Template {
+        name: "orders",
+        required: &["order id", "date", "quantity", "price"],
+        optional: &[
+            "product", "sku", "status", "payment method", "discount", "currency code",
+            "revenue", "identifier",
+        ],
+    },
+    Template {
+        name: "products",
+        required: &["sku", "product", "price", "product category"],
+        optional: &["brand", "description", "quantity", "rating", "url", "boolean flag"],
+    },
+    Template {
+        name: "sensor_readings",
+        required: &["datetime", "temperature", "humidity"],
+        optional: &["identifier", "duration", "latitude", "longitude", "status"],
+    },
+    Template {
+        name: "patients",
+        required: &["identifier", "name", "birth date", "blood type"],
+        optional: &[
+            "age", "gender", "height", "weight", "heart rate", "phone number", "email",
+            "social security number", "nationality",
+        ],
+    },
+    Template {
+        name: "schedules",
+        required: &["weekday", "time", "status"],
+        optional: &["date", "duration", "description", "identifier", "location", "team"],
+    },
+    Template {
+        name: "transactions",
+        required: &["identifier", "datetime", "monetary amount", "currency code"],
+        optional: &["iban", "credit card number", "status", "payment method", "country code"],
+    },
+    Template {
+        name: "web_traffic",
+        required: &["url", "ip address", "datetime"],
+        optional: &["uuid", "domain name", "mime type", "file extension", "duration", "percentage"],
+    },
+    Template {
+        name: "locations",
+        required: &["city", "country", "latitude", "longitude"],
+        optional: &["continent", "country code", "zip code", "state", "percentage"],
+    },
+    Template {
+        name: "performance_reviews",
+        required: &["name", "job title", "rating", "date"],
+        optional: &["salary", "description", "status", "team", "year"],
+    },
+    Template {
+        name: "students",
+        required: &["identifier", "name", "school", "grade"],
+        optional: &["age", "email", "year", "percentage", "team", "birth date"],
+    },
+    Template {
+        name: "campaigns",
+        required: &["company", "revenue", "percentage"],
+        optional: &["brand", "url", "country", "status", "description", "year", "hex color"],
+    },
+    Template {
+        name: "shipments",
+        required: &["order id", "address", "city", "zip code", "status"],
+        optional: &["country", "date", "weight", "phone number", "identifier"],
+    },
+    Template {
+        name: "finance_summary",
+        required: &["year", "month", "revenue", "percentage"],
+        optional: &["monetary amount", "discount", "currency", "company", "description"],
+    },
+    Template {
+        name: "bookshelf",
+        required: &["isbn", "description", "language", "year"],
+        optional: &["rating", "price", "url", "status"],
+    },
+    Template {
+        name: "fleet",
+        required: &["identifier", "brand", "weight", "status"],
+        optional: &["year", "latitude", "longitude", "duration", "country code"],
+    },
+];
+
+/// Structural profile of generated tables: the paper's contrast between
+/// small/homogeneous *web* tables and large/heterogeneous *database*
+/// tables (§2.2, §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableProfile {
+    /// Enterprise/database-like: wide, long, messy snake-case headers,
+    /// abbreviations, nulls, format drift.
+    DatabaseLike,
+    /// Web-like: small, narrow, clean Title Case headers.
+    WebLike,
+}
+
+impl TableProfile {
+    /// Row-count range (inclusive) for the profile.
+    #[must_use]
+    pub fn row_range(self) -> (usize, usize) {
+        match self {
+            TableProfile::DatabaseLike => (40, 320),
+            TableProfile::WebLike => (5, 24),
+        }
+    }
+
+    /// How many optional columns to include, as a fraction range of the
+    /// optional pool.
+    #[must_use]
+    pub fn optional_fraction(self) -> (f64, f64) {
+        match self {
+            TableProfile::DatabaseLike => (0.4, 1.0),
+            TableProfile::WebLike => (0.0, 0.3),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tu_ontology::builtin_ontology;
+
+    #[test]
+    fn all_template_types_exist_in_ontology() {
+        let o = builtin_ontology();
+        for t in TEMPLATES {
+            for name in t.required.iter().chain(t.optional) {
+                assert!(
+                    o.lookup_exact(name).is_some(),
+                    "template {} references unknown type {name:?}",
+                    t.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn templates_are_plentiful_and_distinct() {
+        assert!(TEMPLATES.len() >= 14);
+        let mut names = std::collections::HashSet::new();
+        for t in TEMPLATES {
+            assert!(names.insert(t.name), "duplicate template {}", t.name);
+            assert!(t.required.len() >= 3, "{} too narrow", t.name);
+        }
+    }
+
+    #[test]
+    fn no_duplicate_types_within_a_template() {
+        for t in TEMPLATES {
+            let mut seen = std::collections::HashSet::new();
+            for name in t.required.iter().chain(t.optional) {
+                assert!(seen.insert(name), "template {} repeats {name}", t.name);
+            }
+        }
+    }
+
+    #[test]
+    fn profile_shapes() {
+        let (dlo, dhi) = TableProfile::DatabaseLike.row_range();
+        let (wlo, whi) = TableProfile::WebLike.row_range();
+        assert!(dlo > whi, "database tables must be larger than web tables");
+        assert!(dhi > dlo && whi > wlo);
+    }
+
+    #[test]
+    fn broad_type_coverage() {
+        // Templates should cover most of the ontology so the global model
+        // sees every type during pretraining.
+        let o = builtin_ontology();
+        let mut covered = std::collections::HashSet::new();
+        for t in TEMPLATES {
+            for name in t.required.iter().chain(t.optional) {
+                covered.insert(o.lookup_exact(name).unwrap());
+            }
+        }
+        let total = o.ids().count();
+        assert!(
+            covered.len() * 10 >= total * 8,
+            "templates cover {}/{total} types; need ≥80%",
+            covered.len()
+        );
+    }
+}

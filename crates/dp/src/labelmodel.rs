@@ -1,0 +1,292 @@
+//! Label model: reconcile conflicting weak votes into probabilistic labels.
+//!
+//! Implements the data-programming recipe the paper builds on (Ratner et
+//! al., NeurIPS'16 — reference [29]): a majority-vote baseline and a
+//! one-coin EM model that learns per-LF accuracies from agreement
+//! patterns, assuming conditional independence given the true label.
+
+use std::collections::HashMap;
+use tu_ontology::TypeId;
+
+/// One column's votes: `Some(type)` per LF or `None` for abstain.
+pub type VoteRow = Vec<Option<TypeId>>;
+
+/// A resolved weak label.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeakLabel {
+    /// Chosen type.
+    pub ty: TypeId,
+    /// Posterior probability / vote share in `[0, 1]`.
+    pub confidence: f64,
+}
+
+/// Majority vote with confidence = vote share; `None` when all abstain.
+#[must_use]
+pub fn majority_vote(row: &VoteRow) -> Option<WeakLabel> {
+    let mut counts: HashMap<TypeId, usize> = HashMap::new();
+    let mut total = 0usize;
+    for v in row.iter().flatten() {
+        *counts.entry(*v).or_insert(0) += 1;
+        total += 1;
+    }
+    if total == 0 {
+        return None;
+    }
+    let (&ty, &n) = counts
+        .iter()
+        .max_by_key(|(t, n)| (**n, std::cmp::Reverse(t.0)))
+        .expect("nonempty");
+    Some(WeakLabel {
+        ty,
+        confidence: n as f64 / total as f64,
+    })
+}
+
+/// The fitted one-coin label model.
+#[derive(Debug, Clone)]
+pub struct LabelModel {
+    /// Estimated accuracy per LF.
+    pub accuracies: Vec<f64>,
+    /// Effective number of label alternatives (for the error split).
+    pub cardinality: usize,
+}
+
+/// EM hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LabelModelConfig {
+    /// EM iterations.
+    pub iterations: usize,
+    /// Initial LF accuracy.
+    pub init_accuracy: f64,
+    /// Accuracy clamp (keeps EM away from degenerate 0/1).
+    pub clamp: (f64, f64),
+}
+
+impl Default for LabelModelConfig {
+    fn default() -> Self {
+        LabelModelConfig {
+            iterations: 15,
+            init_accuracy: 0.7,
+            clamp: (0.05, 0.95),
+        }
+    }
+}
+
+impl LabelModel {
+    /// Fit per-LF accuracies on an unlabeled vote matrix.
+    ///
+    /// # Panics
+    /// Panics when rows have inconsistent widths.
+    #[must_use]
+    pub fn fit(rows: &[VoteRow], config: &LabelModelConfig) -> Self {
+        let m = rows.first().map_or(0, Vec::len);
+        assert!(
+            rows.iter().all(|r| r.len() == m),
+            "vote rows must have equal width"
+        );
+        // Label space: all voted types.
+        let mut types: Vec<TypeId> = rows
+            .iter()
+            .flat_map(|r| r.iter().flatten().copied())
+            .collect();
+        types.sort_unstable();
+        types.dedup();
+        let cardinality = types.len().max(2);
+        let mut acc = vec![config.init_accuracy; m];
+
+        for _ in 0..config.iterations {
+            // E-step: posterior over types per row; M-step accumulators.
+            let mut correct = vec![0.0f64; m];
+            let mut voted = vec![0.0f64; m];
+            for row in rows {
+                let posterior = posterior_for_row(row, &acc, &types, cardinality);
+                if posterior.is_empty() {
+                    continue;
+                }
+                for (j, v) in row.iter().enumerate() {
+                    if let Some(t) = v {
+                        let p_correct = posterior
+                            .iter()
+                            .find(|(ty, _)| ty == t)
+                            .map_or(0.0, |(_, p)| *p);
+                        correct[j] += p_correct;
+                        voted[j] += 1.0;
+                    }
+                }
+            }
+            for j in 0..m {
+                if voted[j] > 0.0 {
+                    acc[j] = (correct[j] / voted[j]).clamp(config.clamp.0, config.clamp.1);
+                }
+            }
+        }
+        LabelModel {
+            accuracies: acc,
+            cardinality,
+        }
+    }
+
+    /// Resolve one vote row into a weak label; `None` when all abstain.
+    #[must_use]
+    pub fn resolve(&self, row: &VoteRow) -> Option<WeakLabel> {
+        let mut types: Vec<TypeId> = row.iter().flatten().copied().collect();
+        if types.is_empty() {
+            return None;
+        }
+        types.sort_unstable();
+        types.dedup();
+        let posterior = posterior_for_row(row, &self.accuracies, &types, self.cardinality);
+        posterior
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(b.0 .0.cmp(&a.0 .0)))
+            .map(|(ty, p)| WeakLabel { ty, confidence: p })
+    }
+}
+
+/// Posterior over candidate types for one row under the one-coin model.
+fn posterior_for_row(
+    row: &VoteRow,
+    acc: &[f64],
+    types: &[TypeId],
+    cardinality: usize,
+) -> Vec<(TypeId, f64)> {
+    let voted: Vec<(usize, TypeId)> = row
+        .iter()
+        .enumerate()
+        .filter_map(|(j, v)| v.map(|t| (j, t)))
+        .collect();
+    if voted.is_empty() {
+        return Vec::new();
+    }
+    let k = cardinality.max(2) as f64;
+    let mut scores: Vec<(TypeId, f64)> = types
+        .iter()
+        .map(|&t| {
+            // Log-likelihood of the votes given true label t.
+            let ll: f64 = voted
+                .iter()
+                .map(|&(j, v)| {
+                    let a = acc[j].clamp(1e-6, 1.0 - 1e-6);
+                    if v == t {
+                        a.ln()
+                    } else {
+                        ((1.0 - a) / (k - 1.0)).ln()
+                    }
+                })
+                .sum();
+            (t, ll)
+        })
+        .collect();
+    // Softmax-normalize the log-likelihoods.
+    let max = scores
+        .iter()
+        .map(|(_, s)| *s)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mut z = 0.0;
+    for (_, s) in &mut scores {
+        *s = (*s - max).exp();
+        z += *s;
+    }
+    for (_, s) in &mut scores {
+        *s /= z;
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: TypeId = TypeId(1);
+    const B: TypeId = TypeId(2);
+
+    #[test]
+    fn majority_vote_basics() {
+        assert_eq!(
+            majority_vote(&vec![Some(A), Some(A), Some(B)]),
+            Some(WeakLabel { ty: A, confidence: 2.0 / 3.0 })
+        );
+        assert_eq!(majority_vote(&vec![None, None]), None);
+        assert_eq!(majority_vote(&vec![]), None);
+        // Deterministic tie-break: lower TypeId wins.
+        let l = majority_vote(&vec![Some(B), Some(A)]).unwrap();
+        assert_eq!(l.ty, A);
+    }
+
+    /// Three LFs: two reliable, one adversarial (votes B when truth is A).
+    fn adversarial_votes(n: usize) -> Vec<VoteRow> {
+        let mut rows = Vec::new();
+        for i in 0..n {
+            // Truth alternates A/B; good LFs mostly right, bad LF inverted.
+            let truth = if i % 2 == 0 { A } else { B };
+            let flip = |t: TypeId| if t == A { B } else { A };
+            let good1 = if i % 10 < 9 { truth } else { flip(truth) };
+            let good2 = if i % 10 < 8 { truth } else { flip(truth) };
+            let bad = flip(truth);
+            rows.push(vec![Some(good1), Some(good2), Some(bad)]);
+        }
+        rows
+    }
+
+    #[test]
+    fn em_learns_lf_accuracies() {
+        let rows = adversarial_votes(200);
+        let model = LabelModel::fit(&rows, &LabelModelConfig::default());
+        assert!(
+            model.accuracies[0] > 0.8 && model.accuracies[1] > 0.7,
+            "good LFs should be trusted: {:?}",
+            model.accuracies
+        );
+        assert!(
+            model.accuracies[2] < 0.3,
+            "adversarial LF should be distrusted: {:?}",
+            model.accuracies
+        );
+    }
+
+    #[test]
+    fn em_resolution_beats_majority_on_adversarial_ties() {
+        // When good1 says A and bad says B and good2 abstains, majority is
+        // a 50/50 tie while EM trusts the reliable LF.
+        let rows = adversarial_votes(200);
+        let model = LabelModel::fit(&rows, &LabelModelConfig::default());
+        let tie: VoteRow = vec![Some(A), None, Some(B)];
+        let em = model.resolve(&tie).unwrap();
+        assert_eq!(em.ty, A);
+        assert!(em.confidence > 0.6);
+        let mv = majority_vote(&tie).unwrap();
+        assert!((mv.confidence - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resolve_abstains_when_all_abstain() {
+        let model = LabelModel::fit(&adversarial_votes(50), &LabelModelConfig::default());
+        assert_eq!(model.resolve(&vec![None, None, None]), None);
+    }
+
+    #[test]
+    fn posterior_sums_to_one() {
+        let rows = adversarial_votes(100);
+        let model = LabelModel::fit(&rows, &LabelModelConfig::default());
+        for row in rows.iter().take(10) {
+            let l = model.resolve(row).unwrap();
+            assert!((0.0..=1.0).contains(&l.confidence));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal width")]
+    fn ragged_rows_rejected() {
+        let rows = vec![vec![Some(A)], vec![Some(A), Some(B)]];
+        let _ = LabelModel::fit(&rows, &LabelModelConfig::default());
+    }
+
+    #[test]
+    fn unanimous_agreement_high_confidence() {
+        let rows: Vec<VoteRow> = (0..50).map(|_| vec![Some(A), Some(A), Some(A)]).collect();
+        let model = LabelModel::fit(&rows, &LabelModelConfig::default());
+        let l = model.resolve(&vec![Some(A), Some(A), Some(A)]).unwrap();
+        assert_eq!(l.ty, A);
+        assert!(l.confidence > 0.9);
+    }
+}

@@ -1,0 +1,220 @@
+//! The embedder: trained word vectors + subword hashing (FastText-like).
+
+use crate::hashing::{fnv1a, hash_vector};
+use crate::skipgram::{cosine, train, SkipGramConfig, SkipGramModel};
+use crate::vocab::Vocabulary;
+use tu_text::{char_ngrams, word_tokens};
+
+/// Word/phrase embedder combining trained skip-gram vectors with
+/// deterministic subword (character n-gram) hash vectors.
+///
+/// In-vocabulary words get `trained ⊕ subword` geometry; out-of-vocabulary
+/// words still embed via their n-grams, so `"e-mail"` lands near
+/// `"email"` — the OOV robustness FastText supplies in the paper.
+#[derive(Debug, Clone)]
+pub struct Embedder {
+    vocab: Vocabulary,
+    model: SkipGramModel,
+    dim: usize,
+    ngram_lo: usize,
+    ngram_hi: usize,
+    subword_weight: f32,
+}
+
+impl Embedder {
+    /// Train an embedder over token sequences.
+    #[must_use]
+    pub fn train(sequences: &[Vec<String>], config: &SkipGramConfig) -> Self {
+        let vocab = Vocabulary::build(sequences, 1);
+        let model = if vocab.is_empty() {
+            SkipGramModel {
+                dim: config.dim,
+                embeddings: Vec::new(),
+            }
+        } else {
+            train(&vocab, sequences, config)
+        };
+        Embedder {
+            vocab,
+            model,
+            dim: config.dim,
+            ngram_lo: 3,
+            ngram_hi: 4,
+            subword_weight: 0.15,
+        }
+    }
+
+    /// An untrained embedder: subword hashing only. Useful as a cold-start
+    /// fallback and in tests.
+    #[must_use]
+    pub fn untrained(dim: usize) -> Self {
+        Embedder {
+            vocab: Vocabulary::default(),
+            model: SkipGramModel {
+                dim,
+                embeddings: Vec::new(),
+            },
+            dim,
+            ngram_lo: 3,
+            ngram_hi: 4,
+            subword_weight: 1.0,
+        }
+    }
+
+    /// Embedding dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of trained vocabulary words.
+    #[must_use]
+    pub fn vocab_len(&self) -> usize {
+        self.vocab.len()
+    }
+
+    fn subword_vector(&self, word: &str) -> Vec<f32> {
+        let mut acc = vec![0.0f32; self.dim];
+        let mut count = 0usize;
+        for n in self.ngram_lo..=self.ngram_hi {
+            for g in char_ngrams(word, n) {
+                let hv = hash_vector(fnv1a(g.as_bytes()), self.dim);
+                for (a, h) in acc.iter_mut().zip(&hv) {
+                    *a += h;
+                }
+                count += 1;
+            }
+        }
+        if count > 0 {
+            for a in &mut acc {
+                *a /= count as f32;
+            }
+        }
+        acc
+    }
+
+    /// Embed a single word (lowercased).
+    ///
+    /// In-vocabulary words are dominated by their trained vector (the
+    /// subword component only adds a small spelling-robustness term);
+    /// out-of-vocabulary words fall back to pure subword hashing.
+    #[must_use]
+    pub fn word_vector(&self, word: &str) -> Vec<f32> {
+        let word = word.to_lowercase();
+        let mut v = self.subword_vector(&word);
+        if let Some(idx) = self.vocab.get(&word) {
+            for x in &mut v {
+                *x *= self.subword_weight;
+            }
+            let trained = self.model.vector(idx);
+            for (a, t) in v.iter_mut().zip(trained) {
+                *a += t;
+            }
+        }
+        v
+    }
+
+    /// Embed a phrase: mean of word vectors over its tokens.
+    #[must_use]
+    pub fn phrase_vector(&self, phrase: &str) -> Vec<f32> {
+        let tokens = word_tokens(phrase);
+        if tokens.is_empty() {
+            return vec![0.0; self.dim];
+        }
+        let mut acc = vec![0.0f32; self.dim];
+        for t in &tokens {
+            let v = self.word_vector(t);
+            for (a, x) in acc.iter_mut().zip(&v) {
+                *a += x;
+            }
+        }
+        for a in &mut acc {
+            *a /= tokens.len() as f32;
+        }
+        acc
+    }
+
+    /// Cosine similarity between two phrases.
+    #[must_use]
+    pub fn similarity(&self, a: &str, b: &str) -> f32 {
+        cosine(&self.phrase_vector(a), &self.phrase_vector(b))
+    }
+
+    /// Rank `candidates` by similarity to `query`, best first.
+    #[must_use]
+    pub fn rank<'a>(&self, query: &str, candidates: &[&'a str]) -> Vec<(&'a str, f32)> {
+        let qv = self.phrase_vector(query);
+        let mut scored: Vec<(&str, f32)> = candidates
+            .iter()
+            .map(|c| (*c, cosine(&qv, &self.phrase_vector(c))))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(b.0)));
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained() -> Embedder {
+        let mut seqs: Vec<Vec<String>> = Vec::new();
+        let money = ["salary", "income", "wage", "pay"];
+        let place = ["city", "town", "location"];
+        for i in 0..150 {
+            let m = money[i % money.len()];
+            let p = place[i % place.len()];
+            seqs.push(["monthly", m, "gross", "amount"].iter().map(|s| (*s).to_string()).collect());
+            seqs.push(["office", p, "branch", "site"].iter().map(|s| (*s).to_string()).collect());
+        }
+        Embedder::train(&seqs, &SkipGramConfig::default())
+    }
+
+    #[test]
+    fn synonyms_beat_unrelated() {
+        let e = trained();
+        assert!(e.similarity("salary", "income") > e.similarity("salary", "city"));
+    }
+
+    #[test]
+    fn oov_words_embed_via_subwords() {
+        let e = trained();
+        let v = e.word_vector("e-mail");
+        assert!(v.iter().any(|x| *x != 0.0));
+        // Similar spellings are geometrically close even untrained.
+        let u = Embedder::untrained(32);
+        assert!(u.similarity("email", "e-mail") > u.similarity("email", "latitude"));
+    }
+
+    #[test]
+    fn phrase_embedding_and_empty() {
+        let e = Embedder::untrained(16);
+        let v = e.phrase_vector("first name");
+        assert_eq!(v.len(), 16);
+        let empty = e.phrase_vector("");
+        assert!(empty.iter().all(|x| *x == 0.0));
+        assert_eq!(e.similarity("", "anything"), 0.0);
+    }
+
+    #[test]
+    fn ranking_orders_by_similarity() {
+        let e = trained();
+        let ranked = e.rank("income", &["city", "salary", "town"]);
+        assert_eq!(ranked[0].0, "salary");
+        assert!(ranked[0].1 >= ranked[1].1 && ranked[1].1 >= ranked[2].1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = trained();
+        let b = trained();
+        assert_eq!(a.word_vector("salary"), b.word_vector("salary"));
+    }
+
+    #[test]
+    fn untrained_has_no_vocab() {
+        let u = Embedder::untrained(8);
+        assert_eq!(u.vocab_len(), 0);
+        assert_eq!(u.dim(), 8);
+    }
+}

@@ -1,0 +1,76 @@
+//! Hashing utilities: FNV-1a and deterministic pseudo-random vectors.
+
+/// FNV-1a 64-bit hash of a byte string.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 step: turns a hash into a stream of well-mixed u64s.
+#[must_use]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic unit-scaled pseudo-random vector derived from a seed
+/// hash. Out-of-vocabulary subwords get stable directions this way, so
+/// unseen-but-similar spellings share geometry without any training.
+#[must_use]
+pub fn hash_vector(seed: u64, dim: usize) -> Vec<f32> {
+    let mut state = seed;
+    let mut v: Vec<f32> = (0..dim)
+        .map(|_| {
+            // Map to (-1, 1).
+            let u = splitmix64(&mut state);
+            (u as f64 / u64::MAX as f64 * 2.0 - 1.0) as f32
+        })
+        .collect();
+    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in &mut v {
+            *x /= norm;
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_values() {
+        // FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a(b"abc"), fnv1a(b"acb"));
+    }
+
+    #[test]
+    fn hash_vectors_unit_norm_and_stable() {
+        let a = hash_vector(42, 16);
+        let b = hash_vector(42, 16);
+        assert_eq!(a, b);
+        let norm: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+        let c = hash_vector(43, 16);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn splitmix_progresses() {
+        let mut s = 1u64;
+        let a = splitmix64(&mut s);
+        let b = splitmix64(&mut s);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,19 @@
+//! # tu-embed
+//!
+//! The FastText substitute (see DESIGN.md): subword (character n-gram)
+//! hashing embeddings combined with a from-scratch skip-gram/negative-
+//! sampling trainer. Supplies the two properties the paper's semantic
+//! header-matching step needs — synonym geometry ("salary" ≈ "income")
+//! learned from co-occurrence, and out-of-vocabulary robustness from
+//! subwords.
+
+#![warn(missing_docs)]
+
+pub mod embedder;
+pub mod hashing;
+pub mod skipgram;
+pub mod vocab;
+
+pub use embedder::Embedder;
+pub use skipgram::{cosine, train, SkipGramConfig, SkipGramModel};
+pub use vocab::Vocabulary;

@@ -1,0 +1,238 @@
+//! Skip-gram with negative sampling (SGNS), trained from scratch.
+//!
+//! The paper computes semantic header similarity with FastText vectors
+//! (§4.3). We train the same objective on header/type co-occurrence
+//! streams from the corpus; combined with subword hashing in
+//! [`crate::embedder`] this reproduces the two properties the pipeline
+//! needs — synonym geometry and OOV robustness.
+
+use crate::vocab::Vocabulary;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SkipGramConfig {
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Context window radius.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Initial learning rate (linearly decayed to 10%).
+    pub lr: f32,
+    /// Epochs over the sequence set.
+    pub epochs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SkipGramConfig {
+    fn default() -> Self {
+        SkipGramConfig {
+            dim: 32,
+            window: 4,
+            negatives: 4,
+            lr: 0.05,
+            epochs: 8,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Trained input-side embeddings (one row per vocabulary token).
+#[derive(Debug, Clone)]
+pub struct SkipGramModel {
+    /// Dimensionality.
+    pub dim: usize,
+    /// Row-major `vocab_len × dim` input embeddings.
+    pub embeddings: Vec<f32>,
+}
+
+impl SkipGramModel {
+    /// Vector of token index `i`.
+    #[must_use]
+    pub fn vector(&self, i: usize) -> &[f32] {
+        &self.embeddings[i * self.dim..(i + 1) * self.dim]
+    }
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Train SGNS over interned token sequences.
+///
+/// # Panics
+/// Panics when the vocabulary is empty.
+#[must_use]
+#[allow(clippy::needless_range_loop)] // window indices compared against `i`
+pub fn train(
+    vocab: &Vocabulary,
+    sequences: &[Vec<String>],
+    config: &SkipGramConfig,
+) -> SkipGramModel {
+    assert!(!vocab.is_empty(), "cannot train on an empty vocabulary");
+    let dim = config.dim;
+    let n = vocab.len();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    // Small symmetric init.
+    let mut w_in: Vec<f32> = (0..n * dim)
+        .map(|_| (rng.random::<f32>() - 0.5) / dim as f32)
+        .collect();
+    let mut w_out: Vec<f32> = vec![0.0; n * dim];
+
+    // Pre-intern sequences once.
+    let interned: Vec<Vec<usize>> = sequences
+        .iter()
+        .map(|seq| seq.iter().filter_map(|t| vocab.get(t)).collect())
+        .filter(|s: &Vec<usize>| s.len() >= 2)
+        .collect();
+    let total_steps = (config.epochs * interned.len()).max(1);
+    let mut step = 0usize;
+
+    let mut grad = vec![0.0f32; dim];
+    for _epoch in 0..config.epochs {
+        for seq in &interned {
+            step += 1;
+            let progress = step as f32 / total_steps as f32;
+            let lr = config.lr * (1.0 - 0.9 * progress);
+            for (i, &center) in seq.iter().enumerate() {
+                let lo = i.saturating_sub(config.window);
+                let hi = (i + config.window + 1).min(seq.len());
+                for j in lo..hi {
+                    if j == i {
+                        continue;
+                    }
+                    let context = seq[j];
+                    // Positive update + k negatives.
+                    grad.iter_mut().for_each(|g| *g = 0.0);
+                    for k in 0..=config.negatives {
+                        let (target, label) = if k == 0 {
+                            (context, 1.0f32)
+                        } else {
+                            (vocab.sample_negative(rng.random::<f64>()), 0.0f32)
+                        };
+                        if label == 0.0 && target == context {
+                            continue;
+                        }
+                        let dot: f32 = (0..dim)
+                            .map(|d| w_in[center * dim + d] * w_out[target * dim + d])
+                            .sum();
+                        let g = (sigmoid(dot) - label) * lr;
+                        for d in 0..dim {
+                            grad[d] += g * w_out[target * dim + d];
+                            w_out[target * dim + d] -= g * w_in[center * dim + d];
+                        }
+                    }
+                    for d in 0..dim {
+                        w_in[center * dim + d] -= grad[d];
+                    }
+                }
+            }
+        }
+    }
+    // Mean-center the trained vectors ("all-but-the-top"): under-trained
+    // embeddings share a common drift direction that inflates cosine
+    // similarity between unrelated words.
+    let mut mean = vec![0.0f32; dim];
+    for i in 0..n {
+        for d in 0..dim {
+            mean[d] += w_in[i * dim + d];
+        }
+    }
+    for m in &mut mean {
+        *m /= n as f32;
+    }
+    for i in 0..n {
+        for d in 0..dim {
+            w_in[i * dim + d] -= mean[d];
+        }
+    }
+    SkipGramModel {
+        dim,
+        embeddings: w_in,
+    }
+}
+
+/// Cosine similarity of two vectors (0 when either is zero).
+#[must_use]
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic co-occurrence corpus: {salary, income, wage} share
+    /// contexts; {city, town} share different contexts.
+    fn corpus() -> Vec<Vec<String>> {
+        let mut seqs = Vec::new();
+        let money = ["salary", "income", "wage"];
+        let place = ["city", "town", "municipality"];
+        for i in 0..120 {
+            let m = money[i % 3];
+            let p = place[i % 3];
+            seqs.push(
+                ["employee", m, "amount", "per", "year"]
+                    .iter()
+                    .map(|s| (*s).to_string())
+                    .collect(),
+            );
+            seqs.push(
+                ["office", p, "location", "region"]
+                    .iter()
+                    .map(|s| (*s).to_string())
+                    .collect(),
+            );
+        }
+        seqs
+    }
+
+    #[test]
+    fn synonyms_cluster_after_training() {
+        let seqs = corpus();
+        let vocab = Vocabulary::build(&seqs, 1);
+        let model = train(&vocab, &seqs, &SkipGramConfig::default());
+        let v = |t: &str| model.vector(vocab.get(t).unwrap()).to_vec();
+        let same = cosine(&v("salary"), &v("income"));
+        let cross = cosine(&v("salary"), &v("city"));
+        assert!(
+            same > cross + 0.2,
+            "synonyms should be closer: same={same:.3} cross={cross:.3}"
+        );
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let seqs = corpus();
+        let vocab = Vocabulary::build(&seqs, 1);
+        let a = train(&vocab, &seqs, &SkipGramConfig::default());
+        let b = train(&vocab, &seqs, &SkipGramConfig::default());
+        assert_eq!(a.embeddings, b.embeddings);
+    }
+
+    #[test]
+    fn cosine_properties() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert!((cosine(&[1.0, 1.0], &[2.0, 2.0]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty vocabulary")]
+    fn empty_vocab_panics() {
+        let vocab = Vocabulary::build::<&str>(&[], 1);
+        let _ = train(&vocab, &[], &SkipGramConfig::default());
+    }
+}

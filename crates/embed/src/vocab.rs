@@ -1,0 +1,159 @@
+//! Vocabulary: token interning with frequency-based negative sampling.
+
+use std::collections::HashMap;
+
+/// A token vocabulary built from training sequences.
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    tokens: Vec<String>,
+    counts: Vec<u64>,
+    index: HashMap<String, usize>,
+    /// Cumulative unigram^0.75 distribution for negative sampling.
+    sampling_cdf: Vec<f64>,
+}
+
+impl Vocabulary {
+    /// Build from sequences, keeping tokens with at least `min_count`
+    /// occurrences.
+    #[must_use]
+    pub fn build<S: AsRef<str>>(sequences: &[Vec<S>], min_count: u64) -> Self {
+        let mut counts: HashMap<&str, u64> = HashMap::new();
+        for seq in sequences {
+            for t in seq {
+                *counts.entry(t.as_ref()).or_insert(0) += 1;
+            }
+        }
+        let mut items: Vec<(&str, u64)> = counts
+            .into_iter()
+            .filter(|(_, c)| *c >= min_count)
+            .collect();
+        // Deterministic order: by count desc, then lexicographic.
+        items.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        let mut v = Vocabulary::default();
+        for (t, c) in items {
+            v.index.insert(t.to_owned(), v.tokens.len());
+            v.tokens.push(t.to_owned());
+            v.counts.push(c);
+        }
+        v.rebuild_cdf();
+        v
+    }
+
+    fn rebuild_cdf(&mut self) {
+        let mut acc = 0.0;
+        self.sampling_cdf = self
+            .counts
+            .iter()
+            .map(|&c| {
+                acc += (c as f64).powf(0.75);
+                acc
+            })
+            .collect();
+    }
+
+    /// Number of tokens.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// `true` when no token survived `min_count`.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Index of a token.
+    #[must_use]
+    pub fn get(&self, token: &str) -> Option<usize> {
+        self.index.get(token).copied()
+    }
+
+    /// Token at an index.
+    #[must_use]
+    pub fn token(&self, idx: usize) -> &str {
+        &self.tokens[idx]
+    }
+
+    /// Occurrence count at an index.
+    #[must_use]
+    pub fn count(&self, idx: usize) -> u64 {
+        self.counts[idx]
+    }
+
+    /// All tokens in index order.
+    #[must_use]
+    pub fn tokens(&self) -> &[String] {
+        &self.tokens
+    }
+
+    /// Sample a token index from the unigram^0.75 distribution given a
+    /// uniform draw `u ∈ [0, 1)`.
+    #[must_use]
+    pub fn sample_negative(&self, u: f64) -> usize {
+        let total = *self.sampling_cdf.last().expect("nonempty vocab");
+        let target = u.clamp(0.0, 0.999_999) * total;
+        self.sampling_cdf
+            .partition_point(|&acc| acc <= target)
+            .min(self.tokens.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seqs() -> Vec<Vec<&'static str>> {
+        vec![
+            vec!["salary", "income", "salary"],
+            vec!["salary", "city"],
+            vec!["rare"],
+        ]
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let v = Vocabulary::build(&seqs(), 1);
+        assert_eq!(v.len(), 4);
+        let s = v.get("salary").unwrap();
+        assert_eq!(v.token(s), "salary");
+        assert_eq!(v.count(s), 3);
+        assert_eq!(s, 0, "most frequent token gets index 0");
+        assert!(v.get("nope").is_none());
+    }
+
+    #[test]
+    fn min_count_filters() {
+        let v = Vocabulary::build(&seqs(), 2);
+        assert!(v.get("rare").is_none());
+        assert!(v.get("salary").is_some());
+    }
+
+    #[test]
+    fn deterministic_ordering() {
+        let a = Vocabulary::build(&seqs(), 1);
+        let b = Vocabulary::build(&seqs(), 1);
+        assert_eq!(a.tokens(), b.tokens());
+    }
+
+    #[test]
+    fn negative_sampling_covers_and_biases() {
+        let v = Vocabulary::build(&seqs(), 1);
+        let mut counts = vec![0usize; v.len()];
+        let n = 10_000;
+        for i in 0..n {
+            let u = i as f64 / n as f64;
+            counts[v.sample_negative(u)] += 1;
+        }
+        // Every token reachable; frequent token sampled most.
+        assert!(counts.iter().all(|&c| c > 0));
+        let salary = v.get("salary").unwrap();
+        assert_eq!(
+            counts.iter().enumerate().max_by_key(|(_, c)| **c).map(|(i, _)| i),
+            Some(salary)
+        );
+        // Edge draws do not panic.
+        let _ = v.sample_negative(0.0);
+        let _ = v.sample_negative(1.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Property tests: embedding geometry invariants.
+
+use proptest::prelude::*;
+use tu_embed::{cosine, Embedder};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cosine_bounded_and_symmetric(
+        a in prop::collection::vec(-10.0f32..10.0, 1..16),
+        b in prop::collection::vec(-10.0f32..10.0, 1..16),
+    ) {
+        let n = a.len().min(b.len());
+        let c = cosine(&a[..n], &b[..n]);
+        prop_assert!((-1.0 - 1e-5..=1.0 + 1e-5).contains(&c));
+        prop_assert!((c - cosine(&b[..n], &a[..n])).abs() < 1e-6);
+    }
+
+    #[test]
+    fn word_vectors_deterministic_and_case_insensitive(w in "[a-zA-Z]{1,12}") {
+        let e = Embedder::untrained(16);
+        prop_assert_eq!(e.word_vector(&w), e.word_vector(&w));
+        prop_assert_eq!(e.word_vector(&w), e.word_vector(&w.to_uppercase()));
+    }
+
+    #[test]
+    fn self_similarity_is_maximal(w in "[a-z]{2,10}") {
+        let e = Embedder::untrained(16);
+        let s = e.similarity(&w, &w);
+        prop_assert!((s - 1.0).abs() < 1e-5, "self-similarity {s}");
+    }
+
+    #[test]
+    fn phrase_vector_has_fixed_dim(p in "[a-z ]{0,30}", dim in 4usize..64) {
+        let e = Embedder::untrained(dim);
+        prop_assert_eq!(e.phrase_vector(&p).len(), dim);
+    }
+}

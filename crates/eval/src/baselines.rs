@@ -1,0 +1,182 @@
+//! Baseline systems for experiment E7.
+//!
+//! * [`SherlockBaseline`] — a single-shot learned model over values-only
+//!   features (Sherlock, KDD'19 — reference [19]); no header, no
+//!   cascade, no adaptation, no abstention.
+//! * [`RegexDictBaseline`] — the "commercial data systems" baseline the
+//!   paper describes (§1: "simpler methods like regular expression
+//!   matching for detecting a limited set of semantic types"): exact
+//!   header lookup plus dictionary/regex value matching.
+
+use sigmatyper::{RegexBank, SigmaTyperConfig, ValueLookup};
+use tu_corpus::Corpus;
+use tu_embed::Embedder;
+use tu_features::{FeatureConfig, FeatureExtractor};
+use tu_kb::KnowledgeBase;
+use tu_ml::{Dataset, Mlp, MlpConfig, StandardScaler};
+use tu_ontology::{Ontology, TypeId};
+use tu_table::Table;
+
+/// Sherlock-like values-only classifier.
+#[derive(Debug, Clone)]
+pub struct SherlockBaseline {
+    extractor: FeatureExtractor,
+    scaler: StandardScaler,
+    mlp: Mlp,
+}
+
+impl SherlockBaseline {
+    /// Train on an annotated corpus (OOD columns train class 0 too, for
+    /// parity with the system's background class).
+    #[must_use]
+    pub fn train(ontology: &Ontology, corpus: &Corpus, hidden: usize, epochs: usize) -> Self {
+        let extractor = FeatureExtractor::new(
+            Embedder::untrained(16),
+            FeatureConfig {
+                header_embedding: false,
+                ..FeatureConfig::default()
+            },
+        );
+        let mut x = Vec::with_capacity(corpus.n_columns());
+        let mut y = Vec::with_capacity(corpus.n_columns());
+        for at in &corpus.tables {
+            for (ci, col) in at.table.columns().iter().enumerate() {
+                x.push(extractor.extract(col));
+                y.push(at.labels[ci].index());
+            }
+        }
+        let scaler = StandardScaler::fit(&x);
+        for v in &mut x {
+            scaler.transform_inplace(v);
+        }
+        let ds = Dataset::new(x, y, ontology.len());
+        let mut mlp = Mlp::new(
+            ds.dim(),
+            ds.n_classes,
+            MlpConfig {
+                hidden,
+                epochs,
+                ..MlpConfig::default()
+            },
+        );
+        mlp.fit(&ds);
+        SherlockBaseline {
+            extractor,
+            scaler,
+            mlp,
+        }
+    }
+
+    /// Predict every column of a table (never abstains; argmax class).
+    #[must_use]
+    pub fn predict_table(&self, table: &Table) -> Vec<TypeId> {
+        table
+            .columns()
+            .iter()
+            .map(|col| {
+                let mut f = self.extractor.extract(col);
+                self.scaler.transform_inplace(&mut f);
+                let (class, _) = self.mlp.predict(&f);
+                TypeId(class as u16)
+            })
+            .collect()
+    }
+}
+
+/// Commercial-style exact-header + regex/dictionary matcher.
+#[derive(Debug, Clone)]
+pub struct RegexDictBaseline {
+    lookup: ValueLookup,
+    config: SigmaTyperConfig,
+    /// Minimum lookup confidence to emit a label.
+    pub min_confidence: f64,
+}
+
+impl RegexDictBaseline {
+    /// Build over the built-in knowledge base and regex bank.
+    #[must_use]
+    pub fn new(ontology: &Ontology) -> Self {
+        RegexDictBaseline {
+            lookup: ValueLookup::new(
+                KnowledgeBase::builtin(ontology),
+                RegexBank::builtin(ontology),
+            ),
+            config: SigmaTyperConfig::default(),
+            min_confidence: 0.6,
+        }
+    }
+
+    /// Predict every column: exact normalized-header hit wins, else the
+    /// best dictionary/regex lookup above the confidence floor, else
+    /// abstain.
+    #[must_use]
+    pub fn predict_table(&self, ontology: &Ontology, table: &Table) -> Vec<TypeId> {
+        table
+            .columns()
+            .iter()
+            .map(|col| {
+                let normalized = tu_text::normalize_header(&col.name);
+                if let Some(ty) = ontology.lookup_exact(&normalized) {
+                    return ty;
+                }
+                let scores = self.lookup.lookup(col, &normalized, &[], &[], &self.config);
+                match scores.best() {
+                    Some(c) if c.confidence >= self.min_confidence => c.ty,
+                    _ => TypeId::UNKNOWN,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lab::score_predictions;
+    use tu_corpus::{generate_corpus, CorpusConfig};
+    use tu_ontology::builtin_ontology;
+
+    #[test]
+    fn sherlock_learns_something() {
+        let o = builtin_ontology();
+        let train = generate_corpus(&o, &CorpusConfig::database_like(61, 50));
+        let test = generate_corpus(&o, &CorpusConfig::database_like(62, 10));
+        let model = SherlockBaseline::train(&o, &train, 24, 8);
+        let preds: Vec<Vec<TypeId>> = test
+            .tables
+            .iter()
+            .map(|t| model.predict_table(&t.table))
+            .collect();
+        let stats = score_predictions(&test, &preds);
+        assert!(
+            stats.accuracy() > 0.3,
+            "values-only baseline should beat chance by far: {:.3}",
+            stats.accuracy()
+        );
+        // Never abstains.
+        assert!((stats.coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regexdict_is_high_precision_low_coverage() {
+        let o = builtin_ontology();
+        let test = generate_corpus(&o, &CorpusConfig::database_like(63, 15));
+        let baseline = RegexDictBaseline::new(&o);
+        let preds: Vec<Vec<TypeId>> = test
+            .tables
+            .iter()
+            .map(|t| baseline.predict_table(&o, &t.table))
+            .collect();
+        let stats = score_predictions(&test, &preds);
+        assert!(
+            stats.precision() > 0.75,
+            "rule baseline should be precise: {:.3}",
+            stats.precision()
+        );
+        assert!(
+            stats.coverage() < 0.95,
+            "rule baseline cannot label everything: {:.3}",
+            stats.coverage()
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! E3 — Out-of-distribution detection (paper Fig. 1c, §2.3, §4.3).
+//!
+//! "To detect out-of-distribution samples we train the model on a
+//! background dataset and add the semantic type `unknown`." We compare
+//! that background-class detector against the max-softmax-probability
+//! (MSP) baseline of a model trained *without* background data, and
+//! report the system-level abstention quality.
+
+use crate::lab::{evaluate, EvalStats, Lab};
+use crate::report::{f3, pct, Report};
+use sigmatyper::train_embedding_model;
+use tu_corpus::{generate_corpus, CorpusConfig};
+use tu_ml::{auroc, fpr_at_tpr};
+
+/// Detector-level and system-level OOD results.
+#[derive(Debug, Clone)]
+pub struct E3Result {
+    /// AUROC of the background-class detector.
+    pub background_auroc: f64,
+    /// AUROC of the MSP baseline (no background training).
+    pub msp_auroc: f64,
+    /// FPR at 95% TPR, background-class detector.
+    pub background_fpr95: f64,
+    /// FPR at 95% TPR, MSP baseline.
+    pub msp_fpr95: f64,
+    /// Fraction of OOD columns the full system abstains on.
+    pub ood_abstention: f64,
+    /// System stats on the mixed corpus.
+    pub system: EvalStats,
+    /// Rendered table.
+    pub report: Report,
+}
+
+/// Run E3.
+#[must_use]
+pub fn run(lab: &Lab) -> E3Result {
+    let ontology = &lab.global.ontology;
+
+    // Mixed evaluation corpus: roughly one OOD column per table.
+    let mut cfg = CorpusConfig::database_like(0xE3_01, lab.scale.eval_tables());
+    cfg.ood_column_rate = 0.9;
+    let mixed = generate_corpus(ontology, &cfg);
+
+    // Baseline model trained WITHOUT background data.
+    let mut clean_cfg = CorpusConfig::database_like(0xE3_02, lab.scale.pretrain_tables());
+    clean_cfg.ood_column_rate = 0.0;
+    let clean = generate_corpus(ontology, &clean_cfg);
+    let msp_model =
+        train_embedding_model(ontology, &clean, &lab.global.embedder, &lab.scale.training());
+
+    // Score every column with both detectors (higher = more OOD).
+    let mut bg_scores = Vec::new();
+    let mut msp_scores = Vec::new();
+    let mut labels = Vec::new();
+    for at in &mixed.tables {
+        let headers = at.table.headers();
+        for (ci, col) in at.table.columns().iter().enumerate() {
+            let neighbors: Vec<&str> = headers
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != ci)
+                .map(|(_, h)| *h)
+                .collect();
+            bg_scores.push(lab.global.embedding.unknown_probability(col, &neighbors));
+            // MSP: OOD score = 1 - max class probability.
+            let scores = msp_model.predict(col, &neighbors);
+            msp_scores.push(1.0 - scores.best_confidence());
+            labels.push(at.labels[ci].is_unknown());
+        }
+    }
+    let background_auroc = auroc(&bg_scores, &labels);
+    let msp_auroc = auroc(&msp_scores, &labels);
+    let background_fpr95 = fpr_at_tpr(&bg_scores, &labels, 0.95);
+    let msp_fpr95 = fpr_at_tpr(&msp_scores, &labels, 0.95);
+
+    // System level: abstention on OOD columns + precision on the rest.
+    let typer = lab.customer();
+    let system = evaluate(&typer, &mixed);
+    let mut ood_n = 0usize;
+    let mut ood_abstained = 0usize;
+    for at in &mixed.tables {
+        let ann = typer.annotate(&at.table);
+        for (col, &truth) in ann.columns.iter().zip(&at.labels) {
+            if truth.is_unknown() {
+                ood_n += 1;
+                if col.abstained() {
+                    ood_abstained += 1;
+                }
+            }
+        }
+    }
+    let ood_abstention = if ood_n == 0 {
+        0.0
+    } else {
+        ood_abstained as f64 / ood_n as f64
+    };
+
+    let mut report = Report::new(
+        "E3 — Out-of-distribution detection (Fig. 1c)",
+        &["detector", "AUROC", "FPR@95TPR"],
+    );
+    report.push_row(vec![
+        "background `unknown` class (paper)".into(),
+        f3(background_auroc),
+        f3(background_fpr95),
+    ]);
+    report.push_row(vec![
+        "max-softmax baseline (no background)".into(),
+        f3(msp_auroc),
+        f3(msp_fpr95),
+    ]);
+    report.note(format!(
+        "system abstains on {} of OOD columns; overall precision {} at coverage {}",
+        pct(ood_abstention),
+        pct(system.precision()),
+        pct(system.coverage()),
+    ));
+    E3Result {
+        background_auroc,
+        msp_auroc,
+        background_fpr95,
+        msp_fpr95,
+        ood_abstention,
+        system,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lab::Scale;
+
+    #[test]
+    fn background_class_detects_ood() {
+        let lab = Lab::new(Scale::Test);
+        let r = run(&lab);
+        assert!(
+            r.background_auroc > 0.7,
+            "background detector must separate OOD: AUROC {:.3}",
+            r.background_auroc
+        );
+        assert!(
+            r.background_auroc >= r.msp_auroc - 0.05,
+            "background training should not lose to MSP: {:.3} vs {:.3}",
+            r.background_auroc,
+            r.msp_auroc
+        );
+        assert!(
+            r.ood_abstention > 0.4,
+            "system should abstain on a good share of OOD columns: {:.3}",
+            r.ood_abstention
+        );
+        assert!(r.report.render().contains("E3"));
+    }
+}

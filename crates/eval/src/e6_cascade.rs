@@ -1,0 +1,183 @@
+//! E6 — Pipeline cascade behaviour (paper Fig. 4, §4.3).
+//!
+//! "Each step in the pipeline is executed only if a preset confidence
+//! threshold c is not met by the prior step. The steps are executed in
+//! order of inference time." We measure, per cascade threshold c: the
+//! fraction of columns resolved by each step, accuracy, and the per-step
+//! latency that justifies the ordering.
+
+use crate::lab::{EvalStats, Lab};
+use crate::report::{micros, pct, Report};
+use sigmatyper::Step;
+use tu_corpus::{generate_corpus, CorpusConfig};
+
+/// Outcome at one cascade threshold.
+#[derive(Debug, Clone, Copy)]
+pub struct CascadeRow {
+    /// Threshold `c`.
+    pub threshold: f64,
+    /// Fraction of columns resolved by the header step.
+    pub by_header: f64,
+    /// Fraction resolved by the lookup step.
+    pub by_lookup: f64,
+    /// Fraction resolved by the embedding step.
+    pub by_embedding: f64,
+    /// Fraction never reaching the threshold (decided by the vote alone).
+    pub unresolved: f64,
+    /// Accuracy/precision/coverage at this threshold.
+    pub stats: EvalStats,
+    /// Mean wall-clock nanoseconds per column, per step.
+    pub step_nanos_per_column: [f64; 3],
+}
+
+/// Full E6 result.
+#[derive(Debug, Clone)]
+pub struct E6Result {
+    /// One row per threshold.
+    pub rows: Vec<CascadeRow>,
+    /// Rendered tables.
+    pub report: Report,
+    /// Per-step latency report.
+    pub latency_report: Report,
+}
+
+/// Run E6.
+#[must_use]
+pub fn run(lab: &Lab) -> E6Result {
+    let ontology = &lab.global.ontology;
+    let test = {
+        // Opaque headers + mild shift: all three steps must earn their
+        // keep, so the threshold c actually moves work between them.
+        let mut cfg = CorpusConfig::database_like(0xE6_01, lab.scale.eval_tables());
+        cfg.opaque_header_rate = 0.45;
+        cfg.params = tu_corpus::GenParams::shifted(0.2);
+        generate_corpus(ontology, &cfg)
+    };
+
+    let thresholds = [0.5, 0.7, 0.82, 0.9, 0.98];
+    let mut rows = Vec::new();
+    for &threshold in &thresholds {
+        let mut typer = lab.customer();
+        typer.config_mut().cascade_threshold = threshold;
+        let mut stats = EvalStats::default();
+        let mut resolved = [0usize; 3];
+        let mut unresolved = 0usize;
+        let mut nanos = [0u128; 3];
+        let mut n_cols = 0usize;
+        for at in &test.tables {
+            let ann = typer.annotate(&at.table);
+            for (total, step) in nanos.iter_mut().zip(ann.step_nanos) {
+                *total += step;
+            }
+            n_cols += ann.columns.len();
+            for (col, &truth) in ann.columns.iter().zip(&at.labels) {
+                stats.n += 1;
+                if col.predicted == truth {
+                    stats.correct_total += 1;
+                }
+                if !col.abstained() {
+                    stats.predicted += 1;
+                    if col.predicted == truth {
+                        stats.correct_predicted += 1;
+                    }
+                }
+                match col.resolving_step(threshold) {
+                    Some(Step::Header) => resolved[0] += 1,
+                    Some(Step::Lookup) => resolved[1] += 1,
+                    Some(Step::Embedding) => resolved[2] += 1,
+                    None => unresolved += 1,
+                }
+            }
+        }
+        let nf = stats.n.max(1) as f64;
+        rows.push(CascadeRow {
+            threshold,
+            by_header: resolved[0] as f64 / nf,
+            by_lookup: resolved[1] as f64 / nf,
+            by_embedding: resolved[2] as f64 / nf,
+            unresolved: unresolved as f64 / nf,
+            stats,
+            step_nanos_per_column: [
+                nanos[0] as f64 / n_cols.max(1) as f64,
+                nanos[1] as f64 / n_cols.max(1) as f64,
+                nanos[2] as f64 / n_cols.max(1) as f64,
+            ],
+        });
+    }
+
+    let mut report = Report::new(
+        "E6 — Cascade (Fig. 4): resolution share per step vs. threshold c",
+        &["c", "header", "lookup", "embedding", "unresolved", "accuracy", "precision"],
+    );
+    for r in &rows {
+        report.push_row(vec![
+            format!("{:.2}", r.threshold),
+            pct(r.by_header),
+            pct(r.by_lookup),
+            pct(r.by_embedding),
+            pct(r.unresolved),
+            pct(r.stats.accuracy()),
+            pct(r.stats.precision()),
+        ]);
+    }
+    report.note("'resolved by' = first step whose best candidate met c; 'unresolved' columns are decided by the aggregated vote");
+
+    let mut latency_report = Report::new(
+        "E6b — Per-step mean latency per column (justifies the step order)",
+        &["c", "header", "lookup", "embedding"],
+    );
+    for r in &rows {
+        latency_report.push_row(vec![
+            format!("{:.2}", r.threshold),
+            micros(r.step_nanos_per_column[0]),
+            micros(r.step_nanos_per_column[1]),
+            micros(r.step_nanos_per_column[2]),
+        ]);
+    }
+    latency_report.note("lookup/embedding times include only columns that actually reached them");
+
+    E6Result {
+        rows,
+        report,
+        latency_report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lab::Scale;
+
+    #[test]
+    fn cascade_shapes_hold() {
+        let lab = Lab::new(Scale::Test);
+        let r = run(&lab);
+        // At the default threshold most columns resolve in the cheap
+        // early steps (clean exact headers dominate the corpus).
+        let mid = &r.rows[2];
+        assert!(
+            mid.by_header > 0.3,
+            "header step should resolve a large share: {:.3}",
+            mid.by_header
+        );
+        assert!(
+            mid.by_header > mid.by_embedding,
+            "cheap steps should do the bulk of the work"
+        );
+        // Raising c pushes more columns deeper into the pipeline.
+        let lo = &r.rows[0];
+        let hi = &r.rows[4];
+        assert!(
+            hi.by_header <= lo.by_header + 1e-9,
+            "stricter c must resolve fewer columns at the header step"
+        );
+        assert!(hi.unresolved >= lo.unresolved - 1e-9);
+        // Shares sum to 1.
+        for row in &r.rows {
+            let sum = row.by_header + row.by_lookup + row.by_embedding + row.unresolved;
+            assert!((sum - 1.0).abs() < 1e-9, "shares must partition: {sum}");
+        }
+        assert!(r.report.render().contains("E6"));
+        assert!(r.latency_report.render().contains("E6b"));
+    }
+}

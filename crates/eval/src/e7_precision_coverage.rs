@@ -1,0 +1,203 @@
+//! E7 — Precision/coverage operating points (paper §2.3, §4.3).
+//!
+//! Two tables: (a) the τ sweep — "balancing precision with coverage …
+//! finding the optimal operating point is critical"; (b) the hybrid
+//! system against its own single-step ablations and the external
+//! baselines (Sherlock-like learned model; commercial regex/dictionary
+//! matcher).
+
+use crate::baselines::{RegexDictBaseline, SherlockBaseline};
+use crate::lab::{evaluate, score_predictions, EvalStats, Lab};
+use crate::report::{pct, Report};
+use tu_corpus::{generate_corpus, Corpus, CorpusConfig};
+use tu_ontology::TypeId;
+
+/// One τ operating point.
+#[derive(Debug, Clone, Copy)]
+pub struct TauRow {
+    /// Abstention threshold.
+    pub tau: f64,
+    /// Stats at this τ.
+    pub stats: EvalStats,
+}
+
+/// One system-variant row.
+#[derive(Debug, Clone)]
+pub struct VariantRow {
+    /// Variant name.
+    pub name: String,
+    /// Stats for the variant.
+    pub stats: EvalStats,
+}
+
+/// Full E7 result.
+#[derive(Debug, Clone)]
+pub struct E7Result {
+    /// τ sweep.
+    pub tau_rows: Vec<TauRow>,
+    /// Variant comparison.
+    pub variant_rows: Vec<VariantRow>,
+    /// τ sweep table.
+    pub report: Report,
+    /// Variant table.
+    pub variant_report: Report,
+}
+
+fn eval_variant(lab: &Lab, test: &Corpus, header: bool, lookup: bool, embedding: bool) -> EvalStats {
+    let mut typer = lab.customer();
+    typer.config_mut().enable_header = header;
+    typer.config_mut().enable_lookup = lookup;
+    typer.config_mut().enable_embedding = embedding;
+    evaluate(&typer, test)
+}
+
+/// Run E7.
+#[must_use]
+pub fn run(lab: &Lab) -> E7Result {
+    let ontology = &lab.global.ontology;
+    let mut cfg = CorpusConfig::database_like(0xE7_01, lab.scale.eval_tables());
+    // A little OOD keeps the abstention mechanism honest; opaque headers
+    // and mild shift keep the header step from trivializing the sweep.
+    cfg.ood_column_rate = 0.25;
+    cfg.opaque_header_rate = 0.45;
+    cfg.params = tu_corpus::GenParams::shifted(0.2);
+    let test = generate_corpus(ontology, &cfg);
+
+    // (a) τ sweep.
+    let mut tau_rows = Vec::new();
+    for i in 0..10 {
+        let tau = i as f64 / 10.0;
+        let mut typer = lab.customer();
+        typer.config_mut().tau = tau;
+        tau_rows.push(TauRow {
+            tau,
+            stats: evaluate(&typer, &test),
+        });
+    }
+
+    // (b) variants + baselines.
+    let mut variant_rows = vec![
+        VariantRow {
+            name: "hybrid (full pipeline)".into(),
+            stats: eval_variant(lab, &test, true, true, true),
+        },
+        VariantRow {
+            name: "header step only".into(),
+            stats: eval_variant(lab, &test, true, false, false),
+        },
+        VariantRow {
+            name: "lookup step only".into(),
+            stats: eval_variant(lab, &test, false, true, false),
+        },
+        VariantRow {
+            name: "embedding step only".into(),
+            stats: eval_variant(lab, &test, false, false, true),
+        },
+    ];
+    let sherlock = SherlockBaseline::train(
+        ontology,
+        &lab.pretrain,
+        lab.scale.training().hidden,
+        lab.scale.training().epochs,
+    );
+    let preds: Vec<Vec<TypeId>> = test
+        .tables
+        .iter()
+        .map(|t| sherlock.predict_table(&t.table))
+        .collect();
+    variant_rows.push(VariantRow {
+        name: "Sherlock-like (values-only model)".into(),
+        stats: score_predictions(&test, &preds),
+    });
+    let regexdict = RegexDictBaseline::new(ontology);
+    let preds: Vec<Vec<TypeId>> = test
+        .tables
+        .iter()
+        .map(|t| regexdict.predict_table(ontology, &t.table))
+        .collect();
+    variant_rows.push(VariantRow {
+        name: "commercial regex/dictionary".into(),
+        stats: score_predictions(&test, &preds),
+    });
+
+    let mut report = Report::new(
+        "E7a — Precision vs. coverage under the abstention threshold τ",
+        &["tau", "precision", "coverage", "accuracy"],
+    );
+    for r in &tau_rows {
+        report.push_row(vec![
+            format!("{:.1}", r.tau),
+            pct(r.stats.precision()),
+            pct(r.stats.coverage()),
+            pct(r.stats.accuracy()),
+        ]);
+    }
+    report.note("τ trades coverage for precision (§4.3: 'such that the precision of the system is high')");
+
+    let mut variant_report = Report::new(
+        "E7b — Hybrid vs. ablations and baselines (default τ)",
+        &["system", "precision", "coverage", "accuracy"],
+    );
+    for r in &variant_rows {
+        variant_report.push_row(vec![
+            r.name.clone(),
+            pct(r.stats.precision()),
+            pct(r.stats.coverage()),
+            pct(r.stats.accuracy()),
+        ]);
+    }
+    variant_report.note("test corpus contains ~25% tables with one OOD column");
+
+    E7Result {
+        tau_rows,
+        variant_rows,
+        report,
+        variant_report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lab::Scale;
+
+    #[test]
+    fn tau_trades_coverage_for_precision() {
+        let lab = Lab::new(Scale::Test);
+        let r = run(&lab);
+        assert_eq!(r.tau_rows.len(), 10);
+        // Coverage is non-increasing in τ.
+        for w in r.tau_rows.windows(2) {
+            assert!(
+                w[1].stats.coverage() <= w[0].stats.coverage() + 1e-9,
+                "coverage must fall as τ rises"
+            );
+        }
+        // High τ end is more precise than the τ=0 end.
+        let p0 = r.tau_rows[0].stats.precision();
+        let p9 = r.tau_rows[9].stats.precision();
+        assert!(
+            p9 >= p0 - 1e-9,
+            "precision should rise (or hold) with τ: {p0:.3} → {p9:.3}"
+        );
+    }
+
+    #[test]
+    fn hybrid_beats_components_and_baselines_on_accuracy() {
+        let lab = Lab::new(Scale::Test);
+        let r = run(&lab);
+        let hybrid = r.variant_rows[0].stats.accuracy();
+        for v in &r.variant_rows[1..] {
+            assert!(
+                hybrid >= v.stats.accuracy() - 0.02,
+                "hybrid {hybrid:.3} should be at least on par with {}: {:.3}",
+                v.name,
+                v.stats.accuracy()
+            );
+        }
+        // The commercial baseline is precise but low-coverage.
+        let commercial = &r.variant_rows[5];
+        assert!(commercial.stats.coverage() < r.variant_rows[0].stats.coverage());
+        assert!(r.variant_report.render().contains("E7b"));
+    }
+}

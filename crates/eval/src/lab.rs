@@ -1,0 +1,230 @@
+//! Shared experiment setup: a pretrained global model plus evaluation
+//! helpers used by every experiment.
+
+use sigmatyper::{train_global, GlobalModel, SigmaTyper, SigmaTyperConfig, TrainingConfig};
+use std::sync::Arc;
+use tu_corpus::{generate_corpus, Corpus, CorpusConfig};
+use tu_ontology::{builtin_ontology, TypeId};
+
+/// Experiment scale: `Test` keeps unit tests fast; `Paper` is what the
+/// `reproduce` binary runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small corpora / fast training for CI.
+    Test,
+    /// Full-size corpora for the reported numbers.
+    Paper,
+}
+
+impl Scale {
+    /// Pretraining corpus size (tables).
+    #[must_use]
+    pub fn pretrain_tables(self) -> usize {
+        match self {
+            Scale::Test => 60,
+            Scale::Paper => 180,
+        }
+    }
+
+    /// Evaluation corpus size (tables).
+    #[must_use]
+    pub fn eval_tables(self) -> usize {
+        match self {
+            Scale::Test => 25,
+            Scale::Paper => 80,
+        }
+    }
+
+    /// Training configuration.
+    #[must_use]
+    pub fn training(self) -> TrainingConfig {
+        match self {
+            Scale::Test => TrainingConfig::fast(),
+            Scale::Paper => TrainingConfig::default(),
+        }
+    }
+}
+
+/// Shared lab state: the pretrained global model (GitTables role).
+#[derive(Debug, Clone)]
+pub struct Lab {
+    /// Scale everything was built at.
+    pub scale: Scale,
+    /// The pretraining corpus.
+    pub pretrain: Corpus,
+    /// Shared global model.
+    pub global: Arc<GlobalModel>,
+}
+
+impl Lab {
+    /// Build the lab: generate the pretraining corpus (with injected OOD
+    /// columns for the background class) and train the global model.
+    #[must_use]
+    pub fn new(scale: Scale) -> Self {
+        let ontology = builtin_ontology();
+        let mut cfg = CorpusConfig::database_like(0xA11CE, scale.pretrain_tables());
+        cfg.ood_column_rate = 0.25;
+        let pretrain = generate_corpus(&ontology, &cfg);
+        let global = Arc::new(train_global(ontology, &pretrain, &scale.training()));
+        Lab {
+            scale,
+            pretrain,
+            global,
+        }
+    }
+
+    /// A fresh customer instance with default configuration.
+    #[must_use]
+    pub fn customer(&self) -> SigmaTyper {
+        SigmaTyper::new(Arc::clone(&self.global), SigmaTyperConfig::default())
+    }
+}
+
+/// Aggregate outcome of annotating a whole corpus.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalStats {
+    /// Total labeled columns.
+    pub n: usize,
+    /// Columns with a non-abstained prediction.
+    pub predicted: usize,
+    /// Non-abstained predictions that are correct.
+    pub correct_predicted: usize,
+    /// Columns whose final decision (incl. abstention) matches truth.
+    pub correct_total: usize,
+}
+
+impl EvalStats {
+    /// Coverage: fraction of columns the system labels.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.predicted as f64 / self.n as f64
+        }
+    }
+
+    /// Precision: correctness among labeled columns.
+    #[must_use]
+    pub fn precision(&self) -> f64 {
+        if self.predicted == 0 {
+            0.0
+        } else {
+            self.correct_predicted as f64 / self.predicted as f64
+        }
+    }
+
+    /// Accuracy over all columns (abstaining on a true-`unknown` column
+    /// counts as correct).
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.correct_total as f64 / self.n as f64
+        }
+    }
+}
+
+/// Annotate every table of `corpus` with `typer` and score the outcome.
+#[must_use]
+pub fn evaluate(typer: &SigmaTyper, corpus: &Corpus) -> EvalStats {
+    let mut stats = EvalStats::default();
+    for at in &corpus.tables {
+        let ann = typer.annotate(&at.table);
+        for (col, &truth) in ann.columns.iter().zip(&at.labels) {
+            stats.n += 1;
+            if col.predicted == truth {
+                stats.correct_total += 1;
+            }
+            if !col.abstained() {
+                stats.predicted += 1;
+                if col.predicted == truth {
+                    stats.correct_predicted += 1;
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// Score externally produced predictions against corpus truth.
+/// `predictions[t][c]` must align with table `t`, column `c`;
+/// `TypeId::UNKNOWN` means abstain.
+#[must_use]
+pub fn score_predictions(corpus: &Corpus, predictions: &[Vec<TypeId>]) -> EvalStats {
+    let mut stats = EvalStats::default();
+    for (at, preds) in corpus.tables.iter().zip(predictions) {
+        for (&pred, &truth) in preds.iter().zip(&at.labels) {
+            stats.n += 1;
+            if pred == truth {
+                stats.correct_total += 1;
+            }
+            if !pred.is_unknown() {
+                stats.predicted += 1;
+                if pred == truth {
+                    stats.correct_predicted += 1;
+                }
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_math() {
+        let s = EvalStats {
+            n: 10,
+            predicted: 8,
+            correct_predicted: 6,
+            correct_total: 7,
+        };
+        assert!((s.coverage() - 0.8).abs() < 1e-12);
+        assert!((s.precision() - 0.75).abs() < 1e-12);
+        assert!((s.accuracy() - 0.7).abs() < 1e-12);
+        let zero = EvalStats::default();
+        assert_eq!(zero.coverage(), 0.0);
+        assert_eq!(zero.precision(), 0.0);
+        assert_eq!(zero.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn lab_builds_and_annotates_reasonably() {
+        let lab = Lab::new(Scale::Test);
+        let typer = lab.customer();
+        let o = builtin_ontology();
+        let test = generate_corpus(&o, &CorpusConfig::database_like(0xE0E0, 10));
+        let stats = evaluate(&typer, &test);
+        assert_eq!(stats.n, test.n_columns());
+        assert!(
+            stats.accuracy() > 0.55,
+            "global model should be decent in-distribution: {:.3} (prec {:.3} cov {:.3})",
+            stats.accuracy(),
+            stats.precision(),
+            stats.coverage()
+        );
+        assert!(stats.precision() >= stats.accuracy() - 1e-9);
+    }
+
+    #[test]
+    fn score_predictions_alignment() {
+        let o = builtin_ontology();
+        let c = generate_corpus(&o, &CorpusConfig::database_like(1, 2));
+        // Perfect predictions.
+        let preds: Vec<Vec<TypeId>> = c.tables.iter().map(|t| t.labels.clone()).collect();
+        let s = score_predictions(&c, &preds);
+        assert_eq!(s.accuracy(), 1.0);
+        // All abstain.
+        let preds: Vec<Vec<TypeId>> = c
+            .tables
+            .iter()
+            .map(|t| vec![TypeId::UNKNOWN; t.labels.len()])
+            .collect();
+        let s = score_predictions(&c, &preds);
+        assert_eq!(s.coverage(), 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Plain-text report tables for experiment output.
+
+/// A rendered experiment table.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id + title, e.g. `"E1 — Covariate shift (Fig. 1a)"`.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes shown under the table.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Start a report.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Report {
+            title: title.into(),
+            headers: headers.iter().map(|h| (*h).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics when the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Render as an aligned ASCII table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let sep: String = {
+            let mut s = String::from("+");
+            for w in &widths {
+                s.push_str(&"-".repeat(w + 2));
+                s.push('+');
+            }
+            s
+        };
+        let fmt_row = |cells: &[String]| {
+            let mut s = String::from("|");
+            for (w, cell) in widths.iter().zip(cells) {
+                let pad = w - cell.chars().count();
+                s.push(' ');
+                s.push_str(cell);
+                s.push_str(&" ".repeat(pad + 1));
+                s.push('|');
+            }
+            s
+        };
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        out.push_str(&sep);
+        out.push('\n');
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+}
+
+/// Format a fraction as a percentage with one decimal, e.g. `"93.4%"`.
+#[must_use]
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Format a float with three decimals.
+#[must_use]
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format nanoseconds as microseconds with one decimal.
+#[must_use]
+pub fn micros(nanos: f64) -> String {
+    format!("{:.1}µs", nanos / 1_000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut r = Report::new("T — demo", &["name", "value"]);
+        r.push_row(vec!["alpha".into(), "1".into()]);
+        r.push_row(vec!["b".into(), "123456".into()]);
+        r.note("a note");
+        let out = r.render();
+        assert!(out.contains("## T — demo"));
+        assert!(out.contains("| alpha | 1      |"));
+        assert!(out.contains("| b     | 123456 |"));
+        assert!(out.contains("note: a note"));
+        // All data lines equal width.
+        let widths: std::collections::HashSet<usize> = out
+            .lines()
+            .filter(|l| l.starts_with('|') || l.starts_with('+'))
+            .map(|l| l.chars().count())
+            .collect();
+        assert_eq!(widths.len(), 1, "{out}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut r = Report::new("t", &["a", "b"]);
+        r.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.934), "93.4%");
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(micros(2500.0), "2.5µs");
+    }
+}

@@ -1,0 +1,123 @@
+//! Character-distribution features (Sherlock's largest feature group).
+//!
+//! For each character class we compute the per-value fraction, then
+//! aggregate mean/std/min/max across the column — a scaled-down version
+//! of Sherlock's 960-dim character statistics.
+
+/// A named character-class predicate.
+pub type CharClass = (&'static str, fn(char) -> bool);
+
+/// The tracked character classes, each a predicate over `char`.
+pub const CHAR_CLASSES: &[CharClass] = &[
+    ("digit", |c| c.is_ascii_digit()),
+    ("lower", |c| c.is_ascii_lowercase()),
+    ("upper", |c| c.is_ascii_uppercase()),
+    ("space", |c| c.is_whitespace()),
+    ("punct", |c| c.is_ascii_punctuation()),
+    ("at", |c| c == '@'),
+    ("dot", |c| c == '.'),
+    ("dash", |c| c == '-'),
+    ("slash", |c| c == '/'),
+    ("colon", |c| c == ':'),
+    ("hash", |c| c == '#'),
+    ("plus", |c| c == '+'),
+    ("comma", |c| c == ','),
+    ("paren", |c| c == '(' || c == ')'),
+    ("dollar", |c| c == '$' || c == '€' || c == '£'),
+    ("percent", |c| c == '%'),
+];
+
+/// Aggregations per class: mean, std, min, max.
+pub const AGGS_PER_CLASS: usize = 4;
+
+/// Total dimensionality of [`char_features`].
+#[must_use]
+pub fn char_feature_dim() -> usize {
+    CHAR_CLASSES.len() * AGGS_PER_CLASS
+}
+
+/// Compute aggregated character-class fractions over rendered values.
+///
+/// Returns a zero vector for an empty slice.
+#[must_use]
+pub fn char_features<S: AsRef<str>>(values: &[S]) -> Vec<f32> {
+    let dim = char_feature_dim();
+    if values.is_empty() {
+        return vec![0.0; dim];
+    }
+    // Per-class per-value fractions.
+    let n = values.len();
+    let mut fractions = vec![vec![0.0f64; n]; CHAR_CLASSES.len()];
+    for (vi, v) in values.iter().enumerate() {
+        let s = v.as_ref();
+        let len = s.chars().count();
+        if len == 0 {
+            continue;
+        }
+        for (ci, (_, pred)) in CHAR_CLASSES.iter().enumerate() {
+            let count = s.chars().filter(|&c| pred(c)).count();
+            fractions[ci][vi] = count as f64 / len as f64;
+        }
+    }
+    let mut out = Vec::with_capacity(dim);
+    for fr in &fractions {
+        let mean = fr.iter().sum::<f64>() / n as f64;
+        let var = fr.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        let min = fr.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = fr.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        out.push(mean as f32);
+        out.push(var.sqrt() as f32);
+        out.push(min as f32);
+        out.push(max as f32);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimension_is_fixed() {
+        assert_eq!(char_features(&["a"]).len(), char_feature_dim());
+        assert_eq!(char_features::<&str>(&[]).len(), char_feature_dim());
+    }
+
+    #[test]
+    fn email_lights_up_at_sign() {
+        let f = char_features(&["a@b.com", "x@y.org"]);
+        let at_idx = CHAR_CLASSES.iter().position(|(n, _)| *n == "at").unwrap();
+        let mean_at = f[at_idx * AGGS_PER_CLASS];
+        assert!(mean_at > 0.1, "emails should have @ fraction, got {mean_at}");
+        let plain = char_features(&["hello", "world"]);
+        assert_eq!(plain[at_idx * AGGS_PER_CLASS], 0.0);
+    }
+
+    #[test]
+    fn digit_fraction_hand_checked() {
+        // "a1" → 0.5 digits; "12" → 1.0 digits.
+        let f = char_features(&["a1", "12"]);
+        let d = 0; // digit class is first
+        assert!((f[d * AGGS_PER_CLASS] - 0.75).abs() < 1e-6); // mean
+        assert!((f[d * AGGS_PER_CLASS + 2] - 0.5).abs() < 1e-6); // min
+        assert!((f[d * AGGS_PER_CLASS + 3] - 1.0).abs() < 1e-6); // max
+    }
+
+    #[test]
+    fn empty_values_do_not_poison() {
+        let f = char_features(&["", "ab"]);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn distinct_types_get_distinct_signatures() {
+        let emails = char_features(&["ann@x.com", "bob@y.org", "cat@z.net"]);
+        let phones = char_features(&["555-010-9999", "415-555-0111"]);
+        let diff: f32 = emails
+            .iter()
+            .zip(&phones)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 0.5, "signatures too similar: {diff}");
+    }
+}

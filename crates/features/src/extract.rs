@@ -1,0 +1,174 @@
+//! The combined feature extractor.
+//!
+//! Concatenates Sherlock's feature groups (character distributions +
+//! global statistics) with embedding features (mean value embedding and,
+//! optionally, a header embedding) from `tu-embed`. The Sherlock-like
+//! baseline uses values-only features; SigmaTyper's table-embedding step
+//! extends them with header and neighbor context.
+
+use crate::chars::{char_feature_dim, char_features};
+use crate::global::{global_features, GLOBAL_FEATURE_DIM};
+use tu_embed::Embedder;
+use tu_table::Column;
+
+/// Feature extraction configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FeatureConfig {
+    /// Cap on values sampled per column (features are O(sample)).
+    pub max_values: usize,
+    /// Include the mean embedding of value texts.
+    pub value_embedding: bool,
+    /// Include the header embedding (off for the values-only baseline).
+    pub header_embedding: bool,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig {
+            max_values: 64,
+            value_embedding: true,
+            header_embedding: true,
+        }
+    }
+}
+
+/// Column → dense feature vector.
+#[derive(Debug, Clone)]
+pub struct FeatureExtractor {
+    embedder: Embedder,
+    config: FeatureConfig,
+}
+
+impl FeatureExtractor {
+    /// Build with a trained (or untrained) embedder.
+    #[must_use]
+    pub fn new(embedder: Embedder, config: FeatureConfig) -> Self {
+        FeatureExtractor { embedder, config }
+    }
+
+    /// Output dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        let mut d = char_feature_dim() + GLOBAL_FEATURE_DIM;
+        if self.config.value_embedding {
+            d += self.embedder.dim();
+        }
+        if self.config.header_embedding {
+            d += self.embedder.dim();
+        }
+        d
+    }
+
+    /// The embedder (shared with the header-matching step).
+    #[must_use]
+    pub fn embedder(&self) -> &Embedder {
+        &self.embedder
+    }
+
+    /// Extract features for a column (header taken from the column).
+    #[must_use]
+    pub fn extract(&self, column: &Column) -> Vec<f32> {
+        let sample: Vec<String> = column
+            .sample(self.config.max_values)
+            .into_iter()
+            .map(tu_table::Value::render)
+            .collect();
+        let mut out = Vec::with_capacity(self.dim());
+        out.extend(char_features(&sample));
+        out.extend(global_features(column));
+        if self.config.value_embedding {
+            out.extend(self.mean_value_embedding(&sample));
+        }
+        if self.config.header_embedding {
+            out.extend(self.embedder.phrase_vector(&tu_text::normalize_header(&column.name)));
+        }
+        debug_assert_eq!(out.len(), self.dim());
+        out
+    }
+
+    fn mean_value_embedding(&self, sample: &[String]) -> Vec<f32> {
+        let dim = self.embedder.dim();
+        let mut acc = vec![0.0f32; dim];
+        // Embedding every value is wasteful; 16 is plenty for a centroid.
+        let take = sample.iter().take(16);
+        let mut n = 0;
+        for v in take {
+            let pv = self.embedder.phrase_vector(v);
+            for (a, x) in acc.iter_mut().zip(&pv) {
+                *a += x;
+            }
+            n += 1;
+        }
+        if n > 0 {
+            for a in &mut acc {
+                *a /= n as f32;
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn extractor(cfg: FeatureConfig) -> FeatureExtractor {
+        FeatureExtractor::new(Embedder::untrained(16), cfg)
+    }
+
+    #[test]
+    fn dims_reported_correctly() {
+        let full = extractor(FeatureConfig::default());
+        assert_eq!(full.dim(), char_feature_dim() + GLOBAL_FEATURE_DIM + 32);
+        let bare = extractor(FeatureConfig {
+            value_embedding: false,
+            header_embedding: false,
+            ..FeatureConfig::default()
+        });
+        assert_eq!(bare.dim(), char_feature_dim() + GLOBAL_FEATURE_DIM);
+    }
+
+    #[test]
+    fn extraction_matches_dim_and_is_finite() {
+        let ex = extractor(FeatureConfig::default());
+        for vals in [vec!["a@b.com", "c@d.org"], vec![""], vec![]] {
+            let c = Column::from_raw("email", &vals);
+            let f = ex.extract(&c);
+            assert_eq!(f.len(), ex.dim());
+            assert!(f.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn different_types_have_distant_features() {
+        let ex = extractor(FeatureConfig::default());
+        let emails = Column::from_raw("e", &["ann@x.com", "bob@y.org"]);
+        let prices = Column::from_raw("p", &["12.99", "4.50"]);
+        let fe = ex.extract(&emails);
+        let fp = ex.extract(&prices);
+        let dist: f32 = fe.iter().zip(&fp).map(|(a, b)| (a - b).abs()).sum();
+        assert!(dist > 1.0);
+    }
+
+    #[test]
+    fn header_embedding_changes_features() {
+        let with = extractor(FeatureConfig::default());
+        let a = with.extract(&Column::from_raw("salary", &["100"]));
+        let b = with.extract(&Column::from_raw("quantity", &["100"]));
+        assert_ne!(a, b, "same values, different headers must differ");
+        let without = extractor(FeatureConfig {
+            header_embedding: false,
+            ..FeatureConfig::default()
+        });
+        let a = without.extract(&Column::from_raw("salary", &["100"]));
+        let b = without.extract(&Column::from_raw("quantity", &["100"]));
+        assert_eq!(a, b, "values-only features ignore the header");
+    }
+
+    #[test]
+    fn deterministic() {
+        let ex = extractor(FeatureConfig::default());
+        let c = Column::from_raw("c", &["x", "y", "z"]);
+        assert_eq!(ex.extract(&c), ex.extract(&c));
+    }
+}

@@ -1,0 +1,17 @@
+//! # tu-features
+//!
+//! Sherlock-style column feature extraction (Hulsebos et al., KDD'19 —
+//! reference [19] of the paper): character-class distribution statistics,
+//! global column statistics, and embedding features. These vectors feed
+//! the learned models in `tu-ml` — both the Sherlock-like single-shot
+//! baseline and SigmaTyper's table-embedding classification head.
+
+#![warn(missing_docs)]
+
+pub mod chars;
+pub mod extract;
+pub mod global;
+
+pub use chars::{char_feature_dim, char_features};
+pub use extract::{FeatureConfig, FeatureExtractor};
+pub use global::{date_fraction, global_features, GLOBAL_FEATURE_DIM};

@@ -1,0 +1,317 @@
+//! Entity dictionaries.
+//!
+//! The reproduction's stand-in for the DBpedia Knowledge Base: per-type
+//! value lists used (a) by the pipeline's value-lookup step and (b) as the
+//! vocabulary of the synthetic corpus generator, so generated data and
+//! lookup coverage share one source of truth.
+
+/// Common first names.
+pub const FIRST_NAMES: &[&str] = &[
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David",
+    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas",
+    "Sarah", "Charles", "Karen", "Christopher", "Lisa", "Daniel", "Nancy", "Matthew", "Betty",
+    "Anthony", "Margaret", "Mark", "Sandra", "Donald", "Ashley", "Steven", "Kimberly", "Paul",
+    "Emily", "Andrew", "Donna", "Joshua", "Michelle", "Kenneth", "Carol", "Kevin", "Amanda",
+    "Brian", "Dorothy", "George", "Melissa", "Timothy", "Deborah", "Ronald", "Stephanie",
+    "Edward", "Rebecca", "Jason", "Sharon", "Jeffrey", "Laura", "Ryan", "Cynthia", "Jacob",
+    "Kathleen", "Gary", "Amy", "Nicholas", "Angela", "Eric", "Shirley", "Jonathan", "Anna",
+    "Stephen", "Brenda", "Larry", "Pamela", "Justin", "Emma", "Scott", "Nicole", "Brandon",
+    "Helen", "Benjamin", "Samantha", "Samuel", "Katherine", "Gregory", "Christine", "Alexander",
+    "Debra", "Patrick", "Rachel", "Frank", "Carolyn", "Raymond", "Janet", "Jack", "Catherine",
+    "Dennis", "Maria", "Jerry", "Heather", "Tyler", "Diane", "Aaron", "Ruth", "Jose", "Julie",
+    "Adam", "Olivia", "Nathan", "Joyce", "Henry", "Virginia", "Douglas", "Victoria", "Zachary",
+    "Kelly", "Peter", "Lauren", "Kyle", "Christina", "Ethan", "Joan", "Walter", "Evelyn",
+];
+
+/// Common last names.
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
+    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
+    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
+    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
+    "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green", "Adams", "Nelson", "Baker", "Hall",
+    "Rivera", "Campbell", "Mitchell", "Carter", "Roberts", "Gomez", "Phillips", "Evans",
+    "Turner", "Diaz", "Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+    "Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan", "Cooper", "Peterson",
+    "Bailey", "Reed", "Kelly", "Howard", "Ramos", "Kim", "Cox", "Ward", "Richardson", "Watson",
+    "Brooks", "Chavez", "Wood", "James", "Bennett", "Gray", "Mendoza", "Ruiz", "Hughes",
+    "Price", "Alvarez", "Castillo", "Sanders", "Patel", "Myers", "Long", "Ross", "Foster",
+    "Jimenez", "Powell", "Jenkins", "Perry", "Russell", "Sullivan", "Bell", "Coleman", "Butler",
+    "Henderson", "Barnes", "Gonzales", "Fisher", "Vasquez", "Simmons", "Romero", "Jordan",
+];
+
+/// Major world cities.
+pub const CITIES: &[&str] = &[
+    "New York", "Los Angeles", "Chicago", "Houston", "Phoenix", "Philadelphia", "San Antonio",
+    "San Diego", "Dallas", "San Jose", "Austin", "Jacksonville", "San Francisco", "Columbus",
+    "Seattle", "Denver", "Boston", "Nashville", "Detroit", "Portland", "Las Vegas", "Memphis",
+    "Baltimore", "Milwaukee", "Atlanta", "Miami", "Oakland", "Minneapolis", "Tulsa", "Cleveland",
+    "London", "Paris", "Berlin", "Madrid", "Rome", "Amsterdam", "Vienna", "Brussels", "Lisbon",
+    "Dublin", "Copenhagen", "Stockholm", "Oslo", "Helsinki", "Warsaw", "Prague", "Budapest",
+    "Athens", "Zurich", "Geneva", "Munich", "Hamburg", "Frankfurt", "Barcelona", "Milan",
+    "Naples", "Rotterdam", "Antwerp", "Porto", "Krakow", "Tokyo", "Osaka", "Kyoto", "Seoul",
+    "Beijing", "Shanghai", "Shenzhen", "Hong Kong", "Singapore", "Bangkok", "Jakarta", "Manila",
+    "Mumbai", "Delhi", "Bangalore", "Chennai", "Karachi", "Dhaka", "Istanbul", "Dubai",
+    "Tel Aviv", "Cairo", "Lagos", "Nairobi", "Johannesburg", "Cape Town", "Casablanca", "Accra",
+    "Sydney", "Melbourne", "Brisbane", "Perth", "Auckland", "Wellington", "Toronto", "Montreal",
+    "Vancouver", "Calgary", "Ottawa", "Mexico City", "Guadalajara", "Monterrey", "Bogota",
+    "Lima", "Santiago", "Buenos Aires", "Sao Paulo", "Rio de Janeiro", "Brasilia", "Caracas",
+    "Quito", "Montevideo", "Havana", "Kingston", "San Juan", "Panama City", "Moscow",
+    "Saint Petersburg", "Kyiv", "Bucharest", "Sofia", "Belgrade", "Zagreb", "Ljubljana",
+];
+
+/// Countries of the world (common English short names).
+pub const COUNTRIES: &[&str] = &[
+    "United States", "Canada", "Mexico", "Brazil", "Argentina", "Chile", "Colombia", "Peru",
+    "Venezuela", "Ecuador", "Uruguay", "Paraguay", "Bolivia", "United Kingdom", "Ireland",
+    "France", "Germany", "Spain", "Portugal", "Italy", "Netherlands", "Belgium", "Luxembourg",
+    "Switzerland", "Austria", "Denmark", "Sweden", "Norway", "Finland", "Iceland", "Poland",
+    "Czechia", "Slovakia", "Hungary", "Romania", "Bulgaria", "Greece", "Croatia", "Slovenia",
+    "Serbia", "Ukraine", "Russia", "Turkey", "Israel", "Saudi Arabia", "United Arab Emirates",
+    "Qatar", "Kuwait", "Egypt", "Morocco", "Algeria", "Tunisia", "Nigeria", "Ghana", "Kenya",
+    "Ethiopia", "Tanzania", "South Africa", "India", "Pakistan", "Bangladesh", "Sri Lanka",
+    "Nepal", "China", "Japan", "South Korea", "Taiwan", "Vietnam", "Thailand", "Malaysia",
+    "Singapore", "Indonesia", "Philippines", "Australia", "New Zealand", "Fiji", "Estonia",
+    "Latvia", "Lithuania", "Belarus", "Moldova", "Georgia", "Armenia", "Azerbaijan",
+    "Kazakhstan", "Uzbekistan", "Mongolia", "Myanmar", "Cambodia", "Laos", "Jordan", "Lebanon",
+    "Iraq", "Iran", "Afghanistan", "Cuba", "Jamaica", "Haiti", "Dominican Republic", "Panama",
+    "Costa Rica", "Nicaragua", "Honduras", "Guatemala", "El Salvador", "Belize",
+];
+
+/// ISO 3166-1 alpha-2 country codes.
+pub const COUNTRY_CODES: &[&str] = &[
+    "US", "CA", "MX", "BR", "AR", "CL", "CO", "PE", "VE", "EC", "UY", "PY", "BO", "GB", "IE",
+    "FR", "DE", "ES", "PT", "IT", "NL", "BE", "LU", "CH", "AT", "DK", "SE", "NO", "FI", "IS",
+    "PL", "CZ", "SK", "HU", "RO", "BG", "GR", "HR", "SI", "RS", "UA", "RU", "TR", "IL", "SA",
+    "AE", "QA", "KW", "EG", "MA", "DZ", "TN", "NG", "GH", "KE", "ET", "TZ", "ZA", "IN", "PK",
+    "BD", "LK", "NP", "CN", "JP", "KR", "TW", "VN", "TH", "MY", "SG", "ID", "PH", "AU", "NZ",
+];
+
+/// US states.
+pub const US_STATES: &[&str] = &[
+    "Alabama", "Alaska", "Arizona", "Arkansas", "California", "Colorado", "Connecticut",
+    "Delaware", "Florida", "Georgia", "Hawaii", "Idaho", "Illinois", "Indiana", "Iowa",
+    "Kansas", "Kentucky", "Louisiana", "Maine", "Maryland", "Massachusetts", "Michigan",
+    "Minnesota", "Mississippi", "Missouri", "Montana", "Nebraska", "Nevada", "New Hampshire",
+    "New Jersey", "New Mexico", "New York", "North Carolina", "North Dakota", "Ohio",
+    "Oklahoma", "Oregon", "Pennsylvania", "Rhode Island", "South Carolina", "South Dakota",
+    "Tennessee", "Texas", "Utah", "Vermont", "Virginia", "Washington", "West Virginia",
+    "Wisconsin", "Wyoming",
+];
+
+/// Company names (fictional but plausible, plus well-known shapes).
+pub const COMPANIES: &[&str] = &[
+    "Acme Corp", "Globex", "Initech", "Umbrella Corp", "Stark Industries", "Wayne Enterprises",
+    "Wonka Industries", "Cyberdyne Systems", "Tyrell Corp", "Aperture Science", "Hooli",
+    "Pied Piper", "Dunder Mifflin", "Sterling Cooper", "Bluth Company", "Vandelay Industries",
+    "Oscorp", "LexCorp", "Massive Dynamic", "Veridian Dynamics", "Soylent Corp", "Weyland",
+    "Nakatomi Trading", "Gringotts", "Monsters Inc", "Prestige Worldwide", "Gekko and Co",
+    "Duff Brewing", "Krusty Krab", "Los Pollos Hermanos", "Sigma Computing", "Northwind",
+    "Contoso", "Fabrikam", "Adventure Works", "Tailspin Toys", "Wingtip Toys", "Litware",
+    "Proseware", "Lucerne Publishing", "Alpine Ski House", "Coho Winery", "Wide World Importers",
+    "Fourth Coffee", "Graphic Design Institute", "Humongous Insurance", "Margie Travel",
+    "Trey Research", "The Phone Company", "Blue Yonder Airlines", "City Power and Light",
+    "Consolidated Messenger", "First Up Consultants", "Relecloud", "School of Fine Art",
+    "Southridge Video", "Woodgrove Bank", "Bellows College", "Best For You Organics", "Lamna",
+    "Munson Pickles", "Nod Publishers", "Olde Towne Hardware", "VanArsdel", "Adatum",
+];
+
+/// Product names.
+pub const PRODUCTS: &[&str] = &[
+    "Laptop Pro 15", "Desktop Tower X", "Wireless Mouse", "Mechanical Keyboard", "USB-C Hub",
+    "HD Monitor 27", "Noise Cancelling Headphones", "Bluetooth Speaker", "Smartphone S22",
+    "Tablet Air", "Smartwatch Fit", "Fitness Tracker", "External SSD 1TB", "Portable Charger",
+    "Webcam 1080p", "Ergonomic Chair", "Standing Desk", "Desk Lamp LED", "Paper Shredder",
+    "Label Printer", "Espresso Machine", "Coffee Grinder", "Electric Kettle", "Air Fryer",
+    "Blender Max", "Toaster Oven", "Vacuum Robot", "Air Purifier", "Humidifier", "Space Heater",
+    "Yoga Mat", "Dumbbell Set", "Running Shoes", "Trail Backpack", "Water Bottle", "Tent 4P",
+    "Sleeping Bag", "Camping Stove", "Mountain Bike", "Road Helmet", "Garden Hose", "Leaf Blower",
+    "Cordless Drill", "Screwdriver Set", "Tool Chest", "Work Gloves", "Safety Glasses",
+    "Paint Roller", "Step Ladder", "Tape Measure",
+];
+
+/// Brand names.
+pub const BRANDS: &[&str] = &[
+    "Aurora", "Zenith", "Nimbus", "Vertex", "Pinnacle", "Summit", "Horizon", "Cascade",
+    "Everest", "Atlas", "Orion", "Vega", "Polaris", "Nova", "Quasar", "Pulsar", "Comet",
+    "Meteor", "Eclipse", "Solstice", "Equinox", "Zephyr", "Tempest", "Cyclone", "Typhoon",
+    "Monsoon", "Sierra", "Rio", "Delta", "Fjord", "Tundra", "Savanna", "Oasis", "Mirage",
+    "Redwood", "Sequoia", "Juniper", "Willow", "Maple", "Birch",
+];
+
+/// Languages.
+pub const LANGUAGES: &[&str] = &[
+    "English", "Spanish", "French", "German", "Italian", "Portuguese", "Dutch", "Swedish",
+    "Norwegian", "Danish", "Finnish", "Polish", "Czech", "Slovak", "Hungarian", "Romanian",
+    "Bulgarian", "Greek", "Turkish", "Russian", "Ukrainian", "Arabic", "Hebrew", "Persian",
+    "Hindi", "Bengali", "Urdu", "Tamil", "Telugu", "Mandarin", "Cantonese", "Japanese",
+    "Korean", "Vietnamese", "Thai", "Indonesian", "Malay", "Tagalog", "Swahili", "Amharic",
+];
+
+/// Currency names.
+pub const CURRENCIES: &[&str] = &[
+    "US Dollar", "Euro", "British Pound", "Japanese Yen", "Swiss Franc", "Canadian Dollar",
+    "Australian Dollar", "Chinese Yuan", "Indian Rupee", "Brazilian Real", "Mexican Peso",
+    "South Korean Won", "Turkish Lira", "Russian Ruble", "South African Rand", "Swedish Krona",
+    "Norwegian Krone", "Danish Krone", "Polish Zloty", "Singapore Dollar",
+];
+
+/// ISO 4217 currency codes.
+pub const CURRENCY_CODES: &[&str] = &[
+    "USD", "EUR", "GBP", "JPY", "CHF", "CAD", "AUD", "CNY", "INR", "BRL", "MXN", "KRW", "TRY",
+    "RUB", "ZAR", "SEK", "NOK", "DKK", "PLN", "SGD", "HKD", "NZD", "THB", "IDR", "MYR",
+];
+
+/// Month names.
+pub const MONTHS: &[&str] = &[
+    "January", "February", "March", "April", "May", "June", "July", "August", "September",
+    "October", "November", "December",
+];
+
+/// Weekday names.
+pub const WEEKDAYS: &[&str] = &[
+    "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday",
+];
+
+/// Blood types.
+pub const BLOOD_TYPES: &[&str] = &["A+", "A-", "B+", "B-", "AB+", "AB-", "O+", "O-"];
+
+/// Continents.
+pub const CONTINENTS: &[&str] = &[
+    "Africa", "Antarctica", "Asia", "Europe", "North America", "Oceania", "South America",
+];
+
+/// Job titles.
+pub const JOB_TITLES: &[&str] = &[
+    "Software Engineer", "Data Scientist", "Product Manager", "Account Executive",
+    "Sales Manager", "Marketing Director", "HR Specialist", "Financial Analyst", "Accountant",
+    "Operations Manager", "Customer Success Manager", "Support Engineer", "DevOps Engineer",
+    "Security Analyst", "Research Scientist", "UX Designer", "Graphic Designer",
+    "Technical Writer", "QA Engineer", "Business Analyst", "Project Manager", "Consultant",
+    "Attorney", "Paralegal", "Nurse", "Physician", "Pharmacist", "Teacher", "Professor",
+    "Librarian", "Architect", "Civil Engineer", "Mechanical Engineer", "Electrician",
+    "Plumber", "Carpenter", "Chef", "Bartender", "Barista", "Cashier", "Store Manager",
+    "Warehouse Associate", "Truck Driver", "Pilot", "Flight Attendant", "Receptionist",
+    "Office Manager", "Executive Assistant", "Chief Executive Officer", "Chief Financial Officer",
+];
+
+/// Color names paired with hex codes (names only where a name is needed).
+pub const COLOR_NAMES: &[&str] = &[
+    "Red", "Green", "Blue", "Yellow", "Orange", "Purple", "Pink", "Brown", "Black", "White",
+    "Gray", "Cyan", "Magenta", "Lime", "Teal", "Indigo", "Violet", "Gold", "Silver", "Beige",
+    "Coral", "Crimson", "Khaki", "Lavender", "Maroon", "Navy", "Olive", "Salmon", "Turquoise",
+];
+
+/// Payment methods.
+pub const PAYMENT_METHODS: &[&str] = &[
+    "Credit Card", "Debit Card", "PayPal", "Bank Transfer", "Wire Transfer", "Cash", "Check",
+    "Apple Pay", "Google Pay", "Gift Card", "Invoice", "Direct Debit",
+];
+
+/// Order/status lifecycle values.
+pub const STATUSES: &[&str] = &[
+    "pending", "processing", "shipped", "delivered", "cancelled", "returned", "refunded",
+    "on hold", "completed", "failed", "active", "inactive", "draft", "archived", "open",
+    "closed", "approved", "rejected", "in review", "new",
+];
+
+/// Gender values as they appear in real tables.
+pub const GENDERS: &[&str] = &["Male", "Female", "Non-binary", "M", "F", "Other"];
+
+/// File extensions.
+pub const FILE_EXTENSIONS: &[&str] = &[
+    "csv", "json", "xml", "txt", "pdf", "doc", "docx", "xls", "xlsx", "ppt", "pptx", "png",
+    "jpg", "jpeg", "gif", "svg", "mp3", "mp4", "avi", "zip", "tar", "gz", "parquet", "avro",
+];
+
+/// MIME types.
+pub const MIME_TYPES: &[&str] = &[
+    "text/csv", "application/json", "application/xml", "text/plain", "application/pdf",
+    "image/png", "image/jpeg", "image/gif", "image/svg+xml", "audio/mpeg", "video/mp4",
+    "application/zip", "application/octet-stream", "text/html", "text/css",
+];
+
+/// Sports teams (fictional-ish).
+pub const TEAMS: &[&str] = &[
+    "Falcons", "Tigers", "Eagles", "Bears", "Lions", "Wolves", "Sharks", "Panthers", "Hawks",
+    "Raptors", "Knights", "Titans", "Giants", "Rangers", "Mariners", "Pilots", "Comets",
+    "Rockets", "Chargers", "Thunder", "Storm", "Blaze", "Fury", "Vipers",
+];
+
+/// Schools and universities (fictional-ish).
+pub const SCHOOLS: &[&str] = &[
+    "Northfield University", "Lakeside College", "Riverside High School", "Oakmont Academy",
+    "Hillcrest University", "Maplewood College", "Brookstone Institute", "Cedar Valley High",
+    "Pinehurst University", "Silver Lake College", "Granite State University", "Bayview Academy",
+    "Summit Ridge College", "Clearwater University", "Elmwood Institute", "Fairview College",
+    "Harborview University", "Ironwood Academy", "Juniper Hills College", "Kingsbridge School",
+];
+
+/// Letter grades.
+pub const GRADES: &[&str] = &["A+", "A", "A-", "B+", "B", "B-", "C+", "C", "C-", "D", "F"];
+
+/// Street-name components for address generation.
+pub const STREET_NAMES: &[&str] = &[
+    "Main", "Oak", "Pine", "Maple", "Cedar", "Elm", "Washington", "Lake", "Hill", "Park",
+    "Walnut", "Spring", "North", "Ridge", "Church", "Willow", "Mill", "Sunset", "Railroad",
+    "Jackson", "Highland", "Forest", "River", "Meadow", "Broad", "Market", "Union", "Franklin",
+];
+
+/// Street suffixes.
+pub const STREET_SUFFIXES: &[&str] = &[
+    "St", "Ave", "Blvd", "Dr", "Ln", "Rd", "Way", "Ct", "Pl", "Ter",
+];
+
+/// Email domains.
+pub const EMAIL_DOMAINS: &[&str] = &[
+    "gmail.com", "yahoo.com", "outlook.com", "hotmail.com", "icloud.com", "proton.me",
+    "example.com", "company.com", "mail.org", "inbox.net",
+];
+
+/// Top-level domains for URL generation.
+pub const TLDS: &[&str] = &["com", "org", "net", "io", "dev", "app", "ai", "co"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dictionaries_are_sizable() {
+        assert!(FIRST_NAMES.len() >= 100);
+        assert!(LAST_NAMES.len() >= 100);
+        assert!(CITIES.len() >= 100);
+        assert!(COUNTRIES.len() >= 90);
+        assert!(JOB_TITLES.len() >= 40);
+        assert_eq!(US_STATES.len(), 50);
+        assert_eq!(MONTHS.len(), 12);
+        assert_eq!(WEEKDAYS.len(), 7);
+        assert_eq!(BLOOD_TYPES.len(), 8);
+    }
+
+    #[test]
+    fn no_duplicates_within_a_dictionary() {
+        fn check(name: &str, list: &[&str]) {
+            let mut set = std::collections::HashSet::new();
+            for v in list {
+                assert!(set.insert(v.to_lowercase()), "duplicate {v:?} in {name}");
+            }
+        }
+        check("FIRST_NAMES", FIRST_NAMES);
+        check("LAST_NAMES", LAST_NAMES);
+        check("CITIES", CITIES);
+        check("COUNTRIES", COUNTRIES);
+        check("COUNTRY_CODES", COUNTRY_CODES);
+        check("COMPANIES", COMPANIES);
+        check("LANGUAGES", LANGUAGES);
+        check("CURRENCY_CODES", CURRENCY_CODES);
+        check("JOB_TITLES", JOB_TITLES);
+        check("STATUSES", STATUSES);
+    }
+
+    #[test]
+    fn no_empty_entries() {
+        for list in [FIRST_NAMES, CITIES, COUNTRIES, COMPANIES, PRODUCTS] {
+            assert!(list.iter().all(|v| !v.trim().is_empty()));
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Value→type lookup over entity dictionaries.
+
+use std::collections::HashMap;
+use tu_ontology::{builtin_id, Ontology, TypeId};
+use tu_text::normalize_value;
+
+/// The knowledge base: per-type entity dictionaries plus a normalized
+/// value index, playing the role DBpedia KB plays in the paper's lookup
+/// step (§4.3, rule source 2).
+#[derive(Debug, Clone, Default)]
+pub struct KnowledgeBase {
+    entries: HashMap<TypeId, Vec<String>>,
+    index: HashMap<String, Vec<TypeId>>,
+}
+
+impl KnowledgeBase {
+    /// An empty knowledge base.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build the knowledge base wired to the built-in ontology's types.
+    #[must_use]
+    pub fn builtin(ontology: &Ontology) -> Self {
+        use crate::data;
+        let mut kb = Self::new();
+        let mut add = |name: &str, values: &[&str]| {
+            kb.add_entries(builtin_id(ontology, name), values);
+        };
+        add("first name", data::FIRST_NAMES);
+        add("last name", data::LAST_NAMES);
+        // Single name tokens are also evidence for the general `name` type.
+        add("name", data::FIRST_NAMES);
+        add("name", data::LAST_NAMES);
+        add("city", data::CITIES);
+        add("country", data::COUNTRIES);
+        add("country code", data::COUNTRY_CODES);
+        add("state", data::US_STATES);
+        add("company", data::COMPANIES);
+        add("product", data::PRODUCTS);
+        add("brand", data::BRANDS);
+        add("language", data::LANGUAGES);
+        add("currency", data::CURRENCIES);
+        add("currency code", data::CURRENCY_CODES);
+        add("month", data::MONTHS);
+        add("weekday", data::WEEKDAYS);
+        add("blood type", data::BLOOD_TYPES);
+        add("continent", data::CONTINENTS);
+        add("job title", data::JOB_TITLES);
+        add("payment method", data::PAYMENT_METHODS);
+        add("status", data::STATUSES);
+        add("gender", data::GENDERS);
+        add("file extension", data::FILE_EXTENSIONS);
+        add("mime type", data::MIME_TYPES);
+        add("team", data::TEAMS);
+        add("school", data::SCHOOLS);
+        add("grade", data::GRADES);
+        kb
+    }
+
+    /// Add dictionary entries for a type (normalized into the index).
+    pub fn add_entries(&mut self, ty: TypeId, values: &[&str]) {
+        let list = self.entries.entry(ty).or_default();
+        for v in values {
+            let norm = normalize_value(v);
+            if norm.is_empty() {
+                continue;
+            }
+            let types = self.index.entry(norm).or_default();
+            if !types.contains(&ty) {
+                types.push(ty);
+            }
+            list.push((*v).to_owned());
+        }
+    }
+
+    /// Types whose dictionary contains the (normalized) value.
+    #[must_use]
+    pub fn types_for_value(&self, value: &str) -> &[TypeId] {
+        self.index
+            .get(&normalize_value(value))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Does the dictionary of `ty` contain `value`?
+    #[must_use]
+    pub fn contains(&self, ty: TypeId, value: &str) -> bool {
+        self.types_for_value(value).contains(&ty)
+    }
+
+    /// Dictionary of a type (original casing), if present.
+    #[must_use]
+    pub fn dictionary(&self, ty: TypeId) -> Option<&[String]> {
+        self.entries.get(&ty).map(Vec::as_slice)
+    }
+
+    /// Types that have a dictionary.
+    #[must_use]
+    pub fn covered_types(&self) -> Vec<TypeId> {
+        let mut v: Vec<TypeId> = self.entries.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Per-type fraction of `values` found in that type's dictionary,
+    /// sorted descending (ties broken by id for determinism).
+    ///
+    /// A value that misses as a whole still counts for a type when *all*
+    /// of its word tokens hit that type — this recovers composite values
+    /// such as full names ("Han Phi") from token dictionaries.
+    #[must_use]
+    pub fn coverage<S: AsRef<str>>(&self, values: &[S]) -> Vec<(TypeId, f64)> {
+        if values.is_empty() {
+            return Vec::new();
+        }
+        let mut counts: HashMap<TypeId, usize> = HashMap::new();
+        for v in values {
+            let v = v.as_ref();
+            let whole = self.types_for_value(v);
+            if !whole.is_empty() {
+                for &t in whole {
+                    *counts.entry(t).or_insert(0) += 1;
+                }
+                continue;
+            }
+            // Token fallback.
+            let tokens = tu_text::word_tokens(v);
+            if tokens.len() < 2 {
+                continue;
+            }
+            let mut candidate: Option<Vec<TypeId>> = None;
+            for tok in &tokens {
+                let hits = self.types_for_value(tok);
+                if hits.is_empty() {
+                    candidate = None;
+                    break;
+                }
+                candidate = Some(match candidate {
+                    None => hits.to_vec(),
+                    Some(prev) => prev.into_iter().filter(|t| hits.contains(t)).collect(),
+                });
+                if candidate.as_ref().is_some_and(Vec::is_empty) {
+                    candidate = None;
+                    break;
+                }
+            }
+            if let Some(types) = candidate {
+                for t in types {
+                    *counts.entry(t).or_insert(0) += 1;
+                }
+            }
+        }
+        let n = values.len() as f64;
+        let mut out: Vec<(TypeId, f64)> = counts
+            .into_iter()
+            .map(|(t, c)| (t, c as f64 / n))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tu_ontology::builtin_ontology;
+
+    fn kb() -> (Ontology, KnowledgeBase) {
+        let o = builtin_ontology();
+        let kb = KnowledgeBase::builtin(&o);
+        (o, kb)
+    }
+
+    #[test]
+    fn exact_lookup_normalizes() {
+        let (o, kb) = kb();
+        let city = builtin_id(&o, "city");
+        assert!(kb.contains(city, "Amsterdam"));
+        assert!(kb.contains(city, "  AMSTERDAM "));
+        assert!(kb.contains(city, "new york"));
+        assert!(!kb.contains(city, "Gotham"));
+    }
+
+    #[test]
+    fn ambiguous_values_hit_multiple_types() {
+        let (o, kb) = kb();
+        // "James" is both a first name and a last name (and thus a name).
+        let types = kb.types_for_value("James");
+        assert!(types.contains(&builtin_id(&o, "first name")));
+        assert!(types.contains(&builtin_id(&o, "last name")));
+        assert!(types.contains(&builtin_id(&o, "name")));
+    }
+
+    #[test]
+    fn coverage_fractions() {
+        let (o, kb) = kb();
+        let city = builtin_id(&o, "city");
+        let vals = ["Amsterdam", "Paris", "Nowhereville", "Tokyo"];
+        let cov = kb.coverage(&vals);
+        let (top, frac) = cov[0];
+        assert_eq!(top, city);
+        assert!((frac - 0.75).abs() < 1e-12);
+        assert!(kb.coverage::<&str>(&[]).is_empty());
+    }
+
+    #[test]
+    fn full_names_recovered_via_tokens() {
+        let (o, kb) = kb();
+        let name = builtin_id(&o, "name");
+        let vals = ["James Smith", "Mary Johnson", "Robert Brown"];
+        let cov = kb.coverage(&vals);
+        let name_frac = cov
+            .iter()
+            .find(|(t, _)| *t == name)
+            .map(|(_, f)| *f)
+            .unwrap_or(0.0);
+        assert!(
+            (name_frac - 1.0).abs() < 1e-12,
+            "full names should hit the name dictionary via tokens: {cov:?}"
+        );
+        // But a mixed-type token pair does not match.
+        assert!(kb
+            .coverage(&["James Amsterdam"])
+            .iter()
+            .all(|(t, _)| *t != name));
+    }
+
+    #[test]
+    fn custom_entries() {
+        let (o, mut kb) = kb();
+        let product = builtin_id(&o, "product");
+        kb.add_entries(product, &["Flux Capacitor"]);
+        assert!(kb.contains(product, "flux capacitor"));
+        assert!(kb.dictionary(product).unwrap().contains(&"Flux Capacitor".to_string()));
+        // Re-adding is idempotent in the index.
+        kb.add_entries(product, &["Flux Capacitor"]);
+        assert_eq!(
+            kb.types_for_value("flux capacitor")
+                .iter()
+                .filter(|t| **t == product)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn covered_types_listing() {
+        let (o, kb) = kb();
+        let covered = kb.covered_types();
+        assert!(covered.contains(&builtin_id(&o, "city")));
+        assert!(covered.len() >= 20);
+        // sorted
+        assert!(covered.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn empty_and_blank_entries_skipped() {
+        let (o, mut kb) = kb();
+        let team = builtin_id(&o, "team");
+        kb.add_entries(team, &["", "   "]);
+        assert!(kb.types_for_value("").is_empty());
+    }
+}

@@ -1,0 +1,15 @@
+//! # tu-kb
+//!
+//! The knowledge-base substrate: in-code entity dictionaries (cities,
+//! countries, names, companies, currencies, …) with a normalized
+//! value→type lookup index. Stands in for the DBpedia Knowledge Base the
+//! paper's value-lookup step consults (§4.3), and doubles as the
+//! vocabulary for the synthetic corpus generator so that generated values
+//! and lookup coverage stay mutually consistent.
+
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod kb;
+
+pub use kb::KnowledgeBase;

@@ -1,0 +1,41 @@
+//! Property tests: knowledge-base lookup consistency.
+
+use proptest::prelude::*;
+use tu_kb::KnowledgeBase;
+use tu_ontology::builtin_ontology;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn coverage_fractions_bounded(values in prop::collection::vec("\\PC{0,14}", 0..30)) {
+        let o = builtin_ontology();
+        let kb = KnowledgeBase::builtin(&o);
+        for (ty, frac) in kb.coverage(&values) {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&frac), "{ty:?} {frac}");
+            prop_assert!(!ty.is_unknown());
+        }
+    }
+
+    #[test]
+    fn contains_agrees_with_types_for_value(v in "\\PC{0,14}") {
+        let o = builtin_ontology();
+        let kb = KnowledgeBase::builtin(&o);
+        for &ty in kb.types_for_value(&v) {
+            prop_assert!(kb.contains(ty, &v));
+        }
+    }
+
+    #[test]
+    fn every_dictionary_entry_is_found(idx in 0usize..1000) {
+        let o = builtin_ontology();
+        let kb = KnowledgeBase::builtin(&o);
+        let covered = kb.covered_types();
+        let ty = covered[idx % covered.len()];
+        let dict = kb.dictionary(ty).unwrap();
+        if !dict.is_empty() {
+            let entry = &dict[idx % dict.len()];
+            prop_assert!(kb.contains(ty, entry), "{ty:?} should contain {entry:?}");
+        }
+    }
+}

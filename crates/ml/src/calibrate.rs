@@ -1,0 +1,139 @@
+//! Temperature scaling: post-hoc confidence calibration.
+//!
+//! The paper's τ-thresholding (§4.3: "we infer a parameter τ and
+//! threshold predictions … such that the precision of the system is
+//! high") only works when confidences are comparable across steps and
+//! types; temperature scaling makes the learned model's probabilities
+//! honest before they enter the vote.
+
+use crate::matrix::softmax_inplace;
+
+/// A fitted temperature (T > 0). `T = 1` is the identity; `T > 1`
+/// softens (less confident), `T < 1` sharpens.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Temperature(pub f32);
+
+impl Temperature {
+    /// Apply to logits, returning calibrated probabilities.
+    #[must_use]
+    pub fn apply(&self, logits: &[f32]) -> Vec<f32> {
+        let mut z: Vec<f32> = logits.iter().map(|&v| v / self.0).collect();
+        softmax_inplace(&mut z);
+        z
+    }
+}
+
+fn nll(logits: &[Vec<f32>], labels: &[usize], t: f32) -> f64 {
+    let temp = Temperature(t);
+    logits
+        .iter()
+        .zip(labels)
+        .map(|(z, &y)| {
+            let p = temp.apply(z);
+            -f64::from(p[y].max(1e-9)).ln()
+        })
+        .sum::<f64>()
+        / logits.len().max(1) as f64
+}
+
+/// Fit a temperature on held-out `(logits, labels)` by golden-section
+/// search over `T ∈ [0.05, 10]` minimizing negative log-likelihood.
+///
+/// Returns `Temperature(1.0)` on empty input.
+#[must_use]
+pub fn fit_temperature(logits: &[Vec<f32>], labels: &[usize]) -> Temperature {
+    assert_eq!(logits.len(), labels.len(), "length mismatch");
+    if logits.is_empty() {
+        return Temperature(1.0);
+    }
+    let (mut lo, mut hi) = (0.05f32, 10.0f32);
+    let phi = 0.618_034f32;
+    let mut x1 = hi - phi * (hi - lo);
+    let mut x2 = lo + phi * (hi - lo);
+    let mut f1 = nll(logits, labels, x1);
+    let mut f2 = nll(logits, labels, x2);
+    for _ in 0..60 {
+        if f1 < f2 {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - phi * (hi - lo);
+            f1 = nll(logits, labels, x1);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + phi * (hi - lo);
+            f2 = nll(logits, labels, x2);
+        }
+    }
+    Temperature((lo + hi) / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::argmax;
+
+    #[test]
+    fn identity_temperature() {
+        let t = Temperature(1.0);
+        let p = t.apply(&[1.0, 2.0]);
+        let mut expect = vec![1.0, 2.0];
+        softmax_inplace(&mut expect);
+        assert_eq!(p, expect);
+    }
+
+    #[test]
+    fn argmax_preserved() {
+        // Calibration must never change the predicted class.
+        for t in [0.1f32, 0.5, 2.0, 5.0] {
+            let temp = Temperature(t);
+            let z = vec![0.2f32, 1.4, -0.5];
+            assert_eq!(argmax(&temp.apply(&z)), argmax(&z));
+        }
+    }
+
+    #[test]
+    fn softening_reduces_confidence() {
+        let z = vec![3.0f32, 0.0];
+        let sharp = Temperature(0.5).apply(&z);
+        let soft = Temperature(4.0).apply(&z);
+        assert!(sharp[0] > soft[0]);
+    }
+
+    #[test]
+    fn fit_recovers_softening_for_overconfident_model() {
+        // Model emits logits scaled 5× too sharply: half the "confident"
+        // predictions are wrong. Fitting should choose T well above 1.
+        let mut logits = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..100 {
+            logits.push(vec![5.0, 0.0]);
+            // 70% of the time class 0 is right: moderately reliable.
+            labels.push(usize::from(i % 10 >= 7));
+        }
+        let t = fit_temperature(&logits, &labels);
+        assert!(t.0 > 1.5, "expected softening, got T={}", t.0);
+        // NLL at fitted T beats identity.
+        assert!(nll(&logits, &labels, t.0) < nll(&logits, &labels, 1.0));
+    }
+
+    #[test]
+    fn fit_on_calibrated_model_stays_near_one() {
+        // Logits whose softmax already matches empirical accuracy (~88%).
+        let mut logits = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..200 {
+            logits.push(vec![1.0, -1.0]);
+            labels.push(usize::from(i % 100 >= 88));
+        }
+        let t = fit_temperature(&logits, &labels);
+        assert!((0.5..2.0).contains(&t.0), "T={}", t.0);
+    }
+
+    #[test]
+    fn empty_input_identity() {
+        assert_eq!(fit_temperature(&[], &[]), Temperature(1.0));
+    }
+}

@@ -1,0 +1,245 @@
+//! Datasets, standardization, and batching.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A labeled dataset of dense feature vectors.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// Feature vectors (equal lengths).
+    pub x: Vec<Vec<f32>>,
+    /// Class labels, `0..n_classes`.
+    pub y: Vec<usize>,
+    /// Number of classes.
+    pub n_classes: usize,
+}
+
+impl Dataset {
+    /// Create, validating shapes.
+    ///
+    /// # Panics
+    /// Panics when lengths differ, feature dims are ragged, or a label is
+    /// out of range.
+    #[must_use]
+    pub fn new(x: Vec<Vec<f32>>, y: Vec<usize>, n_classes: usize) -> Self {
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        if let Some(first) = x.first() {
+            let d = first.len();
+            assert!(x.iter().all(|v| v.len() == d), "ragged feature vectors");
+        }
+        assert!(
+            y.iter().all(|&l| l < n_classes),
+            "label out of range (n_classes={n_classes})"
+        );
+        Dataset { x, y, n_classes }
+    }
+
+    /// Number of examples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// `true` when there are no examples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Feature dimensionality (0 when empty).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.x.first().map_or(0, Vec::len)
+    }
+
+    /// Append another dataset (same dim / class space).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn extend(&mut self, other: &Dataset) {
+        if !other.is_empty() {
+            if !self.is_empty() {
+                assert_eq!(self.dim(), other.dim(), "dim mismatch");
+            }
+            self.n_classes = self.n_classes.max(other.n_classes);
+            self.x.extend(other.x.iter().cloned());
+            self.y.extend(other.y.iter().copied());
+        }
+    }
+
+    /// Deterministic shuffled split into `(train, held-out)`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 < fraction < 1.0`.
+    #[must_use]
+    pub fn split(&self, fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!(fraction > 0.0 && fraction < 1.0, "fraction in (0,1)");
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        let cut = ((self.len() as f64) * fraction).round() as usize;
+        let cut = cut.clamp(1, self.len().saturating_sub(1).max(1));
+        let pick = |ids: &[usize]| Dataset {
+            x: ids.iter().map(|&i| self.x[i].clone()).collect(),
+            y: ids.iter().map(|&i| self.y[i]).collect(),
+            n_classes: self.n_classes,
+        };
+        (pick(&idx[..cut]), pick(&idx[cut..]))
+    }
+
+    /// Deterministic minibatch index order for one epoch.
+    #[must_use]
+    pub fn epoch_order(&self, seed: u64) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        idx
+    }
+}
+
+/// Z-score feature scaler.
+#[derive(Debug, Clone)]
+pub struct StandardScaler {
+    /// Per-feature means.
+    pub mean: Vec<f32>,
+    /// Per-feature standard deviations (≥ small epsilon).
+    pub std: Vec<f32>,
+}
+
+impl StandardScaler {
+    /// Fit on a dataset's features.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    #[must_use]
+    pub fn fit(x: &[Vec<f32>]) -> Self {
+        assert!(!x.is_empty(), "cannot fit scaler on empty data");
+        let d = x[0].len();
+        let n = x.len() as f32;
+        let mut mean = vec![0.0f32; d];
+        for v in x {
+            for (m, &xi) in mean.iter_mut().zip(v) {
+                *m += xi;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut std = vec![0.0f32; d];
+        for v in x {
+            for ((s, &xi), &m) in std.iter_mut().zip(v).zip(&mean) {
+                *s += (xi - m) * (xi - m);
+            }
+        }
+        for s in &mut std {
+            *s = (*s / n).sqrt().max(1e-6);
+        }
+        StandardScaler { mean, std }
+    }
+
+    /// Transform one vector in place.
+    pub fn transform_inplace(&self, v: &mut [f32]) {
+        for ((x, &m), &s) in v.iter_mut().zip(&self.mean).zip(&self.std) {
+            *x = (*x - m) / s;
+        }
+    }
+
+    /// Transform a copy.
+    #[must_use]
+    pub fn transform(&self, v: &[f32]) -> Vec<f32> {
+        let mut out = v.to_vec();
+        self.transform_inplace(&mut out);
+        out
+    }
+
+    /// Transform every row of a dataset in place.
+    pub fn transform_dataset(&self, ds: &mut Dataset) {
+        for v in &mut ds.x {
+            self.transform_inplace(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> Dataset {
+        Dataset::new(
+            vec![vec![0.0, 10.0], vec![2.0, 20.0], vec![4.0, 30.0]],
+            vec![0, 1, 0],
+            2,
+        )
+    }
+
+    #[test]
+    fn construction_checks() {
+        let d = ds();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.dim(), 2);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn label_range_checked() {
+        let _ = Dataset::new(vec![vec![0.0]], vec![5], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rejected() {
+        let _ = Dataset::new(vec![vec![0.0], vec![0.0, 1.0]], vec![0, 0], 1);
+    }
+
+    #[test]
+    fn scaler_standardizes() {
+        let d = ds();
+        let sc = StandardScaler::fit(&d.x);
+        let mut copy = d.clone();
+        sc.transform_dataset(&mut copy);
+        // Column means ≈ 0, stds ≈ 1.
+        for c in 0..2 {
+            let vals: Vec<f32> = copy.x.iter().map(|v| v[c]).collect();
+            let m: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            assert!(m.abs() < 1e-6);
+        }
+        // Constant features do not blow up.
+        let sc2 = StandardScaler::fit(&[vec![5.0], vec![5.0]]);
+        assert_eq!(sc2.transform(&[5.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn split_deterministic_and_partitioning() {
+        let d = Dataset::new(
+            (0..20).map(|i| vec![i as f32]).collect(),
+            (0..20).map(|i| i % 2).collect(),
+            2,
+        );
+        let (a, b) = d.split(0.8, 1);
+        assert_eq!(a.len(), 16);
+        assert_eq!(b.len(), 4);
+        let (a2, _) = d.split(0.8, 1);
+        assert_eq!(a.x, a2.x);
+    }
+
+    #[test]
+    fn extend_merges() {
+        let mut a = ds();
+        let b = ds();
+        a.extend(&b);
+        assert_eq!(a.len(), 6);
+        a.extend(&Dataset::default());
+        assert_eq!(a.len(), 6);
+    }
+
+    #[test]
+    fn epoch_order_is_permutation() {
+        let d = ds();
+        let order = d.epoch_order(7);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+        assert_eq!(order, d.epoch_order(7));
+    }
+}

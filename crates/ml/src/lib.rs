@@ -1,0 +1,25 @@
+//! # tu-ml
+//!
+//! A minimal, from-scratch machine-learning substrate: dense matrices,
+//! an MLP classifier with manual backprop + Adam (gradient-checked), a
+//! z-score scaler, classification/OOD/calibration metrics, and
+//! temperature scaling. This powers both the Sherlock-like learned
+//! baseline and SigmaTyper's table-embedding model head, including the
+//! incremental `partial_fit` finetuning used by local models (§4.2).
+
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod data;
+pub mod matrix;
+pub mod metrics;
+pub mod mlp;
+
+pub use calibrate::{fit_temperature, Temperature};
+pub use data::{Dataset, StandardScaler};
+pub use matrix::{argmax, softmax_inplace, Matrix};
+pub use metrics::{
+    accuracy, auroc, classification_report, confusion_matrix, expected_calibration_error,
+    fpr_at_tpr, top_k_accuracy, ClassificationReport,
+};
+pub use mlp::{Mlp, MlpConfig};

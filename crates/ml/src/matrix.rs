@@ -1,0 +1,203 @@
+//! Dense row-major f32 matrices — just enough linear algebra for the
+//! classifiers in this crate.
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a function of `(row, col)`.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from a flat row-major vector.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Element accessor.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row slice.
+    #[inline]
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat data view.
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable data view.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// `self · x` for a vector `x` (length `cols`), into `out` (length `rows`).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn matvec_into(&self, x: &[f32], out: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "matvec dim");
+        assert_eq!(out.len(), self.rows, "matvec out dim");
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = self.row(r);
+            *o = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+    }
+
+    /// `selfᵀ · x` for a vector `x` (length `rows`), into `out` (length `cols`).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn t_matvec_into(&self, x: &[f32], out: &mut [f32]) {
+        assert_eq!(x.len(), self.rows, "t_matvec dim");
+        assert_eq!(out.len(), self.cols, "t_matvec out dim");
+        out.iter_mut().for_each(|o| *o = 0.0);
+        for (r, &xr) in x.iter().enumerate() {
+            if xr == 0.0 {
+                continue;
+            }
+            let row = self.row(r);
+            for (o, &w) in out.iter_mut().zip(row) {
+                *o += xr * w;
+            }
+        }
+    }
+}
+
+/// Numerically stable in-place softmax.
+pub fn softmax_inplace(z: &mut [f32]) {
+    if z.is_empty() {
+        return;
+    }
+    let max = z.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in z.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in z.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// Index of the maximum element (first on ties); `None` when empty.
+#[must_use]
+pub fn argmax(v: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &x) in v.iter().enumerate() {
+        match best {
+            Some((_, bx)) if x <= bx => {}
+            _ => best = Some((i, x)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(0), &[0.0, 0.0, 0.0]);
+        let f = Matrix::from_fn(2, 2, |r, c| (r * 2 + c) as f32);
+        assert_eq!(f.data(), &[0.0, 1.0, 2.0, 3.0]);
+        let v = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        assert_eq!(v.get(0, 1), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn bad_shape_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn matvec_hand_checked() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut out = vec![0.0; 2];
+        m.matvec_into(&[1.0, 0.0, -1.0], &mut out);
+        assert_eq!(out, vec![-2.0, -2.0]);
+        let mut tout = vec![0.0; 3];
+        m.t_matvec_into(&[1.0, 1.0], &mut tout);
+        assert_eq!(tout, vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn softmax_distribution() {
+        let mut z = vec![1.0, 2.0, 3.0];
+        softmax_inplace(&mut z);
+        let sum: f32 = z.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(z[2] > z[1] && z[1] > z[0]);
+        // Stability under large values.
+        let mut big = vec![1000.0, 1001.0];
+        softmax_inplace(&mut big);
+        assert!(big.iter().all(|v| v.is_finite()));
+        softmax_inplace(&mut []);
+    }
+
+    #[test]
+    fn argmax_cases() {
+        assert_eq!(argmax(&[1.0, 3.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[2.0, 2.0]), Some(0));
+        assert_eq!(argmax(&[]), None);
+    }
+}

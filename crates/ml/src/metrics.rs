@@ -1,0 +1,288 @@
+//! Evaluation metrics: accuracy, F1, confusion, AUROC, calibration error.
+
+/// Plain accuracy; `0.0` on empty input.
+///
+/// # Panics
+/// Panics when lengths differ.
+#[must_use]
+pub fn accuracy(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let hits = pred.iter().zip(truth).filter(|(p, t)| p == t).count();
+    hits as f64 / pred.len() as f64
+}
+
+/// Confusion matrix `[truth][pred]`.
+#[must_use]
+pub fn confusion_matrix(pred: &[usize], truth: &[usize], n_classes: usize) -> Vec<Vec<usize>> {
+    let mut m = vec![vec![0usize; n_classes]; n_classes];
+    for (&p, &t) in pred.iter().zip(truth) {
+        m[t][p] += 1;
+    }
+    m
+}
+
+/// Per-class precision/recall/F1 plus macro averages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassificationReport {
+    /// Per-class `(precision, recall, f1, support)`.
+    pub per_class: Vec<(f64, f64, f64, usize)>,
+    /// Macro-averaged precision.
+    pub macro_precision: f64,
+    /// Macro-averaged recall.
+    pub macro_recall: f64,
+    /// Macro-averaged F1 (over classes with support).
+    pub macro_f1: f64,
+}
+
+/// Build a [`ClassificationReport`].
+#[must_use]
+#[allow(clippy::needless_range_loop)] // row/column sweeps over the matrix
+pub fn classification_report(
+    pred: &[usize],
+    truth: &[usize],
+    n_classes: usize,
+) -> ClassificationReport {
+    let m = confusion_matrix(pred, truth, n_classes);
+    let mut per_class = Vec::with_capacity(n_classes);
+    let (mut sp, mut sr, mut sf, mut supported) = (0.0, 0.0, 0.0, 0usize);
+    for c in 0..n_classes {
+        let tp = m[c][c];
+        let fn_: usize = m[c].iter().sum::<usize>() - tp;
+        let fp: usize = (0..n_classes).map(|t| m[t][c]).sum::<usize>() - tp;
+        let support = tp + fn_;
+        let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+        let recall = if support == 0 { 0.0 } else { tp as f64 / support as f64 };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        per_class.push((precision, recall, f1, support));
+        if support > 0 {
+            sp += precision;
+            sr += recall;
+            sf += f1;
+            supported += 1;
+        }
+    }
+    let d = supported.max(1) as f64;
+    ClassificationReport {
+        per_class,
+        macro_precision: sp / d,
+        macro_recall: sr / d,
+        macro_f1: sf / d,
+    }
+}
+
+/// Area under the ROC curve for binary scores (higher score ⇒ more
+/// positive). Ties handled by the rank formulation; `0.5` when one class
+/// is absent.
+#[must_use]
+pub fn auroc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Rank-sum (Mann-Whitney U) with average ranks for ties.
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for k in i..=j {
+            ranks[idx[k]] = avg_rank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = ranks
+        .iter()
+        .zip(labels)
+        .filter_map(|(r, &l)| l.then_some(*r))
+        .sum();
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos * n_neg) as f64
+}
+
+/// False-positive rate at the score threshold achieving at least
+/// `tpr_target` true-positive rate. Standard OOD-detection metric
+/// (FPR@95TPR). Returns `1.0` when unattainable.
+#[must_use]
+pub fn fpr_at_tpr(scores: &[f64], labels: &[bool], tpr_target: f64) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 1.0;
+    }
+    // Sweep thresholds descending by score: classify score ≥ τ as positive.
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut best = 1.0f64;
+    let mut i = 0;
+    while i < idx.len() {
+        // Consume a tie-group atomically.
+        let mut j = i;
+        while j < idx.len() && scores[idx[j]] == scores[idx[i]] {
+            if labels[idx[j]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            j += 1;
+        }
+        let tpr = tp as f64 / n_pos as f64;
+        if tpr >= tpr_target {
+            best = best.min(fp as f64 / n_neg as f64);
+        }
+        i = j;
+    }
+    best
+}
+
+/// Expected calibration error with `bins` equal-width confidence bins.
+#[must_use]
+pub fn expected_calibration_error(
+    confidences: &[f64],
+    correct: &[bool],
+    bins: usize,
+) -> f64 {
+    assert_eq!(confidences.len(), correct.len(), "length mismatch");
+    assert!(bins > 0, "bins must be positive");
+    if confidences.is_empty() {
+        return 0.0;
+    }
+    let mut bin_conf = vec![0.0f64; bins];
+    let mut bin_acc = vec![0.0f64; bins];
+    let mut bin_n = vec![0usize; bins];
+    for (&c, &ok) in confidences.iter().zip(correct) {
+        let b = ((c * bins as f64) as usize).min(bins - 1);
+        bin_conf[b] += c;
+        bin_acc[b] += f64::from(u8::from(ok));
+        bin_n[b] += 1;
+    }
+    let n = confidences.len() as f64;
+    (0..bins)
+        .filter(|&b| bin_n[b] > 0)
+        .map(|b| {
+            let nb = bin_n[b] as f64;
+            (bin_conf[b] / nb - bin_acc[b] / nb).abs() * nb / n
+        })
+        .sum()
+}
+
+/// Top-k accuracy given per-example ranked predictions.
+#[must_use]
+pub fn top_k_accuracy(ranked: &[Vec<usize>], truth: &[usize], k: usize) -> f64 {
+    assert_eq!(ranked.len(), truth.len(), "length mismatch");
+    if ranked.is_empty() {
+        return 0.0;
+    }
+    let hits = ranked
+        .iter()
+        .zip(truth)
+        .filter(|(r, t)| r.iter().take(k).any(|p| p == *t))
+        .count();
+    hits as f64 / ranked.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[0, 1, 1], &[0, 1, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn confusion_layout() {
+        let m = confusion_matrix(&[0, 1, 1, 0], &[0, 1, 0, 1], 2);
+        assert_eq!(m[0][0], 1); // truth 0, pred 0
+        assert_eq!(m[0][1], 1); // truth 0, pred 1
+        assert_eq!(m[1][0], 1);
+        assert_eq!(m[1][1], 1);
+    }
+
+    #[test]
+    fn report_hand_checked() {
+        // truth: [0,0,1,1], pred: [0,1,1,1]
+        let r = classification_report(&[0, 1, 1, 1], &[0, 0, 1, 1], 2);
+        let (p0, r0, _, s0) = r.per_class[0];
+        assert_eq!(s0, 2);
+        assert!((p0 - 1.0).abs() < 1e-12); // one pred-0, correct
+        assert!((r0 - 0.5).abs() < 1e-12);
+        let (p1, r1, f1, _) = r.per_class[1];
+        assert!((p1 - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r1 - 1.0).abs() < 1e-12);
+        assert!((f1 - 0.8).abs() < 1e-12);
+        assert!((r.macro_f1 - (2.0 / 3.0 + 0.8) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_ignores_unsupported_classes() {
+        let r = classification_report(&[0, 0], &[0, 0], 3);
+        assert_eq!(r.macro_recall, 1.0);
+        assert_eq!(r.per_class[2].3, 0);
+    }
+
+    #[test]
+    fn auroc_cases() {
+        // Perfect separation.
+        assert_eq!(auroc(&[0.9, 0.8, 0.2, 0.1], &[true, true, false, false]), 1.0);
+        // Inverted.
+        assert_eq!(auroc(&[0.1, 0.2, 0.8, 0.9], &[true, true, false, false]), 0.0);
+        // All tied → 0.5.
+        assert_eq!(auroc(&[0.5, 0.5, 0.5, 0.5], &[true, false, true, false]), 0.5);
+        // Degenerate labels.
+        assert_eq!(auroc(&[0.3, 0.4], &[true, true]), 0.5);
+    }
+
+    #[test]
+    fn fpr_at_tpr_cases() {
+        // Perfect: can reach TPR 1.0 with zero FPR.
+        assert_eq!(
+            fpr_at_tpr(&[0.9, 0.8, 0.2, 0.1], &[true, true, false, false], 0.95),
+            0.0
+        );
+        // Overlapping: [pos .9, neg .85, pos .8, neg .1]; to reach both
+        // positives we must include the .85 negative → FPR 0.5.
+        let f = fpr_at_tpr(&[0.9, 0.85, 0.8, 0.1], &[true, false, true, false], 0.95);
+        assert!((f - 0.5).abs() < 1e-12);
+        assert_eq!(fpr_at_tpr(&[0.5], &[true], 0.95), 1.0);
+    }
+
+    #[test]
+    fn ece_perfectly_calibrated() {
+        // Confidence 0.75, accuracy 0.75 → ECE 0.
+        let conf = vec![0.75; 4];
+        let correct = vec![true, true, true, false];
+        let e = expected_calibration_error(&conf, &correct, 10);
+        assert!(e < 1e-12);
+        // Overconfident: conf 1.0, accuracy 0.5 → ECE 0.5.
+        let e = expected_calibration_error(&[1.0, 1.0], &[true, false], 10);
+        assert!((e - 0.5).abs() < 1e-12);
+        assert_eq!(expected_calibration_error(&[], &[], 5), 0.0);
+    }
+
+    #[test]
+    fn top_k() {
+        let ranked = vec![vec![2, 0, 1], vec![1, 2, 0]];
+        let truth = vec![0, 0];
+        assert_eq!(top_k_accuracy(&ranked, &truth, 1), 0.0);
+        assert_eq!(top_k_accuracy(&ranked, &truth, 2), 0.5);
+        assert_eq!(top_k_accuracy(&ranked, &truth, 3), 1.0);
+        assert_eq!(top_k_accuracy(&[], &[], 1), 0.0);
+    }
+}

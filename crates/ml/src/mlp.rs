@@ -1,0 +1,500 @@
+//! A multi-layer perceptron with manual backprop and Adam.
+//!
+//! This is the learned-model workhorse: the Sherlock-like baseline and
+//! SigmaTyper's table-embedding classifier (the TaBERT substitute) are
+//! both MLP heads over engineered features. Supports incremental
+//! `partial_fit` so local models can be finetuned from DPBD-generated
+//! weak labels without retraining from scratch (§4.2).
+
+use crate::data::Dataset;
+use crate::matrix::{argmax, softmax_inplace, Matrix};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MlpConfig {
+    /// Hidden layer width (single hidden layer; 0 = logistic regression).
+    pub hidden: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// L2 regularization strength.
+    pub l2: f32,
+    /// Epochs for `fit`.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch: usize,
+    /// RNG seed for init and shuffling.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig {
+            hidden: 64,
+            lr: 5e-3,
+            l2: 1e-5,
+            epochs: 30,
+            batch: 32,
+            seed: 0x5163,
+        }
+    }
+}
+
+/// One dense layer.
+#[derive(Debug, Clone)]
+struct Layer {
+    w: Matrix,      // out × in
+    b: Vec<f32>,    // out
+    // Adam state
+    mw: Vec<f32>,
+    vw: Vec<f32>,
+    mb: Vec<f32>,
+    vb: Vec<f32>,
+}
+
+impl Layer {
+    fn new(rng: &mut StdRng, inp: usize, out: usize) -> Self {
+        let scale = (2.0 / inp.max(1) as f32).sqrt();
+        let w = Matrix::from_fn(out, inp, |_, _| (rng.random::<f32>() * 2.0 - 1.0) * scale);
+        Layer {
+            mw: vec![0.0; out * inp],
+            vw: vec![0.0; out * inp],
+            mb: vec![0.0; out],
+            vb: vec![0.0; out],
+            b: vec![0.0; out],
+            w,
+        }
+    }
+}
+
+/// The classifier.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+    config: MlpConfig,
+    n_classes: usize,
+    dim: usize,
+    adam_t: u64,
+}
+
+impl Mlp {
+    /// Create an untrained model for `dim` features and `n_classes` classes.
+    ///
+    /// # Panics
+    /// Panics when `dim` or `n_classes` is zero.
+    #[must_use]
+    pub fn new(dim: usize, n_classes: usize, config: MlpConfig) -> Self {
+        assert!(dim > 0 && n_classes > 0, "dim and n_classes must be positive");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let layers = if config.hidden == 0 {
+            vec![Layer::new(&mut rng, dim, n_classes)]
+        } else {
+            vec![
+                Layer::new(&mut rng, dim, config.hidden),
+                Layer::new(&mut rng, config.hidden, n_classes),
+            ]
+        };
+        Mlp {
+            layers,
+            config,
+            n_classes,
+            dim,
+            adam_t: 0,
+        }
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Feature dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Raw logits for one input.
+    #[must_use]
+    pub fn logits(&self, x: &[f32]) -> Vec<f32> {
+        let (acts, _) = self.forward(x);
+        acts.last().expect("at least one layer").clone()
+    }
+
+    /// Class probabilities for one input.
+    #[must_use]
+    pub fn predict_proba(&self, x: &[f32]) -> Vec<f32> {
+        let mut z = self.logits(x);
+        softmax_inplace(&mut z);
+        z
+    }
+
+    /// Hard prediction with its probability.
+    #[must_use]
+    pub fn predict(&self, x: &[f32]) -> (usize, f32) {
+        let p = self.predict_proba(x);
+        let i = argmax(&p).expect("nonempty classes");
+        (i, p[i])
+    }
+
+    /// Forward pass: returns (pre-activations per layer incl. output
+    /// logits, post-activation hidden outputs).
+    fn forward(&self, x: &[f32]) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
+        assert_eq!(x.len(), self.dim, "input dim mismatch");
+        let mut pre = Vec::with_capacity(self.layers.len());
+        let mut post = Vec::with_capacity(self.layers.len());
+        let mut cur: Vec<f32> = x.to_vec();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let mut z = vec![0.0f32; layer.b.len()];
+            layer.w.matvec_into(&cur, &mut z);
+            for (zi, &bi) in z.iter_mut().zip(&layer.b) {
+                *zi += bi;
+            }
+            let is_last = li + 1 == self.layers.len();
+            if is_last {
+                pre.push(z.clone());
+                post.push(z);
+            } else {
+                pre.push(z.clone());
+                let h: Vec<f32> = z.iter().map(|&v| v.max(0.0)).collect(); // ReLU
+                cur = h.clone();
+                post.push(h);
+            }
+            if !is_last {
+                continue;
+            }
+        }
+        (pre, post)
+    }
+
+    /// Train from scratch on a dataset (resets nothing; call on a fresh
+    /// model). Returns final-epoch mean cross-entropy loss.
+    pub fn fit(&mut self, ds: &Dataset) -> f32 {
+        let mut last = 0.0;
+        for epoch in 0..self.config.epochs {
+            last = self.run_epoch(ds, self.config.seed ^ (epoch as u64 + 1));
+        }
+        last
+    }
+
+    /// One incremental pass over (possibly new) data — the finetuning
+    /// primitive for local models. Returns mean loss of the pass.
+    pub fn partial_fit(&mut self, ds: &Dataset, epochs: usize) -> f32 {
+        let mut last = 0.0;
+        for epoch in 0..epochs {
+            last = self.run_epoch(ds, self.adam_t.wrapping_add(epoch as u64 + 17));
+        }
+        last
+    }
+
+    fn run_epoch(&mut self, ds: &Dataset, seed: u64) -> f32 {
+        if ds.is_empty() {
+            return 0.0;
+        }
+        assert_eq!(ds.dim(), self.dim, "dataset dim mismatch");
+        assert!(ds.n_classes <= self.n_classes, "dataset has too many classes");
+        let order = ds.epoch_order(seed);
+        let mut total_loss = 0.0f32;
+        for chunk in order.chunks(self.config.batch.max(1)) {
+            total_loss += self.step_batch(ds, chunk);
+        }
+        total_loss / ds.len() as f32
+    }
+
+    /// Backprop for one example, accumulating into `gw`/`gb`; returns the
+    /// example's cross-entropy loss. Shared by training and the
+    /// finite-difference gradient check.
+    fn accumulate_gradients(
+        &self,
+        x: &[f32],
+        y: usize,
+        gw: &mut [Vec<f32>],
+        gb: &mut [Vec<f32>],
+    ) -> f32 {
+        let n_layers = self.layers.len();
+        let (pre, post) = self.forward(x);
+        let mut probs = pre[n_layers - 1].clone();
+        softmax_inplace(&mut probs);
+        let loss = -(probs[y].max(1e-9)).ln();
+
+        // delta at output: p - onehot
+        let mut delta: Vec<f32> = probs;
+        delta[y] -= 1.0;
+
+        for li in (0..n_layers).rev() {
+            let input: &[f32] = if li == 0 { x } else { &post[li - 1] };
+            // Accumulate gradients: gw += delta ⊗ input, gb += delta.
+            let cols = self.layers[li].w.cols;
+            let g = &mut gw[li];
+            for (r, &d) in delta.iter().enumerate() {
+                if d == 0.0 {
+                    continue;
+                }
+                let row = &mut g[r * cols..(r + 1) * cols];
+                for (gv, &xi) in row.iter_mut().zip(input) {
+                    *gv += d * xi;
+                }
+            }
+            for (gbv, &d) in gb[li].iter_mut().zip(&delta) {
+                *gbv += d;
+            }
+            if li > 0 {
+                // Propagate: delta_prev = Wᵀ·delta ⊙ ReLU'(pre_prev)
+                let mut prev = vec![0.0f32; cols];
+                self.layers[li].w.t_matvec_into(&delta, &mut prev);
+                for (p, &z) in prev.iter_mut().zip(&pre[li - 1]) {
+                    if z <= 0.0 {
+                        *p = 0.0;
+                    }
+                }
+                delta = prev;
+            }
+        }
+        loss
+    }
+
+    /// One Adam step on a minibatch; returns summed loss.
+    fn step_batch(&mut self, ds: &Dataset, idx: &[usize]) -> f32 {
+        let n_layers = self.layers.len();
+        // Accumulated gradients per layer.
+        let mut gw: Vec<Vec<f32>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.w.rows * l.w.cols])
+            .collect();
+        let mut gb: Vec<Vec<f32>> = self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+        let mut loss_sum = 0.0f32;
+
+        for &i in idx {
+            loss_sum += self.accumulate_gradients(&ds.x[i], ds.y[i], &mut gw, &mut gb);
+        }
+        let _ = n_layers;
+
+        // Adam update.
+        self.adam_t += 1;
+        let t = self.adam_t as f32;
+        let (b1, b2, eps) = (0.9f32, 0.999f32, 1e-8f32);
+        let bc1 = 1.0 - b1.powf(t);
+        let bc2 = 1.0 - b2.powf(t);
+        let lr = self.config.lr;
+        let l2 = self.config.l2;
+        let scale = 1.0 / idx.len().max(1) as f32;
+        for (li, layer) in self.layers.iter_mut().enumerate() {
+            let wdata = layer.w.data_mut();
+            for (j, w) in wdata.iter_mut().enumerate() {
+                let g = gw[li][j] * scale + l2 * *w;
+                layer.mw[j] = b1 * layer.mw[j] + (1.0 - b1) * g;
+                layer.vw[j] = b2 * layer.vw[j] + (1.0 - b2) * g * g;
+                *w -= lr * (layer.mw[j] / bc1) / ((layer.vw[j] / bc2).sqrt() + eps);
+            }
+            for (j, b) in layer.b.iter_mut().enumerate() {
+                let g = gb[li][j] * scale;
+                layer.mb[j] = b1 * layer.mb[j] + (1.0 - b1) * g;
+                layer.vb[j] = b2 * layer.vb[j] + (1.0 - b2) * g * g;
+                *b -= lr * (layer.mb[j] / bc1) / ((layer.vb[j] / bc2).sqrt() + eps);
+            }
+        }
+        loss_sum
+    }
+
+    /// Mean cross-entropy on a dataset (no updates).
+    #[must_use]
+    pub fn loss(&self, ds: &Dataset) -> f32 {
+        if ds.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for (x, &y) in ds.x.iter().zip(&ds.y) {
+            let p = self.predict_proba(x);
+            total += -(p[y].max(1e-9)).ln();
+        }
+        total / ds.len() as f32
+    }
+
+    /// Accuracy on a dataset.
+    #[must_use]
+    pub fn accuracy(&self, ds: &Dataset) -> f64 {
+        if ds.is_empty() {
+            return 0.0;
+        }
+        let hits = ds
+            .x
+            .iter()
+            .zip(&ds.y)
+            .filter(|(x, &y)| self.predict(x).0 == y)
+            .count();
+        hits as f64 / ds.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated Gaussian-ish blobs.
+    fn blobs(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let class = i % 2;
+            let cx = if class == 0 { -2.0 } else { 2.0 };
+            x.push(vec![
+                cx + rng.random::<f32>() - 0.5,
+                -cx + rng.random::<f32>() - 0.5,
+            ]);
+            y.push(class);
+        }
+        Dataset::new(x, y, 2)
+    }
+
+    /// XOR — requires the hidden layer.
+    fn xor(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a = rng.random_bool(0.5);
+            let b = rng.random_bool(0.5);
+            let mut v = vec![f32::from(a as u8), f32::from(b as u8)];
+            v[0] += rng.random::<f32>() * 0.2 - 0.1;
+            v[1] += rng.random::<f32>() * 0.2 - 0.1;
+            x.push(v);
+            y.push(usize::from(a ^ b));
+        }
+        Dataset::new(x, y, 2)
+    }
+
+    #[test]
+    fn learns_blobs_without_hidden_layer() {
+        let ds = blobs(200, 1);
+        let mut m = Mlp::new(2, 2, MlpConfig { hidden: 0, epochs: 40, ..MlpConfig::default() });
+        m.fit(&ds);
+        assert!(m.accuracy(&ds) > 0.95, "accuracy {}", m.accuracy(&ds));
+    }
+
+    #[test]
+    fn learns_xor_with_hidden_layer() {
+        let ds = xor(400, 2);
+        let mut m = Mlp::new(
+            2,
+            2,
+            MlpConfig { hidden: 16, epochs: 120, lr: 1e-2, ..MlpConfig::default() },
+        );
+        m.fit(&ds);
+        assert!(m.accuracy(&ds) > 0.95, "xor accuracy {}", m.accuracy(&ds));
+    }
+
+    #[test]
+    fn probabilities_form_distribution() {
+        let ds = blobs(50, 3);
+        let mut m = Mlp::new(2, 2, MlpConfig::default());
+        m.fit(&ds);
+        for x in &ds.x {
+            let p = m.predict_proba(x);
+            let s: f32 = p.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn partial_fit_improves_on_new_region() {
+        // Train on blobs, then drift the blobs; partial_fit should adapt.
+        let ds = blobs(200, 4);
+        let mut m = Mlp::new(2, 2, MlpConfig { epochs: 30, ..MlpConfig::default() });
+        m.fit(&ds);
+        // Shifted blobs: swap the classes (label shift).
+        let mut shifted = ds.clone();
+        for y in &mut shifted.y {
+            *y = 1 - *y;
+        }
+        let before = m.accuracy(&shifted);
+        m.partial_fit(&shifted, 30);
+        let after = m.accuracy(&shifted);
+        assert!(after > before + 0.3, "before {before} after {after}");
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let ds = blobs(100, 5);
+        let mut a = Mlp::new(2, 2, MlpConfig::default());
+        let mut b = Mlp::new(2, 2, MlpConfig::default());
+        a.fit(&ds);
+        b.fit(&ds);
+        assert_eq!(a.logits(&ds.x[0]), b.logits(&ds.x[0]));
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // indices drive clones of `model`
+    fn numerical_gradient_check() {
+        // Compare backprop gradients against central finite differences
+        // for every weight and bias of a tiny network.
+        let x = vec![0.3f32, -0.7];
+        let y = 1usize;
+        let ds = Dataset::new(vec![x.clone()], vec![y], 2);
+        let model = Mlp::new(
+            2,
+            2,
+            MlpConfig { hidden: 3, lr: 0.0, l2: 0.0, epochs: 0, batch: 1, seed: 9 },
+        );
+        let mut gw: Vec<Vec<f32>> = model
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.w.rows * l.w.cols])
+            .collect();
+        let mut gb: Vec<Vec<f32>> = model.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+        let _ = model.accumulate_gradients(&x, y, &mut gw, &mut gb);
+
+        let eps = 1e-3f32;
+        for li in 0..model.layers.len() {
+            let (rows, cols) = (model.layers[li].w.rows, model.layers[li].w.cols);
+            for r in 0..rows {
+                for c in 0..cols {
+                    let mut plus = model.clone();
+                    let v = plus.layers[li].w.get(r, c);
+                    plus.layers[li].w.set(r, c, v + eps);
+                    let mut minus = model.clone();
+                    let v = minus.layers[li].w.get(r, c);
+                    minus.layers[li].w.set(r, c, v - eps);
+                    let numeric = (plus.loss(&ds) - minus.loss(&ds)) / (2.0 * eps);
+                    let analytic = gw[li][r * cols + c];
+                    assert!(
+                        (numeric - analytic).abs() < 2e-2,
+                        "layer {li} w[{r},{c}]: numeric {numeric} vs analytic {analytic}"
+                    );
+                }
+            }
+            for bidx in 0..model.layers[li].b.len() {
+                let mut plus = model.clone();
+                plus.layers[li].b[bidx] += eps;
+                let mut minus = model.clone();
+                minus.layers[li].b[bidx] -= eps;
+                let numeric = (plus.loss(&ds) - minus.loss(&ds)) / (2.0 * eps);
+                let analytic = gb[li][bidx];
+                assert!(
+                    (numeric - analytic).abs() < 2e-2,
+                    "layer {li} b[{bidx}]: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dataset_noop() {
+        let mut m = Mlp::new(2, 2, MlpConfig::default());
+        let empty = Dataset::default();
+        assert_eq!(m.partial_fit(&empty, 3), 0.0);
+        assert_eq!(m.loss(&empty), 0.0);
+        assert_eq!(m.accuracy(&empty), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "input dim mismatch")]
+    fn wrong_dim_panics() {
+        let m = Mlp::new(3, 2, MlpConfig::default());
+        let _ = m.predict_proba(&[1.0]);
+    }
+}

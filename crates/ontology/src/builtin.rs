@@ -1,0 +1,190 @@
+//! The built-in semantic types.
+//!
+//! A ~60-type slice of the DBpedia ontology covering the paper's target
+//! domains (§4.1: "semantic types common in the enterprise, science, and
+//! medical domains, and beyond"). Registration order is fixed, so
+//! [`crate::TypeId`]s are stable across runs — experiments and serialized
+//! models rely on this.
+
+use crate::ontology::Ontology;
+use crate::types::{Category, TypeId, ValueKind};
+
+/// Build the default ontology with all built-in types.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn builtin_ontology() -> Ontology {
+    use Category::{Commerce, Geo, Misc, Person, Science, Time, Web};
+    use ValueKind::{Boolean, Identifier, Numeric, Temporal, Textual};
+
+    let mut o = Ontology::empty();
+    let mut reg = |name: &str, cat, kind, aliases: &[&str], parent: Option<TypeId>| {
+        o.register(name, cat, kind, aliases, parent)
+    };
+
+    // ---- Person ----------------------------------------------------
+    let name = reg("name", Person, Textual, &["full name", "person", "contact name"], None);
+    reg("first name", Person, Textual, &["fname", "given name", "forename"], Some(name));
+    reg("last name", Person, Textual, &["lname", "surname", "family name"], Some(name));
+    reg("gender", Person, Textual, &["sex"], None);
+    reg("age", Person, Numeric, &["age years", "years old"], None);
+    reg("birth date", Person, Temporal, &["dob", "date of birth", "birthday"], None);
+    reg("email", Person, Textual, &["email address", "e-mail", "mail"], None);
+    reg("phone number", Person, Identifier, &["phone", "telephone", "tel", "mobile", "contact number", "cell"], None);
+    reg("job title", Person, Textual, &["title", "position", "role", "occupation"], None);
+    reg("nationality", Person, Textual, &["citizenship"], None);
+    let money = reg("monetary amount", Commerce, Numeric, &["amount", "money"], None);
+    reg("salary", Person, Numeric, &["income", "wage", "pay", "compensation"], Some(money));
+    reg("username", Person, Textual, &["user name", "login", "handle", "user id"], None);
+    reg("social security number", Person, Identifier, &["ssn", "national id"], None);
+
+    // ---- Geo -------------------------------------------------------
+    let location = reg("location", Geo, Textual, &["place"], None);
+    reg("city", Geo, Textual, &["town", "municipality", "city name"], Some(location));
+    reg("country", Geo, Textual, &["nation", "country name"], Some(location));
+    reg("country code", Geo, Identifier, &["iso code", "country iso"], None);
+    reg("state", Geo, Textual, &["province", "region name"], Some(location));
+    reg("zip code", Geo, Identifier, &["zip", "postal code", "postcode"], None);
+    reg("address", Geo, Textual, &["street address", "addr", "location address"], None);
+    reg("latitude", Geo, Numeric, &["lat"], None);
+    reg("longitude", Geo, Numeric, &["lon", "lng", "long"], None);
+    reg("continent", Geo, Textual, &[], Some(location));
+
+    // ---- Commerce --------------------------------------------------
+    reg("company", Commerce, Textual, &["organization", "employer", "firm", "vendor", "supplier", "business"], None);
+    reg("product", Commerce, Textual, &["product name", "item", "item name"], None);
+    reg("brand", Commerce, Textual, &["make", "manufacturer"], None);
+    reg("price", Commerce, Numeric, &["unit price", "cost", "list price"], Some(money));
+    reg("currency", Commerce, Textual, &["currency name"], None);
+    reg("currency code", Commerce, Identifier, &["iso currency"], None);
+    reg("order id", Commerce, Identifier, &["order number", "order no", "po number", "invoice number"], None);
+    reg("sku", Commerce, Identifier, &["stock keeping unit", "product code", "item code", "part number"], None);
+    reg("quantity", Commerce, Numeric, &["qty", "count", "units", "number of items"], None);
+    reg("discount", Commerce, Numeric, &["rebate", "markdown"], None);
+    reg("revenue", Commerce, Numeric, &["sales", "turnover", "gross revenue"], Some(money));
+    reg("product category", Commerce, Textual, &["category", "segment", "department"], None);
+    reg("payment method", Commerce, Textual, &["payment type", "pay method"], None);
+    reg("credit card number", Commerce, Identifier, &["card number", "cc number", "pan"], None);
+    reg("iban", Commerce, Identifier, &["bank account", "account number"], None);
+
+    // ---- Web / technical -------------------------------------------
+    reg("url", Web, Textual, &["website", "link", "web address", "homepage"], None);
+    reg("ip address", Web, Identifier, &["ip", "ipv4", "host address"], None);
+    reg("uuid", Web, Identifier, &["guid", "unique id"], None);
+    reg("domain name", Web, Textual, &["domain", "hostname"], None);
+    reg("hex color", Web, Identifier, &["color code", "colour", "color"], None);
+    reg("language", Web, Textual, &["lang", "locale", "language name"], None);
+    reg("isbn", Web, Identifier, &["isbn 13", "book id"], None);
+    reg("file extension", Web, Textual, &["extension", "file type"], None);
+    reg("mime type", Web, Textual, &["content type", "media type"], None);
+
+    // ---- Time ------------------------------------------------------
+    let date = reg("date", Time, Temporal, &["day", "calendar date"], None);
+    reg("datetime", Time, Temporal, &["timestamp", "date time", "created at", "updated at"], Some(date));
+    reg("time", Time, Temporal, &["time of day", "clock time"], None);
+    reg("year", Time, Numeric, &["yr", "fiscal year"], None);
+    reg("month", Time, Textual, &["month name"], None);
+    reg("weekday", Time, Textual, &["day of week", "dow"], None);
+    reg("duration", Time, Numeric, &["elapsed", "duration ms", "runtime"], None);
+
+    // ---- Science / health -------------------------------------------
+    reg("temperature", Science, Numeric, &["temp", "celsius", "fahrenheit"], None);
+    reg("weight", Science, Numeric, &["mass", "weight kg"], None);
+    reg("height", Science, Numeric, &["stature", "height cm"], None);
+    reg("blood type", Science, Textual, &["blood group"], None);
+    reg("heart rate", Science, Numeric, &["pulse", "bpm"], None);
+    reg("humidity", Science, Numeric, &["relative humidity"], None);
+
+    // ---- Misc -------------------------------------------------------
+    reg("identifier", Misc, Identifier, &["id", "key", "record id", "row id", "pk"], None);
+    reg("percentage", Misc, Numeric, &["percent", "pct", "share", "ratio"], None);
+    reg("rating", Misc, Numeric, &["score", "stars", "grade point"], None);
+    reg("description", Misc, Textual, &["notes", "comment", "details", "summary"], None);
+    reg("status", Misc, Textual, &["state flag", "order status", "stage"], None);
+    reg("boolean flag", Misc, Boolean, &["flag", "is active", "enabled", "active"], None);
+    reg("grade", Misc, Textual, &["letter grade", "class grade"], None);
+    reg("school", Misc, Textual, &["university", "college", "institution"], None);
+    reg("team", Misc, Textual, &["club", "squad"], None);
+
+    o
+}
+
+/// Convenience: resolve a built-in type by canonical name.
+///
+/// # Panics
+/// Panics when the name is not registered; intended for tests and
+/// experiment setup where the type is known to exist.
+#[must_use]
+pub fn builtin_id(o: &Ontology, name: &str) -> TypeId {
+    o.lookup_exact(name)
+        .unwrap_or_else(|| panic!("builtin type {name:?} missing"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_is_sizable() {
+        let o = builtin_ontology();
+        assert!(o.len() > 60, "expected a broad ontology, got {}", o.len());
+    }
+
+    #[test]
+    fn ids_are_stable_across_builds() {
+        let a = builtin_ontology();
+        let b = builtin_ontology();
+        assert_eq!(a.len(), b.len());
+        for (da, db) in a.defs().iter().zip(b.defs()) {
+            assert_eq!(da.id, db.id);
+            assert_eq!(da.name, db.name);
+        }
+    }
+
+    #[test]
+    fn alias_lookups() {
+        let o = builtin_ontology();
+        assert_eq!(
+            o.lookup_exact("income"),
+            Some(builtin_id(&o, "salary"))
+        );
+        assert_eq!(
+            o.lookup_exact("Postal_Code"),
+            Some(builtin_id(&o, "zip code"))
+        );
+        assert_eq!(o.lookup_exact("DOB"), Some(builtin_id(&o, "birth date")));
+        assert_eq!(o.lookup_exact("qty"), Some(builtin_id(&o, "quantity")));
+    }
+
+    #[test]
+    fn hierarchy_examples() {
+        let o = builtin_ontology();
+        let salary = builtin_id(&o, "salary");
+        let money = builtin_id(&o, "monetary amount");
+        let price = builtin_id(&o, "price");
+        assert!(o.is_a(salary, money));
+        assert_eq!(o.hierarchy_distance(salary, price), Some(2)); // siblings via money
+        let city = builtin_id(&o, "city");
+        let country = builtin_id(&o, "country");
+        assert_eq!(o.hierarchy_distance(city, country), Some(2));
+    }
+
+    #[test]
+    fn kinds_are_consistent() {
+        use crate::types::ValueKind;
+        let o = builtin_ontology();
+        assert_eq!(o.def(builtin_id(&o, "salary")).kind, ValueKind::Numeric);
+        assert_eq!(o.def(builtin_id(&o, "city")).kind, ValueKind::Textual);
+        assert_eq!(o.def(builtin_id(&o, "birth date")).kind, ValueKind::Temporal);
+        assert_eq!(o.def(builtin_id(&o, "uuid")).kind, ValueKind::Identifier);
+        // There are plenty of numeric and textual types for the experiments.
+        assert!(o.ids_of_kind(ValueKind::Numeric).len() >= 15);
+        assert!(o.ids_of_kind(ValueKind::Textual).len() >= 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing")]
+    fn builtin_id_panics_on_missing() {
+        let o = builtin_ontology();
+        let _ = builtin_id(&o, "flux capacitance");
+    }
+}

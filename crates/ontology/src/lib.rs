@@ -1,0 +1,17 @@
+//! # tu-ontology
+//!
+//! The semantic-type ontology substrate: the reproduction's stand-in for
+//! the DBpedia ontology SigmaTyper selects as its label space (§4.1).
+//! Provides interned [`TypeId`]s, per-type metadata (category, expected
+//! value kind, header aliases, is-a hierarchy), normalized surface-form
+//! lookup, and runtime registration of customer-specific custom types.
+
+#![warn(missing_docs)]
+
+pub mod builtin;
+pub mod ontology;
+pub mod types;
+
+pub use builtin::{builtin_id, builtin_ontology};
+pub use ontology::Ontology;
+pub use types::{Category, TypeDef, TypeId, ValueKind};

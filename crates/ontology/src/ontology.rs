@@ -1,0 +1,302 @@
+//! The ontology registry: lookup, hierarchy, and custom type registration.
+
+use crate::types::{Category, TypeDef, TypeId, ValueKind};
+use std::collections::HashMap;
+use tu_text::normalize_header;
+
+/// A registry of semantic types (the reproduction's stand-in for the
+/// DBpedia ontology the paper selects in §4.1).
+///
+/// Supports name/alias lookup on *normalized* header forms, a small
+/// is-a hierarchy, and user-registered custom types — the paper's
+/// customization story requires customers to add types (e.g. a new
+/// `salary` type in Figure 3) at runtime.
+#[derive(Debug, Clone)]
+pub struct Ontology {
+    defs: Vec<TypeDef>,
+    by_surface: HashMap<String, TypeId>,
+}
+
+impl Ontology {
+    /// Create an ontology containing only the reserved `unknown` type.
+    #[must_use]
+    pub fn empty() -> Self {
+        let mut o = Ontology {
+            defs: Vec::new(),
+            by_surface: HashMap::new(),
+        };
+        o.defs.push(TypeDef {
+            id: TypeId::UNKNOWN,
+            name: "unknown".into(),
+            category: Category::Unknown,
+            kind: ValueKind::Textual,
+            aliases: Vec::new(),
+            parent: None,
+        });
+        o.by_surface.insert("unknown".into(), TypeId::UNKNOWN);
+        o
+    }
+
+    /// Register a type; returns its id.
+    ///
+    /// # Panics
+    /// Panics if the canonical name is already registered (duplicate types
+    /// are a configuration bug, not a runtime condition) or if the id
+    /// space (u16) is exhausted.
+    pub fn register(
+        &mut self,
+        name: &str,
+        category: Category,
+        kind: ValueKind,
+        aliases: &[&str],
+        parent: Option<TypeId>,
+    ) -> TypeId {
+        let canonical = normalize_header(name);
+        assert!(
+            !self.by_surface.contains_key(&canonical),
+            "duplicate semantic type {canonical:?}"
+        );
+        let id = TypeId(u16::try_from(self.defs.len()).expect("type id space exhausted"));
+        if let Some(p) = parent {
+            assert!(
+                (p.index()) < self.defs.len(),
+                "parent {p:?} not registered yet"
+            );
+        }
+        self.by_surface.insert(canonical.clone(), id);
+        let mut stored_aliases = Vec::with_capacity(aliases.len());
+        for a in aliases {
+            let norm = normalize_header(a);
+            // First registration wins: aliases must not shadow canonical
+            // names or earlier aliases.
+            self.by_surface.entry(norm.clone()).or_insert(id);
+            stored_aliases.push(norm);
+        }
+        self.defs.push(TypeDef {
+            id,
+            name: canonical,
+            category,
+            kind,
+            aliases: stored_aliases,
+            parent,
+        });
+        id
+    }
+
+    /// Number of registered types, including `unknown`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// `false`: an ontology always contains at least `unknown`.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Definition of a type.
+    ///
+    /// # Panics
+    /// Panics on an id from a different ontology instance.
+    #[must_use]
+    pub fn def(&self, id: TypeId) -> &TypeDef {
+        &self.defs[id.index()]
+    }
+
+    /// Canonical name of a type.
+    #[must_use]
+    pub fn name(&self, id: TypeId) -> &str {
+        &self.defs[id.index()].name
+    }
+
+    /// All definitions, ordered by id.
+    #[must_use]
+    pub fn defs(&self) -> &[TypeDef] {
+        &self.defs
+    }
+
+    /// Iterate over all real (non-`unknown`) type ids.
+    pub fn ids(&self) -> impl Iterator<Item = TypeId> + '_ {
+        (1..self.defs.len()).map(|i| TypeId(i as u16))
+    }
+
+    /// Exact lookup of a normalized surface form (canonical name or alias).
+    #[must_use]
+    pub fn lookup_exact(&self, surface: &str) -> Option<TypeId> {
+        self.by_surface.get(&normalize_header(surface)).copied()
+    }
+
+    /// All surface forms (canonical + aliases) of a type.
+    #[must_use]
+    pub fn surfaces(&self, id: TypeId) -> Vec<&str> {
+        let def = self.def(id);
+        std::iter::once(def.name.as_str())
+            .chain(def.aliases.iter().map(String::as_str))
+            .collect()
+    }
+
+    /// Every `(surface form, type id)` pair in the ontology, canonical
+    /// names first. This is the target list for fuzzy/semantic matching.
+    #[must_use]
+    pub fn all_surfaces(&self) -> Vec<(&str, TypeId)> {
+        let mut out = Vec::new();
+        for def in &self.defs {
+            if def.id.is_unknown() {
+                continue;
+            }
+            out.push((def.name.as_str(), def.id));
+        }
+        for def in &self.defs {
+            for a in &def.aliases {
+                out.push((a.as_str(), def.id));
+            }
+        }
+        out
+    }
+
+    /// Is `a` equal to, or a descendant of, `b`?
+    #[must_use]
+    pub fn is_a(&self, a: TypeId, b: TypeId) -> bool {
+        let mut cur = Some(a);
+        while let Some(c) = cur {
+            if c == b {
+                return true;
+            }
+            cur = self.def(c).parent;
+        }
+        false
+    }
+
+    /// Hierarchy distance between two types: 0 when equal, 1 between a
+    /// type and its parent or sibling root, `None` when unrelated.
+    /// Used for partial-credit evaluation.
+    #[must_use]
+    pub fn hierarchy_distance(&self, a: TypeId, b: TypeId) -> Option<u32> {
+        if a == b {
+            return Some(0);
+        }
+        let path = |mut t: TypeId| {
+            let mut v = vec![t];
+            while let Some(p) = self.def(t).parent {
+                v.push(p);
+                t = p;
+            }
+            v
+        };
+        let pa = path(a);
+        let pb = path(b);
+        for (da, ta) in pa.iter().enumerate() {
+            for (db, tb) in pb.iter().enumerate() {
+                if ta == tb {
+                    return Some((da + db) as u32);
+                }
+            }
+        }
+        None
+    }
+
+    /// Ids whose expected [`ValueKind`] is `kind`.
+    #[must_use]
+    pub fn ids_of_kind(&self, kind: ValueKind) -> Vec<TypeId> {
+        self.defs
+            .iter()
+            .filter(|d| !d.id.is_unknown() && d.kind == kind)
+            .map(|d| d.id)
+            .collect()
+    }
+}
+
+impl Default for Ontology {
+    fn default() -> Self {
+        crate::builtin::builtin_ontology()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> (Ontology, TypeId, TypeId, TypeId) {
+        let mut o = Ontology::empty();
+        let name = o.register("name", Category::Person, ValueKind::Textual, &["full name"], None);
+        let first = o.register(
+            "first name",
+            Category::Person,
+            ValueKind::Textual,
+            &["fname", "given name"],
+            Some(name),
+        );
+        let city = o.register("city", Category::Geo, ValueKind::Textual, &["town"], None);
+        (o, name, first, city)
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let (o, name, first, city) = small();
+        assert_eq!(o.len(), 4);
+        assert_eq!(o.lookup_exact("name"), Some(name));
+        assert_eq!(o.lookup_exact("Full_Name"), Some(name));
+        assert_eq!(o.lookup_exact("fname"), Some(first)); // abbreviation expands
+        assert_eq!(o.lookup_exact("TOWN"), Some(city));
+        assert_eq!(o.lookup_exact("nonexistent"), None);
+        assert_eq!(o.lookup_exact("unknown"), Some(TypeId::UNKNOWN));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate semantic type")]
+    fn duplicate_name_panics() {
+        let (mut o, ..) = small();
+        o.register("city", Category::Geo, ValueKind::Textual, &[], None);
+    }
+
+    #[test]
+    fn alias_shadowing_first_wins() {
+        let mut o = Ontology::empty();
+        let a = o.register("alpha", Category::Misc, ValueKind::Textual, &["shared"], None);
+        let _b = o.register("beta", Category::Misc, ValueKind::Textual, &["shared"], None);
+        assert_eq!(o.lookup_exact("shared"), Some(a));
+    }
+
+    #[test]
+    fn hierarchy() {
+        let (o, name, first, city) = small();
+        assert!(o.is_a(first, name));
+        assert!(o.is_a(name, name));
+        assert!(!o.is_a(name, first));
+        assert!(!o.is_a(city, name));
+        assert_eq!(o.hierarchy_distance(first, first), Some(0));
+        assert_eq!(o.hierarchy_distance(first, name), Some(1));
+        assert_eq!(o.hierarchy_distance(name, first), Some(1));
+        assert_eq!(o.hierarchy_distance(city, name), None);
+    }
+
+    #[test]
+    fn surfaces_enumeration() {
+        let (o, name, ..) = small();
+        let s = o.surfaces(name);
+        assert_eq!(s, vec!["name", "full name"]);
+        let all = o.all_surfaces();
+        assert!(all.contains(&("given name", TypeId(2))));
+        // unknown is excluded from matching targets
+        assert!(!all.iter().any(|(s, _)| *s == "unknown"));
+        // canonical names come before aliases
+        let pos_name = all.iter().position(|(s, _)| *s == "city").unwrap();
+        let pos_alias = all.iter().position(|(s, _)| *s == "town").unwrap();
+        assert!(pos_name < pos_alias);
+    }
+
+    #[test]
+    fn kind_filtering() {
+        let (o, ..) = small();
+        assert_eq!(o.ids_of_kind(ValueKind::Textual).len(), 3);
+        assert!(o.ids_of_kind(ValueKind::Numeric).is_empty());
+    }
+
+    #[test]
+    fn ids_skips_unknown() {
+        let (o, ..) = small();
+        assert!(o.ids().all(|id| !id.is_unknown()));
+        assert_eq!(o.ids().count(), 3);
+    }
+}

@@ -1,0 +1,94 @@
+//! Semantic type identities and metadata.
+
+/// Interned identifier of a semantic type within an [`crate::Ontology`].
+///
+/// `TypeId(0)` is always the special `unknown` type used for
+/// out-of-distribution abstention (paper §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(pub u16);
+
+impl TypeId {
+    /// The reserved `unknown` type.
+    pub const UNKNOWN: TypeId = TypeId(0);
+
+    /// `true` for the reserved `unknown` type.
+    #[must_use]
+    pub fn is_unknown(self) -> bool {
+        self == TypeId::UNKNOWN
+    }
+
+    /// Index form for dense arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Coarse domain grouping of a semantic type (mirrors how the paper talks
+/// about "enterprise, science, and medical domains, and beyond", §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// People: names, demographics, contact details.
+    Person,
+    /// Geography: places, coordinates, addresses.
+    Geo,
+    /// Commerce: organizations, products, money.
+    Commerce,
+    /// Web/technical identifiers.
+    Web,
+    /// Temporal types.
+    Time,
+    /// Science and health measurements.
+    Science,
+    /// Everything else.
+    Misc,
+    /// The reserved out-of-distribution bucket.
+    Unknown,
+}
+
+/// The kind of cell data a semantic type is expected to carry; used for
+/// cheap pre-filtering in the lookup step and by the LF inferencer to
+/// decide between numeric and textual labeling functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueKind {
+    /// Numeric values (ints or floats).
+    Numeric,
+    /// Textual values.
+    Textual,
+    /// Calendar dates / datetimes.
+    Temporal,
+    /// Booleans / binary flags.
+    Boolean,
+    /// Identifier-like: numeric or textual codes.
+    Identifier,
+}
+
+/// Full definition of one semantic type.
+#[derive(Debug, Clone)]
+pub struct TypeDef {
+    /// Interned id.
+    pub id: TypeId,
+    /// Canonical lowercase space-separated name, e.g. `"phone number"`.
+    pub name: String,
+    /// Domain category.
+    pub category: Category,
+    /// Expected value kind.
+    pub kind: ValueKind,
+    /// Alternative surface forms seen in headers (`"tel"`, `"mobile"` …).
+    pub aliases: Vec<String>,
+    /// Optional parent type for hierarchy-aware evaluation
+    /// (`first name` → `name`).
+    pub parent: Option<TypeId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_id_semantics() {
+        assert!(TypeId::UNKNOWN.is_unknown());
+        assert!(!TypeId(3).is_unknown());
+        assert_eq!(TypeId(7).index(), 7);
+    }
+}

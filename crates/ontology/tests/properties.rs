@@ -1,0 +1,47 @@
+//! Property tests: ontology lookup and hierarchy invariants.
+
+use proptest::prelude::*;
+use tu_ontology::{builtin_ontology, TypeId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn canonical_names_roundtrip(idx in 0usize..200) {
+        let o = builtin_ontology();
+        let ids: Vec<TypeId> = o.ids().collect();
+        let id = ids[idx % ids.len()];
+        prop_assert_eq!(o.lookup_exact(o.name(id)), Some(id));
+    }
+
+    #[test]
+    fn aliases_resolve_to_their_owner_or_earlier(idx in 0usize..500) {
+        let o = builtin_ontology();
+        let all = o.all_surfaces();
+        let (surface, ty) = all[idx % all.len()];
+        let resolved = o.lookup_exact(surface).expect("registered surface");
+        // First registration wins; resolution is either the owner or an
+        // earlier type that claimed the same surface.
+        prop_assert!(resolved == ty || resolved.0 < ty.0);
+    }
+
+    #[test]
+    fn hierarchy_distance_symmetric(a in 0u16..70, b in 0u16..70) {
+        let o = builtin_ontology();
+        let n = o.len() as u16;
+        let (a, b) = (TypeId(a % n), TypeId(b % n));
+        prop_assert_eq!(o.hierarchy_distance(a, b), o.hierarchy_distance(b, a));
+        prop_assert_eq!(o.hierarchy_distance(a, a), Some(0));
+    }
+
+    #[test]
+    fn is_a_is_reflexive_and_antisymmetric(a in 0u16..70, b in 0u16..70) {
+        let o = builtin_ontology();
+        let n = o.len() as u16;
+        let (a, b) = (TypeId(a % n), TypeId(b % n));
+        prop_assert!(o.is_a(a, a));
+        if a != b && o.is_a(a, b) {
+            prop_assert!(!o.is_a(b, a), "hierarchy must be acyclic");
+        }
+    }
+}

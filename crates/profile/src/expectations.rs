@@ -1,0 +1,353 @@
+//! Declarative expectations over columns (Great Expectations-like).
+//!
+//! An [`Expectation`] is a checkable predicate over a column; a
+//! [`Suite`] bundles them. DPBD (paper §4.2) profiles a demonstrated
+//! column, turns the profile into a suite, and reuses the suite both as
+//! labeling functions and as data-quality checks.
+
+use tu_regex::Regex;
+use tu_table::{Column, DataType};
+
+/// A single declarative check.
+#[derive(Debug, Clone)]
+pub enum Expectation {
+    /// Every numeric value lies in `[min, max]`.
+    ValuesBetween {
+        /// Lower bound (inclusive).
+        min: f64,
+        /// Upper bound (inclusive).
+        max: f64,
+    },
+    /// The column mean lies in `[min, max]`.
+    MeanBetween {
+        /// Lower bound (inclusive).
+        min: f64,
+        /// Upper bound (inclusive).
+        max: f64,
+    },
+    /// Rendered values fully match the regex pattern.
+    MatchesRegex(
+        /// Pattern in the `tu-regex` dialect.
+        String,
+    ),
+    /// Null fraction is at most this.
+    NullFractionAtMost(
+        /// Maximum allowed null fraction.
+        f64,
+    ),
+    /// Distinct fraction lies in `[min, max]`.
+    DistinctFractionBetween {
+        /// Lower bound (inclusive).
+        min: f64,
+        /// Upper bound (inclusive).
+        max: f64,
+    },
+    /// Rendered values belong to this set (case-insensitive).
+    ValuesInSet(
+        /// Allowed values.
+        Vec<String>,
+    ),
+    /// Rendered value length lies in `[min, max]` characters.
+    LengthBetween {
+        /// Minimum length.
+        min: usize,
+        /// Maximum length.
+        max: usize,
+    },
+    /// The dominant data type equals this.
+    TypeIs(
+        /// Expected dominant type.
+        DataType,
+    ),
+}
+
+/// Result of checking one expectation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpectationResult {
+    /// Did the expectation hold at the required level?
+    pub passed: bool,
+    /// Fraction of (applicable) values satisfying the predicate, or 1/0
+    /// for whole-column predicates.
+    pub observed: f64,
+}
+
+/// Fraction of non-null values a per-value expectation must satisfy to
+/// pass (tolerates a little dirt, as real tables demand).
+pub const PASS_FRACTION: f64 = 0.9;
+
+impl Expectation {
+    /// Check against a column.
+    #[must_use]
+    pub fn check(&self, column: &Column) -> ExpectationResult {
+        match self {
+            Expectation::ValuesBetween { min, max } => {
+                let nums = column.numeric_values();
+                fraction_result(
+                    nums.iter().filter(|v| **v >= *min && **v <= *max).count(),
+                    nums.len(),
+                )
+            }
+            Expectation::MeanBetween { min, max } => {
+                let nums = column.numeric_values();
+                if nums.is_empty() {
+                    return ExpectationResult {
+                        passed: false,
+                        observed: 0.0,
+                    };
+                }
+                let m = tu_table::stats::mean(&nums);
+                ExpectationResult {
+                    passed: m >= *min && m <= *max,
+                    observed: m,
+                }
+            }
+            Expectation::MatchesRegex(pattern) => match Regex::new(pattern) {
+                Ok(re) => {
+                    let vals = column.rendered_values();
+                    fraction_result(
+                        vals.iter().filter(|v| re.is_full_match(v)).count(),
+                        vals.len(),
+                    )
+                }
+                Err(_) => ExpectationResult {
+                    passed: false,
+                    observed: 0.0,
+                },
+            },
+            Expectation::NullFractionAtMost(max) => {
+                let nf = column.null_fraction();
+                ExpectationResult {
+                    passed: nf <= *max,
+                    observed: nf,
+                }
+            }
+            Expectation::DistinctFractionBetween { min, max } => {
+                let df = column.distinct_fraction();
+                ExpectationResult {
+                    passed: df >= *min && df <= *max,
+                    observed: df,
+                }
+            }
+            Expectation::ValuesInSet(set) => {
+                let vals = column.rendered_values();
+                let lower: std::collections::HashSet<String> =
+                    set.iter().map(|s| s.to_lowercase()).collect();
+                fraction_result(
+                    vals.iter()
+                        .filter(|v| lower.contains(&v.to_lowercase()))
+                        .count(),
+                    vals.len(),
+                )
+            }
+            Expectation::LengthBetween { min, max } => {
+                let vals = column.rendered_values();
+                fraction_result(
+                    vals.iter()
+                        .filter(|v| {
+                            let l = v.chars().count();
+                            l >= *min && l <= *max
+                        })
+                        .count(),
+                    vals.len(),
+                )
+            }
+            Expectation::TypeIs(dt) => {
+                let actual = column.inferred_type();
+                ExpectationResult {
+                    passed: actual == *dt,
+                    observed: f64::from(u8::from(actual == *dt)),
+                }
+            }
+        }
+    }
+
+    /// Short human-readable description (used in reports and LF names).
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            Expectation::ValuesBetween { min, max } => format!("values in [{min}, {max}]"),
+            Expectation::MeanBetween { min, max } => format!("mean in [{min}, {max}]"),
+            Expectation::MatchesRegex(p) => format!("matches /{p}/"),
+            Expectation::NullFractionAtMost(f) => format!("nulls ≤ {f}"),
+            Expectation::DistinctFractionBetween { min, max } => {
+                format!("distinct fraction in [{min}, {max}]")
+            }
+            Expectation::ValuesInSet(s) => format!("values in set of {}", s.len()),
+            Expectation::LengthBetween { min, max } => format!("length in [{min}, {max}]"),
+            Expectation::TypeIs(dt) => format!("type is {dt}"),
+        }
+    }
+}
+
+fn fraction_result(hits: usize, total: usize) -> ExpectationResult {
+    if total == 0 {
+        return ExpectationResult {
+            passed: false,
+            observed: 0.0,
+        };
+    }
+    let observed = hits as f64 / total as f64;
+    ExpectationResult {
+        passed: observed >= PASS_FRACTION,
+        observed,
+    }
+}
+
+/// A bundle of expectations.
+#[derive(Debug, Clone, Default)]
+pub struct Suite {
+    /// The checks, in order.
+    pub expectations: Vec<Expectation>,
+}
+
+impl Suite {
+    /// Run all checks.
+    #[must_use]
+    pub fn validate(&self, column: &Column) -> Vec<ExpectationResult> {
+        self.expectations.iter().map(|e| e.check(column)).collect()
+    }
+
+    /// Fraction of expectations that passed (1.0 for an empty suite).
+    #[must_use]
+    pub fn pass_rate(&self, column: &Column) -> f64 {
+        if self.expectations.is_empty() {
+            return 1.0;
+        }
+        let passed = self
+            .validate(column)
+            .iter()
+            .filter(|r| r.passed)
+            .count();
+        passed as f64 / self.expectations.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(vals: &[&str]) -> Column {
+        Column::from_raw("c", vals)
+    }
+
+    #[test]
+    fn values_between() {
+        let c = col(&["50000", "60000", "70000"]);
+        let e = Expectation::ValuesBetween {
+            min: 50_000.0,
+            max: 70_000.0,
+        };
+        assert!(e.check(&c).passed);
+        let e = Expectation::ValuesBetween {
+            min: 55_000.0,
+            max: 70_000.0,
+        };
+        let r = e.check(&c);
+        assert!(!r.passed);
+        assert!((r.observed - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_between() {
+        let c = col(&["50000", "60000", "70000"]);
+        assert!(Expectation::MeanBetween {
+            min: 55_000.0,
+            max: 65_000.0
+        }
+        .check(&c)
+        .passed);
+        assert!(!Expectation::MeanBetween {
+            min: 0.0,
+            max: 1.0
+        }
+        .check(&c)
+        .passed);
+        // Non-numeric column can't pass.
+        assert!(!Expectation::MeanBetween { min: 0.0, max: 1.0 }
+            .check(&col(&["x"]))
+            .passed);
+    }
+
+    #[test]
+    fn regex_expectation() {
+        let c = col(&["a1", "b2", "c3"]);
+        assert!(Expectation::MatchesRegex("[a-z]\\d".into()).check(&c).passed);
+        assert!(!Expectation::MatchesRegex("\\d+".into()).check(&c).passed);
+        // Invalid pattern fails closed.
+        assert!(!Expectation::MatchesRegex("(".into()).check(&c).passed);
+    }
+
+    #[test]
+    fn set_membership_case_insensitive() {
+        let c = col(&["Red", "GREEN", "blue"]);
+        let e = Expectation::ValuesInSet(vec!["red".into(), "green".into(), "blue".into()]);
+        assert!(e.check(&c).passed);
+    }
+
+    #[test]
+    fn tolerance_allows_small_dirt() {
+        // 19/20 = 0.95 ≥ 0.9 passes.
+        let mut vals: Vec<String> = (0..19).map(|_| "5".to_string()).collect();
+        vals.push("oops".into());
+        let c = Column::from_raw("c", &vals);
+        let e = Expectation::MatchesRegex("\\d".into());
+        assert!(e.check(&c).passed);
+    }
+
+    #[test]
+    fn null_and_distinct_and_type() {
+        let c = col(&["1", "", "1", "2"]);
+        assert!(Expectation::NullFractionAtMost(0.3).check(&c).passed);
+        assert!(!Expectation::NullFractionAtMost(0.1).check(&c).passed);
+        assert!(Expectation::DistinctFractionBetween { min: 0.5, max: 0.8 }
+            .check(&c)
+            .passed);
+        assert!(Expectation::TypeIs(DataType::Int).check(&c).passed);
+        assert!(!Expectation::TypeIs(DataType::Text).check(&c).passed);
+    }
+
+    #[test]
+    fn length_bounds() {
+        let c = col(&["ab", "cde", "fg"]);
+        assert!(Expectation::LengthBetween { min: 2, max: 3 }.check(&c).passed);
+        assert!(!Expectation::LengthBetween { min: 3, max: 3 }.check(&c).passed);
+    }
+
+    #[test]
+    fn empty_column_fails_value_checks() {
+        let c = Column::new("e", vec![]);
+        assert!(!Expectation::ValuesBetween { min: 0.0, max: 1.0 }.check(&c).passed);
+        assert!(!Expectation::MatchesRegex(".*".into()).check(&c).passed);
+    }
+
+    #[test]
+    fn suite_pass_rate() {
+        let c = col(&["1", "2", "3"]);
+        let suite = Suite {
+            expectations: vec![
+                Expectation::TypeIs(DataType::Int),
+                Expectation::ValuesBetween { min: 0.0, max: 10.0 },
+                Expectation::ValuesBetween { min: 5.0, max: 10.0 },
+            ],
+        };
+        assert!((suite.pass_rate(&c) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(Suite::default().pass_rate(&c), 1.0);
+        assert_eq!(suite.validate(&c).len(), 3);
+    }
+
+    #[test]
+    fn descriptions_nonempty() {
+        for e in [
+            Expectation::ValuesBetween { min: 0.0, max: 1.0 },
+            Expectation::MeanBetween { min: 0.0, max: 1.0 },
+            Expectation::MatchesRegex("x".into()),
+            Expectation::NullFractionAtMost(0.5),
+            Expectation::DistinctFractionBetween { min: 0.0, max: 1.0 },
+            Expectation::ValuesInSet(vec!["a".into()]),
+            Expectation::LengthBetween { min: 1, max: 2 },
+            Expectation::TypeIs(DataType::Bool),
+        ] {
+            assert!(!e.describe().is_empty());
+        }
+    }
+}

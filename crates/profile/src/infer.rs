@@ -1,0 +1,194 @@
+//! Expectation-suite inference: profile a column, emit checks.
+//!
+//! This is the profiler half of DPBD (paper Figure 3): from a single
+//! demonstrated column we derive the statistical envelope (LF1 value
+//! range, LF2 mean range), value-set and shape descriptions for textual
+//! columns, and structural checks.
+
+use crate::expectations::{Expectation, Suite};
+use crate::profile::ColumnProfile;
+use tu_regex::{synthesize, SynthesisConfig};
+use tu_table::{Column, DataType};
+
+/// Margin applied to inferred numeric ranges so near-miss unseen values
+/// still qualify (ranges from one example column are tight).
+pub const RANGE_MARGIN: f64 = 0.25;
+
+/// Infer an expectation suite describing `column`.
+///
+/// Numeric columns get range and mean-range expectations; textual columns
+/// get value-set (when categorical) and synthesized-regex (when shaped)
+/// expectations; every column gets structural checks (type, nulls,
+/// distinctness, lengths).
+#[must_use]
+pub fn infer_suite(column: &Column) -> Suite {
+    let profile = ColumnProfile::of(column);
+    let mut expectations = Vec::new();
+
+    if profile.dtype != DataType::Null {
+        expectations.push(Expectation::TypeIs(profile.dtype));
+    }
+    expectations.push(Expectation::NullFractionAtMost(
+        (profile.null_fraction + 0.15).min(1.0),
+    ));
+
+    if let Some(s) = profile.numeric {
+        let span = (s.max - s.min).abs().max(s.max.abs().max(1.0) * 0.1);
+        let margin = span * RANGE_MARGIN;
+        expectations.push(Expectation::ValuesBetween {
+            min: s.min - margin,
+            max: s.max + margin,
+        });
+        let mean_margin = (s.std * 1.5).max(span * 0.1);
+        expectations.push(Expectation::MeanBetween {
+            min: s.mean - mean_margin,
+            max: s.mean + mean_margin,
+        });
+    }
+
+    // Text-shape expectations are only sound when text values dominate:
+    // they are inferred from text cells but checked against every
+    // rendered value, so a mixed column would fail its own suite.
+    let non_null = column.len() - column.null_count();
+    let text_dominant = non_null > 0
+        && column.text_values().len() as f64 / non_null as f64 >= crate::PASS_FRACTION;
+    if profile.dtype == DataType::Text && text_dominant {
+        let texts: Vec<&str> = column.text_values();
+        if profile.looks_categorical() {
+            let set: Vec<String> = {
+                let mut distinct: Vec<String> =
+                    texts.iter().map(|s| (*s).to_owned()).collect();
+                distinct.sort();
+                distinct.dedup();
+                distinct
+            };
+            if set.len() <= 50 {
+                expectations.push(Expectation::ValuesInSet(set));
+            }
+        }
+        // Shape: synthesize a regex from a sample of the values.
+        let sample: Vec<&str> = texts.iter().take(32).copied().collect();
+        if !sample.is_empty() {
+            if let Some(s) = synthesize(&sample, &SynthesisConfig::default()) {
+                expectations.push(Expectation::MatchesRegex(s.pattern));
+            }
+        }
+        if profile.lengths.max > 0 {
+            expectations.push(Expectation::LengthBetween {
+                min: profile.lengths.min.saturating_sub(2),
+                max: profile.lengths.max + 4,
+            });
+        }
+    }
+
+    if profile.looks_like_key() {
+        expectations.push(Expectation::DistinctFractionBetween {
+            min: 0.9,
+            max: 1.0,
+        });
+    } else if profile.looks_categorical() {
+        expectations.push(Expectation::DistinctFractionBetween {
+            min: 0.0,
+            max: 0.5,
+        });
+    }
+
+    Suite { expectations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(vals: &[&str]) -> Column {
+        Column::from_raw("c", vals)
+    }
+
+    #[test]
+    fn numeric_suite_accepts_similar_columns() {
+        let demo = col(&["50000", "60000", "70000"]);
+        let suite = infer_suite(&demo);
+        // The column itself validates perfectly.
+        assert_eq!(suite.pass_rate(&demo), 1.0);
+        // A similar salary column passes.
+        let similar = col(&["52000", "61000", "68000", "55000"]);
+        assert!(suite.pass_rate(&similar) > 0.9, "{:?}", suite.validate(&similar));
+        // A percentages column does not.
+        let different = col(&["0.5", "0.7", "0.2"]);
+        assert!(suite.pass_rate(&different) < 0.7);
+    }
+
+    #[test]
+    fn shaped_text_gets_regex() {
+        let demo_vals: Vec<String> = (0..20).map(|i| format!("AB-{:04}", i * 7)).collect();
+        let demo = Column::from_raw("sku", &demo_vals);
+        let suite = infer_suite(&demo);
+        assert!(
+            suite
+                .expectations
+                .iter()
+                .any(|e| matches!(e, Expectation::MatchesRegex(_))),
+            "expected a synthesized regex: {:?}",
+            suite.expectations
+        );
+        assert_eq!(suite.pass_rate(&demo), 1.0);
+        let other = Column::from_raw("other", &["XY-9999", "QR-0001"]);
+        assert!(suite.pass_rate(&other) > 0.7);
+    }
+
+    #[test]
+    fn categorical_text_gets_value_set() {
+        let vals: Vec<String> = (0..30)
+            .map(|i| ["red", "green", "blue"][i % 3].to_string())
+            .collect();
+        let demo = Column::from_raw("color", &vals);
+        let suite = infer_suite(&demo);
+        assert!(suite
+            .expectations
+            .iter()
+            .any(|e| matches!(e, Expectation::ValuesInSet(_))));
+        assert_eq!(suite.pass_rate(&demo), 1.0);
+    }
+
+    #[test]
+    fn key_column_gets_distinct_check() {
+        let vals: Vec<String> = (0..40).map(|i| i.to_string()).collect();
+        let suite = infer_suite(&Column::from_raw("id", &vals));
+        assert!(suite.expectations.iter().any(|e| matches!(
+            e,
+            Expectation::DistinctFractionBetween { min, .. } if *min > 0.5
+        )));
+    }
+
+    #[test]
+    fn self_validation_property() {
+        // Whatever the column, its own inferred suite must pass on it.
+        for vals in [
+            vec!["1", "2", "3"],
+            vec!["a", "b", "a", "b", "a", "b", "a", "b", "a", "b", "c", "c"],
+            vec!["2020-01-01", "2021-06-05"],
+            vec!["", "x", ""],
+            vec!["true", "false", "true"],
+        ] {
+            let c = col(&vals);
+            let suite = infer_suite(&c);
+            assert_eq!(
+                suite.pass_rate(&c),
+                1.0,
+                "suite must self-validate for {vals:?}: {:?}",
+                suite.validate(&c)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_column_yields_minimal_suite() {
+        let suite = infer_suite(&Column::new("e", vec![]));
+        // Only the null-fraction structural check applies.
+        assert!(!suite.expectations.is_empty());
+        assert!(!suite
+            .expectations
+            .iter()
+            .any(|e| matches!(e, Expectation::ValuesBetween { .. })));
+    }
+}

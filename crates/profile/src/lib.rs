@@ -1,0 +1,17 @@
+//! # tu-profile
+//!
+//! Column profiling and declarative expectations — the reproduction's
+//! stand-in for the Great Expectations profiler SigmaTyper uses inside
+//! its DPBD loop (§4.2): profile a demonstrated column, derive its
+//! statistical envelope and shape, and reuse those as labeling functions
+//! and data-quality checks.
+
+#![warn(missing_docs)]
+
+pub mod expectations;
+pub mod infer;
+pub mod profile;
+
+pub use expectations::{Expectation, ExpectationResult, Suite, PASS_FRACTION};
+pub use infer::infer_suite;
+pub use profile::{CharComposition, ColumnProfile, LengthStats};

@@ -1,0 +1,55 @@
+//! Property tests: profiles are bounded; inferred suites self-validate.
+
+use proptest::prelude::*;
+use tu_profile::{infer_suite, ColumnProfile};
+use tu_table::Column;
+
+fn column_strategy() -> impl Strategy<Value = Column> {
+    let cell = prop_oneof![
+        "[a-z]{1,8}",
+        "[0-9]{1,6}",
+        "-?[0-9]{1,4}\\.[0-9]{1,3}",
+        Just(String::new()),
+        "[A-Z]{2}-[0-9]{4}",
+    ];
+    prop::collection::vec(cell, 0..40)
+        .prop_map(|vals| Column::from_raw("col", &vals))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn profile_stats_bounded(col in column_strategy()) {
+        let p = ColumnProfile::of(&col);
+        prop_assert!((0.0..=1.0).contains(&p.null_fraction));
+        prop_assert!((0.0..=1.0).contains(&p.distinct_fraction));
+        prop_assert!(p.entropy >= 0.0);
+        prop_assert!(p.lengths.min <= p.lengths.max);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&p.chars.digits));
+        let total = p.chars.digits + p.chars.letters + p.chars.whitespace + p.chars.punctuation;
+        prop_assert!(total <= 1.0 + 1e-9, "char fractions sum {total}");
+        if let Some(s) = p.numeric {
+            prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+            prop_assert!(s.q1 <= s.median + 1e-9 && s.median <= s.q3 + 1e-9);
+            prop_assert!(s.std >= 0.0);
+        }
+    }
+
+    #[test]
+    fn inferred_suite_self_validates(col in column_strategy()) {
+        // Whatever the column, the suite inferred from it must fully pass
+        // on it — the DPBD contract.
+        let suite = infer_suite(&col);
+        let rate = suite.pass_rate(&col);
+        prop_assert!((rate - 1.0).abs() < 1e-9, "self-validation failed: {:?}", suite.validate(&col));
+    }
+
+    #[test]
+    fn expectations_observed_values_bounded(col in column_strategy()) {
+        let suite = infer_suite(&col);
+        for r in suite.validate(&col) {
+            prop_assert!(r.observed.is_finite());
+        }
+    }
+}

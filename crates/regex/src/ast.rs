@@ -1,0 +1,227 @@
+//! Regular-expression abstract syntax tree.
+
+/// One item inside a character class `[...]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClassItem {
+    /// Single character.
+    Char(char),
+    /// Inclusive range `a-z`.
+    Range(char, char),
+}
+
+impl ClassItem {
+    /// Does this item match `c`?
+    #[must_use]
+    pub fn matches(&self, c: char) -> bool {
+        match *self {
+            ClassItem::Char(x) => x == c,
+            ClassItem::Range(lo, hi) => (lo..=hi).contains(&c),
+        }
+    }
+}
+
+/// A character matcher: the consuming alphabet of the NFA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CharMatcher {
+    /// Exact character.
+    Literal(char),
+    /// `.` — any character.
+    Any,
+    /// `[...]` or a shorthand class; `negated` for `[^...]`.
+    Class {
+        /// `true` for `[^...]`.
+        negated: bool,
+        /// Class members.
+        items: Vec<ClassItem>,
+    },
+}
+
+impl CharMatcher {
+    /// Does this matcher accept `c`?
+    #[must_use]
+    pub fn matches(&self, c: char) -> bool {
+        match self {
+            CharMatcher::Literal(x) => *x == c,
+            CharMatcher::Any => true,
+            CharMatcher::Class { negated, items } => {
+                let hit = items.iter().any(|i| i.matches(c));
+                hit != *negated
+            }
+        }
+    }
+
+    /// The `\d` shorthand.
+    #[must_use]
+    pub fn digit() -> Self {
+        CharMatcher::Class {
+            negated: false,
+            items: vec![ClassItem::Range('0', '9')],
+        }
+    }
+
+    /// The `\w` shorthand (`[A-Za-z0-9_]`).
+    #[must_use]
+    pub fn word() -> Self {
+        CharMatcher::Class {
+            negated: false,
+            items: vec![
+                ClassItem::Range('a', 'z'),
+                ClassItem::Range('A', 'Z'),
+                ClassItem::Range('0', '9'),
+                ClassItem::Char('_'),
+            ],
+        }
+    }
+
+    /// The `\s` shorthand.
+    #[must_use]
+    pub fn space() -> Self {
+        CharMatcher::Class {
+            negated: false,
+            items: vec![
+                ClassItem::Char(' '),
+                ClassItem::Char('\t'),
+                ClassItem::Char('\n'),
+                ClassItem::Char('\r'),
+            ],
+        }
+    }
+
+    /// Negate a class (used for `\D`, `\W`, `\S`).
+    #[must_use]
+    pub fn negate(self) -> Self {
+        match self {
+            CharMatcher::Class { negated, items } => CharMatcher::Class {
+                negated: !negated,
+                items,
+            },
+            CharMatcher::Literal(c) => CharMatcher::Class {
+                negated: true,
+                items: vec![ClassItem::Char(c)],
+            },
+            // An empty non-negated class matches nothing.
+            CharMatcher::Any => CharMatcher::Class {
+                negated: false,
+                items: vec![],
+            },
+        }
+    }
+}
+
+/// Regex AST node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// Consume one character via the matcher.
+    Char(CharMatcher),
+    /// Sequence.
+    Concat(Vec<Ast>),
+    /// Alternation `a|b|c`.
+    Alt(Vec<Ast>),
+    /// Repetition `a{min,max}`; `max == None` means unbounded.
+    Repeat {
+        /// Repeated node.
+        node: Box<Ast>,
+        /// Minimum count.
+        min: u32,
+        /// Maximum count; `None` = ∞.
+        max: Option<u32>,
+    },
+    /// `^` start-of-string anchor.
+    StartAnchor,
+    /// `$` end-of-string anchor.
+    EndAnchor,
+}
+
+impl Ast {
+    /// Convenience: `node*`.
+    #[must_use]
+    pub fn star(node: Ast) -> Ast {
+        Ast::Repeat {
+            node: Box::new(node),
+            min: 0,
+            max: None,
+        }
+    }
+
+    /// Convenience: `node+`.
+    #[must_use]
+    pub fn plus(node: Ast) -> Ast {
+        Ast::Repeat {
+            node: Box::new(node),
+            min: 1,
+            max: None,
+        }
+    }
+
+    /// Convenience: `node?`.
+    #[must_use]
+    pub fn opt(node: Ast) -> Ast {
+        Ast::Repeat {
+            node: Box::new(node),
+            min: 0,
+            max: Some(1),
+        }
+    }
+
+    /// Convenience: a literal string as a concatenation of chars.
+    #[must_use]
+    pub fn literal(s: &str) -> Ast {
+        Ast::Concat(
+            s.chars()
+                .map(|c| Ast::Char(CharMatcher::Literal(c)))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_item_matching() {
+        assert!(ClassItem::Char('a').matches('a'));
+        assert!(!ClassItem::Char('a').matches('b'));
+        assert!(ClassItem::Range('a', 'f').matches('c'));
+        assert!(!ClassItem::Range('a', 'f').matches('g'));
+    }
+
+    #[test]
+    fn matcher_semantics() {
+        assert!(CharMatcher::Any.matches('x'));
+        assert!(CharMatcher::digit().matches('5'));
+        assert!(!CharMatcher::digit().matches('a'));
+        assert!(CharMatcher::word().matches('_'));
+        assert!(CharMatcher::space().matches('\t'));
+        assert!(CharMatcher::digit().negate().matches('a'));
+        assert!(!CharMatcher::digit().negate().matches('5'));
+        // Negated-any matches nothing.
+        assert!(!CharMatcher::Any.negate().matches('x'));
+        assert!(CharMatcher::Literal('q').negate().matches('r'));
+    }
+
+    #[test]
+    fn conveniences() {
+        assert_eq!(
+            Ast::literal("ab"),
+            Ast::Concat(vec![
+                Ast::Char(CharMatcher::Literal('a')),
+                Ast::Char(CharMatcher::Literal('b')),
+            ])
+        );
+        match Ast::star(Ast::Empty) {
+            Ast::Repeat { min: 0, max: None, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match Ast::opt(Ast::Empty) {
+            Ast::Repeat {
+                min: 0,
+                max: Some(1),
+                ..
+            } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Reference backtracking matcher.
+//!
+//! An obviously-correct (but exponential-worst-case) implementation of the
+//! same dialect, used as the differential-testing oracle for the NFA
+//! engine. Not for production matching.
+
+use crate::ast::Ast;
+
+/// Match `ast` against the **entire** input using naive backtracking.
+#[must_use]
+pub fn backtrack_full_match(ast: &Ast, input: &str) -> bool {
+    let chars: Vec<char> = input.chars().collect();
+    let mut results = Vec::new();
+    match_at(ast, &chars, 0, &mut results);
+    results.contains(&chars.len())
+}
+
+/// Collect every end position reachable by matching `ast` starting at `pos`.
+fn match_at(ast: &Ast, input: &[char], pos: usize, out: &mut Vec<usize>) {
+    match ast {
+        Ast::Empty => out.push(pos),
+        Ast::Char(m) => {
+            if pos < input.len() && m.matches(input[pos]) {
+                out.push(pos + 1);
+            }
+        }
+        Ast::StartAnchor => {
+            if pos == 0 {
+                out.push(pos);
+            }
+        }
+        Ast::EndAnchor => {
+            if pos == input.len() {
+                out.push(pos);
+            }
+        }
+        Ast::Concat(items) => {
+            let mut positions = vec![pos];
+            for item in items {
+                let mut next = Vec::new();
+                for &p in &positions {
+                    match_at(item, input, p, &mut next);
+                }
+                next.sort_unstable();
+                next.dedup();
+                if next.is_empty() {
+                    return;
+                }
+                positions = next;
+            }
+            out.extend(positions);
+        }
+        Ast::Alt(branches) => {
+            for b in branches {
+                match_at(b, input, pos, out);
+            }
+            out.sort_unstable();
+            out.dedup();
+        }
+        Ast::Repeat { node, min, max } => {
+            // Breadth-first set-of-positions unrolling. Termination: for
+            // an unbounded max, any endpoint reachable with more than
+            // min + len + 2 repetitions is also reachable with fewer,
+            // because repetitions that consume no input are idempotent
+            // and can be dropped down to the minimum count, and at most
+            // `len` repetitions can consume input.
+            let min = *min as usize;
+            let hard_cap = match max {
+                Some(m) => *m as usize,
+                None => min + input.len() + 2,
+            };
+            let mut frontier = vec![pos];
+            let mut all: Vec<usize> = if min == 0 { vec![pos] } else { Vec::new() };
+            for k in 1..=hard_cap {
+                let mut next = Vec::new();
+                for &p in &frontier {
+                    match_at(node, input, p, &mut next);
+                }
+                next.sort_unstable();
+                next.dedup();
+                if next.is_empty() {
+                    break;
+                }
+                if k >= min {
+                    all.extend(&next);
+                }
+                if next == frontier {
+                    if k < min && max.is_none() {
+                        // Fixpoint below min with unbounded max: the set at
+                        // count `min` equals this one.
+                        all.extend(&next);
+                    }
+                    if k >= min || max.is_none() {
+                        break;
+                    }
+                }
+                frontier = next;
+            }
+            all.sort_unstable();
+            all.dedup();
+            out.extend(all);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check(pattern: &str, input: &str, expected: bool) {
+        let ast = parse(pattern).unwrap();
+        assert_eq!(
+            backtrack_full_match(&ast, input),
+            expected,
+            "pattern={pattern:?} input={input:?}"
+        );
+    }
+
+    #[test]
+    fn agrees_with_basics() {
+        check("abc", "abc", true);
+        check("abc", "abd", false);
+        check("a*", "", true);
+        check("a*", "aaa", true);
+        check("a+", "", false);
+        check("a|b", "b", true);
+        check("(ab|cd)+", "abcd", true);
+        check("a{2,3}", "aaaa", false);
+        check(r"\d+", "123", true);
+        check("^a$", "a", true);
+    }
+
+    #[test]
+    fn nullable_repeat_terminates() {
+        check("(a?)*", "aaa", true);
+        check("(a?)*b", "b", true);
+        check("(a*)*", "", true);
+    }
+}

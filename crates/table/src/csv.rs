@@ -1,0 +1,283 @@
+//! Minimal RFC-4180-style CSV reader/writer.
+//!
+//! Supports quoted fields (with embedded commas, quotes, and newlines),
+//! CRLF and LF line endings, and a configurable delimiter. This is the
+//! ingestion path for the data-catalog example and integration tests.
+
+use crate::table::{Table, TableBuilder, TableError};
+
+/// Error raised while parsing CSV text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// A quoted field was never closed.
+    UnterminatedQuote {
+        /// 1-based line where the field started.
+        line: usize,
+    },
+    /// Characters followed a closing quote without a delimiter.
+    TrailingAfterQuote {
+        /// 1-based line of the offending field.
+        line: usize,
+    },
+    /// The parsed rows did not form a valid table.
+    Table(TableError),
+    /// Input had no header row.
+    Empty,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "unterminated quoted field starting on line {line}")
+            }
+            CsvError::TrailingAfterQuote { line } => {
+                write!(f, "unexpected characters after closing quote on line {line}")
+            }
+            CsvError::Table(e) => write!(f, "invalid table: {e}"),
+            CsvError::Empty => write!(f, "empty input: no header row"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<TableError> for CsvError {
+    fn from(e: TableError) -> Self {
+        CsvError::Table(e)
+    }
+}
+
+/// Split CSV text into records of fields.
+///
+/// Exposed so callers can inspect raw cells before value inference.
+pub fn parse_records(input: &str, delimiter: char) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = input.chars().peekable();
+    let mut line = 1usize;
+    let mut in_quotes = false;
+    let mut quote_start_line = 1usize;
+    let mut any = false;
+
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                        // Only delimiter, newline, or EOF may follow.
+                        match chars.peek() {
+                            None => {}
+                            Some(&n) if n == delimiter || n == '\n' || n == '\r' => {}
+                            Some(_) => return Err(CsvError::TrailingAfterQuote { line }),
+                        }
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                _ => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' if field.is_empty() => {
+                in_quotes = true;
+                quote_start_line = line;
+            }
+            '\r' => {
+                // Swallow the \n of a CRLF; bare \r is treated as newline too.
+                if chars.peek() == Some(&'\n') {
+                    chars.next();
+                }
+                line += 1;
+                record.push(std::mem::take(&mut field));
+                records.push(std::mem::take(&mut record));
+            }
+            '\n' => {
+                line += 1;
+                record.push(std::mem::take(&mut field));
+                records.push(std::mem::take(&mut record));
+            }
+            c if c == delimiter => record.push(std::mem::take(&mut field)),
+            _ => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote {
+            line: quote_start_line,
+        });
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    if !any {
+        return Err(CsvError::Empty);
+    }
+    // Drop trailing fully-empty records (dangling final newline).
+    while records
+        .last()
+        .is_some_and(|r| r.len() == 1 && r[0].is_empty())
+    {
+        records.pop();
+    }
+    if records.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    Ok(records)
+}
+
+/// Parse CSV text (first record = header) into a [`Table`] with inferred
+/// cell values.
+pub fn parse_table(name: &str, input: &str, delimiter: char) -> Result<Table, CsvError> {
+    let records = parse_records(input, delimiter)?;
+    let mut it = records.into_iter();
+    let headers = it.next().ok_or(CsvError::Empty)?;
+    let mut builder = TableBuilder::new(name, headers);
+    for rec in it {
+        builder.push_raw_row(&rec);
+    }
+    Ok(builder.build()?)
+}
+
+/// Quote a field if it contains the delimiter, quotes, or newlines.
+fn escape_field(field: &str, delimiter: char, out: &mut String) {
+    let needs_quotes = field
+        .chars()
+        .any(|c| c == delimiter || c == '"' || c == '\n' || c == '\r');
+    if needs_quotes {
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
+/// Serialize a table as CSV text with the given delimiter.
+#[must_use]
+pub fn write_table(table: &Table, delimiter: char) -> String {
+    let mut out = String::new();
+    for (i, c) in table.columns().iter().enumerate() {
+        if i > 0 {
+            out.push(delimiter);
+        }
+        escape_field(&c.name, delimiter, &mut out);
+    }
+    out.push('\n');
+    for r in 0..table.n_rows() {
+        for (i, c) in table.columns().iter().enumerate() {
+            if i > 0 {
+                out.push(delimiter);
+            }
+            escape_field(&c.values[r].render(), delimiter, &mut out);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::value::Value;
+
+    #[test]
+    fn simple_parse() {
+        let t = parse_table("t", "a,b\n1,x\n2,y\n", ',').unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.headers(), vec!["a", "b"]);
+        assert_eq!(t.column(0).unwrap().values[1], Value::Int(2));
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let t = parse_table("t", "a,b\n\"1,5\",\"he said \"\"hi\"\"\"\n", ',').unwrap();
+        assert_eq!(t.column(0).unwrap().values[0], Value::Text("1,5".into()));
+        assert_eq!(
+            t.column(1).unwrap().values[0],
+            Value::Text("he said \"hi\"".into())
+        );
+    }
+
+    #[test]
+    fn embedded_newline_in_quotes() {
+        let t = parse_table("t", "a\n\"line1\nline2\"\n", ',').unwrap();
+        assert_eq!(t.n_rows(), 1);
+        assert_eq!(
+            t.column(0).unwrap().values[0],
+            Value::Text("line1\nline2".into())
+        );
+    }
+
+    #[test]
+    fn crlf_and_missing_final_newline() {
+        let t = parse_table("t", "a,b\r\n1,2\r\n3,4", ',').unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.column(1).unwrap().values[1], Value::Int(4));
+    }
+
+    #[test]
+    fn semicolon_delimiter() {
+        let t = parse_table("t", "a;b\n1;2\n", ';').unwrap();
+        assert_eq!(t.n_cols(), 2);
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let t = parse_table("t", "a,b\n1\n", ',').unwrap();
+        assert_eq!(t.column(1).unwrap().values[0], Value::Null);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(parse_table("t", "", ','), Err(CsvError::Empty));
+        assert!(matches!(
+            parse_table("t", "a\n\"open", ','),
+            Err(CsvError::UnterminatedQuote { .. })
+        ));
+        assert!(matches!(
+            parse_table("t", "a\n\"x\"y\n", ','),
+            Err(CsvError::TrailingAfterQuote { .. })
+        ));
+        assert!(matches!(
+            parse_table("t", "a,a\n1,2\n", ','),
+            Err(CsvError::Table(_))
+        ));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = crate::table::Table::new(
+            "t",
+            vec![
+                Column::from_raw("plain", &["1", "2"]),
+                Column::from_raw("tricky, header", &["a\"b", "c\nd"]),
+            ],
+        )
+        .unwrap();
+        let csv = write_table(&t, ',');
+        let back = parse_table("t", &csv, ',').unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn trailing_empty_lines_dropped() {
+        let t = parse_table("t", "a\n1\n\n\n", ',').unwrap();
+        assert_eq!(t.n_rows(), 1);
+    }
+}

@@ -1,0 +1,21 @@
+//! # tu-table
+//!
+//! Table data model for the *Making Table Understanding Work in Practice*
+//! (CIDR'22) reproduction: dynamically typed cell [`Value`]s, [`Column`]s,
+//! rectangular [`Table`]s, a small RFC-4180 CSV reader/writer, and the
+//! descriptive statistics used by the profiler and feature extractor.
+//!
+//! Everything downstream (corpus generation, profiling, the SigmaTyper
+//! pipeline) speaks this vocabulary.
+
+#![warn(missing_docs)]
+
+pub mod column;
+pub mod csv;
+pub mod stats;
+pub mod table;
+pub mod value;
+
+pub use column::Column;
+pub use table::{Table, TableBuilder, TableError};
+pub use value::{DataType, Date, Value};

@@ -1,0 +1,292 @@
+//! Tables: a named collection of equally long [`Column`]s.
+
+use crate::column::Column;
+use crate::value::{DataType, Value};
+
+/// Error raised when constructing a structurally invalid table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// Columns have differing lengths: `(column name, expected, found)`.
+    RaggedColumns(String, usize, usize),
+    /// Two columns share the same header.
+    DuplicateHeader(String),
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::RaggedColumns(name, expected, found) => write!(
+                f,
+                "column {name:?} has {found} rows, expected {expected}"
+            ),
+            TableError::DuplicateHeader(name) => {
+                write!(f, "duplicate column header {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// A relational table: named, with equally long columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table name (file stem, warehouse table name, …).
+    pub name: String,
+    columns: Vec<Column>,
+}
+
+impl Table {
+    /// Build a table, validating rectangularity and header uniqueness.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Result<Self, TableError> {
+        if let Some(first) = columns.first() {
+            let expected = first.len();
+            for c in &columns {
+                if c.len() != expected {
+                    return Err(TableError::RaggedColumns(
+                        c.name.clone(),
+                        expected,
+                        c.len(),
+                    ));
+                }
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for c in &columns {
+            if !seen.insert(c.name.as_str()) {
+                return Err(TableError::DuplicateHeader(c.name.clone()));
+            }
+        }
+        Ok(Table {
+            name: name.into(),
+            columns,
+        })
+    }
+
+    /// Number of rows (0 when there are no columns).
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// All columns, in order.
+    #[must_use]
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column by positional index.
+    #[must_use]
+    pub fn column(&self, idx: usize) -> Option<&Column> {
+        self.columns.get(idx)
+    }
+
+    /// Column by header (exact match).
+    #[must_use]
+    pub fn column_by_name(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Index of a column by header (exact match).
+    #[must_use]
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Headers in order.
+    #[must_use]
+    pub fn headers(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// One row as a vector of value references.
+    #[must_use]
+    pub fn row(&self, idx: usize) -> Option<Vec<&Value>> {
+        if idx >= self.n_rows() {
+            return None;
+        }
+        Some(self.columns.iter().map(|c| &c.values[idx]).collect())
+    }
+
+    /// Replace a column's header, keeping values (used by relabel flows).
+    pub fn rename_column(&mut self, idx: usize, name: impl Into<String>) {
+        if let Some(c) = self.columns.get_mut(idx) {
+            c.name = name.into();
+        }
+    }
+
+    /// Dominant data type per column, in order.
+    #[must_use]
+    pub fn column_types(&self) -> Vec<DataType> {
+        self.columns.iter().map(Column::inferred_type).collect()
+    }
+
+    /// Consume the table, returning its columns.
+    #[must_use]
+    pub fn into_columns(self) -> Vec<Column> {
+        self.columns
+    }
+}
+
+/// Incremental row-oriented builder for [`Table`].
+///
+/// Useful when data arrives row-wise (CSV parsing, generators).
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    name: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl TableBuilder {
+    /// Start a table with the given name and headers.
+    #[must_use]
+    pub fn new(name: impl Into<String>, headers: Vec<String>) -> Self {
+        TableBuilder {
+            name: name.into(),
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row; short rows are padded with nulls, long rows truncated.
+    pub fn push_row(&mut self, mut row: Vec<Value>) {
+        row.resize(self.headers.len(), Value::Null);
+        self.rows.push(row);
+    }
+
+    /// Append a row of raw strings, inferring each cell's value.
+    pub fn push_raw_row<S: AsRef<str>>(&mut self, raw: &[S]) {
+        let row: Vec<Value> = raw.iter().map(|s| Value::infer(s.as_ref())).collect();
+        self.push_row(row);
+    }
+
+    /// Number of rows accumulated so far.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Finish, producing a column-oriented [`Table`].
+    pub fn build(self) -> Result<Table, TableError> {
+        let n = self.rows.len();
+        let mut columns: Vec<Column> = self
+            .headers
+            .into_iter()
+            .map(|h| Column::new(h, Vec::with_capacity(n)))
+            .collect();
+        for row in self.rows {
+            for (c, v) in columns.iter_mut().zip(row) {
+                c.values.push(v);
+            }
+        }
+        Table::new(self.name, columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Table {
+        Table::new(
+            "t",
+            vec![
+                Column::from_raw("a", &["1", "2", "3"]),
+                Column::from_raw("b", &["x", "y", ""]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shape_and_access() {
+        let t = t();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.n_cols(), 2);
+        assert_eq!(t.headers(), vec!["a", "b"]);
+        assert_eq!(t.column_by_name("b").unwrap().name, "b");
+        assert_eq!(t.column_index("b"), Some(1));
+        assert_eq!(t.column_index("z"), None);
+        assert!(t.column(5).is_none());
+    }
+
+    #[test]
+    fn row_view() {
+        let t = t();
+        let r = t.row(1).unwrap();
+        assert_eq!(r[0], &Value::Int(2));
+        assert_eq!(r[1], &Value::Text("y".into()));
+        assert!(t.row(3).is_none());
+    }
+
+    #[test]
+    fn ragged_rejected() {
+        let err = Table::new(
+            "t",
+            vec![
+                Column::from_raw("a", &["1"]),
+                Column::from_raw("b", &["x", "y"]),
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(err, TableError::RaggedColumns("b".into(), 1, 2));
+        assert!(err.to_string().contains("expected 1"));
+    }
+
+    #[test]
+    fn duplicate_headers_rejected() {
+        let err = Table::new(
+            "t",
+            vec![
+                Column::from_raw("a", &["1"]),
+                Column::from_raw("a", &["2"]),
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(err, TableError::DuplicateHeader("a".into()));
+    }
+
+    #[test]
+    fn empty_table_ok() {
+        let t = Table::new("t", vec![]).unwrap();
+        assert_eq!(t.n_rows(), 0);
+        assert_eq!(t.n_cols(), 0);
+    }
+
+    #[test]
+    fn rename() {
+        let mut t = t();
+        t.rename_column(0, "salary");
+        assert_eq!(t.headers(), vec!["salary", "b"]);
+        t.rename_column(9, "ignored"); // out of range is a no-op
+    }
+
+    #[test]
+    fn builder_pads_and_truncates() {
+        let mut b = TableBuilder::new("t", vec!["a".into(), "b".into()]);
+        b.push_raw_row(&["1"]);
+        b.push_raw_row(&["2", "x", "extra"]);
+        assert_eq!(b.n_rows(), 2);
+        let t = b.build().unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.column(0).unwrap().values, vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(
+            t.column(1).unwrap().values,
+            vec![Value::Null, Value::Text("x".into())]
+        );
+    }
+
+    #[test]
+    fn column_types_per_column() {
+        use crate::value::DataType;
+        let t = t();
+        assert_eq!(t.column_types(), vec![DataType::Int, DataType::Text]);
+    }
+}

@@ -1,0 +1,265 @@
+//! Header normalization: canonical token form plus abbreviation expansion.
+//!
+//! Real headers abbreviate aggressively (`cust_no`, `qty`, `amt`); the
+//! header-matching step of the pipeline compares *normalized* forms so
+//! `Cust_No` can hit the ontology label `customer number`.
+
+use crate::tokenize::header_tokens;
+
+/// Expand a common header abbreviation to its canonical word.
+///
+/// Returns the input unchanged when no expansion is known.
+#[must_use]
+pub fn expand_abbreviation(token: &str) -> &str {
+    match token {
+        "no" | "nr" | "num" => "number",
+        "qty" => "quantity",
+        "amt" => "amount",
+        "dt" => "date",
+        "desc" => "description",
+        "addr" => "address",
+        "tel" => "telephone",
+        "cat" => "category",
+        "pct" | "perc" => "percent",
+        "avg" => "average",
+        "min" => "minimum",
+        "max" => "maximum",
+        "cust" => "customer",
+        "acct" => "account",
+        "dept" => "department",
+        "emp" => "employee",
+        "org" => "organization",
+        "lat" => "latitude",
+        "lon" | "lng" => "longitude",
+        "fname" => "firstname",
+        "lname" => "lastname",
+        "dob" => "birthdate",
+        "ssn" => "socialsecuritynumber",
+        "msg" => "message",
+        "lang" => "language",
+        "ctry" | "cntry" => "country",
+        "st" => "state",
+        "prod" => "product",
+        "mfr" => "manufacturer",
+        "temp" => "temperature",
+        "wt" => "weight",
+        "ht" => "height",
+        _ => token,
+    }
+}
+
+/// Normalize a header to a canonical space-joined lowercase token string,
+/// expanding abbreviations: `"Cust_No"` → `"customer number"`.
+#[must_use]
+pub fn normalize_header(header: &str) -> String {
+    let tokens = header_tokens(header);
+    let mut out = String::with_capacity(header.len());
+    for (i, t) in tokens.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(expand_abbreviation(t));
+    }
+    out
+}
+
+/// Normalize a cell value for dictionary lookup: trim, lowercase,
+/// collapse internal whitespace, strip surrounding punctuation.
+#[must_use]
+pub fn normalize_value(value: &str) -> String {
+    let trimmed = value
+        .trim()
+        .trim_matches(|c: char| c.is_ascii_punctuation() && c != '#' && c != '+');
+    let mut out = String::with_capacity(trimmed.len());
+    let mut last_space = false;
+    for c in trimmed.chars() {
+        if c.is_whitespace() {
+            if !last_space && !out.is_empty() {
+                out.push(' ');
+                last_space = true;
+            }
+        } else {
+            out.extend(c.to_lowercase());
+            last_space = false;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Casing style of a header, a weak but cheap signal of table origin
+/// (web tables title-case; database tables snake-case).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseStyle {
+    /// `lower_snake_case`
+    Snake,
+    /// `SCREAMING_SNAKE`
+    ScreamingSnake,
+    /// `camelCase`
+    Camel,
+    /// `PascalCase`
+    Pascal,
+    /// `kebab-case`
+    Kebab,
+    /// `Title Case Words`
+    Title,
+    /// all lowercase, no separators
+    Lower,
+    /// all uppercase, no separators
+    Upper,
+    /// anything else
+    Mixed,
+}
+
+/// Detect the [`CaseStyle`] of a header string.
+#[must_use]
+pub fn detect_case(header: &str) -> CaseStyle {
+    let h = header.trim();
+    if h.is_empty() {
+        return CaseStyle::Mixed;
+    }
+    let has_underscore = h.contains('_');
+    let has_hyphen = h.contains('-');
+    let has_space = h.contains(' ');
+    let letters: Vec<char> = h.chars().filter(|c| c.is_alphabetic()).collect();
+    if letters.is_empty() {
+        return CaseStyle::Mixed;
+    }
+    let all_lower = letters.iter().all(|c| c.is_lowercase());
+    let all_upper = letters.iter().all(|c| c.is_uppercase());
+    if has_underscore {
+        if all_lower {
+            return CaseStyle::Snake;
+        }
+        if all_upper {
+            return CaseStyle::ScreamingSnake;
+        }
+        return CaseStyle::Mixed;
+    }
+    if has_hyphen {
+        return if all_lower { CaseStyle::Kebab } else { CaseStyle::Mixed };
+    }
+    if has_space {
+        let title = h.split_whitespace().all(|w| {
+            w.chars()
+                .next()
+                .is_some_and(|c| c.is_uppercase() || !c.is_alphabetic())
+        });
+        return if title { CaseStyle::Title } else { CaseStyle::Mixed };
+    }
+    if all_lower {
+        return CaseStyle::Lower;
+    }
+    if all_upper {
+        return CaseStyle::Upper;
+    }
+    let first_upper = h.chars().next().is_some_and(|c| c.is_uppercase());
+    if first_upper {
+        CaseStyle::Pascal
+    } else {
+        CaseStyle::Camel
+    }
+}
+
+/// Render tokens in the given [`CaseStyle`] (used by the corpus generator
+/// to vary header casing realistically).
+#[must_use]
+pub fn apply_case(tokens: &[&str], style: CaseStyle) -> String {
+    fn cap(w: &str) -> String {
+        let mut cs = w.chars();
+        match cs.next() {
+            Some(f) => f.to_uppercase().collect::<String>() + cs.as_str(),
+            None => String::new(),
+        }
+    }
+    match style {
+        CaseStyle::Snake => tokens.join("_"),
+        CaseStyle::ScreamingSnake => tokens.join("_").to_uppercase(),
+        CaseStyle::Kebab => tokens.join("-"),
+        CaseStyle::Title => tokens.iter().map(|t| cap(t)).collect::<Vec<_>>().join(" "),
+        CaseStyle::Lower => tokens.concat(),
+        CaseStyle::Upper => tokens.concat().to_uppercase(),
+        CaseStyle::Camel => {
+            let mut out = String::new();
+            for (i, t) in tokens.iter().enumerate() {
+                if i == 0 {
+                    out.push_str(t);
+                } else {
+                    out.push_str(&cap(t));
+                }
+            }
+            out
+        }
+        CaseStyle::Pascal => tokens.iter().map(|t| cap(t)).collect(),
+        CaseStyle::Mixed => tokens.join(" "),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_headers() {
+        assert_eq!(normalize_header("Cust_No"), "customer number");
+        assert_eq!(normalize_header("orderQty"), "order quantity");
+        assert_eq!(normalize_header("DOB"), "birthdate");
+        assert_eq!(normalize_header("plain"), "plain");
+        assert_eq!(normalize_header(""), "");
+    }
+
+    #[test]
+    fn normalize_values() {
+        assert_eq!(normalize_value("  New   York "), "new york");
+        assert_eq!(normalize_value("\"Amsterdam\""), "amsterdam");
+        assert_eq!(normalize_value("USA."), "usa");
+        assert_eq!(normalize_value(""), "");
+        // leading # and + survive (phone numbers, colors)
+        assert_eq!(normalize_value("#FF00AA"), "#ff00aa");
+        assert_eq!(normalize_value("+31 20 123"), "+31 20 123");
+    }
+
+    #[test]
+    fn case_detection() {
+        assert_eq!(detect_case("order_id"), CaseStyle::Snake);
+        assert_eq!(detect_case("ORDER_ID"), CaseStyle::ScreamingSnake);
+        assert_eq!(detect_case("orderId"), CaseStyle::Camel);
+        assert_eq!(detect_case("OrderId"), CaseStyle::Pascal);
+        assert_eq!(detect_case("order-id"), CaseStyle::Kebab);
+        assert_eq!(detect_case("Order Id"), CaseStyle::Title);
+        assert_eq!(detect_case("orderid"), CaseStyle::Lower);
+        assert_eq!(detect_case("ORDERID"), CaseStyle::Upper);
+        assert_eq!(detect_case("Order_iD"), CaseStyle::Mixed);
+        assert_eq!(detect_case(""), CaseStyle::Mixed);
+        assert_eq!(detect_case("123"), CaseStyle::Mixed);
+    }
+
+    #[test]
+    fn case_application_roundtrip() {
+        let tokens = ["order", "id"];
+        for style in [
+            CaseStyle::Snake,
+            CaseStyle::ScreamingSnake,
+            CaseStyle::Camel,
+            CaseStyle::Pascal,
+            CaseStyle::Kebab,
+            CaseStyle::Title,
+        ] {
+            let rendered = apply_case(&tokens, style);
+            assert_eq!(detect_case(&rendered), style, "style {style:?} → {rendered}");
+            assert_eq!(
+                crate::tokenize::header_tokens(&rendered),
+                vec!["order", "id"],
+                "tokens survive casing {style:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn abbreviation_identity() {
+        assert_eq!(expand_abbreviation("salary"), "salary");
+        assert_eq!(expand_abbreviation("qty"), "quantity");
+    }
+}

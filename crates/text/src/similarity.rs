@@ -1,0 +1,220 @@
+//! String similarity metrics for the syntactic header-matching step.
+//!
+//! All similarities are in `[0, 1]` with `1` meaning identical. The
+//! pipeline's fuzzy matcher combines edit-based (Levenshtein),
+//! transposition-tolerant (Jaro-Winkler), and set-based (token Dice,
+//! n-gram Jaccard) views.
+
+use std::collections::HashSet;
+
+/// Levenshtein edit distance between two strings (unit costs).
+#[must_use]
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Single-row DP to keep allocation to one Vec.
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            let next = (row[j + 1] + 1).min(row[j] + 1).min(prev_diag + cost);
+            prev_diag = row[j + 1];
+            row[j + 1] = next;
+        }
+    }
+    row[b.len()]
+}
+
+/// Normalized edit similarity: `1 - dist / max_len`; `1.0` for two empties.
+#[must_use]
+pub fn edit_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Jaro similarity.
+#[must_use]
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches_a.push(ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let matches_b: Vec<char> = b
+        .iter()
+        .zip(b_used.iter())
+        .filter_map(|(&c, &used)| used.then_some(c))
+        .collect();
+    let transpositions = matches_a
+        .iter()
+        .zip(matches_b.iter())
+        .filter(|(x, y)| x != y)
+        .count() as f64
+        / 2.0;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity with the standard 0.1 prefix scale, capped at
+/// a 4-character common prefix.
+#[must_use]
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    j + prefix * 0.1 * (1.0 - j)
+}
+
+/// Jaccard similarity of character n-gram sets.
+#[must_use]
+pub fn ngram_jaccard(a: &str, b: &str, n: usize) -> f64 {
+    let ga: HashSet<String> = crate::tokenize::char_ngrams(a, n).into_iter().collect();
+    let gb: HashSet<String> = crate::tokenize::char_ngrams(b, n).into_iter().collect();
+    let inter = ga.intersection(&gb).count();
+    let union = ga.union(&gb).count();
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Dice coefficient over word-token sets.
+#[must_use]
+pub fn token_dice(a: &str, b: &str) -> f64 {
+    let ta: HashSet<String> = crate::tokenize::word_tokens(a).into_iter().collect();
+    let tb: HashSet<String> = crate::tokenize::word_tokens(b).into_iter().collect();
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let inter = ta.intersection(&tb).count();
+    2.0 * inter as f64 / (ta.len() + tb.len()) as f64
+}
+
+/// Combined fuzzy score used by the header-matching step: the maximum of
+/// edit similarity, Jaro-Winkler, and token Dice. Taking the max keeps the
+/// matcher robust to both typos (edit/JW strong) and word reordering /
+/// partial overlap (Dice strong).
+#[must_use]
+pub fn fuzzy_score(a: &str, b: &str) -> f64 {
+    edit_similarity(a, b)
+        .max(jaro_winkler(a, b))
+        .max(token_dice(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn edit_similarity_bounds() {
+        assert_eq!(edit_similarity("", ""), 1.0);
+        assert_eq!(edit_similarity("abc", "abc"), 1.0);
+        assert_eq!(edit_similarity("abc", "xyz"), 0.0);
+        let s = edit_similarity("salary", "salaries");
+        assert!(s > 0.5 && s < 1.0);
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        // Classic textbook pairs.
+        assert!((jaro("MARTHA", "MARHTA") - 0.944_444).abs() < 1e-5);
+        assert!((jaro("DIXON", "DICKSONX") - 0.766_667).abs() < 1e-5);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+        assert_eq!(jaro("abc", "abc"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_prefix_boost() {
+        let j = jaro("prefixed", "prefixes");
+        let jw = jaro_winkler("prefixed", "prefixes");
+        assert!(jw > j);
+        assert!(jw <= 1.0);
+        // No common prefix → no boost.
+        assert_eq!(jaro_winkler("abc", "xbc"), jaro("abc", "xbc"));
+    }
+
+    #[test]
+    fn ngram_jaccard_cases() {
+        assert_eq!(ngram_jaccard("abc", "abc", 2), 1.0);
+        assert!(ngram_jaccard("email", "e-mail", 3) > 0.2);
+        assert!(ngram_jaccard("abc", "xyz", 2) < 0.2);
+    }
+
+    #[test]
+    fn token_dice_cases() {
+        assert_eq!(token_dice("first name", "name first"), 1.0);
+        assert_eq!(token_dice("", ""), 1.0);
+        assert_eq!(token_dice("a", ""), 0.0);
+        assert!((token_dice("order id", "order date") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fuzzy_score_takes_best_view() {
+        // Token reorder: Dice saves the day.
+        assert_eq!(fuzzy_score("last name", "name last"), 1.0);
+        // Typo: edit/JW save the day.
+        assert!(fuzzy_score("countri", "country") > 0.8);
+        // Unrelated stays low.
+        assert!(fuzzy_score("salary", "latitude") < 0.6);
+    }
+
+    #[test]
+    fn symmetry() {
+        for (a, b) in [("salary", "income"), ("abc", ""), ("x", "y")] {
+            assert_eq!(levenshtein(a, b), levenshtein(b, a));
+            assert!((jaro(a, b) - jaro(b, a)).abs() < 1e-12);
+            assert!((token_dice(a, b) - token_dice(b, a)).abs() < 1e-12);
+        }
+    }
+}

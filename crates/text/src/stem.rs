@@ -1,0 +1,80 @@
+//! A tiny plural stemmer for header tokens.
+//!
+//! Headers pluralize freely ("Cities", "Dates", "Countries" — see paper
+//! Figure 2/4) while ontology labels are singular. This is a deliberately
+//! small S-stemmer: it only touches common English plural suffixes, which
+//! is all header matching needs.
+
+/// Singularize one lowercase token.
+#[must_use]
+pub fn stem_token(token: &str) -> String {
+    let n = token.len();
+    if n >= 5 && token.ends_with("ies") {
+        // cities → city, countries → country
+        return format!("{}y", &token[..n - 3]);
+    }
+    if n >= 4
+        && (token.ends_with("ses")
+            || token.ends_with("xes")
+            || token.ends_with("zes")
+            || token.ends_with("ches")
+            || token.ends_with("shes"))
+    {
+        // statuses → status, boxes → box, branches → branch
+        return token[..n - 2].to_owned();
+    }
+    if n >= 4
+        && token.ends_with('s')
+        && !token.ends_with("ss")
+        && !token.ends_with("us")
+        && !token.ends_with("is")
+    {
+        // dates → date, names → name; keep address, status, analysis
+        return token[..n - 1].to_owned();
+    }
+    token.to_owned()
+}
+
+/// Singularize each space-separated token of a normalized phrase.
+#[must_use]
+pub fn stem_phrase(phrase: &str) -> String {
+    phrase
+        .split(' ')
+        .map(stem_token)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plural_forms() {
+        assert_eq!(stem_token("cities"), "city");
+        assert_eq!(stem_token("countries"), "country");
+        assert_eq!(stem_token("dates"), "date");
+        assert_eq!(stem_token("names"), "name");
+        assert_eq!(stem_token("statuses"), "status");
+        assert_eq!(stem_token("boxes"), "box");
+        assert_eq!(stem_token("branches"), "branch");
+    }
+
+    #[test]
+    fn non_plurals_untouched() {
+        assert_eq!(stem_token("address"), "address");
+        assert_eq!(stem_token("status"), "status");
+        assert_eq!(stem_token("analysis"), "analysis");
+        assert_eq!(stem_token("city"), "city");
+        assert_eq!(stem_token("s"), "s");
+        assert_eq!(stem_token(""), "");
+        assert_eq!(stem_token("gas"), "gas"); // too short to risk
+    }
+
+    #[test]
+    fn phrases() {
+        assert_eq!(stem_phrase("first names"), "first name");
+        assert_eq!(stem_phrase("order numbers"), "order number");
+        assert_eq!(stem_phrase(""), "");
+    }
+}

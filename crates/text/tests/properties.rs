@@ -1,0 +1,71 @@
+//! Property tests: similarity metrics and normalizers.
+
+use proptest::prelude::*;
+use tu_text::{
+    edit_similarity, fuzzy_score, jaro_winkler, levenshtein, normalize_header, normalize_value,
+    stem_phrase, token_dice,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn similarities_bounded_and_symmetric(a in "\\PC{0,12}", b in "\\PC{0,12}") {
+        for (f, name) in [
+            (edit_similarity as fn(&str, &str) -> f64, "edit"),
+            (jaro_winkler, "jw"),
+            (token_dice, "dice"),
+            (fuzzy_score, "fuzzy"),
+        ] {
+            let s = f(&a, &b);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&s), "{name}({a:?},{b:?}) = {s}");
+            prop_assert!((s - f(&b, &a)).abs() < 1e-9, "{name} must be symmetric");
+        }
+    }
+
+    #[test]
+    fn identity_scores_one(a in "\\PC{1,12}") {
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert!((edit_similarity(&a, &a) - 1.0).abs() < 1e-9);
+        prop_assert!((jaro_winkler(&a, &a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn levenshtein_triangle_inequality(
+        a in "[a-c]{0,6}",
+        b in "[a-c]{0,6}",
+        c in "[a-c]{0,6}",
+    ) {
+        let ab = levenshtein(&a, &b);
+        let bc = levenshtein(&b, &c);
+        let ac = levenshtein(&a, &c);
+        prop_assert!(ac <= ab + bc, "d({a},{c})={ac} > d({a},{b})+d({b},{c})={}", ab + bc);
+    }
+
+    #[test]
+    fn normalize_header_idempotent(h in "\\PC{0,20}") {
+        let once = normalize_header(&h);
+        prop_assert_eq!(normalize_header(&once), once.clone());
+    }
+
+    #[test]
+    fn normalize_value_idempotent(v in "\\PC{0,20}") {
+        let once = normalize_value(&v);
+        prop_assert_eq!(normalize_value(&once), once.clone());
+    }
+
+    #[test]
+    fn stemming_idempotent(p in "[a-z ]{0,20}") {
+        let once = stem_phrase(&p);
+        prop_assert_eq!(stem_phrase(&once), once.clone());
+    }
+
+    #[test]
+    fn levenshtein_bounded_by_longer(a in "\\PC{0,10}", b in "\\PC{0,10}") {
+        let d = levenshtein(&a, &b);
+        let la = a.chars().count();
+        let lb = b.chars().count();
+        prop_assert!(d <= la.max(lb));
+        prop_assert!(d >= la.abs_diff(lb));
+    }
+}

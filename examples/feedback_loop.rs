@@ -1,0 +1,81 @@
+//! The DPBD feedback loop, live (paper Figures 2 + 3).
+//!
+//! A customer's "contact" columns hold bare digit strings the global
+//! model has never seen as phone numbers. Watch the system: mispredict →
+//! receive one explicit correction → infer labeling functions → mine the
+//! customer's table history for weak labels → finetune the local model →
+//! predict correctly, with the local weight `Wl` rising.
+//!
+//! ```text
+//! cargo run --release --example feedback_loop
+//! ```
+
+use sigmatyper::{train_global, SigmaTyper, SigmaTyperConfig, TrainingConfig};
+use std::sync::Arc;
+use tu_corpus::{generate_corpus, remap_labels, CorpusConfig};
+use tu_ontology::{builtin_id, builtin_ontology};
+
+fn main() {
+    let ontology = builtin_ontology();
+    let mut cfg = CorpusConfig::database_like(7, 80);
+    cfg.ood_column_rate = 0.2;
+    let pretrain = generate_corpus(&ontology, &cfg);
+    let global = Arc::new(train_global(ontology, &pretrain, &TrainingConfig::fast()));
+    let mut typer = SigmaTyper::new(global, SigmaTyperConfig::default());
+    let o = typer.ontology().clone();
+
+    // The customer's context: columns the global model calls `identifier`
+    // are actually phone numbers here (the paper's §2.1 example).
+    let id = builtin_id(&o, "identifier");
+    let phone = builtin_id(&o, "phone number");
+    let mut history = generate_corpus(&o, &CorpusConfig::database_like(99, 30));
+    remap_labels(&mut history, &[(id, phone)]);
+
+    // Find customer tables containing the remapped column.
+    let targets: Vec<(usize, usize)> = history
+        .tables
+        .iter()
+        .enumerate()
+        .flat_map(|(ti, at)| {
+            at.labels
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| **l == phone)
+                .map(move |(ci, _)| (ti, ci))
+        })
+        .collect();
+    println!("customer history: {} tables, {} contact columns", history.tables.len(), targets.len());
+
+    let show = |typer: &SigmaTyper, label: &str| {
+        let mut right = 0;
+        for &(ti, ci) in &targets {
+            let ann = typer.annotate(&history.tables[ti].table);
+            if ann.columns[ci].predicted == phone {
+                right += 1;
+            }
+        }
+        println!(
+            "{label}: {right}/{} contact columns predicted `phone number`  (Wl={:.2}, local LFs={}, overrides shrink Wg(identifier) to {:.2})",
+            targets.len(),
+            typer.local().wl(phone),
+            typer.local().lfs.len(),
+            typer.local().wg(id, "identifier"),
+        );
+    };
+
+    show(&typer, "before feedback ");
+    for (k, &(ti, ci)) in targets.iter().take(3).enumerate() {
+        let (table, _) = (&history.tables[ti].table, ci);
+        typer.feedback(table, ci, phone, Some(&history));
+        show(&typer, &format!("after correction {}", k + 1));
+    }
+
+    println!("\ninferred labeling functions:");
+    for lf in typer.local().lfs.iter().take(8) {
+        println!("  {}", lf.name);
+    }
+    println!(
+        "local training set: {} columns (demonstrations + mined weak labels)",
+        typer.local().training.len()
+    );
+}

@@ -1,0 +1,77 @@
+//! Out-of-distribution abstention (paper Fig. 1c, §2.3).
+//!
+//! "Upon encountering tables and labels that are far from the training
+//! data, the system should avoid inferring labels." This example feeds
+//! the system columns whose types are *not in the ontology* (gene
+//! sequences, MAC addresses, …) and shows the background-`unknown`
+//! mechanism abstaining, next to confident in-distribution predictions.
+//!
+//! ```text
+//! cargo run --release --example ood_detection
+//! ```
+
+use rand::SeedableRng;
+use sigmatyper::{train_global, SigmaTyper, SigmaTyperConfig, TrainingConfig};
+use std::sync::Arc;
+use tu_corpus::ood::{generate_ood_column, ALL_OOD_KINDS};
+use tu_corpus::{generate_corpus, CorpusConfig};
+use tu_ontology::builtin_ontology;
+use tu_table::{Column, Table};
+
+fn main() {
+    let ontology = builtin_ontology();
+    let mut cfg = CorpusConfig::database_like(11, 80);
+    // The background class trains on injected OOD columns.
+    cfg.ood_column_rate = 0.3;
+    let pretrain = generate_corpus(&ontology, &cfg);
+    let global = Arc::new(train_global(ontology, &pretrain, &TrainingConfig::fast()));
+    let typer = SigmaTyper::new(global, SigmaTyperConfig::default());
+
+    println!("in-distribution columns:");
+    let known = Table::new(
+        "known",
+        vec![
+            Column::from_raw("city", &["Amsterdam", "Paris", "Tokyo", "Berlin", "Oslo"]),
+            Column::from_raw("email", &["a@x.com", "b@y.org", "c@z.net", "d@w.io", "e@v.co"]),
+        ],
+    )
+    .expect("valid table");
+    for col in &typer.annotate(&known).columns {
+        println!(
+            "  {:<10} → {:<12} conf {:.0}%",
+            known.headers()[col.col_idx],
+            typer.ontology().name(col.predicted),
+            col.confidence * 100.0
+        );
+    }
+
+    println!("\nout-of-ontology columns (system should abstain → `unknown`):");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut abstained = 0usize;
+    for &kind in ALL_OOD_KINDS {
+        let values = generate_ood_column(&mut rng, kind, 40);
+        let preview: Vec<String> = values.iter().take(2).map(|v| v.render()).collect();
+        let table = Table::new("ood", vec![Column::new(kind.header(), values)])
+            .expect("valid table");
+        let ann = typer.annotate(&table);
+        let col = &ann.columns[0];
+        let verdict = if col.abstained() {
+            abstained += 1;
+            "abstained ✓"
+        } else {
+            "labeled ✗"
+        };
+        println!(
+            "  {:<12} [{:<28}] → {:<12} conf {:.0}%  {}",
+            kind.header(),
+            preview.join(", "),
+            typer.ontology().name(col.predicted),
+            col.confidence * 100.0,
+            verdict
+        );
+    }
+    println!(
+        "\nabstained on {abstained}/{} OOD column kinds",
+        ALL_OOD_KINDS.len()
+    );
+}

@@ -1,0 +1,21 @@
+//! Umbrella crate re-exporting the public API of the CIDR'22
+//! *Making Table Understanding Work in Practice* reproduction.
+//!
+//! See the individual crates for details; the typical entry point is
+//! [`sigmatyper`].
+
+#![warn(missing_docs)]
+
+pub use sigmatyper;
+pub use tu_corpus as corpus;
+pub use tu_dp as dp;
+pub use tu_embed as embed;
+pub use tu_eval as eval;
+pub use tu_features as features;
+pub use tu_kb as kb;
+pub use tu_ml as ml;
+pub use tu_ontology as ontology;
+pub use tu_profile as profile;
+pub use tu_regex as regex;
+pub use tu_table as table;
+pub use tu_text as text;

@@ -1,0 +1,63 @@
+//! Integration: corpus tables survive CSV serialization and re-ingestion
+//! with annotations intact (the data-catalog path).
+
+use proptest::prelude::*;
+use tu_corpus::{generate_corpus, CorpusConfig};
+use tu_ontology::builtin_ontology;
+use tu_table::csv::{parse_table, write_table};
+
+#[test]
+fn generated_tables_roundtrip_through_csv() {
+    let o = builtin_ontology();
+    let corpus = generate_corpus(&o, &CorpusConfig::database_like(0xC5F, 10));
+    for at in &corpus.tables {
+        let csv = write_table(&at.table, ',');
+        let back = parse_table(&at.table.name, &csv, ',').expect("reparse");
+        assert_eq!(back.n_rows(), at.table.n_rows());
+        assert_eq!(back.headers(), at.table.headers());
+        // Cell-level equality: rendered forms match (value inference may
+        // widen types but rendering is canonical).
+        for r in 0..at.table.n_rows() {
+            let orig: Vec<String> = at.table.row(r).unwrap().iter().map(|v| v.render()).collect();
+            let re: Vec<String> = back.row(r).unwrap().iter().map(|v| v.render()).collect();
+            assert_eq!(orig, re, "row {r} of {}", at.table.name);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_seeded_corpus_roundtrips(seed in 0u64..10_000) {
+        let o = builtin_ontology();
+        let corpus = generate_corpus(&o, &CorpusConfig::database_like(seed, 2));
+        for at in &corpus.tables {
+            let csv = write_table(&at.table, ';');
+            let back = parse_table("t", &csv, ';').unwrap();
+            prop_assert_eq!(back.n_rows(), at.table.n_rows());
+            prop_assert_eq!(back.n_cols(), at.table.n_cols());
+        }
+    }
+
+    #[test]
+    fn corpus_generation_structurally_sound(seed in 0u64..10_000) {
+        let o = builtin_ontology();
+        let mut cfg = CorpusConfig::database_like(seed, 3);
+        cfg.ood_column_rate = 0.5;
+        cfg.opaque_header_rate = 0.3;
+        let corpus = generate_corpus(&o, &cfg);
+        for at in &corpus.tables {
+            prop_assert_eq!(at.table.n_cols(), at.labels.len());
+            prop_assert!(at.table.n_cols() >= 3);
+            // Headers unique.
+            let set: std::collections::HashSet<&str> =
+                at.table.headers().into_iter().collect();
+            prop_assert_eq!(set.len(), at.table.n_cols());
+            // Labels valid.
+            for l in &at.labels {
+                prop_assert!(l.index() < o.len());
+            }
+        }
+    }
+}

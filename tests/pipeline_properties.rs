@@ -1,0 +1,134 @@
+//! Property-based integration tests on the full pipeline: annotation
+//! never panics, respects invariants, and degrades gracefully on
+//! arbitrary tables (not just corpus-shaped ones).
+
+use proptest::prelude::*;
+use sigmatyper::{train_global, GlobalModel, SigmaTyper, SigmaTyperConfig, TrainingConfig};
+use std::sync::{Arc, OnceLock};
+use tu_corpus::{generate_corpus, CorpusConfig};
+use tu_ontology::builtin_ontology;
+use tu_table::{Column, Table};
+
+fn global() -> Arc<GlobalModel> {
+    static GLOBAL: OnceLock<Arc<GlobalModel>> = OnceLock::new();
+    GLOBAL
+        .get_or_init(|| {
+            let ontology = builtin_ontology();
+            let corpus = generate_corpus(&ontology, &CorpusConfig::database_like(0xF00, 40));
+            Arc::new(train_global(ontology, &corpus, &TrainingConfig::fast()))
+        })
+        .clone()
+}
+
+/// Arbitrary small tables: random headers, random cell strings.
+fn table_strategy() -> impl Strategy<Value = Table> {
+    let cell = prop_oneof![
+        "[a-zA-Z]{1,8}",
+        "[0-9]{1,6}",
+        "[0-9]{1,3}\\.[0-9]{1,3}",
+        Just(String::new()),
+        "[!-~]{1,10}",
+    ];
+    let header = "[a-zA-Z_][a-zA-Z0-9_]{0,12}";
+    (1usize..4, 0usize..6)
+        .prop_flat_map(move |(cols, rows)| {
+            (
+                prop::collection::vec(header, cols),
+                prop::collection::vec(prop::collection::vec(cell.clone(), cols), rows),
+            )
+        })
+        .prop_map(|(mut headers, rows)| {
+            // Deduplicate headers.
+            for i in 0..headers.len() {
+                let h = headers[i].clone();
+                let mut n = 0;
+                while headers[..i].contains(&headers[i]) {
+                    n += 1;
+                    headers[i] = format!("{h}_{n}");
+                }
+            }
+            let mut builder = tu_table::TableBuilder::new("prop", headers);
+            for row in rows {
+                builder.push_raw_row(&row);
+            }
+            builder.build().expect("rectangular by construction")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn annotation_total_on_arbitrary_tables(table in table_strategy()) {
+        let typer = SigmaTyper::new(global(), SigmaTyperConfig::default());
+        let ann = typer.annotate(&table);
+        prop_assert_eq!(ann.columns.len(), table.n_cols());
+        for col in &ann.columns {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&col.confidence));
+            prop_assert!(col.steps_run.len() <= 3);
+            prop_assert_eq!(col.steps_run.len(), col.step_scores.len());
+            // Top-k: the first element is the decision (possibly promoted
+            // by the hierarchy-specificity rule); the remainder is sorted
+            // descending by confidence.
+            if col.top_k.len() > 1 {
+                for w in col.top_k[1..].windows(2) {
+                    prop_assert!(w[0].confidence >= w[1].confidence - 1e-9);
+                }
+            }
+            if !col.abstained() {
+                prop_assert_eq!(col.predicted, col.top_k[0].ty);
+            }
+        }
+    }
+
+    #[test]
+    fn cascade_threshold_monotone_in_steps_run(table in table_strategy()) {
+        // A stricter threshold can only run *more* steps per column.
+        let mut strict = SigmaTyper::new(global(), SigmaTyperConfig::default());
+        strict.config_mut().cascade_threshold = 0.99;
+        let mut lax = SigmaTyper::new(global(), SigmaTyperConfig::default());
+        lax.config_mut().cascade_threshold = 0.5;
+        let a = strict.annotate(&table);
+        let b = lax.annotate(&table);
+        for (sa, sb) in a.columns.iter().zip(&b.columns) {
+            prop_assert!(sa.steps_run.len() >= sb.steps_run.len());
+        }
+    }
+
+    #[test]
+    fn tau_zero_vs_high_consistent(table in table_strategy()) {
+        let mut any = SigmaTyper::new(global(), SigmaTyperConfig::default());
+        any.config_mut().tau = 0.0;
+        let mut strict = SigmaTyper::new(global(), SigmaTyperConfig::default());
+        strict.config_mut().tau = 0.95;
+        let a = any.annotate(&table);
+        let s = strict.annotate(&table);
+        for (ca, cs) in a.columns.iter().zip(&s.columns) {
+            // τ only converts predictions into abstentions, never invents
+            // different labels.
+            if !cs.abstained() {
+                prop_assert_eq!(cs.predicted, ca.predicted);
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_and_degenerate_tables() {
+    let typer = SigmaTyper::new(global(), SigmaTyperConfig::default());
+    // Zero columns.
+    let empty = Table::new("e", vec![]).unwrap();
+    assert!(typer.annotate(&empty).columns.is_empty());
+    // Zero rows.
+    let no_rows = Table::new("n", vec![Column::new("a", vec![]), Column::new("b", vec![])]).unwrap();
+    let ann = typer.annotate(&no_rows);
+    assert_eq!(ann.columns.len(), 2);
+    // All-null column.
+    let nulls = Table::new(
+        "nulls",
+        vec![Column::from_raw("x", &["", "", ""])],
+    )
+    .unwrap();
+    let ann = typer.annotate(&nulls);
+    assert_eq!(ann.columns.len(), 1);
+}
