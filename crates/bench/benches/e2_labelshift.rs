@@ -18,7 +18,11 @@ fn bench(c: &mut Criterion) {
         .columns()
         .find(|(_, _, l)| *l == phone)
         .map(|(t, i, _)| {
-            let ti = history.tables.iter().position(|x| std::ptr::eq(x, t)).unwrap();
+            let ti = history
+                .tables
+                .iter()
+                .position(|x| std::ptr::eq(x, t))
+                .unwrap();
             (ti, i)
         })
         .expect("remapped column");

@@ -17,10 +17,20 @@ fn bench(c: &mut Criterion) {
         generate_ood_column(&mut rng, OodKind::GeneSequence, 100),
     );
     c.bench_function("e3_ood/unknown_probability_in_distribution", |b| {
-        b.iter(|| f.lab.global.embedding.unknown_probability(black_box(&id_col), &[]))
+        b.iter(|| {
+            f.lab
+                .global
+                .embedding
+                .unknown_probability(black_box(&id_col), &[])
+        })
     });
     c.bench_function("e3_ood/unknown_probability_ood", |b| {
-        b.iter(|| f.lab.global.embedding.unknown_probability(black_box(&ood_col), &[]))
+        b.iter(|| {
+            f.lab
+                .global
+                .embedding
+                .unknown_probability(black_box(&ood_col), &[])
+        })
     });
 }
 

@@ -19,7 +19,12 @@ fn bench(c: &mut Criterion) {
         .find(|(_, _, l)| *l == salary)
         .or_else(|| f.corpus.columns().find(|(_, _, l)| !l.is_unknown()))
         .map(|(t, i, l)| {
-            let ti = f.corpus.tables.iter().position(|x| std::ptr::eq(x, t)).unwrap();
+            let ti = f
+                .corpus
+                .tables
+                .iter()
+                .position(|x| std::ptr::eq(x, t))
+                .unwrap();
             (ti, i, l)
         })
         .expect("labeled column");

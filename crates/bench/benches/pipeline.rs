@@ -2,9 +2,11 @@
 //! header < lookup < embedding per-column cost) and end-to-end
 //! annotation throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sigmatyper::annotate_batch_with;
 use std::hint::black_box;
 use tu_bench::BenchFixture;
+use tu_table::Table;
 
 fn bench_steps(c: &mut Criterion) {
     let f = BenchFixture::new();
@@ -17,11 +19,10 @@ fn bench_steps(c: &mut Criterion) {
 
     c.bench_function("pipeline/step1_header_match", |b| {
         b.iter(|| {
-            f.lab.global.header.match_header(
-                black_box(headers[0]),
-                &f.lab.global.embedder,
-                cfg,
-            )
+            f.lab
+                .global
+                .header
+                .match_header(black_box(headers[0]), &f.lab.global.embedder, cfg)
         })
     });
     let normalized = tu_text::normalize_header(headers[0]);
@@ -60,5 +61,32 @@ fn bench_annotate(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_steps, bench_annotate);
+/// The serving front-end: one customer annotating a large batch,
+/// sequential vs. sharded across worker threads. The sharded path
+/// must scale — the acceptance bar is ≥ 2x throughput at 4 threads.
+fn bench_batch_service(c: &mut Criterion) {
+    let f = BenchFixture::new();
+    let typer = f.customer();
+    let mut tables: Vec<Table> = Vec::new();
+    for _ in 0..8 {
+        tables.extend(f.corpus.tables.iter().map(|at| at.table.clone()));
+    }
+    let mut group = c.benchmark_group("pipeline/batch_annotate");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| annotate_batch_with(black_box(&typer), black_box(&tables), 1))
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("sharded", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| annotate_batch_with(black_box(&typer), black_box(&tables), threads))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_steps, bench_annotate, bench_batch_service);
 criterion_main!(benches);

@@ -163,12 +163,21 @@ mod tests {
 
     #[test]
     fn tau_thresholding() {
-        let high = vec![Candidate { ty: TypeId(4), confidence: 0.8 }];
+        let high = vec![Candidate {
+            ty: TypeId(4),
+            confidence: 0.8,
+        }];
         assert_eq!(apply_tau(&high, 0.4), (TypeId(4), 0.8));
-        let low = vec![Candidate { ty: TypeId(4), confidence: 0.2 }];
+        let low = vec![Candidate {
+            ty: TypeId(4),
+            confidence: 0.2,
+        }];
         assert_eq!(apply_tau(&low, 0.4), (TypeId::UNKNOWN, 0.2));
         // Top candidate unknown → abstain regardless.
-        let unk = vec![Candidate { ty: TypeId::UNKNOWN, confidence: 0.9 }];
+        let unk = vec![Candidate {
+            ty: TypeId::UNKNOWN,
+            confidence: 0.9,
+        }];
         assert_eq!(apply_tau(&unk, 0.4).0, TypeId::UNKNOWN);
         assert_eq!(apply_tau(&[], 0.4), (TypeId::UNKNOWN, 0.0));
     }

@@ -225,7 +225,10 @@ mod tests {
             }
         }
         let acc = correct as f64 / total.max(1) as f64;
-        assert!(acc > 0.5, "held-out accuracy too low: {acc} ({correct}/{total})");
+        assert!(
+            acc > 0.5,
+            "held-out accuracy too low: {acc} ({correct}/{total})"
+        );
     }
 
     #[test]
@@ -272,14 +275,18 @@ mod tests {
         let (o, _, mut model) = trained();
         let phone = builtin_id(&o, "phone number");
         // Teach the model that 8-digit integers are phone numbers.
-        let vals: Vec<String> = (0..40).map(|i| format!("{}", 20_000_000 + i * 137)).collect();
+        let vals: Vec<String> = (0..40)
+            .map(|i| format!("{}", 20_000_000 + i * 137))
+            .collect();
         let col = Column::from_raw("contact", &vals);
         let before = model.predict(&col, &[]).confidence_for(phone);
-        let examples: Vec<(&Column, Vec<&str>, TypeId)> =
-            vec![(&col, vec![], phone); 8];
+        let examples: Vec<(&Column, Vec<&str>, TypeId)> = vec![(&col, vec![], phone); 8];
         model.partial_fit(&examples, 25);
         let after = model.predict(&col, &[]).confidence_for(phone);
-        assert!(after > before, "finetuning must raise target confidence: {before} → {after}");
+        assert!(
+            after > before,
+            "finetuning must raise target confidence: {before} → {after}"
+        );
         assert!(after > 0.3, "after {after}");
     }
 

@@ -61,11 +61,8 @@ pub fn embedding_sequences(ontology: &Ontology, corpus: &Corpus) -> Vec<Vec<Stri
             if label.is_unknown() {
                 continue;
             }
-            let type_tokens: Vec<String> = ontology
-                .name(label)
-                .split(' ')
-                .map(str::to_owned)
-                .collect();
+            let type_tokens: Vec<String> =
+                ontology.name(label).split(' ').map(str::to_owned).collect();
             let mut seq = tu_text::header_tokens(&col.name);
             seq.extend(type_tokens.iter().cloned());
             seqs.push(seq);
@@ -97,11 +94,7 @@ pub fn global_lf_bank(ontology: &Ontology) -> Vec<LabelingFunction> {
 
 /// Train the full global model on a pretraining corpus (GitTables role).
 #[must_use]
-pub fn train_global(
-    ontology: Ontology,
-    corpus: &Corpus,
-    config: &TrainingConfig,
-) -> GlobalModel {
+pub fn train_global(ontology: Ontology, corpus: &Corpus, config: &TrainingConfig) -> GlobalModel {
     let seqs = embedding_sequences(&ontology, corpus);
     let embedder = Embedder::train(
         &seqs,

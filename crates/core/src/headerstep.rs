@@ -102,10 +102,7 @@ impl HeaderMatcher {
 
         // Semantic pass only when syntactic matching is not confident —
         // mirrors the step's internal escalation and saves embedding cost.
-        let best_syntactic = cands
-            .iter()
-            .map(|c| c.confidence)
-            .fold(0.0f64, f64::max);
+        let best_syntactic = cands.iter().map(|c| c.confidence).fold(0.0f64, f64::max);
         if best_syntactic < config.cascade_threshold {
             let hv = embedder.phrase_vector(&normalized);
             for ((_, ty), sv) in self.surfaces.iter().zip(&self.surface_vectors) {

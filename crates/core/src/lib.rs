@@ -41,6 +41,7 @@ pub mod local;
 pub mod lookupstep;
 pub mod prediction;
 pub mod regexbank;
+pub mod service;
 pub mod system;
 
 pub use config::{SigmaTyperConfig, TrainingConfig};
@@ -51,4 +52,5 @@ pub use local::LocalModel;
 pub use lookupstep::ValueLookup;
 pub use prediction::{Candidate, ColumnAnnotation, Step, StepScores, TableAnnotation};
 pub use regexbank::RegexBank;
+pub use service::{annotate_batch_with, AnnotationService};
 pub use system::SigmaTyper;

@@ -52,7 +52,14 @@ impl ValueLookup {
         lf_banks: &[&[LabelingFunction]],
         config: &SigmaTyperConfig,
     ) -> StepScores {
-        self.lookup_weighted(column, normalized_header, neighbor_types, lf_banks, config, &|_| 1.0)
+        self.lookup_weighted(
+            column,
+            normalized_header,
+            neighbor_types,
+            lf_banks,
+            config,
+            &|_| 1.0,
+        )
     }
 
     /// [`ValueLookup::lookup`] with a per-type weight applied to every
@@ -186,7 +193,10 @@ mod tests {
     #[test]
     fn fraction_confidence_reflects_dirt() {
         let (o, l, cfg) = setup();
-        let col = Column::from_raw("x", &["ada@sigma.com", "not-an-email", "bob@x.org", "c@d.io"]);
+        let col = Column::from_raw(
+            "x",
+            &["ada@sigma.com", "not-an-email", "bob@x.org", "c@d.io"],
+        );
         let s = l.lookup(&col, "x", &[], &[], &cfg);
         let email = builtin_id(&o, "email");
         assert!((s.confidence_for(email) - 0.75).abs() < 1e-9);

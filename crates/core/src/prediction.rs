@@ -147,9 +147,18 @@ mod tests {
     #[test]
     fn step_scores_sort_and_dedup() {
         let s = StepScores::from_candidates(vec![
-            Candidate { ty: TypeId(2), confidence: 0.5 },
-            Candidate { ty: TypeId(1), confidence: 0.9 },
-            Candidate { ty: TypeId(2), confidence: 0.7 },
+            Candidate {
+                ty: TypeId(2),
+                confidence: 0.5,
+            },
+            Candidate {
+                ty: TypeId(1),
+                confidence: 0.9,
+            },
+            Candidate {
+                ty: TypeId(2),
+                confidence: 0.7,
+            },
         ]);
         assert_eq!(s.candidates.len(), 2);
         assert_eq!(s.best().unwrap().ty, TypeId(1));
@@ -167,8 +176,14 @@ mod tests {
             confidence: 0.9,
             steps_run: vec![Step::Header, Step::Lookup],
             step_scores: vec![
-                StepScores::from_candidates(vec![Candidate { ty: TypeId(1), confidence: 0.3 }]),
-                StepScores::from_candidates(vec![Candidate { ty: TypeId(1), confidence: 0.95 }]),
+                StepScores::from_candidates(vec![Candidate {
+                    ty: TypeId(1),
+                    confidence: 0.3,
+                }]),
+                StepScores::from_candidates(vec![Candidate {
+                    ty: TypeId(1),
+                    confidence: 0.95,
+                }]),
             ],
         };
         assert_eq!(ann.resolving_step(0.8), Some(Step::Lookup));

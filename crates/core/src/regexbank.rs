@@ -180,7 +180,8 @@ mod tests {
         let o = builtin_ontology();
         let mut bank = RegexBank::builtin(&o);
         let before = bank.shapes.len();
-        bank.add_shape(builtin_id(&o, "sku"), r"[A-Z]{3}\d{6}").unwrap();
+        bank.add_shape(builtin_id(&o, "sku"), r"[A-Z]{3}\d{6}")
+            .unwrap();
         assert_eq!(bank.shapes.len(), before + 1);
         assert!(bank.add_shape(TypeId(1), "(").is_err());
     }

@@ -1,0 +1,268 @@
+//! Batch annotation service: the thread-sharded serving front-end.
+//!
+//! The paper's deployment story (§4, Figure 2) is one shared global
+//! model serving many customers; production traffic arrives as
+//! *batches* of tables (a data-catalog crawl, a warehouse sync). The
+//! [`AnnotationService`] turns one customer's [`SigmaTyper`] into a
+//! batch endpoint: a slice of tables is partitioned into contiguous
+//! shards, each shard is annotated on its own worker thread against
+//! the shared [`GlobalModel`], and results are returned in input
+//! order.
+//!
+//! Inference is read-only (`SigmaTyper::annotate` takes `&self`) and
+//! deterministic, so sharding changes *nothing* about the output: the
+//! annotations are identical to a sequential loop, column for column,
+//! candidate for candidate. Only the wall-clock step timings embedded
+//! in [`TableAnnotation::step_nanos`] are measurement noise.
+//!
+//! Workers are `std::thread::scope` threads — no runtime, no queue,
+//! no extra dependencies — which keeps the service synchronous: the
+//! call returns when the whole batch is done.
+
+use crate::config::SigmaTyperConfig;
+use crate::global::GlobalModel;
+use crate::prediction::TableAnnotation;
+use crate::system::SigmaTyper;
+use std::sync::Arc;
+use tu_table::Table;
+
+/// A thread-sharded batch annotation front-end for one customer.
+///
+/// ```
+/// use sigmatyper::{train_global, AnnotationService, SigmaTyperConfig, TrainingConfig};
+/// use tu_corpus::{generate_corpus, CorpusConfig};
+/// use tu_ontology::builtin_ontology;
+///
+/// let ontology = builtin_ontology();
+/// let corpus = generate_corpus(&ontology, &CorpusConfig::database_like(7, 20));
+/// let global = std::sync::Arc::new(train_global(ontology, &corpus, &TrainingConfig::fast()));
+/// let service = AnnotationService::new(global, SigmaTyperConfig::default()).with_threads(4);
+/// let tables: Vec<_> = corpus.tables.iter().map(|at| at.table.clone()).collect();
+/// let annotations = service.annotate_batch(&tables);
+/// assert_eq!(annotations.len(), tables.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct AnnotationService {
+    typer: SigmaTyper,
+    threads: usize,
+}
+
+impl AnnotationService {
+    /// Build a service for a fresh customer over a shared global model.
+    ///
+    /// The worker count defaults to the machine's available
+    /// parallelism (at least 1).
+    #[must_use]
+    pub fn new(global: Arc<GlobalModel>, config: SigmaTyperConfig) -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        AnnotationService {
+            typer: SigmaTyper::new(global, config),
+            threads,
+        }
+    }
+
+    /// Wrap an existing customer instance (keeps its local model and
+    /// any adaptation it has already accumulated).
+    #[must_use]
+    pub fn for_customer(typer: SigmaTyper) -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        AnnotationService { typer, threads }
+    }
+
+    /// Set the worker-thread count (clamped to at least 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured worker-thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The customer instance behind this service.
+    #[must_use]
+    pub fn typer(&self) -> &SigmaTyper {
+        &self.typer
+    }
+
+    /// Mutable access to the customer instance, for feedback and
+    /// configuration between batches. Adaptation is a customer-local,
+    /// single-writer operation in the paper's design, so it happens
+    /// between batches, never concurrently with one.
+    pub fn typer_mut(&mut self) -> &mut SigmaTyper {
+        &mut self.typer
+    }
+
+    /// Annotate a batch of tables, sharded across the configured
+    /// number of worker threads. Results are in input order and
+    /// identical to calling [`SigmaTyper::annotate`] in a loop.
+    #[must_use]
+    pub fn annotate_batch(&self, tables: &[Table]) -> Vec<TableAnnotation> {
+        annotate_batch_with(&self.typer, tables, self.threads)
+    }
+}
+
+/// Shard `tables` across `threads` scoped worker threads, annotating
+/// every shard with the same (shared, read-only) customer instance.
+///
+/// Output order matches input order exactly. With `threads <= 1`, or
+/// batches smaller than the thread count, the sharding degenerates
+/// gracefully (never spawns a worker with an empty shard; a
+/// single-thread batch runs inline with no spawn at all).
+#[must_use]
+pub fn annotate_batch_with(
+    typer: &SigmaTyper,
+    tables: &[Table],
+    threads: usize,
+) -> Vec<TableAnnotation> {
+    let n = tables.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        return tables.iter().map(|t| typer.annotate(t)).collect();
+    }
+    // Contiguous shards keep results trivially in input order: shard k
+    // writes exactly the k-th chunk of the output buffer.
+    let shard = n.div_ceil(threads);
+    let mut out: Vec<Option<TableAnnotation>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (shard_tables, shard_out) in tables.chunks(shard).zip(out.chunks_mut(shard)) {
+            scope.spawn(move || {
+                for (table, slot) in shard_tables.iter().zip(shard_out.iter_mut()) {
+                    *slot = Some(typer.annotate(table));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("every shard fills its slots"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrainingConfig;
+    use crate::global::train_global;
+    use std::sync::OnceLock;
+    use tu_corpus::{generate_corpus, CorpusConfig};
+    use tu_ontology::builtin_ontology;
+
+    fn global() -> Arc<GlobalModel> {
+        static GLOBAL: OnceLock<Arc<GlobalModel>> = OnceLock::new();
+        GLOBAL
+            .get_or_init(|| {
+                let ontology = builtin_ontology();
+                let corpus = generate_corpus(&ontology, &CorpusConfig::database_like(0x5E, 40));
+                Arc::new(train_global(ontology, &corpus, &TrainingConfig::fast()))
+            })
+            .clone()
+    }
+
+    fn batch(seed: u64, n: usize) -> Vec<Table> {
+        let o = builtin_ontology();
+        generate_corpus(&o, &CorpusConfig::database_like(seed, n))
+            .tables
+            .into_iter()
+            .map(|at| at.table)
+            .collect()
+    }
+
+    /// Everything except the wall-clock `step_nanos` must match bit
+    /// for bit: same predictions, same confidences, same candidates,
+    /// same cascade trace.
+    fn assert_identical(a: &TableAnnotation, b: &TableAnnotation) {
+        assert_eq!(a.columns.len(), b.columns.len());
+        for (ca, cb) in a.columns.iter().zip(&b.columns) {
+            assert_eq!(ca.col_idx, cb.col_idx);
+            assert_eq!(ca.predicted, cb.predicted);
+            assert_eq!(ca.confidence.to_bits(), cb.confidence.to_bits());
+            assert_eq!(ca.top_k, cb.top_k);
+            assert_eq!(ca.steps_run, cb.steps_run);
+            assert_eq!(ca.step_scores.len(), cb.step_scores.len());
+            for (sa, sb) in ca.step_scores.iter().zip(&cb.step_scores) {
+                assert_eq!(sa.candidates, sb.candidates);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_identical_to_sequential_across_thread_counts() {
+        let service = AnnotationService::new(global(), SigmaTyperConfig::default());
+        let tables = batch(0xBA7C4, 11);
+        let sequential: Vec<TableAnnotation> =
+            tables.iter().map(|t| service.typer().annotate(t)).collect();
+        for threads in [1, 2, 8] {
+            let sharded = service
+                .clone()
+                .with_threads(threads)
+                .annotate_batch(&tables);
+            assert_eq!(sharded.len(), sequential.len(), "threads={threads}");
+            for (s, q) in sharded.iter().zip(&sequential) {
+                assert_identical(s, q);
+            }
+        }
+    }
+
+    #[test]
+    fn output_preserves_input_order() {
+        let service = AnnotationService::new(global(), SigmaTyperConfig::default()).with_threads(4);
+        // Tables with a recognizable column-count fingerprint.
+        let o = builtin_ontology();
+        let mut tables = Vec::new();
+        for seed in 0..9u64 {
+            let corpus = generate_corpus(&o, &CorpusConfig::database_like(0xF0 + seed, 1));
+            tables.push(corpus.tables[0].table.clone());
+        }
+        let widths: Vec<usize> = tables.iter().map(tu_table::Table::n_cols).collect();
+        let anns = service.annotate_batch(&tables);
+        let got: Vec<usize> = anns.iter().map(|a| a.columns.len()).collect();
+        assert_eq!(got, widths, "shard k must write the k-th output chunk");
+    }
+
+    #[test]
+    fn degenerate_batches() {
+        let service = AnnotationService::new(global(), SigmaTyperConfig::default()).with_threads(8);
+        assert!(service.annotate_batch(&[]).is_empty());
+        // Fewer tables than threads: no worker may receive an empty shard.
+        let tables = batch(0x10, 2);
+        assert!(tables.len() < service.threads());
+        let anns = service.annotate_batch(&tables);
+        assert_eq!(anns.len(), tables.len());
+    }
+
+    #[test]
+    fn threads_clamped_to_at_least_one() {
+        let service = AnnotationService::new(global(), SigmaTyperConfig::default()).with_threads(0);
+        assert_eq!(service.threads(), 1);
+        let tables = batch(0x11, 3);
+        assert_eq!(service.annotate_batch(&tables).len(), 3);
+    }
+
+    #[test]
+    fn adapted_customer_serves_its_adaptation() {
+        let mut service =
+            AnnotationService::new(global(), SigmaTyperConfig::default()).with_threads(4);
+        let o = service.typer().ontology().clone();
+        let phone = tu_ontology::builtin_id(&o, "phone number");
+        let mk = |seed: u64| {
+            let vals: Vec<String> = (0..30)
+                .map(|i| format!("{}", 30_000_000 + seed * 1000 + i * 97))
+                .collect();
+            Table::new(
+                format!("contacts_{seed}"),
+                vec![tu_table::Column::from_raw("contact", &vals)],
+            )
+            .unwrap()
+        };
+        for s in 1..=3 {
+            service.typer_mut().feedback(&mk(s), 0, phone, None);
+        }
+        let anns = service.annotate_batch(&[mk(7), mk(8), mk(9)]);
+        for ann in &anns {
+            assert_eq!(ann.columns[0].predicted, phone);
+        }
+    }
+}

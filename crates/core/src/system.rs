@@ -4,9 +4,7 @@ use crate::aggregate::{apply_tau, soft_majority_vote};
 use crate::config::SigmaTyperConfig;
 use crate::global::GlobalModel;
 use crate::local::LocalModel;
-use crate::prediction::{
-    Candidate, ColumnAnnotation, Step, StepScores, TableAnnotation,
-};
+use crate::prediction::{Candidate, ColumnAnnotation, Step, StepScores, TableAnnotation};
 use std::sync::Arc;
 use std::time::Instant;
 use tu_corpus::Corpus;
@@ -79,7 +77,9 @@ impl SigmaTyper {
         kind: ValueKind,
         aliases: &[&str],
     ) -> TypeId {
-        let id = self.ontology.register(name, Category::Misc, kind, aliases, None);
+        let id = self
+            .ontology
+            .register(name, Category::Misc, kind, aliases, None);
         assert!(
             id.index() < self.global.embedding.n_classes(),
             "reserved class space exhausted; raise TrainingConfig::reserve_classes"
@@ -106,10 +106,10 @@ impl SigmaTyper {
         let t0 = Instant::now();
         if self.config.enable_header {
             for (ci, header) in table.headers().iter().enumerate() {
-                let mut scores = self
-                    .global
-                    .header
-                    .match_header(header, &self.global.embedder, &self.config);
+                let mut scores =
+                    self.global
+                        .header
+                        .match_header(header, &self.global.embedder, &self.config);
                 // Wg: global header knowledge the customer has repeatedly
                 // overridden in this header context loses influence (Fig. 2).
                 for c in &mut scores.candidates {
@@ -256,7 +256,12 @@ impl SigmaTyper {
     /// Blend global and local embedding scores with the per-type local
     /// weights `Wl` ("the weight of the local model increases over
     /// time", Figure 2).
-    fn blend(&self, global: &StepScores, local: &StepScores, normalized_header: &str) -> StepScores {
+    fn blend(
+        &self,
+        global: &StepScores,
+        local: &StepScores,
+        normalized_header: &str,
+    ) -> StepScores {
         let mut types: Vec<TypeId> = global
             .candidates
             .iter()
@@ -465,7 +470,10 @@ mod tests {
         // steps must not run for it.
         let income = &ann.columns[1];
         assert_eq!(income.steps_run, vec![Step::Header]);
-        assert_eq!(income.resolving_step(st.config().cascade_threshold), Some(Step::Header));
+        assert_eq!(
+            income.resolving_step(st.config().cascade_threshold),
+            Some(Step::Header)
+        );
     }
 
     #[test]
@@ -493,8 +501,9 @@ mod tests {
         // A customer whose "contact" columns hold bare 8-digit numbers —
         // initially mis-predicted (identifier-ish), per Fig. 1b.
         let mk = |seed: u64| {
-            let vals: Vec<String> =
-                (0..30).map(|i| format!("{}", 20_000_000 + seed * 1000 + i * 137)).collect();
+            let vals: Vec<String> = (0..30)
+                .map(|i| format!("{}", 20_000_000 + seed * 1000 + i * 137))
+                .collect();
             Table::new(
                 format!("contacts_{seed}"),
                 vec![Column::from_raw("contact", &vals)],
@@ -531,14 +540,23 @@ mod tests {
         assert!(gene.index() >= st.global().ontology.len());
         // Teach it via feedback.
         let mk = |seed: u64| {
-            let vals: Vec<String> = (0..25).map(|i| format!("ENSG{:08}", seed * 100 + i)).collect();
-            Table::new(format!("genes_{seed}"), vec![Column::from_raw("gene", &vals)]).unwrap()
+            let vals: Vec<String> = (0..25)
+                .map(|i| format!("ENSG{:08}", seed * 100 + i))
+                .collect();
+            Table::new(
+                format!("genes_{seed}"),
+                vec![Column::from_raw("gene", &vals)],
+            )
+            .unwrap()
         };
         for s in 1..=3 {
             st.feedback(&mk(s), 0, gene, None);
         }
         let ann = st.annotate(&mk(7));
-        assert_eq!(ann.columns[0].predicted, gene, "custom type must be learnable");
+        assert_eq!(
+            ann.columns[0].predicted, gene,
+            "custom type must be learnable"
+        );
     }
 
     #[test]
@@ -546,11 +564,8 @@ mod tests {
         let st = system();
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        let vals = tu_corpus::ood::generate_ood_column(
-            &mut rng,
-            tu_corpus::OodKind::GeneSequence,
-            30,
-        );
+        let vals =
+            tu_corpus::ood::generate_ood_column(&mut rng, tu_corpus::OodKind::GeneSequence, 30);
         let table = Table::new("t", vec![Column::new("sequence", vals)]).unwrap();
         let ann = st.annotate(&table);
         assert!(
@@ -568,23 +583,41 @@ mod tests {
         let city = builtin_id(o, "city");
         let location = builtin_id(o, "location");
         let mut top = vec![
-            Candidate { ty: location, confidence: 0.95 },
-            Candidate { ty: city, confidence: 0.88 },
+            Candidate {
+                ty: location,
+                confidence: 0.95,
+            },
+            Candidate {
+                ty: city,
+                confidence: 0.88,
+            },
         ];
         st.prefer_specific(&mut top);
         assert_eq!(top[0].ty, city, "child within margin wins");
         // A clear margin keeps the general type.
         let mut top = vec![
-            Candidate { ty: location, confidence: 0.95 },
-            Candidate { ty: city, confidence: 0.5 },
+            Candidate {
+                ty: location,
+                confidence: 0.95,
+            },
+            Candidate {
+                ty: city,
+                confidence: 0.5,
+            },
         ];
         st.prefer_specific(&mut top);
         assert_eq!(top[0].ty, location);
         // Unrelated types never swap.
         let salary = builtin_id(o, "salary");
         let mut top = vec![
-            Candidate { ty: location, confidence: 0.9 },
-            Candidate { ty: salary, confidence: 0.89 },
+            Candidate {
+                ty: location,
+                confidence: 0.9,
+            },
+            Candidate {
+                ty: salary,
+                confidence: 0.89,
+            },
         ];
         st.prefer_specific(&mut top);
         assert_eq!(top[0].ty, location);

@@ -1,0 +1,102 @@
+//! Property tests for the aggregation layer (`aggregate.rs`): the
+//! soft majority vote is a proper sub-distribution over candidate
+//! types, and the abstention threshold τ is monotone — raising it can
+//! only turn predictions into abstentions, never the reverse.
+
+use proptest::prelude::*;
+use sigmatyper::aggregate::{apply_tau, soft_majority_vote};
+use sigmatyper::{Candidate, SigmaTyperConfig, Step, StepScores};
+use tu_ontology::TypeId;
+
+/// One step's scores: candidates with confidences normalized so they
+/// sum to at most 1 (every real pipeline step emits calibrated,
+/// sub-distribution scores; the vote must preserve that).
+fn step_scores_strategy() -> impl Strategy<Value = StepScores> {
+    prop::collection::vec((0u16..40, 0.0f64..1.0), 0..8).prop_map(|raw| {
+        let total: f64 = raw.iter().map(|(_, c)| c).sum();
+        let scale = if total > 1.0 { 1.0 / total } else { 1.0 };
+        StepScores::from_candidates(
+            raw.into_iter()
+                .map(|(t, c)| Candidate {
+                    ty: TypeId(t),
+                    confidence: c * scale,
+                })
+                .collect(),
+        )
+    })
+}
+
+/// 1 to 3 executed steps in cascade order.
+fn executed_strategy() -> impl Strategy<Value = Vec<(Step, StepScores)>> {
+    prop::collection::vec(step_scores_strategy(), 1..4).prop_map(|scores| {
+        scores
+            .into_iter()
+            .zip(Step::ALL)
+            .map(|(s, step)| (step, s))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn vote_is_a_sub_distribution(executed in executed_strategy()) {
+        let config = SigmaTyperConfig::default();
+        let borrowed: Vec<(Step, &StepScores)> =
+            executed.iter().map(|(s, sc)| (*s, sc)).collect();
+        let top_k = soft_majority_vote(&borrowed, &config);
+        let sum: f64 = top_k.iter().map(|c| c.confidence).sum();
+        prop_assert!(sum <= 1.0 + 1e-9, "vote mass must not exceed 1: {sum}");
+        for c in &top_k {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&c.confidence));
+        }
+        // Ranked descending.
+        for w in top_k.windows(2) {
+            prop_assert!(w[0].confidence >= w[1].confidence - 1e-12);
+        }
+        prop_assert!(top_k.len() <= config.top_k);
+    }
+
+    #[test]
+    fn raising_tau_never_revives_an_abstention(
+        executed in executed_strategy(),
+        lo in 0.0f64..1.0,
+        hi in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let config = SigmaTyperConfig::default();
+        let borrowed: Vec<(Step, &StepScores)> =
+            executed.iter().map(|(s, sc)| (*s, sc)).collect();
+        let top_k = soft_majority_vote(&borrowed, &config);
+        let (pred_lo, conf_lo) = apply_tau(&top_k, lo);
+        let (pred_hi, conf_hi) = apply_tau(&top_k, hi);
+        if pred_lo.is_unknown() {
+            prop_assert!(
+                pred_hi.is_unknown(),
+                "abstention at τ={lo} must persist at τ={hi}: {pred_hi:?}"
+            );
+        }
+        // When both predict, they predict the same type at the same
+        // confidence — τ is a filter, not a re-ranker.
+        if !pred_lo.is_unknown() && !pred_hi.is_unknown() {
+            prop_assert_eq!(pred_lo, pred_hi);
+            prop_assert_eq!(conf_lo.to_bits(), conf_hi.to_bits());
+        }
+    }
+
+    #[test]
+    fn tau_zero_predicts_whenever_a_known_candidate_leads(
+        executed in executed_strategy(),
+    ) {
+        let config = SigmaTyperConfig::default();
+        let borrowed: Vec<(Step, &StepScores)> =
+            executed.iter().map(|(s, sc)| (*s, sc)).collect();
+        let top_k = soft_majority_vote(&borrowed, &config);
+        let (pred, _) = apply_tau(&top_k, 0.0);
+        match top_k.first() {
+            Some(best) if !best.ty.is_unknown() => prop_assert_eq!(pred, best.ty),
+            _ => prop_assert!(pred.is_unknown()),
+        }
+    }
+}

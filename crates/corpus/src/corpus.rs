@@ -92,12 +92,7 @@ pub fn generate_corpus(ontology: &Ontology, config: &CorpusConfig) -> Corpus {
     for i in 0..config.n_tables {
         let template = TEMPLATES.choose(&mut rng).expect("templates nonempty");
         tables.push(generate_table(
-            ontology,
-            &mut rng,
-            template,
-            config,
-            &style,
-            i,
+            ontology, &mut rng, template, config, &style, i,
         ));
     }
     Corpus { tables }
@@ -125,7 +120,11 @@ pub fn generate_table(
     let mut optional: Vec<&&str> = template.optional.iter().collect();
     optional.shuffle(rng);
     for name in optional.into_iter().take(n_opt) {
-        types.push(ontology.lookup_exact(name).expect("template type registered"));
+        types.push(
+            ontology
+                .lookup_exact(name)
+                .expect("template type registered"),
+        );
     }
 
     let (rlo, rhi) = config.profile.row_range();
@@ -167,7 +166,10 @@ pub fn generate_table(
     }
     if let Some(kind) = ood_kind {
         let values = generate_ood_column(rng, kind, n_rows);
-        columns.push(Column::new(headers.last().expect("ood header").clone(), values));
+        columns.push(Column::new(
+            headers.last().expect("ood header").clone(),
+            values,
+        ));
     }
 
     let table = Table::new(format!("{}_{index}", template.name), columns)
@@ -212,8 +214,7 @@ impl Corpus {
     /// Count of columns per label, sorted descending.
     #[must_use]
     pub fn label_histogram(&self) -> Vec<(TypeId, usize)> {
-        let mut counts: std::collections::HashMap<TypeId, usize> =
-            std::collections::HashMap::new();
+        let mut counts: std::collections::HashMap<TypeId, usize> = std::collections::HashMap::new();
         for (_, _, l) in self.columns() {
             *counts.entry(l).or_insert(0) += 1;
         }
@@ -255,7 +256,10 @@ mod tests {
         }
         let (_, c) = corpus(10, 5);
         assert!(
-            a.tables.iter().zip(&c.tables).any(|(x, y)| x.table != y.table),
+            a.tables
+                .iter()
+                .zip(&c.tables)
+                .any(|(x, y)| x.table != y.table),
             "different seeds should differ"
         );
     }
@@ -266,12 +270,10 @@ mod tests {
         let db = generate_corpus(&o, &CorpusConfig::database_like(3, 30));
         let web = generate_corpus(&o, &CorpusConfig::web_like(3, 30));
         let avg_rows = |c: &Corpus| {
-            c.tables.iter().map(|t| t.table.n_rows()).sum::<usize>() as f64
-                / c.tables.len() as f64
+            c.tables.iter().map(|t| t.table.n_rows()).sum::<usize>() as f64 / c.tables.len() as f64
         };
         let avg_cols = |c: &Corpus| {
-            c.tables.iter().map(|t| t.table.n_cols()).sum::<usize>() as f64
-                / c.tables.len() as f64
+            c.tables.iter().map(|t| t.table.n_cols()).sum::<usize>() as f64 / c.tables.len() as f64
         };
         assert!(avg_rows(&db) > 4.0 * avg_rows(&web));
         assert!(avg_cols(&db) > avg_cols(&web));
@@ -301,8 +303,16 @@ mod tests {
         // Same seed → same split.
         let (train2, _) = c.split(0.75, 99);
         assert_eq!(
-            train.tables.iter().map(|t| &t.table.name).collect::<Vec<_>>(),
-            train2.tables.iter().map(|t| &t.table.name).collect::<Vec<_>>()
+            train
+                .tables
+                .iter()
+                .map(|t| &t.table.name)
+                .collect::<Vec<_>>(),
+            train2
+                .tables
+                .iter()
+                .map(|t| &t.table.name)
+                .collect::<Vec<_>>()
         );
     }
 

@@ -20,18 +20,24 @@ fn pick<'a>(rng: &mut StdRng, p: &GenParams, list: &'a [&'a str]) -> &'a str {
 
 /// A string of `n` random digits.
 fn digits(rng: &mut StdRng, n: usize) -> String {
-    (0..n).map(|_| char::from(b'0' + rng.random_range(0..10) as u8)).collect()
+    (0..n)
+        .map(|_| char::from(b'0' + rng.random_range(0..10) as u8))
+        .collect()
 }
 
 /// A string of `n` random uppercase letters.
 fn upper_letters(rng: &mut StdRng, n: usize) -> String {
-    (0..n).map(|_| char::from(b'A' + rng.random_range(0..26) as u8)).collect()
+    (0..n)
+        .map(|_| char::from(b'A' + rng.random_range(0..26) as u8))
+        .collect()
 }
 
 /// Lowercase hex string of `n` chars.
 fn hex(rng: &mut StdRng, n: usize) -> String {
     const HEX: &[u8] = b"0123456789abcdef";
-    (0..n).map(|_| char::from(HEX[rng.random_range(0..16)])).collect()
+    (0..n)
+        .map(|_| char::from(HEX[rng.random_range(0..16)]))
+        .collect()
 }
 
 /// Inject a single-character typo with probability `rate`.
@@ -144,7 +150,10 @@ fn url(rng: &mut StdRng, p: &GenParams) -> String {
     let tld = pick(rng, p, data::TLDS);
     match rng.random_range(0..3) {
         0 => format!("https://www.{brand}.{tld}"),
-        1 => format!("https://{brand}.{tld}/products/{}", rng.random_range(1..999)),
+        1 => format!(
+            "https://{brand}.{tld}/products/{}",
+            rng.random_range(1..999)
+        ),
         _ => format!("http://{brand}.{tld}"),
     }
 }
@@ -162,13 +171,41 @@ fn uuid(rng: &mut StdRng) -> String {
 
 fn sentence(rng: &mut StdRng, p: &GenParams) -> String {
     const FILLER: &[&str] = &[
-        "priority", "customer", "requested", "review", "pending", "updated", "shipment",
-        "delayed", "confirmed", "invoice", "attached", "approved", "scheduled", "delivery",
-        "contact", "support", "issue", "resolved", "follow", "up", "quarterly", "report",
-        "draft", "final", "internal", "external", "urgent", "standard", "minor", "major",
+        "priority",
+        "customer",
+        "requested",
+        "review",
+        "pending",
+        "updated",
+        "shipment",
+        "delayed",
+        "confirmed",
+        "invoice",
+        "attached",
+        "approved",
+        "scheduled",
+        "delivery",
+        "contact",
+        "support",
+        "issue",
+        "resolved",
+        "follow",
+        "up",
+        "quarterly",
+        "report",
+        "draft",
+        "final",
+        "internal",
+        "external",
+        "urgent",
+        "standard",
+        "minor",
+        "major",
     ];
     let n = rng.random_range(3..9);
-    let words: Vec<&str> = (0..n).map(|_| *FILLER.choose(rng).expect("filler")).collect();
+    let words: Vec<&str> = (0..n)
+        .map(|_| *FILLER.choose(rng).expect("filler"))
+        .collect();
     let mut s = words.join(" ");
     if let Some(f) = s.get_mut(0..1) {
         f.make_ascii_uppercase();
@@ -184,12 +221,7 @@ fn sentence(rng: &mut StdRng, p: &GenParams) -> String {
 /// [`crate::ood`]) or a custom type id with no registered generator.
 #[must_use]
 #[allow(clippy::too_many_lines)]
-pub fn generate_value(
-    rng: &mut StdRng,
-    ontology: &Ontology,
-    ty: TypeId,
-    p: &GenParams,
-) -> Value {
+pub fn generate_value(rng: &mut StdRng, ontology: &Ontology, ty: TypeId, p: &GenParams) -> Value {
     if p.null_rate > 0.0 && rng.random_bool(p.null_rate.min(1.0)) {
         return Value::Null;
     }
@@ -271,16 +303,24 @@ pub fn generate_value(
         },
         "sku" => Value::Text(format!("{}-{}", upper_letters(rng, 2), digits(rng, 4))),
         "quantity" => Value::Int(shifted_uniform(rng, p, 1.0, 500.0) as i64),
-        "discount" => {
-            Value::Float((rng.random_range(0.0..0.9f64) * 100.0).round() / 100.0)
-        }
+        "discount" => Value::Float((rng.random_range(0.0..0.9f64) * 100.0).round() / 100.0),
         "revenue" => {
             Value::Float((lognormal(rng, p, 9.0, 1.2).clamp(100.0, 5e7) * 100.0).round() / 100.0)
         }
         "product category" => {
             const CATS: &[&str] = &[
-                "Electronics", "Furniture", "Clothing", "Groceries", "Toys", "Sports",
-                "Beauty", "Automotive", "Garden", "Books", "Office", "Health",
+                "Electronics",
+                "Furniture",
+                "Clothing",
+                "Groceries",
+                "Toys",
+                "Sports",
+                "Beauty",
+                "Automotive",
+                "Garden",
+                "Books",
+                "Office",
+                "Health",
             ];
             Value::Text(pick(rng, p, CATS).to_owned())
         }
@@ -347,7 +387,11 @@ pub fn generate_value(
         // ---- Science ----
         "temperature" => {
             // Shift swaps Celsius for Fahrenheit-like ranges.
-            let (lo, hi) = if p.shift > 0.5 { (30.0, 110.0) } else { (-20.0, 45.0) };
+            let (lo, hi) = if p.shift > 0.5 {
+                (30.0, 110.0)
+            } else {
+                (-20.0, 45.0)
+            };
             Value::Float((rng.random_range(lo..hi) * 10.0f64).round() / 10.0)
         }
         "weight" => Value::Float((shifted_uniform(rng, p, 3.0, 150.0) * 10.0).round() / 10.0),
@@ -392,7 +436,9 @@ pub fn generate_column_values(
     n: usize,
     p: &GenParams,
 ) -> Vec<Value> {
-    (0..n).map(|_| generate_value(rng, ontology, ty, p)).collect()
+    (0..n)
+        .map(|_| generate_value(rng, ontology, ty, p))
+        .collect()
 }
 
 #[cfg(test)]
@@ -514,7 +560,10 @@ mod tests {
         };
         let first = collect(crate::params::DictSlice::FirstHalf);
         let second = collect(crate::params::DictSlice::SecondHalf);
-        assert!(first.is_disjoint(&second), "dictionary halves must not overlap");
+        assert!(
+            first.is_disjoint(&second),
+            "dictionary halves must not overlap"
+        );
     }
 
     #[test]

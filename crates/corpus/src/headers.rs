@@ -114,7 +114,10 @@ mod tests {
         for _ in 0..100 {
             distinct.insert(render_header(&mut rng, &o, salary, &style));
         }
-        assert!(distinct.len() > 3, "expected header variety, got {distinct:?}");
+        assert!(
+            distinct.len() > 3,
+            "expected header variety, got {distinct:?}"
+        );
     }
 
     #[test]

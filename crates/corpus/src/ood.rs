@@ -72,16 +72,22 @@ impl OodKind {
 }
 
 fn upper(rng: &mut StdRng, n: usize) -> String {
-    (0..n).map(|_| char::from(b'A' + rng.random_range(0..26) as u8)).collect()
+    (0..n)
+        .map(|_| char::from(b'A' + rng.random_range(0..26) as u8))
+        .collect()
 }
 
 fn digits(rng: &mut StdRng, n: usize) -> String {
-    (0..n).map(|_| char::from(b'0' + rng.random_range(0..10) as u8)).collect()
+    (0..n)
+        .map(|_| char::from(b'0' + rng.random_range(0..10) as u8))
+        .collect()
 }
 
 fn hex(rng: &mut StdRng, n: usize) -> String {
     const HEX: &[u8] = b"0123456789abcdef";
-    (0..n).map(|_| char::from(HEX[rng.random_range(0..16)])).collect()
+    (0..n)
+        .map(|_| char::from(HEX[rng.random_range(0..16)]))
+        .collect()
 }
 
 /// Generate one OOD value of the given kind.
@@ -90,11 +96,13 @@ pub fn generate_ood_value(rng: &mut StdRng, kind: OodKind) -> Value {
     match kind {
         OodKind::GeneSequence => {
             let n = rng.random_range(8..30);
-            Value::Text((0..n).map(|_| *b"ACGT".choose(rng).expect("acgt") as char).collect())
+            Value::Text(
+                (0..n)
+                    .map(|_| *b"ACGT".choose(rng).expect("acgt") as char)
+                    .collect(),
+            )
         }
-        OodKind::LicensePlate => {
-            Value::Text(format!("{}-{}", upper(rng, 3), digits(rng, 4)))
-        }
+        OodKind::LicensePlate => Value::Text(format!("{}-{}", upper(rng, 3), digits(rng, 4))),
         OodKind::ChemicalFormula => {
             const ELEMENTS: &[&str] = &["C", "H", "O", "N", "Na", "Cl", "Fe", "Mg", "K", "Ca"];
             let n = rng.random_range(2..5);
@@ -110,8 +118,8 @@ pub fn generate_ood_value(rng: &mut StdRng, kind: OodKind) -> Value {
         }
         OodKind::Hashtag => {
             const WORDS: &[&str] = &[
-                "launch", "day", "win", "deal", "flash", "sale", "live", "now", "beta",
-                "update", "retro", "vibes", "goals", "squad",
+                "launch", "day", "win", "deal", "flash", "sale", "live", "now", "beta", "update",
+                "retro", "vibes", "goals", "squad",
             ];
             let a = WORDS.choose(rng).expect("word");
             let b = WORDS.choose(rng).expect("word");
@@ -132,8 +140,8 @@ pub fn generate_ood_value(rng: &mut StdRng, kind: OodKind) -> Value {
         )),
         OodKind::RomanNumeral => {
             const NUMERALS: &[&str] = &[
-                "I", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X", "XI", "XIV",
-                "XIX", "XXI", "XL", "L", "XC", "C", "CD", "D", "CM", "M",
+                "I", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X", "XI", "XIV", "XIX",
+                "XXI", "XL", "L", "XC", "C", "CD", "D", "CM", "M",
             ];
             Value::Text((*NUMERALS.choose(rng).expect("numeral")).to_owned())
         }
@@ -172,7 +180,9 @@ mod tests {
         for &kind in ALL_OOD_KINDS {
             for _ in 0..10 {
                 let v = generate_ood_value(&mut rng, kind);
-                let t = v.as_text().unwrap_or_else(|| panic!("{kind:?} must be text"));
+                let t = v
+                    .as_text()
+                    .unwrap_or_else(|| panic!("{kind:?} must be text"));
                 assert!(!t.is_empty());
             }
         }

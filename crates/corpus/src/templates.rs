@@ -23,7 +23,13 @@ pub const TEMPLATES: &[Template] = &[
         name: "employees",
         required: &["identifier", "name", "email", "job title", "salary"],
         optional: &[
-            "phone number", "birth date", "city", "country", "gender", "age", "boolean flag",
+            "phone number",
+            "birth date",
+            "city",
+            "country",
+            "gender",
+            "age",
+            "boolean flag",
             "team",
         ],
     },
@@ -31,7 +37,13 @@ pub const TEMPLATES: &[Template] = &[
         name: "customers",
         required: &["identifier", "first name", "last name", "email", "country"],
         optional: &[
-            "phone number", "address", "city", "zip code", "state", "language", "username",
+            "phone number",
+            "address",
+            "city",
+            "zip code",
+            "state",
+            "language",
+            "username",
             "gender",
         ],
     },
@@ -39,14 +51,27 @@ pub const TEMPLATES: &[Template] = &[
         name: "orders",
         required: &["order id", "date", "quantity", "price"],
         optional: &[
-            "product", "sku", "status", "payment method", "discount", "currency code",
-            "revenue", "identifier",
+            "product",
+            "sku",
+            "status",
+            "payment method",
+            "discount",
+            "currency code",
+            "revenue",
+            "identifier",
         ],
     },
     Template {
         name: "products",
         required: &["sku", "product", "price", "product category"],
-        optional: &["brand", "description", "quantity", "rating", "url", "boolean flag"],
+        optional: &[
+            "brand",
+            "description",
+            "quantity",
+            "rating",
+            "url",
+            "boolean flag",
+        ],
     },
     Template {
         name: "sensor_readings",
@@ -57,29 +82,62 @@ pub const TEMPLATES: &[Template] = &[
         name: "patients",
         required: &["identifier", "name", "birth date", "blood type"],
         optional: &[
-            "age", "gender", "height", "weight", "heart rate", "phone number", "email",
-            "social security number", "nationality",
+            "age",
+            "gender",
+            "height",
+            "weight",
+            "heart rate",
+            "phone number",
+            "email",
+            "social security number",
+            "nationality",
         ],
     },
     Template {
         name: "schedules",
         required: &["weekday", "time", "status"],
-        optional: &["date", "duration", "description", "identifier", "location", "team"],
+        optional: &[
+            "date",
+            "duration",
+            "description",
+            "identifier",
+            "location",
+            "team",
+        ],
     },
     Template {
         name: "transactions",
         required: &["identifier", "datetime", "monetary amount", "currency code"],
-        optional: &["iban", "credit card number", "status", "payment method", "country code"],
+        optional: &[
+            "iban",
+            "credit card number",
+            "status",
+            "payment method",
+            "country code",
+        ],
     },
     Template {
         name: "web_traffic",
         required: &["url", "ip address", "datetime"],
-        optional: &["uuid", "domain name", "mime type", "file extension", "duration", "percentage"],
+        optional: &[
+            "uuid",
+            "domain name",
+            "mime type",
+            "file extension",
+            "duration",
+            "percentage",
+        ],
     },
     Template {
         name: "locations",
         required: &["city", "country", "latitude", "longitude"],
-        optional: &["continent", "country code", "zip code", "state", "percentage"],
+        optional: &[
+            "continent",
+            "country code",
+            "zip code",
+            "state",
+            "percentage",
+        ],
     },
     Template {
         name: "performance_reviews",
@@ -94,7 +152,15 @@ pub const TEMPLATES: &[Template] = &[
     Template {
         name: "campaigns",
         required: &["company", "revenue", "percentage"],
-        optional: &["brand", "url", "country", "status", "description", "year", "hex color"],
+        optional: &[
+            "brand",
+            "url",
+            "country",
+            "status",
+            "description",
+            "year",
+            "hex color",
+        ],
     },
     Template {
         name: "shipments",
@@ -104,7 +170,13 @@ pub const TEMPLATES: &[Template] = &[
     Template {
         name: "finance_summary",
         required: &["year", "month", "revenue", "percentage"],
-        optional: &["monetary amount", "discount", "currency", "company", "description"],
+        optional: &[
+            "monetary amount",
+            "discount",
+            "currency",
+            "company",
+            "description",
+        ],
     },
     Template {
         name: "bookshelf",

@@ -171,7 +171,10 @@ mod tests {
         );
 
         let mined = mine_weak_labels(&corpus, &lfs, &MiningConfig::default());
-        assert!(!mined.is_empty(), "should mine at least the demonstrated column");
+        assert!(
+            !mined.is_empty(),
+            "should mine at least the demonstrated column"
+        );
         let precision = mined_precision(&corpus, &mined);
         assert!(
             precision > 0.6,
@@ -183,7 +186,10 @@ mod tests {
             .iter()
             .filter(|m| corpus.tables[m.table_idx].labels[m.col_idx] == salary)
             .count();
-        assert!(salary_hits >= 2, "generalization beyond the demo: {salary_hits}");
+        assert!(
+            salary_hits >= 2,
+            "generalization beyond the demo: {salary_hits}"
+        );
     }
 
     #[test]

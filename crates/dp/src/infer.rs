@@ -52,8 +52,21 @@ pub struct Demonstration<'a> {
 #[must_use]
 pub fn is_generic_header(normalized: &str) -> bool {
     const FILLERS: &[&str] = &[
-        "field", "col", "column", "attr", "attribute", "c", "x", "f", "var", "value", "val",
-        "data", "item", "unnamed", "untitled",
+        "field",
+        "col",
+        "column",
+        "attr",
+        "attribute",
+        "c",
+        "x",
+        "f",
+        "var",
+        "value",
+        "val",
+        "data",
+        "item",
+        "unnamed",
+        "untitled",
     ];
     let mut any = false;
     for tok in normalized.split(' ') {
@@ -180,8 +193,7 @@ pub fn infer_lfs(demo: &Demonstration<'_>, config: &InferConfig) -> Vec<Labeling
     let texts: Vec<&str> = demo.column.text_values();
     if !texts.is_empty() {
         if profile.looks_categorical() || profile.distinct_fraction < 0.8 {
-            let mut distinct: HashSet<String> =
-                texts.iter().map(|s| s.to_lowercase()).collect();
+            let mut distinct: HashSet<String> = texts.iter().map(|s| s.to_lowercase()).collect();
             if distinct.len() <= config.max_dictionary && !distinct.is_empty() {
                 // Never store empties.
                 distinct.remove("");
@@ -199,7 +211,10 @@ pub fn infer_lfs(demo: &Demonstration<'_>, config: &InferConfig) -> Vec<Labeling
             // shapes (digits, separators, casing transitions) make
             // useful labeling functions.
             if pattern_is_selective(&s.pattern) {
-                lfs.push(mk(format!("lf6:regex[{}]", s.pattern), LfKind::Pattern(s.regex)));
+                lfs.push(mk(
+                    format!("lf6:regex[{}]", s.pattern),
+                    LfKind::Pattern(s.regex),
+                ));
             }
         }
     }
@@ -227,23 +242,41 @@ mod tests {
         };
         let lfs = infer_lfs(&demo, &InferConfig::default());
         // LF1, LF2, LF3, LF4 all inferred for a numeric column.
-        assert!(lfs.iter().any(|l| matches!(l.kind, LfKind::ValueRange { .. })), "{lfs:?}");
-        assert!(lfs.iter().any(|l| matches!(l.kind, LfKind::MeanRange { .. })));
-        assert!(lfs.iter().any(|l| matches!(l.kind, LfKind::CoOccurrence { .. })));
-        assert!(lfs.iter().any(|l| matches!(l.kind, LfKind::HeaderEquals(_))));
-        assert!(lfs.iter().all(|l| l.ty == salary && l.source == LfSource::Local));
+        assert!(
+            lfs.iter()
+                .any(|l| matches!(l.kind, LfKind::ValueRange { .. })),
+            "{lfs:?}"
+        );
+        assert!(lfs
+            .iter()
+            .any(|l| matches!(l.kind, LfKind::MeanRange { .. })));
+        assert!(lfs
+            .iter()
+            .any(|l| matches!(l.kind, LfKind::CoOccurrence { .. })));
+        assert!(lfs
+            .iter()
+            .any(|l| matches!(l.kind, LfKind::HeaderEquals(_))));
+        assert!(lfs
+            .iter()
+            .all(|l| l.ty == salary && l.source == LfSource::Local));
 
         // The inferred LFs fire on a similar unseen salary column.
         let similar = Column::from_raw("pay", &["52000", "64000", "58000"]);
         let ctx = context(&similar, "pay", &neighbors);
         let votes: Vec<_> = lfs.iter().filter_map(|l| l.vote(&ctx)).collect();
-        assert!(votes.iter().filter(|t| **t == salary).count() >= 2, "{votes:?}");
+        assert!(
+            votes.iter().filter(|t| **t == salary).count() >= 2,
+            "{votes:?}"
+        );
 
         // …and mostly abstain on an unrelated percentage column.
         let unrelated = Column::from_raw("pct", &["0.1", "0.5", "0.9"]);
         let ctx = context(&unrelated, "pct", &[]);
         let votes: Vec<_> = lfs.iter().filter_map(|l| l.vote(&ctx)).collect();
-        assert!(votes.is_empty(), "unrelated column should get no votes: {votes:?}");
+        assert!(
+            votes.is_empty(),
+            "unrelated column should get no votes: {votes:?}"
+        );
     }
 
     #[test]
@@ -260,7 +293,9 @@ mod tests {
         let lfs = infer_lfs(&demo, &InferConfig::default());
         assert!(lfs.iter().any(|l| matches!(l.kind, LfKind::Dictionary(_))));
         // No numeric LFs for a text column.
-        assert!(!lfs.iter().any(|l| matches!(l.kind, LfKind::ValueRange { .. })));
+        assert!(!lfs
+            .iter()
+            .any(|l| matches!(l.kind, LfKind::ValueRange { .. })));
     }
 
     #[test]
@@ -295,11 +330,20 @@ mod tests {
         assert!(pattern_is_selective(r"[a-z]{2,8}@[a-z]{2,8}"));
         // A first-name demonstration must not produce a regex LF.
         let names: Vec<String> = ["Emily", "Emma", "Olivia", "Lauren"]
-            .iter().map(|s| (*s).to_string()).collect();
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect();
         let column = Column::from_raw("fname", &names);
-        let demo = Demonstration { column: &column, neighbor_types: &[], ty: TypeId(2) };
+        let demo = Demonstration {
+            column: &column,
+            neighbor_types: &[],
+            ty: TypeId(2),
+        };
         let lfs = infer_lfs(&demo, &InferConfig::default());
-        assert!(!lfs.iter().any(|l| matches!(l.kind, LfKind::Pattern(_))), "{lfs:?}");
+        assert!(
+            !lfs.iter().any(|l| matches!(l.kind, LfKind::Pattern(_))),
+            "{lfs:?}"
+        );
     }
 
     #[test]
@@ -319,7 +363,8 @@ mod tests {
         };
         let lfs = infer_lfs(&demo, &InferConfig::default());
         assert!(
-            !lfs.iter().any(|l| matches!(l.kind, LfKind::HeaderEquals(_))),
+            !lfs.iter()
+                .any(|l| matches!(l.kind, LfKind::HeaderEquals(_))),
             "generic header must not become an LF: {lfs:?}"
         );
     }

@@ -138,7 +138,11 @@ impl LabelModel {
         let posterior = posterior_for_row(row, &self.accuracies, &types, self.cardinality);
         posterior
             .into_iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(b.0 .0.cmp(&a.0 .0)))
+            .max_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .expect("finite")
+                    .then(b.0 .0.cmp(&a.0 .0))
+            })
             .map(|(ty, p)| WeakLabel { ty, confidence: p })
     }
 }
@@ -204,7 +208,10 @@ mod tests {
     fn majority_vote_basics() {
         assert_eq!(
             majority_vote(&vec![Some(A), Some(A), Some(B)]),
-            Some(WeakLabel { ty: A, confidence: 2.0 / 3.0 })
+            Some(WeakLabel {
+                ty: A,
+                confidence: 2.0 / 3.0
+            })
         );
         assert_eq!(majority_vote(&vec![None, None]), None);
         assert_eq!(majority_vote(&vec![]), None);

@@ -140,8 +140,7 @@ impl LabelingFunction {
                 }
             }
             LfKind::CoOccurrence { required } => {
-                !required.is_empty()
-                    && required.iter().all(|t| ctx.neighbor_types.contains(t))
+                !required.is_empty() && required.iter().all(|t| ctx.neighbor_types.contains(t))
             }
             LfKind::HeaderEquals(h) => ctx.header == h,
             LfKind::Dictionary(set) => {
@@ -209,10 +208,22 @@ mod tests {
     #[test]
     fn value_range_votes() {
         let c = Column::from_raw("c", &["50000", "60000", "70000"]);
-        let f = lf(1, LfKind::ValueRange { min: 40_000.0, max: 80_000.0 });
+        let f = lf(
+            1,
+            LfKind::ValueRange {
+                min: 40_000.0,
+                max: 80_000.0,
+            },
+        );
         let ctx = context(&c, "income", &[]);
         assert_eq!(f.vote(&ctx), Some(TypeId(1)));
-        let f = lf(1, LfKind::ValueRange { min: 0.0, max: 100.0 });
+        let f = lf(
+            1,
+            LfKind::ValueRange {
+                min: 0.0,
+                max: 100.0,
+            },
+        );
         assert_eq!(f.vote(&ctx), None);
         // Text column abstains.
         let t = Column::from_raw("t", &["a", "b"]);
@@ -228,11 +239,25 @@ mod tests {
         let c = Column::from_raw("c", &["10", "20", "30"]);
         let ctx = context(&c, "x", &[]);
         assert_eq!(
-            lf(2, LfKind::MeanRange { min: 15.0, max: 25.0 }).vote(&ctx),
+            lf(
+                2,
+                LfKind::MeanRange {
+                    min: 15.0,
+                    max: 25.0
+                }
+            )
+            .vote(&ctx),
             Some(TypeId(2))
         );
         assert_eq!(
-            lf(2, LfKind::MeanRange { min: 0.0, max: 10.0 }).vote(&ctx),
+            lf(
+                2,
+                LfKind::MeanRange {
+                    min: 0.0,
+                    max: 10.0
+                }
+            )
+            .vote(&ctx),
             None
         );
     }
@@ -243,11 +268,23 @@ mod tests {
         let neighbors = [TypeId(5), TypeId(7)];
         let ctx = context(&c, "x", &neighbors);
         assert_eq!(
-            lf(3, LfKind::CoOccurrence { required: vec![TypeId(5)] }).vote(&ctx),
+            lf(
+                3,
+                LfKind::CoOccurrence {
+                    required: vec![TypeId(5)]
+                }
+            )
+            .vote(&ctx),
             Some(TypeId(3))
         );
         assert_eq!(
-            lf(3, LfKind::CoOccurrence { required: vec![TypeId(5), TypeId(9)] }).vote(&ctx),
+            lf(
+                3,
+                LfKind::CoOccurrence {
+                    required: vec![TypeId(5), TypeId(9)]
+                }
+            )
+            .vote(&ctx),
             None
         );
         // Empty requirement never fires (would be always-true).
@@ -265,13 +302,19 @@ mod tests {
             lf(4, LfKind::HeaderEquals("income".into())).vote(&ctx),
             Some(TypeId(4))
         );
-        assert_eq!(lf(4, LfKind::HeaderEquals("salary".into())).vote(&ctx), None);
+        assert_eq!(
+            lf(4, LfKind::HeaderEquals("salary".into())).vote(&ctx),
+            None
+        );
     }
 
     #[test]
     fn dictionary_votes_with_tolerance() {
         let c = Column::from_raw("c", &["Paris", "Tokyo", "Paris", "Gotham"]);
-        let set: HashSet<String> = ["paris", "tokyo"].iter().map(|s| (*s).to_string()).collect();
+        let set: HashSet<String> = ["paris", "tokyo"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect();
         let ctx = context(&c, "x", &[]);
         assert_eq!(
             lf(5, LfKind::Dictionary(set.clone())).vote(&ctx),

@@ -164,8 +164,18 @@ mod tests {
         for i in 0..150 {
             let m = money[i % money.len()];
             let p = place[i % place.len()];
-            seqs.push(["monthly", m, "gross", "amount"].iter().map(|s| (*s).to_string()).collect());
-            seqs.push(["office", p, "branch", "site"].iter().map(|s| (*s).to_string()).collect());
+            seqs.push(
+                ["monthly", m, "gross", "amount"]
+                    .iter()
+                    .map(|s| (*s).to_string())
+                    .collect(),
+            );
+            seqs.push(
+                ["office", p, "branch", "site"]
+                    .iter()
+                    .map(|s| (*s).to_string())
+                    .collect(),
+            );
         }
         Embedder::train(&seqs, &SkipGramConfig::default())
     }

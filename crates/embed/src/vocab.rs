@@ -149,7 +149,11 @@ mod tests {
         assert!(counts.iter().all(|&c| c > 0));
         let salary = v.get("salary").unwrap();
         assert_eq!(
-            counts.iter().enumerate().max_by_key(|(_, c)| **c).map(|(i, _)| i),
+            counts
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, c)| **c)
+                .map(|(i, _)| i),
             Some(salary)
         );
         // Edge draws do not panic.

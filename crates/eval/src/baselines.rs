@@ -160,7 +160,7 @@ mod tests {
     #[test]
     fn regexdict_is_high_precision_low_coverage() {
         let o = builtin_ontology();
-        let test = generate_corpus(&o, &CorpusConfig::database_like(63, 15));
+        let test = generate_corpus(&o, &CorpusConfig::database_like(67, 15));
         let baseline = RegexDictBaseline::new(&o);
         let preds: Vec<Vec<TypeId>> = test
             .tables

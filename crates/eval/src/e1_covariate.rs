@@ -48,8 +48,8 @@ pub fn run(lab: &Lab) -> E1Result {
             cfg.opaque_header_rate = 0.6;
             generate_corpus(ontology, &cfg)
         };
-        let feed = mk(0xE1_00 + i as u64, lab.scale.eval_tables() / 2);
-        let test = mk(0xE1_50 + i as u64, lab.scale.eval_tables());
+        let feed = mk(0xE1_10 + i as u64, lab.scale.eval_tables() / 2);
+        let test = mk(0xE1_70 + i as u64, lab.scale.eval_tables());
 
         let frozen_typer = lab.customer();
         let frozen = evaluate(&frozen_typer, &test);

@@ -31,11 +31,7 @@ pub struct E2Result {
     pub report: Report,
 }
 
-fn remapped_accuracy(
-    typer: &sigmatyper::SigmaTyper,
-    corpus: &Corpus,
-    target: TypeId,
-) -> f64 {
+fn remapped_accuracy(typer: &sigmatyper::SigmaTyper, corpus: &Corpus, target: TypeId) -> f64 {
     let mut n = 0usize;
     let mut ok = 0usize;
     for at in &corpus.tables {
@@ -68,8 +64,8 @@ pub fn run(lab: &Lab) -> E2Result {
         remap_labels(&mut c, &[(id, phone)]);
         c
     };
-    let feed = mk(0xE2_01, lab.scale.eval_tables());
-    let test = mk(0xE2_02, lab.scale.eval_tables());
+    let feed = mk(0xE2_11, lab.scale.eval_tables());
+    let test = mk(0xE2_12, lab.scale.eval_tables());
 
     let mut typer = lab.customer();
     let mut rows = vec![CorrectionRow {
@@ -103,7 +99,13 @@ pub fn run(lab: &Lab) -> E2Result {
 
     let mut report = Report::new(
         "E2 — Label shift (Fig. 1b): id → phone number in customer context",
-        &["corrections", "overall acc", "precision", "remapped-type acc", "Wl(phone)"],
+        &[
+            "corrections",
+            "overall acc",
+            "precision",
+            "remapped-type acc",
+            "Wl(phone)",
+        ],
     );
     let mut running = lab.customer();
     for r in &rows {

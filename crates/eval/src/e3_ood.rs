@@ -45,8 +45,12 @@ pub fn run(lab: &Lab) -> E3Result {
     let mut clean_cfg = CorpusConfig::database_like(0xE3_02, lab.scale.pretrain_tables());
     clean_cfg.ood_column_rate = 0.0;
     let clean = generate_corpus(ontology, &clean_cfg);
-    let msp_model =
-        train_embedding_model(ontology, &clean, &lab.global.embedder, &lab.scale.training());
+    let msp_model = train_embedding_model(
+        ontology,
+        &clean,
+        &lab.global.embedder,
+        &lab.scale.training(),
+    );
 
     // Score every column with both detectors (higher = more OOD).
     let mut bg_scores = Vec::new();

@@ -76,7 +76,14 @@ pub fn run(lab: &Lab) -> E4Result {
 
     let mut report = Report::new(
         "E4 — Adaptation curve (Fig. 2): accuracy vs. feedback interactions",
-        &["feedback", "accuracy", "precision", "coverage", "local influence", "local LFs"],
+        &[
+            "feedback",
+            "accuracy",
+            "precision",
+            "coverage",
+            "local influence",
+            "local LFs",
+        ],
     );
     for r in &rows {
         report.push_row(vec![
@@ -101,7 +108,11 @@ mod tests {
     fn adaptation_curve_rises_and_wl_grows() {
         let lab = Lab::new(Scale::Test);
         let r = run(&lab);
-        assert!(r.rows.len() >= 4, "need several feedback rounds: {}", r.rows.len());
+        assert!(
+            r.rows.len() >= 4,
+            "need several feedback rounds: {}",
+            r.rows.len()
+        );
         let first = r.rows.first().unwrap();
         let last = r.rows.last().unwrap();
         assert!(

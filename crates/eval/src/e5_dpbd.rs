@@ -110,7 +110,14 @@ pub fn run(lab: &Lab) -> E5Result {
 
     let mut report = Report::new(
         "E5 — DPBD (Fig. 3): LFs and weak labels per demonstration of `salary`",
-        &["demos", "LFs", "mined (label model)", "precision", "mined (majority)", "precision "],
+        &[
+            "demos",
+            "LFs",
+            "mined (label model)",
+            "precision",
+            "mined (majority)",
+            "precision ",
+        ],
     );
     for r in &rows {
         report.push_row(vec![

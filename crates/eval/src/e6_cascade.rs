@@ -107,7 +107,15 @@ pub fn run(lab: &Lab) -> E6Result {
 
     let mut report = Report::new(
         "E6 — Cascade (Fig. 4): resolution share per step vs. threshold c",
-        &["c", "header", "lookup", "embedding", "unresolved", "accuracy", "precision"],
+        &[
+            "c",
+            "header",
+            "lookup",
+            "embedding",
+            "unresolved",
+            "accuracy",
+            "precision",
+        ],
     );
     for r in &rows {
         report.push_row(vec![

@@ -43,7 +43,13 @@ pub struct E7Result {
     pub variant_report: Report,
 }
 
-fn eval_variant(lab: &Lab, test: &Corpus, header: bool, lookup: bool, embedding: bool) -> EvalStats {
+fn eval_variant(
+    lab: &Lab,
+    test: &Corpus,
+    header: bool,
+    lookup: bool,
+    embedding: bool,
+) -> EvalStats {
     let mut typer = lab.customer();
     typer.config_mut().enable_header = header;
     typer.config_mut().enable_lookup = lookup;
@@ -132,7 +138,9 @@ pub fn run(lab: &Lab) -> E7Result {
             pct(r.stats.accuracy()),
         ]);
     }
-    report.note("τ trades coverage for precision (§4.3: 'such that the precision of the system is high')");
+    report.note(
+        "τ trades coverage for precision (§4.3: 'such that the precision of the system is high')",
+    );
 
     let mut variant_report = Report::new(
         "E7b — Hybrid vs. ablations and baselines (default τ)",

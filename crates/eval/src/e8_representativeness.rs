@@ -138,7 +138,14 @@ pub fn run(lab: &Lab) -> E8Result {
     };
     let mut report = Report::new(
         "E8 — Training-data representativeness (§2.2): train × eval profiles",
-        &["train corpus", "eval corpus", "accuracy", "precision", "coverage", "enterprise-type acc"],
+        &[
+            "train corpus",
+            "eval corpus",
+            "accuracy",
+            "precision",
+            "coverage",
+            "enterprise-type acc",
+        ],
     );
     for c in &cells {
         report.push_row(vec![

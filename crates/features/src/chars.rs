@@ -88,7 +88,10 @@ mod tests {
         let f = char_features(&["a@b.com", "x@y.org"]);
         let at_idx = CHAR_CLASSES.iter().position(|(n, _)| *n == "at").unwrap();
         let mean_at = f[at_idx * AGGS_PER_CLASS];
-        assert!(mean_at > 0.1, "emails should have @ fraction, got {mean_at}");
+        assert!(
+            mean_at > 0.1,
+            "emails should have @ fraction, got {mean_at}"
+        );
         let plain = char_features(&["hello", "world"]);
         assert_eq!(plain[at_idx * AGGS_PER_CLASS], 0.0);
     }
@@ -113,11 +116,7 @@ mod tests {
     fn distinct_types_get_distinct_signatures() {
         let emails = char_features(&["ann@x.com", "bob@y.org", "cat@z.net"]);
         let phones = char_features(&["555-010-9999", "415-555-0111"]);
-        let diff: f32 = emails
-            .iter()
-            .zip(&phones)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let diff: f32 = emails.iter().zip(&phones).map(|(a, b)| (a - b).abs()).sum();
         assert!(diff > 0.5, "signatures too similar: {diff}");
     }
 }

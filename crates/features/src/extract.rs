@@ -80,7 +80,10 @@ impl FeatureExtractor {
             out.extend(self.mean_value_embedding(&sample));
         }
         if self.config.header_embedding {
-            out.extend(self.embedder.phrase_vector(&tu_text::normalize_header(&column.name)));
+            out.extend(
+                self.embedder
+                    .phrase_vector(&tu_text::normalize_header(&column.name)),
+            );
         }
         debug_assert_eq!(out.len(), self.dim());
         out

@@ -31,7 +31,6 @@ pub fn global_features(column: &Column) -> Vec<f32> {
     let (num_mean, num_std, num_min, num_max) = if nums.is_empty() {
         (0.0, 0.0, 0.0, 0.0)
     } else {
-        
         tu_table::stats::NumericSummary::of(&nums)
             .map(|s| (s.mean, s.std, s.min, s.max))
             .unwrap_or((0.0, 0.0, 0.0, 0.0))

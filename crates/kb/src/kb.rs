@@ -152,10 +152,8 @@ impl KnowledgeBase {
             }
         }
         let n = values.len() as f64;
-        let mut out: Vec<(TypeId, f64)> = counts
-            .into_iter()
-            .map(|(t, c)| (t, c as f64 / n))
-            .collect();
+        let mut out: Vec<(TypeId, f64)> =
+            counts.into_iter().map(|(t, c)| (t, c as f64 / n)).collect();
         out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
         out
     }
@@ -232,7 +230,10 @@ mod tests {
         let product = builtin_id(&o, "product");
         kb.add_entries(product, &["Flux Capacitor"]);
         assert!(kb.contains(product, "flux capacitor"));
-        assert!(kb.dictionary(product).unwrap().contains(&"Flux Capacitor".to_string()));
+        assert!(kb
+            .dictionary(product)
+            .unwrap()
+            .contains(&"Flux Capacitor".to_string()));
         // Re-adding is idempotent in the index.
         kb.add_entries(product, &["Flux Capacitor"]);
         assert_eq!(

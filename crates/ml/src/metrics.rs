@@ -53,8 +53,16 @@ pub fn classification_report(
         let fn_: usize = m[c].iter().sum::<usize>() - tp;
         let fp: usize = (0..n_classes).map(|t| m[t][c]).sum::<usize>() - tp;
         let support = tp + fn_;
-        let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-        let recall = if support == 0 { 0.0 } else { tp as f64 / support as f64 };
+        let precision = if tp + fp == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let recall = if support == 0 {
+            0.0
+        } else {
+            tp as f64 / support as f64
+        };
         let f1 = if precision + recall == 0.0 {
             0.0
         } else {
@@ -152,11 +160,7 @@ pub fn fpr_at_tpr(scores: &[f64], labels: &[bool], tpr_target: f64) -> f64 {
 
 /// Expected calibration error with `bins` equal-width confidence bins.
 #[must_use]
-pub fn expected_calibration_error(
-    confidences: &[f64],
-    correct: &[bool],
-    bins: usize,
-) -> f64 {
+pub fn expected_calibration_error(confidences: &[f64], correct: &[bool], bins: usize) -> f64 {
     assert_eq!(confidences.len(), correct.len(), "length mismatch");
     assert!(bins > 0, "bins must be positive");
     if confidences.is_empty() {
@@ -240,11 +244,20 @@ mod tests {
     #[test]
     fn auroc_cases() {
         // Perfect separation.
-        assert_eq!(auroc(&[0.9, 0.8, 0.2, 0.1], &[true, true, false, false]), 1.0);
+        assert_eq!(
+            auroc(&[0.9, 0.8, 0.2, 0.1], &[true, true, false, false]),
+            1.0
+        );
         // Inverted.
-        assert_eq!(auroc(&[0.1, 0.2, 0.8, 0.9], &[true, true, false, false]), 0.0);
+        assert_eq!(
+            auroc(&[0.1, 0.2, 0.8, 0.9], &[true, true, false, false]),
+            0.0
+        );
         // All tied → 0.5.
-        assert_eq!(auroc(&[0.5, 0.5, 0.5, 0.5], &[true, false, true, false]), 0.5);
+        assert_eq!(
+            auroc(&[0.5, 0.5, 0.5, 0.5], &[true, false, true, false]),
+            0.5
+        );
         // Degenerate labels.
         assert_eq!(auroc(&[0.3, 0.4], &[true, true]), 0.5);
     }

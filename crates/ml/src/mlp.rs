@@ -44,8 +44,8 @@ impl Default for MlpConfig {
 /// One dense layer.
 #[derive(Debug, Clone)]
 struct Layer {
-    w: Matrix,      // out × in
-    b: Vec<f32>,    // out
+    w: Matrix,   // out × in
+    b: Vec<f32>, // out
     // Adam state
     mw: Vec<f32>,
     vw: Vec<f32>,
@@ -85,7 +85,10 @@ impl Mlp {
     /// Panics when `dim` or `n_classes` is zero.
     #[must_use]
     pub fn new(dim: usize, n_classes: usize, config: MlpConfig) -> Self {
-        assert!(dim > 0 && n_classes > 0, "dim and n_classes must be positive");
+        assert!(
+            dim > 0 && n_classes > 0,
+            "dim and n_classes must be positive"
+        );
         let mut rng = StdRng::seed_from_u64(config.seed);
         let layers = if config.hidden == 0 {
             vec![Layer::new(&mut rng, dim, n_classes)]
@@ -194,7 +197,10 @@ impl Mlp {
             return 0.0;
         }
         assert_eq!(ds.dim(), self.dim, "dataset dim mismatch");
-        assert!(ds.n_classes <= self.n_classes, "dataset has too many classes");
+        assert!(
+            ds.n_classes <= self.n_classes,
+            "dataset has too many classes"
+        );
         let order = ds.epoch_order(seed);
         let mut total_loss = 0.0f32;
         for chunk in order.chunks(self.config.batch.max(1)) {
@@ -319,12 +325,11 @@ impl Mlp {
         if ds.is_empty() {
             return 0.0;
         }
-        let hits = ds
-            .x
-            .iter()
-            .zip(&ds.y)
-            .filter(|(x, &y)| self.predict(x).0 == y)
-            .count();
+        let hits =
+            ds.x.iter()
+                .zip(&ds.y)
+                .filter(|(x, &y)| self.predict(x).0 == y)
+                .count();
         hits as f64 / ds.len() as f64
     }
 }
@@ -370,7 +375,15 @@ mod tests {
     #[test]
     fn learns_blobs_without_hidden_layer() {
         let ds = blobs(200, 1);
-        let mut m = Mlp::new(2, 2, MlpConfig { hidden: 0, epochs: 40, ..MlpConfig::default() });
+        let mut m = Mlp::new(
+            2,
+            2,
+            MlpConfig {
+                hidden: 0,
+                epochs: 40,
+                ..MlpConfig::default()
+            },
+        );
         m.fit(&ds);
         assert!(m.accuracy(&ds) > 0.95, "accuracy {}", m.accuracy(&ds));
     }
@@ -381,7 +394,12 @@ mod tests {
         let mut m = Mlp::new(
             2,
             2,
-            MlpConfig { hidden: 16, epochs: 120, lr: 1e-2, ..MlpConfig::default() },
+            MlpConfig {
+                hidden: 16,
+                epochs: 120,
+                lr: 1e-2,
+                ..MlpConfig::default()
+            },
         );
         m.fit(&ds);
         assert!(m.accuracy(&ds) > 0.95, "xor accuracy {}", m.accuracy(&ds));
@@ -404,7 +422,14 @@ mod tests {
     fn partial_fit_improves_on_new_region() {
         // Train on blobs, then drift the blobs; partial_fit should adapt.
         let ds = blobs(200, 4);
-        let mut m = Mlp::new(2, 2, MlpConfig { epochs: 30, ..MlpConfig::default() });
+        let mut m = Mlp::new(
+            2,
+            2,
+            MlpConfig {
+                epochs: 30,
+                ..MlpConfig::default()
+            },
+        );
         m.fit(&ds);
         // Shifted blobs: swap the classes (label shift).
         let mut shifted = ds.clone();
@@ -438,7 +463,14 @@ mod tests {
         let model = Mlp::new(
             2,
             2,
-            MlpConfig { hidden: 3, lr: 0.0, l2: 0.0, epochs: 0, batch: 1, seed: 9 },
+            MlpConfig {
+                hidden: 3,
+                lr: 0.0,
+                l2: 0.0,
+                epochs: 0,
+                batch: 1,
+                seed: 9,
+            },
         );
         let mut gw: Vec<Vec<f32>> = model
             .layers

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use tu_ml::{
-    accuracy, argmax, auroc, expected_calibration_error, fit_temperature, softmax_inplace,
-    Dataset, Temperature,
+    accuracy, argmax, auroc, expected_calibration_error, fit_temperature, softmax_inplace, Dataset,
+    Temperature,
 };
 
 proptest! {

@@ -22,72 +22,319 @@ pub fn builtin_ontology() -> Ontology {
     };
 
     // ---- Person ----------------------------------------------------
-    let name = reg("name", Person, Textual, &["full name", "person", "contact name"], None);
-    reg("first name", Person, Textual, &["fname", "given name", "forename"], Some(name));
-    reg("last name", Person, Textual, &["lname", "surname", "family name"], Some(name));
+    let name = reg(
+        "name",
+        Person,
+        Textual,
+        &["full name", "person", "contact name"],
+        None,
+    );
+    reg(
+        "first name",
+        Person,
+        Textual,
+        &["fname", "given name", "forename"],
+        Some(name),
+    );
+    reg(
+        "last name",
+        Person,
+        Textual,
+        &["lname", "surname", "family name"],
+        Some(name),
+    );
     reg("gender", Person, Textual, &["sex"], None);
     reg("age", Person, Numeric, &["age years", "years old"], None);
-    reg("birth date", Person, Temporal, &["dob", "date of birth", "birthday"], None);
-    reg("email", Person, Textual, &["email address", "e-mail", "mail"], None);
-    reg("phone number", Person, Identifier, &["phone", "telephone", "tel", "mobile", "contact number", "cell"], None);
-    reg("job title", Person, Textual, &["title", "position", "role", "occupation"], None);
+    reg(
+        "birth date",
+        Person,
+        Temporal,
+        &["dob", "date of birth", "birthday"],
+        None,
+    );
+    reg(
+        "email",
+        Person,
+        Textual,
+        &["email address", "e-mail", "mail"],
+        None,
+    );
+    reg(
+        "phone number",
+        Person,
+        Identifier,
+        &[
+            "phone",
+            "telephone",
+            "tel",
+            "mobile",
+            "contact number",
+            "cell",
+        ],
+        None,
+    );
+    reg(
+        "job title",
+        Person,
+        Textual,
+        &["title", "position", "role", "occupation"],
+        None,
+    );
     reg("nationality", Person, Textual, &["citizenship"], None);
-    let money = reg("monetary amount", Commerce, Numeric, &["amount", "money"], None);
-    reg("salary", Person, Numeric, &["income", "wage", "pay", "compensation"], Some(money));
-    reg("username", Person, Textual, &["user name", "login", "handle", "user id"], None);
-    reg("social security number", Person, Identifier, &["ssn", "national id"], None);
+    let money = reg(
+        "monetary amount",
+        Commerce,
+        Numeric,
+        &["amount", "money"],
+        None,
+    );
+    reg(
+        "salary",
+        Person,
+        Numeric,
+        &["income", "wage", "pay", "compensation"],
+        Some(money),
+    );
+    reg(
+        "username",
+        Person,
+        Textual,
+        &["user name", "login", "handle", "user id"],
+        None,
+    );
+    reg(
+        "social security number",
+        Person,
+        Identifier,
+        &["ssn", "national id"],
+        None,
+    );
 
     // ---- Geo -------------------------------------------------------
     let location = reg("location", Geo, Textual, &["place"], None);
-    reg("city", Geo, Textual, &["town", "municipality", "city name"], Some(location));
-    reg("country", Geo, Textual, &["nation", "country name"], Some(location));
-    reg("country code", Geo, Identifier, &["iso code", "country iso"], None);
-    reg("state", Geo, Textual, &["province", "region name"], Some(location));
-    reg("zip code", Geo, Identifier, &["zip", "postal code", "postcode"], None);
-    reg("address", Geo, Textual, &["street address", "addr", "location address"], None);
+    reg(
+        "city",
+        Geo,
+        Textual,
+        &["town", "municipality", "city name"],
+        Some(location),
+    );
+    reg(
+        "country",
+        Geo,
+        Textual,
+        &["nation", "country name"],
+        Some(location),
+    );
+    reg(
+        "country code",
+        Geo,
+        Identifier,
+        &["iso code", "country iso"],
+        None,
+    );
+    reg(
+        "state",
+        Geo,
+        Textual,
+        &["province", "region name"],
+        Some(location),
+    );
+    reg(
+        "zip code",
+        Geo,
+        Identifier,
+        &["zip", "postal code", "postcode"],
+        None,
+    );
+    reg(
+        "address",
+        Geo,
+        Textual,
+        &["street address", "addr", "location address"],
+        None,
+    );
     reg("latitude", Geo, Numeric, &["lat"], None);
     reg("longitude", Geo, Numeric, &["lon", "lng", "long"], None);
     reg("continent", Geo, Textual, &[], Some(location));
 
     // ---- Commerce --------------------------------------------------
-    reg("company", Commerce, Textual, &["organization", "employer", "firm", "vendor", "supplier", "business"], None);
-    reg("product", Commerce, Textual, &["product name", "item", "item name"], None);
+    reg(
+        "company",
+        Commerce,
+        Textual,
+        &[
+            "organization",
+            "employer",
+            "firm",
+            "vendor",
+            "supplier",
+            "business",
+        ],
+        None,
+    );
+    reg(
+        "product",
+        Commerce,
+        Textual,
+        &["product name", "item", "item name"],
+        None,
+    );
     reg("brand", Commerce, Textual, &["make", "manufacturer"], None);
-    reg("price", Commerce, Numeric, &["unit price", "cost", "list price"], Some(money));
+    reg(
+        "price",
+        Commerce,
+        Numeric,
+        &["unit price", "cost", "list price"],
+        Some(money),
+    );
     reg("currency", Commerce, Textual, &["currency name"], None);
-    reg("currency code", Commerce, Identifier, &["iso currency"], None);
-    reg("order id", Commerce, Identifier, &["order number", "order no", "po number", "invoice number"], None);
-    reg("sku", Commerce, Identifier, &["stock keeping unit", "product code", "item code", "part number"], None);
-    reg("quantity", Commerce, Numeric, &["qty", "count", "units", "number of items"], None);
+    reg(
+        "currency code",
+        Commerce,
+        Identifier,
+        &["iso currency"],
+        None,
+    );
+    reg(
+        "order id",
+        Commerce,
+        Identifier,
+        &["order number", "order no", "po number", "invoice number"],
+        None,
+    );
+    reg(
+        "sku",
+        Commerce,
+        Identifier,
+        &[
+            "stock keeping unit",
+            "product code",
+            "item code",
+            "part number",
+        ],
+        None,
+    );
+    reg(
+        "quantity",
+        Commerce,
+        Numeric,
+        &["qty", "count", "units", "number of items"],
+        None,
+    );
     reg("discount", Commerce, Numeric, &["rebate", "markdown"], None);
-    reg("revenue", Commerce, Numeric, &["sales", "turnover", "gross revenue"], Some(money));
-    reg("product category", Commerce, Textual, &["category", "segment", "department"], None);
-    reg("payment method", Commerce, Textual, &["payment type", "pay method"], None);
-    reg("credit card number", Commerce, Identifier, &["card number", "cc number", "pan"], None);
-    reg("iban", Commerce, Identifier, &["bank account", "account number"], None);
+    reg(
+        "revenue",
+        Commerce,
+        Numeric,
+        &["sales", "turnover", "gross revenue"],
+        Some(money),
+    );
+    reg(
+        "product category",
+        Commerce,
+        Textual,
+        &["category", "segment", "department"],
+        None,
+    );
+    reg(
+        "payment method",
+        Commerce,
+        Textual,
+        &["payment type", "pay method"],
+        None,
+    );
+    reg(
+        "credit card number",
+        Commerce,
+        Identifier,
+        &["card number", "cc number", "pan"],
+        None,
+    );
+    reg(
+        "iban",
+        Commerce,
+        Identifier,
+        &["bank account", "account number"],
+        None,
+    );
 
     // ---- Web / technical -------------------------------------------
-    reg("url", Web, Textual, &["website", "link", "web address", "homepage"], None);
-    reg("ip address", Web, Identifier, &["ip", "ipv4", "host address"], None);
+    reg(
+        "url",
+        Web,
+        Textual,
+        &["website", "link", "web address", "homepage"],
+        None,
+    );
+    reg(
+        "ip address",
+        Web,
+        Identifier,
+        &["ip", "ipv4", "host address"],
+        None,
+    );
     reg("uuid", Web, Identifier, &["guid", "unique id"], None);
     reg("domain name", Web, Textual, &["domain", "hostname"], None);
-    reg("hex color", Web, Identifier, &["color code", "colour", "color"], None);
-    reg("language", Web, Textual, &["lang", "locale", "language name"], None);
+    reg(
+        "hex color",
+        Web,
+        Identifier,
+        &["color code", "colour", "color"],
+        None,
+    );
+    reg(
+        "language",
+        Web,
+        Textual,
+        &["lang", "locale", "language name"],
+        None,
+    );
     reg("isbn", Web, Identifier, &["isbn 13", "book id"], None);
-    reg("file extension", Web, Textual, &["extension", "file type"], None);
-    reg("mime type", Web, Textual, &["content type", "media type"], None);
+    reg(
+        "file extension",
+        Web,
+        Textual,
+        &["extension", "file type"],
+        None,
+    );
+    reg(
+        "mime type",
+        Web,
+        Textual,
+        &["content type", "media type"],
+        None,
+    );
 
     // ---- Time ------------------------------------------------------
     let date = reg("date", Time, Temporal, &["day", "calendar date"], None);
-    reg("datetime", Time, Temporal, &["timestamp", "date time", "created at", "updated at"], Some(date));
+    reg(
+        "datetime",
+        Time,
+        Temporal,
+        &["timestamp", "date time", "created at", "updated at"],
+        Some(date),
+    );
     reg("time", Time, Temporal, &["time of day", "clock time"], None);
     reg("year", Time, Numeric, &["yr", "fiscal year"], None);
     reg("month", Time, Textual, &["month name"], None);
     reg("weekday", Time, Textual, &["day of week", "dow"], None);
-    reg("duration", Time, Numeric, &["elapsed", "duration ms", "runtime"], None);
+    reg(
+        "duration",
+        Time,
+        Numeric,
+        &["elapsed", "duration ms", "runtime"],
+        None,
+    );
 
     // ---- Science / health -------------------------------------------
-    reg("temperature", Science, Numeric, &["temp", "celsius", "fahrenheit"], None);
+    reg(
+        "temperature",
+        Science,
+        Numeric,
+        &["temp", "celsius", "fahrenheit"],
+        None,
+    );
     reg("weight", Science, Numeric, &["mass", "weight kg"], None);
     reg("height", Science, Numeric, &["stature", "height cm"], None);
     reg("blood type", Science, Textual, &["blood group"], None);
@@ -95,14 +342,62 @@ pub fn builtin_ontology() -> Ontology {
     reg("humidity", Science, Numeric, &["relative humidity"], None);
 
     // ---- Misc -------------------------------------------------------
-    reg("identifier", Misc, Identifier, &["id", "key", "record id", "row id", "pk"], None);
-    reg("percentage", Misc, Numeric, &["percent", "pct", "share", "ratio"], None);
-    reg("rating", Misc, Numeric, &["score", "stars", "grade point"], None);
-    reg("description", Misc, Textual, &["notes", "comment", "details", "summary"], None);
-    reg("status", Misc, Textual, &["state flag", "order status", "stage"], None);
-    reg("boolean flag", Misc, Boolean, &["flag", "is active", "enabled", "active"], None);
-    reg("grade", Misc, Textual, &["letter grade", "class grade"], None);
-    reg("school", Misc, Textual, &["university", "college", "institution"], None);
+    reg(
+        "identifier",
+        Misc,
+        Identifier,
+        &["id", "key", "record id", "row id", "pk"],
+        None,
+    );
+    reg(
+        "percentage",
+        Misc,
+        Numeric,
+        &["percent", "pct", "share", "ratio"],
+        None,
+    );
+    reg(
+        "rating",
+        Misc,
+        Numeric,
+        &["score", "stars", "grade point"],
+        None,
+    );
+    reg(
+        "description",
+        Misc,
+        Textual,
+        &["notes", "comment", "details", "summary"],
+        None,
+    );
+    reg(
+        "status",
+        Misc,
+        Textual,
+        &["state flag", "order status", "stage"],
+        None,
+    );
+    reg(
+        "boolean flag",
+        Misc,
+        Boolean,
+        &["flag", "is active", "enabled", "active"],
+        None,
+    );
+    reg(
+        "grade",
+        Misc,
+        Textual,
+        &["letter grade", "class grade"],
+        None,
+    );
+    reg(
+        "school",
+        Misc,
+        Textual,
+        &["university", "college", "institution"],
+        None,
+    );
     reg("team", Misc, Textual, &["club", "squad"], None);
 
     o
@@ -143,10 +438,7 @@ mod tests {
     #[test]
     fn alias_lookups() {
         let o = builtin_ontology();
-        assert_eq!(
-            o.lookup_exact("income"),
-            Some(builtin_id(&o, "salary"))
-        );
+        assert_eq!(o.lookup_exact("income"), Some(builtin_id(&o, "salary")));
         assert_eq!(
             o.lookup_exact("Postal_Code"),
             Some(builtin_id(&o, "zip code"))
@@ -174,7 +466,10 @@ mod tests {
         let o = builtin_ontology();
         assert_eq!(o.def(builtin_id(&o, "salary")).kind, ValueKind::Numeric);
         assert_eq!(o.def(builtin_id(&o, "city")).kind, ValueKind::Textual);
-        assert_eq!(o.def(builtin_id(&o, "birth date")).kind, ValueKind::Temporal);
+        assert_eq!(
+            o.def(builtin_id(&o, "birth date")).kind,
+            ValueKind::Temporal
+        );
         assert_eq!(o.def(builtin_id(&o, "uuid")).kind, ValueKind::Identifier);
         // There are plenty of numeric and textual types for the experiments.
         assert!(o.ids_of_kind(ValueKind::Numeric).len() >= 15);

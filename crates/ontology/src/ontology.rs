@@ -219,7 +219,13 @@ mod tests {
 
     fn small() -> (Ontology, TypeId, TypeId, TypeId) {
         let mut o = Ontology::empty();
-        let name = o.register("name", Category::Person, ValueKind::Textual, &["full name"], None);
+        let name = o.register(
+            "name",
+            Category::Person,
+            ValueKind::Textual,
+            &["full name"],
+            None,
+        );
         let first = o.register(
             "first name",
             Category::Person,
@@ -253,8 +259,20 @@ mod tests {
     #[test]
     fn alias_shadowing_first_wins() {
         let mut o = Ontology::empty();
-        let a = o.register("alpha", Category::Misc, ValueKind::Textual, &["shared"], None);
-        let _b = o.register("beta", Category::Misc, ValueKind::Textual, &["shared"], None);
+        let a = o.register(
+            "alpha",
+            Category::Misc,
+            ValueKind::Textual,
+            &["shared"],
+            None,
+        );
+        let _b = o.register(
+            "beta",
+            Category::Misc,
+            ValueKind::Textual,
+            &["shared"],
+            None,
+        );
         assert_eq!(o.lookup_exact("shared"), Some(a));
     }
 

@@ -213,11 +213,7 @@ impl Suite {
         if self.expectations.is_empty() {
             return 1.0;
         }
-        let passed = self
-            .validate(column)
-            .iter()
-            .filter(|r| r.passed)
-            .count();
+        let passed = self.validate(column).iter().filter(|r| r.passed).count();
         passed as f64 / self.expectations.len() as f64
     }
 }
@@ -250,28 +246,35 @@ mod tests {
     #[test]
     fn mean_between() {
         let c = col(&["50000", "60000", "70000"]);
-        assert!(Expectation::MeanBetween {
-            min: 55_000.0,
-            max: 65_000.0
-        }
-        .check(&c)
-        .passed);
-        assert!(!Expectation::MeanBetween {
-            min: 0.0,
-            max: 1.0
-        }
-        .check(&c)
-        .passed);
+        assert!(
+            Expectation::MeanBetween {
+                min: 55_000.0,
+                max: 65_000.0
+            }
+            .check(&c)
+            .passed
+        );
+        assert!(
+            !Expectation::MeanBetween { min: 0.0, max: 1.0 }
+                .check(&c)
+                .passed
+        );
         // Non-numeric column can't pass.
-        assert!(!Expectation::MeanBetween { min: 0.0, max: 1.0 }
-            .check(&col(&["x"]))
-            .passed);
+        assert!(
+            !Expectation::MeanBetween { min: 0.0, max: 1.0 }
+                .check(&col(&["x"]))
+                .passed
+        );
     }
 
     #[test]
     fn regex_expectation() {
         let c = col(&["a1", "b2", "c3"]);
-        assert!(Expectation::MatchesRegex("[a-z]\\d".into()).check(&c).passed);
+        assert!(
+            Expectation::MatchesRegex("[a-z]\\d".into())
+                .check(&c)
+                .passed
+        );
         assert!(!Expectation::MatchesRegex("\\d+".into()).check(&c).passed);
         // Invalid pattern fails closed.
         assert!(!Expectation::MatchesRegex("(".into()).check(&c).passed);
@@ -299,9 +302,11 @@ mod tests {
         let c = col(&["1", "", "1", "2"]);
         assert!(Expectation::NullFractionAtMost(0.3).check(&c).passed);
         assert!(!Expectation::NullFractionAtMost(0.1).check(&c).passed);
-        assert!(Expectation::DistinctFractionBetween { min: 0.5, max: 0.8 }
-            .check(&c)
-            .passed);
+        assert!(
+            Expectation::DistinctFractionBetween { min: 0.5, max: 0.8 }
+                .check(&c)
+                .passed
+        );
         assert!(Expectation::TypeIs(DataType::Int).check(&c).passed);
         assert!(!Expectation::TypeIs(DataType::Text).check(&c).passed);
     }
@@ -309,14 +314,26 @@ mod tests {
     #[test]
     fn length_bounds() {
         let c = col(&["ab", "cde", "fg"]);
-        assert!(Expectation::LengthBetween { min: 2, max: 3 }.check(&c).passed);
-        assert!(!Expectation::LengthBetween { min: 3, max: 3 }.check(&c).passed);
+        assert!(
+            Expectation::LengthBetween { min: 2, max: 3 }
+                .check(&c)
+                .passed
+        );
+        assert!(
+            !Expectation::LengthBetween { min: 3, max: 3 }
+                .check(&c)
+                .passed
+        );
     }
 
     #[test]
     fn empty_column_fails_value_checks() {
         let c = Column::new("e", vec![]);
-        assert!(!Expectation::ValuesBetween { min: 0.0, max: 1.0 }.check(&c).passed);
+        assert!(
+            !Expectation::ValuesBetween { min: 0.0, max: 1.0 }
+                .check(&c)
+                .passed
+        );
         assert!(!Expectation::MatchesRegex(".*".into()).check(&c).passed);
     }
 
@@ -326,8 +343,14 @@ mod tests {
         let suite = Suite {
             expectations: vec![
                 Expectation::TypeIs(DataType::Int),
-                Expectation::ValuesBetween { min: 0.0, max: 10.0 },
-                Expectation::ValuesBetween { min: 5.0, max: 10.0 },
+                Expectation::ValuesBetween {
+                    min: 0.0,
+                    max: 10.0,
+                },
+                Expectation::ValuesBetween {
+                    min: 5.0,
+                    max: 10.0,
+                },
             ],
         };
         assert!((suite.pass_rate(&c) - 2.0 / 3.0).abs() < 1e-12);

@@ -50,14 +50,13 @@ pub fn infer_suite(column: &Column) -> Suite {
     // they are inferred from text cells but checked against every
     // rendered value, so a mixed column would fail its own suite.
     let non_null = column.len() - column.null_count();
-    let text_dominant = non_null > 0
-        && column.text_values().len() as f64 / non_null as f64 >= crate::PASS_FRACTION;
+    let text_dominant =
+        non_null > 0 && column.text_values().len() as f64 / non_null as f64 >= crate::PASS_FRACTION;
     if profile.dtype == DataType::Text && text_dominant {
         let texts: Vec<&str> = column.text_values();
         if profile.looks_categorical() {
             let set: Vec<String> = {
-                let mut distinct: Vec<String> =
-                    texts.iter().map(|s| (*s).to_owned()).collect();
+                let mut distinct: Vec<String> = texts.iter().map(|s| (*s).to_owned()).collect();
                 distinct.sort();
                 distinct.dedup();
                 distinct
@@ -82,15 +81,9 @@ pub fn infer_suite(column: &Column) -> Suite {
     }
 
     if profile.looks_like_key() {
-        expectations.push(Expectation::DistinctFractionBetween {
-            min: 0.9,
-            max: 1.0,
-        });
+        expectations.push(Expectation::DistinctFractionBetween { min: 0.9, max: 1.0 });
     } else if profile.looks_categorical() {
-        expectations.push(Expectation::DistinctFractionBetween {
-            min: 0.0,
-            max: 0.5,
-        });
+        expectations.push(Expectation::DistinctFractionBetween { min: 0.0, max: 0.5 });
     }
 
     Suite { expectations }
@@ -112,7 +105,11 @@ mod tests {
         assert_eq!(suite.pass_rate(&demo), 1.0);
         // A similar salary column passes.
         let similar = col(&["52000", "61000", "68000", "55000"]);
-        assert!(suite.pass_rate(&similar) > 0.9, "{:?}", suite.validate(&similar));
+        assert!(
+            suite.pass_rate(&similar) > 0.9,
+            "{:?}",
+            suite.validate(&similar)
+        );
         // A percentages column does not.
         let different = col(&["0.5", "0.7", "0.2"]);
         assert!(suite.pass_rate(&different) < 0.7);

@@ -187,7 +187,9 @@ mod tests {
         assert!(p.looks_like_key());
         assert!(!p.looks_categorical());
 
-        let cat_vals: Vec<String> = (0..50).map(|i| ["a", "b", "c"][i % 3].to_string()).collect();
+        let cat_vals: Vec<String> = (0..50)
+            .map(|i| ["a", "b", "c"][i % 3].to_string())
+            .collect();
         let p = ColumnProfile::of(&Column::from_raw("c", &cat_vals));
         assert!(p.looks_categorical());
         assert!(!p.looks_like_key());

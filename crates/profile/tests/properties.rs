@@ -12,8 +12,7 @@ fn column_strategy() -> impl Strategy<Value = Column> {
         Just(String::new()),
         "[A-Z]{2}-[0-9]{4}",
     ];
-    prop::collection::vec(cell, 0..40)
-        .prop_map(|vals| Column::from_raw("col", &vals))
+    prop::collection::vec(cell, 0..40).prop_map(|vals| Column::from_raw("col", &vals))
 }
 
 proptest! {

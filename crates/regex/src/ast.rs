@@ -212,7 +212,9 @@ mod tests {
             ])
         );
         match Ast::star(Ast::Empty) {
-            Ast::Repeat { min: 0, max: None, .. } => {}
+            Ast::Repeat {
+                min: 0, max: None, ..
+            } => {}
             other => panic!("unexpected {other:?}"),
         }
         match Ast::opt(Ast::Empty) {

@@ -256,7 +256,14 @@ impl Regex {
     }
 
     /// Add `state` plus its epsilon closure to `set`.
-    fn add_state(&self, set: &mut Vec<usize>, on: &mut [bool], state: usize, at_start: bool, at_end: bool) {
+    fn add_state(
+        &self,
+        set: &mut Vec<usize>,
+        on: &mut [bool],
+        state: usize,
+        at_start: bool,
+        at_end: bool,
+    ) {
         if on[state] {
             return;
         }

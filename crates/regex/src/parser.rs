@@ -17,7 +17,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "regex parse error at {}: {}", self.position, self.message)
+        write!(
+            f,
+            "regex parse error at {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -314,29 +318,70 @@ mod tests {
         let a = parse("a|b|c").unwrap();
         assert!(matches!(a, Ast::Alt(ref v) if v.len() == 3));
         let g = parse("(ab)+").unwrap();
-        assert!(matches!(g, Ast::Repeat { min: 1, max: None, .. }));
+        assert!(matches!(
+            g,
+            Ast::Repeat {
+                min: 1,
+                max: None,
+                ..
+            }
+        ));
         assert_eq!(parse("(?:ab)").unwrap(), Ast::literal("ab"));
     }
 
     #[test]
     fn quantifiers() {
-        assert!(matches!(parse("a*").unwrap(), Ast::Repeat { min: 0, max: None, .. }));
-        assert!(matches!(parse("a{3}").unwrap(), Ast::Repeat { min: 3, max: Some(3), .. }));
-        assert!(matches!(parse("a{2,}").unwrap(), Ast::Repeat { min: 2, max: None, .. }));
-        assert!(matches!(parse("a{2,5}").unwrap(), Ast::Repeat { min: 2, max: Some(5), .. }));
+        assert!(matches!(
+            parse("a*").unwrap(),
+            Ast::Repeat {
+                min: 0,
+                max: None,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("a{3}").unwrap(),
+            Ast::Repeat {
+                min: 3,
+                max: Some(3),
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("a{2,}").unwrap(),
+            Ast::Repeat {
+                min: 2,
+                max: None,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("a{2,5}").unwrap(),
+            Ast::Repeat {
+                min: 2,
+                max: Some(5),
+                ..
+            }
+        ));
     }
 
     #[test]
     fn classes() {
         let c = parse("[a-z0-9_]").unwrap();
         match c {
-            Ast::Char(CharMatcher::Class { negated: false, items }) => {
+            Ast::Char(CharMatcher::Class {
+                negated: false,
+                items,
+            }) => {
                 assert_eq!(items.len(), 3);
             }
             other => panic!("unexpected {other:?}"),
         }
         let n = parse("[^abc]").unwrap();
-        assert!(matches!(n, Ast::Char(CharMatcher::Class { negated: true, .. })));
+        assert!(matches!(
+            n,
+            Ast::Char(CharMatcher::Class { negated: true, .. })
+        ));
         // Shorthand splicing and trailing literal dash.
         let s = parse(r"[\d-]").unwrap();
         match s {
@@ -370,8 +415,8 @@ mod tests {
     #[test]
     fn error_cases() {
         for bad in [
-            "(", ")", "a)", "(a", "[", "[]", "[z-a]", "a{2,1}", "*a", "a{99999}", r"\",
-            r"\q", "a**", // second * quantifies a Repeat? no: dangling
+            "(", ")", "a)", "(a", "[", "[]", "[z-a]", "a{2,1}", "*a", "a{99999}", r"\", r"\q",
+            "a**", // second * quantifies a Repeat? no: dangling
             "^*",
         ] {
             assert!(parse(bad).is_err(), "pattern {bad:?} should fail");

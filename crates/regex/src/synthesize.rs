@@ -210,11 +210,7 @@ impl Default for SynthesisConfig {
 /// regex is guaranteed to fully match every example.
 #[must_use]
 pub fn synthesize(examples: &[&str], config: &SynthesisConfig) -> Option<SynthesizedRegex> {
-    let examples: Vec<&str> = examples
-        .iter()
-        .filter(|s| !s.is_empty())
-        .copied()
-        .collect();
+    let examples: Vec<&str> = examples.iter().filter(|s| !s.is_empty()).copied().collect();
     if examples.is_empty() {
         return None;
     }
@@ -243,7 +239,10 @@ pub fn synthesize(examples: &[&str], config: &SynthesisConfig) -> Option<Synthes
         patterns.push(pattern);
     }
     let (ast, pattern) = if branches.len() == 1 {
-        (branches.pop().expect("one branch"), patterns.pop().expect("one"))
+        (
+            branches.pop().expect("one branch"),
+            patterns.pop().expect("one"),
+        )
     } else {
         (Ast::Alt(branches), patterns.join("|"))
     };

@@ -32,7 +32,10 @@ impl std::fmt::Display for CsvError {
                 write!(f, "unterminated quoted field starting on line {line}")
             }
             CsvError::TrailingAfterQuote { line } => {
-                write!(f, "unexpected characters after closing quote on line {line}")
+                write!(
+                    f,
+                    "unexpected characters after closing quote on line {line}"
+                )
             }
             CsvError::Table(e) => write!(f, "invalid table: {e}"),
             CsvError::Empty => write!(f, "empty input: no header row"),

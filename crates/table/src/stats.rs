@@ -42,8 +42,16 @@ impl NumericSummary {
         let mut sorted = values.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let (skewness, kurtosis) = if std > 1e-12 {
-            let m3 = values.iter().map(|v| ((v - mean) / std).powi(3)).sum::<f64>() / count as f64;
-            let m4 = values.iter().map(|v| ((v - mean) / std).powi(4)).sum::<f64>() / count as f64;
+            let m3 = values
+                .iter()
+                .map(|v| ((v - mean) / std).powi(3))
+                .sum::<f64>()
+                / count as f64;
+            let m4 = values
+                .iter()
+                .map(|v| ((v - mean) / std).powi(4))
+                .sum::<f64>()
+                / count as f64;
             (m3, m4 - 3.0)
         } else {
             (0.0, 0.0)

@@ -15,10 +15,9 @@ pub enum TableError {
 impl std::fmt::Display for TableError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TableError::RaggedColumns(name, expected, found) => write!(
-                f,
-                "column {name:?} has {found} rows, expected {expected}"
-            ),
+            TableError::RaggedColumns(name, expected, found) => {
+                write!(f, "column {name:?} has {found} rows, expected {expected}")
+            }
             TableError::DuplicateHeader(name) => {
                 write!(f, "duplicate column header {name:?}")
             }
@@ -43,11 +42,7 @@ impl Table {
             let expected = first.len();
             for c in &columns {
                 if c.len() != expected {
-                    return Err(TableError::RaggedColumns(
-                        c.name.clone(),
-                        expected,
-                        c.len(),
-                    ));
+                    return Err(TableError::RaggedColumns(c.name.clone(), expected, c.len()));
                 }
             }
         }
@@ -244,10 +239,7 @@ mod tests {
     fn duplicate_headers_rejected() {
         let err = Table::new(
             "t",
-            vec![
-                Column::from_raw("a", &["1"]),
-                Column::from_raw("a", &["2"]),
-            ],
+            vec![Column::from_raw("a", &["1"]), Column::from_raw("a", &["2"])],
         )
         .unwrap_err();
         assert_eq!(err, TableError::DuplicateHeader("a".into()));
@@ -276,7 +268,10 @@ mod tests {
         assert_eq!(b.n_rows(), 2);
         let t = b.build().unwrap();
         assert_eq!(t.n_rows(), 2);
-        assert_eq!(t.column(0).unwrap().values, vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(
+            t.column(0).unwrap().values,
+            vec![Value::Int(1), Value::Int(2)]
+        );
         assert_eq!(
             t.column(1).unwrap().values,
             vec![Value::Null, Value::Text("x".into())]

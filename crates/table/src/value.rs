@@ -239,7 +239,9 @@ impl Value {
     #[must_use]
     pub fn infer(raw: &str) -> Value {
         let t = raw.trim();
-        if t.is_empty() || t.eq_ignore_ascii_case("null") || t.eq_ignore_ascii_case("na")
+        if t.is_empty()
+            || t.eq_ignore_ascii_case("null")
+            || t.eq_ignore_ascii_case("na")
             || t.eq_ignore_ascii_case("n/a")
             || t.eq_ignore_ascii_case("none")
         {

@@ -139,7 +139,11 @@ pub fn detect_case(header: &str) -> CaseStyle {
         return CaseStyle::Mixed;
     }
     if has_hyphen {
-        return if all_lower { CaseStyle::Kebab } else { CaseStyle::Mixed };
+        return if all_lower {
+            CaseStyle::Kebab
+        } else {
+            CaseStyle::Mixed
+        };
     }
     if has_space {
         let title = h.split_whitespace().all(|w| {
@@ -147,7 +151,11 @@ pub fn detect_case(header: &str) -> CaseStyle {
                 .next()
                 .is_some_and(|c| c.is_uppercase() || !c.is_alphabetic())
         });
-        return if title { CaseStyle::Title } else { CaseStyle::Mixed };
+        return if title {
+            CaseStyle::Title
+        } else {
+            CaseStyle::Mixed
+        };
     }
     if all_lower {
         return CaseStyle::Lower;
@@ -248,7 +256,11 @@ mod tests {
             CaseStyle::Title,
         ] {
             let rendered = apply_case(&tokens, style);
-            assert_eq!(detect_case(&rendered), style, "style {style:?} → {rendered}");
+            assert_eq!(
+                detect_case(&rendered),
+                style,
+                "style {style:?} → {rendered}"
+            );
             assert_eq!(
                 crate::tokenize::header_tokens(&rendered),
                 vec!["order", "id"],

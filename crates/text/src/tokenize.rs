@@ -95,7 +95,10 @@ mod tests {
     fn camel_and_pascal() {
         assert_eq!(header_tokens("orderId"), vec!["order", "id"]);
         assert_eq!(header_tokens("OrderDate"), vec!["order", "date"]);
-        assert_eq!(header_tokens("HTTPServerPort"), vec!["http", "server", "port"]);
+        assert_eq!(
+            header_tokens("HTTPServerPort"),
+            vec!["http", "server", "port"]
+        );
     }
 
     #[test]

@@ -33,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::fs::write(&path, write_table(&at.table, ','))?;
         paths.push(path);
     }
-    println!("data lake: {} CSV files in {}\n", paths.len(), dir.display());
+    println!(
+        "data lake: {} CSV files in {}\n",
+        paths.len(),
+        dir.display()
+    );
 
     // Ingest + annotate each file into catalog entries.
     println!("{:-<72}", "");
@@ -42,7 +46,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("table");
         let table = parse_table(stem, &raw, ',')?;
         let ann = typer.annotate(&table);
-        println!("{} ({} rows × {} cols)", stem, table.n_rows(), table.n_cols());
+        println!(
+            "{} ({} rows × {} cols)",
+            stem,
+            table.n_rows(),
+            table.n_cols()
+        );
         for col in &ann.columns {
             let header = table.headers()[col.col_idx];
             let label = if col.abstained() {
@@ -73,7 +82,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    println!("\ncatalog rollup ({} distinct semantic types):", type_counts.len());
+    println!(
+        "\ncatalog rollup ({} distinct semantic types):",
+        type_counts.len()
+    );
     for (ty, n) in &type_counts {
         println!("  {n:>2} × {ty}");
     }

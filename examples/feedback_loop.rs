@@ -44,7 +44,11 @@ fn main() {
                 .map(move |(ci, _)| (ti, ci))
         })
         .collect();
-    println!("customer history: {} tables, {} contact columns", history.tables.len(), targets.len());
+    println!(
+        "customer history: {} tables, {} contact columns",
+        history.tables.len(),
+        targets.len()
+    );
 
     let show = |typer: &SigmaTyper, label: &str| {
         let mut right = 0;

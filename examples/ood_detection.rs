@@ -32,7 +32,10 @@ fn main() {
         "known",
         vec![
             Column::from_raw("city", &["Amsterdam", "Paris", "Tokyo", "Berlin", "Oslo"]),
-            Column::from_raw("email", &["a@x.com", "b@y.org", "c@z.net", "d@w.io", "e@v.co"]),
+            Column::from_raw(
+                "email",
+                &["a@x.com", "b@y.org", "c@z.net", "d@w.io", "e@v.co"],
+            ),
         ],
     )
     .expect("valid table");
@@ -51,8 +54,8 @@ fn main() {
     for &kind in ALL_OOD_KINDS {
         let values = generate_ood_column(&mut rng, kind, 40);
         let preview: Vec<String> = values.iter().take(2).map(|v| v.render()).collect();
-        let table = Table::new("ood", vec![Column::new(kind.header(), values)])
-            .expect("valid table");
+        let table =
+            Table::new("ood", vec![Column::new(kind.header(), values)]).expect("valid table");
         let ann = typer.annotate(&table);
         let col = &ann.columns[0];
         let verdict = if col.abstained() {

@@ -60,7 +60,13 @@ fn main() {
             .top_k
             .iter()
             .skip(1)
-            .map(|c| format!("{} {:.0}%", typer.ontology().name(c.ty), c.confidence * 100.0))
+            .map(|c| {
+                format!(
+                    "{} {:.0}%",
+                    typer.ontology().name(c.ty),
+                    c.confidence * 100.0
+                )
+            })
             .collect();
         if !alternatives.is_empty() {
             println!("             alternatives: {}", alternatives.join(", "));

@@ -84,5 +84,7 @@ fn main() {
         "    abstained on {ood_abstained}/{ood_total} OOD columns ({:.0}%)",
         100.0 * ood_abstained as f64 / ood_total.max(1) as f64
     );
-    println!("\nE1/E2/E3 in the bench harness quantify each panel in full (cargo run --bin reproduce).");
+    println!(
+        "\nE1/E2/E3 in the bench harness quantify each panel in full (cargo run --bin reproduce)."
+    );
 }

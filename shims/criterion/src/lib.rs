@@ -1,0 +1,237 @@
+//! Workspace-local, offline stand-in for the [`criterion`] benchmark
+//! harness.
+//!
+//! The build environment has no crates.io access, so this shim
+//! provides the API slice the workspace's benches use: [`Criterion`]
+//! with `bench_function` / `benchmark_group`, [`BenchmarkGroup`] with
+//! `sample_size` / `bench_function` / `bench_with_input` / `finish`,
+//! [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple: each benchmark is warmed up,
+//! then timed over enough iterations to fill a short measurement
+//! window; median-of-batches nanoseconds per iteration are printed to
+//! stdout. No plots, no statistics files — just honest wall-clock
+//! numbers suitable for before/after comparisons.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] (real criterion offers its
+/// own; some benches import it from here).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    warmup: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: Duration::from_millis(80),
+            measurement: Duration::from_millis(320),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.warmup, self.measurement);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            sample_scale: 1.0,
+        }
+    }
+}
+
+/// A named benchmark group (shim for criterion's `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_scale: f64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Adjust the sample budget (relative to criterion's default 100).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_scale = (n as f64 / 100.0).clamp(0.05, 4.0);
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(
+            self.criterion.warmup.mul_f64(self.sample_scale),
+            self.criterion.measurement.mul_f64(self.sample_scale),
+        );
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.label));
+        self
+    }
+
+    /// Run one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identifier combining a function name and a parameter value.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    warmup: Duration,
+    measurement: Duration,
+    ns_per_iter: Option<f64>,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(warmup: Duration, measurement: Duration) -> Self {
+        Bencher {
+            warmup,
+            measurement,
+            ns_per_iter: None,
+            iters: 0,
+        }
+    }
+
+    /// Measure `f`, retaining nanoseconds per iteration.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warmup while estimating per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            std_black_box(f());
+            warm_iters += 1;
+        }
+        let est = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+
+        // Time batches until the measurement window is spent; keep the
+        // median batch to damp scheduler noise.
+        let batch = ((self.measurement.as_nanos() as f64 / 8.0 / est.max(1.0)) as u64).max(1);
+        let mut samples = Vec::new();
+        let meas_start = Instant::now();
+        let mut total_iters = 0u64;
+        while meas_start.elapsed() < self.measurement || samples.is_empty() {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+            total_iters += batch;
+            if samples.len() >= 64 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        self.ns_per_iter = Some(samples[samples.len() / 2]);
+        self.iters = total_iters;
+    }
+
+    fn report(&self, name: &str) {
+        match self.ns_per_iter {
+            Some(ns) => {
+                let (value, unit) = if ns >= 1e9 {
+                    (ns / 1e9, "s")
+                } else if ns >= 1e6 {
+                    (ns / 1e6, "ms")
+                } else if ns >= 1e3 {
+                    (ns / 1e3, "µs")
+                } else {
+                    (ns, "ns")
+                };
+                println!(
+                    "{name:<48} time: {value:>10.3} {unit}/iter ({} iters)",
+                    self.iters
+                );
+            }
+            None => println!("{name:<48} (no measurement taken)"),
+        }
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench`; any other explicit filter
+            // argument is unsupported and ignored.
+            $($group();)+
+        }
+    };
+}

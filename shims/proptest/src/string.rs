@@ -1,0 +1,223 @@
+//! Random strings from a small regex subset.
+//!
+//! Supports exactly the pattern language the workspace's tests use:
+//! literal characters, escapes (`\.`, `\*`, …), character classes with
+//! ranges (`[a-zA-Z_]`, `[!-~]`), the Unicode "not control" category
+//! shorthand `\PC` (approximated by a printable alphabet), and the
+//! quantifiers `{n}`, `{m,n}`, `?`, `*`, `+`.
+
+use crate::test_runner::TestRng;
+
+/// One parsed atom: a set of candidate characters plus repetition bounds.
+#[derive(Debug, Clone)]
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// A parsed pattern: a concatenation of [`Atom`]s.
+#[derive(Debug, Clone)]
+pub struct StringPattern {
+    atoms: Vec<Atom>,
+}
+
+/// Alphabet used for `\PC` (any non-control character): printable
+/// ASCII plus a few multi-byte code points to exercise UTF-8 paths.
+fn printable_alphabet() -> Vec<char> {
+    let mut set: Vec<char> = (0x20u8..=0x7E).map(char::from).collect();
+    set.extend(['à', 'é', 'ß', 'Ω', '→', '中']);
+    set
+}
+
+impl StringPattern {
+    /// Parse `pattern`, panicking on constructs outside the subset —
+    /// a panic here means the shim needs to grow, not that the test
+    /// is wrong.
+    #[must_use]
+    pub fn parse(pattern: &str) -> Self {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let set = match chars[i] {
+                '[' => {
+                    let (set, next) = parse_class(&chars, i + 1, pattern);
+                    i = next;
+                    set
+                }
+                '\\' => {
+                    let (set, next) = parse_escape(&chars, i + 1, pattern);
+                    i = next;
+                    set
+                }
+                '.' => {
+                    i += 1;
+                    printable_alphabet()
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (min, max, next) = parse_quantifier(&chars, i, pattern);
+            i = next;
+            atoms.push(Atom {
+                chars: set,
+                min,
+                max,
+            });
+        }
+        StringPattern { atoms }
+    }
+
+    /// Draw one string matching the pattern.
+    #[must_use]
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let n = rng.usize_in(atom.min, atom.max + 1);
+            for _ in 0..n {
+                let idx = rng.usize_in(0, atom.chars.len());
+                out.push(atom.chars[idx]);
+            }
+        }
+        out
+    }
+}
+
+fn parse_escape(chars: &[char], start: usize, pattern: &str) -> (Vec<char>, usize) {
+    assert!(
+        start < chars.len(),
+        "dangling escape in pattern {pattern:?}"
+    );
+    match chars[start] {
+        // `\PC`: complement of the Unicode "control" category.
+        'P' => {
+            assert!(
+                chars.get(start + 1) == Some(&'C'),
+                "unsupported Unicode category in pattern {pattern:?}"
+            );
+            (printable_alphabet(), start + 2)
+        }
+        c => (vec![c], start + 1),
+    }
+}
+
+fn parse_class(chars: &[char], start: usize, pattern: &str) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    let mut i = start;
+    while i < chars.len() && chars[i] != ']' {
+        if chars[i] == '\\' {
+            let (mut esc, next) = parse_escape(chars, i + 1, pattern);
+            set.append(&mut esc);
+            i = next;
+        } else if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+            set.extend((lo..=hi).filter(|c| !c.is_control()));
+            i += 3;
+        } else {
+            set.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(i < chars.len(), "unterminated class in pattern {pattern:?}");
+    assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+    (set, i + 1)
+}
+
+fn parse_quantifier(chars: &[char], start: usize, pattern: &str) -> (usize, usize, usize) {
+    match chars.get(start) {
+        Some('?') => (0, 1, start + 1),
+        Some('*') => (0, 4, start + 1),
+        Some('+') => (1, 4, start + 1),
+        Some('{') => {
+            let close = chars[start..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| start + p)
+                .unwrap_or_else(|| panic!("unterminated quantifier in pattern {pattern:?}"));
+            let body: String = chars[start + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse().expect("quantifier lower bound"),
+                    hi.parse().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n = body.parse().expect("quantifier count");
+                    (n, n)
+                }
+            };
+            assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+            (min, max, close + 1)
+        }
+        _ => (1, 1, start),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_name("string::tests")
+    }
+
+    #[test]
+    fn fixed_and_ranged_quantifiers() {
+        let p = StringPattern::parse("[A-Z]{2}-[0-9]{4}");
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = p.generate(&mut r);
+            assert_eq!(s.len(), 7);
+            assert!(s[0..2].chars().all(|c| c.is_ascii_uppercase()));
+            assert_eq!(&s[2..3], "-");
+            assert!(s[3..].chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn optional_and_escape() {
+        let p = StringPattern::parse("-?[0-9]{1,4}\\.[0-9]{1,3}");
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = p.generate(&mut r);
+            assert!(s.contains('.'));
+            let unsigned = s.strip_prefix('-').unwrap_or(&s);
+            assert!(unsigned.chars().all(|c| c.is_ascii_digit() || c == '.'));
+        }
+    }
+
+    #[test]
+    fn printable_category_has_no_controls() {
+        let p = StringPattern::parse("\\PC{0,12}");
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = p.generate(&mut r);
+            assert!(s.chars().count() <= 12);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn class_with_escapes() {
+        let p = StringPattern::parse(r"[abc\.\*\+\?\|\(\)]{0,10}");
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = p.generate(&mut r);
+            assert!(s.chars().all(|c| "abc.*+?|()".contains(c)));
+        }
+    }
+
+    #[test]
+    fn punctuation_range_class() {
+        let p = StringPattern::parse("[!-~]{1,10}");
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = p.generate(&mut r);
+            assert!(!s.is_empty() && s.len() <= 10);
+            assert!(s.chars().all(|c| ('!'..='~').contains(&c)));
+        }
+    }
+}

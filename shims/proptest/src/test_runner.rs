@@ -1,0 +1,61 @@
+//! Test configuration and the deterministic RNG driving generation.
+
+use rand::prelude::*;
+
+/// Per-test configuration (shim for `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` iterations per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic generation RNG, seeded from the test's full name so
+/// every test draws an independent, reproducible stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seed from a test name (FNV-1a over the bytes).
+    #[must_use]
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    #[must_use]
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        if lo >= hi {
+            lo
+        } else {
+            self.inner.random_range(lo..hi)
+        }
+    }
+
+    /// Access the underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}

@@ -18,7 +18,13 @@ fn generated_tables_roundtrip_through_csv() {
         // Cell-level equality: rendered forms match (value inference may
         // widen types but rendering is canonical).
         for r in 0..at.table.n_rows() {
-            let orig: Vec<String> = at.table.row(r).unwrap().iter().map(|v| v.render()).collect();
+            let orig: Vec<String> = at
+                .table
+                .row(r)
+                .unwrap()
+                .iter()
+                .map(|v| v.render())
+                .collect();
             let re: Vec<String> = back.row(r).unwrap().iter().map(|v| v.render()).collect();
             assert_eq!(orig, re, "row {r} of {}", at.table.name);
         }

@@ -35,7 +35,11 @@ fn train_annotate_is_deterministic() {
     for at in &corpus.tables {
         let a = t1.annotate(&at.table);
         let b = t2.annotate(&at.table);
-        assert_eq!(a.predictions(), b.predictions(), "annotation must be deterministic");
+        assert_eq!(
+            a.predictions(),
+            b.predictions(),
+            "annotation must be deterministic"
+        );
     }
 }
 
@@ -62,7 +66,10 @@ fn held_out_accuracy_and_confidence_bounds() {
         }
     }
     let acc = correct as f64 / n as f64;
-    assert!(acc > 0.55, "held-out accuracy too low: {acc:.3} ({correct}/{n})");
+    assert!(
+        acc > 0.55,
+        "held-out accuracy too low: {acc:.3} ({correct}/{n})"
+    );
 }
 
 #[test]
@@ -111,8 +118,14 @@ fn custom_type_learned_end_to_end() {
     let gene = typer.register_custom_type("gene id", ValueKind::Identifier, &["ensembl"]);
     assert!(typer.ontology().lookup_exact("gene id").is_some());
     let mk = |seed: u64| {
-        let vals: Vec<String> = (0..25).map(|i| format!("ENSG{:08}", seed * 31 + i)).collect();
-        Table::new(format!("genes_{seed}"), vec![Column::from_raw("gid", &vals)]).unwrap()
+        let vals: Vec<String> = (0..25)
+            .map(|i| format!("ENSG{:08}", seed * 31 + i))
+            .collect();
+        Table::new(
+            format!("genes_{seed}"),
+            vec![Column::from_raw("gid", &vals)],
+        )
+        .unwrap()
     };
     for s in 1..=3 {
         typer.feedback(&mk(s), 0, gene, None);
@@ -129,7 +142,9 @@ fn customers_are_isolated() {
     let vanilla = customer();
     let o = builtin_ontology();
     let phone = builtin_id(&o, "phone number");
-    let vals: Vec<String> = (0..30).map(|i| format!("{}", 40_000_000 + i * 113)).collect();
+    let vals: Vec<String> = (0..30)
+        .map(|i| format!("{}", 40_000_000 + i * 113))
+        .collect();
     let table = Table::new("t", vec![Column::from_raw("contact", &vals)]).unwrap();
     let before_vanilla = vanilla.annotate(&table).columns[0].predicted;
     for _ in 0..3 {

@@ -120,15 +120,15 @@ fn empty_and_degenerate_tables() {
     let empty = Table::new("e", vec![]).unwrap();
     assert!(typer.annotate(&empty).columns.is_empty());
     // Zero rows.
-    let no_rows = Table::new("n", vec![Column::new("a", vec![]), Column::new("b", vec![])]).unwrap();
+    let no_rows = Table::new(
+        "n",
+        vec![Column::new("a", vec![]), Column::new("b", vec![])],
+    )
+    .unwrap();
     let ann = typer.annotate(&no_rows);
     assert_eq!(ann.columns.len(), 2);
     // All-null column.
-    let nulls = Table::new(
-        "nulls",
-        vec![Column::from_raw("x", &["", "", ""])],
-    )
-    .unwrap();
+    let nulls = Table::new("nulls", vec![Column::from_raw("x", &["", "", ""])]).unwrap();
     let ann = typer.annotate(&nulls);
     assert_eq!(ann.columns.len(), 1);
 }
