@@ -3,7 +3,7 @@
 //! annotation throughput.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sigmatyper::annotate_batch_with;
+use sigmatyper::AnnotationService;
 use std::hint::black_box;
 use tu_bench::BenchFixture;
 use tu_table::Table;
@@ -66,24 +66,22 @@ fn bench_annotate(c: &mut Criterion) {
 /// must scale — the acceptance bar is ≥ 2x throughput at 4 threads.
 fn bench_batch_service(c: &mut Criterion) {
     let f = BenchFixture::new();
-    let typer = f.customer();
+    let service = AnnotationService::for_customer(f.customer());
     let mut tables: Vec<Table> = Vec::new();
     for _ in 0..8 {
         tables.extend(f.corpus.tables.iter().map(|at| at.table.clone()));
     }
     let mut group = c.benchmark_group("pipeline/batch_annotate");
     group.sample_size(10);
+    let sequential = service.clone().with_threads(1);
     group.bench_function("sequential", |b| {
-        b.iter(|| annotate_batch_with(black_box(&typer), black_box(&tables), 1))
+        b.iter(|| black_box(&sequential).annotate_batch(black_box(&tables)))
     });
     for threads in [2usize, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("sharded", threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| annotate_batch_with(black_box(&typer), black_box(&tables), threads))
-            },
-        );
+        let sharded = service.clone().with_threads(threads);
+        group.bench_with_input(BenchmarkId::new("sharded", threads), &threads, |b, _| {
+            b.iter(|| black_box(&sharded).annotate_batch(black_box(&tables)))
+        });
     }
     group.finish();
 }

@@ -6,7 +6,7 @@
 //! that the precision of the system is high." (§4.3)
 
 use crate::config::SigmaTyperConfig;
-use crate::prediction::{Candidate, Step, StepScores};
+use crate::prediction::{Candidate, StepId, StepScores};
 use std::collections::HashMap;
 use tu_ontology::TypeId;
 
@@ -14,25 +14,38 @@ use tu_ontology::TypeId;
 /// opinion in the vote (see [`soft_majority_vote`]).
 pub const OPINION_FLOOR: f64 = 0.6;
 
-/// Weight of a step in the vote.
+/// Weight of a step in the vote (the config default — a [`Cascade`] may
+/// override it per step; see [`soft_majority_vote_with`]).
+///
+/// [`Cascade`]: crate::cascade::Cascade
 #[must_use]
-pub fn step_weight(step: Step, config: &SigmaTyperConfig) -> f64 {
-    match step {
-        Step::Header => config.weight_header,
-        Step::Lookup => config.weight_lookup,
-        Step::Embedding => config.weight_embedding,
-    }
+pub fn step_weight(step: StepId, config: &SigmaTyperConfig) -> f64 {
+    config.step_weight(step)
 }
 
-/// Soft majority vote over the steps that ran for one column.
+/// Soft majority vote over the steps that ran for one column, using the
+/// config-default step weights.
 ///
 /// Returns ranked candidates (top-k per config). The vote is a weighted
 /// average of per-step confidences, so steps that agree reinforce each
 /// other and a step that did not run neither helps nor hurts.
 #[must_use]
 pub fn soft_majority_vote(
-    executed: &[(Step, &StepScores)],
+    executed: &[(StepId, &StepScores)],
     config: &SigmaTyperConfig,
+) -> Vec<Candidate> {
+    soft_majority_vote_with(executed, config, &|step| config.step_weight(step))
+}
+
+/// [`soft_majority_vote`] with an arbitrary per-step weight function —
+/// how a [`Cascade`](crate::cascade::Cascade) applies its per-step
+/// weight overrides, and how custom registered steps get weighted at
+/// all.
+#[must_use]
+pub fn soft_majority_vote_with(
+    executed: &[(StepId, &StepScores)],
+    config: &SigmaTyperConfig,
+    weight_of: &dyn Fn(StepId) -> f64,
 ) -> Vec<Candidate> {
     if executed.is_empty() {
         return Vec::new();
@@ -54,7 +67,7 @@ pub fn soft_majority_vote(
     let total_weight: f64 = executed
         .iter()
         .filter(|(_, s)| participates(s))
-        .map(|(s, _)| step_weight(*s, config))
+        .map(|(s, _)| weight_of(*s))
         .sum();
     if total_weight <= 0.0 {
         return Vec::new();
@@ -64,7 +77,7 @@ pub fn soft_majority_vote(
         if !participates(s) {
             continue;
         }
-        let w = step_weight(*step, config);
+        let w = weight_of(*step);
         for c in &s.candidates {
             *scores.entry(c.ty).or_insert(0.0) += w * c.confidence;
         }
@@ -101,6 +114,7 @@ pub fn apply_tau(top: &[Candidate], tau: f64) -> (TypeId, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::prediction::Step;
 
     fn scores(cands: &[(u16, f64)]) -> StepScores {
         StepScores::from_candidates(
@@ -186,5 +200,42 @@ mod tests {
     fn empty_steps_vote_nothing() {
         let cfg = SigmaTyperConfig::default();
         assert!(soft_majority_vote(&[], &cfg).is_empty());
+    }
+
+    #[test]
+    fn default_vote_equals_explicit_config_weights() {
+        let cfg = SigmaTyperConfig::default();
+        let h = scores(&[(1, 0.8), (3, 0.2)]);
+        let e = scores(&[(2, 0.9)]);
+        let executed = [(Step::Header, &h), (Step::Embedding, &e)];
+        let plain = soft_majority_vote(&executed, &cfg);
+        let explicit = soft_majority_vote_with(&executed, &cfg, &|s| cfg.step_weight(s));
+        assert_eq!(plain.len(), explicit.len());
+        for (a, b) in plain.iter().zip(&explicit) {
+            assert_eq!(a.ty, b.ty);
+            assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
+        }
+    }
+
+    #[test]
+    fn custom_steps_vote_through_the_weight_function() {
+        let cfg = SigmaTyperConfig::default();
+        let custom = StepId::custom(0);
+        let h = scores(&[(1, 0.9)]);
+        let c = scores(&[(2, 0.9)]);
+        let executed = [(Step::Header, &h), (custom, &c)];
+        // Default weight for a custom step is 1.0 → header (1.0) ties,
+        // type order breaks the tie.
+        let out = soft_majority_vote(&executed, &cfg);
+        assert_eq!(out[0].ty, TypeId(1));
+        // An override can make the custom step dominate.
+        let out = soft_majority_vote_with(&executed, &cfg, &|s| {
+            if s == custom {
+                4.0
+            } else {
+                cfg.step_weight(s)
+            }
+        });
+        assert_eq!(out[0].ty, TypeId(2), "heavier custom step must win");
     }
 }

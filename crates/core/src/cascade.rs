@@ -1,0 +1,311 @@
+//! The [`Cascade`]: an ordered, pluggable pipeline of
+//! [`AnnotationStep`]s with the paper's confidence-threshold early-exit
+//! logic and per-step vote-weight overrides.
+//!
+//! "Each step in the pipeline is executed only if a preset confidence
+//! threshold c is not met by the prior step. The steps are executed in
+//! order of inference time." (§4.3) — the order is whatever the builder
+//! configured, and the steps can be any mix of built-ins and
+//! user-registered implementations.
+
+use crate::config::SigmaTyperConfig;
+use crate::global::GlobalModel;
+use crate::local::LocalModel;
+use crate::prediction::{StepId, StepScores, StepTiming};
+use crate::step::{AnnotationStep, EmbeddingStep, HeaderStep, LookupStep, StepContext};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+use tu_ontology::TypeId;
+use tu_table::Table;
+
+/// An ordered list of annotation steps plus per-step weight overrides.
+///
+/// Steps are held behind `Arc` so a customer's [`SigmaTyper`] stays
+/// cheaply cloneable (the batch service clones it per configuration,
+/// and step implementations are stateless or read-only at inference
+/// time).
+///
+/// [`SigmaTyper`]: crate::system::SigmaTyper
+#[derive(Debug, Clone)]
+pub struct Cascade {
+    steps: Vec<Arc<dyn AnnotationStep>>,
+    weight_overrides: HashMap<StepId, f64>,
+}
+
+/// What the cascade produced for one table: per-column `(step, scores)`
+/// traces in execution order, plus one timing record per configured
+/// step.
+pub type CascadeTrace = (Vec<Vec<(StepId, StepScores)>>, Vec<StepTiming>);
+
+impl Default for Cascade {
+    fn default() -> Self {
+        Cascade::standard()
+    }
+}
+
+impl Cascade {
+    /// The paper's standard three-step cascade: header → lookup →
+    /// embedding.
+    #[must_use]
+    pub fn standard() -> Self {
+        let mut c = Cascade::empty();
+        c.push(HeaderStep);
+        c.push(LookupStep);
+        c.push(EmbeddingStep);
+        c
+    }
+
+    /// A cascade with no steps (annotating with it abstains on every
+    /// column); the starting point for fully custom pipelines.
+    #[must_use]
+    pub fn empty() -> Self {
+        Cascade {
+            steps: Vec::new(),
+            weight_overrides: HashMap::new(),
+        }
+    }
+
+    /// Number of configured steps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Is the cascade empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Step ids in execution order.
+    #[must_use]
+    pub fn step_ids(&self) -> Vec<StepId> {
+        self.steps.iter().map(|s| s.id()).collect()
+    }
+
+    /// Is a step with this id configured?
+    #[must_use]
+    pub fn contains(&self, id: StepId) -> bool {
+        self.steps.iter().any(|s| s.id() == id)
+    }
+
+    /// Append a step at the end of the cascade.
+    ///
+    /// # Panics
+    /// Panics when a step with the same id is already configured — two
+    /// steps must never share an id (telemetry, weights, and
+    /// `steps_run` would become ambiguous).
+    pub fn push(&mut self, step: impl AnnotationStep + 'static) {
+        self.insert(self.steps.len(), step);
+    }
+
+    /// Insert a step at `index` (0 = runs first).
+    ///
+    /// # Panics
+    /// Panics when `index > len()` or when a step with the same id is
+    /// already configured.
+    pub fn insert(&mut self, index: usize, step: impl AnnotationStep + 'static) {
+        assert!(
+            !self.contains(step.id()),
+            "cascade already has a step with id {:?}",
+            step.id()
+        );
+        self.steps.insert(index, Arc::new(step));
+    }
+
+    /// Remove the step with this id; returns whether one was removed.
+    pub fn remove(&mut self, id: StepId) -> bool {
+        let before = self.steps.len();
+        self.steps.retain(|s| s.id() != id);
+        self.weight_overrides.remove(&id);
+        self.steps.len() != before
+    }
+
+    /// Reorder the cascade: steps listed in `order` run first, in that
+    /// order; configured steps not listed keep their relative order and
+    /// run after. Ids in `order` that are not configured are ignored.
+    pub fn reorder(&mut self, order: &[StepId]) {
+        let mut reordered: Vec<Arc<dyn AnnotationStep>> = Vec::with_capacity(self.steps.len());
+        for id in order {
+            if let Some(pos) = self.steps.iter().position(|s| s.id() == *id) {
+                reordered.push(self.steps.remove(pos));
+            }
+        }
+        reordered.append(&mut self.steps);
+        self.steps = reordered;
+    }
+
+    /// Override the vote weight of one step (by default a step weighs
+    /// [`SigmaTyperConfig::step_weight`]).
+    pub fn set_weight(&mut self, id: StepId, weight: f64) {
+        self.weight_overrides.insert(id, weight);
+    }
+
+    /// Effective vote weight of a step: the override when one is set,
+    /// else the config default.
+    #[must_use]
+    pub fn weight(&self, id: StepId, config: &SigmaTyperConfig) -> f64 {
+        self.weight_overrides
+            .get(&id)
+            .copied()
+            .unwrap_or_else(|| config.step_weight(id))
+    }
+
+    /// Run every configured step over every column of `table`, honoring
+    /// each step's skip predicate (by default the cascade-threshold
+    /// early exit).
+    ///
+    /// Returns the per-column `(step, scores)` traces in execution
+    /// order plus per-step timings. Aggregation (vote, specificity
+    /// tie-break, τ) happens in [`SigmaTyper::annotate`].
+    ///
+    /// [`SigmaTyper::annotate`]: crate::system::SigmaTyper::annotate
+    #[must_use]
+    pub fn run(
+        &self,
+        table: &Table,
+        global: &GlobalModel,
+        local: &LocalModel,
+        config: &SigmaTyperConfig,
+    ) -> CascadeTrace {
+        let n = table.n_cols();
+        let normalized: Vec<String> = table
+            .headers()
+            .iter()
+            .map(|h| tu_text::normalize_header(h))
+            .collect();
+        let mut per_column: Vec<Vec<(StepId, StepScores)>> = vec![Vec::new(); n];
+        let mut timings = Vec::with_capacity(self.steps.len());
+
+        for step in &self.steps {
+            let t0 = Instant::now();
+            let mut columns_run = 0usize;
+            // Tentative neighbor types from the best candidates of the
+            // steps executed so far (recomputed once per step, so every
+            // step sees the freshest cross-column context).
+            let tentative: Vec<TypeId> = per_column
+                .iter()
+                .map(|steps| Self::best_type(steps))
+                .collect();
+            for (ci, col_steps) in per_column.iter_mut().enumerate() {
+                let ctx = StepContext {
+                    table,
+                    col_idx: ci,
+                    normalized_headers: &normalized,
+                    tentative: &tentative,
+                    best_so_far: Self::best_so_far(col_steps),
+                    global,
+                    local,
+                    config,
+                };
+                if step.skip(&ctx) {
+                    continue;
+                }
+                columns_run += 1;
+                let scores = step.run(&ctx);
+                col_steps.push((step.id(), scores));
+            }
+            timings.push(StepTiming {
+                step: step.id(),
+                name: step.name().to_owned(),
+                nanos: t0.elapsed().as_nanos(),
+                columns: columns_run,
+            });
+        }
+        (per_column, timings)
+    }
+
+    /// Best confidence any executed step achieved for one column.
+    fn best_so_far(steps: &[(StepId, StepScores)]) -> f64 {
+        steps
+            .iter()
+            .map(|(_, s)| s.best_confidence())
+            .fold(0.0, f64::max)
+    }
+
+    /// Type of the single highest-confidence candidate across all
+    /// executed steps for one column (`UNKNOWN` when nothing scored).
+    fn best_type(steps: &[(StepId, StepScores)]) -> TypeId {
+        steps
+            .iter()
+            .filter_map(|(_, s)| s.best())
+            .max_by(|a, b| a.confidence.partial_cmp(&b.confidence).expect("finite"))
+            .map_or(TypeId::UNKNOWN, |c| c.ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::RegexOnlyStep;
+
+    #[test]
+    fn standard_cascade_order() {
+        let c = Cascade::standard();
+        assert_eq!(
+            c.step_ids(),
+            vec![StepId::HEADER, StepId::LOOKUP, StepId::EMBEDDING]
+        );
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert!(c.contains(StepId::LOOKUP));
+        assert!(!c.contains(StepId::REGEX_ONLY));
+    }
+
+    #[test]
+    fn insert_remove_reorder() {
+        let mut c = Cascade::standard();
+        c.insert(1, RegexOnlyStep);
+        assert_eq!(
+            c.step_ids(),
+            vec![
+                StepId::HEADER,
+                StepId::REGEX_ONLY,
+                StepId::LOOKUP,
+                StepId::EMBEDDING
+            ]
+        );
+        assert!(c.remove(StepId::EMBEDDING));
+        assert!(!c.remove(StepId::EMBEDDING), "second removal is a no-op");
+        c.reorder(&[StepId::LOOKUP]);
+        // Listed step moves to the front; the rest keep relative order.
+        assert_eq!(
+            c.step_ids(),
+            vec![StepId::LOOKUP, StepId::HEADER, StepId::REGEX_ONLY]
+        );
+        // Unknown ids in the order are ignored.
+        c.reorder(&[StepId::EMBEDDING, StepId::REGEX_ONLY]);
+        assert_eq!(
+            c.step_ids(),
+            vec![StepId::REGEX_ONLY, StepId::LOOKUP, StepId::HEADER]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a step")]
+    fn duplicate_step_ids_rejected() {
+        let mut c = Cascade::standard();
+        c.push(LookupStep);
+    }
+
+    #[test]
+    fn weight_overrides_fall_back_to_config() {
+        let config = SigmaTyperConfig::default();
+        let mut c = Cascade::standard();
+        assert_eq!(
+            c.weight(StepId::EMBEDDING, &config),
+            config.weight_embedding
+        );
+        assert_eq!(c.weight(StepId::REGEX_ONLY, &config), 1.0);
+        c.set_weight(StepId::EMBEDDING, 0.25);
+        assert_eq!(c.weight(StepId::EMBEDDING, &config), 0.25);
+        // Removing a step drops its override too.
+        c.remove(StepId::EMBEDDING);
+        c.push(EmbeddingStep);
+        assert_eq!(
+            c.weight(StepId::EMBEDDING, &config),
+            config.weight_embedding
+        );
+    }
+}

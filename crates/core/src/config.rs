@@ -1,5 +1,7 @@
 //! System configuration: thresholds, step weights, and sizes.
 
+use crate::prediction::StepId;
+
 /// SigmaTyper configuration (paper §4.3).
 #[derive(Debug, Clone, Copy)]
 pub struct SigmaTyperConfig {
@@ -30,6 +32,22 @@ pub struct SigmaTyperConfig {
     pub enable_lookup: bool,
     /// Ablation: run the table-embedding step.
     pub enable_embedding: bool,
+}
+
+impl SigmaTyperConfig {
+    /// Default vote weight of a step: the three standard steps read
+    /// their configured weights; every other step (including
+    /// [`StepId::REGEX_ONLY`] and custom steps) defaults to 1.0. The
+    /// cascade builder can override any step's weight per instance.
+    #[must_use]
+    pub fn step_weight(&self, step: StepId) -> f64 {
+        match step {
+            StepId::HEADER => self.weight_header,
+            StepId::LOOKUP => self.weight_lookup,
+            StepId::EMBEDDING => self.weight_embedding,
+            _ => 1.0,
+        }
+    }
 }
 
 impl Default for SigmaTyperConfig {
@@ -113,5 +131,20 @@ mod tests {
         let t = TrainingConfig::default();
         assert!(t.calibration_fraction > 0.0 && t.calibration_fraction < 1.0);
         assert!(TrainingConfig::fast().epochs < t.epochs);
+    }
+
+    #[test]
+    fn step_weights_resolve_per_step() {
+        let c = SigmaTyperConfig {
+            weight_header: 0.5,
+            weight_lookup: 2.0,
+            weight_embedding: 3.0,
+            ..SigmaTyperConfig::default()
+        };
+        assert_eq!(c.step_weight(StepId::HEADER), 0.5);
+        assert_eq!(c.step_weight(StepId::LOOKUP), 2.0);
+        assert_eq!(c.step_weight(StepId::EMBEDDING), 3.0);
+        assert_eq!(c.step_weight(StepId::REGEX_ONLY), 1.0);
+        assert_eq!(c.step_weight(StepId::custom(0)), 1.0);
     }
 }

@@ -5,7 +5,7 @@
 //! *table context* (the mean embedding of the neighboring headers), and
 //! classified by an MLP head whose class 0 is the background `unknown`
 //! type — the out-of-distribution mechanism the paper adopts from
-//! Dhamija et al. [30]. Supports incremental finetuning for local models.
+//! Dhamija et al. \[30\]. Supports incremental finetuning for local models.
 
 use crate::config::TrainingConfig;
 use crate::prediction::{Candidate, StepScores};

@@ -13,9 +13,11 @@
 //!   relabels and implicit approvals become labeling functions, mined
 //!   weak labels, and local finetuning, with per-type weights `Wl`
 //!   growing over time;
-//! * a 3-step **cascade** ordered by inference cost, gated by the
-//!   confidence threshold `c`, aggregated by a soft majority vote, and
-//!   thresholded by τ for high-precision abstention.
+//! * a pluggable **cascade** of [`AnnotationStep`]s ordered by inference
+//!   cost, gated by the confidence threshold `c`, aggregated by a soft
+//!   majority vote, and thresholded by τ for high-precision abstention.
+//!   The default cascade is the paper's three steps; deployments add,
+//!   remove, reorder, and reweight steps through [`SigmaTyper::builder`].
 //!
 //! ```
 //! use sigmatyper::{train_global, SigmaTyper, SigmaTyperConfig, TrainingConfig};
@@ -33,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod cascade;
 pub mod config;
 pub mod embedstep;
 pub mod global;
@@ -42,15 +45,22 @@ pub mod lookupstep;
 pub mod prediction;
 pub mod regexbank;
 pub mod service;
+pub mod step;
 pub mod system;
 
+pub use cascade::Cascade;
 pub use config::{SigmaTyperConfig, TrainingConfig};
 pub use embedstep::{train_embedding_model, TableEmbeddingModel};
 pub use global::{train_global, GlobalModel};
 pub use headerstep::HeaderMatcher;
 pub use local::LocalModel;
 pub use lookupstep::ValueLookup;
-pub use prediction::{Candidate, ColumnAnnotation, Step, StepScores, TableAnnotation};
+pub use prediction::{
+    Candidate, ColumnAnnotation, Step, StepId, StepScores, StepTiming, TableAnnotation,
+};
 pub use regexbank::RegexBank;
-pub use service::{annotate_batch_with, AnnotationService};
-pub use system::SigmaTyper;
+#[allow(deprecated)]
+pub use service::annotate_batch_with;
+pub use service::AnnotationService;
+pub use step::{AnnotationStep, EmbeddingStep, HeaderStep, LookupStep, RegexOnlyStep, StepContext};
+pub use system::{SigmaTyper, SigmaTyperBuilder};

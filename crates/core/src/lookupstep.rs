@@ -34,6 +34,13 @@ impl ValueLookup {
         &self.kb
     }
 
+    /// The regex bank (shared with the standalone
+    /// [`RegexOnlyStep`](crate::step::RegexOnlyStep)).
+    #[must_use]
+    pub fn bank(&self) -> &RegexBank {
+        &self.bank
+    }
+
     /// Mutable regex bank (user-expandable, §4.3).
     pub fn bank_mut(&mut self) -> &mut RegexBank {
         &mut self.bank
@@ -94,37 +101,14 @@ impl ValueLookup {
                 }
             }
             // Source 3: regex bank (shape rules).
-            for rule in &self.bank.shapes {
-                let hits = sample
-                    .iter()
-                    .filter(|v| rule.regex.is_full_match(v))
-                    .count();
-                let fraction = hits as f64 / sample.len() as f64;
-                if fraction > 0.5 {
-                    cands.push(Candidate {
-                        ty: rule.ty,
-                        confidence: fraction * global_weight(rule.ty),
-                    });
-                }
-            }
+            cands.extend(self.bank.score_shapes(&sample, global_weight));
             // Source 3b: numeric ranges — ambiguous alone, so scaled down
             // to keep them from resolving the cascade unassisted.
-            let nums = column.numeric_values();
-            if !nums.is_empty() {
-                for rule in &self.bank.ranges {
-                    let hits = nums
-                        .iter()
-                        .filter(|v| **v >= rule.min && **v <= rule.max)
-                        .count();
-                    let fraction = hits as f64 / nums.len() as f64;
-                    if fraction > 0.9 {
-                        cands.push(Candidate {
-                            ty: rule.ty,
-                            confidence: fraction * config.range_lf_scale * global_weight(rule.ty),
-                        });
-                    }
-                }
-            }
+            cands.extend(self.bank.score_ranges(
+                &column.numeric_values(),
+                config.range_lf_scale,
+                global_weight,
+            ));
         }
 
         // Source 1: labeling functions (global + local). Strong LFs carry

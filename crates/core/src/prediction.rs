@@ -1,29 +1,100 @@
-//! Prediction types: per-step candidates and final annotations.
+//! Prediction types: step identities, per-step candidates and timings,
+//! and final annotations.
 
 use tu_ontology::TypeId;
 
-/// Which pipeline step produced a score (Figure 4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Step {
-    /// Step 1: header matching (syntactic + semantic).
-    Header,
-    /// Step 2: value lookup (LFs, knowledge base, regexes).
-    Lookup,
-    /// Step 3: table-embedding model.
-    Embedding,
-}
+/// Identifies a cascade step (Figure 4).
+///
+/// The seed pipeline hardcoded a closed three-variant enum; the cascade
+/// API is open, so a step is identified by a small integer id instead.
+/// Ids `0..16` are reserved for built-in steps; user-defined steps
+/// allocate ids through [`StepId::custom`]. The seed enum's variant
+/// paths (`Step::Header`, `Step::Lookup`, `Step::Embedding`) remain
+/// available as constants for source compatibility.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StepId(u16);
 
-impl Step {
-    /// All steps in execution (latency) order.
-    pub const ALL: [Step; 3] = [Step::Header, Step::Lookup, Step::Embedding];
+/// Source-compatibility alias for the seed's `Step` enum: `Step::Header`
+/// et al. keep working as both expressions and match patterns.
+pub type Step = StepId;
 
-    /// Display name.
+impl StepId {
+    /// Built-in step 1: header matching (syntactic + semantic).
+    pub const HEADER: StepId = StepId(0);
+    /// Built-in step 2: value lookup (LFs, knowledge base, regexes).
+    pub const LOOKUP: StepId = StepId(1);
+    /// Built-in step 3: table-embedding model.
+    pub const EMBEDDING: StepId = StepId(2);
+    /// Built-in step 4: standalone regex bank (shape + range rules only).
+    pub const REGEX_ONLY: StepId = StepId(3);
+
+    /// Seed-enum variant spelling of [`StepId::HEADER`].
+    #[allow(non_upper_case_globals)]
+    pub const Header: StepId = StepId::HEADER;
+    /// Seed-enum variant spelling of [`StepId::LOOKUP`].
+    #[allow(non_upper_case_globals)]
+    pub const Lookup: StepId = StepId::LOOKUP;
+    /// Seed-enum variant spelling of [`StepId::EMBEDDING`].
+    #[allow(non_upper_case_globals)]
+    pub const Embedding: StepId = StepId::EMBEDDING;
+
+    /// The three standard steps in execution (latency) order — the seed
+    /// pipeline's `Step::ALL`.
+    pub const ALL: [StepId; 3] = [StepId::HEADER, StepId::LOOKUP, StepId::EMBEDDING];
+
+    /// First id available to user-defined steps.
+    const FIRST_CUSTOM: u16 = 16;
+
+    /// The id of the `n`-th user-defined step. Custom ids never collide
+    /// with built-in ones.
+    ///
+    /// # Panics
+    /// Panics when `n > u16::MAX - 16` (the id would wrap into the
+    /// reserved built-in range).
+    #[must_use]
+    pub const fn custom(n: u16) -> StepId {
+        assert!(
+            n <= u16::MAX - StepId::FIRST_CUSTOM,
+            "custom step index overflows the id space"
+        );
+        StepId(StepId::FIRST_CUSTOM + n)
+    }
+
+    /// Is this a user-defined (non-built-in) step id?
+    #[must_use]
+    pub const fn is_custom(self) -> bool {
+        self.0 >= StepId::FIRST_CUSTOM
+    }
+
+    /// Raw id value (stable across runs; useful for telemetry keys).
+    #[must_use]
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// Display name for built-in steps; `"custom"` for user-defined ids
+    /// (a custom step's real name lives on its `AnnotationStep` impl and
+    /// in the [`StepTiming`] records).
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
-            Step::Header => "header",
-            Step::Lookup => "lookup",
-            Step::Embedding => "embedding",
+            StepId::HEADER => "header",
+            StepId::LOOKUP => "lookup",
+            StepId::EMBEDDING => "embedding",
+            StepId::REGEX_ONLY => "regex-only",
+            _ => "custom",
+        }
+    }
+}
+
+impl std::fmt::Debug for StepId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            StepId::HEADER => write!(f, "Header"),
+            StepId::LOOKUP => write!(f, "Lookup"),
+            StepId::EMBEDDING => write!(f, "Embedding"),
+            StepId::REGEX_ONLY => write!(f, "RegexOnly"),
+            StepId(raw) => write!(f, "Custom({})", raw - StepId::FIRST_CUSTOM),
         }
     }
 }
@@ -63,10 +134,11 @@ impl StepScores {
         StepScores { candidates: cands }
     }
 
-    /// Best candidate, if any.
+    /// Best candidate, if any (borrowed — the aggregation hot path calls
+    /// this per column and must not clone).
     #[must_use]
-    pub fn best(&self) -> Option<Candidate> {
-        self.candidates.first().copied()
+    pub fn best(&self) -> Option<&Candidate> {
+        self.candidates.first()
     }
 
     /// Best confidence or 0.
@@ -85,6 +157,25 @@ impl StepScores {
     }
 }
 
+/// Wall-clock telemetry for one cascade step over one table.
+///
+/// The cascade reports one record per configured step, in execution
+/// order — including steps that skipped every column (`columns == 0`),
+/// so per-step dashboards see a stable schema.
+#[derive(Debug, Clone)]
+pub struct StepTiming {
+    /// Which step this record measures.
+    pub step: StepId,
+    /// The step's display name (meaningful for custom steps, whose
+    /// [`StepId::name`] is just `"custom"`).
+    pub name: String,
+    /// Wall-clock nanoseconds the step spent on this table, including
+    /// per-column skip checks.
+    pub nanos: u128,
+    /// How many columns the step actually ran on (not skipped).
+    pub columns: usize,
+}
+
 /// Final annotation of one column.
 #[derive(Debug, Clone)]
 pub struct ColumnAnnotation {
@@ -98,7 +189,7 @@ pub struct ColumnAnnotation {
     /// Confidence of the final decision.
     pub confidence: f64,
     /// Which steps actually ran for this column.
-    pub steps_run: Vec<Step>,
+    pub steps_run: Vec<StepId>,
     /// Per-step scores (parallel to `steps_run`).
     pub step_scores: Vec<StepScores>,
 }
@@ -113,7 +204,7 @@ impl ColumnAnnotation {
     /// The step whose candidate confidence first met the cascade
     /// threshold, if any (used by the E6 cascade experiment).
     #[must_use]
-    pub fn resolving_step(&self, cascade_threshold: f64) -> Option<Step> {
+    pub fn resolving_step(&self, cascade_threshold: f64) -> Option<StepId> {
         for (step, scores) in self.steps_run.iter().zip(&self.step_scores) {
             if scores.best_confidence() >= cascade_threshold {
                 return Some(*step);
@@ -128,8 +219,9 @@ impl ColumnAnnotation {
 pub struct TableAnnotation {
     /// One annotation per column, in column order.
     pub columns: Vec<ColumnAnnotation>,
-    /// Wall-clock nanoseconds spent per step across the table.
-    pub step_nanos: [u128; 3],
+    /// Per-step wall-clock telemetry, one record per configured cascade
+    /// step in execution order (replaces the seed's `[u128; 3]`).
+    pub timings: Vec<StepTiming>,
 }
 
 impl TableAnnotation {
@@ -137,6 +229,17 @@ impl TableAnnotation {
     #[must_use]
     pub fn predictions(&self) -> Vec<TypeId> {
         self.columns.iter().map(|c| c.predicted).collect()
+    }
+
+    /// Total wall-clock nanoseconds recorded for a step (0 when the step
+    /// is not in the cascade).
+    #[must_use]
+    pub fn nanos_for(&self, step: StepId) -> u128 {
+        self.timings
+            .iter()
+            .filter(|t| t.step == step)
+            .map(|t| t.nanos)
+            .sum()
     }
 }
 
@@ -196,5 +299,62 @@ mod tests {
         assert_eq!(Step::ALL.len(), 3);
         assert_eq!(Step::Header.name(), "header");
         assert_eq!(Step::Embedding.name(), "embedding");
+        assert_eq!(StepId::REGEX_ONLY.name(), "regex-only");
+        assert_eq!(StepId::custom(2).name(), "custom");
+    }
+
+    #[test]
+    fn seed_enum_constants_alias_builtin_ids() {
+        assert_eq!(Step::Header, StepId::HEADER);
+        assert_eq!(Step::Lookup, StepId::LOOKUP);
+        assert_eq!(Step::Embedding, StepId::EMBEDDING);
+        // Constants still work as match patterns (structural equality).
+        let resolved = Some(StepId::LOOKUP);
+        let label = match resolved {
+            Some(Step::Header) => "h",
+            Some(Step::Lookup) => "l",
+            _ => "other",
+        };
+        assert_eq!(label, "l");
+    }
+
+    #[test]
+    fn custom_ids_never_collide_with_builtins() {
+        for n in 0..8 {
+            let id = StepId::custom(n);
+            assert!(id.is_custom());
+            assert!(!Step::ALL.contains(&id));
+            assert_ne!(id, StepId::REGEX_ONLY);
+        }
+        assert_eq!(StepId::custom(0), StepId::custom(0));
+        assert_ne!(StepId::custom(0), StepId::custom(1));
+        assert!(!StepId::HEADER.is_custom());
+        assert_eq!(format!("{:?}", StepId::custom(3)), "Custom(3)");
+        assert_eq!(format!("{:?}", StepId::HEADER), "Header");
+    }
+
+    #[test]
+    fn nanos_for_sums_matching_steps() {
+        let ann = TableAnnotation {
+            columns: vec![],
+            timings: vec![
+                StepTiming {
+                    step: StepId::HEADER,
+                    name: "header".into(),
+                    nanos: 10,
+                    columns: 3,
+                },
+                StepTiming {
+                    step: StepId::LOOKUP,
+                    name: "lookup".into(),
+                    nanos: 25,
+                    columns: 1,
+                },
+            ],
+        };
+        assert_eq!(ann.nanos_for(StepId::HEADER), 10);
+        assert_eq!(ann.nanos_for(StepId::LOOKUP), 25);
+        assert_eq!(ann.nanos_for(StepId::EMBEDDING), 0);
+        assert!(ann.predictions().is_empty());
     }
 }

@@ -4,6 +4,7 @@
 //! might be expanded on user input as well". Patterns are written in the
 //! `tu-regex` dialect and full-match cell values.
 
+use crate::prediction::Candidate;
 use tu_ontology::{Ontology, TypeId};
 use tu_regex::Regex;
 
@@ -109,6 +110,68 @@ impl RegexBank {
         let regex = Regex::new(pattern)?;
         self.shapes.push(ShapeRule { ty, regex });
         Ok(())
+    }
+
+    /// Score the shape rules against a rendered value sample: a rule
+    /// votes when more than half the sample full-matches, with the
+    /// matching fraction (per-type weighted) as its confidence. Shared
+    /// by the lookup step and the standalone regex-only step so the
+    /// two can never drift apart.
+    #[must_use]
+    pub fn score_shapes(
+        &self,
+        sample: &[String],
+        weight: &dyn Fn(TypeId) -> f64,
+    ) -> Vec<Candidate> {
+        let mut cands = Vec::new();
+        if sample.is_empty() {
+            return cands;
+        }
+        for rule in &self.shapes {
+            let hits = sample
+                .iter()
+                .filter(|v| rule.regex.is_full_match(v))
+                .count();
+            let fraction = hits as f64 / sample.len() as f64;
+            if fraction > 0.5 {
+                cands.push(Candidate {
+                    ty: rule.ty,
+                    confidence: fraction * weight(rule.ty),
+                });
+            }
+        }
+        cands
+    }
+
+    /// Score the numeric-range rules: a rule votes when over 90% of the
+    /// numeric values fall in its range, scaled by `scale` — ranges are
+    /// ambiguous on their own, so they must not clear the cascade
+    /// threshold unassisted.
+    #[must_use]
+    pub fn score_ranges(
+        &self,
+        nums: &[f64],
+        scale: f64,
+        weight: &dyn Fn(TypeId) -> f64,
+    ) -> Vec<Candidate> {
+        let mut cands = Vec::new();
+        if nums.is_empty() {
+            return cands;
+        }
+        for rule in &self.ranges {
+            let hits = nums
+                .iter()
+                .filter(|v| **v >= rule.min && **v <= rule.max)
+                .count();
+            let fraction = hits as f64 / nums.len() as f64;
+            if fraction > 0.9 {
+                cands.push(Candidate {
+                    ty: rule.ty,
+                    confidence: fraction * scale * weight(rule.ty),
+                });
+            }
+        }
+        cands
     }
 }
 

@@ -12,8 +12,9 @@
 //! Inference is read-only (`SigmaTyper::annotate` takes `&self`) and
 //! deterministic, so sharding changes *nothing* about the output: the
 //! annotations are identical to a sequential loop, column for column,
-//! candidate for candidate. Only the wall-clock step timings embedded
-//! in [`TableAnnotation::step_nanos`] are measurement noise.
+//! candidate for candidate — whatever cascade the customer configured.
+//! Only the wall-clock step timings embedded in
+//! [`TableAnnotation::timings`] are measurement noise.
 //!
 //! Workers are `std::thread::scope` threads — no runtime, no queue,
 //! no extra dependencies — which keeps the service synchronous: the
@@ -69,9 +70,13 @@ impl AnnotationService {
         AnnotationService { typer, threads }
     }
 
-    /// Set the worker-thread count (clamped to at least 1).
+    /// Set the worker-thread count.
+    ///
+    /// Zero workers is a configuration bug — debug builds assert on it;
+    /// release builds clamp to 1 instead of silently misbehaving.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
+        debug_assert!(threads > 0, "with_threads: worker count must be at least 1");
         self.threads = threads.max(1);
         self
     }
@@ -98,26 +103,24 @@ impl AnnotationService {
 
     /// Annotate a batch of tables, sharded across the configured
     /// number of worker threads. Results are in input order and
-    /// identical to calling [`SigmaTyper::annotate`] in a loop.
+    /// identical to calling [`SigmaTyper::annotate`] in a loop —
+    /// whatever cascade the customer instance is configured with
+    /// (standard, reordered, or carrying custom registered steps) runs
+    /// unchanged on every worker.
+    ///
+    /// Output order matches input order exactly. With one thread, or
+    /// batches smaller than the thread count, the sharding degenerates
+    /// gracefully (never spawns a worker with an empty shard; a
+    /// single-thread batch runs inline with no spawn at all).
     #[must_use]
     pub fn annotate_batch(&self, tables: &[Table]) -> Vec<TableAnnotation> {
-        annotate_batch_with(&self.typer, tables, self.threads)
+        shard_annotate(&self.typer, tables, self.threads)
     }
 }
 
-/// Shard `tables` across `threads` scoped worker threads, annotating
-/// every shard with the same (shared, read-only) customer instance.
-///
-/// Output order matches input order exactly. With `threads <= 1`, or
-/// batches smaller than the thread count, the sharding degenerates
-/// gracefully (never spawns a worker with an empty shard; a
-/// single-thread batch runs inline with no spawn at all).
-#[must_use]
-pub fn annotate_batch_with(
-    typer: &SigmaTyper,
-    tables: &[Table],
-    threads: usize,
-) -> Vec<TableAnnotation> {
+/// The shared sharding core: contiguous shards on scoped worker
+/// threads, output in input order.
+fn shard_annotate(typer: &SigmaTyper, tables: &[Table], threads: usize) -> Vec<TableAnnotation> {
     let n = tables.len();
     let threads = threads.clamp(1, n.max(1));
     if threads == 1 {
@@ -139,6 +142,22 @@ pub fn annotate_batch_with(
     out.into_iter()
         .map(|slot| slot.expect("every shard fills its slots"))
         .collect()
+}
+
+/// Shard `tables` across `threads` scoped worker threads, annotating
+/// every shard with the same (shared, read-only) customer instance.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `AnnotationService::for_customer(typer).with_threads(n).annotate_batch(tables)` \
+            — the service front-end carries the customer's configured cascade"
+)]
+#[must_use]
+pub fn annotate_batch_with(
+    typer: &SigmaTyper,
+    tables: &[Table],
+    threads: usize,
+) -> Vec<TableAnnotation> {
+    shard_annotate(typer, tables, threads)
 }
 
 #[cfg(test)]
@@ -234,11 +253,67 @@ mod tests {
     }
 
     #[test]
-    fn threads_clamped_to_at_least_one() {
+    #[cfg_attr(
+        debug_assertions,
+        should_panic(expected = "worker count must be at least 1")
+    )]
+    fn zero_threads_asserts_in_debug_and_clamps_in_release() {
         let service = AnnotationService::new(global(), SigmaTyperConfig::default()).with_threads(0);
+        // Release builds reach this point and clamp instead.
         assert_eq!(service.threads(), 1);
         let tables = batch(0x11, 3);
         assert_eq!(service.annotate_batch(&tables).len(), 3);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_free_function_still_matches_service() {
+        let service = AnnotationService::new(global(), SigmaTyperConfig::default()).with_threads(3);
+        let tables = batch(0x12, 5);
+        let via_service = service.annotate_batch(&tables);
+        let via_free = annotate_batch_with(service.typer(), &tables, 3);
+        assert_eq!(via_service.len(), via_free.len());
+        for (a, b) in via_service.iter().zip(&via_free) {
+            assert_identical(a, b);
+        }
+    }
+
+    #[test]
+    fn batch_serves_custom_cascades() {
+        use crate::prediction::StepId;
+        use crate::step::RegexOnlyStep;
+        use crate::system::SigmaTyper;
+        // A cascade with the regex-only step ahead of lookup, served
+        // sharded: the batch front-end must run the customer's cascade,
+        // not the hardcoded three steps.
+        let typer = SigmaTyper::builder(global())
+            .step_at(1, RegexOnlyStep)
+            .build();
+        let service = AnnotationService::for_customer(typer).with_threads(4);
+        let o = builtin_ontology();
+        let mk = |i: u64| {
+            Table::new(
+                format!("t{i}"),
+                vec![tu_table::Column::from_raw(
+                    "xq7_zz",
+                    &["ada@x.com", "bob@y.org", "eve@z.net"],
+                )],
+            )
+            .unwrap()
+        };
+        let tables: Vec<Table> = (0..6).map(mk).collect();
+        let anns = service.annotate_batch(&tables);
+        for ann in &anns {
+            assert_eq!(
+                ann.columns[0].predicted,
+                tu_ontology::builtin_id(&o, "email")
+            );
+            assert_eq!(
+                ann.columns[0].resolving_step(service.typer().config().cascade_threshold),
+                Some(StepId::REGEX_ONLY)
+            );
+            assert_eq!(ann.timings.len(), 4);
+        }
     }
 
     #[test]

@@ -1,0 +1,471 @@
+//! The pluggable cascade step API: [`AnnotationStep`] and the built-in
+//! step implementations.
+//!
+//! The paper's cascade (Figure 4) is meant to be customized per
+//! deployment — Sigma adds, removes, and tunes steps per customer.
+//! Every signal source is therefore an [`AnnotationStep`]: an object
+//! with a stable [`StepId`], a display name, a per-column skip
+//! predicate (the cascade's early-exit gate), and a scoring function
+//! over a [`StepContext`]. The [`Cascade`](crate::cascade::Cascade)
+//! runs an ordered list of them; user code registers additional steps
+//! through [`SigmaTyper::builder`](crate::system::SigmaTyper::builder).
+
+use crate::config::SigmaTyperConfig;
+use crate::global::GlobalModel;
+use crate::local::LocalModel;
+use crate::prediction::{Candidate, StepId, StepScores};
+use tu_ontology::TypeId;
+use tu_table::{Column, Table};
+
+/// Everything a step may consult when scoring one column.
+///
+/// Borrowed per column per step by the cascade; steps must treat it as
+/// read-only (inference never mutates the models).
+#[derive(Debug, Clone, Copy)]
+pub struct StepContext<'a> {
+    /// The table being annotated.
+    pub table: &'a Table,
+    /// Index of the column this step is scoring.
+    pub col_idx: usize,
+    /// Normalized headers for every column of the table.
+    pub normalized_headers: &'a [String],
+    /// Tentative per-column types: for each column, the type of the
+    /// highest-confidence candidate any *earlier* step produced
+    /// (`TypeId::UNKNOWN` where nothing scored yet). Context for
+    /// co-occurrence signals.
+    pub tentative: &'a [TypeId],
+    /// Best confidence any earlier step achieved for *this* column —
+    /// the quantity the cascade threshold gates on.
+    pub best_so_far: f64,
+    /// The shared global model.
+    pub global: &'a GlobalModel,
+    /// The customer's local model.
+    pub local: &'a LocalModel,
+    /// The active configuration.
+    pub config: &'a SigmaTyperConfig,
+}
+
+impl<'a> StepContext<'a> {
+    /// The column being scored.
+    ///
+    /// # Panics
+    /// Panics when `col_idx` is out of range for `table`. Contexts
+    /// built by the cascade are always in range; a hand-constructed
+    /// context (the fields are public for testing custom steps) must
+    /// uphold this itself.
+    #[must_use]
+    pub fn column(&self) -> &'a Column {
+        self.table.column(self.col_idx).expect("column in range")
+    }
+
+    /// The raw header of the column being scored.
+    ///
+    /// # Panics
+    /// Panics when `col_idx` is out of range (see [`StepContext::column`]).
+    #[must_use]
+    pub fn header(&self) -> &'a str {
+        self.table.columns()[self.col_idx].name.as_str()
+    }
+
+    /// The normalized header of the column being scored.
+    ///
+    /// # Panics
+    /// Panics when `col_idx` is out of range of `normalized_headers`
+    /// (see [`StepContext::column`]).
+    #[must_use]
+    pub fn normalized_header(&self) -> &'a str {
+        &self.normalized_headers[self.col_idx]
+    }
+
+    /// Tentative types of the *other* columns (unknowns dropped) — the
+    /// neighbor context the lookup step feeds its co-occurrence LFs.
+    #[must_use]
+    pub fn neighbor_types(&self) -> Vec<TypeId> {
+        self.tentative
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| *i != self.col_idx && !t.is_unknown())
+            .map(|(_, t)| *t)
+            .collect()
+    }
+
+    /// Raw headers of the *other* columns — the neighbor context the
+    /// embedding step encodes.
+    #[must_use]
+    pub fn neighbor_headers(&self) -> Vec<&'a str> {
+        self.table
+            .columns()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != self.col_idx)
+            .map(|(_, c)| c.name.as_str())
+            .collect()
+    }
+}
+
+/// One pluggable stage of the annotation cascade.
+///
+/// Implementations must be deterministic and read-only: `run` is called
+/// from multiple [`AnnotationService`](crate::service::AnnotationService)
+/// worker threads against one shared instance (hence `Send + Sync`).
+pub trait AnnotationStep: std::fmt::Debug + Send + Sync {
+    /// Stable identity of this step, used in [`ColumnAnnotation::steps_run`],
+    /// vote weighting, telemetry, and builder addressing. Custom steps
+    /// should allocate theirs via [`StepId::custom`].
+    ///
+    /// [`ColumnAnnotation::steps_run`]: crate::prediction::ColumnAnnotation::steps_run
+    fn id(&self) -> StepId;
+
+    /// Human-readable name, reported in [`StepTiming`](crate::prediction::StepTiming).
+    fn name(&self) -> &str;
+
+    /// Per-column skip predicate: `true` means the cascade must not run
+    /// this step for the context's column. The default is the paper's
+    /// early-exit rule — skip once an earlier step already met the
+    /// cascade confidence threshold. Override to add ablation gates or
+    /// applicability checks (e.g. numeric-only steps skipping text
+    /// columns).
+    fn skip(&self, ctx: &StepContext<'_>) -> bool {
+        ctx.best_so_far >= ctx.config.cascade_threshold
+    }
+
+    /// Score one column. Return [`StepScores::default`] when the step
+    /// has no opinion; an executed step is recorded in `steps_run` even
+    /// with empty scores (so telemetry distinguishes "ran, found
+    /// nothing" from "skipped").
+    fn run(&self, ctx: &StepContext<'_>) -> StepScores;
+}
+
+/// Built-in step 1: header matching (syntactic + semantic), with the
+/// customer's contextual global-weight discount `Wg` applied.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeaderStep;
+
+impl AnnotationStep for HeaderStep {
+    fn id(&self) -> StepId {
+        StepId::HEADER
+    }
+
+    fn name(&self) -> &str {
+        "header"
+    }
+
+    fn skip(&self, ctx: &StepContext<'_>) -> bool {
+        !ctx.config.enable_header || ctx.best_so_far >= ctx.config.cascade_threshold
+    }
+
+    fn run(&self, ctx: &StepContext<'_>) -> StepScores {
+        let mut scores =
+            ctx.global
+                .header
+                .match_header(ctx.header(), &ctx.global.embedder, ctx.config);
+        // Wg: global header knowledge the customer has repeatedly
+        // overridden in this header context loses influence (Fig. 2).
+        for c in &mut scores.candidates {
+            c.confidence *= ctx.local.wg(c.ty, ctx.normalized_header());
+        }
+        scores
+    }
+}
+
+/// Built-in step 2: value lookup — labeling functions, knowledge-base
+/// dictionaries, and the regex bank, with `Wg` discounting on all
+/// globally sourced candidates.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LookupStep;
+
+impl AnnotationStep for LookupStep {
+    fn id(&self) -> StepId {
+        StepId::LOOKUP
+    }
+
+    fn name(&self) -> &str {
+        "lookup"
+    }
+
+    fn skip(&self, ctx: &StepContext<'_>) -> bool {
+        !ctx.config.enable_lookup || ctx.best_so_far >= ctx.config.cascade_threshold
+    }
+
+    fn run(&self, ctx: &StepContext<'_>) -> StepScores {
+        let neighbors = ctx.neighbor_types();
+        ctx.global.lookup.lookup_weighted(
+            ctx.column(),
+            ctx.normalized_header(),
+            &neighbors,
+            &[&ctx.global.global_lfs, &ctx.local.lfs],
+            ctx.config,
+            &|t| ctx.local.wg(t, ctx.normalized_header()),
+        )
+    }
+}
+
+/// Built-in step 3: the table-embedding model, blending the finetuned
+/// local model (when one exists) with the global one under the
+/// adaptation weights `Wl`/`Wg`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EmbeddingStep;
+
+impl AnnotationStep for EmbeddingStep {
+    fn id(&self) -> StepId {
+        StepId::EMBEDDING
+    }
+
+    fn name(&self) -> &str {
+        "embedding"
+    }
+
+    fn skip(&self, ctx: &StepContext<'_>) -> bool {
+        !ctx.config.enable_embedding || ctx.best_so_far >= ctx.config.cascade_threshold
+    }
+
+    fn run(&self, ctx: &StepContext<'_>) -> StepScores {
+        let neighbors = ctx.neighbor_headers();
+        let column = ctx.column();
+        let global_scores = ctx.global.embedding.predict(column, &neighbors);
+        match &ctx.local.finetuned {
+            Some(local_model) => {
+                let local_scores = local_model.predict(column, &neighbors);
+                blend(
+                    &global_scores,
+                    &local_scores,
+                    ctx.local,
+                    ctx.normalized_header(),
+                )
+            }
+            None => global_scores,
+        }
+    }
+}
+
+/// Blend global and local embedding scores with the per-type local
+/// weights `Wl` ("the weight of the local model increases over time",
+/// Figure 2).
+fn blend(
+    global: &StepScores,
+    local_scores: &StepScores,
+    local: &LocalModel,
+    normalized_header: &str,
+) -> StepScores {
+    let mut types: Vec<TypeId> = global
+        .candidates
+        .iter()
+        .chain(&local_scores.candidates)
+        .map(|c| c.ty)
+        .collect();
+    types.sort_unstable();
+    types.dedup();
+    let cands = types
+        .into_iter()
+        .map(|ty| {
+            let wl = local.wl(ty);
+            let wg = local.wg(ty, normalized_header);
+            let g = global.confidence_for(ty);
+            let l = local_scores.confidence_for(ty);
+            // Finetuning on a handful of customer examples skews the
+            // local head toward the corrected classes, so its opinion
+            // only enters the blend when it is *decisive*; otherwise
+            // the (Wg-weighted) global model carries the type.
+            const LOCAL_TRUST_FLOOR: f64 = 0.7;
+            let local_term = if l >= LOCAL_TRUST_FLOOR { l } else { g * wg };
+            Candidate {
+                ty,
+                confidence: (1.0 - wl) * wg * g + wl * local_term,
+            }
+        })
+        .collect();
+    StepScores::from_candidates(cands)
+}
+
+/// Built-in step 4 (not in the default cascade): the standalone regex
+/// bank — shape and numeric-range rules only, with no knowledge base
+/// and no labeling functions.
+///
+/// In the seed pipeline this signal was only reachable inside the
+/// lookup step; as its own step it gives deployments a
+/// dictionary-free, model-free rule stage they can insert anywhere —
+/// e.g. ahead of lookup for pattern-heavy schemas, or as the only
+/// value-based step in a minimal low-latency cascade.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegexOnlyStep;
+
+impl AnnotationStep for RegexOnlyStep {
+    fn id(&self) -> StepId {
+        StepId::REGEX_ONLY
+    }
+
+    fn name(&self) -> &str {
+        "regex-only"
+    }
+
+    fn run(&self, ctx: &StepContext<'_>) -> StepScores {
+        let column = ctx.column();
+        let bank = ctx.global.lookup.bank();
+        let config = ctx.config;
+        let wg = |t: TypeId| ctx.local.wg(t, ctx.normalized_header());
+        let sample: Vec<String> = column
+            .sample(config.lookup_sample)
+            .into_iter()
+            .map(tu_table::Value::render)
+            .collect();
+        // Same scoring rules as inside the lookup step — shared via
+        // `RegexBank`, so the two sites can never drift apart.
+        let mut cands = bank.score_shapes(&sample, &wg);
+        cands.extend(bank.score_ranges(&column.numeric_values(), config.range_lf_scale, &wg));
+        let mut scores = StepScores::from_candidates(cands);
+        scores.candidates.truncate(config.top_k.max(8));
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrainingConfig;
+    use crate::global::train_global;
+    use std::sync::{Arc, OnceLock};
+    use tu_corpus::{generate_corpus, CorpusConfig};
+    use tu_ontology::{builtin_id, builtin_ontology};
+
+    fn global() -> Arc<GlobalModel> {
+        static GLOBAL: OnceLock<Arc<GlobalModel>> = OnceLock::new();
+        GLOBAL
+            .get_or_init(|| {
+                let ontology = builtin_ontology();
+                let corpus = generate_corpus(&ontology, &CorpusConfig::database_like(0x57E9, 30));
+                Arc::new(train_global(ontology, &corpus, &TrainingConfig::fast()))
+            })
+            .clone()
+    }
+
+    fn ctx_for<'a>(
+        table: &'a Table,
+        col_idx: usize,
+        normalized: &'a [String],
+        tentative: &'a [TypeId],
+        global: &'a GlobalModel,
+        local: &'a LocalModel,
+        config: &'a SigmaTyperConfig,
+    ) -> StepContext<'a> {
+        StepContext {
+            table,
+            col_idx,
+            normalized_headers: normalized,
+            tentative,
+            best_so_far: 0.0,
+            global,
+            local,
+            config,
+        }
+    }
+
+    #[test]
+    fn builtin_steps_have_distinct_ids_and_names() {
+        let steps: [&dyn AnnotationStep; 4] =
+            [&HeaderStep, &LookupStep, &EmbeddingStep, &RegexOnlyStep];
+        let mut ids: Vec<StepId> = steps.iter().map(|s| s.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+        assert_eq!(HeaderStep.name(), "header");
+        assert_eq!(RegexOnlyStep.name(), "regex-only");
+    }
+
+    #[test]
+    fn default_skip_honors_cascade_threshold() {
+        let g = global();
+        let local = LocalModel::new();
+        let config = SigmaTyperConfig::default();
+        let table = Table::new("t", vec![Column::from_raw("x", &["1"])]).unwrap();
+        let normalized = vec!["x".to_owned()];
+        let tentative = vec![TypeId::UNKNOWN];
+        let mut ctx = ctx_for(&table, 0, &normalized, &tentative, &g, &local, &config);
+        assert!(!LookupStep.skip(&ctx));
+        assert!(!RegexOnlyStep.skip(&ctx));
+        ctx.best_so_far = config.cascade_threshold;
+        assert!(LookupStep.skip(&ctx));
+        assert!(EmbeddingStep.skip(&ctx));
+        assert!(HeaderStep.skip(&ctx));
+        assert!(RegexOnlyStep.skip(&ctx));
+    }
+
+    #[test]
+    fn ablation_flags_gate_builtin_steps() {
+        let g = global();
+        let local = LocalModel::new();
+        let config = SigmaTyperConfig {
+            enable_header: false,
+            enable_lookup: false,
+            enable_embedding: false,
+            ..SigmaTyperConfig::default()
+        };
+        let table = Table::new("t", vec![Column::from_raw("x", &["1"])]).unwrap();
+        let normalized = vec!["x".to_owned()];
+        let tentative = vec![TypeId::UNKNOWN];
+        let ctx = ctx_for(&table, 0, &normalized, &tentative, &g, &local, &config);
+        assert!(HeaderStep.skip(&ctx));
+        assert!(LookupStep.skip(&ctx));
+        assert!(EmbeddingStep.skip(&ctx));
+        // RegexOnly has no ablation flag; only the threshold gates it.
+        assert!(!RegexOnlyStep.skip(&ctx));
+    }
+
+    #[test]
+    fn regex_only_step_scores_shapes_and_ranges() {
+        let g = global();
+        let o = &g.ontology;
+        let local = LocalModel::new();
+        let config = SigmaTyperConfig::default();
+        let table = Table::new(
+            "t",
+            vec![
+                Column::from_raw("a", &["ada@x.com", "bob@y.org", "eve@z.net"]),
+                Column::from_raw("b", &["21", "34", "57"]),
+                Column::from_raw("c", &["lorem ipsum", "dolor sit", "amet"]),
+            ],
+        )
+        .unwrap();
+        let normalized: Vec<String> = table
+            .headers()
+            .iter()
+            .map(|h| tu_text::normalize_header(h))
+            .collect();
+        let tentative = vec![TypeId::UNKNOWN; 3];
+        let email_ctx = ctx_for(&table, 0, &normalized, &tentative, &g, &local, &config);
+        let s = RegexOnlyStep.run(&email_ctx);
+        assert_eq!(s.best().unwrap().ty, builtin_id(o, "email"));
+        assert!(s.best_confidence() > 0.9);
+        // Numeric column: range rules fire, scaled below the threshold.
+        let num_ctx = ctx_for(&table, 1, &normalized, &tentative, &g, &local, &config);
+        let s = RegexOnlyStep.run(&num_ctx);
+        assert!(!s.candidates.is_empty());
+        assert!(s.best_confidence() <= config.range_lf_scale + 1e-9);
+        // Free text matches nothing.
+        let text_ctx = ctx_for(&table, 2, &normalized, &tentative, &g, &local, &config);
+        assert!(RegexOnlyStep.run(&text_ctx).candidates.is_empty());
+    }
+
+    #[test]
+    fn context_neighbor_accessors_exclude_self() {
+        let g = global();
+        let local = LocalModel::new();
+        let config = SigmaTyperConfig::default();
+        let table = Table::new(
+            "t",
+            vec![
+                Column::from_raw("a", &["1"]),
+                Column::from_raw("b", &["2"]),
+                Column::from_raw("c", &["3"]),
+            ],
+        )
+        .unwrap();
+        let normalized = vec!["a".to_owned(), "b".to_owned(), "c".to_owned()];
+        let tentative = vec![TypeId(3), TypeId::UNKNOWN, TypeId(5)];
+        let ctx = ctx_for(&table, 0, &normalized, &tentative, &g, &local, &config);
+        assert_eq!(ctx.header(), "a");
+        assert_eq!(ctx.normalized_header(), "a");
+        assert_eq!(ctx.neighbor_headers(), vec!["b", "c"]);
+        // Own tentative type and unknowns are excluded.
+        assert_eq!(ctx.neighbor_types(), vec![TypeId(5)]);
+    }
+}

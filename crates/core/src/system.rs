@@ -1,19 +1,21 @@
 //! The SigmaTyper orchestrator: cascade, aggregation, and adaptation.
 
-use crate::aggregate::{apply_tau, soft_majority_vote};
+use crate::aggregate::{apply_tau, soft_majority_vote_with};
+use crate::cascade::Cascade;
 use crate::config::SigmaTyperConfig;
 use crate::global::GlobalModel;
 use crate::local::LocalModel;
-use crate::prediction::{Candidate, ColumnAnnotation, Step, StepScores, TableAnnotation};
+use crate::prediction::{Candidate, ColumnAnnotation, StepId, StepScores, TableAnnotation};
+use crate::step::AnnotationStep;
 use std::sync::Arc;
-use std::time::Instant;
 use tu_corpus::Corpus;
 use tu_dp::{infer_lfs, mine_weak_labels, Demonstration, InferConfig, MiningConfig};
 use tu_ontology::{Category, Ontology, TypeId, ValueKind};
 use tu_table::Table;
 
 /// One customer's SigmaTyper instance: the shared global model plus this
-/// customer's local model (Figure 2's `Customer_i` box).
+/// customer's local model (Figure 2's `Customer_i` box), annotating
+/// through a configurable [`Cascade`] of [`AnnotationStep`]s.
 #[derive(Debug, Clone)]
 pub struct SigmaTyper {
     global: Arc<GlobalModel>,
@@ -21,18 +23,138 @@ pub struct SigmaTyper {
     ontology: Ontology,
     local: LocalModel,
     config: SigmaTyperConfig,
+    cascade: Cascade,
+}
+
+/// Builder for a customer instance with a customized cascade: add,
+/// remove, and reorder steps; override per-step vote weights; set the
+/// cascade threshold and τ. `build()` with no customization yields
+/// exactly the paper's three-step pipeline.
+///
+/// ```
+/// use sigmatyper::{train_global, RegexOnlyStep, SigmaTyper, Step, StepId, TrainingConfig};
+/// use tu_corpus::{generate_corpus, CorpusConfig};
+/// use tu_ontology::builtin_ontology;
+///
+/// let ontology = builtin_ontology();
+/// let corpus = generate_corpus(&ontology, &CorpusConfig::database_like(7, 8));
+/// let global = std::sync::Arc::new(train_global(ontology, &corpus, &TrainingConfig::fast()));
+/// let typer = SigmaTyper::builder(global)
+///     .step_at(1, RegexOnlyStep) // run the bare regex bank right after header matching
+///     .step_weight(StepId::REGEX_ONLY, 0.8)
+///     .without_step(Step::Embedding)
+///     .tau(0.5)
+///     .build();
+/// assert_eq!(
+///     typer.cascade().step_ids(),
+///     vec![Step::Header, StepId::REGEX_ONLY, Step::Lookup]
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct SigmaTyperBuilder {
+    global: Arc<GlobalModel>,
+    config: SigmaTyperConfig,
+    cascade: Cascade,
+}
+
+impl SigmaTyperBuilder {
+    /// Replace the whole configuration (defaults to
+    /// [`SigmaTyperConfig::default`]).
+    #[must_use]
+    pub fn config(mut self, config: SigmaTyperConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Set the cascade confidence threshold `c`.
+    #[must_use]
+    pub fn cascade_threshold(mut self, c: f64) -> Self {
+        self.config.cascade_threshold = c;
+        self
+    }
+
+    /// Set the abstention threshold τ.
+    #[must_use]
+    pub fn tau(mut self, tau: f64) -> Self {
+        self.config.tau = tau;
+        self
+    }
+
+    /// Append a step at the end of the cascade.
+    ///
+    /// # Panics
+    /// Panics when a step with the same id is already configured.
+    #[must_use]
+    pub fn step(mut self, step: impl AnnotationStep + 'static) -> Self {
+        self.cascade.push(step);
+        self
+    }
+
+    /// Insert a step at `index` (0 = runs first).
+    ///
+    /// # Panics
+    /// Panics when `index` is out of range or the id is already
+    /// configured.
+    #[must_use]
+    pub fn step_at(mut self, index: usize, step: impl AnnotationStep + 'static) -> Self {
+        self.cascade.insert(index, step);
+        self
+    }
+
+    /// Remove the step with this id (no-op when absent).
+    #[must_use]
+    pub fn without_step(mut self, id: StepId) -> Self {
+        self.cascade.remove(id);
+        self
+    }
+
+    /// Reorder the cascade: listed steps run first in the given order;
+    /// unlisted steps follow in their current relative order.
+    #[must_use]
+    pub fn reorder(mut self, order: &[StepId]) -> Self {
+        self.cascade.reorder(order);
+        self
+    }
+
+    /// Override one step's vote weight (default: the config weight for
+    /// the three standard steps, 1.0 for everything else).
+    #[must_use]
+    pub fn step_weight(mut self, id: StepId, weight: f64) -> Self {
+        self.cascade.set_weight(id, weight);
+        self
+    }
+
+    /// Build the customer instance.
+    #[must_use]
+    pub fn build(self) -> SigmaTyper {
+        let ontology = self.global.ontology.clone();
+        SigmaTyper {
+            global: self.global,
+            ontology,
+            local: LocalModel::new(),
+            config: self.config,
+            cascade: self.cascade,
+        }
+    }
 }
 
 impl SigmaTyper {
-    /// Create a customer instance over a shared global model.
+    /// Create a customer instance over a shared global model with the
+    /// standard three-step cascade.
     #[must_use]
     pub fn new(global: Arc<GlobalModel>, config: SigmaTyperConfig) -> Self {
-        let ontology = global.ontology.clone();
-        SigmaTyper {
+        SigmaTyper::builder(global).config(config).build()
+    }
+
+    /// Start building a customer instance with a customizable cascade.
+    /// The builder starts from the standard pipeline (header → lookup →
+    /// embedding) and the default configuration.
+    #[must_use]
+    pub fn builder(global: Arc<GlobalModel>) -> SigmaTyperBuilder {
+        SigmaTyperBuilder {
             global,
-            ontology,
-            local: LocalModel::new(),
-            config,
+            config: SigmaTyperConfig::default(),
+            cascade: Cascade::standard(),
         }
     }
 
@@ -65,6 +187,19 @@ impl SigmaTyper {
         &mut self.config
     }
 
+    /// The annotation cascade this instance runs.
+    #[must_use]
+    pub fn cascade(&self) -> &Cascade {
+        &self.cascade
+    }
+
+    /// Mutable cascade, for reconfiguring steps between batches (like
+    /// adaptation, cascade surgery is a customer-local, single-writer
+    /// operation — never concurrent with serving).
+    pub fn cascade_mut(&mut self) -> &mut Cascade {
+        &mut self.cascade
+    }
+
     /// Register a customer-specific semantic type. The type is matched
     /// through locally inferred LFs and learned by the finetuned local
     /// embedding model via one of the reserved MLP classes.
@@ -87,115 +222,26 @@ impl SigmaTyper {
         id
     }
 
-    /// Annotate a table: run the 3-step cascade per column, aggregate,
-    /// and apply τ (paper Figure 4).
+    /// Annotate a table: run the configured cascade per column,
+    /// aggregate with the soft majority vote, and apply τ (paper
+    /// Figure 4).
     #[must_use]
-    #[allow(clippy::needless_range_loop)] // `ci` also indexes sibling arrays
     pub fn annotate(&self, table: &Table) -> TableAnnotation {
-        let n = table.n_cols();
-        let normalized: Vec<String> = table
-            .headers()
-            .iter()
-            .map(|h| tu_text::normalize_header(h))
-            .collect();
+        let (per_column, timings) =
+            self.cascade
+                .run(table, &self.global, &self.local, &self.config);
 
-        let mut per_column: Vec<Vec<(Step, StepScores)>> = vec![Vec::new(); n];
-        let mut step_nanos = [0u128; 3];
-
-        // ---- Step 1: header matching -------------------------------
-        let t0 = Instant::now();
-        if self.config.enable_header {
-            for (ci, header) in table.headers().iter().enumerate() {
-                let mut scores =
-                    self.global
-                        .header
-                        .match_header(header, &self.global.embedder, &self.config);
-                // Wg: global header knowledge the customer has repeatedly
-                // overridden in this header context loses influence (Fig. 2).
-                for c in &mut scores.candidates {
-                    c.confidence *= self.local.wg(c.ty, &normalized[ci]);
-                }
-                per_column[ci].push((Step::Header, scores));
-            }
-        }
-        step_nanos[0] = t0.elapsed().as_nanos();
-
-        // Tentative neighbor types from the best header candidates.
-        let tentative: Vec<TypeId> = per_column
-            .iter()
-            .map(|steps| {
-                steps
-                    .last()
-                    .and_then(|(_, s)| s.best())
-                    .map_or(TypeId::UNKNOWN, |c| c.ty)
-            })
-            .collect();
-
-        // ---- Step 2: value lookup (unresolved columns only) ---------
-        let t0 = Instant::now();
-        for ci in 0..n {
-            if !self.config.enable_lookup
-                || self.best_so_far(&per_column[ci]) >= self.config.cascade_threshold
-            {
-                continue;
-            }
-            let neighbors: Vec<TypeId> = tentative
-                .iter()
-                .enumerate()
-                .filter(|(i, t)| *i != ci && !t.is_unknown())
-                .map(|(_, t)| *t)
-                .collect();
-            let scores = self.global.lookup.lookup_weighted(
-                table.column(ci).expect("column in range"),
-                &normalized[ci],
-                &neighbors,
-                &[&self.global.global_lfs, &self.local.lfs],
-                &self.config,
-                &|t| self.local.wg(t, &normalized[ci]),
-            );
-            per_column[ci].push((Step::Lookup, scores));
-        }
-        step_nanos[1] = t0.elapsed().as_nanos();
-
-        // ---- Step 3: table-embedding model (still unresolved) -------
-        let t0 = Instant::now();
-        let headers = table.headers();
-        for ci in 0..n {
-            if !self.config.enable_embedding
-                || self.best_so_far(&per_column[ci]) >= self.config.cascade_threshold
-            {
-                continue;
-            }
-            let neighbors: Vec<&str> = headers
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| *i != ci)
-                .map(|(_, h)| *h)
-                .collect();
-            let column = table.column(ci).expect("column in range");
-            let global_scores = self.global.embedding.predict(column, &neighbors);
-            let scores = match &self.local.finetuned {
-                Some(local_model) => {
-                    let local_scores = local_model.predict(column, &neighbors);
-                    self.blend(&global_scores, &local_scores, &normalized[ci])
-                }
-                None => global_scores,
-            };
-            per_column[ci].push((Step::Embedding, scores));
-        }
-        step_nanos[2] = t0.elapsed().as_nanos();
-
-        // ---- Aggregate + τ ------------------------------------------
+        let weight_of = |id: StepId| self.cascade.weight(id, &self.config);
         let columns = per_column
             .into_iter()
             .enumerate()
             .map(|(ci, steps)| {
-                let executed: Vec<(Step, &StepScores)> =
+                let executed: Vec<(StepId, &StepScores)> =
                     steps.iter().map(|(s, sc)| (*s, sc)).collect();
-                let mut top_k = soft_majority_vote(&executed, &self.config);
+                let mut top_k = soft_majority_vote_with(&executed, &self.config, &weight_of);
                 self.prefer_specific(&mut top_k);
                 let (predicted, confidence) = apply_tau(&top_k, self.config.tau);
-                let (steps_run, step_scores): (Vec<Step>, Vec<StepScores>) =
+                let (steps_run, step_scores): (Vec<StepId>, Vec<StepScores>) =
                     steps.into_iter().unzip();
                 ColumnAnnotation {
                     col_idx: ci,
@@ -207,10 +253,7 @@ impl SigmaTyper {
                 }
             })
             .collect();
-        TableAnnotation {
-            columns,
-            step_nanos,
-        }
+        TableAnnotation { columns, timings }
     }
 
     /// Hierarchy-aware tie-breaking: when the two leading candidates are
@@ -246,56 +289,13 @@ impl SigmaTyper {
         }
     }
 
-    fn best_so_far(&self, steps: &[(Step, StepScores)]) -> f64 {
-        steps
-            .iter()
-            .map(|(_, s)| s.best_confidence())
-            .fold(0.0, f64::max)
-    }
-
-    /// Blend global and local embedding scores with the per-type local
-    /// weights `Wl` ("the weight of the local model increases over
-    /// time", Figure 2).
-    fn blend(
-        &self,
-        global: &StepScores,
-        local: &StepScores,
-        normalized_header: &str,
-    ) -> StepScores {
-        let mut types: Vec<TypeId> = global
-            .candidates
-            .iter()
-            .chain(&local.candidates)
-            .map(|c| c.ty)
-            .collect();
-        types.sort_unstable();
-        types.dedup();
-        let cands = types
-            .into_iter()
-            .map(|ty| {
-                let wl = self.local.wl(ty);
-                let wg = self.local.wg(ty, normalized_header);
-                let g = global.confidence_for(ty);
-                let l = local.confidence_for(ty);
-                // Finetuning on a handful of customer examples skews the
-                // local head toward the corrected classes, so its opinion
-                // only enters the blend when it is *decisive*; otherwise
-                // the (Wg-weighted) global model carries the type.
-                const LOCAL_TRUST_FLOOR: f64 = 0.7;
-                let local_term = if l >= LOCAL_TRUST_FLOOR { l } else { g * wg };
-                Candidate {
-                    ty,
-                    confidence: (1.0 - wl) * wg * g + wl * local_term,
-                }
-            })
-            .collect();
-        StepScores::from_candidates(cands)
-    }
-
     /// Explicit feedback: the user relabels column `col_idx` of `table`
     /// as `ty` (Figure 3 ①). Runs the full DPBD loop: infer LFs ②, mine
     /// the customer's table history for weak labels ③/④, extend the
     /// local training set, finetune the local model, and grow `Wl`.
+    ///
+    /// The prediction being corrected is recomputed through the
+    /// configured cascade, so feedback works over custom pipelines too.
     ///
     /// `history` is the customer's table corpus to mine; pass `None` to
     /// skip mining (LFs still registered, demo column still learned).
@@ -372,7 +372,9 @@ impl SigmaTyper {
 
     /// Implicit feedback: the user left the remaining predictions as-is,
     /// so they count as approvals (§4.2). Adds every confidently
-    /// predicted column to the local training set.
+    /// predicted column to the local training set. The annotation may
+    /// come from any cascade configuration — only the final per-column
+    /// decisions matter here.
     pub fn implicit_approve(&mut self, table: &Table, annotation: &TableAnnotation) {
         let headers = table.headers();
         let mut examples = Vec::new();
@@ -421,17 +423,22 @@ mod tests {
     use super::*;
     use crate::config::TrainingConfig;
     use crate::global::train_global;
+    use crate::prediction::Step;
+    use crate::step::{RegexOnlyStep, StepContext};
     use tu_corpus::{generate_corpus, CorpusConfig};
     use tu_ontology::{builtin_id, builtin_ontology};
     use tu_table::Column;
 
-    fn system() -> SigmaTyper {
+    fn shared_global() -> Arc<GlobalModel> {
         let o = builtin_ontology();
         let mut cfg = CorpusConfig::database_like(51, 60);
         cfg.ood_column_rate = 0.25;
         let corpus = generate_corpus(&o, &cfg);
-        let gm = train_global(o, &corpus, &TrainingConfig::fast());
-        SigmaTyper::new(Arc::new(gm), SigmaTyperConfig::default())
+        Arc::new(train_global(o, &corpus, &TrainingConfig::fast()))
+    }
+
+    fn system() -> SigmaTyper {
+        SigmaTyper::new(shared_global(), SigmaTyperConfig::default())
     }
 
     fn figure3_table() -> Table {
@@ -457,9 +464,12 @@ mod tests {
         assert_eq!(ann.columns[0].predicted, builtin_id(o, "name"));
         assert_eq!(ann.columns[1].predicted, builtin_id(o, "salary"));
         assert_eq!(ann.columns[3].predicted, builtin_id(o, "city"));
-        // Header step ran for every column; timings recorded.
+        // Header step ran for every column; timings recorded per step.
         assert!(ann.columns.iter().all(|c| c.steps_run[0] == Step::Header));
-        assert!(ann.step_nanos[0] > 0);
+        assert_eq!(ann.timings.len(), 3);
+        assert_eq!(ann.timings[0].name, "header");
+        assert_eq!(ann.timings[0].columns, 4);
+        assert!(ann.nanos_for(Step::Header) > 0);
     }
 
     #[test]
@@ -474,6 +484,9 @@ mod tests {
             income.resolving_step(st.config().cascade_threshold),
             Some(Step::Header)
         );
+        // The skip shows up in telemetry: later steps ran on fewer
+        // columns than the header step did.
+        assert!(ann.timings[1].columns < ann.timings[0].columns);
     }
 
     #[test]
@@ -629,5 +642,203 @@ mod tests {
         st.config_mut().tau = 0.0;
         let ann = st.annotate(&figure3_table());
         assert!(ann.columns.iter().all(|c| !c.top_k.is_empty()));
+    }
+
+    #[test]
+    fn builder_default_matches_new() {
+        let global = shared_global();
+        let a = SigmaTyper::new(global.clone(), SigmaTyperConfig::default());
+        let b = SigmaTyper::builder(global).build();
+        assert_eq!(a.cascade().step_ids(), b.cascade().step_ids());
+        let table = figure3_table();
+        let (ann_a, ann_b) = (a.annotate(&table), b.annotate(&table));
+        for (ca, cb) in ann_a.columns.iter().zip(&ann_b.columns) {
+            assert_eq!(ca.predicted, cb.predicted);
+            assert_eq!(ca.confidence.to_bits(), cb.confidence.to_bits());
+            assert_eq!(ca.steps_run, cb.steps_run);
+        }
+    }
+
+    #[test]
+    fn builder_inserts_and_reorders_regex_only_step() {
+        let global = shared_global();
+        let typer = SigmaTyper::builder(global)
+            .step_at(1, RegexOnlyStep)
+            .build();
+        assert_eq!(
+            typer.cascade().step_ids(),
+            vec![
+                Step::Header,
+                StepId::REGEX_ONLY,
+                Step::Lookup,
+                Step::Embedding
+            ]
+        );
+        // An opaque-header email column: regex-only resolves it before
+        // lookup even gets asked.
+        let table = Table::new(
+            "t",
+            vec![Column::from_raw(
+                "c_17",
+                &["ada@x.com", "bob@y.org", "eve@z.net"],
+            )],
+        )
+        .unwrap();
+        let ann = typer.annotate(&table);
+        let o = typer.ontology();
+        assert_eq!(ann.columns[0].predicted, builtin_id(o, "email"));
+        assert_eq!(
+            ann.columns[0].resolving_step(typer.config().cascade_threshold),
+            Some(StepId::REGEX_ONLY)
+        );
+        assert!(!ann.columns[0].steps_run.contains(&Step::Lookup));
+        // Telemetry reports the new step by name, in cascade position.
+        assert_eq!(ann.timings.len(), 4);
+        assert_eq!(ann.timings[1].name, "regex-only");
+        assert_eq!(ann.timings[1].columns, 1);
+    }
+
+    /// A user-defined step: claims any column whose values all carry a
+    /// `TKT-` prefix, voting for a customer-registered type.
+    #[derive(Debug)]
+    struct TicketStep {
+        ty: TypeId,
+    }
+
+    impl AnnotationStep for TicketStep {
+        fn id(&self) -> StepId {
+            StepId::custom(0)
+        }
+
+        fn name(&self) -> &str {
+            "ticket-prefix"
+        }
+
+        fn run(&self, ctx: &StepContext<'_>) -> StepScores {
+            let column = ctx.column();
+            let vals: Vec<String> = column
+                .sample(ctx.config.lookup_sample)
+                .into_iter()
+                .map(tu_table::Value::render)
+                .collect();
+            if !vals.is_empty() && vals.iter().all(|v| v.starts_with("TKT-")) {
+                StepScores::from_candidates(vec![Candidate {
+                    ty: self.ty,
+                    confidence: 0.99,
+                }])
+            } else {
+                StepScores::default()
+            }
+        }
+    }
+
+    #[test]
+    fn custom_registered_step_end_to_end() {
+        let global = shared_global();
+        // Register the custom type first (on a throwaway instance) so we
+        // know its id, then build the custom cascade.
+        let mut typer = SigmaTyper::builder(global).build();
+        let ticket = typer.register_custom_type("ticket id", ValueKind::Identifier, &[]);
+        typer.cascade_mut().insert(1, TicketStep { ty: ticket });
+        typer.cascade_mut().set_weight(StepId::custom(0), 2.0);
+
+        let table = Table::new(
+            "tickets",
+            vec![
+                Column::from_raw("xq7_zz", &["TKT-0001", "TKT-0002", "TKT-0003"]),
+                Column::from_raw("city", &["Oslo", "Lima", "Kyiv"]),
+            ],
+        )
+        .unwrap();
+        let ann = typer.annotate(&table);
+        // The custom step resolves the ticket column and short-circuits
+        // the rest of the cascade for it.
+        assert_eq!(ann.columns[0].predicted, ticket);
+        assert_eq!(
+            ann.columns[0].resolving_step(typer.config().cascade_threshold),
+            Some(StepId::custom(0))
+        );
+        assert!(ann.columns[0].steps_run.contains(&StepId::custom(0)));
+        assert!(!ann.columns[0].steps_run.contains(&Step::Lookup));
+        // The city column passes through the custom step unclaimed.
+        assert_eq!(
+            ann.columns[1].predicted,
+            builtin_id(typer.ontology(), "city")
+        );
+        // Custom-step telemetry is reported by name. The city column is
+        // already header-resolved, so the step only ran on the tickets.
+        let t = &ann.timings[1];
+        assert_eq!(t.step, StepId::custom(0));
+        assert_eq!(t.name, "ticket-prefix");
+        assert_eq!(t.columns, 1);
+    }
+
+    #[test]
+    fn empty_cascade_abstains_everywhere() {
+        let global = shared_global();
+        let typer = SigmaTyper::builder(global)
+            .without_step(Step::Header)
+            .without_step(Step::Lookup)
+            .without_step(Step::Embedding)
+            .build();
+        assert!(typer.cascade().is_empty());
+        let ann = typer.annotate(&figure3_table());
+        assert!(ann.columns.iter().all(ColumnAnnotation::abstained));
+        assert!(ann.timings.is_empty());
+    }
+
+    /// A dissenting step that always votes one fixed type and never
+    /// skips — exists purely to give the vote a second opinionated
+    /// participant in the weight-override test.
+    #[derive(Debug)]
+    struct ConstStep {
+        ty: TypeId,
+    }
+
+    impl AnnotationStep for ConstStep {
+        fn id(&self) -> StepId {
+            StepId::custom(1)
+        }
+
+        fn name(&self) -> &str {
+            "const"
+        }
+
+        fn skip(&self, _ctx: &StepContext<'_>) -> bool {
+            false
+        }
+
+        fn run(&self, _ctx: &StepContext<'_>) -> StepScores {
+            StepScores::from_candidates(vec![Candidate {
+                ty: self.ty,
+                confidence: 0.9,
+            }])
+        }
+    }
+
+    #[test]
+    fn step_weight_override_changes_the_vote() {
+        let global = shared_global();
+        let o = global.ontology.clone();
+        let city = builtin_id(&o, "city");
+        let salary = builtin_id(&o, "salary");
+        let table = Table::new(
+            "t",
+            vec![Column::from_raw("Cities", &["Oslo", "Lima", "Kyiv"])],
+        )
+        .unwrap();
+        // Header matching says `city` (near-exact, 0.97); the dissenting
+        // step says `salary` at 0.9. At the default weight (1.0 for a
+        // custom step) the header wins; at 50x the dissenter wins — the
+        // override, not the config weight, decides the vote.
+        let base = SigmaTyper::builder(global.clone())
+            .step(ConstStep { ty: salary })
+            .build();
+        assert_eq!(base.annotate(&table).columns[0].predicted, city);
+        let boosted = SigmaTyper::builder(global)
+            .step(ConstStep { ty: salary })
+            .step_weight(StepId::custom(1), 50.0)
+            .build();
+        assert_eq!(boosted.annotate(&table).columns[0].predicted, salary);
     }
 }

@@ -1,7 +1,7 @@
 //! Label model: reconcile conflicting weak votes into probabilistic labels.
 //!
 //! Implements the data-programming recipe the paper builds on (Ratner et
-//! al., NeurIPS'16 — reference [29]): a majority-vote baseline and a
+//! al., NeurIPS'16 — reference \[29\]): a majority-vote baseline and a
 //! one-coin EM model that learns per-LF accuracies from agreement
 //! patterns, assuming conditional independence given the true label.
 

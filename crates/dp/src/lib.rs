@@ -4,7 +4,7 @@
 //! the paper (§4.2, Figure 3): labeling functions as weak voters,
 //! automatic LF inference from a user's relabel demonstration, a
 //! one-coin EM label model that reconciles conflicting votes (Ratner et
-//! al. [29]), and weak-label mining over a corpus to generate customized
+//! al. \[29\]), and weak-label mining over a corpus to generate customized
 //! training data.
 
 #![warn(missing_docs)]

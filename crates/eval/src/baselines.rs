@@ -1,7 +1,7 @@
 //! Baseline systems for experiment E7.
 //!
 //! * [`SherlockBaseline`] — a single-shot learned model over values-only
-//!   features (Sherlock, KDD'19 — reference [19]); no header, no
+//!   features (Sherlock, KDD'19 — reference \[19\]); no header, no
 //!   cascade, no adaptation, no abstention.
 //! * [`RegexDictBaseline`] — the "commercial data systems" baseline the
 //!   paper describes (§1: "simpler methods like regular expression

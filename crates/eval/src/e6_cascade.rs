@@ -66,8 +66,10 @@ pub fn run(lab: &Lab) -> E6Result {
         let mut n_cols = 0usize;
         for at in &test.tables {
             let ann = typer.annotate(&at.table);
-            for (total, step) in nanos.iter_mut().zip(ann.step_nanos) {
-                *total += step;
+            // Per-step telemetry is a Vec<StepTiming> keyed by StepId;
+            // this experiment tracks the three standard steps.
+            for (total, step) in nanos.iter_mut().zip(Step::ALL) {
+                *total += ann.nanos_for(step);
             }
             n_cols += ann.columns.len();
             for (col, &truth) in ann.columns.iter().zip(&at.labels) {
@@ -85,7 +87,9 @@ pub fn run(lab: &Lab) -> E6Result {
                     Some(Step::Header) => resolved[0] += 1,
                     Some(Step::Lookup) => resolved[1] += 1,
                     Some(Step::Embedding) => resolved[2] += 1,
-                    None => unresolved += 1,
+                    // Custom steps never appear in the standard cascade
+                    // this experiment runs.
+                    Some(_) | None => unresolved += 1,
                 }
             }
         }

@@ -1,7 +1,7 @@
 //! # tu-features
 //!
 //! Sherlock-style column feature extraction (Hulsebos et al., KDD'19 —
-//! reference [19] of the paper): character-class distribution statistics,
+//! reference \[19\] of the paper): character-class distribution statistics,
 //! global column statistics, and embedding features. These vectors feed
 //! the learned models in `tu-ml` — both the Sherlock-like single-shot
 //! baseline and SigmaTyper's table-embedding classification head.

@@ -10,7 +10,7 @@
 //!   values in the pipeline's value-lookup step,
 //! * shape-based **regex synthesis** from example values, the mechanism
 //!   DPBD uses to turn a demonstrated column into a labeling function
-//!   (paper Figure 3, reference [5]),
+//!   (paper Figure 3, reference \[5\]),
 //! * a naive backtracking [`oracle`] used for differential testing.
 
 #![warn(missing_docs)]

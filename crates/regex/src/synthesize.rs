@@ -4,7 +4,7 @@
 //! labeling functions; for textual columns with regular *shape* (phone
 //! numbers, SKUs, postal codes, ids) the most precise LF is a synthesized
 //! regex. This module implements a pragmatic cousin of multi-modal regex
-//! synthesis (Chen et al., PLDI'20 — reference [5] of the paper):
+//! synthesis (Chen et al., PLDI'20 — reference \[5\] of the paper):
 //! segment each example into character-class runs, align run signatures,
 //! and generalize run lengths into counted quantifiers.
 

@@ -71,7 +71,7 @@ impl NumericSummary {
     }
 }
 
-/// Linear-interpolated quantile of a **sorted** sample; `q` clamped to [0,1].
+/// Linear-interpolated quantile of a **sorted** sample; `q` clamped to `[0, 1]`.
 #[must_use]
 pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     assert!(!sorted.is_empty(), "quantile of empty sample");

@@ -72,10 +72,14 @@ fn main() {
             println!("             alternatives: {}", alternatives.join(", "));
         }
     }
-    println!(
-        "\nstep timings: header {:.1}µs, lookup {:.1}µs, embedding {:.1}µs",
-        annotation.step_nanos[0] as f64 / 1e3,
-        annotation.step_nanos[1] as f64 / 1e3,
-        annotation.step_nanos[2] as f64 / 1e3
-    );
+    println!("\nper-step telemetry:");
+    for t in &annotation.timings {
+        println!(
+            "  {:<10} {:>8.1}µs  ({} column{} run)",
+            t.name,
+            t.nanos as f64 / 1e3,
+            t.columns,
+            if t.columns == 1 { "" } else { "s" }
+        );
+    }
 }

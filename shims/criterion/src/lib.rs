@@ -1,4 +1,4 @@
-//! Workspace-local, offline stand-in for the [`criterion`] benchmark
+//! Workspace-local, offline stand-in for the `criterion` benchmark
 //! harness.
 //!
 //! The build environment has no crates.io access, so this shim

@@ -1,8 +1,8 @@
-//! Workspace-local, offline stand-in for the [`proptest`] crate.
+//! Workspace-local, offline stand-in for the `proptest` crate.
 //!
 //! The build environment has no crates.io access, so this shim
 //! re-implements the slice of proptest's API that the workspace's
-//! property tests use: the [`proptest!`] macro, the [`Strategy`]
+//! property tests use: the [`proptest!`] macro, the [`strategy::Strategy`]
 //! trait with `prop_map` / `prop_flat_map` / `prop_recursive`,
 //! string-pattern strategies (`"[a-z]{1,8}"`-style regex subsets),
 //! numeric range strategies, tuples, [`strategy::Just`],

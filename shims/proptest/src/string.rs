@@ -16,7 +16,7 @@ struct Atom {
     max: usize,
 }
 
-/// A parsed pattern: a concatenation of [`Atom`]s.
+/// A parsed pattern: a concatenation of pattern atoms.
 #[derive(Debug, Clone)]
 pub struct StringPattern {
     atoms: Vec<Atom>,

@@ -1,4 +1,4 @@
-//! Workspace-local, dependency-free stand-in for the [`rand`] crate.
+//! Workspace-local, dependency-free stand-in for the `rand` crate.
 //!
 //! The build environment has no access to crates.io, so this shim
 //! provides the (small) slice of the rand 0.9 API that the workspace
