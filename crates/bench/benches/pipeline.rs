@@ -3,8 +3,9 @@
 //! annotation throughput.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sigmatyper::AnnotationService;
+use sigmatyper::{AnnotationService, ShardedLruCache};
 use std::hint::black_box;
+use std::sync::Arc;
 use tu_bench::BenchFixture;
 use tu_table::Table;
 
@@ -86,5 +87,101 @@ fn bench_batch_service(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_steps, bench_annotate, bench_batch_service);
+/// Repeat crawls with the fingerprint-keyed step cache: a cold first
+/// crawl (fresh cache, every step runs and inserts) vs. a warm second
+/// pass over the same corpus (every step served from cache), with the
+/// uncached path as the baseline. Before timing, one cold+warm pair is
+/// checked explicitly: the warm pass must hit the cache and must not
+/// run a single step (`columns` drops to 0) — so this bench doubles as
+/// a smoke-level acceptance check when CI executes it.
+fn bench_cached_recrawl(c: &mut Criterion) {
+    let f = BenchFixture::new();
+    let tables: Vec<Table> = f.corpus.tables.iter().map(|at| at.table.clone()).collect();
+    let uncached = f.customer();
+    let fresh_cached = || {
+        let mut t = f.customer();
+        t.set_step_cache(Some(Arc::new(ShardedLruCache::new(1 << 16))));
+        t
+    };
+
+    // Correctness evidence, printed once alongside the timings.
+    let warm_typer = fresh_cached();
+    let cold_counts = crawl_counts(&warm_typer, &tables);
+    let warm_counts = crawl_counts(&warm_typer, &tables);
+    println!("pipeline/cached_recrawl  step (cold run/insert -> warm run/hit):");
+    for (cold, warm) in cold_counts.iter().zip(&warm_counts) {
+        println!(
+            "  {:<12} cold: {:>4} run {:>4} insert | warm: {:>4} run {:>4} hit",
+            cold.0, cold.1, cold.3, warm.1, warm.2
+        );
+    }
+    let total_cold_runs: usize = cold_counts.iter().map(|c| c.1).sum();
+    let total_warm_runs: usize = warm_counts.iter().map(|c| c.1).sum();
+    let total_warm_hits: usize = warm_counts.iter().map(|c| c.2).sum();
+    assert!(total_cold_runs > 0, "cold pass must execute steps");
+    assert!(total_warm_hits > 0, "warm pass must hit the cache");
+    assert_eq!(total_warm_runs, 0, "warm pass must skip every step run");
+    let cache = warm_typer.step_cache().expect("cache configured");
+    println!(
+        "  cache: {} entries after recrawl (hits counted above)",
+        cache.len()
+    );
+
+    let mut group = c.benchmark_group("pipeline/cached_recrawl");
+    group.sample_size(20);
+    group.bench_function("uncached", |b| {
+        b.iter(|| {
+            for table in &tables {
+                black_box(uncached.annotate(black_box(table)));
+            }
+        })
+    });
+    group.bench_function("cold_first_crawl", |b| {
+        b.iter(|| {
+            // Fresh cache per iteration: first-crawl cost including
+            // fingerprinting and inserts.
+            let typer = fresh_cached();
+            for table in &tables {
+                black_box(typer.annotate(black_box(table)));
+            }
+        })
+    });
+    group.bench_function("warm_recrawl", |b| {
+        b.iter(|| {
+            for table in &tables {
+                black_box(warm_typer.annotate(black_box(table)));
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Crawl once; per step return `(name, columns_run, hits, inserts)`
+/// summed over the corpus.
+fn crawl_counts(
+    typer: &sigmatyper::SigmaTyper,
+    tables: &[Table],
+) -> Vec<(String, usize, usize, usize)> {
+    let mut per_step: Vec<(String, usize, usize, usize)> = Vec::new();
+    for table in tables {
+        let ann = typer.annotate(table);
+        for (i, t) in ann.timings.iter().enumerate() {
+            if per_step.len() <= i {
+                per_step.push((t.name.clone(), 0, 0, 0));
+            }
+            per_step[i].1 += t.columns;
+            per_step[i].2 += t.cache_hits;
+            per_step[i].3 += t.cache_inserts;
+        }
+    }
+    per_step
+}
+
+criterion_group!(
+    benches,
+    bench_steps,
+    bench_annotate,
+    bench_batch_service,
+    bench_cached_recrawl
+);
 criterion_main!(benches);

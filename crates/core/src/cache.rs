@@ -1,0 +1,754 @@
+//! Per-step annotation result caching for repeat crawls.
+//!
+//! The deployment the paper targets (§4, Figure 2) is a data catalog
+//! repeatedly crawling slowly changing customer warehouses: between two
+//! crawls most columns are byte-identical, and every cascade step is a
+//! deterministic function of its [`StepContext`]. This module memoizes
+//! step results across crawls:
+//!
+//! * a [`ColumnFingerprint`] identifies one column *in its full
+//!   annotation context* — the column's header and values, the rest of
+//!   the table (neighbor headers and values feed the lookup and
+//!   embedding steps, and custom steps may read anything in the
+//!   context), the ordered step ids of the cascade (earlier steps
+//!   shape the tentative types later steps see), the step-relevant
+//!   [`SigmaTyperConfig`] fields, and the customer's **cache epoch**;
+//! * a [`CacheKey`] combines a fingerprint with one [`StepId`];
+//! * a [`StepCache`] stores `CacheKey → StepScores`; the default
+//!   backend is [`ShardedLruCache`], a capacity-bounded, mutex-sharded
+//!   in-memory LRU safe to share (`Arc`) across the
+//!   [`AnnotationService`](crate::service::AnnotationService) worker
+//!   threads.
+//!
+//! # Correctness model
+//!
+//! Annotation is deterministic and read-only, so a step's scores are a
+//! pure function of `(table content, cascade step order, config, global
+//! model, local model)`. The global model is immutable after training.
+//! The local model and ontology mutate only through
+//! [`SigmaTyper`](crate::system::SigmaTyper) adaptation entry points
+//! (feedback, implicit approval, custom type registration, cascade
+//! surgery), each of which re-draws the customer's epoch from a
+//! process-global monotone counter — and the epoch is hashed into
+//! every fingerprint, so adaptation can never serve a stale score:
+//! old entries simply become unreachable and age out of the LRU.
+//! Because epochs are globally unique (every instance draws one at
+//! build time too), several customer instances can safely pool one
+//! cache: instances with different models never share an epoch, so
+//! their entries never collide. Config changes need no epoch re-draw
+//! because the config fields are hashed into the fingerprint
+//! directly.
+//!
+//! The golden-equivalence suite (`tests/golden_cascade.rs`) proves
+//! cached and uncached annotation bit-identical across fresh, ablated,
+//! and adaptation-heavy customers.
+//!
+//! [`StepContext`]: crate::step::StepContext
+//! [`SigmaTyperConfig`]: crate::config::SigmaTyperConfig
+
+use crate::config::SigmaTyperConfig;
+use crate::prediction::{StepId, StepScores};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use tu_table::{Table, Value};
+
+/// A deterministic 128-bit streaming hasher (two FNV-1a/64 lanes with
+/// distinct offset bases, avalanche-finalized).
+///
+/// `std::hash` hashers are not guaranteed stable across std releases
+/// and `DefaultHasher` is explicitly documented as unstable, so the
+/// fingerprint pipeline uses this fixed algorithm instead: the same
+/// bytes always produce the same fingerprint within and across runs.
+/// Custom [`StepCache`] backends that persist entries can rely on that
+/// stability for the lifetime of one code version (the hashed field
+/// set may grow in future versions).
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    a: u64,
+    b: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Offset of the second lane — an arbitrary odd constant (the golden
+/// ratio) keeping the two lanes decorrelated.
+const LANE_B_TWEAK: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// splitmix64's avalanche finalizer: every input bit affects every
+/// output bit, so truncating or XOR-folding the result stays well
+/// distributed (the sharded cache picks shards from the low bits).
+const fn avalanche(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+impl StableHasher {
+    /// A fresh hasher.
+    #[must_use]
+    pub fn new() -> Self {
+        StableHasher {
+            a: FNV_OFFSET,
+            b: FNV_OFFSET ^ LANE_B_TWEAK,
+        }
+    }
+
+    /// Absorb raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            self.b = (self.b ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorb one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write(&[v]);
+    }
+
+    /// Absorb a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorb a `usize` (widened to `u64` so 32/64-bit hosts agree).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorb an `f64` by bit pattern (`-0.0` and `0.0` therefore hash
+    /// differently — bitwise identity is exactly what the
+    /// golden-equivalence contract demands).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Absorb a string, length-prefixed so `("ab", "c")` and
+    /// `("a", "bc")` cannot collide.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write(s.as_bytes());
+    }
+
+    /// Absorb one table cell. The dynamic type tag is hashed alongside
+    /// the payload: `Value::Int(1)` and `Value::Text("1")` render the
+    /// same but drive type-sensitive signals differently.
+    pub fn write_value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.write_u8(0),
+            Value::Int(i) => {
+                self.write_u8(1);
+                self.write(&i.to_le_bytes());
+            }
+            Value::Float(f) => {
+                self.write_u8(2);
+                self.write_f64(*f);
+            }
+            Value::Bool(b) => {
+                self.write_u8(3);
+                self.write_u8(u8::from(*b));
+            }
+            Value::Date(d) => {
+                self.write_u8(4);
+                self.write(&d.to_epoch_days().to_le_bytes());
+            }
+            Value::Text(s) => {
+                self.write_u8(5);
+                self.write_str(s);
+            }
+        }
+    }
+
+    /// Finish, producing 128 avalanche-mixed bits.
+    #[must_use]
+    pub fn finish128(&self) -> [u64; 2] {
+        [avalanche(self.a), avalanche(self.b ^ LANE_B_TWEAK)]
+    }
+}
+
+/// The cache identity of one column within one annotation run.
+///
+/// Two equal fingerprints guarantee the cascade would compute
+/// bit-identical scores for the column at every step (see the module
+/// docs for the correctness model); two unequal fingerprints merely
+/// miss. Computed once per column per table by
+/// [`column_fingerprints`] and exposed to steps through
+/// [`StepContext::fingerprint`](crate::step::StepContext::fingerprint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnFingerprint([u64; 2]);
+
+impl ColumnFingerprint {
+    /// Raw 128 bits (stable across runs; useful for telemetry keys or
+    /// persistent cache backends).
+    #[must_use]
+    pub fn raw(self) -> [u64; 2] {
+        self.0
+    }
+}
+
+/// Key of one cache entry: a [`ColumnFingerprint`] bound to the step
+/// that produced (or would produce) the scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey([u64; 2]);
+
+impl CacheKey {
+    /// Key for `step`'s result on the column identified by `fp`.
+    #[must_use]
+    pub fn for_step(fp: ColumnFingerprint, step: StepId) -> Self {
+        let tweak = avalanche(u64::from(step.raw()) ^ LANE_B_TWEAK);
+        CacheKey([avalanche(fp.0[0] ^ tweak), fp.0[1] ^ tweak])
+    }
+
+    /// Raw 128 bits.
+    #[must_use]
+    pub fn raw(self) -> [u64; 2] {
+        self.0
+    }
+}
+
+/// Compute the per-column fingerprints for one annotation run of
+/// `table` under a cascade executing `step_ids` in order, the given
+/// config, and the customer's current cache `epoch`.
+///
+/// The whole table is hashed once (shared base) and each column adds
+/// its own index and content hash on top, so the total cost is one
+/// pass over the table's cells regardless of cascade depth.
+#[must_use]
+pub fn column_fingerprints(
+    table: &Table,
+    step_ids: &[StepId],
+    config: &SigmaTyperConfig,
+    epoch: u64,
+) -> Vec<ColumnFingerprint> {
+    // Per-column content hash: header + cells (hashed exactly once).
+    let col_hashes: Vec<[u64; 2]> = table
+        .columns()
+        .iter()
+        .map(|col| {
+            let mut h = StableHasher::new();
+            h.write_str(&col.name);
+            h.write_usize(col.values.len());
+            for v in &col.values {
+                h.write_value(v);
+            }
+            h.finish128()
+        })
+        .collect();
+
+    // Shared base: everything that identifies the run as a whole. The
+    // table name is included because a custom step may read it through
+    // `ctx.table` (conservative: affects hit rate, never correctness).
+    let mut base = StableHasher::new();
+    base.write_str(&table.name);
+    base.write_usize(table.n_rows());
+    base.write_usize(step_ids.len());
+    for id in step_ids {
+        base.write_u64(u64::from(id.raw()));
+    }
+    config.fingerprint_into(&mut base);
+    base.write_u64(epoch);
+    base.write_usize(col_hashes.len());
+    for ch in &col_hashes {
+        base.write_u64(ch[0]);
+        base.write_u64(ch[1]);
+    }
+
+    col_hashes
+        .iter()
+        .enumerate()
+        .map(|(ci, ch)| {
+            let mut h = base.clone();
+            h.write_usize(ci);
+            h.write_u64(ch[0]);
+            h.write_u64(ch[1]);
+            ColumnFingerprint(h.finish128())
+        })
+        .collect()
+}
+
+/// A pluggable store of per-step annotation results.
+///
+/// Implementations must be safe to share across the
+/// [`AnnotationService`](crate::service::AnnotationService) worker
+/// threads (`Send + Sync`) and must return entries exactly as
+/// inserted: the cascade pushes cached scores into the annotation
+/// trace unmodified, and the golden-equivalence contract requires
+/// bit-identical `StepScores`. A backend may evict anything at any
+/// time (missing is always safe; wrong is never safe).
+pub trait StepCache: std::fmt::Debug + Send + Sync {
+    /// Look up the scores for `key`, refreshing its recency.
+    fn get(&self, key: &CacheKey) -> Option<StepScores>;
+
+    /// Store the scores for `key` (replacing any previous entry).
+    fn insert(&self, key: CacheKey, scores: StepScores);
+
+    /// Number of entries currently stored.
+    fn len(&self) -> usize;
+
+    /// `true` when the cache holds no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every entry.
+    fn clear(&self);
+}
+
+/// A borrowed cache plus the epoch to fingerprint with — what
+/// [`Cascade::run_cached`](crate::cascade::Cascade::run_cached) needs
+/// from the owning [`SigmaTyper`](crate::system::SigmaTyper).
+#[derive(Debug, Clone, Copy)]
+pub struct CacheContext<'a> {
+    /// The step cache to consult and fill.
+    pub cache: &'a dyn StepCache,
+    /// The customer's current cache epoch (see the module docs).
+    pub epoch: u64,
+}
+
+/// Aggregate counters of a [`ShardedLruCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries stored (including replacements).
+    pub inserts: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction of all lookups so far (0 when none happened).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Slot index marking "no neighbor" in the intrusive LRU list.
+const NIL: usize = usize::MAX;
+
+struct LruEntry {
+    key: CacheKey,
+    scores: StepScores,
+    prev: usize,
+    next: usize,
+}
+
+/// One mutex-guarded shard: a bounded LRU over an intrusive
+/// doubly-linked list threaded through a slot vector — O(1) get,
+/// insert, and eviction, no per-entry allocation beyond the scores.
+struct LruShard {
+    map: HashMap<CacheKey, usize>,
+    entries: Vec<LruEntry>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl LruShard {
+    fn new(capacity: usize) -> Self {
+        LruShard {
+            map: HashMap::with_capacity(capacity),
+            entries: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.entries[i].prev, self.entries[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.entries[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.entries[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.entries[i].prev = NIL;
+        self.entries[i].next = self.head;
+        if self.head != NIL {
+            self.entries[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<StepScores> {
+        let i = *self.map.get(key)?;
+        self.unlink(i);
+        self.push_front(i);
+        Some(self.entries[i].scores.clone())
+    }
+
+    /// Insert; returns `true` when an entry was evicted to make room.
+    fn insert(&mut self, key: CacheKey, scores: StepScores) -> bool {
+        if let Some(&i) = self.map.get(&key) {
+            self.entries[i].scores = scores;
+            self.unlink(i);
+            self.push_front(i);
+            return false;
+        }
+        if self.entries.len() < self.capacity {
+            let i = self.entries.len();
+            self.entries.push(LruEntry {
+                key,
+                scores,
+                prev: NIL,
+                next: NIL,
+            });
+            self.map.insert(key, i);
+            self.push_front(i);
+            return false;
+        }
+        // Full: reuse the least-recently-used slot.
+        let i = self.tail;
+        self.unlink(i);
+        self.map.remove(&self.entries[i].key);
+        self.entries[i].key = key;
+        self.entries[i].scores = scores;
+        self.map.insert(key, i);
+        self.push_front(i);
+        true
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.entries.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+impl std::fmt::Debug for LruShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LruShard")
+            .field("entries", &self.entries.len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+/// The default [`StepCache`] backend: a capacity-bounded, in-memory
+/// LRU split into independently locked shards so the
+/// [`AnnotationService`](crate::service::AnnotationService) worker
+/// threads rarely contend.
+///
+/// ```
+/// use sigmatyper::{ShardedLruCache, StepCache};
+/// let cache = ShardedLruCache::new(1024);
+/// assert!(cache.is_empty());
+/// assert_eq!(cache.stats().hits, 0);
+/// ```
+#[derive(Debug)]
+pub struct ShardedLruCache {
+    shards: Box<[Mutex<LruShard>]>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Default shard count (a power of two; shard choice masks low key
+/// bits).
+const DEFAULT_SHARDS: usize = 8;
+
+impl ShardedLruCache {
+    /// A cache holding at most ~`capacity` entries across
+    /// [`DEFAULT_SHARDS`](ShardedLruCache::with_shards) shards.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        ShardedLruCache::with_shards(capacity, DEFAULT_SHARDS)
+    }
+
+    /// A cache with an explicit shard count. `capacity` is divided
+    /// evenly; every shard holds at least one entry, so tiny
+    /// capacities round up to `shards` total. `shards` is rounded up
+    /// to a power of two (shard choice is a mask).
+    #[must_use]
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        let per_shard = capacity.div_ceil(shards).max(1);
+        let shards: Vec<Mutex<LruShard>> = (0..shards)
+            .map(|_| Mutex::new(LruShard::new(per_shard)))
+            .collect();
+        ShardedLruCache {
+            shards: shards.into_boxed_slice(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Total entry capacity (sum over shards).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.shards.len() * self.shards.first().map_or(0, |s| Self::lock(s).capacity)
+    }
+
+    /// Aggregate hit/miss/insert/eviction counters plus the current
+    /// entry count.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<LruShard> {
+        // Keys are avalanche-mixed, so the low bits are uniform.
+        &self.shards[(key.raw()[0] as usize) & (self.shards.len() - 1)]
+    }
+
+    /// Lock a shard, tolerating poisoning: the cache holds plain data,
+    /// so a panic in another thread mid-operation at worst loses
+    /// recency ordering, never integrity of returned scores.
+    fn lock(shard: &Mutex<LruShard>) -> std::sync::MutexGuard<'_, LruShard> {
+        shard
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl StepCache for ShardedLruCache {
+    fn get(&self, key: &CacheKey) -> Option<StepScores> {
+        let found = Self::lock(self.shard(key)).get(key);
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn insert(&self, key: CacheKey, scores: StepScores) {
+        let evicted = Self::lock(self.shard(&key)).insert(key, scores);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| Self::lock(s).entries.len())
+            .sum()
+    }
+
+    fn clear(&self) {
+        for s in &self.shards {
+            Self::lock(s).clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prediction::Candidate;
+    use std::sync::Arc;
+    use tu_ontology::TypeId;
+    use tu_table::Column;
+
+    fn scores(conf: f64) -> StepScores {
+        StepScores::from_candidates(vec![Candidate {
+            ty: TypeId(1),
+            confidence: conf,
+        }])
+    }
+
+    fn key(n: u64) -> CacheKey {
+        CacheKey([avalanche(n), avalanche(n ^ LANE_B_TWEAK)])
+    }
+
+    #[test]
+    fn stable_hasher_is_deterministic_and_sensitive() {
+        let mut a = StableHasher::new();
+        a.write_str("hello");
+        a.write_u64(7);
+        let mut b = StableHasher::new();
+        b.write_str("hello");
+        b.write_u64(7);
+        assert_eq!(a.finish128(), b.finish128());
+        let mut c = StableHasher::new();
+        c.write_str("hello");
+        c.write_u64(8);
+        assert_ne!(a.finish128(), c.finish128());
+        // Length prefixing: ("ab","c") != ("a","bc").
+        let mut d = StableHasher::new();
+        d.write_str("ab");
+        d.write_str("c");
+        let mut e = StableHasher::new();
+        e.write_str("a");
+        e.write_str("bc");
+        assert_ne!(d.finish128(), e.finish128());
+        // Value type tags: Int(1) != Text("1").
+        let mut f = StableHasher::new();
+        f.write_value(&Value::Int(1));
+        let mut g = StableHasher::new();
+        g.write_value(&Value::Text("1".into()));
+        assert_ne!(f.finish128(), g.finish128());
+    }
+
+    fn fp_table(name: &str, header: &str, vals: &[&str]) -> Table {
+        Table::new(name, vec![Column::from_raw(header, vals)]).unwrap()
+    }
+
+    #[test]
+    fn fingerprints_track_content_config_epoch_and_step_order() {
+        let config = SigmaTyperConfig::default();
+        let steps = [StepId::HEADER, StepId::LOOKUP];
+        let t = fp_table("t", "city", &["Oslo", "Lima"]);
+        let base = column_fingerprints(&t, &steps, &config, 0);
+        assert_eq!(base.len(), 1);
+        // Deterministic.
+        assert_eq!(base, column_fingerprints(&t, &steps, &config, 0));
+        // Value change, header change, epoch change, step order change,
+        // and config change each move the fingerprint.
+        let changed = fp_table("t", "city", &["Oslo", "Kyiv"]);
+        assert_ne!(base, column_fingerprints(&changed, &steps, &config, 0));
+        let renamed = fp_table("t", "town", &["Oslo", "Lima"]);
+        assert_ne!(base, column_fingerprints(&renamed, &steps, &config, 0));
+        assert_ne!(base, column_fingerprints(&t, &steps, &config, 1));
+        let reordered = [StepId::LOOKUP, StepId::HEADER];
+        assert_ne!(base, column_fingerprints(&t, &reordered, &config, 0));
+        let tweaked = SigmaTyperConfig {
+            cascade_threshold: 0.9,
+            ..config
+        };
+        assert_ne!(base, column_fingerprints(&t, &steps, &tweaked, 0));
+    }
+
+    #[test]
+    fn identical_columns_at_different_indices_differ() {
+        let t = Table::new(
+            "t",
+            vec![
+                Column::from_raw("a", &["1", "2"]),
+                Column::from_raw("b", &["1", "2"]),
+            ],
+        )
+        .unwrap();
+        let fps = column_fingerprints(&t, &[StepId::HEADER], &SigmaTyperConfig::default(), 0);
+        assert_ne!(fps[0], fps[1], "neighbor context differs by index");
+    }
+
+    #[test]
+    fn cache_key_separates_steps() {
+        let t = fp_table("t", "c", &["1"]);
+        let fp = column_fingerprints(&t, &[StepId::HEADER], &SigmaTyperConfig::default(), 0)[0];
+        assert_ne!(
+            CacheKey::for_step(fp, StepId::HEADER),
+            CacheKey::for_step(fp, StepId::LOOKUP)
+        );
+        assert_eq!(
+            CacheKey::for_step(fp, StepId::HEADER),
+            CacheKey::for_step(fp, StepId::HEADER)
+        );
+        assert_eq!(fp.raw(), fp.raw());
+    }
+
+    #[test]
+    fn lru_basic_roundtrip_and_stats() {
+        let cache = ShardedLruCache::new(64);
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&key(1)), None);
+        cache.insert(key(1), scores(0.5));
+        assert_eq!(cache.get(&key(1)).unwrap().best_confidence(), 0.5);
+        // Replacement keeps one entry.
+        cache.insert(key(1), scores(0.7));
+        assert_eq!(cache.get(&key(1)).unwrap().best_confidence(), 0.7);
+        assert_eq!(cache.len(), 1);
+        let s = cache.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.inserts, 2);
+        assert_eq!(s.evictions, 0);
+        assert_eq!(s.entries, 1);
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&key(1)), None);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_within_capacity() {
+        // One shard to make the recency order fully observable.
+        let cache = ShardedLruCache::with_shards(3, 1);
+        assert_eq!(cache.capacity(), 3);
+        for n in 0..3 {
+            cache.insert(key(n), scores(0.1));
+        }
+        // Touch 0 so 1 becomes the LRU entry.
+        assert!(cache.get(&key(0)).is_some());
+        cache.insert(key(3), scores(0.2));
+        assert_eq!(cache.len(), 3);
+        assert!(cache.get(&key(1)).is_none(), "LRU entry must be evicted");
+        assert!(cache.get(&key(0)).is_some());
+        assert!(cache.get(&key(2)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn tiny_capacities_round_up_to_one_per_shard() {
+        let cache = ShardedLruCache::with_shards(0, 4);
+        assert_eq!(cache.capacity(), 4);
+        cache.insert(key(1), scores(0.5));
+        assert_eq!(cache.get(&key(1)).unwrap().best_confidence(), 0.5);
+        // Shard counts round up to a power of two.
+        let cache = ShardedLruCache::with_shards(100, 3);
+        assert_eq!(cache.capacity(), 100);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_stay_consistent() {
+        let cache = Arc::new(ShardedLruCache::new(256));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..200u64 {
+                        let k = key(t * 1000 + i);
+                        cache.insert(k, scores(0.25));
+                        assert_eq!(cache.get(&k).map(|s| s.best_confidence()), Some(0.25));
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= cache.capacity());
+        assert!(cache.stats().hits >= 1);
+    }
+}

@@ -8,6 +8,7 @@
 //! configured, and the steps can be any mix of built-ins and
 //! user-registered implementations.
 
+use crate::cache::{column_fingerprints, CacheContext, CacheKey, ColumnFingerprint};
 use crate::config::SigmaTyperConfig;
 use crate::global::GlobalModel;
 use crate::local::LocalModel;
@@ -169,18 +170,46 @@ impl Cascade {
         local: &LocalModel,
         config: &SigmaTyperConfig,
     ) -> CascadeTrace {
+        self.run_cached(table, global, local, config, None)
+    }
+
+    /// [`Cascade::run`] with an optional step cache: before running a
+    /// step on a column, the cache is consulted under the column's
+    /// fingerprint (see [`crate::cache`]); a hit pushes the stored
+    /// scores into the trace exactly as a run would, a miss runs the
+    /// step and inserts the result. Per-step hit/miss/insert counts
+    /// are reported in the [`StepTiming`] records; cache hits do not
+    /// count toward [`StepTiming::columns`].
+    ///
+    /// Cached and uncached runs are bit-identical: a cached score was
+    /// produced by the same deterministic step under a context with
+    /// the same fingerprint, and the skip predicates and tentative
+    /// types downstream of it see identical inputs either way.
+    #[must_use]
+    pub fn run_cached(
+        &self,
+        table: &Table,
+        global: &GlobalModel,
+        local: &LocalModel,
+        config: &SigmaTyperConfig,
+        cache: Option<CacheContext<'_>>,
+    ) -> CascadeTrace {
         let n = table.n_cols();
         let normalized: Vec<String> = table
             .headers()
             .iter()
             .map(|h| tu_text::normalize_header(h))
             .collect();
+        // One pass over the table's cells, shared by every step.
+        let fingerprints: Option<Vec<ColumnFingerprint>> =
+            cache.map(|cc| column_fingerprints(table, &self.step_ids(), config, cc.epoch));
         let mut per_column: Vec<Vec<(StepId, StepScores)>> = vec![Vec::new(); n];
         let mut timings = Vec::with_capacity(self.steps.len());
 
         for step in &self.steps {
             let t0 = Instant::now();
             let mut columns_run = 0usize;
+            let (mut hits, mut misses, mut inserts) = (0usize, 0usize, 0usize);
             // Tentative neighbor types from the best candidates of the
             // steps executed so far (recomputed once per step, so every
             // step sees the freshest cross-column context).
@@ -198,12 +227,34 @@ impl Cascade {
                     global,
                     local,
                     config,
+                    fingerprint: fingerprints.as_ref().map(|f| f[ci]),
                 };
                 if step.skip(&ctx) {
                     continue;
                 }
-                columns_run += 1;
-                let scores = step.run(&ctx);
+                let scores = match (cache, ctx.fingerprint) {
+                    (Some(cc), Some(fp)) => {
+                        let key = CacheKey::for_step(fp, step.id());
+                        match cc.cache.get(&key) {
+                            Some(cached) => {
+                                hits += 1;
+                                cached
+                            }
+                            None => {
+                                misses += 1;
+                                columns_run += 1;
+                                let computed = step.run(&ctx);
+                                cc.cache.insert(key, computed.clone());
+                                inserts += 1;
+                                computed
+                            }
+                        }
+                    }
+                    _ => {
+                        columns_run += 1;
+                        step.run(&ctx)
+                    }
+                };
                 col_steps.push((step.id(), scores));
             }
             timings.push(StepTiming {
@@ -211,6 +262,9 @@ impl Cascade {
                 name: step.name().to_owned(),
                 nanos: t0.elapsed().as_nanos(),
                 columns: columns_run,
+                cache_hits: hits,
+                cache_misses: misses,
+                cache_inserts: inserts,
             });
         }
         (per_column, timings)

@@ -1,5 +1,6 @@
 //! System configuration: thresholds, step weights, and sizes.
 
+use crate::cache::StableHasher;
 use crate::prediction::StepId;
 
 /// SigmaTyper configuration (paper §4.3).
@@ -47,6 +48,43 @@ impl SigmaTyperConfig {
             StepId::EMBEDDING => self.weight_embedding,
             _ => 1.0,
         }
+    }
+
+    /// Hash every step-relevant field into a column fingerprint (see
+    /// [`crate::cache`]). All fields are included — steps receive the
+    /// whole config through `StepContext`, so any field may influence a
+    /// step's scores. Keeping this exhaustive is a correctness
+    /// obligation: a config field that steps can read but fingerprints
+    /// ignore would let the cache serve stale scores after a config
+    /// change — hence the full destructuring below, which turns a
+    /// forgotten new field into a compile error. (The vote weights are
+    /// included too even though they act after the cascade: a spurious
+    /// mismatch only costs a cache miss.)
+    pub fn fingerprint_into(&self, h: &mut StableHasher) {
+        let SigmaTyperConfig {
+            cascade_threshold,
+            tau,
+            top_k,
+            weight_header,
+            weight_lookup,
+            weight_embedding,
+            range_lf_scale,
+            lookup_sample,
+            enable_header,
+            enable_lookup,
+            enable_embedding,
+        } = *self;
+        h.write_f64(cascade_threshold);
+        h.write_f64(tau);
+        h.write_usize(top_k);
+        h.write_f64(weight_header);
+        h.write_f64(weight_lookup);
+        h.write_f64(weight_embedding);
+        h.write_f64(range_lf_scale);
+        h.write_usize(lookup_sample);
+        h.write_u8(u8::from(enable_header));
+        h.write_u8(u8::from(enable_lookup));
+        h.write_u8(u8::from(enable_embedding));
     }
 }
 
@@ -131,6 +169,61 @@ mod tests {
         let t = TrainingConfig::default();
         assert!(t.calibration_fraction > 0.0 && t.calibration_fraction < 1.0);
         assert!(TrainingConfig::fast().epochs < t.epochs);
+    }
+
+    #[test]
+    fn fingerprint_covers_every_field() {
+        let finish = |c: &SigmaTyperConfig| {
+            let mut h = StableHasher::new();
+            c.fingerprint_into(&mut h);
+            h.finish128()
+        };
+        let base = SigmaTyperConfig::default();
+        assert_eq!(finish(&base), finish(&base), "deterministic");
+        // Every field perturbation must move the fingerprint.
+        let variants = [
+            SigmaTyperConfig {
+                cascade_threshold: 0.5,
+                ..base
+            },
+            SigmaTyperConfig { tau: 0.9, ..base },
+            SigmaTyperConfig { top_k: 7, ..base },
+            SigmaTyperConfig {
+                weight_header: 0.3,
+                ..base
+            },
+            SigmaTyperConfig {
+                weight_lookup: 0.3,
+                ..base
+            },
+            SigmaTyperConfig {
+                weight_embedding: 0.3,
+                ..base
+            },
+            SigmaTyperConfig {
+                range_lf_scale: 0.1,
+                ..base
+            },
+            SigmaTyperConfig {
+                lookup_sample: 3,
+                ..base
+            },
+            SigmaTyperConfig {
+                enable_header: false,
+                ..base
+            },
+            SigmaTyperConfig {
+                enable_lookup: false,
+                ..base
+            },
+            SigmaTyperConfig {
+                enable_embedding: false,
+                ..base
+            },
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(finish(&base), finish(v), "variant {i} did not move");
+        }
     }
 
     #[test]

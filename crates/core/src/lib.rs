@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod cache;
 pub mod cascade;
 pub mod config;
 pub mod embedstep;
@@ -48,6 +49,10 @@ pub mod service;
 pub mod step;
 pub mod system;
 
+pub use cache::{
+    column_fingerprints, CacheContext, CacheKey, CacheStats, ColumnFingerprint, ShardedLruCache,
+    StableHasher, StepCache,
+};
 pub use cascade::Cascade;
 pub use config::{SigmaTyperConfig, TrainingConfig};
 pub use embedstep::{train_embedding_model, TableEmbeddingModel};

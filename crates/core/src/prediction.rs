@@ -109,7 +109,7 @@ pub struct Candidate {
 }
 
 /// Scores a single step assigned to a single column.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StepScores {
     /// Candidates, sorted descending by confidence.
     pub candidates: Vec<Candidate>,
@@ -170,10 +170,20 @@ pub struct StepTiming {
     /// [`StepId::name`] is just `"custom"`).
     pub name: String,
     /// Wall-clock nanoseconds the step spent on this table, including
-    /// per-column skip checks.
+    /// per-column skip checks and cache traffic.
     pub nanos: u128,
-    /// How many columns the step actually ran on (not skipped).
+    /// How many columns the step actually ran on — neither skipped nor
+    /// served from the step cache. On a warm repeat crawl this drops
+    /// toward zero while `cache_hits` absorbs the difference.
     pub columns: usize,
+    /// Columns answered from the step cache instead of running the
+    /// step (always 0 when no cache is configured).
+    pub cache_hits: usize,
+    /// Columns the cache was consulted for but had no entry (equals
+    /// `columns` when a cache is configured; 0 otherwise).
+    pub cache_misses: usize,
+    /// Results inserted into the step cache after running.
+    pub cache_inserts: usize,
 }
 
 /// Final annotation of one column.
@@ -333,28 +343,55 @@ mod tests {
         assert_eq!(format!("{:?}", StepId::HEADER), "Header");
     }
 
+    fn timing(step: StepId, name: &str, nanos: u128) -> StepTiming {
+        StepTiming {
+            step,
+            name: name.into(),
+            nanos,
+            columns: 1,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_inserts: 0,
+        }
+    }
+
     #[test]
     fn nanos_for_sums_matching_steps() {
         let ann = TableAnnotation {
             columns: vec![],
             timings: vec![
-                StepTiming {
-                    step: StepId::HEADER,
-                    name: "header".into(),
-                    nanos: 10,
-                    columns: 3,
-                },
-                StepTiming {
-                    step: StepId::LOOKUP,
-                    name: "lookup".into(),
-                    nanos: 25,
-                    columns: 1,
-                },
+                timing(StepId::HEADER, "header", 10),
+                timing(StepId::LOOKUP, "lookup", 25),
             ],
         };
         assert_eq!(ann.nanos_for(StepId::HEADER), 10);
         assert_eq!(ann.nanos_for(StepId::LOOKUP), 25);
         assert_eq!(ann.nanos_for(StepId::EMBEDDING), 0);
         assert!(ann.predictions().is_empty());
+    }
+
+    #[test]
+    fn nanos_for_custom_registered_step_ids() {
+        // A cascade mixing built-ins with user-registered steps: the
+        // accessor must resolve custom ids exactly like built-in ones,
+        // sum repeated records, and report 0 for unconfigured ids.
+        let ann = TableAnnotation {
+            columns: vec![],
+            timings: vec![
+                timing(StepId::HEADER, "header", 5),
+                timing(StepId::custom(0), "ticket-prefix", 40),
+                timing(StepId::custom(7), "geo-gazetteer", 11),
+                timing(StepId::custom(0), "ticket-prefix", 2),
+            ],
+        };
+        assert_eq!(ann.nanos_for(StepId::custom(0)), 42);
+        assert_eq!(ann.nanos_for(StepId::custom(7)), 11);
+        assert_eq!(ann.nanos_for(StepId::HEADER), 5);
+        // Unconfigured ids — custom or built-in — report zero.
+        assert_eq!(ann.nanos_for(StepId::custom(1)), 0);
+        assert_eq!(ann.nanos_for(StepId::REGEX_ONLY), 0);
+        // The raw id a custom timing reports round-trips through
+        // telemetry keys.
+        assert_eq!(StepId::custom(7).raw(), 16 + 7);
     }
 }

@@ -20,6 +20,7 @@
 //! no extra dependencies — which keeps the service synchronous: the
 //! call returns when the whole batch is done.
 
+use crate::cache::{ShardedLruCache, StepCache};
 use crate::config::SigmaTyperConfig;
 use crate::global::GlobalModel;
 use crate::prediction::TableAnnotation;
@@ -72,13 +73,37 @@ impl AnnotationService {
 
     /// Set the worker-thread count.
     ///
-    /// Zero workers is a configuration bug — debug builds assert on it;
-    /// release builds clamp to 1 instead of silently misbehaving.
+    /// Zero workers is a configuration bug: there is no meaningful
+    /// "run a batch on no threads". Debug builds assert on it to catch
+    /// the bug at the call site; release builds **clamp to 1** and
+    /// serve the batch sequentially instead of silently misbehaving
+    /// (panicking in production over a config typo would be worse than
+    /// degraded parallelism). The clamp is covered by an explicit
+    /// release-mode unit test.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         debug_assert!(threads > 0, "with_threads: worker count must be at least 1");
         self.threads = threads.max(1);
         self
+    }
+
+    /// Attach a step cache shared by every worker thread (see
+    /// [`crate::cache`]): repeat crawls of unchanged tables are served
+    /// from memo'd step results, and adaptation through
+    /// [`AnnotationService::typer_mut`] invalidates stale entries via
+    /// the epoch. Sharing one `Arc` across services pools their
+    /// capacity.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<dyn StepCache>) -> Self {
+        self.typer.set_step_cache(Some(cache));
+        self
+    }
+
+    /// Attach the default step-cache backend — a [`ShardedLruCache`]
+    /// bounded at `capacity` entries.
+    #[must_use]
+    pub fn cached(self, capacity: usize) -> Self {
+        self.with_cache(Arc::new(ShardedLruCache::new(capacity)))
     }
 
     /// The configured worker-thread count.
@@ -263,6 +288,56 @@ mod tests {
         assert_eq!(service.threads(), 1);
         let tables = batch(0x11, 3);
         assert_eq!(service.annotate_batch(&tables).len(), 3);
+    }
+
+    /// Explicit release-path coverage for the `with_threads(0)` clamp
+    /// (`cargo test --release`): no debug assert fires, the count
+    /// clamps to 1, and the clamped service produces output identical
+    /// to an explicitly sequential one.
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn zero_threads_clamps_to_one_in_release() {
+        let service = AnnotationService::new(global(), SigmaTyperConfig::default()).with_threads(0);
+        assert_eq!(service.threads(), 1);
+        let tables = batch(0x2B, 4);
+        let clamped = service.annotate_batch(&tables);
+        let sequential = service.clone().with_threads(1).annotate_batch(&tables);
+        assert_eq!(clamped.len(), sequential.len());
+        for (a, b) in clamped.iter().zip(&sequential) {
+            assert_identical(a, b);
+        }
+    }
+
+    #[test]
+    fn workers_share_one_step_cache() {
+        let service = AnnotationService::new(global(), SigmaTyperConfig::default())
+            .with_threads(4)
+            .cached(1 << 14);
+        let tables = batch(0xCAC4E, 9);
+        // Cold batch populates; warm batch is served from cache and
+        // stays bit-identical (the golden contract) across shards.
+        let cold = service.annotate_batch(&tables);
+        let runs = |anns: &[TableAnnotation]| -> usize {
+            anns.iter()
+                .flat_map(|a| a.timings.iter().map(|t| t.columns))
+                .sum()
+        };
+        let hits = |anns: &[TableAnnotation]| -> usize {
+            anns.iter()
+                .flat_map(|a| a.timings.iter().map(|t| t.cache_hits))
+                .sum()
+        };
+        assert!(runs(&cold) > 0);
+        assert_eq!(hits(&cold), 0);
+        let warm = service.annotate_batch(&tables);
+        assert_eq!(runs(&warm), 0, "warm recrawl must skip every step run");
+        assert_eq!(hits(&warm), runs(&cold));
+        for (a, b) in cold.iter().zip(&warm) {
+            assert_identical(a, b);
+        }
+        // The cache is one shared store, not per-worker copies.
+        let cache = service.typer().step_cache().expect("cache configured");
+        assert!(!cache.is_empty());
     }
 
     #[test]

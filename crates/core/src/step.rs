@@ -10,6 +10,7 @@
 //! runs an ordered list of them; user code registers additional steps
 //! through [`SigmaTyper::builder`](crate::system::SigmaTyper::builder).
 
+use crate::cache::ColumnFingerprint;
 use crate::config::SigmaTyperConfig;
 use crate::global::GlobalModel;
 use crate::local::LocalModel;
@@ -43,6 +44,12 @@ pub struct StepContext<'a> {
     pub local: &'a LocalModel,
     /// The active configuration.
     pub config: &'a SigmaTyperConfig,
+    /// This column's cache identity for the current run, when the
+    /// owning [`SigmaTyper`](crate::system::SigmaTyper) has a step
+    /// cache configured (`None` otherwise). Computed once per column
+    /// per table by the cascade; steps may use it to key caches of
+    /// their own.
+    pub fingerprint: Option<ColumnFingerprint>,
 }
 
 impl<'a> StepContext<'a> {
@@ -356,6 +363,7 @@ mod tests {
             global,
             local,
             config,
+            fingerprint: None,
         }
     }
 

@@ -1,6 +1,7 @@
 //! The SigmaTyper orchestrator: cascade, aggregation, and adaptation.
 
 use crate::aggregate::{apply_tau, soft_majority_vote_with};
+use crate::cache::{CacheContext, ShardedLruCache, StepCache};
 use crate::cascade::Cascade;
 use crate::config::SigmaTyperConfig;
 use crate::global::GlobalModel;
@@ -24,6 +25,30 @@ pub struct SigmaTyper {
     local: LocalModel,
     config: SigmaTyperConfig,
     cascade: Cascade,
+    /// Optional per-step result cache (see [`crate::cache`]). Shared
+    /// by `Arc`, so clones of this instance — including the per-worker
+    /// sharing inside [`AnnotationService`] — hit one store.
+    ///
+    /// [`AnnotationService`]: crate::service::AnnotationService
+    cache: Option<Arc<dyn StepCache>>,
+    /// Cache epoch: hashed into every column fingerprint and replaced
+    /// by a fresh process-globally unique value on every adaptation
+    /// event, so cached scores from before an adaptation can never be
+    /// served after it. Global uniqueness (not a per-instance counter)
+    /// is what makes *sharing one cache across instances* sound: two
+    /// instances only ever hold the same epoch when one is an
+    /// unmutated clone of the other — i.e. when their models really
+    /// are identical. Any divergence (a feedback event on either side)
+    /// draws a fresh value no other instance has ever used.
+    epoch: u64,
+}
+
+/// Draw a fresh, process-globally unique cache epoch (see
+/// [`SigmaTyper::cache_epoch`]). Values are monotone, so tests can
+/// assert "the epoch moved" with `>`.
+fn next_epoch() -> u64 {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }
 
 /// Builder for a customer instance with a customized cascade: add,
@@ -55,6 +80,7 @@ pub struct SigmaTyperBuilder {
     global: Arc<GlobalModel>,
     config: SigmaTyperConfig,
     cascade: Cascade,
+    cache: Option<Arc<dyn StepCache>>,
 }
 
 impl SigmaTyperBuilder {
@@ -124,6 +150,28 @@ impl SigmaTyperBuilder {
         self
     }
 
+    /// Attach a step cache (see [`crate::cache`]): every step consults
+    /// it before running and inserts after, making repeat crawls of
+    /// unchanged tables skip most step work. Pass a shared `Arc` to
+    /// let several customer instances (or a fleet of services) pool
+    /// one store's capacity — entries stay disjoint because every
+    /// instance (and every adaptation event) holds a process-globally
+    /// unique cache epoch, hashed into each fingerprint; two instances
+    /// share an epoch only while one is an unmutated clone of the
+    /// other, i.e. while their models really are identical.
+    #[must_use]
+    pub fn step_cache(mut self, cache: Arc<dyn StepCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Attach the default step-cache backend — a
+    /// [`ShardedLruCache`] bounded at `capacity` entries.
+    #[must_use]
+    pub fn cached(self, capacity: usize) -> Self {
+        self.step_cache(Arc::new(ShardedLruCache::new(capacity)))
+    }
+
     /// Build the customer instance.
     #[must_use]
     pub fn build(self) -> SigmaTyper {
@@ -134,6 +182,12 @@ impl SigmaTyperBuilder {
             local: LocalModel::new(),
             config: self.config,
             cascade: self.cascade,
+            cache: self.cache,
+            // Even a freshly built instance gets a globally unique
+            // epoch: two customers built over different global models
+            // (or with different custom step implementations) must
+            // never produce colliding cache keys.
+            epoch: next_epoch(),
         }
     }
 }
@@ -155,6 +209,7 @@ impl SigmaTyper {
             global,
             config: SigmaTyperConfig::default(),
             cascade: Cascade::standard(),
+            cache: None,
         }
     }
 
@@ -196,8 +251,50 @@ impl SigmaTyper {
     /// Mutable cascade, for reconfiguring steps between batches (like
     /// adaptation, cascade surgery is a customer-local, single-writer
     /// operation — never concurrent with serving).
+    ///
+    /// Borrowing the cascade mutably bumps the cache epoch: removing a
+    /// step and inserting a *different implementation under the same
+    /// [`StepId`]* would otherwise let the cache serve the old
+    /// implementation's scores. (Pure reorders are also covered — the
+    /// step order is part of the fingerprint — so the bump only costs
+    /// cold lookups, never correctness.)
     pub fn cascade_mut(&mut self) -> &mut Cascade {
+        self.epoch = next_epoch();
         &mut self.cascade
+    }
+
+    /// The configured step cache, if any.
+    #[must_use]
+    pub fn step_cache(&self) -> Option<&Arc<dyn StepCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Attach or detach a step cache on an existing instance (see
+    /// [`SigmaTyperBuilder::step_cache`]).
+    pub fn set_step_cache(&mut self, cache: Option<Arc<dyn StepCache>>) {
+        self.cache = cache;
+    }
+
+    /// The current cache epoch: a process-globally unique, monotone
+    /// value drawn at build time and re-drawn by
+    /// [`SigmaTyper::feedback`], [`SigmaTyper::implicit_approve`],
+    /// [`SigmaTyper::register_custom_type`],
+    /// [`SigmaTyper::cascade_mut`], and
+    /// [`SigmaTyper::invalidate_cache`]. It is hashed into every
+    /// column fingerprint, so a re-draw makes all previously cached
+    /// entries unreachable for this customer — and global uniqueness
+    /// keeps different instances' entries disjoint in a shared cache.
+    #[must_use]
+    pub fn cache_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Manually invalidate this customer's cached step results — for
+    /// out-of-band changes the system cannot observe (say, a process
+    /// that mutated shared lookup data behind the `Arc`). Entries are
+    /// not freed, just unreachable; they age out of the LRU.
+    pub fn invalidate_cache(&mut self) {
+        self.epoch = next_epoch();
     }
 
     /// Register a customer-specific semantic type. The type is matched
@@ -219,6 +316,7 @@ impl SigmaTyper {
             id.index() < self.global.embedding.n_classes(),
             "reserved class space exhausted; raise TrainingConfig::reserve_classes"
         );
+        self.epoch = next_epoch();
         id
     }
 
@@ -227,9 +325,13 @@ impl SigmaTyper {
     /// Figure 4).
     #[must_use]
     pub fn annotate(&self, table: &Table) -> TableAnnotation {
+        let cache_ctx = self.cache.as_deref().map(|cache| CacheContext {
+            cache,
+            epoch: self.epoch,
+        });
         let (per_column, timings) =
             self.cascade
-                .run(table, &self.global, &self.local, &self.config);
+                .run_cached(table, &self.global, &self.local, &self.config, cache_ctx);
 
         let weight_of = |id: StepId| self.cascade.weight(id, &self.config);
         let columns = per_column
@@ -368,6 +470,8 @@ impl SigmaTyper {
         }
         self.local.add_training(examples);
         self.refit_local();
+        // The local model changed: retire every cached step result.
+        self.epoch = next_epoch();
     }
 
     /// Implicit feedback: the user left the remaining predictions as-is,
@@ -396,6 +500,9 @@ impl SigmaTyper {
             self.local.add_training(examples);
             self.refit_local();
         }
+        // `Wl` grew (feedback counts) even when no training example was
+        // added, so cached scores are stale either way.
+        self.epoch = next_epoch();
     }
 
     /// Finetune the local embedding model on all accumulated local
@@ -634,6 +741,169 @@ mod tests {
         ];
         st.prefer_specific(&mut top);
         assert_eq!(top[0].ty, location);
+    }
+
+    /// Everything except wall-clock timing must match bit for bit.
+    fn assert_same_annotation(a: &TableAnnotation, b: &TableAnnotation) {
+        assert_eq!(a.columns.len(), b.columns.len());
+        for (ca, cb) in a.columns.iter().zip(&b.columns) {
+            assert_eq!(ca.predicted, cb.predicted);
+            assert_eq!(ca.confidence.to_bits(), cb.confidence.to_bits());
+            assert_eq!(ca.top_k, cb.top_k);
+            assert_eq!(ca.steps_run, cb.steps_run);
+            for (sa, sb) in ca.step_scores.iter().zip(&cb.step_scores) {
+                assert_eq!(sa.candidates, sb.candidates);
+            }
+        }
+    }
+
+    #[test]
+    fn cached_annotation_is_identical_and_hits_on_recrawl() {
+        let global = shared_global();
+        let plain = SigmaTyper::builder(global.clone()).build();
+        let cached = SigmaTyper::builder(global).cached(4096).build();
+        assert!(cached.step_cache().is_some());
+        assert!(plain.step_cache().is_none());
+        let table = figure3_table();
+
+        // Cold crawl: nothing to hit; every executed column inserted.
+        let cold = cached.annotate(&table);
+        assert_same_annotation(&plain.annotate(&table), &cold);
+        assert!(cold.timings.iter().all(|t| t.cache_hits == 0));
+        let cold_runs: usize = cold.timings.iter().map(|t| t.columns).sum();
+        let cold_inserts: usize = cold.timings.iter().map(|t| t.cache_inserts).sum();
+        assert!(cold_runs > 0);
+        assert_eq!(cold_inserts, cold_runs);
+        assert_eq!(
+            cold.timings.iter().map(|t| t.cache_misses).sum::<usize>(),
+            cold_runs
+        );
+
+        // Warm recrawl of the same table: bit-identical, zero step
+        // runs, every previously run column served from cache.
+        let warm = cached.annotate(&table);
+        assert_same_annotation(&cold, &warm);
+        assert_eq!(warm.timings.iter().map(|t| t.columns).sum::<usize>(), 0);
+        assert_eq!(
+            warm.timings.iter().map(|t| t.cache_hits).sum::<usize>(),
+            cold_runs
+        );
+        // Uncached instances report quiet counters.
+        let plain_ann = plain.annotate(&table);
+        assert!(plain_ann
+            .timings
+            .iter()
+            .all(|t| t.cache_hits == 0 && t.cache_misses == 0 && t.cache_inserts == 0));
+    }
+
+    #[test]
+    fn adaptation_events_bump_the_cache_epoch() {
+        let mut st = SigmaTyper::builder(shared_global()).cached(1024).build();
+        let e0 = st.cache_epoch();
+        // Separately built instances never share an epoch (the global
+        // draw is what keeps a shared cache sound across customers).
+        assert_ne!(
+            SigmaTyper::builder(shared_global()).build().cache_epoch(),
+            e0
+        );
+        let table = figure3_table();
+        let ann = st.annotate(&table);
+        assert_eq!(st.cache_epoch(), e0, "read-only annotate never bumps");
+        assert_eq!(st.clone().cache_epoch(), e0, "clones share the epoch");
+        st.implicit_approve(&table, &ann);
+        let e1 = st.cache_epoch();
+        assert!(e1 > e0);
+        st.feedback(&table, 1, builtin_id(st.ontology(), "salary"), None);
+        let e2 = st.cache_epoch();
+        assert!(e2 > e1);
+        st.register_custom_type("widget", ValueKind::Textual, &[]);
+        let e3 = st.cache_epoch();
+        assert!(e3 > e2);
+        let _ = st.cascade_mut();
+        let e4 = st.cache_epoch();
+        assert!(e4 > e3);
+        st.invalidate_cache();
+        assert!(st.cache_epoch() > e4);
+    }
+
+    #[test]
+    fn shared_cache_never_cross_serves_customers() {
+        // Two separately built customers pooling one cache: customer A
+        // adapts, customer B stays fresh. B's annotations must come
+        // from B's own models — never from A's cached entries.
+        let cache: Arc<dyn StepCache> = Arc::new(crate::cache::ShardedLruCache::new(1 << 14));
+        let global = shared_global();
+        let mut a = SigmaTyper::builder(global.clone())
+            .step_cache(Arc::clone(&cache))
+            .build();
+        let b = SigmaTyper::builder(global.clone())
+            .step_cache(Arc::clone(&cache))
+            .build();
+        let plain = SigmaTyper::builder(global).build();
+        let o = plain.ontology().clone();
+        let phone = builtin_id(&o, "phone number");
+        let mk = |seed: u64| {
+            let vals: Vec<String> = (0..30)
+                .map(|i| format!("{}", 50_000_000 + seed * 1000 + i * 101))
+                .collect();
+            Table::new(
+                format!("contacts_{seed}"),
+                vec![Column::from_raw("contact", &vals)],
+            )
+            .unwrap()
+        };
+        for s in 1..=3 {
+            a.feedback(&mk(s), 0, phone, None);
+        }
+        let t = mk(9);
+        // Warm the shared cache with A's adapted scores.
+        let from_a = a.annotate(&t);
+        assert_eq!(from_a.columns[0].predicted, phone);
+        // B annotates the same table through the same cache: its
+        // epoch differs, so it misses A's entries and computes with
+        // its own (fresh) models — identical to an uncached instance.
+        let from_b = b.annotate(&t);
+        assert!(from_b.timings.iter().all(|x| x.cache_hits == 0));
+        assert_same_annotation(&plain.annotate(&t), &from_b);
+        assert_ne!(from_b.columns[0].predicted, phone, "sanity: B unadapted");
+    }
+
+    #[test]
+    fn feedback_invalidates_cached_scores() {
+        let mut cached = SigmaTyper::builder(shared_global()).cached(4096).build();
+        let mut plain = cached.clone();
+        plain.set_step_cache(None);
+        let o = cached.ontology().clone();
+        let phone = builtin_id(&o, "phone number");
+        let mk = |seed: u64| {
+            let vals: Vec<String> = (0..30)
+                .map(|i| format!("{}", 40_000_000 + seed * 1000 + i * 113))
+                .collect();
+            Table::new(
+                format!("contacts_{seed}"),
+                vec![Column::from_raw("contact", &vals)],
+            )
+            .unwrap()
+        };
+        // Warm the cache on the pre-adaptation state.
+        let t = mk(9);
+        let _ = cached.annotate(&t);
+        assert!(cached.annotate(&t).timings.iter().any(|x| x.cache_hits > 0));
+        // Adapt both instances identically.
+        for s in 1..=3 {
+            cached.feedback(&mk(s), 0, phone, None);
+            plain.feedback(&mk(s), 0, phone, None);
+        }
+        // The warm cache must not serve pre-adaptation scores: the
+        // post-adaptation cached result is bit-identical to the
+        // uncached adapted instance, and the first post-adaptation
+        // crawl re-misses (fresh epoch → fresh fingerprints).
+        let after = cached.annotate(&t);
+        assert_eq!(after.columns[0].predicted, phone);
+        assert_same_annotation(&plain.annotate(&t), &after);
+        assert!(after.timings.iter().all(|x| x.cache_hits == 0));
+        // ... and the recrawl after that hits again.
+        assert!(cached.annotate(&t).timings.iter().any(|x| x.cache_hits > 0));
     }
 
     #[test]

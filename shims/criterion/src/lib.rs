@@ -13,6 +13,15 @@
 //! window; median-of-batches nanoseconds per iteration are printed to
 //! stdout. No plots, no statistics files — just honest wall-clock
 //! numbers suitable for before/after comparisons.
+//!
+//! # Smoke mode
+//!
+//! `cargo bench -- --smoke` (or `BENCH_SMOKE=1 cargo bench`) shrinks
+//! the warmup and measurement windows to a few milliseconds so every
+//! benchmark still compiles and **executes at least once** while the
+//! whole suite finishes in seconds. CI runs this on every push: the
+//! numbers are meaningless, but a bench that panics, hangs, or no
+//! longer builds fails the pipeline instead of rotting silently.
 
 #![warn(missing_docs)]
 
@@ -32,11 +41,29 @@ pub struct Criterion {
     measurement: Duration,
 }
 
+/// `true` when the process was asked for a smoke pass: `--smoke` on
+/// the command line (`cargo bench -- --smoke`) or a non-`0`
+/// `BENCH_SMOKE` environment variable.
+#[must_use]
+pub fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+        || std::env::var_os("BENCH_SMOKE").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion {
-            warmup: Duration::from_millis(80),
-            measurement: Duration::from_millis(320),
+        if smoke_mode() {
+            // Just enough to execute every benchmark body at least
+            // once (`Bencher::iter` always takes one sample).
+            Criterion {
+                warmup: Duration::from_millis(2),
+                measurement: Duration::from_millis(8),
+            }
+        } else {
+            Criterion {
+                warmup: Duration::from_millis(80),
+                measurement: Duration::from_millis(320),
+            }
         }
     }
 }

@@ -12,7 +12,8 @@
 
 use sigmatyper::aggregate::{apply_tau, soft_majority_vote};
 use sigmatyper::{
-    train_global, Candidate, GlobalModel, SigmaTyper, Step, StepScores, TrainingConfig,
+    train_global, Candidate, GlobalModel, ShardedLruCache, SigmaTyper, Step, StepScores,
+    TableAnnotation, TrainingConfig,
 };
 use std::sync::{Arc, OnceLock};
 use tu_corpus::{generate_corpus, CorpusConfig};
@@ -280,6 +281,32 @@ fn hard_corpus(seed: u64, tables: usize) -> Vec<Table> {
         .collect()
 }
 
+/// A cache-carrying clone of `typer` (shares models and adaptation
+/// state, adds a fresh bounded LRU).
+fn with_cache(typer: &SigmaTyper) -> SigmaTyper {
+    let mut cached = typer.clone();
+    cached.set_step_cache(Some(Arc::new(ShardedLruCache::new(1 << 15))));
+    cached
+}
+
+/// Bit-for-bit comparison of two annotations (timings exempt — they
+/// are wall-clock measurements).
+fn assert_same_annotation(a: &TableAnnotation, b: &TableAnnotation) {
+    assert_eq!(a.columns.len(), b.columns.len());
+    for (ca, cb) in a.columns.iter().zip(&b.columns) {
+        assert_eq!(ca.col_idx, cb.col_idx);
+        assert_eq!(ca.predicted, cb.predicted, "prediction diverged");
+        assert_eq!(
+            ca.confidence.to_bits(),
+            cb.confidence.to_bits(),
+            "confidence diverged"
+        );
+        assert_eq!(ca.top_k, cb.top_k, "top-k diverged");
+        assert_eq!(ca.steps_run, cb.steps_run, "steps_run diverged");
+        assert_eq!(ca.step_scores, cb.step_scores, "step scores diverged");
+    }
+}
+
 #[test]
 fn default_cascade_is_bit_identical_to_seed_pipeline() {
     let typer = SigmaTyper::builder(global()).build();
@@ -352,4 +379,126 @@ fn adapted_customer_is_bit_identical_to_seed_pipeline() {
     for table in &hard_corpus(0xADA7, 12) {
         assert_golden(&typer, table);
     }
+}
+
+// ---- Step-cache equivalence ------------------------------------------
+//
+// The fingerprint-keyed step cache must be invisible in the output:
+// cold or warm, fresh or adapted, every cached annotation is required
+// to be bit-identical to the uncached cascade — which the tests above
+// already prove bit-identical to the seed pipeline.
+
+#[test]
+fn warm_cache_annotation_is_bit_identical_to_uncached() {
+    let typer = SigmaTyper::builder(global()).build();
+    let cached = with_cache(&typer);
+    let tables = hard_corpus(0x9CAC4E, 20);
+
+    // Cold crawl: populate, and already match the uncached path.
+    for table in &tables {
+        assert_same_annotation(&typer.annotate(table), &cached.annotate(table));
+    }
+    // Warm recrawl of the same corpus: still bit-identical to both the
+    // uncached cascade AND the literal seed transcription, with every
+    // previously executed column served from cache.
+    let mut warm_hits = 0usize;
+    let mut warm_runs = 0usize;
+    for table in &tables {
+        assert_golden(&cached, table);
+        let warm = cached.annotate(table);
+        assert_same_annotation(&typer.annotate(table), &warm);
+        warm_hits += warm.timings.iter().map(|t| t.cache_hits).sum::<usize>();
+        warm_runs += warm.timings.iter().map(|t| t.columns).sum::<usize>();
+    }
+    assert!(warm_hits > 0, "warm recrawl must hit the cache");
+    assert_eq!(warm_runs, 0, "warm recrawl must not run any step");
+}
+
+#[test]
+fn warm_cache_matches_seed_under_ablations() {
+    let tables = hard_corpus(0x9AB1A, 6);
+    for (header, lookup, embedding) in [
+        (true, false, false),
+        (false, true, false),
+        (false, false, true),
+        (true, true, false),
+        (false, true, true),
+    ] {
+        let mut typer = SigmaTyper::builder(global()).cached(1 << 14).build();
+        typer.config_mut().enable_header = header;
+        typer.config_mut().enable_lookup = lookup;
+        typer.config_mut().enable_embedding = embedding;
+        for table in &tables {
+            // Twice per table: the second pass is warm.
+            assert_golden(&typer, table);
+            assert_golden(&typer, table);
+        }
+    }
+}
+
+#[test]
+fn adaptation_invalidates_warm_cache_entries() {
+    // One cached and one uncached customer adapted in lockstep: after
+    // every feedback event the cached instance must keep matching the
+    // uncached one (no stale scores), and — once adapted — the seed
+    // transcription of the adapted state.
+    let mut cached = SigmaTyper::builder(global()).cached(1 << 15).build();
+    let mut plain = SigmaTyper::builder(global()).build();
+    let o = plain.ontology().clone();
+    let phone = builtin_id(&o, "phone number");
+    let mk = |seed: u64| {
+        let vals: Vec<String> = (0..30)
+            .map(|i| format!("{}", 20_000_000 + seed * 1000 + i * 137))
+            .collect();
+        Table::new(
+            format!("contacts_{seed}"),
+            vec![Column::from_raw("contact", &vals)],
+        )
+        .unwrap()
+    };
+    let tables = hard_corpus(0x9ADA7, 8);
+
+    // Warm the cache on the pre-adaptation state.
+    for table in &tables {
+        let _ = cached.annotate(table);
+    }
+    let epoch_before = cached.cache_epoch();
+    for s in 1..=3 {
+        cached.feedback(&mk(s), 0, phone, None);
+        plain.feedback(&mk(s), 0, phone, None);
+        // After each adaptation event the two must still agree
+        // everywhere — including on the tables whose pre-adaptation
+        // scores are sitting in the cache.
+        for table in &tables {
+            assert_same_annotation(&plain.annotate(table), &cached.annotate(table));
+        }
+    }
+    assert!(
+        cached.cache_epoch() > epoch_before,
+        "feedback must bump the epoch"
+    );
+    assert!(
+        cached.local().finetuned.is_some(),
+        "adaptation must engage the local model"
+    );
+    // The adapted, cache-carrying instance still matches the literal
+    // seed transcription of its own state — warm pass included.
+    assert_eq!(cached.annotate(&mk(9)).columns[0].predicted, phone);
+    for table in &tables {
+        assert_golden(&cached, table);
+        assert_golden(&cached, table);
+    }
+    // And the post-adaptation state re-warms: a second crawl hits.
+    let rewarm: usize = tables
+        .iter()
+        .map(|t| {
+            cached
+                .annotate(t)
+                .timings
+                .iter()
+                .map(|x| x.cache_hits)
+                .sum::<usize>()
+        })
+        .sum();
+    assert!(rewarm > 0, "post-adaptation recrawl must hit again");
 }
