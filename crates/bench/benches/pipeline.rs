@@ -3,11 +3,31 @@
 //! annotation throughput.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sigmatyper::{AnnotationService, ShardedLruCache};
+use sigmatyper::{AnnotationService, ParallelismPolicy, ShardedLruCache, SigmaTyper};
 use std::hint::black_box;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use tu_bench::BenchFixture;
-use tu_table::Table;
+use tu_table::{Column, Table};
+
+/// Detected core count (1 when unknown).
+fn cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+}
+
+/// Best-of-3 wall clock of `f` — enough repetition to dodge a single
+/// scheduler hiccup without turning an acceptance check into a
+/// full benchmark.
+fn best_of_3(mut f: impl FnMut()) -> Duration {
+    (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .min()
+        .expect("three samples")
+}
 
 fn bench_steps(c: &mut Criterion) {
     let f = BenchFixture::new();
@@ -63,8 +83,11 @@ fn bench_annotate(c: &mut Criterion) {
 }
 
 /// The serving front-end: one customer annotating a large batch,
-/// sequential vs. sharded across worker threads. The sharded path
-/// must scale — the acceptance bar is ≥ 2x throughput at 4 threads.
+/// sequential vs. scheduled across worker threads. The scheduled path
+/// must scale — the acceptance bar is ≥ 2x throughput at 4 threads,
+/// asserted below whenever the hardware can express it
+/// (`available_parallelism() >= 4`) and reported as skipped otherwise,
+/// so single-core runners no longer fail the bar silently.
 fn bench_batch_service(c: &mut Criterion) {
     let f = BenchFixture::new();
     let service = AnnotationService::for_customer(f.customer());
@@ -72,9 +95,36 @@ fn bench_batch_service(c: &mut Criterion) {
     for _ in 0..8 {
         tables.extend(f.corpus.tables.iter().map(|at| at.table.clone()));
     }
+    let sequential = service.clone().with_threads(1);
+
+    // Acceptance: ≥ 2x at 4 threads, gated on the hardware.
+    if cores() >= 4 {
+        let four = service.clone().with_threads(4);
+        let seq_time = best_of_3(|| {
+            black_box(sequential.annotate_batch(black_box(&tables)));
+        });
+        let par_time = best_of_3(|| {
+            black_box(four.annotate_batch(black_box(&tables)));
+        });
+        let speedup = seq_time.as_secs_f64() / par_time.as_secs_f64().max(1e-9);
+        println!(
+            "pipeline/batch_annotate  4-thread speedup: {speedup:.2}x \
+             (sequential {seq_time:?}, 4 threads {par_time:?})"
+        );
+        assert!(
+            speedup >= 2.0,
+            "batch service must reach ≥ 2x at 4 threads on ≥ 4 cores, got {speedup:.2}x"
+        );
+    } else {
+        println!(
+            "pipeline/batch_annotate  skipping ≥2x-at-4-threads assertion: \
+             only {} core(s) available",
+            cores()
+        );
+    }
+
     let mut group = c.benchmark_group("pipeline/batch_annotate");
     group.sample_size(10);
-    let sequential = service.clone().with_threads(1);
     group.bench_function("sequential", |b| {
         b.iter(|| black_box(&sequential).annotate_batch(black_box(&tables)))
     });
@@ -82,6 +132,131 @@ fn bench_batch_service(c: &mut Criterion) {
         let sharded = service.clone().with_threads(threads);
         group.bench_with_input(BenchmarkId::new("sharded", threads), &threads, |b, _| {
             b.iter(|| black_box(&sharded).annotate_batch(black_box(&tables)))
+        });
+    }
+    group.finish();
+}
+
+/// Intra-table column parallelism on one wide table (the
+/// [`CascadeExecutor`] frontier chunking), sequential baseline vs
+/// per-table budgets. Before timing, the bit-identity and planner
+/// acceptance checks run once — so the bench-smoke CI step doubles as
+/// the "no regression at 1 thread" gate, while speedup assertions stay
+/// gated on multi-core hardware.
+///
+/// [`CascadeExecutor`]: sigmatyper::CascadeExecutor
+fn bench_parallel_table(c: &mut Criterion) {
+    let f = BenchFixture::new();
+    // A wide table of opaque-headed free-text columns: the header step
+    // resolves nothing, so the expensive tail steps see the full
+    // 32-column frontier.
+    let columns: Vec<Column> = (0..32)
+        .map(|i| {
+            let vals: Vec<String> = (0..48)
+                .map(|r| format!("tok{} item{}", (i * 7 + r) % 13, (r * 31 + i) % 97))
+                .collect();
+            Column::from_raw(format!("xq_{i}"), &vals)
+        })
+        .collect();
+    let wide = Table::new("wide", columns).expect("valid table");
+    let with_budget = |policy: ParallelismPolicy, threads: usize| -> SigmaTyper {
+        let mut t = f.customer();
+        t.config_mut().parallelism = policy;
+        t.config_mut().column_threads = threads;
+        t
+    };
+    let sequential = with_budget(ParallelismPolicy::Off, 1);
+    let budget = |threads| {
+        with_budget(
+            ParallelismPolicy::PerTableThreshold { min_columns: 2 },
+            threads,
+        )
+    };
+
+    // Correctness evidence, checked once before any timing.
+    let baseline = sequential.annotate(&wide);
+    for threads in [1usize, 2, 4] {
+        let ann = budget(threads).annotate(&wide);
+        assert_eq!(ann.columns.len(), baseline.columns.len());
+        for (a, b) in ann.columns.iter().zip(&baseline.columns) {
+            assert_eq!(a.predicted, b.predicted, "parallel prediction diverged");
+            assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
+            assert_eq!(a.steps_run, b.steps_run);
+        }
+    }
+    // Forced mode re-chunks even the Off-policy baseline onto ≥ 2
+    // workers, so both the planner checks and every timing assertion
+    // below would compare parallel against parallel — skip them all
+    // (bit-identity above still holds and was asserted).
+    if sigmatyper::forced_column_parallelism() {
+        println!(
+            "pipeline/parallel_table  SIGMATYPER_PARALLEL_COLUMNS set: \
+             planner and timing checks skipped"
+        );
+    } else {
+        // A budget of 1 must keep the zero-overhead sequential plan...
+        let one = budget(1).annotate(&wide);
+        assert!(
+            one.timings.iter().all(|t| t.chunks <= 1),
+            "budget 1 must not chunk: {:?}",
+            one.timings
+                .iter()
+                .map(|t| (t.name.clone(), t.chunks))
+                .collect::<Vec<_>>()
+        );
+        // ... and a budget of 4 must actually split the frontier.
+        let four = budget(4).annotate(&wide);
+        assert!(
+            four.timings.iter().any(|t| t.chunks >= 2),
+            "budget 4 never chunked a 32-column frontier"
+        );
+
+        // No regression at 1 thread: the policy-on path with a budget
+        // of 1 plans exactly one chunk per step, so it must stay
+        // within noise of the Off baseline (generous 1.5x slack for
+        // scheduler jitter).
+        let solo = budget(1);
+        let seq_time = best_of_3(|| {
+            black_box(sequential.annotate(black_box(&wide)));
+        });
+        let solo_time = best_of_3(|| {
+            black_box(solo.annotate(black_box(&wide)));
+        });
+        println!(
+            "pipeline/parallel_table  1-thread budget {solo_time:?} vs sequential {seq_time:?}"
+        );
+        assert!(
+            solo_time.as_secs_f64() <= seq_time.as_secs_f64() * 1.5 + 1e-3,
+            "parallel machinery regressed the 1-thread path: {solo_time:?} vs {seq_time:?}"
+        );
+        // Speedup assertion only where the hardware can express one.
+        if cores() >= 4 {
+            let par_time = best_of_3(|| {
+                black_box(budget(4).annotate(black_box(&wide)));
+            });
+            let speedup = seq_time.as_secs_f64() / par_time.as_secs_f64().max(1e-9);
+            println!("pipeline/parallel_table  4-thread speedup: {speedup:.2}x");
+            assert!(
+                speedup >= 1.3,
+                "column parallelism must speed up a 32-column table on ≥ 4 cores, got {speedup:.2}x"
+            );
+        } else {
+            println!(
+                "pipeline/parallel_table  skipping speedup assertion: only {} core(s) available",
+                cores()
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("pipeline/parallel_table");
+    group.sample_size(20);
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(&sequential).annotate(black_box(&wide)))
+    });
+    for threads in [2usize, 4, 8] {
+        let typer = budget(threads);
+        group.bench_with_input(BenchmarkId::new("columns", threads), &threads, |b, _| {
+            b.iter(|| black_box(&typer).annotate(black_box(&wide)))
         });
     }
     group.finish();
@@ -116,11 +291,21 @@ fn bench_cached_recrawl(c: &mut Criterion) {
         );
     }
     let total_cold_runs: usize = cold_counts.iter().map(|c| c.1).sum();
-    let total_warm_runs: usize = warm_counts.iter().map(|c| c.1).sum();
+    // The header step opts out of memoization (cache admission), so
+    // its re-runs are expected on the warm pass and excluded from the
+    // "did the cache absorb the work" accounting.
+    let total_warm_runs: usize = warm_counts
+        .iter()
+        .filter(|c| c.0 != "header")
+        .map(|c| c.1)
+        .sum();
     let total_warm_hits: usize = warm_counts.iter().map(|c| c.2).sum();
     assert!(total_cold_runs > 0, "cold pass must execute steps");
     assert!(total_warm_hits > 0, "warm pass must hit the cache");
-    assert_eq!(total_warm_runs, 0, "warm pass must skip every step run");
+    assert_eq!(
+        total_warm_runs, 0,
+        "warm pass must skip every cacheable step run"
+    );
     let cache = warm_typer.step_cache().expect("cache configured");
     println!(
         "  cache: {} entries after recrawl (hits counted above)",
@@ -182,6 +367,7 @@ criterion_group!(
     bench_steps,
     bench_annotate,
     bench_batch_service,
+    bench_parallel_table,
     bench_cached_recrawl
 );
 criterion_main!(benches);

@@ -43,6 +43,16 @@
 //! cached and uncached annotation bit-identical across fresh, ablated,
 //! and adaptation-heavy customers.
 //!
+//! # Admission
+//!
+//! Steps advertise whether memoization pays through
+//! [`AnnotationStep::cacheable`](crate::step::AnnotationStep::cacheable)
+//! (default `true`). The executor never consults or fills the cache
+//! for a non-cacheable step — the built-in header step opts out
+//! because its memo traffic would rival the step itself — so such
+//! steps simply re-run on every crawl, which is output-identical by
+//! determinism.
+//!
 //! [`StepContext`]: crate::step::StepContext
 //! [`SigmaTyperConfig`]: crate::config::SigmaTyperConfig
 
@@ -735,7 +745,11 @@ mod tests {
 
     #[test]
     fn concurrent_readers_and_writers_stay_consistent() {
-        let cache = Arc::new(ShardedLruCache::new(256));
+        // Capacity exceeds the total insert volume (4 × 200 = 800):
+        // with a smaller cache, another thread's inserts could evict a
+        // key between this thread's insert and its read-back, turning
+        // the test flaky under unlucky scheduling.
+        let cache = Arc::new(ShardedLruCache::new(2048));
         std::thread::scope(|scope| {
             for t in 0..4u64 {
                 let cache = Arc::clone(&cache);

@@ -8,16 +8,15 @@
 //! configured, and the steps can be any mix of built-ins and
 //! user-registered implementations.
 
-use crate::cache::{column_fingerprints, CacheContext, CacheKey, ColumnFingerprint};
+use crate::cache::CacheContext;
 use crate::config::SigmaTyperConfig;
+use crate::executor::CascadeExecutor;
 use crate::global::GlobalModel;
 use crate::local::LocalModel;
 use crate::prediction::{StepId, StepScores, StepTiming};
-use crate::step::{AnnotationStep, EmbeddingStep, HeaderStep, LookupStep, StepContext};
+use crate::step::{AnnotationStep, EmbeddingStep, HeaderStep, LookupStep};
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
-use tu_ontology::TypeId;
 use tu_table::Table;
 
 /// An ordered list of annotation steps plus per-step weight overrides.
@@ -83,6 +82,13 @@ impl Cascade {
     #[must_use]
     pub fn step_ids(&self) -> Vec<StepId> {
         self.steps.iter().map(|s| s.id()).collect()
+    }
+
+    /// The configured steps, in execution order — what the
+    /// [`CascadeExecutor`] walks.
+    #[must_use]
+    pub fn steps(&self) -> &[Arc<dyn AnnotationStep>] {
+        &self.steps
     }
 
     /// Is a step with this id configured?
@@ -174,17 +180,24 @@ impl Cascade {
     }
 
     /// [`Cascade::run`] with an optional step cache: before running a
-    /// step on a column, the cache is consulted under the column's
-    /// fingerprint (see [`crate::cache`]); a hit pushes the stored
-    /// scores into the trace exactly as a run would, a miss runs the
-    /// step and inserts the result. Per-step hit/miss/insert counts
-    /// are reported in the [`StepTiming`] records; cache hits do not
-    /// count toward [`StepTiming::columns`].
+    /// [`cacheable`](AnnotationStep::cacheable) step on a column, the
+    /// cache is consulted under the column's fingerprint (see
+    /// [`crate::cache`]); a hit pushes the stored scores into the
+    /// trace exactly as a run would, a miss runs the step and inserts
+    /// the result. Per-step hit/miss/insert counts are reported in the
+    /// [`StepTiming`] records; cache hits do not count toward
+    /// [`StepTiming::columns`].
     ///
     /// Cached and uncached runs are bit-identical: a cached score was
     /// produced by the same deterministic step under a context with
     /// the same fingerprint, and the skip predicates and tentative
     /// types downstream of it see identical inputs either way.
+    ///
+    /// Execution — the frontier loop, cache consults, and the
+    /// (config-governed) column-parallel path — lives in
+    /// [`CascadeExecutor`]; this method builds one from `config` and
+    /// delegates. Callers that manage their own worker budgets (the
+    /// batch service) construct the executor directly.
     #[must_use]
     pub fn run_cached(
         &self,
@@ -194,98 +207,7 @@ impl Cascade {
         config: &SigmaTyperConfig,
         cache: Option<CacheContext<'_>>,
     ) -> CascadeTrace {
-        let n = table.n_cols();
-        let normalized: Vec<String> = table
-            .headers()
-            .iter()
-            .map(|h| tu_text::normalize_header(h))
-            .collect();
-        // One pass over the table's cells, shared by every step.
-        let fingerprints: Option<Vec<ColumnFingerprint>> =
-            cache.map(|cc| column_fingerprints(table, &self.step_ids(), config, cc.epoch));
-        let mut per_column: Vec<Vec<(StepId, StepScores)>> = vec![Vec::new(); n];
-        let mut timings = Vec::with_capacity(self.steps.len());
-
-        for step in &self.steps {
-            let t0 = Instant::now();
-            let mut columns_run = 0usize;
-            let (mut hits, mut misses, mut inserts) = (0usize, 0usize, 0usize);
-            // Tentative neighbor types from the best candidates of the
-            // steps executed so far (recomputed once per step, so every
-            // step sees the freshest cross-column context).
-            let tentative: Vec<TypeId> = per_column
-                .iter()
-                .map(|steps| Self::best_type(steps))
-                .collect();
-            for (ci, col_steps) in per_column.iter_mut().enumerate() {
-                let ctx = StepContext {
-                    table,
-                    col_idx: ci,
-                    normalized_headers: &normalized,
-                    tentative: &tentative,
-                    best_so_far: Self::best_so_far(col_steps),
-                    global,
-                    local,
-                    config,
-                    fingerprint: fingerprints.as_ref().map(|f| f[ci]),
-                };
-                if step.skip(&ctx) {
-                    continue;
-                }
-                let scores = match (cache, ctx.fingerprint) {
-                    (Some(cc), Some(fp)) => {
-                        let key = CacheKey::for_step(fp, step.id());
-                        match cc.cache.get(&key) {
-                            Some(cached) => {
-                                hits += 1;
-                                cached
-                            }
-                            None => {
-                                misses += 1;
-                                columns_run += 1;
-                                let computed = step.run(&ctx);
-                                cc.cache.insert(key, computed.clone());
-                                inserts += 1;
-                                computed
-                            }
-                        }
-                    }
-                    _ => {
-                        columns_run += 1;
-                        step.run(&ctx)
-                    }
-                };
-                col_steps.push((step.id(), scores));
-            }
-            timings.push(StepTiming {
-                step: step.id(),
-                name: step.name().to_owned(),
-                nanos: t0.elapsed().as_nanos(),
-                columns: columns_run,
-                cache_hits: hits,
-                cache_misses: misses,
-                cache_inserts: inserts,
-            });
-        }
-        (per_column, timings)
-    }
-
-    /// Best confidence any executed step achieved for one column.
-    fn best_so_far(steps: &[(StepId, StepScores)]) -> f64 {
-        steps
-            .iter()
-            .map(|(_, s)| s.best_confidence())
-            .fold(0.0, f64::max)
-    }
-
-    /// Type of the single highest-confidence candidate across all
-    /// executed steps for one column (`UNKNOWN` when nothing scored).
-    fn best_type(steps: &[(StepId, StepScores)]) -> TypeId {
-        steps
-            .iter()
-            .filter_map(|(_, s)| s.best())
-            .max_by(|a, b| a.confidence.partial_cmp(&b.confidence).expect("finite"))
-            .map_or(TypeId::UNKNOWN, |c| c.ty)
+        CascadeExecutor::from_config(config).run(self, table, global, local, config, cache)
     }
 }
 

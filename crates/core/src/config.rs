@@ -1,6 +1,7 @@
 //! System configuration: thresholds, step weights, and sizes.
 
 use crate::cache::StableHasher;
+use crate::executor::ParallelismPolicy;
 use crate::prediction::StepId;
 
 /// SigmaTyper configuration (paper §4.3).
@@ -33,6 +34,18 @@ pub struct SigmaTyperConfig {
     pub enable_lookup: bool,
     /// Ablation: run the table-embedding step.
     pub enable_embedding: bool,
+    /// When the [`CascadeExecutor`](crate::executor::CascadeExecutor)
+    /// may run a step's pending columns in parallel (execution
+    /// strategy only — proven output-invariant by the golden
+    /// parallel-vs-sequential suite, and therefore **not** part of the
+    /// cache fingerprint).
+    pub parallelism: ParallelismPolicy,
+    /// Worker budget for intra-table column chunks: the maximum number
+    /// of scoped threads one table's step frontier may fan out to.
+    /// `0` means "auto" (the machine's available parallelism). The
+    /// [`AnnotationService`](crate::service::AnnotationService)
+    /// overrides this per worker when splitting its shared budget.
+    pub column_threads: usize,
 }
 
 impl SigmaTyperConfig {
@@ -60,6 +73,14 @@ impl SigmaTyperConfig {
     /// forgotten new field into a compile error. (The vote weights are
     /// included too even though they act after the cascade: a spurious
     /// mismatch only costs a cache miss.)
+    ///
+    /// The execution-strategy fields (`parallelism`, `column_threads`)
+    /// are the one deliberate exception: the golden equivalence suite
+    /// proves column-parallel execution bit-identical to sequential,
+    /// so hashing them would only split the cache between workers that
+    /// carry different budget shares (and cold-start every policy
+    /// flip) without ever guarding against a real divergence. Steps
+    /// must not let these fields influence their scores.
     pub fn fingerprint_into(&self, h: &mut StableHasher) {
         let SigmaTyperConfig {
             cascade_threshold,
@@ -73,6 +94,10 @@ impl SigmaTyperConfig {
             enable_header,
             enable_lookup,
             enable_embedding,
+            // Execution strategy: output-invariant, deliberately not
+            // fingerprinted (see above).
+            parallelism: _,
+            column_threads: _,
         } = *self;
         h.write_f64(cascade_threshold);
         h.write_f64(tau);
@@ -102,6 +127,8 @@ impl Default for SigmaTyperConfig {
             enable_header: true,
             enable_lookup: true,
             enable_embedding: true,
+            parallelism: ParallelismPolicy::default(),
+            column_threads: 0,
         }
     }
 }
@@ -223,6 +250,31 @@ mod tests {
         ];
         for (i, v) in variants.iter().enumerate() {
             assert_ne!(finish(&base), finish(v), "variant {i} did not move");
+        }
+        // Execution strategy must NOT move the fingerprint: parallel
+        // and sequential runs are bit-identical (golden suite), and
+        // service workers carrying different budget shares must keep
+        // hitting one shared cache.
+        let strategies = [
+            SigmaTyperConfig {
+                parallelism: ParallelismPolicy::Off,
+                ..base
+            },
+            SigmaTyperConfig {
+                parallelism: ParallelismPolicy::FixedChunk { columns: 2 },
+                ..base
+            },
+            SigmaTyperConfig {
+                column_threads: 7,
+                ..base
+            },
+        ];
+        for (i, v) in strategies.iter().enumerate() {
+            assert_eq!(
+                finish(&base),
+                finish(v),
+                "execution-strategy variant {i} moved the fingerprint"
+            );
         }
     }
 

@@ -57,7 +57,48 @@ impl TableEmbeddingModel {
     #[must_use]
     pub fn predict(&self, column: &Column, neighbor_headers: &[&str]) -> StepScores {
         let f = self.featurize(column, neighbor_headers);
-        let probs = self.temperature.apply(&self.mlp.logits(&f));
+        self.scores_from_features(&f)
+    }
+
+    /// Phrase vector of one raw header under this model's embedder —
+    /// the reusable unit of the neighbor-context encoding. Batch
+    /// callers ([`EmbeddingStep::run_batch`]) encode each header of a
+    /// table once and share the vectors across columns instead of
+    /// re-encoding every neighbor per column.
+    ///
+    /// [`EmbeddingStep::run_batch`]: crate::step::EmbeddingStep
+    #[must_use]
+    pub fn header_vector(&self, header: &str) -> Vec<f32> {
+        self.extractor
+            .embedder()
+            .phrase_vector(&tu_text::normalize_header(header))
+    }
+
+    /// Mean context vector over precomputed neighbor vectors (zero
+    /// vector when there are none). The accumulation order matches the
+    /// internal path of [`TableEmbeddingModel::predict`] exactly, so a
+    /// context assembled from [`TableEmbeddingModel::header_vector`]
+    /// results is bit-identical to the one `predict` would compute
+    /// from the raw headers.
+    #[must_use]
+    pub fn context_of(&self, neighbor_vectors: &[&[f32]]) -> Vec<f32> {
+        mean_vectors(self.embed_dim, neighbor_vectors)
+    }
+
+    /// [`TableEmbeddingModel::predict`] with a precomputed neighbor
+    /// context (see [`TableEmbeddingModel::context_of`]).
+    #[must_use]
+    pub fn predict_with_context(&self, column: &Column, context: &[f32]) -> StepScores {
+        let mut f = self.extractor.extract(column);
+        f.extend_from_slice(context);
+        self.scaler.transform_inplace(&mut f);
+        self.scores_from_features(&f)
+    }
+
+    /// Shared tail of the predict paths: calibrated probabilities →
+    /// thresholded, truncated candidate list.
+    fn scores_from_features(&self, f: &[f32]) -> StepScores {
+        let probs = self.temperature.apply(&self.mlp.logits(f));
         let cands: Vec<Candidate> = probs
             .iter()
             .enumerate()
@@ -99,18 +140,30 @@ impl TableEmbeddingModel {
 
 /// Mean embedding of neighbor headers (zero vector when none).
 fn context_vector(embedder: &Embedder, dim: usize, neighbor_headers: &[&str]) -> Vec<f32> {
+    let vecs: Vec<Vec<f32>> = neighbor_headers
+        .iter()
+        .map(|h| embedder.phrase_vector(&tu_text::normalize_header(h)))
+        .collect();
+    let refs: Vec<&[f32]> = vecs.iter().map(Vec::as_slice).collect();
+    mean_vectors(dim, &refs)
+}
+
+/// Element-wise mean of vectors (zero vector when none). One shared
+/// accumulation loop for the per-column and batch paths — identical
+/// operations in identical order is what makes the batch amortization
+/// bit-identical.
+fn mean_vectors(dim: usize, vecs: &[&[f32]]) -> Vec<f32> {
     let mut acc = vec![0.0f32; dim];
-    if neighbor_headers.is_empty() {
+    if vecs.is_empty() {
         return acc;
     }
-    for h in neighbor_headers {
-        let v = embedder.phrase_vector(&tu_text::normalize_header(h));
-        for (a, x) in acc.iter_mut().zip(&v) {
+    for v in vecs {
+        for (a, x) in acc.iter_mut().zip(*v) {
             *a += x;
         }
     }
     for a in &mut acc {
-        *a /= neighbor_headers.len() as f32;
+        *a /= vecs.len() as f32;
     }
     acc
 }
@@ -288,6 +341,42 @@ mod tests {
             "finetuning must raise target confidence: {before} → {after}"
         );
         assert!(after > 0.3, "after {after}");
+    }
+
+    #[test]
+    fn predict_with_precomputed_context_is_bit_identical() {
+        let (_, corpus, model) = trained();
+        let at = &corpus.tables[0];
+        let headers = at.table.headers();
+        let vecs: Vec<Vec<f32>> = headers.iter().map(|h| model.header_vector(h)).collect();
+        for (ci, col) in at.table.columns().iter().enumerate() {
+            let neighbors: Vec<&str> = headers
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != ci)
+                .map(|(_, h)| *h)
+                .collect();
+            let direct = model.predict(col, &neighbors);
+            let neighbor_vecs: Vec<&[f32]> = vecs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != ci)
+                .map(|(_, v)| v.as_slice())
+                .collect();
+            let ctx = model.context_of(&neighbor_vecs);
+            let batched = model.predict_with_context(col, &ctx);
+            assert_eq!(direct.candidates.len(), batched.candidates.len());
+            for (a, b) in direct.candidates.iter().zip(&batched.candidates) {
+                assert_eq!(a.ty, b.ty);
+                assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
+            }
+        }
+        // No neighbors → zero context, still identical.
+        let col = at.table.column(0).unwrap();
+        let lonely = model.predict(col, &[]);
+        let zero_ctx = model.context_of(&[]);
+        let batched = model.predict_with_context(col, &zero_ctx);
+        assert_eq!(lonely.candidates, batched.candidates);
     }
 
     #[test]

@@ -1,0 +1,485 @@
+//! The cascade execution layer: [`CascadeExecutor`] runs a
+//! [`Cascade`]'s steps over a table with an explicit pending-column
+//! **frontier**, per-column [`StepCache`](crate::cache::StepCache)
+//! consults, and optional column-parallel execution.
+//!
+//! # Execution model
+//!
+//! For each configured step, in cascade order:
+//!
+//! 1. **Frontier.** Every column is checked against the step's
+//!    [`skip`](crate::step::AnnotationStep::skip) predicate (by default
+//!    the paper's confidence-threshold early exit, §4.3). For
+//!    [`cacheable`](crate::step::AnnotationStep::cacheable) steps the
+//!    cache is consulted per surviving column; hits enter the trace
+//!    exactly like runs. What remains — not skipped, not cached — is
+//!    the step's *pending-column frontier*.
+//! 2. **Chunking.** The [`ParallelismPolicy`] decides how the frontier
+//!    is split into chunks, each executed with one
+//!    [`run_batch`](crate::step::AnnotationStep::run_batch) call.
+//!    Sequential execution is the single-chunk special case, so the
+//!    batch-amortized step implementations serve both paths.
+//! 3. **Workers.** When more than one chunk is planned and the worker
+//!    budget allows, chunks are distributed over
+//!    [`std::thread::scope`] threads. Steps are deterministic and
+//!    read-only and every chunk's results are written back by column
+//!    index, so scheduling can never change the output — the golden
+//!    suite (`tests/golden_cascade.rs`) proves column-parallel
+//!    execution bit-identical to sequential for fresh, ablated, and
+//!    adaptation-heavy customers, cached and uncached.
+//!
+//! Per step, the executor reports [`StepTiming`] telemetry including
+//! the chunk count and the summed in-chunk nanoseconds
+//! ([`StepTiming::parallel_nanos`]), the inputs the cost-aware-ordering
+//! roadmap item needs.
+//!
+//! Setting the `SIGMATYPER_PARALLEL_COLUMNS` environment variable to a
+//! non-`0` value forces column-parallel execution wherever a frontier
+//! has at least two columns, regardless of policy or detected core
+//! count — CI uses this to exercise the parallel path on machines
+//! where the default heuristics would pick sequential.
+
+use crate::cache::{column_fingerprints, CacheContext, CacheKey, ColumnFingerprint};
+use crate::cascade::{Cascade, CascadeTrace};
+use crate::config::SigmaTyperConfig;
+use crate::global::GlobalModel;
+use crate::local::LocalModel;
+use crate::prediction::{StepId, StepScores, StepTiming};
+use crate::step::{AnnotationStep, ColumnState, StepContext};
+use std::sync::OnceLock;
+use std::time::Instant;
+use tu_ontology::TypeId;
+use tu_table::Table;
+
+/// When the executor may run a step's pending-column frontier in
+/// parallel. Execution strategy only: every choice produces
+/// bit-identical output (the golden suite proves it), so this is a
+/// latency/throughput knob, never a correctness one — and it is
+/// deliberately **excluded** from the cache fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParallelismPolicy {
+    /// Never parallelize within a table: every frontier runs as one
+    /// sequential [`run_batch`](crate::step::AnnotationStep::run_batch)
+    /// call.
+    Off,
+    /// Parallelize a step only when its frontier has at least
+    /// `min_columns` pending columns (and the worker budget allows),
+    /// splitting it evenly across the budget. Narrow tables — the
+    /// common case — stay on the zero-overhead sequential path.
+    PerTableThreshold {
+        /// Minimum frontier width before threads are worth spawning.
+        min_columns: usize,
+    },
+    /// Always split the frontier into chunks of `columns` columns;
+    /// chunks run on up to the budgeted number of workers (with a
+    /// budget of 1 they run sequentially, which still exercises the
+    /// chunked batch path). Mostly a testing/tuning policy.
+    FixedChunk {
+        /// Columns per [`run_batch`](crate::step::AnnotationStep::run_batch)
+        /// call.
+        columns: usize,
+    },
+}
+
+impl Default for ParallelismPolicy {
+    /// The production default: parallelize wide-table frontiers (≥ 12
+    /// pending columns), leave narrow ones sequential.
+    fn default() -> Self {
+        ParallelismPolicy::PerTableThreshold { min_columns: 12 }
+    }
+}
+
+/// `true` when `SIGMATYPER_PARALLEL_COLUMNS` is set to a non-empty,
+/// non-`0` value: every frontier of two or more columns is then
+/// chunked and run on at least two workers, whatever the policy says.
+#[must_use]
+pub fn forced_column_parallelism() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var_os("SIGMATYPER_PARALLEL_COLUMNS").is_some_and(|v| v != "0" && !v.is_empty())
+    })
+}
+
+/// Runs a [`Cascade`] over tables: frontier tracking, cache consults,
+/// and (policy-permitting) column-parallel step execution.
+///
+/// The executor is cheap to construct — the
+/// [`AnnotationService`](crate::service::AnnotationService) builds one
+/// per worker with that worker's share of the thread budget, and
+/// [`SigmaTyper::annotate`](crate::system::SigmaTyper::annotate)
+/// builds one per call from the configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CascadeExecutor {
+    policy: ParallelismPolicy,
+    threads: usize,
+}
+
+impl CascadeExecutor {
+    /// An executor with an explicit policy and worker budget for
+    /// intra-table column chunks (clamped to at least 1).
+    #[must_use]
+    pub fn new(policy: ParallelismPolicy, threads: usize) -> Self {
+        CascadeExecutor {
+            policy,
+            threads: threads.max(1),
+        }
+    }
+
+    /// An executor derived from a configuration:
+    /// [`SigmaTyperConfig::parallelism`] plus the
+    /// [`SigmaTyperConfig::column_threads`] budget (`0` = the
+    /// machine's available parallelism, probed once per process —
+    /// [`SigmaTyper::annotate`](crate::system::SigmaTyper::annotate)
+    /// builds an executor per call, and a per-table syscall on the
+    /// serving hot path would be pure waste for a value that is
+    /// static in practice).
+    #[must_use]
+    pub fn from_config(config: &SigmaTyperConfig) -> Self {
+        let threads = if config.column_threads == 0 {
+            static AUTO: OnceLock<usize> = OnceLock::new();
+            *AUTO.get_or_init(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+            })
+        } else {
+            config.column_threads
+        };
+        CascadeExecutor::new(config.parallelism, threads)
+    }
+
+    /// The configured parallelism policy.
+    #[must_use]
+    pub fn policy(&self) -> ParallelismPolicy {
+        self.policy
+    }
+
+    /// The worker budget for intra-table column chunks.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Plan the execution of one frontier: `(chunk_size, workers)`.
+    /// `workers == 1` means run the chunks inline on the caller's
+    /// thread (no spawn); `chunk_size` is always at least 1.
+    fn plan(&self, frontier: usize) -> (usize, usize) {
+        self.plan_with(frontier, forced_column_parallelism())
+    }
+
+    /// [`plan`](Self::plan) with the forced-parallelism flag made
+    /// explicit, so the planning rules are unit-testable regardless of
+    /// the process environment.
+    fn plan_with(&self, frontier: usize, forced: bool) -> (usize, usize) {
+        debug_assert!(frontier > 0, "empty frontiers are not planned");
+        let budget = self.threads.max(1);
+        let mut chunk_size = match self.policy {
+            ParallelismPolicy::Off => frontier,
+            ParallelismPolicy::PerTableThreshold { min_columns } => {
+                if frontier >= min_columns.max(1) && budget >= 2 {
+                    frontier.div_ceil(budget.min(frontier))
+                } else {
+                    frontier
+                }
+            }
+            ParallelismPolicy::FixedChunk { columns } => columns.clamp(1, frontier),
+        };
+        let mut worker_cap = budget;
+        if forced && frontier >= 2 {
+            // Force at least two chunks on at least two workers so the
+            // parallel path is exercised even on single-core machines.
+            worker_cap = budget.max(2);
+            if chunk_size >= frontier {
+                chunk_size = frontier.div_ceil(worker_cap.min(frontier));
+            }
+        }
+        let n_chunks = frontier.div_ceil(chunk_size);
+        (chunk_size, n_chunks.min(worker_cap))
+    }
+
+    /// Run every configured step of `cascade` over every column of
+    /// `table`: the frontier loop described in the [module
+    /// docs](self). Returns the per-column `(step, scores)` traces in
+    /// execution order plus one [`StepTiming`] per configured step.
+    #[must_use]
+    pub fn run(
+        &self,
+        cascade: &Cascade,
+        table: &Table,
+        global: &GlobalModel,
+        local: &LocalModel,
+        config: &SigmaTyperConfig,
+        cache: Option<CacheContext<'_>>,
+    ) -> CascadeTrace {
+        let n = table.n_cols();
+        let normalized: Vec<String> = table
+            .headers()
+            .iter()
+            .map(|h| tu_text::normalize_header(h))
+            .collect();
+        // One pass over the table's cells, shared by every step.
+        let fingerprints: Option<Vec<ColumnFingerprint>> =
+            cache.map(|cc| column_fingerprints(table, &cascade.step_ids(), config, cc.epoch));
+        let mut per_column: Vec<Vec<(StepId, StepScores)>> = vec![Vec::new(); n];
+        let mut timings = Vec::with_capacity(cascade.len());
+
+        for step in cascade.steps() {
+            let t0 = Instant::now();
+            // Tentative neighbor types from the best candidates of the
+            // steps executed so far, and per-column state (recomputed
+            // once per step, so every step sees the freshest
+            // cross-column context).
+            let tentative: Vec<TypeId> = per_column.iter().map(|steps| best_type(steps)).collect();
+            let states: Vec<ColumnState> = per_column
+                .iter()
+                .enumerate()
+                .map(|(ci, steps)| ColumnState {
+                    best_so_far: best_so_far(steps),
+                    fingerprint: fingerprints.as_ref().map(|f| f[ci]),
+                })
+                .collect();
+            let ctx_for = |ci: usize| StepContext {
+                table,
+                col_idx: ci,
+                normalized_headers: &normalized,
+                tentative: &tentative,
+                best_so_far: states[ci].best_so_far,
+                global,
+                local,
+                config,
+                fingerprint: states[ci].fingerprint,
+                column_states: &states,
+            };
+
+            // Phase 1: build the pending-column frontier — skip gates
+            // first, then (for cacheable steps) the cache.
+            let step_cache = cache.filter(|_| step.cacheable());
+            let (mut hits, mut misses) = (0usize, 0usize);
+            let mut cached_scores: Vec<(usize, StepScores)> = Vec::new();
+            let mut frontier: Vec<usize> = Vec::new();
+            for (ci, state) in states.iter().enumerate() {
+                if step.skip(&ctx_for(ci)) {
+                    continue;
+                }
+                if let (Some(cc), Some(fp)) = (step_cache, state.fingerprint) {
+                    let key = CacheKey::for_step(fp, step.id());
+                    if let Some(scores) = cc.cache.get(&key) {
+                        hits += 1;
+                        cached_scores.push((ci, scores));
+                        continue;
+                    }
+                    misses += 1;
+                }
+                frontier.push(ci);
+            }
+
+            // Phase 2: run the uncached frontier in chunks, inline or
+            // column-parallel.
+            let (results, chunks, parallel_nanos) =
+                self.run_frontier(step.as_ref(), &frontier, &ctx_for);
+
+            // Phase 3: write back — cache inserts, then the trace.
+            // Each column gains at most one entry per step, so the
+            // write-back order cannot influence later steps.
+            let mut inserts = 0usize;
+            if let Some(cc) = step_cache {
+                for (&ci, scores) in frontier.iter().zip(&results) {
+                    if let Some(fp) = states[ci].fingerprint {
+                        cc.cache
+                            .insert(CacheKey::for_step(fp, step.id()), scores.clone());
+                        inserts += 1;
+                    }
+                }
+            }
+            let columns = frontier.len();
+            for (ci, scores) in cached_scores {
+                per_column[ci].push((step.id(), scores));
+            }
+            for (ci, scores) in frontier.into_iter().zip(results) {
+                per_column[ci].push((step.id(), scores));
+            }
+            timings.push(StepTiming {
+                step: step.id(),
+                name: step.name().to_owned(),
+                nanos: t0.elapsed().as_nanos(),
+                columns,
+                cache_hits: hits,
+                cache_misses: misses,
+                cache_inserts: inserts,
+                chunks,
+                parallel_nanos,
+            });
+        }
+        (per_column, timings)
+    }
+
+    /// Execute one step over its frontier: `(scores in frontier
+    /// order, chunk count, summed in-chunk nanos)`.
+    fn run_frontier<'a>(
+        &self,
+        step: &dyn AnnotationStep,
+        frontier: &[usize],
+        ctx_for: &(dyn Fn(usize) -> StepContext<'a> + Sync),
+    ) -> (Vec<StepScores>, usize, u128) {
+        if frontier.is_empty() {
+            return (Vec::new(), 0, 0);
+        }
+        let (chunk_size, workers) = self.plan(frontier.len());
+        let chunks: Vec<&[usize]> = frontier.chunks(chunk_size).collect();
+        let run_chunk = |chunk: &[usize]| -> (Vec<StepScores>, u128) {
+            let t0 = Instant::now();
+            let scores = step.run_batch(&ctx_for(chunk[0]), chunk);
+            let busy = t0.elapsed().as_nanos();
+            assert_eq!(
+                scores.len(),
+                chunk.len(),
+                "step '{}': run_batch must return one StepScores per column",
+                step.name()
+            );
+            (scores, busy)
+        };
+        if workers <= 1 {
+            // Inline: still one run_batch call per chunk, so a
+            // FixedChunk policy exercises the batch path even with a
+            // budget of one.
+            let mut out = Vec::with_capacity(frontier.len());
+            let mut busy = 0u128;
+            for chunk in &chunks {
+                let (scores, nanos) = run_chunk(chunk);
+                out.extend(scores);
+                busy += nanos;
+            }
+            return (out, chunks.len(), busy);
+        }
+        // Parallel: contiguous runs of chunks per worker, results
+        // rejoined in frontier order — worker scheduling can never
+        // change the output, only the wall clock. The first worker's
+        // share runs inline on the calling thread (which would
+        // otherwise just block in the scope join), so a budget of W
+        // occupies exactly W threads instead of W busy + 1 parked.
+        let run_share = |worker_chunks: &[&[usize]]| -> (Vec<StepScores>, u128) {
+            let mut scores = Vec::new();
+            let mut busy = 0u128;
+            for chunk in worker_chunks {
+                let (s, nanos) = run_chunk(chunk);
+                scores.extend(s);
+                busy += nanos;
+            }
+            (scores, busy)
+        };
+        let per_worker = chunks.len().div_ceil(workers);
+        let shares: Vec<&[&[usize]]> = chunks.chunks(per_worker).collect();
+        let mut out = Vec::with_capacity(frontier.len());
+        let mut busy = 0u128;
+        std::thread::scope(|scope| {
+            let run_share = &run_share;
+            let handles: Vec<_> = shares[1..]
+                .iter()
+                .map(|worker_chunks| scope.spawn(move || run_share(worker_chunks)))
+                .collect();
+            let (scores, nanos) = run_share(shares[0]);
+            out.extend(scores);
+            busy += nanos;
+            for handle in handles {
+                let (scores, nanos) = handle.join().expect("column worker panicked");
+                out.extend(scores);
+                busy += nanos;
+            }
+        });
+        (out, chunks.len(), busy)
+    }
+}
+
+/// Best confidence any executed step achieved for one column.
+fn best_so_far(steps: &[(StepId, StepScores)]) -> f64 {
+    steps
+        .iter()
+        .map(|(_, s)| s.best_confidence())
+        .fold(0.0, f64::max)
+}
+
+/// Type of the single highest-confidence candidate across all executed
+/// steps for one column (`UNKNOWN` when nothing scored).
+fn best_type(steps: &[(StepId, StepScores)]) -> TypeId {
+    steps
+        .iter()
+        .filter_map(|(_, s)| s.best())
+        .max_by(|a, b| a.confidence.partial_cmp(&b.confidence).expect("finite"))
+        .map_or(TypeId::UNKNOWN, |c| c.ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exec(policy: ParallelismPolicy, threads: usize) -> CascadeExecutor {
+        CascadeExecutor::new(policy, threads)
+    }
+
+    #[test]
+    fn off_policy_plans_one_sequential_chunk() {
+        let e = exec(ParallelismPolicy::Off, 8);
+        assert_eq!(e.plan_with(1, false), (1, 1));
+        assert_eq!(e.plan_with(64, false), (64, 1));
+    }
+
+    #[test]
+    fn threshold_policy_splits_wide_frontiers_only() {
+        let e = exec(ParallelismPolicy::PerTableThreshold { min_columns: 8 }, 4);
+        // Narrow: sequential.
+        assert_eq!(e.plan_with(7, false), (7, 1));
+        // Wide: split evenly across the budget.
+        assert_eq!(e.plan_with(8, false), (2, 4));
+        assert_eq!(e.plan_with(10, false), (3, 4));
+        // A budget of one can never parallelize.
+        let solo = exec(ParallelismPolicy::PerTableThreshold { min_columns: 8 }, 1);
+        assert_eq!(solo.plan_with(64, false), (64, 1));
+    }
+
+    #[test]
+    fn fixed_chunk_policy_chunks_regardless_of_width() {
+        let e = exec(ParallelismPolicy::FixedChunk { columns: 3 }, 2);
+        assert_eq!(e.plan_with(7, false), (3, 2), "3 chunks on 2 workers");
+        assert_eq!(e.plan_with(2, false), (2, 1), "single chunk stays inline");
+        // Chunk size clamps into the frontier; zero is treated as one.
+        let tiny = exec(ParallelismPolicy::FixedChunk { columns: 0 }, 8);
+        assert_eq!(tiny.plan_with(3, false), (1, 3));
+        // Budget 1: chunked but inline.
+        let solo = exec(ParallelismPolicy::FixedChunk { columns: 2 }, 1);
+        assert_eq!(solo.plan_with(6, false), (2, 1));
+    }
+
+    #[test]
+    fn forced_mode_parallelizes_everything_splittable() {
+        // Forced mode overrides Off and single-thread budgets...
+        let e = exec(ParallelismPolicy::Off, 1);
+        assert_eq!(e.plan_with(4, true), (2, 2));
+        let t = exec(ParallelismPolicy::PerTableThreshold { min_columns: 100 }, 1);
+        assert_eq!(t.plan_with(10, true), (5, 2));
+        // ... respects a larger budget ...
+        let wide = exec(ParallelismPolicy::Off, 4);
+        assert_eq!(wide.plan_with(8, true), (2, 4));
+        // ... and leaves single-column frontiers alone.
+        assert_eq!(e.plan_with(1, true), (1, 1));
+    }
+
+    #[test]
+    fn executor_clamps_zero_threads() {
+        let e = CascadeExecutor::new(ParallelismPolicy::Off, 0);
+        assert_eq!(e.threads(), 1);
+        assert_eq!(e.policy(), ParallelismPolicy::Off);
+    }
+
+    #[test]
+    fn from_config_reads_policy_and_budget() {
+        let config = SigmaTyperConfig {
+            parallelism: ParallelismPolicy::FixedChunk { columns: 5 },
+            column_threads: 3,
+            ..SigmaTyperConfig::default()
+        };
+        let e = CascadeExecutor::from_config(&config);
+        assert_eq!(e.policy(), ParallelismPolicy::FixedChunk { columns: 5 });
+        assert_eq!(e.threads(), 3);
+        // column_threads == 0 resolves to the machine's parallelism.
+        let auto = CascadeExecutor::from_config(&SigmaTyperConfig::default());
+        assert!(auto.threads() >= 1);
+    }
+}

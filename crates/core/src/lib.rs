@@ -17,7 +17,12 @@
 //!   cost, gated by the confidence threshold `c`, aggregated by a soft
 //!   majority vote, and thresholded by τ for high-precision abstention.
 //!   The default cascade is the paper's three steps; deployments add,
-//!   remove, reorder, and reweight steps through [`SigmaTyper::builder`].
+//!   remove, reorder, and reweight steps through [`SigmaTyper::builder`];
+//! * an **executor layer** ([`CascadeExecutor`]) that walks each step's
+//!   pending-column frontier, consults the per-step [`StepCache`], and
+//!   — under a [`ParallelismPolicy`] — runs wide frontiers
+//!   column-parallel in batched chunks, bit-identical to sequential
+//!   execution.
 //!
 //! ```
 //! use sigmatyper::{train_global, SigmaTyper, SigmaTyperConfig, TrainingConfig};
@@ -39,6 +44,7 @@ pub mod cache;
 pub mod cascade;
 pub mod config;
 pub mod embedstep;
+pub mod executor;
 pub mod global;
 pub mod headerstep;
 pub mod local;
@@ -56,6 +62,7 @@ pub use cache::{
 pub use cascade::Cascade;
 pub use config::{SigmaTyperConfig, TrainingConfig};
 pub use embedstep::{train_embedding_model, TableEmbeddingModel};
+pub use executor::{forced_column_parallelism, CascadeExecutor, ParallelismPolicy};
 pub use global::{train_global, GlobalModel};
 pub use headerstep::HeaderMatcher;
 pub use local::LocalModel;
@@ -67,5 +74,7 @@ pub use regexbank::RegexBank;
 #[allow(deprecated)]
 pub use service::annotate_batch_with;
 pub use service::AnnotationService;
-pub use step::{AnnotationStep, EmbeddingStep, HeaderStep, LookupStep, RegexOnlyStep, StepContext};
+pub use step::{
+    AnnotationStep, ColumnState, EmbeddingStep, HeaderStep, LookupStep, RegexOnlyStep, StepContext,
+};
 pub use system::{SigmaTyper, SigmaTyperBuilder};

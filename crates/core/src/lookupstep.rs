@@ -83,6 +83,58 @@ impl ValueLookup {
         config: &SigmaTyperConfig,
         global_weight: &dyn Fn(TypeId) -> f64,
     ) -> StepScores {
+        self.lookup_with_lfs(
+            column,
+            normalized_header,
+            neighbor_types,
+            &Self::identity_lfs(lf_banks),
+            config,
+            global_weight,
+        )
+    }
+
+    /// The identity-style subset of `lf_banks`, in bank order.
+    ///
+    /// Only identity-style LFs (header, dictionary, shape) vote at
+    /// inference time. Numeric envelopes and co-occurrence are
+    /// *data-programming* LFs: they mine weakly labeled training data
+    /// (tu-dp), where the min-votes/strong gating controls their
+    /// noise, but as direct voters they fire on far too many columns
+    /// (measured in experiment E1).
+    ///
+    /// The filter is order-preserving, so feeding the result to
+    /// [`ValueLookup::lookup_with_lfs`] is bit-identical to
+    /// [`ValueLookup::lookup_weighted`] over the raw banks — which is
+    /// what lets [`LookupStep::run_batch`](crate::step::LookupStep)
+    /// filter once per table instead of once per column.
+    #[must_use]
+    pub fn identity_lfs<'a>(lf_banks: &[&'a [LabelingFunction]]) -> Vec<&'a LabelingFunction> {
+        lf_banks
+            .iter()
+            .flat_map(|b| b.iter())
+            .filter(|lf| {
+                matches!(
+                    lf.kind,
+                    tu_dp::LfKind::HeaderEquals(_)
+                        | tu_dp::LfKind::Dictionary(_)
+                        | tu_dp::LfKind::Pattern(_)
+                )
+            })
+            .collect()
+    }
+
+    /// [`ValueLookup::lookup_weighted`] over a prefiltered
+    /// identity-LF list (see [`ValueLookup::identity_lfs`]).
+    #[must_use]
+    pub fn lookup_with_lfs(
+        &self,
+        column: &Column,
+        normalized_header: &str,
+        neighbor_types: &[TypeId],
+        identity_lfs: &[&LabelingFunction],
+        config: &SigmaTyperConfig,
+        global_weight: &dyn Fn(TypeId) -> f64,
+    ) -> StepScores {
         let mut cands: Vec<Candidate> = Vec::new();
         let sample: Vec<String> = column
             .sample(config.lookup_sample)
@@ -114,22 +166,7 @@ impl ValueLookup {
         // Source 1: labeling functions (global + local). Strong LFs carry
         // full weight; contextual LFs are scaled like range rules.
         let ctx = context(column, normalized_header, neighbor_types);
-        for lf in lf_banks.iter().flat_map(|b| b.iter()) {
-            // Only identity-style LFs (header, dictionary, shape) vote at
-            // inference time. Numeric envelopes and co-occurrence are
-            // *data-programming* LFs: they mine weakly labeled training
-            // data (tu-dp), where the min-votes/strong gating controls
-            // their noise, but as direct voters they fire on far too many
-            // columns (measured in experiment E1).
-            let identity = matches!(
-                lf.kind,
-                tu_dp::LfKind::HeaderEquals(_)
-                    | tu_dp::LfKind::Dictionary(_)
-                    | tu_dp::LfKind::Pattern(_)
-            );
-            if !identity {
-                continue;
-            }
+        for lf in identity_lfs {
             if let Some(ty) = lf.vote(&ctx) {
                 let mut confidence = 0.95;
                 if lf.source == tu_dp::LfSource::Global {
@@ -223,6 +260,47 @@ mod tests {
         let col = Column::new("x", vec![]);
         let s = l.lookup(&col, "x", &[], &[], &cfg);
         assert!(s.candidates.is_empty());
+    }
+
+    #[test]
+    fn identity_lf_prefilter_preserves_bank_order_and_votes() {
+        let (o, l, cfg) = setup();
+        let salary = builtin_id(&o, "salary");
+        let age = builtin_id(&o, "age");
+        let mk = |name: &str, ty: TypeId, kind: tu_dp::LfKind| tu_dp::LabelingFunction {
+            name: name.into(),
+            ty,
+            source: tu_dp::LfSource::Local,
+            kind,
+        };
+        let bank_a = vec![
+            mk("h", salary, tu_dp::LfKind::HeaderEquals("income".into())),
+            // Data-programming-only kind: must be filtered out.
+            mk(
+                "r",
+                age,
+                tu_dp::LfKind::ValueRange {
+                    min: 0.0,
+                    max: 120.0,
+                },
+            ),
+        ];
+        let bank_b = vec![mk(
+            "d",
+            salary,
+            tu_dp::LfKind::HeaderEquals("salary".into()),
+        )];
+        let banks: [&[tu_dp::LabelingFunction]; 2] = [&bank_a, &bank_b];
+        let identity = ValueLookup::identity_lfs(&banks);
+        assert_eq!(identity.len(), 2);
+        assert_eq!(identity[0].name, "h");
+        assert_eq!(identity[1].name, "d");
+        // Prefiltered path is bit-identical to the raw-bank path.
+        let col = Column::from_raw("Income", &["100", "200"]);
+        let direct = l.lookup_weighted(&col, "income", &[], &banks, &cfg, &|_| 1.0);
+        let prefiltered = l.lookup_with_lfs(&col, "income", &[], &identity, &cfg, &|_| 1.0);
+        assert_eq!(direct.candidates, prefiltered.candidates);
+        assert!(direct.confidence_for(salary) > 0.9);
     }
 
     #[test]

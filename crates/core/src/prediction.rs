@@ -174,16 +174,42 @@ pub struct StepTiming {
     pub nanos: u128,
     /// How many columns the step actually ran on — neither skipped nor
     /// served from the step cache. On a warm repeat crawl this drops
-    /// toward zero while `cache_hits` absorbs the difference.
+    /// toward zero for [`cacheable`] steps while `cache_hits` absorbs
+    /// the difference; non-cacheable steps (e.g. the header step) keep
+    /// re-running their frontier.
+    ///
+    /// [`cacheable`]: crate::step::AnnotationStep::cacheable
     pub columns: usize,
     /// Columns answered from the step cache instead of running the
     /// step (always 0 when no cache is configured).
     pub cache_hits: usize,
     /// Columns the cache was consulted for but had no entry (equals
-    /// `columns` when a cache is configured; 0 otherwise).
+    /// `columns` when a cache is configured and the step is
+    /// [`cacheable`]; 0 otherwise — non-cacheable steps are never
+    /// consulted, so they run with `cache_misses == 0`).
+    ///
+    /// [`cacheable`]: crate::step::AnnotationStep::cacheable
     pub cache_misses: usize,
     /// Results inserted into the step cache after running.
     pub cache_inserts: usize,
+    /// How many [`run_batch`] invocations (chunks) the executor issued
+    /// for this step's frontier: 0 when nothing ran, 1 on the
+    /// sequential path, more when the frontier was chunked for
+    /// column-parallel execution (see
+    /// [`CascadeExecutor`](crate::executor::CascadeExecutor)).
+    ///
+    /// [`run_batch`]: crate::step::AnnotationStep::run_batch
+    pub chunks: usize,
+    /// Nanoseconds spent *inside* the step's [`run_batch`] calls,
+    /// summed across chunks — a CPU-time proxy. On the column-parallel
+    /// path this exceeds the step's share of the wall-clock [`nanos`],
+    /// and the ratio `parallel_nanos / nanos` approximates the
+    /// intra-table speedup; the cost-aware-ordering roadmap item keys
+    /// off this field.
+    ///
+    /// [`run_batch`]: crate::step::AnnotationStep::run_batch
+    /// [`nanos`]: StepTiming::nanos
+    pub parallel_nanos: u128,
 }
 
 /// Final annotation of one column.
@@ -352,6 +378,8 @@ mod tests {
             cache_hits: 0,
             cache_misses: 0,
             cache_inserts: 0,
+            chunks: 1,
+            parallel_nanos: nanos,
         }
     }
 

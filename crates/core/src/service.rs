@@ -1,31 +1,44 @@
-//! Batch annotation service: the thread-sharded serving front-end.
+//! Batch annotation service: the two-level serving front-end.
 //!
 //! The paper's deployment story (§4, Figure 2) is one shared global
 //! model serving many customers; production traffic arrives as
 //! *batches* of tables (a data-catalog crawl, a warehouse sync). The
 //! [`AnnotationService`] turns one customer's [`SigmaTyper`] into a
-//! batch endpoint: a slice of tables is partitioned into contiguous
-//! shards, each shard is annotated on its own worker thread against
-//! the shared [`GlobalModel`], and results are returned in input
-//! order.
+//! batch endpoint with a **two-level scheduler** over one shared
+//! worker budget:
+//!
+//! * **Level 1 — tables.** Up to `budget.min(batch)` table workers
+//!   pull table indices from a shared queue, so a straggler (one huge
+//!   table) never blocks the remaining tables behind a pre-assigned
+//!   shard: idle workers keep draining the queue.
+//! * **Level 2 — columns.** Each table worker carries its share of
+//!   the budget (`budget / workers`, with the division remainder
+//!   handed out one thread each to the first workers so nothing is
+//!   floored away) into a [`CascadeExecutor`], which may fan a wide
+//!   table's step frontier out across column chunks under the
+//!   customer's [`ParallelismPolicy`]. A batch of one huge table
+//!   therefore uses the *whole* budget on columns instead of pinning
+//!   a single worker while the rest idle.
 //!
 //! Inference is read-only (`SigmaTyper::annotate` takes `&self`) and
-//! deterministic, so sharding changes *nothing* about the output: the
-//! annotations are identical to a sequential loop, column for column,
-//! candidate for candidate — whatever cascade the customer configured.
-//! Only the wall-clock step timings embedded in
+//! deterministic, so scheduling changes *nothing* about the output:
+//! the annotations are identical to a sequential loop, column for
+//! column, candidate for candidate — whatever cascade the customer
+//! configured. Only the wall-clock step timings embedded in
 //! [`TableAnnotation::timings`] are measurement noise.
 //!
-//! Workers are `std::thread::scope` threads — no runtime, no queue,
-//! no extra dependencies — which keeps the service synchronous: the
-//! call returns when the whole batch is done.
+//! Workers are `std::thread::scope` threads — no runtime, no extra
+//! dependencies — which keeps the service synchronous: the call
+//! returns when the whole batch is done.
 
 use crate::cache::{ShardedLruCache, StepCache};
 use crate::config::SigmaTyperConfig;
+use crate::executor::{CascadeExecutor, ParallelismPolicy};
 use crate::global::GlobalModel;
 use crate::prediction::TableAnnotation;
 use crate::system::SigmaTyper;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use tu_table::Table;
 
 /// A thread-sharded batch annotation front-end for one customer.
@@ -106,6 +119,17 @@ impl AnnotationService {
         self.with_cache(Arc::new(ShardedLruCache::new(capacity)))
     }
 
+    /// Set the customer's intra-table [`ParallelismPolicy`] — when a
+    /// table worker may fan a step's pending columns out across its
+    /// budget share (see the [module docs](self) for the two-level
+    /// split). Execution strategy only: output is bit-identical under
+    /// any policy.
+    #[must_use]
+    pub fn with_parallelism(mut self, policy: ParallelismPolicy) -> Self {
+        self.typer.config_mut().parallelism = policy;
+        self
+    }
+
     /// The configured worker-thread count.
     #[must_use]
     pub fn threads(&self) -> usize {
@@ -126,51 +150,95 @@ impl AnnotationService {
         &mut self.typer
     }
 
-    /// Annotate a batch of tables, sharded across the configured
-    /// number of worker threads. Results are in input order and
+    /// Annotate a batch of tables under the two-level scheduler (see
+    /// the [module docs](self)): table workers pull from a shared
+    /// queue, each carrying its share of the worker budget for
+    /// intra-table column chunks. Results are in input order and
     /// identical to calling [`SigmaTyper::annotate`] in a loop —
     /// whatever cascade the customer instance is configured with
     /// (standard, reordered, or carrying custom registered steps) runs
     /// unchanged on every worker.
     ///
-    /// Output order matches input order exactly. With one thread, or
-    /// batches smaller than the thread count, the sharding degenerates
-    /// gracefully (never spawns a worker with an empty shard; a
-    /// single-thread batch runs inline with no spawn at all).
+    /// Output order matches input order exactly. Degenerate shapes
+    /// stay graceful: an empty batch returns immediately, a
+    /// single-worker budget runs inline with no spawn at all, and a
+    /// batch smaller than the budget hands the leftover threads to the
+    /// column level instead of idling them.
     #[must_use]
     pub fn annotate_batch(&self, tables: &[Table]) -> Vec<TableAnnotation> {
-        shard_annotate(&self.typer, tables, self.threads)
+        two_level_annotate(&self.typer, tables, self.threads)
     }
 }
 
-/// The shared sharding core: contiguous shards on scoped worker
-/// threads, output in input order.
-fn shard_annotate(typer: &SigmaTyper, tables: &[Table], threads: usize) -> Vec<TableAnnotation> {
+/// The shared scheduling core: `budget` worker threads split across
+/// table workers (level 1, dynamic queue) and per-worker column
+/// budgets (level 2, handed to the [`CascadeExecutor`]), output in
+/// input order.
+fn two_level_annotate(typer: &SigmaTyper, tables: &[Table], budget: usize) -> Vec<TableAnnotation> {
     let n = tables.len();
-    let threads = threads.clamp(1, n.max(1));
-    if threads == 1 {
-        return tables.iter().map(|t| typer.annotate(t)).collect();
+    if n == 0 {
+        return Vec::new();
     }
-    // Contiguous shards keep results trivially in input order: shard k
-    // writes exactly the k-th chunk of the output buffer.
-    let shard = n.div_ceil(threads);
-    let mut out: Vec<Option<TableAnnotation>> = (0..n).map(|_| None).collect();
+    let budget = budget.max(1);
+    let outer = budget.min(n);
+    // Level 2 budgets: the threads level 1 leaves on the table — a
+    // 1-table batch on an 8-thread budget puts all 8 on columns. The
+    // division remainder is handed out one thread each to the first
+    // workers instead of being floored away, so the whole budget is
+    // always accounted for (8 threads over 5 tables: three workers
+    // get a 2-thread column budget, two get 1).
+    let policy = typer.config().parallelism;
+    let executor_for =
+        |worker: usize| CascadeExecutor::new(policy, column_budget(budget, outer, worker));
+    if outer == 1 {
+        let executor = executor_for(0);
+        return tables
+            .iter()
+            .map(|t| typer.annotate_with(t, &executor))
+            .collect();
+    }
+    // Level 1: a dynamic queue instead of pre-cut shards, so one slow
+    // (huge) table delays only the worker that holds it — the others
+    // keep draining the queue. Each result lands in its input-index
+    // slot, so output order is position-stable by construction.
+    let next = AtomicUsize::new(0);
+    let slots: Vec<OnceLock<TableAnnotation>> = (0..n).map(|_| OnceLock::new()).collect();
     std::thread::scope(|scope| {
-        for (shard_tables, shard_out) in tables.chunks(shard).zip(out.chunks_mut(shard)) {
-            scope.spawn(move || {
-                for (table, slot) in shard_tables.iter().zip(shard_out.iter_mut()) {
-                    *slot = Some(typer.annotate(table));
+        // `move` closures below take the (Copy) executor by value and
+        // these shared handles by reference.
+        let (next, slots) = (&next, &slots);
+        for worker in 0..outer {
+            let executor = executor_for(worker);
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
                 }
+                let ann = typer.annotate_with(&tables[i], &executor);
+                assert!(
+                    slots[i].set(ann).is_ok(),
+                    "queue indices are unique; every slot is filled exactly once"
+                );
             });
         }
     });
-    out.into_iter()
-        .map(|slot| slot.expect("every shard fills its slots"))
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every slot filled"))
         .collect()
 }
 
-/// Shard `tables` across `threads` scoped worker threads, annotating
-/// every shard with the same (shared, read-only) customer instance.
+/// The level-2 share of one table worker: `budget / outer`, with the
+/// division remainder handed out one thread each to the first workers
+/// — the shares always sum to exactly `budget`, so no thread of the
+/// budget is floored away.
+fn column_budget(budget: usize, outer: usize, worker: usize) -> usize {
+    let base = budget / outer;
+    (base + usize::from(worker < budget % outer)).max(1)
+}
+
+/// Annotate `tables` with the same (shared, read-only) customer
+/// instance on a `threads`-wide worker budget.
 #[deprecated(
     since = "0.1.0",
     note = "use `AnnotationService::for_customer(typer).with_threads(n).annotate_batch(tables)` \
@@ -182,7 +250,7 @@ pub fn annotate_batch_with(
     tables: &[Table],
     threads: usize,
 ) -> Vec<TableAnnotation> {
-    shard_annotate(typer, tables, threads)
+    two_level_annotate(typer, tables, threads)
 }
 
 #[cfg(test)]
@@ -315,11 +383,23 @@ mod tests {
             .cached(1 << 14);
         let tables = batch(0xCAC4E, 9);
         // Cold batch populates; warm batch is served from cache and
-        // stays bit-identical (the golden contract) across shards.
+        // stays bit-identical (the golden contract) across workers.
+        // The header step opted out of memoization (cache admission),
+        // so it re-runs on every crawl and is counted separately.
         let cold = service.annotate_batch(&tables);
+        use crate::prediction::StepId;
         let runs = |anns: &[TableAnnotation]| -> usize {
             anns.iter()
-                .flat_map(|a| a.timings.iter().map(|t| t.columns))
+                .flat_map(|a| a.timings.iter())
+                .filter(|t| t.step != StepId::HEADER)
+                .map(|t| t.columns)
+                .sum()
+        };
+        let header_runs = |anns: &[TableAnnotation]| -> usize {
+            anns.iter()
+                .flat_map(|a| a.timings.iter())
+                .filter(|t| t.step == StepId::HEADER)
+                .map(|t| t.columns)
                 .sum()
         };
         let hits = |anns: &[TableAnnotation]| -> usize {
@@ -330,8 +410,17 @@ mod tests {
         assert!(runs(&cold) > 0);
         assert_eq!(hits(&cold), 0);
         let warm = service.annotate_batch(&tables);
-        assert_eq!(runs(&warm), 0, "warm recrawl must skip every step run");
+        assert_eq!(
+            runs(&warm),
+            0,
+            "warm recrawl must skip every cacheable step run"
+        );
         assert_eq!(hits(&warm), runs(&cold));
+        assert_eq!(
+            header_runs(&warm),
+            header_runs(&cold),
+            "the non-cacheable header step re-runs its frontier"
+        );
         for (a, b) in cold.iter().zip(&warm) {
             assert_identical(a, b);
         }
@@ -350,6 +439,109 @@ mod tests {
         assert_eq!(via_service.len(), via_free.len());
         for (a, b) in via_service.iter().zip(&via_free) {
             assert_identical(a, b);
+        }
+    }
+
+    /// Two-level budget split: a batch smaller than the worker budget
+    /// hands the leftover threads to the column level, so a lone wide
+    /// table is chunked instead of pinning one worker while the other
+    /// threads idle.
+    #[test]
+    fn lone_wide_table_gets_the_whole_budget_as_column_chunks() {
+        let service = AnnotationService::new(global(), SigmaTyperConfig::default())
+            .with_threads(4)
+            .with_parallelism(ParallelismPolicy::PerTableThreshold { min_columns: 2 });
+        // Opaque headers keep a wide frontier alive past the header step.
+        let columns: Vec<tu_table::Column> = (0..8)
+            .map(|i| {
+                tu_table::Column::from_raw(
+                    format!("xq_{i}"),
+                    &["lorem ipsum", "dolor sit", "amet consect"],
+                )
+            })
+            .collect();
+        let wide = Table::new("wide", columns).unwrap();
+        let anns = service.annotate_batch(std::slice::from_ref(&wide));
+        assert_eq!(anns.len(), 1);
+        assert!(
+            anns[0].timings.iter().any(|t| t.chunks >= 2),
+            "a 1-table batch on a 4-thread budget must chunk columns: {:?}",
+            anns[0]
+                .timings
+                .iter()
+                .map(|t| (t.name.clone(), t.columns, t.chunks))
+                .collect::<Vec<_>>()
+        );
+        // And the chunked result is bit-identical to a sequential one.
+        let sequential = AnnotationService::new(global(), SigmaTyperConfig::default())
+            .with_threads(1)
+            .with_parallelism(ParallelismPolicy::Off);
+        assert_identical(&sequential.annotate_batch(&[wide])[0], &anns[0]);
+    }
+
+    /// The level-2 budget split: shares sum to exactly the budget
+    /// (the division remainder goes one thread each to the first
+    /// workers), so a batch between budget/2 and budget still carries
+    /// column parallelism on some workers instead of idling threads.
+    #[test]
+    fn budget_remainder_reaches_the_column_level() {
+        // 8 threads over 5 table workers: 2+2+2+1+1.
+        let shares: Vec<usize> = (0..5).map(|w| column_budget(8, 5, w)).collect();
+        assert_eq!(shares, vec![2, 2, 2, 1, 1]);
+        assert_eq!(shares.iter().sum::<usize>(), 8);
+        // Even splits stay even; a lone table gets the whole budget.
+        assert_eq!((0..4).map(|w| column_budget(8, 4, w)).sum::<usize>(), 8);
+        assert_eq!(column_budget(8, 1, 0), 8);
+        // More workers than budget can never hand out a zero share.
+        assert!((0..4).all(|w| column_budget(3, 4, w) >= 1));
+
+        // Behavior: a 5-table batch on an 8-thread budget stays
+        // bit-identical to the sequential pass whatever worker picked
+        // up which table (chunked or not).
+        let service = AnnotationService::new(global(), SigmaTyperConfig::default())
+            .with_threads(8)
+            .with_parallelism(ParallelismPolicy::PerTableThreshold { min_columns: 2 });
+        let mk_wide = |seed: usize| {
+            let columns: Vec<tu_table::Column> = (0..6)
+                .map(|i| {
+                    tu_table::Column::from_raw(
+                        format!("xq_{seed}_{i}"),
+                        &["lorem ipsum", "dolor sit", "amet consect"],
+                    )
+                })
+                .collect();
+            Table::new(format!("wide_{seed}"), columns).unwrap()
+        };
+        let tables: Vec<Table> = (0..5).map(mk_wide).collect();
+        let anns = service.annotate_batch(&tables);
+        assert_eq!(anns.len(), 5);
+        let sequential = AnnotationService::new(global(), SigmaTyperConfig::default())
+            .with_threads(1)
+            .with_parallelism(ParallelismPolicy::Off);
+        for (a, b) in anns.iter().zip(&sequential.annotate_batch(&tables)) {
+            assert_identical(a, b);
+        }
+    }
+
+    /// The dynamic table queue plus column parallelism must preserve
+    /// input order and bit-identity on mixed batches (wide and narrow
+    /// tables interleaved, batch larger than the budget).
+    #[test]
+    fn two_level_scheduler_matches_sequential_on_mixed_batches() {
+        let service = AnnotationService::new(global(), SigmaTyperConfig::default())
+            .with_threads(3)
+            .with_parallelism(ParallelismPolicy::FixedChunk { columns: 2 });
+        let mut tables = batch(0x31, 7);
+        let wide_cols: Vec<tu_table::Column> = (0..9)
+            .map(|i| tu_table::Column::from_raw(format!("zz_{i}"), &["alpha beta", "gamma delta"]))
+            .collect();
+        tables.insert(3, Table::new("wide", wide_cols).unwrap());
+        let sequential: Vec<TableAnnotation> =
+            tables.iter().map(|t| service.typer().annotate(t)).collect();
+        let scheduled = service.annotate_batch(&tables);
+        assert_eq!(scheduled.len(), sequential.len());
+        for (s, q) in scheduled.iter().zip(&sequential) {
+            assert_identical(s, q);
         }
     }
 

@@ -15,8 +15,27 @@ use crate::config::SigmaTyperConfig;
 use crate::global::GlobalModel;
 use crate::local::LocalModel;
 use crate::prediction::{Candidate, StepId, StepScores};
+use tu_dp::LabelingFunction;
 use tu_ontology::TypeId;
 use tu_table::{Column, Table};
+
+/// One column's cascade state at the current step: the quantities that
+/// vary per column while everything else in a [`StepContext`] is shared
+/// across the whole table.
+///
+/// The [`CascadeExecutor`](crate::executor::CascadeExecutor) recomputes
+/// one `ColumnState` per column before each step and exposes the full
+/// slice through [`StepContext::column_states`], which is what lets
+/// [`AnnotationStep::run_batch`] derive exact per-column contexts via
+/// [`StepContext::for_column`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ColumnState {
+    /// Best confidence any earlier step achieved for this column.
+    pub best_so_far: f64,
+    /// The column's cache fingerprint for the current run (`None`
+    /// when no step cache is configured).
+    pub fingerprint: Option<ColumnFingerprint>,
+}
 
 /// Everything a step may consult when scoring one column.
 ///
@@ -50,6 +69,12 @@ pub struct StepContext<'a> {
     /// per table by the cascade; steps may use it to key caches of
     /// their own.
     pub fingerprint: Option<ColumnFingerprint>,
+    /// Per-column cascade state for *every* column of the table at
+    /// this step, indexed by column. The executor always fills this;
+    /// hand-constructed contexts (the fields are public for testing
+    /// custom steps) may leave it empty, in which case
+    /// [`StepContext::for_column`] falls back to a default state.
+    pub column_states: &'a [ColumnState],
 }
 
 impl<'a> StepContext<'a> {
@@ -108,6 +133,26 @@ impl<'a> StepContext<'a> {
             .map(|(_, c)| c.name.as_str())
             .collect()
     }
+
+    /// The same table-level context re-focused on a sibling column:
+    /// everything shared stays shared, while `col_idx`, `best_so_far`,
+    /// and `fingerprint` are taken from [`StepContext::column_states`].
+    /// This is how [`AnnotationStep::run_batch`] derives the exact
+    /// per-column context the sequential path would have built.
+    ///
+    /// Hand-constructed contexts with an empty `column_states` slice
+    /// fall back to [`ColumnState::default`] (no prior confidence, no
+    /// fingerprint) for columns the slice does not cover.
+    #[must_use]
+    pub fn for_column(&self, col_idx: usize) -> StepContext<'a> {
+        let state = self.column_states.get(col_idx).copied().unwrap_or_default();
+        StepContext {
+            col_idx,
+            best_so_far: state.best_so_far,
+            fingerprint: state.fingerprint,
+            ..*self
+        }
+    }
 }
 
 /// One pluggable stage of the annotation cascade.
@@ -141,6 +186,43 @@ pub trait AnnotationStep: std::fmt::Debug + Send + Sync {
     /// with empty scores (so telemetry distinguishes "ran, found
     /// nothing" from "skipped").
     fn run(&self, ctx: &StepContext<'_>) -> StepScores;
+
+    /// Score a batch of columns of one table in a single call.
+    ///
+    /// `ctx` is the context of `cols[0]`; implementations derive the
+    /// other columns' contexts with [`StepContext::for_column`]. The
+    /// returned vector must hold exactly one [`StepScores`] per entry
+    /// of `cols`, in order — the
+    /// [`CascadeExecutor`](crate::executor::CascadeExecutor) enforces
+    /// the length.
+    ///
+    /// The default loops [`AnnotationStep::run`]. Override it when
+    /// per-table setup is worth amortizing across columns (the
+    /// built-in [`EmbeddingStep`] encodes each header once per table
+    /// instead of once per neighbor pair; [`LookupStep`] filters the
+    /// labeling-function banks once per table) — but any override
+    /// **must** stay bit-identical to mapping `run` over the same
+    /// per-column contexts, and must produce the same bits regardless
+    /// of how the executor chunks the frontier across calls. The
+    /// golden-equivalence suite (`tests/golden_cascade.rs`) holds the
+    /// built-ins to that contract.
+    fn run_batch(&self, ctx: &StepContext<'_>, cols: &[usize]) -> Vec<StepScores> {
+        cols.iter()
+            .map(|&ci| self.run(&ctx.for_column(ci)))
+            .collect()
+    }
+
+    /// Should the executor memoize this step's results in the
+    /// [`StepCache`](crate::cache::StepCache)? Defaults to `true`.
+    /// Cheap steps whose memo traffic (fingerprint lookup + clone +
+    /// insert) rivals the step itself — the built-in [`HeaderStep`] —
+    /// return `false` and simply re-run on every crawl; the cache is
+    /// never consulted for them, so their
+    /// [`StepTiming`](crate::prediction::StepTiming) reports zero
+    /// hits, misses, and inserts.
+    fn cacheable(&self) -> bool {
+        true
+    }
 }
 
 /// Built-in step 1: header matching (syntactic + semantic), with the
@@ -173,6 +255,14 @@ impl AnnotationStep for HeaderStep {
         }
         scores
     }
+
+    /// Header matching is a hash-map probe plus one small embedding
+    /// similarity — the memo traffic (fingerprint keying, score clone,
+    /// LRU insert) costs about as much as just running it, so the
+    /// cache admission policy keeps it out (ROADMAP: cache admission).
+    fn cacheable(&self) -> bool {
+        false
+    }
 }
 
 /// Built-in step 2: value lookup — labeling functions, knowledge-base
@@ -204,6 +294,30 @@ impl AnnotationStep for LookupStep {
             ctx.config,
             &|t| ctx.local.wg(t, ctx.normalized_header()),
         )
+    }
+
+    /// Batch override: the identity-LF subset of the global + local
+    /// banks is the same for every column of the table, so it is
+    /// filtered once per batch instead of once per column — on an
+    /// adapted customer the local bank grows with every feedback
+    /// event, and the per-column filter pass grows with it.
+    fn run_batch(&self, ctx: &StepContext<'_>, cols: &[usize]) -> Vec<StepScores> {
+        let banks: [&[LabelingFunction]; 2] = [&ctx.global.global_lfs, &ctx.local.lfs];
+        let identity = crate::lookupstep::ValueLookup::identity_lfs(&banks);
+        cols.iter()
+            .map(|&ci| {
+                let c = ctx.for_column(ci);
+                let neighbors = c.neighbor_types();
+                c.global.lookup.lookup_with_lfs(
+                    c.column(),
+                    c.normalized_header(),
+                    &neighbors,
+                    &identity,
+                    c.config,
+                    &|t| c.local.wg(t, c.normalized_header()),
+                )
+            })
+            .collect()
     }
 }
 
@@ -242,6 +356,65 @@ impl AnnotationStep for EmbeddingStep {
             }
             None => global_scores,
         }
+    }
+
+    /// Batch override: each header's phrase vector is encoded once per
+    /// `(model, chunk)` instead of once per `(column, neighbor)` — the
+    /// neighbor-context encoding is quadratic in table width on the
+    /// per-column path. One sequential run is one chunk, so it pays
+    /// the setup exactly once per table; column-parallel chunks each
+    /// encode their own copy *inside their own worker thread*, trading
+    /// O(workers) duplicated setup CPU for zero cross-chunk
+    /// coordination. (A `FixedChunk { columns: 1 }` policy therefore
+    /// degrades to the per-column cost — it exists for testing, not
+    /// production; hoisting the setup to once per table across chunks
+    /// is the executor-level follow-up noted in the ROADMAP.) The
+    /// per-column mean is accumulated over the precomputed vectors in
+    /// the same order `predict` would have used, so the result is
+    /// bit-identical (see [`TableEmbeddingModel::context_of`]).
+    ///
+    /// [`TableEmbeddingModel::context_of`]: crate::embedstep::TableEmbeddingModel::context_of
+    fn run_batch(&self, ctx: &StepContext<'_>, cols: &[usize]) -> Vec<StepScores> {
+        let headers = ctx.table.headers();
+        let global_model = &ctx.global.embedding;
+        let global_vecs: Vec<Vec<f32>> = headers
+            .iter()
+            .map(|h| global_model.header_vector(h))
+            .collect();
+        // The finetuned model's embedder is a clone of the global one,
+        // but its vectors are encoded through its own instance so the
+        // equivalence argument never leans on clone identity.
+        let local_model = ctx.local.finetuned.as_ref();
+        let local_vecs: Option<Vec<Vec<f32>>> =
+            local_model.map(|m| headers.iter().map(|h| m.header_vector(h)).collect());
+        fn neighbors_of(vecs: &[Vec<f32>], ci: usize) -> Vec<&[f32]> {
+            vecs.iter()
+                .enumerate()
+                .filter(|(i, _)| *i != ci)
+                .map(|(_, v)| v.as_slice())
+                .collect()
+        }
+        cols.iter()
+            .map(|&ci| {
+                let c = ctx.for_column(ci);
+                let column = c.column();
+                let global_ctx = global_model.context_of(&neighbors_of(&global_vecs, ci));
+                let global_scores = global_model.predict_with_context(column, &global_ctx);
+                match (local_model, &local_vecs) {
+                    (Some(m), Some(lv)) => {
+                        let local_ctx = m.context_of(&neighbors_of(lv, ci));
+                        let local_scores = m.predict_with_context(column, &local_ctx);
+                        blend(
+                            &global_scores,
+                            &local_scores,
+                            c.local,
+                            c.normalized_header(),
+                        )
+                    }
+                    _ => global_scores,
+                }
+            })
+            .collect()
     }
 }
 
@@ -364,6 +537,7 @@ mod tests {
             local,
             config,
             fingerprint: None,
+            column_states: &[],
         }
     }
 
@@ -451,6 +625,97 @@ mod tests {
         // Free text matches nothing.
         let text_ctx = ctx_for(&table, 2, &normalized, &tentative, &g, &local, &config);
         assert!(RegexOnlyStep.run(&text_ctx).candidates.is_empty());
+    }
+
+    #[test]
+    fn cacheable_defaults_and_header_opt_out() {
+        // Default admission is "cache everything"; only the header
+        // step opts out (memo overhead rivals the step itself).
+        assert!(!HeaderStep.cacheable());
+        assert!(LookupStep.cacheable());
+        assert!(EmbeddingStep.cacheable());
+        assert!(RegexOnlyStep.cacheable());
+    }
+
+    /// The batch overrides must be bit-identical to mapping `run` over
+    /// the same per-column contexts — and invariant to how the batch
+    /// is chunked.
+    #[test]
+    fn run_batch_overrides_match_sequential_run() {
+        let g = global();
+        let mut local = LocalModel::new();
+        let config = SigmaTyperConfig::default();
+        let table = Table::new(
+            "t",
+            vec![
+                Column::from_raw("xq_1", &["ada@x.com", "bob@y.org", "eve@z.net"]),
+                Column::from_raw("xq_2", &["Oslo", "Lima", "Kyiv"]),
+                Column::from_raw("xq_3", &["21", "34", "57"]),
+                Column::from_raw("xq_4", &["lorem", "ipsum", "dolor"]),
+            ],
+        )
+        .unwrap();
+        let normalized: Vec<String> = table
+            .headers()
+            .iter()
+            .map(|h| tu_text::normalize_header(h))
+            .collect();
+        let tentative = vec![TypeId::UNKNOWN; 4];
+        let states = vec![ColumnState::default(); 4];
+        // Engage the finetuned-blend path of the embedding step too.
+        local.add_training(vec![(
+            Column::from_raw("contact", &["20000001", "20000002"]),
+            vec!["name".to_owned()],
+            TypeId(2),
+        )]);
+        local.finetuned = Some(g.embedding.clone());
+        let steps: [&dyn AnnotationStep; 3] = [&LookupStep, &EmbeddingStep, &RegexOnlyStep];
+        for step in steps {
+            let mut ctx = ctx_for(&table, 0, &normalized, &tentative, &g, &local, &config);
+            ctx.column_states = &states;
+            let sequential: Vec<StepScores> =
+                (0..4).map(|ci| step.run(&ctx.for_column(ci))).collect();
+            let whole = step.run_batch(&ctx, &[0, 1, 2, 3]);
+            assert_eq!(whole, sequential, "{}: whole batch diverged", step.name());
+            // Chunked invocation must concatenate to the same bits.
+            let mut chunked = step.run_batch(&ctx, &[0, 1]);
+            chunked.extend(step.run_batch(&ctx.for_column(2), &[2, 3]));
+            assert_eq!(chunked, sequential, "{}: chunking diverged", step.name());
+        }
+    }
+
+    #[test]
+    fn for_column_refocuses_shared_context() {
+        let g = global();
+        let local = LocalModel::new();
+        let config = SigmaTyperConfig::default();
+        let table = Table::new(
+            "t",
+            vec![Column::from_raw("a", &["1"]), Column::from_raw("b", &["2"])],
+        )
+        .unwrap();
+        let normalized = vec!["a".to_owned(), "b".to_owned()];
+        let tentative = vec![TypeId::UNKNOWN; 2];
+        let states = vec![
+            ColumnState {
+                best_so_far: 0.9,
+                fingerprint: None,
+            },
+            ColumnState {
+                best_so_far: 0.2,
+                fingerprint: None,
+            },
+        ];
+        let mut ctx = ctx_for(&table, 0, &normalized, &tentative, &g, &local, &config);
+        ctx.column_states = &states;
+        let sibling = ctx.for_column(1);
+        assert_eq!(sibling.col_idx, 1);
+        assert_eq!(sibling.header(), "b");
+        assert!((sibling.best_so_far - 0.2).abs() < f64::EPSILON);
+        // Out-of-range / empty column_states fall back to the default.
+        let bare = ctx_for(&table, 0, &normalized, &tentative, &g, &local, &config);
+        assert_eq!(bare.for_column(1).best_so_far, 0.0);
+        assert!(bare.for_column(1).fingerprint.is_none());
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::aggregate::{apply_tau, soft_majority_vote_with};
 use crate::cache::{CacheContext, ShardedLruCache, StepCache};
 use crate::cascade::Cascade;
 use crate::config::SigmaTyperConfig;
+use crate::executor::{CascadeExecutor, ParallelismPolicy};
 use crate::global::GlobalModel;
 use crate::local::LocalModel;
 use crate::prediction::{Candidate, ColumnAnnotation, StepId, StepScores, TableAnnotation};
@@ -147,6 +148,25 @@ impl SigmaTyperBuilder {
     #[must_use]
     pub fn step_weight(mut self, id: StepId, weight: f64) -> Self {
         self.cascade.set_weight(id, weight);
+        self
+    }
+
+    /// Set the intra-table parallelism policy (see
+    /// [`ParallelismPolicy`]): when the
+    /// [`CascadeExecutor`] may run a step's pending columns in
+    /// parallel. Execution strategy only — output is bit-identical
+    /// either way.
+    #[must_use]
+    pub fn parallelism(mut self, policy: ParallelismPolicy) -> Self {
+        self.config.parallelism = policy;
+        self
+    }
+
+    /// Set the worker budget for intra-table column chunks
+    /// ([`SigmaTyperConfig::column_threads`]; `0` = auto).
+    #[must_use]
+    pub fn column_threads(mut self, threads: usize) -> Self {
+        self.config.column_threads = threads;
         self
     }
 
@@ -322,16 +342,35 @@ impl SigmaTyper {
 
     /// Annotate a table: run the configured cascade per column,
     /// aggregate with the soft majority vote, and apply τ (paper
-    /// Figure 4).
+    /// Figure 4). Execution strategy (sequential vs column-parallel)
+    /// follows [`SigmaTyperConfig::parallelism`] and
+    /// [`SigmaTyperConfig::column_threads`].
     #[must_use]
     pub fn annotate(&self, table: &Table) -> TableAnnotation {
+        self.annotate_with(table, &CascadeExecutor::from_config(&self.config))
+    }
+
+    /// [`SigmaTyper::annotate`] through an explicitly constructed
+    /// [`CascadeExecutor`] — for callers that manage their own worker
+    /// budgets, like the two-level scheduler in
+    /// [`AnnotationService`](crate::service::AnnotationService), which
+    /// hands each table worker its share of the batch-wide budget.
+    /// Any executor produces bit-identical annotations; only the wall
+    /// clock differs.
+    #[must_use]
+    pub fn annotate_with(&self, table: &Table, executor: &CascadeExecutor) -> TableAnnotation {
         let cache_ctx = self.cache.as_deref().map(|cache| CacheContext {
             cache,
             epoch: self.epoch,
         });
-        let (per_column, timings) =
-            self.cascade
-                .run_cached(table, &self.global, &self.local, &self.config, cache_ctx);
+        let (per_column, timings) = executor.run(
+            &self.cascade,
+            table,
+            &self.global,
+            &self.local,
+            &self.config,
+            cache_ctx,
+        );
 
         let weight_of = |id: StepId| self.cascade.weight(id, &self.config);
         let columns = per_column
@@ -764,30 +803,62 @@ mod tests {
         let cached = SigmaTyper::builder(global).cached(4096).build();
         assert!(cached.step_cache().is_some());
         assert!(plain.step_cache().is_none());
-        let table = figure3_table();
+        // Opaque headers push columns past the header step, so the
+        // cacheable tail steps (lookup, embedding) actually execute.
+        let table = Table::new(
+            "t",
+            vec![
+                Column::from_raw("Name", &["Han Phi", "Thomas Do", "Alexis Nan"]),
+                Column::from_raw("c_17", &["ada@x.com", "bob@y.org", "eve@z.net"]),
+                Column::from_raw("xq7_zz", &["lorem ipsum", "dolor sit", "amet"]),
+            ],
+        )
+        .unwrap();
 
-        // Cold crawl: nothing to hit; every executed column inserted.
+        // The header step opts out of memoization (cache admission):
+        // its counters stay quiet on every crawl while cacheable steps
+        // insert on cold and hit on warm.
+        let split = |ann: &TableAnnotation| {
+            let (mut header_runs, mut runs, mut hits, mut misses, mut inserts) = (0, 0, 0, 0, 0);
+            for t in &ann.timings {
+                if t.step == StepId::HEADER {
+                    header_runs += t.columns;
+                    assert_eq!(
+                        (t.cache_hits, t.cache_misses, t.cache_inserts),
+                        (0, 0, 0),
+                        "non-cacheable step must never touch the cache"
+                    );
+                } else {
+                    runs += t.columns;
+                    hits += t.cache_hits;
+                    misses += t.cache_misses;
+                    inserts += t.cache_inserts;
+                }
+            }
+            (header_runs, runs, hits, misses, inserts)
+        };
+
+        // Cold crawl: nothing to hit; every executed cacheable column
+        // inserted.
         let cold = cached.annotate(&table);
         assert_same_annotation(&plain.annotate(&table), &cold);
-        assert!(cold.timings.iter().all(|t| t.cache_hits == 0));
-        let cold_runs: usize = cold.timings.iter().map(|t| t.columns).sum();
-        let cold_inserts: usize = cold.timings.iter().map(|t| t.cache_inserts).sum();
+        let (cold_header, cold_runs, cold_hits, cold_misses, cold_inserts) = split(&cold);
+        assert!(cold_header > 0);
         assert!(cold_runs > 0);
+        assert_eq!(cold_hits, 0);
         assert_eq!(cold_inserts, cold_runs);
-        assert_eq!(
-            cold.timings.iter().map(|t| t.cache_misses).sum::<usize>(),
-            cold_runs
-        );
+        assert_eq!(cold_misses, cold_runs);
 
-        // Warm recrawl of the same table: bit-identical, zero step
-        // runs, every previously run column served from cache.
+        // Warm recrawl of the same table: bit-identical; cacheable
+        // steps run nothing (served from cache), the header step
+        // simply re-runs its frontier.
         let warm = cached.annotate(&table);
         assert_same_annotation(&cold, &warm);
-        assert_eq!(warm.timings.iter().map(|t| t.columns).sum::<usize>(), 0);
-        assert_eq!(
-            warm.timings.iter().map(|t| t.cache_hits).sum::<usize>(),
-            cold_runs
-        );
+        let (warm_header, warm_runs, warm_hits, _, warm_inserts) = split(&warm);
+        assert_eq!(warm_header, cold_header);
+        assert_eq!(warm_runs, 0);
+        assert_eq!(warm_hits, cold_runs);
+        assert_eq!(warm_inserts, 0);
         // Uncached instances report quiet counters.
         let plain_ann = plain.annotate(&table);
         assert!(plain_ann
@@ -904,6 +975,83 @@ mod tests {
         assert!(after.timings.iter().all(|x| x.cache_hits == 0));
         // ... and the recrawl after that hits again.
         assert!(cached.annotate(&t).timings.iter().any(|x| x.cache_hits > 0));
+    }
+
+    /// A cheap custom step that opts out of memoization.
+    #[derive(Debug)]
+    struct UncachedStep;
+
+    impl AnnotationStep for UncachedStep {
+        fn id(&self) -> StepId {
+            StepId::custom(9)
+        }
+
+        fn name(&self) -> &str {
+            "uncached"
+        }
+
+        fn skip(&self, _ctx: &StepContext<'_>) -> bool {
+            false
+        }
+
+        fn run(&self, _ctx: &StepContext<'_>) -> StepScores {
+            StepScores::default()
+        }
+
+        fn cacheable(&self) -> bool {
+            false
+        }
+    }
+
+    /// Cache admission: non-cacheable steps (the built-in header step
+    /// and any custom step returning `cacheable() == false`) must
+    /// never insert into — or even consult — the step cache.
+    #[test]
+    fn non_cacheable_steps_never_touch_the_cache() {
+        let cache = Arc::new(crate::cache::ShardedLruCache::new(1 << 12));
+        let mut typer = SigmaTyper::builder(shared_global())
+            .step_cache(cache.clone())
+            .build();
+        typer.cascade_mut().push(UncachedStep);
+        // Opaque headers force the cacheable tail steps to execute, so
+        // the insert accounting below is non-trivial.
+        let table = Table::new(
+            "t",
+            vec![
+                Column::from_raw("c_17", &["ada@x.com", "bob@y.org", "eve@z.net"]),
+                Column::from_raw("xq7_zz", &["lorem ipsum", "dolor sit", "amet"]),
+            ],
+        )
+        .unwrap();
+        let inserts_before = cache.stats().inserts;
+        for _ in 0..2 {
+            let ann = typer.annotate(&table);
+            for t in &ann.timings {
+                if t.step == StepId::HEADER || t.step == StepId::custom(9) {
+                    assert!(t.columns > 0, "{}: non-cacheable step must run", t.name);
+                    assert_eq!(
+                        (t.cache_hits, t.cache_misses, t.cache_inserts),
+                        (0, 0, 0),
+                        "{}: non-cacheable step touched the cache",
+                        t.name
+                    );
+                }
+            }
+        }
+        // Every insert that did happen came from a cacheable step.
+        let ann = typer.annotate(&table);
+        let cacheable_runs: usize = ann
+            .timings
+            .iter()
+            .filter(|t| t.step != StepId::HEADER && t.step != StepId::custom(9))
+            .map(|t| t.columns + t.cache_hits)
+            .sum();
+        assert!(cacheable_runs > 0, "cacheable tail steps must execute");
+        assert_eq!(
+            cache.stats().inserts - inserts_before,
+            cacheable_runs as u64,
+            "insert volume must equal cold cacheable executions"
+        );
     }
 
     #[test]
