@@ -3,7 +3,10 @@
 //! annotation throughput.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sigmatyper::{AnnotationService, ParallelismPolicy, ShardedLruCache, SigmaTyper};
+use sigmatyper::{
+    AnnotationRequest, AnnotationService, DegradationPolicy, ParallelismPolicy, RequestOptions,
+    ShardedLruCache, SigmaTyper,
+};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -341,6 +344,92 @@ fn bench_cached_recrawl(c: &mut Criterion) {
     group.finish();
 }
 
+/// Budgeted requests: unbounded `Strict` vs a deliberately exhausted
+/// `DropTailSteps` budget — the degrade-don't-queue latency floor.
+/// Before timing, the acceptance contract is checked once: a zero
+/// budget drops every step and abstains everywhere (never fabricates),
+/// a `u64::MAX` budget degrades nothing and stays bit-identical to the
+/// plain path, and the batch front-end honors one shared ledger.
+fn bench_budgeted(c: &mut Criterion) {
+    let f = BenchFixture::new();
+    let typer = f.customer();
+    // Opaque wide table: the full cascade is pending on every column,
+    // so a budget actually has work to shed.
+    let columns: Vec<Column> = (0..16)
+        .map(|i| {
+            let vals: Vec<String> = (0..32)
+                .map(|r| format!("wq{} blob{}", (i * 11 + r) % 17, (r * 29 + i) % 83))
+                .collect();
+            Column::from_raw(format!("xq_{i}"), &vals)
+        })
+        .collect();
+    let wide = Table::new("wide", columns).expect("valid table");
+
+    // Acceptance: exhausted budget ⇒ everything dropped, everything
+    // abstains, report complete.
+    let starved = typer.annotate_request(
+        &AnnotationRequest::new(&wide)
+            .with_budget_nanos(0)
+            .with_policy(DegradationPolicy::DropTailSteps),
+    );
+    assert!(starved.degraded());
+    assert_eq!(
+        starved.degradation.skipped.len(),
+        typer.cascade().len(),
+        "zero budget must drop every configured step"
+    );
+    assert!(starved.annotation.columns.iter().all(|c| c.abstained()));
+    // Acceptance: unbounded-in-practice budget ⇒ no degradation,
+    // bit-identical decisions to the plain path.
+    let unbounded = typer.annotate_request(
+        &AnnotationRequest::new(&wide)
+            .with_budget_nanos(u64::MAX)
+            .with_policy(DegradationPolicy::DropTailSteps),
+    );
+    assert!(!unbounded.degraded());
+    let plain = typer.annotate(&wide);
+    for (a, b) in unbounded.annotation.columns.iter().zip(&plain.columns) {
+        assert_eq!(a.predicted, b.predicted);
+        assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
+    }
+    // Acceptance: the batch variant shares one ledger across workers.
+    let service = AnnotationService::for_customer(f.customer()).with_threads(2);
+    let batch: Vec<Table> = (0..4).map(|_| wide.clone()).collect();
+    let outcomes = service.annotate_batch_request(
+        &batch,
+        &RequestOptions::default()
+            .with_budget_nanos(0)
+            .with_policy(DegradationPolicy::DropTailSteps),
+    );
+    assert!(outcomes
+        .iter()
+        .all(|o| o.annotation.columns.iter().all(|col| col.abstained())));
+
+    let mut group = c.benchmark_group("pipeline/budgeted_annotate");
+    group.sample_size(20);
+    group.bench_function("strict_unbounded", |b| {
+        b.iter(|| typer.annotate_request(black_box(&AnnotationRequest::new(&wide))))
+    });
+    // A 200 µs budget on a multi-ms table: at first the cheap head
+    // runs and the tail degrades; once the (shared) cost model has
+    // learned that even the head exceeds the budget, requests shed
+    // predictively to the floor — the degrade-don't-queue latency
+    // contract under sustained overload.
+    let tight = AnnotationRequest::new(&wide)
+        .with_budget_nanos(200_000)
+        .with_policy(DegradationPolicy::DropTailSteps);
+    group.bench_function("drop_tail_200us", |b| {
+        b.iter(|| typer.annotate_request(black_box(&tight)))
+    });
+    let starved_request = AnnotationRequest::new(&wide)
+        .with_budget_nanos(0)
+        .with_policy(DegradationPolicy::DropTailSteps);
+    group.bench_function("drop_tail_exhausted", |b| {
+        b.iter(|| typer.annotate_request(black_box(&starved_request)))
+    });
+    group.finish();
+}
+
 /// Crawl once; per step return `(name, columns_run, hits, inserts)`
 /// summed over the corpus.
 fn crawl_counts(
@@ -368,6 +457,7 @@ criterion_group!(
     bench_annotate,
     bench_batch_service,
     bench_parallel_table,
-    bench_cached_recrawl
+    bench_cached_recrawl,
+    bench_budgeted
 );
 criterion_main!(benches);

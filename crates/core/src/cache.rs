@@ -311,6 +311,18 @@ pub trait StepCache: std::fmt::Debug + Send + Sync {
 
     /// Drop every entry.
     fn clear(&self);
+
+    /// Aggregate counters (see [`CacheStats`]). The default reports
+    /// only the entry count — backends that track traffic (the
+    /// built-in [`ShardedLruCache`] does) override this so operators
+    /// can size capacity from hit rates via
+    /// [`AnnotationService::cache_stats`](crate::service::AnnotationService::cache_stats).
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.len(),
+            ..CacheStats::default()
+        }
+    }
 }
 
 /// A borrowed cache plus the epoch to fingerprint with — what
@@ -348,6 +360,31 @@ impl CacheStats {
             0.0
         } else {
             self.hits as f64 / total as f64
+        }
+    }
+
+    /// The traffic between `baseline` and `self`: counter deltas
+    /// (saturating, so a cleared backend cannot underflow) with the
+    /// *current* entry count carried over. Snapshot before a batch,
+    /// diff after — per-batch hit/miss/insert/eviction totals without
+    /// scraping per-table `StepTiming` records:
+    ///
+    /// ```
+    /// use sigmatyper::{CacheStats, ShardedLruCache, StepCache};
+    /// let cache = ShardedLruCache::new(64);
+    /// let before = cache.stats();
+    /// // ... annotate a batch ...
+    /// let batch = cache.stats().since(&before);
+    /// assert_eq!(batch.hits + batch.misses, 0);
+    /// ```
+    #[must_use]
+    pub fn since(&self, baseline: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(baseline.hits),
+            misses: self.misses.saturating_sub(baseline.misses),
+            inserts: self.inserts.saturating_sub(baseline.inserts),
+            evictions: self.evictions.saturating_sub(baseline.evictions),
+            entries: self.entries,
         }
     }
 }
@@ -523,19 +560,6 @@ impl ShardedLruCache {
         self.shards.len() * self.shards.first().map_or(0, |s| Self::lock(s).capacity)
     }
 
-    /// Aggregate hit/miss/insert/eviction counters plus the current
-    /// entry count.
-    #[must_use]
-    pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            inserts: self.inserts.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self.len(),
-        }
-    }
-
     fn shard(&self, key: &CacheKey) -> &Mutex<LruShard> {
         // Keys are avalanche-mixed, so the low bits are uniform.
         &self.shards[(key.raw()[0] as usize) & (self.shards.len() - 1)]
@@ -579,6 +603,18 @@ impl StepCache for ShardedLruCache {
     fn clear(&self) {
         for s in &self.shards {
             Self::lock(s).clear();
+        }
+    }
+
+    /// Real traffic counters (the trait default only knows the entry
+    /// count).
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
         }
     }
 }

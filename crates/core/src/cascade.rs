@@ -143,6 +143,50 @@ impl Cascade {
         self.steps = reordered;
     }
 
+    /// Cost-aware step ordering (the paper's "executed in order of
+    /// inference time", §4.3, measured instead of assumed): re-sort
+    /// the steps the [`CostModel`](crate::cost::CostModel) has
+    /// estimates for by ascending
+    /// [`cost_per_yield`](crate::cost::StepCostEstimate::cost_per_yield),
+    /// cheapest first. Steps without estimates keep their exact
+    /// positions — only the ranked steps permute among the slots they
+    /// already occupied, so an unobserved custom step is never flung
+    /// to either end of the cascade. Ties keep the current relative
+    /// order (the sort is stable), so repeated calls are idempotent.
+    ///
+    /// Returns `true` when the order actually changed. Reordering
+    /// changes which steps run *first* — and therefore, through the
+    /// early-exit gate, which steps run at all — but for columns no
+    /// step resolves (no early exit) the soft majority vote is
+    /// order-independent, which the golden suite pins down.
+    ///
+    /// Callers going through
+    /// [`SigmaTyper::cascade_mut`](crate::system::SigmaTyper::cascade_mut)
+    /// get the cache-epoch bump for free; the step order is part of
+    /// every column fingerprint, so stale cached scores cannot
+    /// survive a reorder either way.
+    pub fn reorder_by_cost(&mut self, model: &crate::cost::CostModel) -> bool {
+        let mut ranked: Vec<(usize, f64)> = self
+            .steps
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| model.estimate(s.id()).map(|e| (i, e.cost_per_yield())))
+            .collect();
+        if ranked.len() < 2 {
+            return false;
+        }
+        let slots: Vec<usize> = ranked.iter().map(|(i, _)| *i).collect();
+        ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut changed = false;
+        let mut reordered = self.steps.clone();
+        for (slot, (from, _)) in slots.iter().zip(&ranked) {
+            reordered[*slot] = self.steps[*from].clone();
+            changed |= slot != from;
+        }
+        self.steps = reordered;
+        changed
+    }
+
     /// Override the vote weight of one step (by default a step weighs
     /// [`SigmaTyperConfig::step_weight`]).
     pub fn set_weight(&mut self, id: StepId, weight: f64) {
@@ -263,6 +307,65 @@ mod tests {
     fn duplicate_step_ids_rejected() {
         let mut c = Cascade::standard();
         c.push(LookupStep);
+    }
+
+    #[test]
+    fn reorder_by_cost_sorts_ranked_steps_cheapest_first() {
+        use crate::cost::CostModel;
+        let model = CostModel::new();
+        // Synthetic measurements: embedding is cheap per unit yield,
+        // lookup expensive, header in between.
+        model.set(StepId::HEADER, 500.0, 0.5); // 1000 per yield
+        model.set(StepId::LOOKUP, 9_000.0, 0.3); // 30000 per yield
+        model.set(StepId::EMBEDDING, 400.0, 0.8); // 500 per yield
+        let mut c = Cascade::standard();
+        assert!(c.reorder_by_cost(&model));
+        assert_eq!(
+            c.step_ids(),
+            vec![StepId::EMBEDDING, StepId::HEADER, StepId::LOOKUP]
+        );
+        // Idempotent: a second call changes nothing.
+        assert!(!c.reorder_by_cost(&model));
+        assert_eq!(
+            c.step_ids(),
+            vec![StepId::EMBEDDING, StepId::HEADER, StepId::LOOKUP]
+        );
+    }
+
+    #[test]
+    fn reorder_by_cost_leaves_unobserved_steps_in_place() {
+        use crate::cost::CostModel;
+        let model = CostModel::new();
+        // Only the outer two steps are ranked; lookup (middle) has no
+        // estimate and must keep its slot exactly.
+        model.set(StepId::HEADER, 10_000.0, 0.5);
+        model.set(StepId::EMBEDDING, 100.0, 0.5);
+        let mut c = Cascade::standard();
+        c.push(RegexOnlyStep); // also unobserved
+        assert!(c.reorder_by_cost(&model));
+        assert_eq!(
+            c.step_ids(),
+            vec![
+                StepId::EMBEDDING,
+                StepId::LOOKUP,
+                StepId::HEADER,
+                StepId::REGEX_ONLY
+            ]
+        );
+    }
+
+    #[test]
+    fn reorder_by_cost_needs_two_ranked_steps() {
+        use crate::cost::CostModel;
+        let model = CostModel::new();
+        let mut c = Cascade::standard();
+        // Empty model: nothing to rank.
+        assert!(!c.reorder_by_cost(&model));
+        assert_eq!(c.step_ids(), Cascade::standard().step_ids());
+        // One estimate is still not a ranking.
+        model.set(StepId::EMBEDDING, 1.0, 1.0);
+        assert!(!c.reorder_by_cost(&model));
+        assert_eq!(c.step_ids(), Cascade::standard().step_ids());
     }
 
     #[test]

@@ -38,13 +38,22 @@ pub struct SigmaTyperConfig {
     /// may run a step's pending columns in parallel (execution
     /// strategy only — proven output-invariant by the golden
     /// parallel-vs-sequential suite, and therefore **not** part of the
-    /// cache fingerprint).
+    /// cache fingerprint). A request may override it per call via
+    /// [`RequestOptions::parallelism`](crate::request::RequestOptions::parallelism).
     pub parallelism: ParallelismPolicy,
     /// Worker budget for intra-table column chunks: the maximum number
     /// of scoped threads one table's step frontier may fan out to.
     /// `0` means "auto" (the machine's available parallelism). The
     /// [`AnnotationService`](crate::service::AnnotationService)
-    /// overrides this per worker when splitting its shared budget.
+    /// overrides this per worker when splitting its shared budget, and
+    /// a request may override it per call via
+    /// [`RequestOptions::column_threads`](crate::request::RequestOptions::column_threads).
+    ///
+    /// Latency *budgets* are deliberately **not** configuration: they
+    /// are per-request quantities
+    /// ([`RequestOptions::budget_nanos`](crate::request::RequestOptions::budget_nanos)),
+    /// which also keeps them out of the cache fingerprint — a budget
+    /// changes which steps run, never what an executed step scores.
     pub column_threads: usize,
 }
 

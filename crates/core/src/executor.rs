@@ -45,6 +45,7 @@ use crate::config::SigmaTyperConfig;
 use crate::global::GlobalModel;
 use crate::local::LocalModel;
 use crate::prediction::{StepId, StepScores, StepTiming};
+use crate::request::{BudgetContext, DegradationPolicy, SkipReason, SkippedStep};
 use crate::step::{AnnotationStep, ColumnState, StepContext};
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -199,6 +200,10 @@ impl CascadeExecutor {
     /// `table`: the frontier loop described in the [module
     /// docs](self). Returns the per-column `(step, scores)` traces in
     /// execution order plus one [`StepTiming`] per configured step.
+    ///
+    /// Unbudgeted convenience over
+    /// [`run_budgeted`](CascadeExecutor::run_budgeted) — no ledger, no
+    /// degradation, every step runs.
     #[must_use]
     pub fn run(
         &self,
@@ -209,6 +214,31 @@ impl CascadeExecutor {
         config: &SigmaTyperConfig,
         cache: Option<CacheContext<'_>>,
     ) -> CascadeTrace {
+        self.run_budgeted(cascade, table, global, local, config, cache, None)
+            .trace
+    }
+
+    /// [`run`](CascadeExecutor::run) under an optional
+    /// [`BudgetContext`]: after every executed step the ledger is
+    /// charged with the larger of the step's wall-clock and summed
+    /// in-chunk nanoseconds, and — when the policy allows degradation
+    /// — steps are dropped or truncated as described in
+    /// [`crate::request`]. With `budget == None` (or a
+    /// [`Strict`](crate::request::DegradationPolicy::Strict) policy)
+    /// the walk is identical to the unbudgeted one, which is what
+    /// keeps plain `annotate` calls bit-identical to default requests.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)] // run()'s signature + the budget context
+    pub fn run_budgeted(
+        &self,
+        cascade: &Cascade,
+        table: &Table,
+        global: &GlobalModel,
+        local: &LocalModel,
+        config: &SigmaTyperConfig,
+        cache: Option<CacheContext<'_>>,
+        budget: Option<BudgetContext<'_>>,
+    ) -> BudgetedTrace {
         let n = table.n_cols();
         let normalized: Vec<String> = table
             .headers()
@@ -220,6 +250,11 @@ impl CascadeExecutor {
             cache.map(|cc| column_fingerprints(table, &cascade.step_ids(), config, cc.epoch));
         let mut per_column: Vec<Vec<(StepId, StepScores)>> = vec![Vec::new(); n];
         let mut timings = Vec::with_capacity(cascade.len());
+        let mut skipped: Vec<SkippedStep> = Vec::new();
+        let mut charged_nanos = 0u64;
+        // Degradation engages only under a non-Strict budget context;
+        // Strict charges the ledger but never drops.
+        let degrade = budget.filter(|b| b.policy != DegradationPolicy::Strict);
 
         for step in cascade.steps() {
             let t0 = Instant::now();
@@ -249,6 +284,42 @@ impl CascadeExecutor {
                 column_states: &states,
             };
 
+            // Degradation gate 1: an exhausted ledger drops the whole
+            // remaining tail — the step is not run, not cached, not
+            // consulted; only its would-be frontier is counted for the
+            // report. Dropped steps keep their timing record (stable
+            // one-record-per-step schema) with zero columns/chunks.
+            if let Some(b) = degrade {
+                if b.ledger.exhausted() {
+                    let pending = states
+                        .iter()
+                        .enumerate()
+                        .filter(|(ci, _)| !step.skip(&ctx_for(*ci)))
+                        .count();
+                    if pending > 0 {
+                        skipped.push(SkippedStep {
+                            step: step.id(),
+                            name: step.name().to_owned(),
+                            reason: SkipReason::BudgetExhausted,
+                            pending,
+                            ran: 0,
+                        });
+                    }
+                    timings.push(StepTiming {
+                        step: step.id(),
+                        name: step.name().to_owned(),
+                        nanos: t0.elapsed().as_nanos(),
+                        columns: 0,
+                        cache_hits: 0,
+                        cache_misses: 0,
+                        cache_inserts: 0,
+                        chunks: 0,
+                        parallel_nanos: 0,
+                    });
+                    continue;
+                }
+            }
+
             // Phase 1: build the pending-column frontier — skip gates
             // first, then (for cacheable steps) the cache.
             let step_cache = cache.filter(|_| step.cacheable());
@@ -269,6 +340,43 @@ impl CascadeExecutor {
                     misses += 1;
                 }
                 frontier.push(ci);
+            }
+
+            // Degradation gate 2: predictive. When the cost model has
+            // an estimate for this step and it says the frontier no
+            // longer fits the remaining budget, drop the step
+            // (DropTailSteps) or truncate the frontier to the prefix
+            // that fits (BestEffort). Cache hits gathered above are
+            // kept either way — they are real results at memo cost.
+            if let Some(b) = degrade {
+                if !frontier.is_empty() {
+                    let remaining = b.ledger.remaining().unwrap_or(u64::MAX);
+                    let estimate = b.cost.and_then(|c| c.estimate(step.id()));
+                    if let Some(est) = estimate {
+                        let predicted = est.nanos_per_column * frontier.len() as f64;
+                        if predicted > remaining as f64 {
+                            let fits = match b.policy {
+                                DegradationPolicy::BestEffort if est.nanos_per_column > 0.0 => {
+                                    ((remaining as f64 / est.nanos_per_column) as usize)
+                                        .min(frontier.len())
+                                }
+                                _ => 0,
+                            };
+                            skipped.push(SkippedStep {
+                                step: step.id(),
+                                name: step.name().to_owned(),
+                                reason: if fits > 0 {
+                                    SkipReason::FrontierTruncated
+                                } else {
+                                    SkipReason::PredictedOverBudget
+                                },
+                                pending: frontier.len(),
+                                ran: fits,
+                            });
+                            frontier.truncate(fits);
+                        }
+                    }
+                }
             }
 
             // Phase 2: run the uncached frontier in chunks, inline or
@@ -296,7 +404,7 @@ impl CascadeExecutor {
             for (ci, scores) in frontier.into_iter().zip(results) {
                 per_column[ci].push((step.id(), scores));
             }
-            timings.push(StepTiming {
+            let timing = StepTiming {
                 step: step.id(),
                 name: step.name().to_owned(),
                 nanos: t0.elapsed().as_nanos(),
@@ -306,9 +414,22 @@ impl CascadeExecutor {
                 cache_inserts: inserts,
                 chunks,
                 parallel_nanos,
-            });
+            };
+            if let Some(b) = budget {
+                // Charge the larger of wall-clock and summed in-chunk
+                // time: column parallelism must not make a step look
+                // cheaper than the CPU it burned.
+                let charge = saturating_u64(timing.nanos.max(timing.parallel_nanos));
+                b.ledger.charge(charge);
+                charged_nanos = charged_nanos.saturating_add(charge);
+            }
+            timings.push(timing);
         }
-        (per_column, timings)
+        BudgetedTrace {
+            trace: (per_column, timings),
+            skipped,
+            charged_nanos,
+        }
     }
 
     /// Execute one step over its frontier: `(scores in frontier
@@ -324,9 +445,19 @@ impl CascadeExecutor {
         }
         let (chunk_size, workers) = self.plan(frontier.len());
         let chunks: Vec<&[usize]> = frontier.chunks(chunk_size).collect();
+        // Table-level setup, computed once per (step, table) and
+        // shared by reference across every chunk — including chunks on
+        // other worker threads. Steps that return None fall back to
+        // plain run_batch (which may amortize per call, but re-pays
+        // per chunk).
+        let setup = step.prepare(&ctx_for(frontier[0]));
         let run_chunk = |chunk: &[usize]| -> (Vec<StepScores>, u128) {
             let t0 = Instant::now();
-            let scores = step.run_batch(&ctx_for(chunk[0]), chunk);
+            let ctx = ctx_for(chunk[0]);
+            let scores = match &setup {
+                Some(setup) => step.run_prepared(&ctx, chunk, setup),
+                None => step.run_batch(&ctx, chunk),
+            };
             let busy = t0.elapsed().as_nanos();
             assert_eq!(
                 scores.len(),
@@ -386,6 +517,29 @@ impl CascadeExecutor {
         });
         (out, chunks.len(), busy)
     }
+}
+
+/// What [`CascadeExecutor::run_budgeted`] produces: the cascade trace
+/// plus the degradation events and the nanoseconds charged against the
+/// request ledger for *this* table (the ledger itself may be shared
+/// batch-wide).
+#[derive(Debug)]
+pub struct BudgetedTrace {
+    /// Per-column `(step, scores)` traces plus one [`StepTiming`] per
+    /// configured step — the same shape [`CascadeExecutor::run`]
+    /// returns.
+    pub trace: CascadeTrace,
+    /// Steps skipped or truncated to honor the budget, in cascade
+    /// order (empty when nothing degraded).
+    pub skipped: Vec<SkippedStep>,
+    /// Nanoseconds charged against the ledger for this table.
+    pub charged_nanos: u64,
+}
+
+/// Clamp a `u128` nanosecond count into the ledger's `u64` domain
+/// (585 years of nanoseconds — saturation is theoretical).
+fn saturating_u64(nanos: u128) -> u64 {
+    u64::try_from(nanos).unwrap_or(u64::MAX)
 }
 
 /// Best confidence any executed step achieved for one column.

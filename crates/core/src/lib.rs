@@ -22,7 +22,16 @@
 //!   pending-column frontier, consults the per-step [`StepCache`], and
 //!   — under a [`ParallelismPolicy`] — runs wide frontiers
 //!   column-parallel in batched chunks, bit-identical to sequential
-//!   execution.
+//!   execution;
+//! * a **budgeted request API** ([`AnnotationRequest`] →
+//!   [`AnnotationOutcome`]): per-request latency budgets enforced by a
+//!   [`BudgetLedger`], a [`DegradationPolicy`] deciding whether
+//!   over-budget tail steps are dropped or truncated (degrade, don't
+//!   queue — affected columns abstain, never fabricate), a
+//!   [`DegradationReport`] accounting for every shed step, and an
+//!   online [`CostModel`] of measured per-step cost/yield that powers
+//!   predictive drops and cost-aware cascade reordering
+//!   ([`Cascade::reorder_by_cost`]).
 //!
 //! ```
 //! use sigmatyper::{train_global, SigmaTyper, SigmaTyperConfig, TrainingConfig};
@@ -43,6 +52,7 @@ pub mod aggregate;
 pub mod cache;
 pub mod cascade;
 pub mod config;
+pub mod cost;
 pub mod embedstep;
 pub mod executor;
 pub mod global;
@@ -51,6 +61,7 @@ pub mod local;
 pub mod lookupstep;
 pub mod prediction;
 pub mod regexbank;
+pub mod request;
 pub mod service;
 pub mod step;
 pub mod system;
@@ -61,8 +72,9 @@ pub use cache::{
 };
 pub use cascade::Cascade;
 pub use config::{SigmaTyperConfig, TrainingConfig};
+pub use cost::{CostModel, StepCostEstimate};
 pub use embedstep::{train_embedding_model, TableEmbeddingModel};
-pub use executor::{forced_column_parallelism, CascadeExecutor, ParallelismPolicy};
+pub use executor::{forced_column_parallelism, BudgetedTrace, CascadeExecutor, ParallelismPolicy};
 pub use global::{train_global, GlobalModel};
 pub use headerstep::HeaderMatcher;
 pub use local::LocalModel;
@@ -71,10 +83,16 @@ pub use prediction::{
     Candidate, ColumnAnnotation, Step, StepId, StepScores, StepTiming, TableAnnotation,
 };
 pub use regexbank::RegexBank;
+pub use request::{
+    forced_step_budget_nanos, AnnotationOutcome, AnnotationRequest, BudgetContext, BudgetLedger,
+    DegradationPolicy, DegradationReport, RequestOptions, SkipReason, SkippedStep,
+    TelemetryVerbosity,
+};
 #[allow(deprecated)]
 pub use service::annotate_batch_with;
 pub use service::AnnotationService;
 pub use step::{
     AnnotationStep, ColumnState, EmbeddingStep, HeaderStep, LookupStep, RegexOnlyStep, StepContext,
+    TableSetup,
 };
 pub use system::{SigmaTyper, SigmaTyperBuilder};

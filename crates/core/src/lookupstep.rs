@@ -109,10 +109,29 @@ impl ValueLookup {
     /// filter once per table instead of once per column.
     #[must_use]
     pub fn identity_lfs<'a>(lf_banks: &[&'a [LabelingFunction]]) -> Vec<&'a LabelingFunction> {
+        Self::identity_lf_indices(lf_banks)
+            .into_iter()
+            .map(|(bank, lf)| &lf_banks[bank][lf])
+            .collect()
+    }
+
+    /// The positions of the identity-style subset of `lf_banks`, as
+    /// `(bank index, LF index)` pairs in bank order — the borrow-free
+    /// twin of [`ValueLookup::identity_lfs`] (which is implemented on
+    /// top of it, so the two can never drift). Positions are what the
+    /// lookup step's table-level [`prepare`] setup stores: indices are
+    /// `'static`, so one filter pass can be shared across
+    /// column-parallel chunk workers and re-borrowed against each
+    /// chunk's own bank references.
+    ///
+    /// [`prepare`]: crate::step::AnnotationStep::prepare
+    #[must_use]
+    pub fn identity_lf_indices(lf_banks: &[&[LabelingFunction]]) -> Vec<(usize, usize)> {
         lf_banks
             .iter()
-            .flat_map(|b| b.iter())
-            .filter(|lf| {
+            .enumerate()
+            .flat_map(|(bi, bank)| bank.iter().enumerate().map(move |(li, lf)| (bi, li, lf)))
+            .filter(|(_, _, lf)| {
                 matches!(
                     lf.kind,
                     tu_dp::LfKind::HeaderEquals(_)
@@ -120,6 +139,7 @@ impl ValueLookup {
                         | tu_dp::LfKind::Pattern(_)
                 )
             })
+            .map(|(bi, li, _)| (bi, li))
             .collect()
     }
 

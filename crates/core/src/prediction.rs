@@ -277,6 +277,26 @@ impl TableAnnotation {
             .map(|t| t.nanos)
             .sum()
     }
+
+    /// Total wall-clock nanoseconds across every step record — the
+    /// number to compare against a request budget's
+    /// [`spent_nanos`](crate::request::DegradationReport::spent_nanos)
+    /// (which charges the larger of wall-clock and summed in-chunk
+    /// time per step, so it is ≥ the per-step wall clock whenever
+    /// column parallelism engaged).
+    #[must_use]
+    pub fn total_nanos(&self) -> u128 {
+        self.timings.iter().map(|t| t.nanos).sum()
+    }
+
+    /// How many columns abstained (predicted
+    /// [`TypeId::UNKNOWN`](tu_ontology::TypeId::UNKNOWN)) — under a
+    /// degraded outcome this is the headline quality cost of the
+    /// budget.
+    #[must_use]
+    pub fn abstained_columns(&self) -> usize {
+        self.columns.iter().filter(|c| c.abstained()).count()
+    }
 }
 
 #[cfg(test)]
@@ -395,6 +415,8 @@ mod tests {
         assert_eq!(ann.nanos_for(StepId::HEADER), 10);
         assert_eq!(ann.nanos_for(StepId::LOOKUP), 25);
         assert_eq!(ann.nanos_for(StepId::EMBEDDING), 0);
+        assert_eq!(ann.total_nanos(), 35);
+        assert_eq!(ann.abstained_columns(), 0);
         assert!(ann.predictions().is_empty());
     }
 

@@ -31,11 +31,12 @@
 //! dependencies — which keeps the service synchronous: the call
 //! returns when the whole batch is done.
 
-use crate::cache::{ShardedLruCache, StepCache};
+use crate::cache::{CacheStats, ShardedLruCache, StepCache};
 use crate::config::SigmaTyperConfig;
 use crate::executor::{CascadeExecutor, ParallelismPolicy};
 use crate::global::GlobalModel;
 use crate::prediction::TableAnnotation;
+use crate::request::{AnnotationOutcome, BudgetLedger, RequestOptions};
 use crate::system::SigmaTyper;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -168,13 +169,85 @@ impl AnnotationService {
     pub fn annotate_batch(&self, tables: &[Table]) -> Vec<TableAnnotation> {
         two_level_annotate(&self.typer, tables, self.threads)
     }
+
+    /// Request-level batch annotation: the same two-level scheduler,
+    /// but under one **shared** [`BudgetLedger`] resolved from
+    /// `options` — the whole batch gets one budget, charged by every
+    /// worker as it annotates. When the ledger runs dry, an overloaded
+    /// batch *degrades* per the [`DegradationPolicy`] (remaining
+    /// tables shed their expensive tail steps, or everything past the
+    /// exhaustion point under a fully spent ledger) instead of
+    /// queueing — the paper's interactive-latency stance. Each
+    /// returned [`AnnotationOutcome`] carries its own
+    /// [`DegradationReport`] (per-table spend, batch-wide remainder),
+    /// in input order.
+    ///
+    /// With default options (`Strict`, unbounded) every annotation is
+    /// bit-identical to [`AnnotationService::annotate_batch`]. The
+    /// request's `parallelism` override replaces the customer's
+    /// configured policy for this batch; `column_threads` is ignored
+    /// (the scheduler owns the thread split).
+    ///
+    /// [`DegradationPolicy`]: crate::request::DegradationPolicy
+    /// [`DegradationReport`]: crate::request::DegradationReport
+    #[must_use]
+    pub fn annotate_batch_request(
+        &self,
+        tables: &[Table],
+        options: &RequestOptions,
+    ) -> Vec<AnnotationOutcome> {
+        let (budget, _) = options.resolved();
+        let ledger = BudgetLedger::from_budget(budget);
+        let policy = options
+            .parallelism
+            .unwrap_or(self.typer.config().parallelism);
+        two_level_run(
+            &self.typer,
+            tables,
+            self.threads,
+            policy,
+            &|typer, table, executor| {
+                typer.annotate_request_shared(table, executor, options, &ledger)
+            },
+        )
+    }
+
+    /// Aggregate counters of the attached step cache (`None` when the
+    /// service is uncached): hits, misses, inserts, evictions, and the
+    /// current entry count — what an operator needs to size the LRU,
+    /// without scraping per-table [`StepTiming`] records. Snapshot a
+    /// baseline before a batch and diff with [`CacheStats::since`] for
+    /// per-batch totals.
+    ///
+    /// [`StepTiming`]: crate::prediction::StepTiming
+    #[must_use]
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.typer.step_cache().map(|cache| cache.stats())
+    }
+}
+
+/// The annotation-returning scheduler used by the classic batch entry
+/// points: [`two_level_run`] with the customer's configured policy and
+/// plain [`SigmaTyper::annotate_with`].
+fn two_level_annotate(typer: &SigmaTyper, tables: &[Table], budget: usize) -> Vec<TableAnnotation> {
+    let policy = typer.config().parallelism;
+    two_level_run(typer, tables, budget, policy, &|typer, table, executor| {
+        typer.annotate_with(table, executor)
+    })
 }
 
 /// The shared scheduling core: `budget` worker threads split across
 /// table workers (level 1, dynamic queue) and per-worker column
 /// budgets (level 2, handed to the [`CascadeExecutor`]), output in
-/// input order.
-fn two_level_annotate(typer: &SigmaTyper, tables: &[Table], budget: usize) -> Vec<TableAnnotation> {
+/// input order. Generic over what one table's annotation produces, so
+/// the plain and request-level batch entry points share one scheduler.
+fn two_level_run<T: Send + Sync>(
+    typer: &SigmaTyper,
+    tables: &[Table],
+    budget: usize,
+    policy: ParallelismPolicy,
+    annotate_one: &(dyn Fn(&SigmaTyper, &Table, &CascadeExecutor) -> T + Sync),
+) -> Vec<T> {
     let n = tables.len();
     if n == 0 {
         return Vec::new();
@@ -187,14 +260,13 @@ fn two_level_annotate(typer: &SigmaTyper, tables: &[Table], budget: usize) -> Ve
     // workers instead of being floored away, so the whole budget is
     // always accounted for (8 threads over 5 tables: three workers
     // get a 2-thread column budget, two get 1).
-    let policy = typer.config().parallelism;
     let executor_for =
         |worker: usize| CascadeExecutor::new(policy, column_budget(budget, outer, worker));
     if outer == 1 {
         let executor = executor_for(0);
         return tables
             .iter()
-            .map(|t| typer.annotate_with(t, &executor))
+            .map(|t| annotate_one(typer, t, &executor))
             .collect();
     }
     // Level 1: a dynamic queue instead of pre-cut shards, so one slow
@@ -202,7 +274,7 @@ fn two_level_annotate(typer: &SigmaTyper, tables: &[Table], budget: usize) -> Ve
     // keep draining the queue. Each result lands in its input-index
     // slot, so output order is position-stable by construction.
     let next = AtomicUsize::new(0);
-    let slots: Vec<OnceLock<TableAnnotation>> = (0..n).map(|_| OnceLock::new()).collect();
+    let slots: Vec<OnceLock<T>> = (0..n).map(|_| OnceLock::new()).collect();
     std::thread::scope(|scope| {
         // `move` closures below take the (Copy) executor by value and
         // these shared handles by reference.
@@ -214,7 +286,7 @@ fn two_level_annotate(typer: &SigmaTyper, tables: &[Table], budget: usize) -> Ve
                 if i >= n {
                     break;
                 }
-                let ann = typer.annotate_with(&tables[i], &executor);
+                let ann = annotate_one(typer, &tables[i], &executor);
                 assert!(
                     slots[i].set(ann).is_ok(),
                     "queue indices are unique; every slot is filled exactly once"
@@ -581,6 +653,109 @@ mod tests {
             );
             assert_eq!(ann.timings.len(), 4);
         }
+    }
+
+    #[test]
+    fn batch_request_with_defaults_matches_annotate_batch() {
+        use crate::request::forced_step_budget_nanos;
+        // The default request resolves the forced environment budget;
+        // equivalence with the unbudgeted path only holds without it
+        // (the forced-budget CI leg runs its own suite).
+        if forced_step_budget_nanos().is_some() {
+            return;
+        }
+        let service = AnnotationService::new(global(), SigmaTyperConfig::default()).with_threads(4);
+        let tables = batch(0xB0D6, 7);
+        let plain = service.annotate_batch(&tables);
+        let outcomes = service.annotate_batch_request(&tables, &RequestOptions::default());
+        assert_eq!(outcomes.len(), plain.len());
+        for (outcome, ann) in outcomes.iter().zip(&plain) {
+            assert!(!outcome.degraded());
+            assert_eq!(outcome.degradation.budget_nanos, None);
+            assert_identical(&outcome.annotation, ann);
+        }
+    }
+
+    #[test]
+    fn exhausted_batch_budget_degrades_instead_of_queueing() {
+        use crate::request::{DegradationPolicy, RequestOptions};
+        let service = AnnotationService::new(global(), SigmaTyperConfig::default()).with_threads(3);
+        let tables = batch(0xDE6, 6);
+        let options = RequestOptions::default()
+            .with_budget_nanos(0)
+            .with_policy(DegradationPolicy::DropTailSteps);
+        let outcomes = service.annotate_batch_request(&tables, &options);
+        assert_eq!(outcomes.len(), tables.len());
+        for (outcome, table) in outcomes.iter().zip(&tables) {
+            // Zero budget: every table in the batch sheds its whole
+            // cascade — deterministically, whatever worker got it.
+            assert!(outcome.degraded() || table.n_cols() == 0);
+            assert_eq!(outcome.annotation.columns.len(), table.n_cols());
+            for col in &outcome.annotation.columns {
+                assert!(col.abstained(), "degradation must abstain, not fabricate");
+                assert!(col.steps_run.is_empty());
+            }
+            assert_eq!(outcome.degradation.remaining_nanos, Some(0));
+        }
+    }
+
+    #[test]
+    fn batch_request_shares_one_ledger() {
+        use crate::request::{DegradationPolicy, RequestOptions};
+        let service = AnnotationService::new(global(), SigmaTyperConfig::default()).with_threads(2);
+        let tables = batch(0x5A1, 5);
+        // A generous shared budget: nothing degrades, but every
+        // table's report shows the same batch-wide ledger draining.
+        let options = RequestOptions::default()
+            .with_budget_nanos(u64::MAX / 2)
+            .with_policy(DegradationPolicy::DropTailSteps);
+        let outcomes = service.annotate_batch_request(&tables, &options);
+        let total_spent: u64 = outcomes.iter().map(|o| o.degradation.spent_nanos).sum();
+        assert!(total_spent > 0);
+        for outcome in &outcomes {
+            assert!(!outcome.degraded());
+            assert_eq!(outcome.degradation.budget_nanos, Some(u64::MAX / 2));
+            let remaining = outcome.degradation.remaining_nanos.unwrap();
+            // Each table saw the shared ledger at or below the full
+            // budget minus its own spend.
+            assert!(remaining <= u64::MAX / 2 - outcome.degradation.spent_nanos);
+        }
+    }
+
+    #[test]
+    fn cache_stats_snapshot_and_per_batch_delta() {
+        let uncached = AnnotationService::new(global(), SigmaTyperConfig::default());
+        assert!(uncached.cache_stats().is_none());
+
+        let service = AnnotationService::new(global(), SigmaTyperConfig::default())
+            .with_threads(4)
+            .cached(1 << 14);
+        let empty = service.cache_stats().expect("cache attached");
+        assert_eq!(
+            (empty.hits, empty.misses, empty.inserts, empty.entries),
+            (0, 0, 0, 0)
+        );
+
+        let tables = batch(0xCA57, 8);
+        let before_cold = service.cache_stats().unwrap();
+        let _ = service.annotate_batch(&tables);
+        let after_cold = service.cache_stats().unwrap();
+        let cold = after_cold.since(&before_cold);
+        assert_eq!(cold.hits, 0, "cold batch cannot hit");
+        assert!(cold.misses > 0);
+        assert_eq!(cold.inserts, cold.misses, "every cold miss inserts");
+        assert!(after_cold.entries > 0);
+
+        let _ = service.annotate_batch(&tables);
+        let warm = service.cache_stats().unwrap().since(&after_cold);
+        assert_eq!(warm.misses, 0, "warm batch must be all hits");
+        assert_eq!(warm.inserts, 0);
+        assert_eq!(warm.hits, cold.inserts, "one hit per memoized column");
+        // The cumulative snapshot keeps the running totals.
+        let total = service.cache_stats().unwrap();
+        assert_eq!(total.hits, warm.hits);
+        assert_eq!(total.misses, cold.misses);
+        assert!(total.hit_rate() > 0.0);
     }
 
     #[test]

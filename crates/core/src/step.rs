@@ -155,6 +155,13 @@ impl<'a> StepContext<'a> {
     }
 }
 
+/// Opaque table-level setup produced once per `(step, table)` by
+/// [`AnnotationStep::prepare`] and shared by reference across every
+/// chunk of the step's frontier — including chunks running on
+/// different worker threads (hence `Send + Sync`). Steps downcast it
+/// back in [`AnnotationStep::run_prepared`].
+pub type TableSetup = Box<dyn std::any::Any + Send + Sync>;
+
 /// One pluggable stage of the annotation cascade.
 ///
 /// Implementations must be deterministic and read-only: `run` is called
@@ -210,6 +217,47 @@ pub trait AnnotationStep: std::fmt::Debug + Send + Sync {
         cols.iter()
             .map(|&ci| self.run(&ctx.for_column(ci)))
             .collect()
+    }
+
+    /// Compute the table-level setup this step wants amortized across
+    /// *all* chunks of one frontier — not just within one
+    /// [`run_batch`](AnnotationStep::run_batch) call. The
+    /// [`CascadeExecutor`](crate::executor::CascadeExecutor) calls
+    /// this exactly once per `(step, table)` with a non-empty frontier
+    /// and hands the result (by reference) to every chunk's
+    /// [`run_prepared`](AnnotationStep::run_prepared), so
+    /// column-parallel workers share one setup instead of each paying
+    /// it inside their own thread.
+    ///
+    /// The default returns `None` (no shared setup; chunks fall back
+    /// to [`run_batch`](AnnotationStep::run_batch)). Overriders must
+    /// keep the setup a pure function of the table-level context —
+    /// anything per-column belongs in `run_prepared`.
+    fn prepare(&self, ctx: &StepContext<'_>) -> Option<TableSetup> {
+        let _ = ctx;
+        None
+    }
+
+    /// Score a batch of columns using a setup produced by
+    /// [`prepare`](AnnotationStep::prepare) on the same table. Same
+    /// contract as [`run_batch`](AnnotationStep::run_batch): one
+    /// [`StepScores`] per entry of `cols`, in order, bit-identical to
+    /// mapping [`run`](AnnotationStep::run) — regardless of chunking
+    /// *and* regardless of whether the setup was shared or rebuilt.
+    ///
+    /// The default ignores the setup and delegates to
+    /// [`run_batch`](AnnotationStep::run_batch); implementations that
+    /// override [`prepare`](AnnotationStep::prepare) should downcast
+    /// `setup` and fall back to `run_batch` when the downcast fails (a
+    /// foreign executor may hand them someone else's setup).
+    fn run_prepared(
+        &self,
+        ctx: &StepContext<'_>,
+        cols: &[usize],
+        setup: &TableSetup,
+    ) -> Vec<StepScores> {
+        let _ = setup;
+        self.run_batch(ctx, cols)
     }
 
     /// Should the executor memoize this step's results in the
@@ -302,8 +350,67 @@ impl AnnotationStep for LookupStep {
     /// adapted customer the local bank grows with every feedback
     /// event, and the per-column filter pass grows with it.
     fn run_batch(&self, ctx: &StepContext<'_>, cols: &[usize]) -> Vec<StepScores> {
+        self.scores_with(ctx, cols, &LookupSetup::for_table(ctx))
+    }
+
+    /// Table-level setup shared across *chunks*: the identity-LF
+    /// filter pass over the global + local banks, stored as positions
+    /// (`'static`, so one pass serves every column-parallel worker —
+    /// the per-chunk `run_batch` override above only amortized it
+    /// within a chunk).
+    fn prepare(&self, ctx: &StepContext<'_>) -> Option<TableSetup> {
+        Some(Box::new(LookupSetup::for_table(ctx)))
+    }
+
+    fn run_prepared(
+        &self,
+        ctx: &StepContext<'_>,
+        cols: &[usize],
+        setup: &TableSetup,
+    ) -> Vec<StepScores> {
+        match setup.downcast_ref::<LookupSetup>() {
+            Some(setup) => self.scores_with(ctx, cols, setup),
+            // Foreign setup (a custom executor mixed things up): stay
+            // correct by rebuilding our own.
+            None => self.run_batch(ctx, cols),
+        }
+    }
+}
+
+/// [`LookupStep`]'s table-level setup: positions of the identity-style
+/// LFs within the `[global, local]` bank pair (see
+/// [`ValueLookup::identity_lf_indices`](crate::lookupstep::ValueLookup::identity_lf_indices)).
+#[derive(Debug)]
+struct LookupSetup {
+    identity: Vec<(usize, usize)>,
+}
+
+impl LookupSetup {
+    fn for_table(ctx: &StepContext<'_>) -> Self {
         let banks: [&[LabelingFunction]; 2] = [&ctx.global.global_lfs, &ctx.local.lfs];
-        let identity = crate::lookupstep::ValueLookup::identity_lfs(&banks);
+        LookupSetup {
+            identity: crate::lookupstep::ValueLookup::identity_lf_indices(&banks),
+        }
+    }
+}
+
+impl LookupStep {
+    /// The shared scoring core: re-borrow the prefiltered LF positions
+    /// against this context's banks and run the per-column lookups.
+    /// Order-preserving, so the result is bit-identical to the
+    /// unfiltered per-column path (proven in the golden suite).
+    fn scores_with(
+        &self,
+        ctx: &StepContext<'_>,
+        cols: &[usize],
+        setup: &LookupSetup,
+    ) -> Vec<StepScores> {
+        let banks: [&[LabelingFunction]; 2] = [&ctx.global.global_lfs, &ctx.local.lfs];
+        let identity: Vec<&LabelingFunction> = setup
+            .identity
+            .iter()
+            .map(|&(bank, lf)| &banks[bank][lf])
+            .collect();
         cols.iter()
             .map(|&ci| {
                 let c = ctx.for_column(ci);
@@ -359,34 +466,80 @@ impl AnnotationStep for EmbeddingStep {
     }
 
     /// Batch override: each header's phrase vector is encoded once per
-    /// `(model, chunk)` instead of once per `(column, neighbor)` — the
+    /// batch call instead of once per `(column, neighbor)` — the
     /// neighbor-context encoding is quadratic in table width on the
-    /// per-column path. One sequential run is one chunk, so it pays
-    /// the setup exactly once per table; column-parallel chunks each
-    /// encode their own copy *inside their own worker thread*, trading
-    /// O(workers) duplicated setup CPU for zero cross-chunk
-    /// coordination. (A `FixedChunk { columns: 1 }` policy therefore
-    /// degrades to the per-column cost — it exists for testing, not
-    /// production; hoisting the setup to once per table across chunks
-    /// is the executor-level follow-up noted in the ROADMAP.) The
-    /// per-column mean is accumulated over the precomputed vectors in
-    /// the same order `predict` would have used, so the result is
-    /// bit-identical (see [`TableEmbeddingModel::context_of`]).
+    /// per-column path. The per-column mean is accumulated over the
+    /// precomputed vectors in the same order `predict` would have
+    /// used, so the result is bit-identical (see
+    /// [`TableEmbeddingModel::context_of`]). Chunked executors share
+    /// one encoding across *all* chunks through
+    /// [`prepare`](AnnotationStep::prepare)/[`run_prepared`](AnnotationStep::run_prepared)
+    /// below, so even a `FixedChunk { columns: 1 }` policy pays the
+    /// setup once per table.
     ///
     /// [`TableEmbeddingModel::context_of`]: crate::embedstep::TableEmbeddingModel::context_of
     fn run_batch(&self, ctx: &StepContext<'_>, cols: &[usize]) -> Vec<StepScores> {
+        self.scores_with(ctx, cols, &EmbedSetup::for_table(ctx))
+    }
+
+    /// Table-level setup shared across chunks: every header encoded
+    /// once per `(model, table)` — previously each column-parallel
+    /// chunk re-encoded its own copy inside its worker thread.
+    fn prepare(&self, ctx: &StepContext<'_>) -> Option<TableSetup> {
+        Some(Box::new(EmbedSetup::for_table(ctx)))
+    }
+
+    fn run_prepared(
+        &self,
+        ctx: &StepContext<'_>,
+        cols: &[usize],
+        setup: &TableSetup,
+    ) -> Vec<StepScores> {
+        match setup.downcast_ref::<EmbedSetup>() {
+            Some(setup) => self.scores_with(ctx, cols, setup),
+            None => self.run_batch(ctx, cols),
+        }
+    }
+}
+
+/// [`EmbeddingStep`]'s table-level setup: each header's phrase vector,
+/// encoded once per model. The finetuned model's embedder is a clone
+/// of the global one, but its vectors are encoded through its own
+/// instance so the equivalence argument never leans on clone identity.
+#[derive(Debug)]
+struct EmbedSetup {
+    global_vecs: Vec<Vec<f32>>,
+    local_vecs: Option<Vec<Vec<f32>>>,
+}
+
+impl EmbedSetup {
+    fn for_table(ctx: &StepContext<'_>) -> Self {
         let headers = ctx.table.headers();
         let global_model = &ctx.global.embedding;
-        let global_vecs: Vec<Vec<f32>> = headers
-            .iter()
-            .map(|h| global_model.header_vector(h))
-            .collect();
-        // The finetuned model's embedder is a clone of the global one,
-        // but its vectors are encoded through its own instance so the
-        // equivalence argument never leans on clone identity.
+        EmbedSetup {
+            global_vecs: headers
+                .iter()
+                .map(|h| global_model.header_vector(h))
+                .collect(),
+            local_vecs: ctx
+                .local
+                .finetuned
+                .as_ref()
+                .map(|m| headers.iter().map(|h| m.header_vector(h)).collect()),
+        }
+    }
+}
+
+impl EmbeddingStep {
+    /// The shared scoring core over precomputed header vectors.
+    fn scores_with(
+        &self,
+        ctx: &StepContext<'_>,
+        cols: &[usize],
+        setup: &EmbedSetup,
+    ) -> Vec<StepScores> {
+        let global_model = &ctx.global.embedding;
         let local_model = ctx.local.finetuned.as_ref();
-        let local_vecs: Option<Vec<Vec<f32>>> =
-            local_model.map(|m| headers.iter().map(|h| m.header_vector(h)).collect());
         fn neighbors_of(vecs: &[Vec<f32>], ci: usize) -> Vec<&[f32]> {
             vecs.iter()
                 .enumerate()
@@ -398,9 +551,9 @@ impl AnnotationStep for EmbeddingStep {
             .map(|&ci| {
                 let c = ctx.for_column(ci);
                 let column = c.column();
-                let global_ctx = global_model.context_of(&neighbors_of(&global_vecs, ci));
+                let global_ctx = global_model.context_of(&neighbors_of(&setup.global_vecs, ci));
                 let global_scores = global_model.predict_with_context(column, &global_ctx);
-                match (local_model, &local_vecs) {
+                match (local_model, &setup.local_vecs) {
                     (Some(m), Some(lv)) => {
                         let local_ctx = m.context_of(&neighbors_of(lv, ci));
                         let local_scores = m.predict_with_context(column, &local_ctx);

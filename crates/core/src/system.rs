@@ -4,10 +4,15 @@ use crate::aggregate::{apply_tau, soft_majority_vote_with};
 use crate::cache::{CacheContext, ShardedLruCache, StepCache};
 use crate::cascade::Cascade;
 use crate::config::SigmaTyperConfig;
+use crate::cost::CostModel;
 use crate::executor::{CascadeExecutor, ParallelismPolicy};
 use crate::global::GlobalModel;
 use crate::local::LocalModel;
 use crate::prediction::{Candidate, ColumnAnnotation, StepId, StepScores, TableAnnotation};
+use crate::request::{
+    AnnotationOutcome, AnnotationRequest, BudgetContext, BudgetLedger, DegradationReport,
+    RequestOptions, TelemetryVerbosity,
+};
 use crate::step::AnnotationStep;
 use std::sync::Arc;
 use tu_corpus::Corpus;
@@ -32,6 +37,13 @@ pub struct SigmaTyper {
     ///
     /// [`AnnotationService`]: crate::service::AnnotationService
     cache: Option<Arc<dyn StepCache>>,
+    /// Online per-step cost/yield telemetry (see [`crate::cost`]),
+    /// fed by every annotation and shared by `Arc` across clones —
+    /// the batch service's workers all report into one model.
+    /// Observation-only: it never influences an annotation unless a
+    /// request carries a degradation policy or the cascade is
+    /// explicitly reordered through it.
+    cost: Arc<CostModel>,
     /// Cache epoch: hashed into every column fingerprint and replaced
     /// by a fresh process-globally unique value on every adaptation
     /// event, so cached scores from before an adaptation can never be
@@ -82,6 +94,7 @@ pub struct SigmaTyperBuilder {
     config: SigmaTyperConfig,
     cascade: Cascade,
     cache: Option<Arc<dyn StepCache>>,
+    cost: Option<Arc<CostModel>>,
 }
 
 impl SigmaTyperBuilder {
@@ -192,6 +205,16 @@ impl SigmaTyperBuilder {
         self.step_cache(Arc::new(ShardedLruCache::new(capacity)))
     }
 
+    /// Attach a shared [`CostModel`] instead of the fresh one `build`
+    /// creates by default — e.g. to pool cost telemetry across several
+    /// customer instances serving similar schemas, or to seed a
+    /// deployment with offline measurements before the first request.
+    #[must_use]
+    pub fn cost_model(mut self, cost: Arc<CostModel>) -> Self {
+        self.cost = Some(cost);
+        self
+    }
+
     /// Build the customer instance.
     #[must_use]
     pub fn build(self) -> SigmaTyper {
@@ -203,6 +226,7 @@ impl SigmaTyperBuilder {
             config: self.config,
             cascade: self.cascade,
             cache: self.cache,
+            cost: self.cost.unwrap_or_default(),
             // Even a freshly built instance gets a globally unique
             // epoch: two customers built over different global models
             // (or with different custom step implementations) must
@@ -230,6 +254,7 @@ impl SigmaTyper {
             config: SigmaTyperConfig::default(),
             cascade: Cascade::standard(),
             cache: None,
+            cost: None,
         }
     }
 
@@ -317,6 +342,25 @@ impl SigmaTyper {
         self.epoch = next_epoch();
     }
 
+    /// The per-step cost/yield telemetry this instance has accumulated
+    /// (see [`crate::cost`]). Shared by `Arc` across clones, so a
+    /// batch service's workers feed one model.
+    #[must_use]
+    pub fn cost_model(&self) -> &Arc<CostModel> {
+        &self.cost
+    }
+
+    /// Cost-aware step ordering: re-sort the cascade by this
+    /// customer's measured per-step cost per unit yield (cheapest
+    /// first; see [`Cascade::reorder_by_cost`]). Returns whether the
+    /// order changed. Routed through
+    /// [`SigmaTyper::cascade_mut`], so the cache epoch bumps and no
+    /// stale pre-reorder scores can be served.
+    pub fn reorder_cascade_by_cost(&mut self) -> bool {
+        let cost = Arc::clone(&self.cost);
+        self.cascade_mut().reorder_by_cost(&cost)
+    }
+
     /// Register a customer-specific semantic type. The type is matched
     /// through locally inferred LFs and learned by the finetuned local
     /// embedding model via one of the reserved MLP classes.
@@ -345,9 +389,48 @@ impl SigmaTyper {
     /// Figure 4). Execution strategy (sequential vs column-parallel)
     /// follows [`SigmaTyperConfig::parallelism`] and
     /// [`SigmaTyperConfig::column_threads`].
+    ///
+    /// This is a thin wrapper over [`SigmaTyper::annotate_request`]
+    /// with default options (`Strict`, unbounded) — bit-identical to
+    /// the request path, proven in the golden suite — discarding the
+    /// (empty) [`DegradationReport`].
     #[must_use]
     pub fn annotate(&self, table: &Table) -> TableAnnotation {
-        self.annotate_with(table, &CascadeExecutor::from_config(&self.config))
+        self.annotate_request(&AnnotationRequest::new(table))
+            .into_annotation()
+    }
+
+    /// Annotate under a typed [`AnnotationRequest`]: budget, degradation
+    /// policy, and execution overrides per request (see
+    /// [`crate::request`] for the semantics). Returns the annotation
+    /// plus the [`DegradationReport`] recording which steps were
+    /// skipped or truncated and the budget accounting.
+    #[must_use]
+    pub fn annotate_request(&self, request: &AnnotationRequest<'_>) -> AnnotationOutcome {
+        let mut config = self.config;
+        if let Some(policy) = request.options.parallelism {
+            config.parallelism = policy;
+        }
+        if let Some(threads) = request.options.column_threads {
+            config.column_threads = threads;
+        }
+        self.annotate_request_with(request, &CascadeExecutor::from_config(&config))
+    }
+
+    /// [`SigmaTyper::annotate_request`] through an explicitly
+    /// constructed [`CascadeExecutor`] (the executor wins over the
+    /// request's parallelism overrides — callers managing their own
+    /// worker budgets, like the batch scheduler, already resolved
+    /// them).
+    #[must_use]
+    pub fn annotate_request_with(
+        &self,
+        request: &AnnotationRequest<'_>,
+        executor: &CascadeExecutor,
+    ) -> AnnotationOutcome {
+        let (budget, _) = request.options.resolved();
+        let ledger = BudgetLedger::from_budget(budget);
+        self.annotate_request_shared(request.table, executor, &request.options, &ledger)
     }
 
     /// [`SigmaTyper::annotate`] through an explicitly constructed
@@ -359,18 +442,55 @@ impl SigmaTyper {
     /// clock differs.
     #[must_use]
     pub fn annotate_with(&self, table: &Table, executor: &CascadeExecutor) -> TableAnnotation {
-        let cache_ctx = self.cache.as_deref().map(|cache| CacheContext {
-            cache,
-            epoch: self.epoch,
-        });
-        let (per_column, timings) = executor.run(
+        let options = RequestOptions::default();
+        let (budget, _) = options.resolved();
+        let ledger = BudgetLedger::from_budget(budget);
+        self.annotate_request_shared(table, executor, &options, &ledger)
+            .into_annotation()
+    }
+
+    /// The request core, against an **externally owned**
+    /// [`BudgetLedger`] — this is how
+    /// [`AnnotationService::annotate_batch_request`] shares one
+    /// batch-wide ledger across its worker threads (degrade the
+    /// batch, don't queue it). The ledger must be consistent with
+    /// `options` ([`RequestOptions::resolved`] decides budget and
+    /// policy); single-request callers should prefer
+    /// [`SigmaTyper::annotate_request`], which owns its ledger.
+    ///
+    /// [`AnnotationService::annotate_batch_request`]:
+    ///     crate::service::AnnotationService::annotate_batch_request
+    #[must_use]
+    pub fn annotate_request_shared(
+        &self,
+        table: &Table,
+        executor: &CascadeExecutor,
+        options: &RequestOptions,
+        ledger: &BudgetLedger,
+    ) -> AnnotationOutcome {
+        let (_, policy) = options.resolved();
+        let cache_ctx = if options.bypass_cache {
+            None
+        } else {
+            self.cache.as_deref().map(|cache| CacheContext {
+                cache,
+                epoch: self.epoch,
+            })
+        };
+        let budgeted = executor.run_budgeted(
             &self.cascade,
             table,
             &self.global,
             &self.local,
             &self.config,
             cache_ctx,
+            Some(BudgetContext {
+                ledger,
+                policy,
+                cost: Some(&self.cost),
+            }),
         );
+        let (per_column, timings) = budgeted.trace;
 
         let weight_of = |id: StepId| self.cascade.weight(id, &self.config);
         let columns = per_column
@@ -394,7 +514,35 @@ impl SigmaTyper {
                 }
             })
             .collect();
-        TableAnnotation { columns, timings }
+        let mut annotation = TableAnnotation { columns, timings };
+        // Feed the cost model before telemetry is stripped — the EWMA
+        // is observation-only and never changes this annotation.
+        self.cost
+            .observe(&annotation, self.config.cascade_threshold);
+        match options.telemetry {
+            TelemetryVerbosity::Full => {}
+            TelemetryVerbosity::TimingsOnly => {
+                for col in &mut annotation.columns {
+                    col.step_scores = Vec::new();
+                }
+            }
+            TelemetryVerbosity::Minimal => {
+                for col in &mut annotation.columns {
+                    col.step_scores = Vec::new();
+                }
+                annotation.timings = Vec::new();
+            }
+        }
+        AnnotationOutcome {
+            annotation,
+            degradation: DegradationReport {
+                policy,
+                budget_nanos: ledger.budget(),
+                spent_nanos: budgeted.charged_nanos,
+                remaining_nanos: ledger.remaining(),
+                skipped: budgeted.skipped,
+            },
+        }
     }
 
     /// Hierarchy-aware tie-breaking: when the two leading candidates are
@@ -1054,6 +1202,284 @@ mod tests {
         );
     }
 
+    /// An opaque table no step resolves cheaply: every column walks
+    /// the full cascade, so budget degradation has a tail to cut.
+    fn opaque_table(cols: usize) -> Table {
+        let columns: Vec<Column> = (0..cols)
+            .map(|i| {
+                Column::from_raw(
+                    format!("xq{i}_zz"),
+                    &["lorem ipsum", "dolor sit", "amet consect"],
+                )
+            })
+            .collect();
+        Table::new("opaque", columns).unwrap()
+    }
+
+    #[test]
+    fn zero_budget_drop_tail_degrades_deterministically() {
+        use crate::request::{AnnotationRequest, DegradationPolicy, SkipReason};
+        let st = system();
+        let table = opaque_table(3);
+        let request = AnnotationRequest::new(&table)
+            .with_budget_nanos(0)
+            .with_policy(DegradationPolicy::DropTailSteps);
+        let outcome = st.annotate_request(&request);
+        // Every configured step is dropped, in cascade order, as
+        // exhausted — and the report says so exactly.
+        assert!(outcome.degraded());
+        assert_eq!(
+            outcome
+                .degradation
+                .skipped
+                .iter()
+                .map(|s| s.step)
+                .collect::<Vec<_>>(),
+            st.cascade().step_ids()
+        );
+        assert!(outcome
+            .degradation
+            .skipped
+            .iter()
+            .all(|s| s.reason == SkipReason::BudgetExhausted && s.ran == 0 && s.pending == 3));
+        assert_eq!(outcome.degradation.budget_nanos, Some(0));
+        assert_eq!(outcome.degradation.remaining_nanos, Some(0));
+        assert_eq!(outcome.degradation.spent_nanos, 0);
+        // Nothing ran, so nothing may be fabricated: all columns
+        // abstain with empty traces — and the timing schema stays one
+        // record per configured step.
+        assert_eq!(outcome.annotation.columns.len(), 3);
+        for col in &outcome.annotation.columns {
+            assert!(col.abstained());
+            assert!(col.steps_run.is_empty());
+            assert!(col.top_k.is_empty());
+        }
+        assert_eq!(outcome.annotation.timings.len(), st.cascade().len());
+        assert!(outcome
+            .annotation
+            .timings
+            .iter()
+            .all(|t| t.columns == 0 && t.chunks == 0));
+        // Deterministic: an identical request degrades identically.
+        let again = st.annotate_request(&request);
+        assert_eq!(outcome.degradation.skipped, again.degradation.skipped);
+    }
+
+    #[test]
+    fn zero_budget_best_effort_also_drops_everything() {
+        use crate::request::{AnnotationRequest, DegradationPolicy};
+        let st = system();
+        let table = opaque_table(2);
+        let outcome = st.annotate_request(
+            &AnnotationRequest::new(&table)
+                .with_budget_nanos(0)
+                .with_policy(DegradationPolicy::BestEffort),
+        );
+        assert!(outcome.degraded());
+        assert!(outcome.annotation.columns.iter().all(|c| c.abstained()));
+    }
+
+    #[test]
+    fn strict_policy_reports_overruns_but_never_degrades() {
+        use crate::request::{AnnotationRequest, DegradationPolicy};
+        let st = system();
+        let table = figure3_table();
+        let outcome = st.annotate_request(
+            &AnnotationRequest::new(&table)
+                .with_budget_nanos(1)
+                .with_policy(DegradationPolicy::Strict),
+        );
+        assert!(!outcome.degraded(), "Strict must never skip a step");
+        assert!(outcome.degradation.over_budget(), "1 ns is always blown");
+        assert_eq!(outcome.degradation.remaining_nanos, Some(0));
+        // Output matches the unbudgeted path, decision for decision.
+        let plain = st.annotate(&table);
+        for (a, b) in outcome.annotation.columns.iter().zip(&plain.columns) {
+            assert_eq!(a.predicted, b.predicted);
+            assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
+        }
+    }
+
+    #[test]
+    fn predictive_drop_consults_the_cost_model() {
+        use crate::request::{AnnotationRequest, DegradationPolicy, SkipReason};
+        let st = system();
+        // Teach the model an absurd embedding cost; the generous
+        // budget comfortably covers the real header/lookup steps, so
+        // only the prediction can trigger the drop.
+        st.cost_model().set(Step::Embedding, 1e15, 0.5);
+        let table = opaque_table(2);
+        let outcome = st.annotate_request(
+            &AnnotationRequest::new(&table)
+                .with_budget_nanos(10_000_000_000) // 10 s
+                .with_policy(DegradationPolicy::DropTailSteps),
+        );
+        let skipped = &outcome.degradation.skipped;
+        assert_eq!(skipped.len(), 1, "only embedding may degrade: {skipped:?}");
+        assert_eq!(skipped[0].step, Step::Embedding);
+        assert_eq!(skipped[0].reason, SkipReason::PredictedOverBudget);
+        assert_eq!((skipped[0].pending, skipped[0].ran), (2, 0));
+        // Header and lookup ran for every column; embedding for none.
+        for col in &outcome.annotation.columns {
+            assert!(col.steps_run.contains(&Step::Header));
+            assert!(col.steps_run.contains(&Step::Lookup));
+            assert!(!col.steps_run.contains(&Step::Embedding));
+        }
+    }
+
+    #[test]
+    fn best_effort_truncates_the_frontier_prefix() {
+        use crate::request::{AnnotationRequest, DegradationPolicy, SkipReason};
+        let st = system();
+        // 1 s per predicted embedding column against a ~3.5 s budget:
+        // three columns fit (the real header/lookup cost is orders of
+        // magnitude below the slack).
+        st.cost_model().set(Step::Embedding, 1e9, 0.5);
+        let table = opaque_table(6);
+        let outcome = st.annotate_request(
+            &AnnotationRequest::new(&table)
+                .with_budget_nanos(3_500_000_000)
+                .with_policy(DegradationPolicy::BestEffort),
+        );
+        let truncated: Vec<_> = outcome
+            .degradation
+            .skipped
+            .iter()
+            .filter(|s| s.step == Step::Embedding)
+            .collect();
+        assert_eq!(truncated.len(), 1, "{:?}", outcome.degradation.skipped);
+        assert_eq!(truncated[0].reason, SkipReason::FrontierTruncated);
+        assert_eq!(truncated[0].pending, 6);
+        assert_eq!(truncated[0].ran, 3);
+        // The frontier prefix (column order) ran; the tail did not.
+        let with_embedding: Vec<usize> = outcome
+            .annotation
+            .columns
+            .iter()
+            .filter(|c| c.steps_run.contains(&Step::Embedding))
+            .map(|c| c.col_idx)
+            .collect();
+        assert_eq!(with_embedding, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn request_can_bypass_a_warm_cache() {
+        use crate::request::AnnotationRequest;
+        let st = SigmaTyper::builder(shared_global()).cached(4096).build();
+        let table = opaque_table(3);
+        let _ = st.annotate(&table); // warm
+        let warm = st.annotate(&table);
+        assert!(warm.timings.iter().any(|t| t.cache_hits > 0));
+        let bypassed = st.annotate_request(&AnnotationRequest::new(&table).with_cache_bypassed());
+        assert!(bypassed
+            .annotation
+            .timings
+            .iter()
+            .all(|t| t.cache_hits == 0 && t.cache_misses == 0 && t.cache_inserts == 0));
+        // Bit-identical anyway: the cache is invisible in the output.
+        assert_same_annotation(&warm, &bypassed.annotation);
+    }
+
+    #[test]
+    fn telemetry_verbosity_strips_payload_not_decisions() {
+        use crate::request::{AnnotationRequest, TelemetryVerbosity};
+        let st = system();
+        let table = figure3_table();
+        let full = st.annotate_request(&AnnotationRequest::new(&table));
+        let timings_only = st.annotate_request(
+            &AnnotationRequest::new(&table).with_telemetry(TelemetryVerbosity::TimingsOnly),
+        );
+        let minimal = st.annotate_request(
+            &AnnotationRequest::new(&table).with_telemetry(TelemetryVerbosity::Minimal),
+        );
+        assert!(full
+            .annotation
+            .columns
+            .iter()
+            .any(|c| !c.step_scores.is_empty()));
+        assert!(!full.annotation.timings.is_empty());
+        assert!(timings_only
+            .annotation
+            .columns
+            .iter()
+            .all(|c| c.step_scores.is_empty()));
+        assert_eq!(timings_only.annotation.timings.len(), st.cascade().len());
+        assert!(minimal.annotation.timings.is_empty());
+        // Decisions survive every level bit for bit.
+        for stripped in [&timings_only, &minimal] {
+            for (a, b) in stripped
+                .annotation
+                .columns
+                .iter()
+                .zip(&full.annotation.columns)
+            {
+                assert_eq!(a.predicted, b.predicted);
+                assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
+                assert_eq!(a.top_k, b.top_k);
+                assert_eq!(a.steps_run, b.steps_run);
+            }
+        }
+    }
+
+    #[test]
+    fn request_parallelism_override_chunks_without_touching_config() {
+        use crate::request::AnnotationRequest;
+        let st = system();
+        assert_eq!(
+            st.config().parallelism,
+            ParallelismPolicy::default(),
+            "sanity: config stays on the default policy"
+        );
+        let table = opaque_table(4);
+        let outcome = st.annotate_request(
+            &AnnotationRequest::new(&table)
+                .with_parallelism(ParallelismPolicy::FixedChunk { columns: 1 })
+                .with_column_threads(2),
+        );
+        assert!(
+            outcome.annotation.timings.iter().any(|t| t.chunks >= 2),
+            "FixedChunk{{1}} over a 4-column frontier must chunk"
+        );
+        // And the override is per-request: output stays bit-identical
+        // to the plain path (execution strategy is output-invariant).
+        assert_same_annotation(&st.annotate(&table), &outcome.annotation);
+    }
+
+    #[test]
+    fn annotations_feed_the_shared_cost_model() {
+        let st = system();
+        assert!(st.cost_model().estimate(Step::Header).is_none());
+        let _ = st.annotate(&figure3_table());
+        let header = st.cost_model().estimate(Step::Header).unwrap();
+        assert!(header.nanos_per_column > 0.0);
+        assert!(header.yield_rate > 0.0, "clear headers resolve at step 1");
+        // Clones share the model (service workers feed one EWMA).
+        let clone = st.clone();
+        let samples_before = clone.cost_model().estimate(Step::Header).unwrap().samples;
+        let _ = clone.annotate(&figure3_table());
+        assert!(st.cost_model().estimate(Step::Header).unwrap().samples > samples_before);
+    }
+
+    #[test]
+    fn reorder_cascade_by_cost_bumps_the_epoch() {
+        let mut st = system();
+        st.cost_model().set(Step::Header, 1e6, 0.1);
+        st.cost_model().set(Step::Lookup, 10.0, 0.9);
+        let epoch = st.cache_epoch();
+        assert!(st.reorder_cascade_by_cost());
+        assert_eq!(
+            st.cascade().step_ids(),
+            vec![Step::Lookup, Step::Header, Step::Embedding]
+        );
+        assert!(
+            st.cache_epoch() > epoch,
+            "reorder must invalidate the cache"
+        );
+        // Idempotent second call still bumps (cascade_mut is
+        // conservative) but changes nothing.
+        assert!(!st.reorder_cascade_by_cost());
+    }
+
     #[test]
     fn tau_zero_never_abstains_on_candidates() {
         let mut st = system();
@@ -1232,6 +1658,83 @@ mod tests {
                 confidence: 0.9,
             }])
         }
+    }
+
+    /// A step that counts how often its table-level setup is computed
+    /// vs how many chunk calls consumed it.
+    #[derive(Debug)]
+    struct PrepareCountingStep {
+        prepares: Arc<std::sync::atomic::AtomicUsize>,
+        chunk_calls: Arc<std::sync::atomic::AtomicUsize>,
+    }
+
+    impl AnnotationStep for PrepareCountingStep {
+        fn id(&self) -> StepId {
+            StepId::custom(5)
+        }
+
+        fn name(&self) -> &str {
+            "prepare-counter"
+        }
+
+        fn skip(&self, _ctx: &StepContext<'_>) -> bool {
+            false
+        }
+
+        fn run(&self, _ctx: &StepContext<'_>) -> StepScores {
+            StepScores::default()
+        }
+
+        fn prepare(&self, _ctx: &StepContext<'_>) -> Option<crate::step::TableSetup> {
+            self.prepares
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Some(Box::new(()))
+        }
+
+        fn run_prepared(
+            &self,
+            ctx: &StepContext<'_>,
+            cols: &[usize],
+            _setup: &crate::step::TableSetup,
+        ) -> Vec<StepScores> {
+            self.chunk_calls
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            cols.iter()
+                .map(|&ci| self.run(&ctx.for_column(ci)))
+                .collect()
+        }
+    }
+
+    /// The executor must compute a step's table-level setup once per
+    /// (step, table) and share it across *all* chunks — including
+    /// column-parallel ones — instead of once per chunk worker.
+    #[test]
+    fn table_setup_is_prepared_once_across_chunks() {
+        let prepares = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let chunk_calls = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let typer = SigmaTyper::builder(shared_global())
+            .step(PrepareCountingStep {
+                prepares: Arc::clone(&prepares),
+                chunk_calls: Arc::clone(&chunk_calls),
+            })
+            .parallelism(ParallelismPolicy::FixedChunk { columns: 1 })
+            .column_threads(3)
+            .build();
+        let table = Table::new(
+            "t",
+            (0..4)
+                .map(|i| Column::from_raw(format!("xq{i}"), &["lorem", "ipsum"]))
+                .collect(),
+        )
+        .unwrap();
+        let _ = typer.annotate(&table);
+        let p = prepares.load(std::sync::atomic::Ordering::Relaxed);
+        let c = chunk_calls.load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(p, 1, "setup must be hoisted to once per table");
+        assert_eq!(c, 4, "FixedChunk{{1}} over 4 columns is 4 chunk calls");
+        // A second table pays its own setup exactly once more.
+        let _ = typer.annotate(&table);
+        assert_eq!(prepares.load(std::sync::atomic::Ordering::Relaxed), 2);
     }
 
     #[test]

@@ -22,11 +22,22 @@
 //! whole suite finishes in seconds. CI runs this on every push: the
 //! numbers are meaningless, but a bench that panics, hangs, or no
 //! longer builds fails the pipeline instead of rotting silently.
+//!
+//! # Machine-readable reports
+//!
+//! When the `BENCH_JSON_DIR` environment variable names a directory,
+//! each bench binary additionally writes
+//! `BENCH_<bench-name>.json` there on exit — a flat list of
+//! `{name, ns_per_iter, iters}` records (median nanoseconds per
+//! iteration, exactly what the console lines print). CI uploads the
+//! directory as an artifact on every push, so the perf trajectory
+//! accumulates per commit instead of living only in scrollback.
 
 #![warn(missing_docs)]
 
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Re-export of [`std::hint::black_box`] (real criterion offers its
@@ -234,9 +245,96 @@ impl Bencher {
                     "{name:<48} time: {value:>10.3} {unit}/iter ({} iters)",
                     self.iters
                 );
+                record_result(name, ns, self.iters);
             }
             None => println!("{name:<48} (no measurement taken)"),
         }
+    }
+}
+
+/// The per-process result registry feeding the JSON report.
+fn results() -> &'static Mutex<Vec<(String, f64, u64)>> {
+    static RESULTS: OnceLock<Mutex<Vec<(String, f64, u64)>>> = OnceLock::new();
+    RESULTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn record_result(name: &str, ns_per_iter: f64, iters: u64) {
+    results()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push((name.to_owned(), ns_per_iter, iters));
+}
+
+/// The bench binary's logical name: the executable file stem with
+/// cargo's trailing `-<16-hex-digit>` metadata hash stripped (e.g.
+/// `target/release/deps/pipeline-0a1b2c3d4e5f6071` → `pipeline`).
+fn bench_binary_name() -> String {
+    let stem = std::env::args()
+        .next()
+        .and_then(|arg0| {
+            std::path::Path::new(&arg0)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+        })
+        .unwrap_or_else(|| "bench".to_owned());
+    match stem.rsplit_once('-') {
+        Some((head, tail)) if tail.len() == 16 && tail.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            head.to_owned()
+        }
+        _ => stem,
+    }
+}
+
+/// Minimal JSON string escaping (benchmark names are plain ASCII in
+/// practice, but quotes and backslashes must never corrupt the file).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Write `BENCH_<bench-name>.json` under `$BENCH_JSON_DIR`, if the
+/// variable is set (see the [module docs](self)). Called by
+/// [`criterion_main!`] after every group has run; a no-op without the
+/// variable, and IO failures print a warning instead of failing the
+/// bench (the measurements already reached stdout).
+pub fn write_json_report() {
+    let Some(dir) = std::env::var_os("BENCH_JSON_DIR") else {
+        return;
+    };
+    let dir = std::path::PathBuf::from(dir);
+    let name = bench_binary_name();
+    let results = results()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut body = String::new();
+    body.push_str("{\n");
+    body.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(&name)));
+    body.push_str(&format!("  \"smoke\": {},\n", smoke_mode()));
+    body.push_str("  \"results\": [\n");
+    for (i, (bench, ns, iters)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        body.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {ns:.3}, \"iters\": {iters}}}{comma}\n",
+            json_escape(bench)
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let write = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, body));
+    match write {
+        Ok(()) => println!("bench report written to {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
     }
 }
 
@@ -251,7 +349,8 @@ macro_rules! criterion_group {
     };
 }
 
-/// Emit `main` running the given groups.
+/// Emit `main` running the given groups, then writing the optional
+/// JSON report (see [`write_json_report`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
@@ -259,6 +358,7 @@ macro_rules! criterion_main {
             // `cargo bench` passes `--bench`; any other explicit filter
             // argument is unsupported and ignored.
             $($group();)+
+            $crate::write_json_report();
         }
     };
 }

@@ -12,8 +12,9 @@
 
 use sigmatyper::aggregate::{apply_tau, soft_majority_vote};
 use sigmatyper::{
-    train_global, Candidate, GlobalModel, ParallelismPolicy, ShardedLruCache, SigmaTyper, Step,
-    StepId, StepScores, TableAnnotation, TrainingConfig,
+    train_global, AnnotationRequest, Candidate, CostModel, DegradationPolicy, GlobalModel,
+    ParallelismPolicy, ShardedLruCache, SigmaTyper, SkipReason, Step, StepId, StepScores,
+    TableAnnotation, TrainingConfig,
 };
 use std::sync::{Arc, OnceLock};
 use tu_corpus::{generate_corpus, CorpusConfig};
@@ -644,6 +645,219 @@ fn column_parallel_execution_matches_sequential_with_warm_cache() {
             assert_eq!(warm_cacheable_runs, 0, "warm parallel recrawl must hit");
         }
         assert!(warm_hits > 0);
+    }
+}
+
+// ---- Budgeted-request equivalence ---------------------------------------
+//
+// `annotate(&Table)` is specified as a thin wrapper over a default
+// `AnnotationRequest` (`Strict`, unbounded): the request path must be
+// bit-identical to it — which the tests above prove bit-identical to
+// the literal seed transcription — for fresh, ablated, and
+// adaptation-heavy customers, cached and uncached, sequential and
+// column-parallel. (This suite does not run under a forced
+// `SIGMATYPER_STEP_BUDGET_NANOS`; the env-aware equivalence lives in
+// `tests/budgeted_annotation.rs`.)
+
+/// One assertion: the default request's annotation is bit-identical to
+/// `annotate`, its report clean, and — through `assert_golden` — the
+/// seed transcription still matches.
+fn assert_request_golden(typer: &SigmaTyper, table: &Table) {
+    let outcome = typer.annotate_request(&AnnotationRequest::new(table));
+    assert!(!outcome.degraded(), "default requests must never degrade");
+    assert!(outcome.degradation.skipped.is_empty());
+    assert_same_annotation(&typer.annotate(table), &outcome.annotation);
+    assert_golden(typer, table);
+}
+
+#[test]
+fn default_request_is_bit_identical_for_fresh_customers() {
+    let typer = SigmaTyper::builder(global()).build();
+    for table in &hard_corpus(0xB1D6E7, 15) {
+        assert_request_golden(&typer, table);
+    }
+}
+
+#[test]
+fn default_request_is_bit_identical_under_ablations() {
+    let tables = hard_corpus(0xB1D6E8, 5);
+    for (header, lookup, embedding) in [(true, false, false), (false, true, true)] {
+        let mut typer = SigmaTyper::builder(global()).build();
+        typer.config_mut().enable_header = header;
+        typer.config_mut().enable_lookup = lookup;
+        typer.config_mut().enable_embedding = embedding;
+        for table in &tables {
+            assert_request_golden(&typer, table);
+        }
+    }
+}
+
+#[test]
+fn default_request_is_bit_identical_for_adapted_customers() {
+    let mut typer = SigmaTyper::builder(global()).build();
+    let o = typer.ontology().clone();
+    let phone = builtin_id(&o, "phone number");
+    let mk = |seed: u64| {
+        let vals: Vec<String> = (0..30)
+            .map(|i| format!("{}", 20_000_000 + seed * 1000 + i * 137))
+            .collect();
+        Table::new(
+            format!("contacts_{seed}"),
+            vec![Column::from_raw("contact", &vals)],
+        )
+        .unwrap()
+    };
+    for s in 1..=3 {
+        typer.feedback(&mk(s), 0, phone, None);
+    }
+    assert!(typer.local().finetuned.is_some());
+    for table in &hard_corpus(0xB1D6E9, 8) {
+        assert_request_golden(&typer, table);
+    }
+}
+
+#[test]
+fn default_request_is_bit_identical_cached_and_parallel() {
+    let typer = SigmaTyper::builder(global()).build();
+    let tables = hard_corpus(0xB1D6EA, 8);
+    for (policy, threads) in parallel_strategies() {
+        let parallel = with_strategy(&typer, policy, threads);
+        let cached = with_cache(&parallel);
+        for table in &tables {
+            // Uncached parallel, cold cache, warm cache: all three
+            // request paths match their `annotate` twin bit for bit.
+            assert_request_golden(&parallel, table);
+            assert_request_golden(&cached, table); // cold
+            assert_request_golden(&cached, table); // warm
+        }
+    }
+}
+
+// ---- Degradation acceptance ---------------------------------------------
+
+/// Under `DropTailSteps` with an exhausted (zero) budget the report
+/// lists exactly the configured steps, in cascade order, and every
+/// column abstains — degradation removes votes, never invents them.
+#[test]
+fn exhausted_drop_tail_reports_exactly_the_skipped_steps_and_abstains() {
+    let typer = SigmaTyper::builder(global()).build();
+    for table in hard_corpus(0xDE6BAD, 6) {
+        if table.n_cols() == 0 {
+            continue;
+        }
+        let outcome = typer.annotate_request(
+            &AnnotationRequest::new(&table)
+                .with_budget_nanos(0)
+                .with_policy(DegradationPolicy::DropTailSteps),
+        );
+        assert_eq!(
+            outcome
+                .degradation
+                .skipped
+                .iter()
+                .map(|s| s.step)
+                .collect::<Vec<_>>(),
+            typer.cascade().step_ids(),
+            "the report must list exactly the dropped steps, in order"
+        );
+        assert!(outcome
+            .degradation
+            .skipped
+            .iter()
+            .all(|s| s.reason == SkipReason::BudgetExhausted
+                && s.ran == 0
+                && s.pending == table.n_cols()));
+        for col in &outcome.annotation.columns {
+            assert!(col.abstained(), "a defunded column must abstain");
+            assert!(col.steps_run.is_empty());
+            assert!(col.top_k.is_empty(), "no fabricated candidates");
+        }
+        // The timing schema survives: one record per configured step.
+        assert_eq!(outcome.annotation.timings.len(), typer.cascade().len());
+    }
+}
+
+// ---- Cost-aware ordering acceptance -------------------------------------
+
+/// `Cascade::reorder_by_cost` over a synthetic cost model must change
+/// the execution order (visible in the `StepTiming` sequence) without
+/// changing any prediction on early-exit-free tables — columns where
+/// no step clears the cascade threshold see every step run in *some*
+/// order, and the soft majority vote is order-independent in its
+/// decisions.
+#[test]
+fn reorder_by_cost_changes_execution_order_not_predictions() {
+    let typer = SigmaTyper::builder(global()).build();
+    // Single-column gibberish tables: no neighbor context to shift,
+    // and (asserted below) no step resolves, so there is no early
+    // exit for the order to interact with.
+    let tables: Vec<Table> = (0..6)
+        .map(|i| {
+            let vals: Vec<String> = (0..8)
+                .map(|r| format!("zq{}w {}kx", (i * 13 + r * 7) % 89, (r * 31 + i) % 97))
+                .collect();
+            Table::new(
+                format!("gibberish_{i}"),
+                vec![Column::from_raw(format!("xq{i}_zz"), &vals)],
+            )
+            .unwrap()
+        })
+        .collect();
+    let threshold = typer.config().cascade_threshold;
+    let baseline: Vec<TableAnnotation> = tables.iter().map(|t| typer.annotate(t)).collect();
+    for ann in &baseline {
+        assert_eq!(
+            ann.timings.iter().map(|t| t.step).collect::<Vec<_>>(),
+            vec![Step::Header, Step::Lookup, Step::Embedding],
+            "baseline executes the standard order"
+        );
+        for col in &ann.columns {
+            assert_eq!(
+                col.resolving_step(threshold),
+                None,
+                "test tables must be early-exit-free"
+            );
+            assert_eq!(col.steps_run.len(), 3, "all steps must have run");
+        }
+    }
+
+    // A synthetic model claiming the embedding step is by far the
+    // best value and lookup the worst.
+    let cost = CostModel::new();
+    cost.set(Step::Header, 5_000.0, 0.2);
+    cost.set(Step::Lookup, 50_000.0, 0.1);
+    cost.set(Step::Embedding, 1_000.0, 0.9);
+    let mut reordered = typer.clone();
+    assert!(reordered.cascade_mut().reorder_by_cost(&cost));
+    assert_eq!(
+        reordered.cascade().step_ids(),
+        vec![Step::Embedding, Step::Header, Step::Lookup]
+    );
+
+    for (table, base) in tables.iter().zip(&baseline) {
+        let ann = reordered.annotate(table);
+        // Execution order change is visible in the telemetry...
+        assert_eq!(
+            ann.timings.iter().map(|t| t.step).collect::<Vec<_>>(),
+            vec![Step::Embedding, Step::Header, Step::Lookup]
+        );
+        assert_eq!(
+            ann.columns[0].steps_run,
+            vec![Step::Embedding, Step::Header, Step::Lookup]
+        );
+        // ... and every decision is unchanged. (Predictions and
+        // abstentions must match exactly; confidences may differ in
+        // the last ulp because float summation order changed.)
+        for (got, want) in ann.columns.iter().zip(&base.columns) {
+            assert_eq!(got.predicted, want.predicted, "prediction changed");
+            assert_eq!(got.abstained(), want.abstained());
+            assert_eq!(
+                got.top_k.iter().map(|c| c.ty).collect::<Vec<_>>(),
+                want.top_k.iter().map(|c| c.ty).collect::<Vec<_>>(),
+                "candidate ranking changed"
+            );
+            assert!((got.confidence - want.confidence).abs() < 1e-9);
+        }
     }
 }
 
