@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sigmatyper::{
-    AnnotationRequest, AnnotationService, DegradationPolicy, ParallelismPolicy, RequestOptions,
-    ShardedLruCache, SigmaTyper,
+    AnnotationRequest, AnnotationService, DegradationPolicy, DurableEpochSource, ParallelismPolicy,
+    RequestOptions, ShardedLruCache, SigmaTyper, TieredStepCache,
 };
 use std::hint::black_box;
 use std::sync::Arc;
@@ -344,6 +344,93 @@ fn bench_cached_recrawl(c: &mut Criterion) {
     group.finish();
 }
 
+/// Recrawls against the persistent tier: a cold crawl (empty cache,
+/// every step runs and is appended to disk) vs. a warm in-memory
+/// recrawl (L1 LRU hit) vs. a **disk-warm restart** — a fresh
+/// `SigmaTyper` per iteration, L1 empty, reopening the segment and
+/// serving every cacheable step from L2. Before timing, the restart
+/// contract is checked once: the fresh instance must run zero
+/// cacheable steps.
+fn bench_persistent_recrawl(c: &mut Criterion) {
+    let f = BenchFixture::new();
+    let tables: Vec<Table> = f.corpus.tables.iter().map(|at| at.table.clone()).collect();
+    let dir = std::env::temp_dir().join(format!("sigmatyper-bench-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    let open_typer = || {
+        let source = DurableEpochSource::open(dir.join("epoch")).expect("open epoch file");
+        let cache = TieredStepCache::open(dir.join("cache"), 1 << 16).expect("open disk tier");
+        SigmaTyper::builder(Arc::clone(&f.lab.global))
+            .step_cache(Arc::new(cache))
+            .epoch_source(Arc::new(source))
+            .build()
+    };
+
+    // Populate the segment once, then check the restart contract: a
+    // fresh instance (empty L1) recrawls without running a single
+    // cacheable step.
+    {
+        let typer = open_typer();
+        for table in &tables {
+            let _ = typer.annotate(table);
+        }
+        typer.step_cache().expect("cache").flush().expect("flush");
+    }
+    let fresh = open_typer();
+    let counts = crawl_counts(&fresh, &tables);
+    let runs: usize = counts.iter().filter(|c| c.0 != "header").map(|c| c.1).sum();
+    let hits: usize = counts.iter().map(|c| c.2).sum();
+    assert_eq!(runs, 0, "disk-warm restart must run zero cacheable steps");
+    assert!(hits > 0, "disk-warm restart must hit the persistent tier");
+
+    let mut group = c.benchmark_group("pipeline/persistent_recrawl");
+    group.sample_size(20);
+    group.bench_function("cold_first_crawl", |b| {
+        b.iter(|| {
+            // Clearing truncates the segment to its header: each
+            // iteration pays fingerprinting, execution, and appends.
+            let typer = open_typer();
+            typer.step_cache().expect("cache").clear();
+            for table in &tables {
+                black_box(typer.annotate(black_box(table)));
+            }
+        })
+    });
+    // Rebuild the segment once more (the cold bench left it populated
+    // from its last iteration, but make the state explicit).
+    {
+        let typer = open_typer();
+        for table in &tables {
+            let _ = typer.annotate(table);
+        }
+        typer.step_cache().expect("cache").flush().expect("flush");
+    }
+    let memory_warm = open_typer();
+    for table in &tables {
+        let _ = memory_warm.annotate(table); // promote everything into L1
+    }
+    group.bench_function("memory_warm_recrawl", |b| {
+        b.iter(|| {
+            for table in &tables {
+                black_box(memory_warm.annotate(black_box(table)));
+            }
+        })
+    });
+    group.bench_function("disk_warm_restart", |b| {
+        b.iter(|| {
+            // A fresh "process": reopen the segment (index rescan
+            // included — that is the real restart cost) and recrawl
+            // through L2.
+            let typer = open_typer();
+            for table in &tables {
+                black_box(typer.annotate(black_box(table)));
+            }
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Budgeted requests: unbounded `Strict` vs a deliberately exhausted
 /// `DropTailSteps` budget — the degrade-don't-queue latency floor.
 /// Before timing, the acceptance contract is checked once: a zero
@@ -458,6 +545,7 @@ criterion_group!(
     bench_batch_service,
     bench_parallel_table,
     bench_cached_recrawl,
+    bench_persistent_recrawl,
     bench_budgeted
 );
 criterion_main!(benches);

@@ -28,20 +28,40 @@
 //! The local model and ontology mutate only through
 //! [`SigmaTyper`](crate::system::SigmaTyper) adaptation entry points
 //! (feedback, implicit approval, custom type registration, cascade
-//! surgery), each of which re-draws the customer's epoch from a
-//! process-global monotone counter — and the epoch is hashed into
-//! every fingerprint, so adaptation can never serve a stale score:
-//! old entries simply become unreachable and age out of the LRU.
-//! Because epochs are globally unique (every instance draws one at
-//! build time too), several customer instances can safely pool one
-//! cache: instances with different models never share an epoch, so
-//! their entries never collide. Config changes need no epoch re-draw
-//! because the config fields are hashed into the fingerprint
-//! directly.
+//! surgery), each of which re-draws the customer's epoch — and the
+//! epoch is hashed into every fingerprint, so adaptation can never
+//! serve a stale score: old entries simply become unreachable and age
+//! out of the LRU (or are dropped by disk-tier compaction). Config
+//! changes need no epoch re-draw because the config fields are hashed
+//! into the fingerprint directly.
+//!
+//! Epochs come from one of two sources:
+//!
+//! * **Ephemeral** (the default): a process-global monotone counter
+//!   seeded with process-unique entropy (pid mixed with startup time),
+//!   so epochs are unique both within a process *and* across
+//!   processes with overwhelming probability. Several customer
+//!   instances — even in different processes pooling one external
+//!   cache — never share an epoch, so their entries never collide.
+//! * **Durable**: an [`EpochSource`] such as
+//!   [`DurableEpochSource`](crate::diskcache::DurableEpochSource),
+//!   which persists the customer's epoch in a small write-ahead file.
+//!   A restarted process resumes the *same* epoch (so a persistent
+//!   cache tier stays warm), and an adaptation in any process advances
+//!   the file before the new epoch is used, so every other process
+//!   observing the source stops reaching the stale entries.
+//!
+//! The on-disk tier ([`DiskCache`](crate::diskcache::DiskCache))
+//! additionally tags its segment with an explicit format/fingerprint
+//! version ([`DISK_FORMAT_VERSION`](crate::diskcache::DISK_FORMAT_VERSION)):
+//! the [`StableHasher`] contract is only "stable for one code
+//! version", so a segment written by a different version is discarded
+//! as cold at open instead of being trusted.
 //!
 //! The golden-equivalence suite (`tests/golden_cascade.rs`) proves
 //! cached and uncached annotation bit-identical across fresh, ablated,
-//! and adaptation-heavy customers.
+//! and adaptation-heavy customers; `tests/persistent_cache.rs` extends
+//! the proof across a simulated process restart.
 //!
 //! # Admission
 //!
@@ -72,7 +92,10 @@ use tu_table::{Table, Value};
 /// bytes always produce the same fingerprint within and across runs.
 /// Custom [`StepCache`] backends that persist entries can rely on that
 /// stability for the lifetime of one code version (the hashed field
-/// set may grow in future versions).
+/// set may grow in future versions). That promise is checked, not
+/// assumed: persistent backends stamp their artifacts with
+/// [`DISK_FORMAT_VERSION`](crate::diskcache::DISK_FORMAT_VERSION) and
+/// treat a mismatched segment as cold at open.
 #[derive(Debug, Clone)]
 pub struct StableHasher {
     a: u64,
@@ -88,7 +111,7 @@ const LANE_B_TWEAK: u64 = 0x9e37_79b9_7f4a_7c15;
 /// splitmix64's avalanche finalizer: every input bit affects every
 /// output bit, so truncating or XOR-folding the result stays well
 /// distributed (the sharded cache picks shards from the low bits).
-const fn avalanche(mut x: u64) -> u64 {
+pub(crate) const fn avalanche(mut x: u64) -> u64 {
     x ^= x >> 30;
     x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x ^= x >> 27;
@@ -223,6 +246,14 @@ impl CacheKey {
     pub fn raw(self) -> [u64; 2] {
         self.0
     }
+
+    /// Rebuild a key from its raw 128 bits — the inverse of
+    /// [`raw`](CacheKey::raw), for persistent backends that store keys
+    /// on disk and reconstruct them at open.
+    #[must_use]
+    pub fn from_raw(raw: [u64; 2]) -> Self {
+        CacheKey(raw)
+    }
 }
 
 /// Compute the per-column fingerprints for one annotation run of
@@ -323,6 +354,60 @@ pub trait StepCache: std::fmt::Debug + Send + Sync {
             ..CacheStats::default()
         }
     }
+
+    /// Store the scores for `key`, recording the cache `epoch` they
+    /// were computed under. Persistent backends use the epoch for
+    /// compaction (entries from unreachable epochs can be dropped);
+    /// purely in-memory backends may ignore it — unreachable entries
+    /// age out of a bounded store on their own. Defaults to plain
+    /// [`insert`](StepCache::insert).
+    fn insert_with_epoch(&self, key: CacheKey, scores: StepScores, epoch: u64) {
+        let _ = epoch;
+        self.insert(key, scores);
+    }
+
+    /// Ask the backend to re-bound itself to about `capacity` entries,
+    /// evicting as needed. Returns `true` when the backend applied the
+    /// change; the default (for backends without a meaningful bound)
+    /// ignores the request and returns `false`. Used by the
+    /// [`AnnotationService`](crate::service::AnnotationService)
+    /// adaptive sizing loop.
+    fn resize(&self, capacity: usize) -> bool {
+        let _ = capacity;
+        false
+    }
+
+    /// Flush buffered state to durable storage. In-memory backends
+    /// have nothing to do; persistent ones override this to make prior
+    /// inserts visible to a later (or concurrent) process.
+    fn flush(&self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A source of cache epochs for one customer instance.
+///
+/// The default (no source installed) is an ephemeral process-global
+/// counter: unique epochs, but a restarted process cannot resume its
+/// predecessor's epoch, so a persistent cache tier would come up cold.
+/// A durable source (see
+/// [`DurableEpochSource`](crate::diskcache::DurableEpochSource))
+/// persists the epoch so restarts stay warm and adaptation in one
+/// process invalidates cached entries read by another.
+///
+/// Contract: [`advance`](EpochSource::advance) must make the new epoch
+/// durable *before* returning it (write-ahead), and
+/// [`current`](EpochSource::current) must observe the latest advanced
+/// epoch, including advances performed by other processes sharing the
+/// source's backing store. Adaptation is single-writer per customer
+/// (a `SigmaTyper` mutates through `&mut self`), so concurrent
+/// `advance` calls on one customer's source are out of contract.
+pub trait EpochSource: std::fmt::Debug + Send + Sync {
+    /// The current epoch — the one new fingerprints should hash.
+    fn current(&self) -> u64;
+
+    /// Durably advance to a fresh epoch and return it.
+    fn advance(&self) -> u64;
 }
 
 /// A borrowed cache plus the epoch to fingerprint with — what
@@ -363,19 +448,37 @@ impl CacheStats {
         }
     }
 
-    /// The traffic between `baseline` and `self`: counter deltas
-    /// (saturating, so a cleared backend cannot underflow) with the
-    /// *current* entry count carried over. Snapshot before a batch,
-    /// diff after — per-batch hit/miss/insert/eviction totals without
+    /// The traffic between `baseline` and `self`. **Mixed semantics,
+    /// by design:** the four traffic counters (`hits`, `misses`,
+    /// `inserts`, `evictions`) are deltas — saturating, so a cleared
+    /// backend cannot underflow — while `entries` is **not** a delta:
+    /// it is carried from `self`, i.e. it stays the *current absolute
+    /// occupancy*. A delta of a gauge is rarely meaningful (entries
+    /// fall on eviction and clear), and sizing decisions want the
+    /// absolute count next to the per-batch traffic, so that is what
+    /// this returns. Consumers such as the
+    /// [`AnnotationService`](crate::service::AnnotationService)
+    /// adaptive sizing loop must read `entries` as "occupancy now",
+    /// never as "entries added this batch" (that is `inserts` minus
+    /// replacements).
+    ///
+    /// Snapshot before a batch, diff after — per-batch totals without
     /// scraping per-table `StepTiming` records:
     ///
     /// ```
-    /// use sigmatyper::{CacheStats, ShardedLruCache, StepCache};
+    /// use sigmatyper::{CacheKey, CacheStats, ShardedLruCache, StepCache};
+    /// use sigmatyper::{Candidate, StepScores};
+    /// use tu_ontology::TypeId;
     /// let cache = ShardedLruCache::new(64);
+    /// let scores = StepScores::from_candidates(vec![Candidate { ty: TypeId(1), confidence: 0.9 }]);
+    /// cache.insert(CacheKey::from_raw([1, 2]), scores);
     /// let before = cache.stats();
     /// // ... annotate a batch ...
     /// let batch = cache.stats().since(&before);
-    /// assert_eq!(batch.hits + batch.misses, 0);
+    /// // Traffic counters are per-batch deltas…
+    /// assert_eq!(batch.hits + batch.misses + batch.inserts, 0);
+    /// // …but `entries` is the current absolute occupancy, not a delta.
+    /// assert_eq!(batch.entries, 1);
     /// ```
     #[must_use]
     pub fn since(&self, baseline: &CacheStats) -> CacheStats {
@@ -490,6 +593,33 @@ impl LruShard {
         self.entries.clear();
         self.head = NIL;
         self.tail = NIL;
+    }
+
+    /// Re-bound the shard to `capacity` entries, dropping LRU-first
+    /// when shrinking. Returns how many entries were evicted. The slot
+    /// vector is rebuilt (slots are only reusable at-capacity, so a
+    /// shrink must compact them) preserving recency order.
+    fn set_capacity(&mut self, capacity: usize) -> usize {
+        if capacity == self.capacity {
+            return 0;
+        }
+        // Drain in MRU → LRU order.
+        let mut order: Vec<usize> = Vec::with_capacity(self.entries.len());
+        let mut i = self.head;
+        while i != NIL {
+            order.push(i);
+            i = self.entries[i].next;
+        }
+        let evicted = order.len().saturating_sub(capacity);
+        order.truncate(capacity);
+        let mut fresh = LruShard::new(capacity);
+        // Insert LRU-first so push_front restores the original order.
+        for &slot in order.iter().rev() {
+            let e = &self.entries[slot];
+            fresh.insert(e.key, e.scores.clone());
+        }
+        *self = fresh;
+        evicted
     }
 }
 
@@ -616,6 +746,23 @@ impl StepCache for ShardedLruCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             entries: self.len(),
         }
+    }
+
+    /// Re-bound the cache to about `capacity` total entries (divided
+    /// evenly across shards as in
+    /// [`with_shards`](ShardedLruCache::with_shards)), evicting
+    /// LRU-first where a shard shrinks. Entries dropped this way count
+    /// toward the `evictions` stat.
+    fn resize(&self, capacity: usize) -> bool {
+        let per_shard = capacity.div_ceil(self.shards.len()).max(1);
+        let mut evicted = 0u64;
+        for s in &self.shards {
+            evicted += Self::lock(s).set_capacity(per_shard) as u64;
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        true
     }
 }
 
@@ -777,6 +924,58 @@ mod tests {
         // Shard counts round up to a power of two.
         let cache = ShardedLruCache::with_shards(100, 3);
         assert_eq!(cache.capacity(), 100);
+    }
+
+    #[test]
+    fn resize_shrinks_lru_first_and_grows_in_place() {
+        // One shard to make the recency order fully observable.
+        let cache = ShardedLruCache::with_shards(4, 1);
+        for n in 0..4 {
+            cache.insert(key(n), scores(0.1));
+        }
+        // MRU order is now 0, 3, 2, 1.
+        assert!(cache.get(&key(0)).is_some());
+        assert!(cache.resize(2));
+        assert_eq!(cache.capacity(), 2);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 2);
+        assert!(cache.get(&key(0)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+        assert!(cache.get(&key(2)).is_none());
+        assert!(cache.get(&key(1)).is_none());
+        // Growing keeps every surviving entry and restores headroom.
+        assert!(cache.resize(8));
+        assert_eq!(cache.capacity(), 8);
+        assert_eq!(cache.len(), 2);
+        for n in 10..16 {
+            cache.insert(key(n), scores(0.2));
+        }
+        assert_eq!(cache.len(), 8);
+        // Same-capacity resize is a no-op.
+        assert!(cache.resize(8));
+        assert_eq!(cache.len(), 8);
+    }
+
+    #[test]
+    fn trait_defaults_for_epoch_insert_and_resize() {
+        /// A minimal backend that accepts the trait defaults.
+        #[derive(Debug)]
+        struct NullCache;
+        impl StepCache for NullCache {
+            fn get(&self, _: &CacheKey) -> Option<StepScores> {
+                None
+            }
+            fn insert(&self, _: CacheKey, _: StepScores) {}
+            fn len(&self) -> usize {
+                0
+            }
+            fn clear(&self) {}
+        }
+        let c = NullCache;
+        c.insert_with_epoch(key(1), scores(0.5), 7);
+        assert!(!c.resize(128), "default resize must decline");
+        assert!(c.flush().is_ok());
+        assert_eq!(c.stats().entries, 0);
     }
 
     #[test]

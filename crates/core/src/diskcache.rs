@@ -1,0 +1,942 @@
+//! Persistent on-disk [`StepCache`] tier and durable epoch source.
+//!
+//! The in-memory [`ShardedLruCache`] dies with its process, but the
+//! deployment the paper targets (§4) is a fleet repeatedly crawling
+//! slowly changing warehouses: most of the value of memoization is
+//! *across* crawler restarts, not within one. This module provides the
+//! out-of-process tier:
+//!
+//! * [`DiskCache`] — an append-only segment file of
+//!   `CacheKey → StepScores` records keyed by the cross-run-stable
+//!   128-bit fingerprints of [`crate::cache`]. The segment carries a
+//!   versioned header and a per-record checksum; a torn or corrupt
+//!   tail is truncated at open (cold, never wrong), and a segment
+//!   written by a different [`DISK_FORMAT_VERSION`] is discarded
+//!   entirely.
+//! * [`TieredStepCache`] — the sharded LRU as L1 in front of a
+//!   [`DiskCache`] L2, promoting disk hits into memory.
+//! * [`DurableEpochSource`] — a small write-ahead epoch file backing
+//!   [`EpochSource`]: a restarted [`SigmaTyper`] resumes its
+//!   predecessor's epoch (so the disk tier comes up warm), and an
+//!   adaptation in one process durably advances the epoch *before*
+//!   using it, invalidating the stale entries for every process
+//!   sharing the file.
+//!
+//! # Segment format (version 1)
+//!
+//! ```text
+//! header  := b"SGTC" ‖ version:u32le ‖ reserved:[0u8; 8]      (16 bytes)
+//! record  := payload_len:u32le ‖ payload ‖ checksum:[u8; 16]
+//! payload := key0:u64le ‖ key1:u64le ‖ epoch:u64le ‖ n:u32le
+//!            ‖ n × (ty:u16le ‖ confidence_bits:u64le)
+//! ```
+//!
+//! `checksum` is [`StableHasher::finish128`] over the payload, both
+//! lanes little-endian. Scores round-trip by bit pattern
+//! (`f64::to_bits`/`from_bits`), preserving the golden-equivalence
+//! contract: a disk hit is byte-identical to the insert.
+//!
+//! Records only append; a key overwritten later simply wins in the
+//! in-memory index (rebuilt at open by scanning forward). The
+//! [`compact`](DiskCache::compact) pass rewrites the segment keeping
+//! only entries whose recorded epoch is still reachable, reclaiming
+//! space from superseded keys and adapted-away epochs.
+//!
+//! [`ShardedLruCache`]: crate::cache::ShardedLruCache
+//! [`SigmaTyper`]: crate::system::SigmaTyper
+
+use crate::cache::{CacheKey, CacheStats, EpochSource, ShardedLruCache, StableHasher, StepCache};
+use crate::prediction::{Candidate, StepScores};
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufReader, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use tu_ontology::TypeId;
+
+/// Version tag of the on-disk segment and epoch-file formats, checked
+/// at open. This also pins the [`StableHasher`] field set: the hasher
+/// is only promised stable for one code version, so any release that
+/// changes the hashed fields (or this file layout) must bump the
+/// version, and a mismatched artifact is discarded as cold instead of
+/// being trusted.
+pub const DISK_FORMAT_VERSION: u32 = 1;
+
+const SEGMENT_MAGIC: [u8; 4] = *b"SGTC";
+const EPOCH_MAGIC: [u8; 4] = *b"SGTE";
+/// Segment header: magic ‖ version ‖ 8 reserved bytes.
+const HEADER_LEN: u64 = 16;
+/// Fixed payload prefix: key (16) ‖ epoch (8) ‖ candidate count (4).
+const PAYLOAD_PREFIX: usize = 28;
+/// Bytes per candidate: type id (2) ‖ confidence bits (8).
+const CANDIDATE_LEN: usize = 10;
+/// Sanity bound rejecting absurd record lengths while scanning a
+/// (possibly corrupt) segment.
+const MAX_PAYLOAD: usize = 16 << 20;
+
+/// Epoch recorded by epoch-less [`StepCache::insert`] calls: "written
+/// outside any known epoch". [`DiskCache::compact`] keeps such entries
+/// only when this sentinel is explicitly listed as live.
+pub const UNKNOWN_EPOCH: u64 = u64::MAX;
+
+fn checksum(payload: &[u8]) -> [u8; 16] {
+    let mut h = StableHasher::new();
+    h.write(payload);
+    let [a, b] = h.finish128();
+    let mut out = [0u8; 16];
+    out[..8].copy_from_slice(&a.to_le_bytes());
+    out[8..].copy_from_slice(&b.to_le_bytes());
+    out
+}
+
+fn encode_payload(key: CacheKey, epoch: u64, scores: &StepScores) -> Vec<u8> {
+    let raw = key.raw();
+    let mut buf = Vec::with_capacity(PAYLOAD_PREFIX + CANDIDATE_LEN * scores.candidates.len());
+    buf.extend_from_slice(&raw[0].to_le_bytes());
+    buf.extend_from_slice(&raw[1].to_le_bytes());
+    buf.extend_from_slice(&epoch.to_le_bytes());
+    buf.extend_from_slice(&(scores.candidates.len() as u32).to_le_bytes());
+    for c in &scores.candidates {
+        buf.extend_from_slice(&c.ty.0.to_le_bytes());
+        buf.extend_from_slice(&c.confidence.to_bits().to_le_bytes());
+    }
+    buf
+}
+
+/// Decode a verified payload. Scores are rebuilt field-by-field (not
+/// re-normalized through `from_candidates`) so the round-trip is
+/// bit-identical to the inserted value.
+fn decode_payload(payload: &[u8]) -> Option<(CacheKey, u64, StepScores)> {
+    if payload.len() < PAYLOAD_PREFIX {
+        return None;
+    }
+    let key0 = u64::from_le_bytes(payload[0..8].try_into().ok()?);
+    let key1 = u64::from_le_bytes(payload[8..16].try_into().ok()?);
+    let epoch = u64::from_le_bytes(payload[16..24].try_into().ok()?);
+    let n = u32::from_le_bytes(payload[24..28].try_into().ok()?) as usize;
+    if payload.len() != PAYLOAD_PREFIX + CANDIDATE_LEN * n {
+        return None;
+    }
+    let mut candidates = Vec::with_capacity(n);
+    for i in 0..n {
+        let at = PAYLOAD_PREFIX + CANDIDATE_LEN * i;
+        let ty = u16::from_le_bytes(payload[at..at + 2].try_into().ok()?);
+        let bits = u64::from_le_bytes(payload[at + 2..at + 10].try_into().ok()?);
+        candidates.push(Candidate {
+            ty: TypeId(ty),
+            confidence: f64::from_bits(bits),
+        });
+    }
+    Some((
+        CacheKey::from_raw([key0, key1]),
+        epoch,
+        StepScores { candidates },
+    ))
+}
+
+fn write_header(file: &mut File) -> io::Result<()> {
+    let mut header = [0u8; HEADER_LEN as usize];
+    header[..4].copy_from_slice(&SEGMENT_MAGIC);
+    header[4..8].copy_from_slice(&DISK_FORMAT_VERSION.to_le_bytes());
+    file.write_all(&header)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct IndexEntry {
+    /// Offset of the record's `payload_len` field in the segment.
+    offset: u64,
+    payload_len: u32,
+    epoch: u64,
+}
+
+impl IndexEntry {
+    fn total_len(self) -> u64 {
+        4 + u64::from(self.payload_len) + 16
+    }
+}
+
+#[derive(Debug)]
+struct DiskInner {
+    file: File,
+    index: HashMap<CacheKey, IndexEntry>,
+    /// Append position: one past the last verified record.
+    tail: u64,
+}
+
+/// Scan an open segment, rebuilding the key index. Returns the index
+/// plus the verified tail; a tail of 0 means "header invalid — start
+/// the segment over". Scanning stops at the first torn or corrupt
+/// record: everything before it is trusted (checksummed), everything
+/// after is unreachable anyway since offsets only grow.
+fn scan_segment(file: &mut File) -> io::Result<(HashMap<CacheKey, IndexEntry>, u64)> {
+    let len = file.metadata()?.len();
+    if len < HEADER_LEN {
+        return Ok((HashMap::new(), 0));
+    }
+    file.seek(SeekFrom::Start(0))?;
+    let mut reader = BufReader::new(&mut *file);
+    let mut header = [0u8; HEADER_LEN as usize];
+    reader.read_exact(&mut header)?;
+    if header[..4] != SEGMENT_MAGIC || header[4..8] != DISK_FORMAT_VERSION.to_le_bytes() {
+        return Ok((HashMap::new(), 0));
+    }
+    let mut index = HashMap::new();
+    let mut offset = HEADER_LEN;
+    while offset < len {
+        let mut len4 = [0u8; 4];
+        if reader.read_exact(&mut len4).is_err() {
+            break;
+        }
+        let payload_len = u32::from_le_bytes(len4) as usize;
+        let entry = IndexEntry {
+            offset,
+            payload_len: payload_len as u32,
+            epoch: 0,
+        };
+        if !(PAYLOAD_PREFIX..=MAX_PAYLOAD).contains(&payload_len)
+            || offset + entry.total_len() > len
+        {
+            break;
+        }
+        let mut payload = vec![0u8; payload_len];
+        let mut sum = [0u8; 16];
+        if reader.read_exact(&mut payload).is_err() || reader.read_exact(&mut sum).is_err() {
+            break;
+        }
+        if sum != checksum(&payload) {
+            break;
+        }
+        let Some((key, epoch, _)) = decode_payload(&payload) else {
+            break;
+        };
+        index.insert(key, IndexEntry { epoch, ..entry });
+        offset += entry.total_len();
+    }
+    Ok((index, offset))
+}
+
+/// Read and verify one record's scores at a known index entry.
+fn read_record(file: &mut File, entry: IndexEntry) -> Option<(CacheKey, u64, StepScores)> {
+    file.seek(SeekFrom::Start(entry.offset + 4)).ok()?;
+    let mut payload = vec![0u8; entry.payload_len as usize];
+    file.read_exact(&mut payload).ok()?;
+    let mut sum = [0u8; 16];
+    file.read_exact(&mut sum).ok()?;
+    if sum != checksum(&payload) {
+        return None;
+    }
+    decode_payload(&payload)
+}
+
+/// An append-only persistent [`StepCache`] backend (see the module
+/// docs for the segment format and correctness argument).
+///
+/// All file I/O happens under one mutex — the intended deployment puts
+/// a [`ShardedLruCache`] in front (see [`TieredStepCache`]) so the
+/// disk is only touched on L1 misses. Reads verify the per-record
+/// checksum; any I/O error or corruption is reported as a miss, never
+/// as data.
+///
+/// ```no_run
+/// use sigmatyper::diskcache::DiskCache;
+/// use sigmatyper::StepCache;
+/// let cache = DiskCache::open("/var/cache/sigmatyper/customer-7").unwrap();
+/// assert!(cache.is_empty());
+/// cache.flush().unwrap();
+/// ```
+#[derive(Debug)]
+pub struct DiskCache {
+    path: PathBuf,
+    inner: Mutex<DiskInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    /// Entries dropped by compaction (the disk tier never evicts
+    /// otherwise).
+    dropped: AtomicU64,
+}
+
+impl DiskCache {
+    /// Open (or create) the segment under directory `dir`, scanning it
+    /// to rebuild the key index. A segment with a missing, foreign, or
+    /// version-mismatched header is restarted empty; a torn tail is
+    /// truncated at the last verified record.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<DiskCache> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let path = dir.join("cache.seg");
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let (index, tail) = scan_segment(&mut file)?;
+        let (index, tail) = if tail == 0 {
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            write_header(&mut file)?;
+            (HashMap::new(), HEADER_LEN)
+        } else {
+            // Drop torn bytes so the next append starts clean.
+            file.set_len(tail)?;
+            (index, tail)
+        };
+        Ok(DiskCache {
+            path,
+            inner: Mutex::new(DiskInner { file, index, tail }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// Path of the backing segment file.
+    #[must_use]
+    pub fn segment_path(&self) -> &Path {
+        &self.path
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, DiskInner> {
+        // Like the LRU shards: plain data, so a poisoned lock at worst
+        // loses entries, never integrity (reads re-verify checksums).
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Rewrite the segment keeping only entries whose recorded epoch
+    /// appears in `live_epochs`, dropping superseded duplicates and
+    /// adapted-away epochs. Returns how many index entries were
+    /// dropped. The rewrite goes through a temp file and an atomic
+    /// rename, so a crash mid-compaction leaves either the old or the
+    /// new segment intact.
+    ///
+    /// Entries written through epoch-less [`StepCache::insert`] carry
+    /// [`UNKNOWN_EPOCH`]; list it in `live_epochs` to keep them.
+    pub fn compact(&self, live_epochs: &[u64]) -> io::Result<usize> {
+        let mut inner = self.lock();
+        let mut entries: Vec<(CacheKey, IndexEntry)> =
+            inner.index.iter().map(|(k, e)| (*k, *e)).collect();
+        // Preserve append order so "latest wins" stays true on rescan.
+        entries.sort_by_key(|(_, e)| e.offset);
+        let tmp_path = self.path.with_extension("seg.tmp");
+        let mut tmp = File::create(&tmp_path)?;
+        write_header(&mut tmp)?;
+        let mut index = HashMap::new();
+        let mut tail = HEADER_LEN;
+        let mut dropped = 0usize;
+        for (key, entry) in entries {
+            if !live_epochs.contains(&entry.epoch) {
+                dropped += 1;
+                continue;
+            }
+            inner.file.seek(SeekFrom::Start(entry.offset))?;
+            let mut rec = vec![0u8; entry.total_len() as usize];
+            inner.file.read_exact(&mut rec)?;
+            let payload = &rec[4..4 + entry.payload_len as usize];
+            if rec[4 + entry.payload_len as usize..] != checksum(payload) {
+                dropped += 1;
+                continue;
+            }
+            tmp.write_all(&rec)?;
+            index.insert(
+                key,
+                IndexEntry {
+                    offset: tail,
+                    ..entry
+                },
+            );
+            tail += entry.total_len();
+        }
+        tmp.sync_data()?;
+        fs::rename(&tmp_path, &self.path)?;
+        inner.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        inner.index = index;
+        inner.tail = tail;
+        self.dropped.fetch_add(dropped as u64, Ordering::Relaxed);
+        Ok(dropped)
+    }
+}
+
+impl StepCache for DiskCache {
+    fn get(&self, key: &CacheKey) -> Option<StepScores> {
+        let mut inner = self.lock();
+        let found = inner
+            .index
+            .get(key)
+            .copied()
+            .and_then(|entry| read_record(&mut inner.file, entry))
+            .and_then(|(k, _, scores)| (k == *key).then_some(scores));
+        drop(inner);
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn insert(&self, key: CacheKey, scores: StepScores) {
+        self.insert_with_epoch(key, scores, UNKNOWN_EPOCH);
+    }
+
+    fn insert_with_epoch(&self, key: CacheKey, scores: StepScores, epoch: u64) {
+        let payload = encode_payload(key, epoch, &scores);
+        if payload.len() > MAX_PAYLOAD {
+            return;
+        }
+        let mut rec = Vec::with_capacity(4 + payload.len() + 16);
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&payload);
+        rec.extend_from_slice(&checksum(&payload));
+        let mut inner = self.lock();
+        let offset = inner.tail;
+        let mut ok = inner.file.seek(SeekFrom::Start(offset)).is_ok();
+        if ok {
+            ok = inner.file.write_all(&rec).is_ok();
+        }
+        if ok {
+            inner.index.insert(
+                key,
+                IndexEntry {
+                    offset,
+                    payload_len: payload.len() as u32,
+                    epoch,
+                },
+            );
+            inner.tail = offset + rec.len() as u64;
+            drop(inner);
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+        }
+        // A failed append leaves `tail` unchanged: the next insert
+        // overwrites the torn bytes, and a reopen-time scan truncates
+        // them — cold, never wrong.
+    }
+
+    fn len(&self) -> usize {
+        self.lock().index.len()
+    }
+
+    fn clear(&self) {
+        let mut inner = self.lock();
+        inner.index.clear();
+        // Best-effort truncate; on failure the orphaned records are
+        // unreachable in this process and rescanned only after reopen.
+        if inner.file.set_len(HEADER_LEN).is_ok() {
+            inner.tail = HEADER_LEN;
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.dropped.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        self.lock().file.sync_data()
+    }
+}
+
+/// A two-level [`StepCache`]: a [`ShardedLruCache`] L1 serving the hot
+/// working set from memory, backed by a [`DiskCache`] L2 that survives
+/// the process. Disk hits are promoted into L1; inserts write through
+/// to both tiers.
+///
+/// [`stats`](StepCache::stats) reports the combined view: `hits` from
+/// either tier, `misses` only where both tiers missed, `inserts` and
+/// `entries` from the authoritative L2, `evictions` from the bounded
+/// L1. Per-tier counters remain available through
+/// [`l1`](TieredStepCache::l1)/[`l2`](TieredStepCache::l2).
+#[derive(Debug)]
+pub struct TieredStepCache {
+    l1: ShardedLruCache,
+    l2: DiskCache,
+}
+
+impl TieredStepCache {
+    /// Tier an in-memory LRU of `l1_capacity` entries in front of an
+    /// open [`DiskCache`].
+    #[must_use]
+    pub fn new(l1_capacity: usize, l2: DiskCache) -> Self {
+        TieredStepCache {
+            l1: ShardedLruCache::new(l1_capacity),
+            l2,
+        }
+    }
+
+    /// Open (or create) the disk tier under `dir` with an L1 of
+    /// `l1_capacity` entries.
+    pub fn open(dir: impl AsRef<Path>, l1_capacity: usize) -> io::Result<Self> {
+        DiskCache::open(dir).map(|l2| TieredStepCache::new(l1_capacity, l2))
+    }
+
+    /// The in-memory tier.
+    #[must_use]
+    pub fn l1(&self) -> &ShardedLruCache {
+        &self.l1
+    }
+
+    /// The persistent tier.
+    #[must_use]
+    pub fn l2(&self) -> &DiskCache {
+        &self.l2
+    }
+
+    /// Compact the disk tier (see [`DiskCache::compact`]). The L1 is
+    /// untouched — its stale entries are unreachable by fingerprint
+    /// and age out on their own.
+    pub fn compact(&self, live_epochs: &[u64]) -> io::Result<usize> {
+        self.l2.compact(live_epochs)
+    }
+}
+
+impl StepCache for TieredStepCache {
+    fn get(&self, key: &CacheKey) -> Option<StepScores> {
+        if let Some(scores) = self.l1.get(key) {
+            return Some(scores);
+        }
+        let scores = self.l2.get(key)?;
+        self.l1.insert(*key, scores.clone());
+        Some(scores)
+    }
+
+    fn insert(&self, key: CacheKey, scores: StepScores) {
+        self.l1.insert(key, scores.clone());
+        self.l2.insert(key, scores);
+    }
+
+    fn insert_with_epoch(&self, key: CacheKey, scores: StepScores, epoch: u64) {
+        self.l1.insert(key, scores.clone());
+        self.l2.insert_with_epoch(key, scores, epoch);
+    }
+
+    fn len(&self) -> usize {
+        self.l2.len()
+    }
+
+    fn clear(&self) {
+        self.l1.clear();
+        self.l2.clear();
+    }
+
+    fn stats(&self) -> CacheStats {
+        let l1 = self.l1.stats();
+        let l2 = self.l2.stats();
+        CacheStats {
+            hits: l1.hits + l2.hits,
+            misses: l2.misses,
+            inserts: l2.inserts,
+            evictions: l1.evictions,
+            entries: l2.entries,
+        }
+    }
+
+    fn resize(&self, capacity: usize) -> bool {
+        self.l1.resize(capacity)
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        self.l2.flush()
+    }
+}
+
+fn read_epoch_file(path: &Path) -> Option<u64> {
+    let bytes = fs::read(path).ok()?;
+    if bytes.len() != 32
+        || bytes[..4] != EPOCH_MAGIC
+        || bytes[4..8] != DISK_FORMAT_VERSION.to_le_bytes()
+        || bytes[16..32] != checksum(&bytes[..16])
+    {
+        return None;
+    }
+    Some(u64::from_le_bytes(bytes[8..16].try_into().ok()?))
+}
+
+fn write_epoch_file(path: &Path, epoch: u64) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(32);
+    buf.extend_from_slice(&EPOCH_MAGIC);
+    buf.extend_from_slice(&DISK_FORMAT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&epoch.to_le_bytes());
+    let sum = checksum(&buf);
+    buf.extend_from_slice(&sum);
+    let tmp = path.with_extension("tmp");
+    let mut file = File::create(&tmp)?;
+    file.write_all(&buf)?;
+    file.sync_data()?;
+    fs::rename(&tmp, path)
+}
+
+/// A durable per-customer [`EpochSource`] backed by a 32-byte
+/// write-ahead file (magic ‖ version ‖ epoch ‖ checksum).
+///
+/// * A fresh file seeds the epoch from process-unique entropy and
+///   persists it before first use, so two customers pointed at
+///   different files (or the same customer racing its own first
+///   start) never collide with an in-memory counter epoch.
+/// * [`current`](EpochSource::current) re-reads the file on every
+///   call: an advance performed by *another process* sharing the file
+///   is observed at the next annotation, invalidating that process's
+///   view of the shared cache. The file is one sector, so this is one
+///   cheap read compared to a cascade run.
+/// * [`advance`](EpochSource::advance) persists the new epoch
+///   (temp-file + fsync + atomic rename) *before* returning it —
+///   write-ahead, so no process can cache under an epoch that a crash
+///   would resurrect.
+///
+/// A corrupt or unreadable file degrades safely: `current` falls back
+/// to the last known value, and a corrupt file at open reseeds from
+/// entropy (cold cache, never a stale hit).
+#[derive(Debug)]
+pub struct DurableEpochSource {
+    path: PathBuf,
+    last: AtomicU64,
+}
+
+impl DurableEpochSource {
+    /// Open (or create) the epoch file at `path`. An existing valid
+    /// file resumes its stored epoch — the point of durability: a
+    /// restarted process keeps reaching its predecessor's cached
+    /// entries. A missing or corrupt file seeds a fresh entropy epoch
+    /// and persists it before returning.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<Self> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let epoch = match read_epoch_file(&path) {
+            Some(stored) => stored,
+            None => {
+                let seed = crate::system::entropy_epoch_seed();
+                write_epoch_file(&path, seed)?;
+                seed
+            }
+        };
+        Ok(DurableEpochSource {
+            path,
+            last: AtomicU64::new(epoch),
+        })
+    }
+
+    /// Path of the backing epoch file.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl EpochSource for DurableEpochSource {
+    fn current(&self) -> u64 {
+        match read_epoch_file(&self.path) {
+            Some(stored) => {
+                self.last.store(stored, Ordering::Relaxed);
+                stored
+            }
+            None => self.last.load(Ordering::Relaxed),
+        }
+    }
+
+    fn advance(&self) -> u64 {
+        let next = self.current().wrapping_add(1);
+        // Write-ahead: durable before use. If the write fails the
+        // advance still happens in memory, so local invalidation is
+        // never lost — only cross-process visibility degrades.
+        let _ = write_epoch_file(&self.path, next);
+        self.last.store(next, Ordering::Relaxed);
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{SystemTime, UNIX_EPOCH};
+
+    fn scores(conf: f64, n: usize) -> StepScores {
+        StepScores {
+            candidates: (0..n)
+                .map(|i| Candidate {
+                    ty: TypeId(i as u16),
+                    confidence: conf / (i + 1) as f64,
+                })
+                .collect(),
+        }
+    }
+
+    fn key(n: u64) -> CacheKey {
+        CacheKey::from_raw([
+            crate::cache::avalanche(n),
+            crate::cache::avalanche(n ^ 0x5bd1_e995),
+        ])
+    }
+
+    /// A fresh per-test scratch directory (no tempfile crate in the
+    /// workspace); removed by `Scratch::drop`.
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Scratch {
+            let nanos = SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map_or(0, |d| d.as_nanos());
+            let dir = std::env::temp_dir().join(format!(
+                "sigmatyper-diskcache-{tag}-{}-{nanos}",
+                std::process::id()
+            ));
+            fs::create_dir_all(&dir).unwrap();
+            Scratch(dir)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_bit_identical_and_survives_reopen() {
+        let dir = Scratch::new("roundtrip");
+        let written = scores(0.875, 3);
+        {
+            let cache = DiskCache::open(dir.path()).unwrap();
+            assert!(cache.is_empty());
+            assert_eq!(cache.get(&key(1)), None);
+            cache.insert_with_epoch(key(1), written.clone(), 42);
+            cache.insert_with_epoch(key(2), scores(0.5, 0), 42);
+            assert_eq!(cache.len(), 2);
+            assert_eq!(cache.get(&key(1)).unwrap(), written);
+            cache.flush().unwrap();
+            let s = cache.stats();
+            assert_eq!((s.hits, s.misses, s.inserts, s.entries), (1, 1, 2, 2));
+        }
+        // A fresh handle (simulated restart) rescans the segment.
+        let cache = DiskCache::open(dir.path()).unwrap();
+        assert_eq!(cache.len(), 2);
+        let read_back = cache.get(&key(1)).unwrap();
+        assert_eq!(read_back, written);
+        for (a, b) in read_back.candidates.iter().zip(&written.candidates) {
+            assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
+        }
+        assert_eq!(cache.get(&key(2)).unwrap().candidates.len(), 0);
+    }
+
+    #[test]
+    fn latest_insert_wins_within_and_across_opens() {
+        let dir = Scratch::new("latest");
+        {
+            let cache = DiskCache::open(dir.path()).unwrap();
+            cache.insert_with_epoch(key(1), scores(0.25, 1), 7);
+            cache.insert_with_epoch(key(1), scores(0.75, 1), 7);
+            assert_eq!(cache.len(), 1);
+            assert_eq!(cache.get(&key(1)).unwrap(), scores(0.75, 1));
+        }
+        let cache = DiskCache::open(dir.path()).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&key(1)).unwrap(), scores(0.75, 1));
+    }
+
+    #[test]
+    fn truncated_tail_is_cold_never_garbage() {
+        let dir = Scratch::new("torn");
+        let seg = {
+            let cache = DiskCache::open(dir.path()).unwrap();
+            for n in 0..4 {
+                cache.insert_with_epoch(key(n), scores(0.5, 2), 1);
+            }
+            cache.flush().unwrap();
+            cache.segment_path().to_path_buf()
+        };
+        let full = fs::metadata(&seg).unwrap().len();
+        // Chop the file at every byte boundary of the last record and
+        // a few interior points: reopen must never panic, and every
+        // surviving hit must verify.
+        for cut in [full - 1, full - 10, full - 30, HEADER_LEN + 3, 5, 0] {
+            let f = OpenOptions::new().write(true).open(&seg).unwrap();
+            f.set_len(cut).unwrap();
+            drop(f);
+            let cache = DiskCache::open(dir.path()).unwrap();
+            assert!(cache.len() <= 4);
+            for n in 0..4 {
+                if let Some(s) = cache.get(&key(n)) {
+                    assert_eq!(s, scores(0.5, 2), "a surviving entry must be exact");
+                }
+            }
+        }
+        // Fully truncated: reopened empty and writable again.
+        let cache = DiskCache::open(dir.path()).unwrap();
+        assert!(cache.is_empty());
+        cache.insert_with_epoch(key(9), scores(0.9, 1), 2);
+        assert_eq!(cache.get(&key(9)).unwrap(), scores(0.9, 1));
+    }
+
+    #[test]
+    fn corrupt_interior_byte_invalidates_reachable_suffix_only() {
+        let dir = Scratch::new("flip");
+        let seg = {
+            let cache = DiskCache::open(dir.path()).unwrap();
+            for n in 0..3 {
+                cache.insert_with_epoch(key(n), scores(0.5, 1), 1);
+            }
+            cache.flush().unwrap();
+            cache.segment_path().to_path_buf()
+        };
+        // Flip one payload byte in the middle record.
+        let mut bytes = fs::read(&seg).unwrap();
+        let record_len = 4 + PAYLOAD_PREFIX + CANDIDATE_LEN + 16;
+        let target = HEADER_LEN as usize + record_len + 8;
+        bytes[target] ^= 0xFF;
+        fs::write(&seg, &bytes).unwrap();
+        let cache = DiskCache::open(dir.path()).unwrap();
+        // Record 0 still verifies; 1 and 2 are behind the corruption.
+        assert_eq!(cache.get(&key(0)).unwrap(), scores(0.5, 1));
+        assert_eq!(cache.get(&key(1)), None);
+        assert_eq!(cache.get(&key(2)), None);
+    }
+
+    #[test]
+    fn version_or_magic_mismatch_restarts_segment() {
+        let dir = Scratch::new("version");
+        let seg = {
+            let cache = DiskCache::open(dir.path()).unwrap();
+            cache.insert_with_epoch(key(1), scores(0.5, 1), 1);
+            cache.flush().unwrap();
+            cache.segment_path().to_path_buf()
+        };
+        for patch in [4usize, 0] {
+            let mut bytes = fs::read(&seg).unwrap();
+            bytes[patch] = bytes[patch].wrapping_add(1);
+            fs::write(&seg, &bytes).unwrap();
+            let cache = DiskCache::open(dir.path()).unwrap();
+            assert!(cache.is_empty(), "foreign segment must come up cold");
+            // …and the segment was rewritten valid.
+            cache.insert_with_epoch(key(1), scores(0.5, 1), 1);
+            cache.flush().unwrap();
+        }
+    }
+
+    #[test]
+    fn compaction_drops_unreachable_epochs_and_duplicates() {
+        let dir = Scratch::new("compact");
+        let cache = DiskCache::open(dir.path()).unwrap();
+        cache.insert_with_epoch(key(1), scores(0.1, 1), 1);
+        cache.insert_with_epoch(key(2), scores(0.2, 1), 1);
+        // Adaptation: epoch 2 supersedes key(1)'s column.
+        cache.insert_with_epoch(key(3), scores(0.3, 1), 2);
+        cache.insert(key(4), scores(0.4, 1)); // UNKNOWN_EPOCH
+        let before = fs::metadata(cache.segment_path()).unwrap().len();
+        let dropped = cache.compact(&[2]).unwrap();
+        assert_eq!(dropped, 3);
+        assert_eq!(cache.len(), 1);
+        assert!(fs::metadata(cache.segment_path()).unwrap().len() < before);
+        assert_eq!(cache.get(&key(3)).unwrap(), scores(0.3, 1));
+        assert_eq!(cache.get(&key(1)), None);
+        assert_eq!(cache.stats().evictions, 3);
+        // The compacted segment is append-consistent: more inserts and
+        // a reopen both work.
+        cache.insert_with_epoch(key(5), scores(0.5, 1), 2);
+        cache.flush().unwrap();
+        drop(cache);
+        let cache = DiskCache::open(dir.path()).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&key(5)).unwrap(), scores(0.5, 1));
+        // Keeping UNKNOWN_EPOCH explicitly retains epoch-less entries.
+        cache.insert(key(6), scores(0.6, 1));
+        assert_eq!(cache.compact(&[2, UNKNOWN_EPOCH]).unwrap(), 0);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn clear_empties_disk_and_reopen_sees_nothing() {
+        let dir = Scratch::new("clear");
+        let cache = DiskCache::open(dir.path()).unwrap();
+        cache.insert_with_epoch(key(1), scores(0.5, 1), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&key(1)), None);
+        cache.insert_with_epoch(key(2), scores(0.5, 1), 1);
+        cache.flush().unwrap();
+        drop(cache);
+        let cache = DiskCache::open(dir.path()).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&key(1)).is_none());
+        assert!(cache.get(&key(2)).is_some());
+    }
+
+    #[test]
+    fn tiered_cache_promotes_and_reports_combined_stats() {
+        let dir = Scratch::new("tiered");
+        let tiered = TieredStepCache::open(dir.path(), 64).unwrap();
+        tiered.insert_with_epoch(key(1), scores(0.5, 1), 1);
+        // L1 hit.
+        assert!(tiered.get(&key(1)).is_some());
+        assert_eq!(tiered.l1().stats().hits, 1);
+        assert_eq!(tiered.l2().stats().hits, 0);
+        // Simulate a restart: L1 cold, L2 warm, hit promotes.
+        let tiered = TieredStepCache::open(dir.path(), 64).unwrap();
+        assert_eq!(tiered.len(), 1);
+        assert!(tiered.get(&key(1)).is_some(), "disk hit");
+        assert_eq!(tiered.l2().stats().hits, 1);
+        assert!(tiered.get(&key(1)).is_some(), "promoted into L1");
+        assert_eq!(tiered.l2().stats().hits, 1, "second hit served by L1");
+        let s = tiered.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 0);
+        assert_eq!(s.entries, 1);
+        // A total miss counts once.
+        assert!(tiered.get(&key(9)).is_none());
+        assert_eq!(tiered.stats().misses, 1);
+        // Resize reaches the L1; flush reaches the L2.
+        assert!(tiered.resize(8));
+        tiered.flush().unwrap();
+        tiered.clear();
+        assert!(tiered.is_empty());
+    }
+
+    #[test]
+    fn durable_epoch_source_resumes_advances_and_survives_corruption() {
+        let dir = Scratch::new("epoch");
+        let path = dir.path().join("epoch");
+        let first = DurableEpochSource::open(&path).unwrap();
+        let e0 = first.current();
+        // Resuming reads the same epoch back (durable across restart).
+        let resumed = DurableEpochSource::open(&path).unwrap();
+        assert_eq!(resumed.current(), e0);
+        // Advance is write-ahead: a third handle sees it immediately.
+        let e1 = resumed.advance();
+        assert_eq!(e1, e0.wrapping_add(1));
+        assert_eq!(first.current(), e1, "cross-handle visibility");
+        assert_eq!(DurableEpochSource::open(&path).unwrap().current(), e1);
+        // Corrupt file ⇒ reopen reseeds fresh instead of trusting it.
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[20] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let reseeded = DurableEpochSource::open(&path).unwrap();
+        assert_ne!(reseeded.current(), e1);
+        // A live handle with a corrupt file falls back to last known.
+        let held = DurableEpochSource::open(&path).unwrap();
+        let known = held.current();
+        fs::write(&path, b"junk").unwrap();
+        assert_eq!(held.current(), known);
+    }
+
+    #[test]
+    fn distinct_paths_seed_distinct_epochs() {
+        let dir = Scratch::new("seeds");
+        let a = DurableEpochSource::open(dir.path().join("a")).unwrap();
+        let b = DurableEpochSource::open(dir.path().join("b")).unwrap();
+        assert_ne!(a.current(), b.current());
+    }
+}

@@ -391,8 +391,14 @@ impl CascadeExecutor {
             if let Some(cc) = step_cache {
                 for (&ci, scores) in frontier.iter().zip(&results) {
                     if let Some(fp) = states[ci].fingerprint {
-                        cc.cache
-                            .insert(CacheKey::for_step(fp, step.id()), scores.clone());
+                        // Epoch-tagged insert: persistent backends
+                        // record which epoch produced the entry so
+                        // compaction can drop adapted-away epochs.
+                        cc.cache.insert_with_epoch(
+                            CacheKey::for_step(fp, step.id()),
+                            scores.clone(),
+                            cc.epoch,
+                        );
                         inserts += 1;
                     }
                 }

@@ -53,6 +53,7 @@ pub mod cache;
 pub mod cascade;
 pub mod config;
 pub mod cost;
+pub mod diskcache;
 pub mod embedstep;
 pub mod executor;
 pub mod global;
@@ -67,12 +68,15 @@ pub mod step;
 pub mod system;
 
 pub use cache::{
-    column_fingerprints, CacheContext, CacheKey, CacheStats, ColumnFingerprint, ShardedLruCache,
-    StableHasher, StepCache,
+    column_fingerprints, CacheContext, CacheKey, CacheStats, ColumnFingerprint, EpochSource,
+    ShardedLruCache, StableHasher, StepCache,
 };
 pub use cascade::Cascade;
 pub use config::{SigmaTyperConfig, TrainingConfig};
 pub use cost::{CostModel, StepCostEstimate};
+pub use diskcache::{
+    DiskCache, DurableEpochSource, TieredStepCache, DISK_FORMAT_VERSION, UNKNOWN_EPOCH,
+};
 pub use embedstep::{train_embedding_model, TableEmbeddingModel};
 pub use executor::{forced_column_parallelism, BudgetedTrace, CascadeExecutor, ParallelismPolicy};
 pub use global::{train_global, GlobalModel};
@@ -90,7 +94,7 @@ pub use request::{
 };
 #[allow(deprecated)]
 pub use service::annotate_batch_with;
-pub use service::AnnotationService;
+pub use service::{AdaptiveSizer, AdaptiveSizingConfig, AnnotationService};
 pub use step::{
     AnnotationStep, ColumnState, EmbeddingStep, HeaderStep, LookupStep, RegexOnlyStep, StepContext,
     TableSetup,

@@ -197,17 +197,42 @@ impl RequestOptions {
     }
 }
 
+/// Parse a `SIGMATYPER_STEP_BUDGET_NANOS` value. An unparseable value
+/// is **loud**, not silent: a typo'd CI env var that quietly disabled
+/// the forced-budget leg would make that leg vacuously green. Returns
+/// `None` after one stderr warning (and, in debug builds, a
+/// `debug_assert` failure) so release binaries still start with the
+/// variable ignored rather than crashing serving.
+fn parse_step_budget(raw: &str) -> Option<u64> {
+    match raw.trim().parse::<u64>() {
+        Ok(nanos) => Some(nanos),
+        Err(err) => {
+            eprintln!(
+                "sigmatyper: ignoring unparseable SIGMATYPER_STEP_BUDGET_NANOS={raw:?}: {err} \
+                 (expected a nanosecond count, e.g. 2000000)"
+            );
+            debug_assert!(
+                false,
+                "unparseable SIGMATYPER_STEP_BUDGET_NANOS={raw:?}: {err}"
+            );
+            None
+        }
+    }
+}
+
 /// The forced budget from `SIGMATYPER_STEP_BUDGET_NANOS`, if the
 /// variable is set to a parseable nanosecond count (probed once per
 /// process, like
 /// [`forced_column_parallelism`](crate::executor::forced_column_parallelism)).
+/// A set-but-unparseable value is ignored loudly: one stderr warning,
+/// plus a `debug_assert` so debug test runs fail fast.
 #[must_use]
 pub fn forced_step_budget_nanos() -> Option<u64> {
     static FORCED: OnceLock<Option<u64>> = OnceLock::new();
     *FORCED.get_or_init(|| {
         std::env::var("SIGMATYPER_STEP_BUDGET_NANOS")
             .ok()
-            .and_then(|v| v.trim().parse::<u64>().ok())
+            .and_then(|v| parse_step_budget(&v))
     })
 }
 
@@ -505,6 +530,30 @@ pub struct BudgetContext<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn step_budget_parses_valid_and_trimmed_values() {
+        assert_eq!(parse_step_budget("2000000"), Some(2_000_000));
+        assert_eq!(parse_step_budget("  1 \n"), Some(1));
+        assert_eq!(parse_step_budget("0"), Some(0));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "unparseable SIGMATYPER_STEP_BUDGET_NANOS")]
+    fn unparseable_step_budget_is_loud_in_debug() {
+        let _ = parse_step_budget("2ms");
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn unparseable_step_budget_is_ignored_in_release() {
+        // Release builds warn on stderr and ignore the value instead
+        // of taking serving down.
+        assert_eq!(parse_step_budget("2ms"), None);
+        assert_eq!(parse_step_budget(""), None);
+        assert_eq!(parse_step_budget("-5"), None);
+    }
 
     #[test]
     fn default_options_are_strict_and_unbounded() {

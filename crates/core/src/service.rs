@@ -39,8 +39,155 @@ use crate::prediction::TableAnnotation;
 use crate::request::{AnnotationOutcome, BudgetLedger, RequestOptions};
 use crate::system::SigmaTyper;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use tu_table::Table;
+
+/// Tuning knobs of the [`AnnotationService`] adaptive sizing loop (see
+/// [`AnnotationService::with_adaptive_sizing`]). The defaults are
+/// deliberately conservative: act only on real per-batch traffic, grow
+/// under thrash, shrink only with a wide safety margin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveSizingConfig {
+    /// L1 capacity floor — shrinking never goes below this.
+    pub min_capacity: usize,
+    /// L1 capacity ceiling — growing never goes above this.
+    pub max_capacity: usize,
+    /// Grow (double) the capacity when a batch's hit rate falls below
+    /// this *and* the batch evicted entries: misses caused by churn,
+    /// not by cold keys.
+    pub grow_below_hit_rate: f64,
+    /// Shrink (halve) the capacity when a batch's hit rate is at least
+    /// this, nothing was evicted, and occupancy is under a quarter of
+    /// the capacity — the working set demonstrably fits in half.
+    pub shrink_above_hit_rate: f64,
+    /// Halve the worker-thread target when the fraction of degraded
+    /// outcomes in a batch exceeds this; a fully clean batch grows the
+    /// target back toward the configured thread count.
+    pub shed_rate_threshold: f64,
+    /// Minimum per-batch lookups (hits + misses) before any capacity
+    /// decision — tiny batches are noise.
+    pub min_lookups: u64,
+}
+
+impl Default for AdaptiveSizingConfig {
+    fn default() -> Self {
+        AdaptiveSizingConfig {
+            min_capacity: 256,
+            max_capacity: 1 << 20,
+            grow_below_hit_rate: 0.5,
+            shrink_above_hit_rate: 0.9,
+            shed_rate_threshold: 0.1,
+            min_lookups: 64,
+        }
+    }
+}
+
+/// The state of the adaptive sizing loop: current capacity and
+/// worker-thread targets plus the [`CacheStats`] baseline the next
+/// batch will be diffed against. Shared (`Arc`) across service clones
+/// so all of them steer one pair of targets.
+#[derive(Debug)]
+pub struct AdaptiveSizer {
+    config: AdaptiveSizingConfig,
+    capacity: AtomicUsize,
+    threads: AtomicUsize,
+    /// Ceiling for thread-target regrowth: the service's configured
+    /// thread count when the sizer was attached.
+    max_threads: usize,
+    baseline: Mutex<CacheStats>,
+}
+
+impl AdaptiveSizer {
+    /// A sizer starting from `initial_capacity` (clamped into the
+    /// configured bounds) and `max_threads` worker threads.
+    #[must_use]
+    pub fn new(config: AdaptiveSizingConfig, initial_capacity: usize, max_threads: usize) -> Self {
+        let capacity = initial_capacity.clamp(config.min_capacity, config.max_capacity.max(1));
+        AdaptiveSizer {
+            config,
+            capacity: AtomicUsize::new(capacity),
+            threads: AtomicUsize::new(max_threads.max(1)),
+            max_threads: max_threads.max(1),
+            baseline: Mutex::new(CacheStats::default()),
+        }
+    }
+
+    /// The current L1 capacity target.
+    #[must_use]
+    pub fn capacity_target(&self) -> usize {
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// The current worker-thread target (the service additionally
+    /// clamps this to its configured thread count at batch start).
+    #[must_use]
+    pub fn thread_target(&self) -> usize {
+        self.threads.load(Ordering::Relaxed)
+    }
+
+    /// Decide a new L1 capacity from one batch's traffic delta, or
+    /// `None` to hold. **Field forms matter** (see
+    /// [`CacheStats::since`]): `hits`/`misses`/`evictions` here are
+    /// per-batch deltas, while `entries` is the *current absolute
+    /// occupancy* — exactly what the shrink guard needs; treating it
+    /// as a delta would make the guard vacuous after any eviction.
+    pub fn plan_capacity(&self, delta: &CacheStats) -> Option<usize> {
+        if delta.hits + delta.misses < self.config.min_lookups {
+            return None;
+        }
+        let capacity = self.capacity.load(Ordering::Relaxed);
+        let hit_rate = delta.hit_rate();
+        let target = if delta.evictions > 0 && hit_rate < self.config.grow_below_hit_rate {
+            // Thrash: the batch churned the LRU and paid for it in
+            // misses. Double, up to the ceiling.
+            capacity.saturating_mul(2).min(self.config.max_capacity)
+        } else if hit_rate >= self.config.shrink_above_hit_rate
+            && delta.evictions == 0
+            && delta.entries.saturating_mul(4) <= capacity
+        {
+            // Comfortably oversized: high hit rate, no pressure, and
+            // the resident set fits in a quarter of the bound. Halve —
+            // still leaving 2× headroom over current occupancy.
+            (capacity / 2).max(self.config.min_capacity)
+        } else {
+            capacity
+        };
+        if target == capacity {
+            return None;
+        }
+        self.capacity.store(target, Ordering::Relaxed);
+        Some(target)
+    }
+
+    /// Update the worker-thread target from one batch's shed rate (the
+    /// fraction of outcomes that degraded): over the threshold halves
+    /// the target, a fully clean batch doubles it back toward the
+    /// configured count.
+    pub fn plan_threads(&self, shed_rate: f64) -> usize {
+        let current = self.threads.load(Ordering::Relaxed);
+        let target = if shed_rate > self.config.shed_rate_threshold {
+            (current / 2).max(1)
+        } else if shed_rate == 0.0 {
+            current.saturating_mul(2).min(self.max_threads)
+        } else {
+            current
+        };
+        self.threads.store(target, Ordering::Relaxed);
+        target
+    }
+
+    /// Diff `stats` against the stored baseline and advance the
+    /// baseline to `stats` — one batch's traffic, exactly once.
+    fn take_delta(&self, stats: CacheStats) -> CacheStats {
+        let mut baseline = self
+            .baseline
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let delta = stats.since(&baseline);
+        *baseline = stats;
+        delta
+    }
+}
 
 /// A thread-sharded batch annotation front-end for one customer.
 ///
@@ -61,6 +208,10 @@ use tu_table::Table;
 pub struct AnnotationService {
     typer: SigmaTyper,
     threads: usize,
+    /// Optional adaptive sizing loop (see
+    /// [`AnnotationService::with_adaptive_sizing`]); shared across
+    /// clones so every front-end steers one pair of targets.
+    sizing: Option<Arc<AdaptiveSizer>>,
 }
 
 impl AnnotationService {
@@ -74,6 +225,7 @@ impl AnnotationService {
         AnnotationService {
             typer: SigmaTyper::new(global, config),
             threads,
+            sizing: None,
         }
     }
 
@@ -82,7 +234,11 @@ impl AnnotationService {
     #[must_use]
     pub fn for_customer(typer: SigmaTyper) -> Self {
         let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
-        AnnotationService { typer, threads }
+        AnnotationService {
+            typer,
+            threads,
+            sizing: None,
+        }
     }
 
     /// Set the worker-thread count.
@@ -118,6 +274,53 @@ impl AnnotationService {
     #[must_use]
     pub fn cached(self, capacity: usize) -> Self {
         self.with_cache(Arc::new(ShardedLruCache::new(capacity)))
+    }
+
+    /// Enable the adaptive sizing loop: after every batch the service
+    /// diffs the attached cache's [`CacheStats`] (via
+    /// [`CacheStats::since`]) and the batch's degradation rate, then
+    /// re-aims two knobs:
+    ///
+    /// * **L1 capacity** — doubled when a batch thrashes (evictions
+    ///   plus a hit rate below
+    ///   [`grow_below_hit_rate`](AdaptiveSizingConfig::grow_below_hit_rate)),
+    ///   halved when the resident set is comfortably small at a high
+    ///   hit rate; applied through [`StepCache::resize`], so it reaches
+    ///   the in-memory LRU (or the L1 of a
+    ///   [`TieredStepCache`](crate::diskcache::TieredStepCache) — the
+    ///   disk tier is unbounded and unaffected).
+    /// * **worker threads** — halved when more than
+    ///   [`shed_rate_threshold`](AdaptiveSizingConfig::shed_rate_threshold)
+    ///   of a request batch degraded (the machine is oversubscribed —
+    ///   more workers burning one shared budget would only shed more),
+    ///   regrown toward the configured count on clean batches.
+    ///
+    /// `initial_capacity` should match the attached cache's bound.
+    /// Attach *after* [`with_threads`](AnnotationService::with_threads)
+    /// so the regrowth ceiling snapshots the intended thread count.
+    /// Sizing is deterministic in the observed stats; it never changes
+    /// annotation *results*, only cache bound and parallelism.
+    #[must_use]
+    pub fn with_adaptive_sizing(
+        mut self,
+        config: AdaptiveSizingConfig,
+        initial_capacity: usize,
+    ) -> Self {
+        self.sizing = Some(Arc::new(AdaptiveSizer::new(
+            config,
+            initial_capacity,
+            self.threads,
+        )));
+        self
+    }
+
+    /// The adaptive sizer, when
+    /// [`with_adaptive_sizing`](AnnotationService::with_adaptive_sizing)
+    /// was configured — for observing the current capacity and thread
+    /// targets.
+    #[must_use]
+    pub fn adaptive_sizer(&self) -> Option<&Arc<AdaptiveSizer>> {
+        self.sizing.as_ref()
     }
 
     /// Set the customer's intra-table [`ParallelismPolicy`] — when a
@@ -167,7 +370,11 @@ impl AnnotationService {
     /// column level instead of idling them.
     #[must_use]
     pub fn annotate_batch(&self, tables: &[Table]) -> Vec<TableAnnotation> {
-        two_level_annotate(&self.typer, tables, self.threads)
+        let annotations = two_level_annotate(&self.typer, tables, self.effective_threads());
+        // Plain batches never degrade (no budget), so the shed rate
+        // is 0 — thread targets only regrow here.
+        self.adapt_after_batch(0, tables.len());
+        annotations
     }
 
     /// Request-level batch annotation: the same two-level scheduler,
@@ -201,15 +408,18 @@ impl AnnotationService {
         let policy = options
             .parallelism
             .unwrap_or(self.typer.config().parallelism);
-        two_level_run(
+        let outcomes = two_level_run(
             &self.typer,
             tables,
-            self.threads,
+            self.effective_threads(),
             policy,
             &|typer, table, executor| {
                 typer.annotate_request_shared(table, executor, options, &ledger)
             },
-        )
+        );
+        let degraded = outcomes.iter().filter(|o| o.degraded()).count();
+        self.adapt_after_batch(degraded, outcomes.len());
+        outcomes
     }
 
     /// Aggregate counters of the attached step cache (`None` when the
@@ -223,6 +433,31 @@ impl AnnotationService {
     #[must_use]
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.typer.step_cache().map(|cache| cache.stats())
+    }
+
+    /// The worker budget for the next batch: the configured thread
+    /// count, reduced (never raised) by the adaptive sizer's target.
+    fn effective_threads(&self) -> usize {
+        self.sizing
+            .as_ref()
+            .map_or(self.threads, |s| s.thread_target().clamp(1, self.threads))
+    }
+
+    /// One turn of the sizing loop after a batch: diff the cache
+    /// stats, re-aim the capacity target (applying it through
+    /// [`StepCache::resize`]) and the thread target.
+    fn adapt_after_batch(&self, degraded: usize, total: usize) {
+        let Some(sizer) = &self.sizing else { return };
+        if total == 0 {
+            return;
+        }
+        if let Some(cache) = self.typer.step_cache() {
+            let delta = sizer.take_delta(cache.stats());
+            if let Some(capacity) = sizer.plan_capacity(&delta) {
+                cache.resize(capacity);
+            }
+        }
+        sizer.plan_threads(degraded as f64 / total as f64);
     }
 }
 
@@ -756,6 +991,143 @@ mod tests {
         assert_eq!(total.hits, warm.hits);
         assert_eq!(total.misses, cold.misses);
         assert!(total.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn sizer_capacity_rules_use_delta_counters_and_absolute_entries() {
+        let sizer = AdaptiveSizer::new(AdaptiveSizingConfig::default(), 1024, 4);
+        // Too little traffic: hold.
+        let tiny = CacheStats {
+            hits: 1,
+            misses: 1,
+            ..CacheStats::default()
+        };
+        assert_eq!(sizer.plan_capacity(&tiny), None);
+        // Thrash (low hit rate + evictions): double.
+        let thrash = CacheStats {
+            hits: 10,
+            misses: 90,
+            inserts: 90,
+            evictions: 50,
+            entries: 1024,
+        };
+        assert_eq!(sizer.plan_capacity(&thrash), Some(2048));
+        assert_eq!(sizer.capacity_target(), 2048);
+        // Low hit rate but no evictions = cold keys, not churn: hold.
+        let cold = CacheStats {
+            hits: 0,
+            misses: 100,
+            inserts: 100,
+            evictions: 0,
+            entries: 100,
+        };
+        assert_eq!(sizer.plan_capacity(&cold), None);
+        // Comfortably oversized (high hit rate, no evictions, small
+        // *absolute* occupancy — `entries` is not a delta): halve.
+        let cozy = CacheStats {
+            hits: 95,
+            misses: 5,
+            inserts: 0,
+            evictions: 0,
+            entries: 100,
+        };
+        assert_eq!(sizer.plan_capacity(&cozy), Some(1024));
+        // Same traffic at high occupancy must NOT shrink — this is
+        // exactly where misreading `entries` as a per-batch delta
+        // (usually 0 or small) would shrink a full cache.
+        let full = CacheStats {
+            entries: 1000,
+            ..cozy
+        };
+        assert_eq!(sizer.plan_capacity(&full), None);
+        // Bounds: growth is capped, shrink is floored.
+        let bounded = AdaptiveSizer::new(
+            AdaptiveSizingConfig {
+                min_capacity: 512,
+                max_capacity: 1500,
+                ..AdaptiveSizingConfig::default()
+            },
+            1024,
+            4,
+        );
+        assert_eq!(bounded.plan_capacity(&thrash), Some(1500));
+        let empty_cozy = CacheStats { entries: 0, ..cozy };
+        assert_eq!(bounded.plan_capacity(&empty_cozy), Some(750));
+        assert_eq!(bounded.plan_capacity(&empty_cozy), Some(512));
+        assert_eq!(bounded.plan_capacity(&empty_cozy), None, "at the floor");
+    }
+
+    #[test]
+    fn sizer_thread_rules_halve_on_shed_and_regrow_to_ceiling() {
+        let sizer = AdaptiveSizer::new(AdaptiveSizingConfig::default(), 1024, 8);
+        assert_eq!(sizer.thread_target(), 8);
+        assert_eq!(sizer.plan_threads(0.5), 4);
+        assert_eq!(sizer.plan_threads(0.5), 2);
+        assert_eq!(sizer.plan_threads(1.0), 1);
+        assert_eq!(sizer.plan_threads(1.0), 1, "floor of one worker");
+        // Mild shedding (at/below threshold but nonzero): hold.
+        assert_eq!(sizer.plan_threads(0.05), 1);
+        // Clean batches double back, capped at the attach-time count.
+        assert_eq!(sizer.plan_threads(0.0), 2);
+        assert_eq!(sizer.plan_threads(0.0), 4);
+        assert_eq!(sizer.plan_threads(0.0), 8);
+        assert_eq!(sizer.plan_threads(0.0), 8, "ceiling");
+    }
+
+    #[test]
+    fn adaptive_sizing_grows_a_thrashing_live_cache() {
+        // One two-slot shard: a cold batch's distinct column keys are
+        // guaranteed to churn it, whatever the hash spread.
+        let lru = Arc::new(ShardedLruCache::with_shards(2, 1));
+        let service = AnnotationService::new(global(), SigmaTyperConfig::default())
+            .with_threads(4)
+            .with_cache(lru.clone() as Arc<dyn StepCache>)
+            .with_adaptive_sizing(
+                AdaptiveSizingConfig {
+                    min_capacity: 1,
+                    min_lookups: 1,
+                    ..AdaptiveSizingConfig::default()
+                },
+                2,
+            );
+        let tables = batch(0xADA7, 10);
+        assert_eq!(lru.capacity(), 2);
+        let _ = service.annotate_batch(&tables);
+        // The cold batch churned the tiny LRU (all misses, evictions),
+        // so the loop doubles and applies it via resize.
+        let sizer = service.adaptive_sizer().expect("sizing configured");
+        assert_eq!(sizer.capacity_target(), 4);
+        assert_eq!(lru.capacity(), 4, "resize reached the live cache");
+        // Plain batches never shed, so the thread target stays put.
+        assert_eq!(sizer.thread_target(), 4);
+    }
+
+    #[test]
+    fn adaptive_sizing_sheds_threads_on_degraded_batches_and_recovers() {
+        use crate::request::{DegradationPolicy, RequestOptions};
+        let service = AnnotationService::new(global(), SigmaTyperConfig::default())
+            .with_threads(4)
+            .cached(1 << 14)
+            .with_adaptive_sizing(AdaptiveSizingConfig::default(), 1 << 14);
+        let tables = batch(0x5ED, 6);
+        let strangled = RequestOptions::default()
+            .with_budget_nanos(0)
+            .with_policy(DegradationPolicy::DropTailSteps);
+        let outcomes = service.annotate_batch_request(&tables, &strangled);
+        assert!(outcomes.iter().all(AnnotationOutcome::degraded));
+        let sizer = service.adaptive_sizer().unwrap();
+        assert_eq!(sizer.thread_target(), 2, "full shed halves the target");
+        let _ = service.annotate_batch_request(&tables, &strangled);
+        assert_eq!(sizer.thread_target(), 1);
+        // The next batch really runs narrower…
+        assert_eq!(service.effective_threads(), 1);
+        // …and clean batches regrow toward the configured count.
+        let clean = service.annotate_batch_request(&tables, &RequestOptions::default());
+        assert!(clean.iter().all(|o| !o.degraded()));
+        assert_eq!(sizer.thread_target(), 2);
+        let _ = service.annotate_batch(&tables);
+        assert_eq!(sizer.thread_target(), 4);
+        assert_eq!(service.effective_threads(), 4);
     }
 
     #[test]

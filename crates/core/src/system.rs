@@ -1,7 +1,7 @@
 //! The SigmaTyper orchestrator: cascade, aggregation, and adaptation.
 
 use crate::aggregate::{apply_tau, soft_majority_vote_with};
-use crate::cache::{CacheContext, ShardedLruCache, StepCache};
+use crate::cache::{CacheContext, EpochSource, ShardedLruCache, StepCache};
 use crate::cascade::Cascade;
 use crate::config::SigmaTyperConfig;
 use crate::cost::CostModel;
@@ -54,14 +54,70 @@ pub struct SigmaTyper {
     /// are identical. Any divergence (a feedback event on either side)
     /// draws a fresh value no other instance has ever used.
     epoch: u64,
+    /// Optional durable epoch source (see
+    /// [`EpochSource`]). When present, epochs are drawn from (and
+    /// persisted through) the source instead of the in-process
+    /// counter: a restarted process resumes its predecessor's epoch —
+    /// keeping a persistent cache tier warm — and an adaptation here
+    /// durably advances the source before the new epoch is used, so
+    /// other processes sharing it stop reaching the stale entries.
+    epoch_source: Option<Arc<dyn EpochSource>>,
+}
+
+/// Mix a process id and a nanosecond timestamp into an epoch seed:
+/// `pid ⊕ splitmix(startup_nanos)`, masked to the low 63 bits so the
+/// in-process counter keeps ~2⁶² of monotone headroom above any seed.
+///
+/// Pure and deterministic in its inputs so tests can simulate distinct
+/// processes; real callers feed `std::process::id()` and wall-clock
+/// nanos.
+fn process_epoch_seed(pid: u32, startup_nanos: u64) -> u64 {
+    (u64::from(pid) ^ crate::cache::avalanche(startup_nanos)) & (u64::MAX >> 1)
 }
 
 /// Draw a fresh, process-globally unique cache epoch (see
-/// [`SigmaTyper::cache_epoch`]). Values are monotone, so tests can
-/// assert "the epoch moved" with `>`.
+/// [`SigmaTyper::cache_epoch`]). Values are monotone within a process,
+/// so tests can assert "the epoch moved" with `>`.
+///
+/// The counter starts from [`process_epoch_seed`] entropy, **not** 0:
+/// with a zero seed every process would draw the same epoch sequence,
+/// so the moment a cache outlives one process (an external backend, or
+/// one process feeding entries another reads) two different model
+/// states could share an epoch and serve each other stale scores.
+/// Entropy makes cross-process epoch reuse a ~2⁻⁶³ event instead of a
+/// certainty; configurations that need a hard guarantee (plus warm
+/// restarts) install a durable
+/// [`EpochSource`](crate::cache::EpochSource) instead.
 fn next_epoch() -> u64 {
-    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-    NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEED: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let seed = *SEED.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_nanos() as u64);
+        process_epoch_seed(std::process::id(), nanos)
+    });
+    seed.wrapping_add(NEXT.fetch_add(1, Ordering::Relaxed))
+}
+
+/// A fresh entropy epoch for out-of-process stores (used by
+/// [`DurableEpochSource`](crate::diskcache::DurableEpochSource) when
+/// seeding a new epoch file). Distinct from the [`next_epoch`] counter
+/// space — a durable seed must not land on a value the in-process
+/// counter is about to hand to some other instance — and salted per
+/// call so two files seeded in the same nanosecond still differ.
+pub(crate) fn entropy_epoch_seed() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SALT: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64);
+    let salt = SALT.fetch_add(1, Ordering::Relaxed).wrapping_add(1);
+    process_epoch_seed(
+        std::process::id(),
+        nanos ^ crate::cache::avalanche(salt.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+    )
 }
 
 /// Builder for a customer instance with a customized cascade: add,
@@ -95,6 +151,7 @@ pub struct SigmaTyperBuilder {
     cascade: Cascade,
     cache: Option<Arc<dyn StepCache>>,
     cost: Option<Arc<CostModel>>,
+    epoch_source: Option<Arc<dyn EpochSource>>,
 }
 
 impl SigmaTyperBuilder {
@@ -215,10 +272,36 @@ impl SigmaTyperBuilder {
         self
     }
 
+    /// Attach a durable [`EpochSource`] — typically a
+    /// [`DurableEpochSource`](crate::diskcache::DurableEpochSource)
+    /// file next to a [`DiskCache`](crate::diskcache::DiskCache)
+    /// segment. `build()` then *resumes* the source's current epoch
+    /// instead of drawing a fresh one, so a restarted process keeps
+    /// reaching the entries its predecessor persisted; every
+    /// adaptation advances the source durably before the new epoch is
+    /// used. One source belongs to one customer: point different
+    /// customers (whose models differ) at different files.
+    #[must_use]
+    pub fn epoch_source(mut self, source: Arc<dyn EpochSource>) -> Self {
+        self.epoch_source = Some(source);
+        self
+    }
+
     /// Build the customer instance.
     #[must_use]
     pub fn build(self) -> SigmaTyper {
         let ontology = self.global.ontology.clone();
+        // Even a freshly built instance gets a globally unique epoch:
+        // two customers built over different global models (or with
+        // different custom step implementations) must never produce
+        // colliding cache keys. A durable source *resumes* its stored
+        // epoch instead — deliberately not an advance: a restart with
+        // unchanged models must keep reaching the previous process's
+        // persisted entries.
+        let epoch = self
+            .epoch_source
+            .as_ref()
+            .map_or_else(next_epoch, |s| s.current());
         SigmaTyper {
             global: self.global,
             ontology,
@@ -227,11 +310,8 @@ impl SigmaTyperBuilder {
             cascade: self.cascade,
             cache: self.cache,
             cost: self.cost.unwrap_or_default(),
-            // Even a freshly built instance gets a globally unique
-            // epoch: two customers built over different global models
-            // (or with different custom step implementations) must
-            // never produce colliding cache keys.
-            epoch: next_epoch(),
+            epoch,
+            epoch_source: self.epoch_source,
         }
     }
 }
@@ -255,7 +335,18 @@ impl SigmaTyper {
             cascade: Cascade::standard(),
             cache: None,
             cost: None,
+            epoch_source: None,
         }
+    }
+
+    /// Re-draw this customer's cache epoch after an adaptation event:
+    /// from the durable source (write-ahead — persisted before use)
+    /// when one is installed, else from the in-process counter.
+    fn bump_epoch(&mut self) {
+        self.epoch = self
+            .epoch_source
+            .as_ref()
+            .map_or_else(next_epoch, |s| s.advance());
     }
 
     /// The (customer-local) ontology.
@@ -304,7 +395,7 @@ impl SigmaTyper {
     /// step order is part of the fingerprint — so the bump only costs
     /// cold lookups, never correctness.)
     pub fn cascade_mut(&mut self) -> &mut Cascade {
-        self.epoch = next_epoch();
+        self.bump_epoch();
         &mut self.cascade
     }
 
@@ -329,9 +420,22 @@ impl SigmaTyper {
     /// column fingerprint, so a re-draw makes all previously cached
     /// entries unreachable for this customer — and global uniqueness
     /// keeps different instances' entries disjoint in a shared cache.
+    ///
+    /// With a durable [`EpochSource`] installed, this re-reads the
+    /// source: an advance performed by *another process* sharing the
+    /// source's file is observed here, so this instance stops
+    /// reaching entries that adaptation elsewhere made stale.
     #[must_use]
     pub fn cache_epoch(&self) -> u64 {
-        self.epoch
+        self.epoch_source
+            .as_ref()
+            .map_or(self.epoch, |s| s.current())
+    }
+
+    /// The installed durable epoch source, if any.
+    #[must_use]
+    pub fn epoch_source(&self) -> Option<&Arc<dyn EpochSource>> {
+        self.epoch_source.as_ref()
     }
 
     /// Manually invalidate this customer's cached step results — for
@@ -339,7 +443,7 @@ impl SigmaTyper {
     /// that mutated shared lookup data behind the `Arc`). Entries are
     /// not freed, just unreachable; they age out of the LRU.
     pub fn invalidate_cache(&mut self) {
-        self.epoch = next_epoch();
+        self.bump_epoch();
     }
 
     /// The per-step cost/yield telemetry this instance has accumulated
@@ -380,7 +484,7 @@ impl SigmaTyper {
             id.index() < self.global.embedding.n_classes(),
             "reserved class space exhausted; raise TrainingConfig::reserve_classes"
         );
-        self.epoch = next_epoch();
+        self.bump_epoch();
         id
     }
 
@@ -474,7 +578,10 @@ impl SigmaTyper {
         } else {
             self.cache.as_deref().map(|cache| CacheContext {
                 cache,
-                epoch: self.epoch,
+                // `cache_epoch()` (not the `epoch` snapshot): with a
+                // durable source this observes advances made by other
+                // processes since this instance was built.
+                epoch: self.cache_epoch(),
             })
         };
         let budgeted = executor.run_budgeted(
@@ -658,7 +765,7 @@ impl SigmaTyper {
         self.local.add_training(examples);
         self.refit_local();
         // The local model changed: retire every cached step result.
-        self.epoch = next_epoch();
+        self.bump_epoch();
     }
 
     /// Implicit feedback: the user left the remaining predictions as-is,
@@ -689,7 +796,7 @@ impl SigmaTyper {
         }
         // `Wl` grew (feedback counts) even when no training example was
         // added, so cached scores are stale either way.
-        self.epoch = next_epoch();
+        self.bump_epoch();
     }
 
     /// Finetune the local embedding model on all accumulated local
@@ -722,6 +829,33 @@ mod tests {
     use tu_corpus::{generate_corpus, CorpusConfig};
     use tu_ontology::{builtin_id, builtin_ontology};
     use tu_table::Column;
+
+    #[test]
+    fn simulated_processes_never_reuse_an_epoch() {
+        // Two "processes" — distinct (pid, startup time) seeds — each
+        // drawing a long run of counter epochs the way `next_epoch`
+        // does (seed + i): the runs must be disjoint, and each run
+        // monotone. A zero seed (the old behavior) fails this the
+        // moment both processes exist.
+        let seed_a = process_epoch_seed(1111, 42);
+        let seed_b = process_epoch_seed(2222, 43);
+        assert_ne!(seed_a, seed_b);
+        let run = |seed: u64| (0..1000u64).map(move |i| seed.wrapping_add(i));
+        let a: std::collections::HashSet<u64> = run(seed_a).collect();
+        assert!(
+            run(seed_b).all(|e| !a.contains(&e)),
+            "epoch reused across processes"
+        );
+        assert!(run(seed_a).zip(run(seed_a).skip(1)).all(|(x, y)| y > x));
+        // Seeds leave the counter its monotone headroom.
+        assert!(seed_a < (1 << 63) && seed_b < (1 << 63));
+        // Determinism in the inputs (what makes the simulation valid).
+        assert_eq!(seed_a, process_epoch_seed(1111, 42));
+        // The live counter draws from the same scheme and moves.
+        let e1 = next_epoch();
+        let e2 = next_epoch();
+        assert!(e2 > e1);
+    }
 
     fn shared_global() -> Arc<GlobalModel> {
         let o = builtin_ontology();

@@ -1,0 +1,118 @@
+//! Surviving a restart: the persistent step-cache tier.
+//!
+//! A data catalog crawls the same warehouse for months, but the
+//! crawler itself restarts — deploys, crashes, autoscaling. The
+//! in-memory LRU dies with the process, so before the disk tier every
+//! restart meant a full recrawl. Here we crawl once, "restart" (a
+//! fresh `SigmaTyper` over the same cache directory), and watch the
+//! new process recrawl without running a single cacheable step — then
+//! adapt the customer and watch the *durable* epoch invalidate the
+//! on-disk entries for every future process.
+//!
+//! ```text
+//! cargo run --release --example persistent_recrawl
+//! ```
+
+use sigmatyper::{
+    train_global, DurableEpochSource, GlobalModel, SigmaTyper, StepCache, StepId, TieredStepCache,
+    TrainingConfig,
+};
+use std::path::Path;
+use std::sync::Arc;
+use tu_corpus::{generate_corpus, CorpusConfig};
+use tu_ontology::{builtin_id, builtin_ontology};
+use tu_table::Table;
+
+/// Sum `(cacheable columns run, cache hits)` over a batch; the header
+/// step opts out of memoization and is excluded.
+fn counts(anns: &[sigmatyper::TableAnnotation]) -> (usize, usize) {
+    anns.iter()
+        .flat_map(|a| a.timings.iter())
+        .fold((0, 0), |(runs, hits), t| {
+            let cacheable = if t.step == StepId::HEADER {
+                0
+            } else {
+                t.columns
+            };
+            (runs + cacheable, hits + t.cache_hits)
+        })
+}
+
+/// What a crawler process does at startup: durable epoch beside the
+/// segment file, disk tier as L2 behind a sharded LRU.
+fn start_process(global: Arc<GlobalModel>, dir: &Path) -> SigmaTyper {
+    let source = DurableEpochSource::open(dir.join("epoch")).expect("open epoch file");
+    let cache = TieredStepCache::open(dir.join("cache"), 1 << 16).expect("open disk tier");
+    SigmaTyper::builder(global)
+        .step_cache(Arc::new(cache))
+        .epoch_source(Arc::new(source))
+        .build()
+}
+
+fn main() {
+    let ontology = builtin_ontology();
+    let corpus = generate_corpus(&ontology, &CorpusConfig::database_like(42, 40));
+    let global = Arc::new(train_global(ontology, &corpus, &TrainingConfig::fast()));
+    let warehouse: Vec<Table> = corpus.tables.iter().map(|at| at.table.clone()).collect();
+
+    let dir = std::env::temp_dir().join(format!("sigmatyper-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create cache dir");
+
+    // Process 1: cold crawl, memoized through the tier to disk.
+    let typer = start_process(Arc::clone(&global), &dir);
+    let cold: Vec<_> = warehouse.iter().map(|t| typer.annotate(t)).collect();
+    let (cold_runs, _) = counts(&cold);
+    println!("process 1 (cold):     {cold_runs:>4} cacheable step-columns run");
+    typer.step_cache().expect("cache").flush().expect("flush");
+    drop(typer); // deploy, crash, autoscale-down — the process exits.
+
+    // Process 2: fresh instance, same directory. The L1 LRU is empty,
+    // but the segment file serves every cacheable step — and the
+    // annotations are bit-identical to the cold crawl's.
+    let typer = start_process(Arc::clone(&global), &dir);
+    let warm: Vec<_> = warehouse.iter().map(|t| typer.annotate(t)).collect();
+    let (warm_runs, warm_hits) = counts(&warm);
+    println!(
+        "process 2 (restart):  {warm_runs:>4} cacheable step-columns run, {warm_hits:>4} disk hits"
+    );
+    assert_eq!(warm_runs, 0, "a restart must not forfeit the cache");
+    for (a, b) in cold.iter().zip(&warm) {
+        assert_eq!(a.predictions(), b.predictions(), "cache must be invisible");
+    }
+
+    // The customer corrects a column. The epoch advance is written to
+    // the epoch file *before* the correction takes effect, so no
+    // process — current or future — can serve pre-correction scores.
+    let mut typer = typer;
+    let o = typer.ontology().clone();
+    let before = typer.cache_epoch();
+    typer.feedback(&warehouse[1].clone(), 0, builtin_id(&o, "city"), None);
+    println!(
+        "feedback applied:     epoch {before} -> {}",
+        typer.cache_epoch()
+    );
+    drop(typer);
+
+    // Process 3 resumes the advanced epoch: the old entries are
+    // unreachable, the crawl re-runs with the adapted models, and a
+    // compaction pass reclaims the dead bytes.
+    let typer = start_process(global, &dir);
+    let adapted: Vec<_> = warehouse.iter().map(|t| typer.annotate(t)).collect();
+    let (adapted_runs, adapted_hits) = counts(&adapted);
+    println!("process 3 (adapted):  {adapted_runs:>4} cacheable step-columns run, {adapted_hits:>4} disk hits");
+    assert!(adapted_runs > 0, "stale entries must not serve");
+    let live = typer.cache_epoch();
+    drop(typer);
+    let cache = TieredStepCache::open(dir.join("cache"), 1 << 16).expect("reopen tier");
+    let before_len = cache.l2().len();
+    let dropped = cache.compact(&[live]).expect("compact");
+    println!(
+        "compaction:           {before_len} entries -> {} ({dropped} stale dropped)",
+        cache.l2().len()
+    );
+    assert!(dropped > 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("restart survived, adaptation propagated, segment compacted.");
+}

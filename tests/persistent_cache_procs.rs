@@ -1,0 +1,145 @@
+//! The restart round-trip across two *real* OS processes.
+//!
+//! `persistent_cache.rs` simulates a restart by dropping and
+//! rebuilding the `SigmaTyper` inside one process. That cannot catch
+//! a whole class of bugs — anything keyed off process-local state
+//! (the in-memory epoch counter, pointer-derived hashes, HashMap
+//! iteration order leaking into scores). This test is run twice by CI
+//! as two separate `cargo test` invocations:
+//!
+//! ```text
+//! SIGMATYPER_PERSIST_TEST_DIR=$DIR SIGMATYPER_PERSIST_PHASE=write \
+//!     cargo test -q -p table-understanding --test persistent_cache_procs
+//! SIGMATYPER_PERSIST_TEST_DIR=$DIR SIGMATYPER_PERSIST_PHASE=read \
+//!     cargo test -q -p table-understanding --test persistent_cache_procs
+//! ```
+//!
+//! The write phase crawls a deterministic warehouse through the disk
+//! tier and dumps every decision (type + confidence bits) to a golden
+//! file. The read phase — a different PID, a different address space —
+//! reopens the directory, asserts the recrawl runs **zero** cacheable
+//! steps, and bit-compares its decisions against the golden dump.
+//! With the env vars unset (the normal `cargo test` run) the test is
+//! a no-op.
+
+use sigmatyper::{
+    train_global, DurableEpochSource, GlobalModel, SigmaTyper, SigmaTyperConfig, StepId,
+    TableAnnotation, TieredStepCache, TrainingConfig,
+};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+use tu_corpus::{generate_corpus, CorpusConfig};
+use tu_ontology::builtin_ontology;
+use tu_table::Table;
+
+/// Both processes must derive the identical model and warehouse from
+/// scratch — the disk tier is the only state they share.
+fn setup() -> (Arc<GlobalModel>, Vec<Table>) {
+    let ontology = builtin_ontology();
+    let corpus = generate_corpus(&ontology, &CorpusConfig::database_like(0x2F00C, 40));
+    let global = Arc::new(train_global(ontology, &corpus, &TrainingConfig::fast()));
+    let tables = generate_corpus(
+        &builtin_ontology(),
+        &CorpusConfig::database_like(0xCAFE, 12),
+    )
+    .tables
+    .into_iter()
+    .map(|at| at.table)
+    .collect();
+    (global, tables)
+}
+
+fn open_typer(global: Arc<GlobalModel>, dir: &Path) -> SigmaTyper {
+    let source = DurableEpochSource::open(dir.join("epoch")).expect("open epoch file");
+    let cache = TieredStepCache::open(dir.join("cache"), 1 << 14).expect("open disk tier");
+    SigmaTyper::builder(global)
+        .config(SigmaTyperConfig::default())
+        .step_cache(Arc::new(cache))
+        .epoch_source(Arc::new(source))
+        .build()
+}
+
+/// `(cacheable step-columns run, cache hits)`; the header step opts
+/// out of memoization and is excluded.
+fn counts(anns: &[TableAnnotation]) -> (usize, usize) {
+    anns.iter()
+        .flat_map(|a| a.timings.iter())
+        .fold((0, 0), |(runs, hits), t| {
+            let cacheable = if t.step == StepId::HEADER {
+                0
+            } else {
+                t.columns
+            };
+            (runs + cacheable, hits + t.cache_hits)
+        })
+}
+
+/// One line per column: everything that must survive the restart bit
+/// for bit. Confidences are dumped as hex bit patterns — a text diff
+/// of two dumps is a bit-identity check.
+fn golden_dump(anns: &[TableAnnotation]) -> String {
+    let mut out = String::new();
+    for (ti, ann) in anns.iter().enumerate() {
+        for col in &ann.columns {
+            write!(
+                out,
+                "{ti} {} {} {:016x}",
+                col.col_idx,
+                col.predicted.0,
+                col.confidence.to_bits()
+            )
+            .unwrap();
+            for c in &col.top_k {
+                write!(out, " {}:{:016x}", c.ty.0, c.confidence.to_bits()).unwrap();
+            }
+            for s in &col.steps_run {
+                write!(out, " {s:?}").unwrap();
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn persist_phase() {
+    let Ok(dir) = std::env::var("SIGMATYPER_PERSIST_TEST_DIR") else {
+        return; // Not the CI harness: nothing to do.
+    };
+    let phase = std::env::var("SIGMATYPER_PERSIST_PHASE").unwrap_or_default();
+    let dir = std::path::PathBuf::from(dir);
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    let (global, tables) = setup();
+
+    match phase.as_str() {
+        "write" => {
+            let typer = open_typer(global, &dir);
+            let anns: Vec<TableAnnotation> = tables.iter().map(|t| typer.annotate(t)).collect();
+            let (runs, hits) = counts(&anns);
+            assert!(runs > 0, "cold crawl must run steps");
+            assert_eq!(hits, 0, "first crawl cannot hit");
+            typer
+                .step_cache()
+                .unwrap()
+                .flush()
+                .expect("flush disk tier");
+            std::fs::write(dir.join("golden.txt"), golden_dump(&anns)).expect("write golden dump");
+        }
+        "read" => {
+            let golden =
+                std::fs::read_to_string(dir.join("golden.txt")).expect("golden dump from phase 1");
+            let typer = open_typer(global, &dir);
+            let anns: Vec<TableAnnotation> = tables.iter().map(|t| typer.annotate(t)).collect();
+            let (runs, hits) = counts(&anns);
+            assert_eq!(runs, 0, "fresh process must recrawl warm from disk");
+            assert!(hits > 0, "the disk tier served the recrawl");
+            assert_eq!(
+                golden_dump(&anns),
+                golden,
+                "decisions must be bit-identical across processes"
+            );
+        }
+        other => panic!("SIGMATYPER_PERSIST_PHASE must be write|read, got {other:?}"),
+    }
+}
