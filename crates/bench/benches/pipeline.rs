@@ -382,6 +382,9 @@ fn bench_persistent_recrawl(c: &mut Criterion) {
     let hits: usize = counts.iter().map(|c| c.2).sum();
     assert_eq!(runs, 0, "disk-warm restart must run zero cacheable steps");
     assert!(hits > 0, "disk-warm restart must hit the persistent tier");
+    // The disk tier holds a single-writer advisory lock; release it
+    // before the benches below reopen the directory.
+    drop(fresh);
 
     let mut group = c.benchmark_group("pipeline/persistent_recrawl");
     group.sample_size(20);
@@ -416,6 +419,8 @@ fn bench_persistent_recrawl(c: &mut Criterion) {
             }
         })
     });
+    // Release the advisory lock so each restart below can reopen.
+    drop(memory_warm);
     group.bench_function("disk_warm_restart", |b| {
         b.iter(|| {
             // A fresh "process": reopen the segment (index rescan
@@ -517,6 +522,118 @@ fn bench_budgeted(c: &mut Criterion) {
     group.finish();
 }
 
+/// The HTTP front-end tax: one table annotated directly vs over a
+/// loopback connection to the annotation server, single connection vs
+/// 8 concurrent connections. Before timing, the wire contract is
+/// checked once: the HTTP outcome must be bit-identical to the direct
+/// call on everything but wall-clock telemetry (`spent_nanos`).
+fn bench_server_roundtrip(c: &mut Criterion) {
+    use httpshim::HttpClient;
+    use jsonshim::Json;
+    use tu_server::{AnnotationServer, ServerConfig};
+
+    let f = BenchFixture::new();
+    let typer = f.customer();
+    let table = &f.corpus.tables[0].table;
+    let columns: Vec<Json> = table
+        .columns()
+        .iter()
+        .map(|col| {
+            let values: Vec<Json> = col.values.iter().map(|v| Json::from(v.render())).collect();
+            Json::object(vec![
+                ("header", Json::from(col.name.as_str())),
+                ("values", Json::Arr(values)),
+            ])
+        })
+        .collect();
+    let table_json = Json::object(vec![
+        ("name", Json::from(table.name.as_str())),
+        ("columns", Json::Arr(columns)),
+    ]);
+    let body = format!(r#"{{"table":{table_json}}}"#);
+
+    let server = AnnotationServer::start(
+        "127.0.0.1:0",
+        typer.clone(),
+        &ServerConfig {
+            workers: cores().clamp(2, 8),
+            queue_capacity: 64,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.local_addr();
+
+    // The direct baseline annotates exactly the table the wire
+    // delivers (cells re-typed from rendered strings).
+    let wire_table =
+        tu_server::wire::table_from_json(&Json::parse(&table_json.to_string()).expect("json"))
+            .expect("wire table");
+    let zero_spent = |mut v: Json| -> String {
+        if let Json::Obj(fields) = &mut v {
+            for (key, value) in fields.iter_mut() {
+                if key == "degradation" {
+                    if let Json::Obj(report) = value {
+                        for (rk, rv) in report.iter_mut() {
+                            if rk == "spent_nanos" {
+                                *rv = Json::from(0u64);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        v.to_string()
+    };
+    let direct = typer.annotate_request(&AnnotationRequest::new(&wire_table));
+    let expected = zero_spent(tu_server::wire::outcome_to_json(&direct, typer.ontology()));
+    let mut probe = HttpClient::connect(addr).expect("connect");
+    let resp = probe.post_json("/annotate", &body, &[]).expect("annotate");
+    assert_eq!(resp.status, 200);
+    let got = zero_spent(Json::parse(&resp.body_str()).expect("outcome json"));
+    assert_eq!(
+        got, expected,
+        "HTTP outcome must be bit-identical to direct annotate"
+    );
+
+    let mut group = c.benchmark_group("pipeline/server_roundtrip");
+    group.sample_size(10);
+    group.bench_function("direct", |b| {
+        b.iter(|| typer.annotate_request(black_box(&AnnotationRequest::new(&wire_table))))
+    });
+    group.bench_function("http_1_conn", |b| {
+        b.iter(|| {
+            let resp = probe
+                .post_json("/annotate", black_box(&body), &[])
+                .expect("annotate");
+            assert_eq!(resp.status, 200);
+            black_box(resp.body.len())
+        })
+    });
+    let clients: Vec<std::sync::Mutex<HttpClient>> = (0..8)
+        .map(|_| std::sync::Mutex::new(HttpClient::connect(addr).expect("connect")))
+        .collect();
+    group.bench_function("http_8_conns", |b| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                for client in &clients {
+                    let body = &body;
+                    scope.spawn(move || {
+                        let mut client = client.lock().expect("client mutex");
+                        let resp = client
+                            .post_json("/annotate", black_box(body), &[])
+                            .expect("annotate");
+                        assert_eq!(resp.status, 200);
+                        black_box(resp.body.len());
+                    });
+                }
+            })
+        })
+    });
+    group.finish();
+    server.shutdown().expect("graceful shutdown");
+}
+
 /// Crawl once; per step return `(name, columns_run, hits, inserts)`
 /// summed over the corpus.
 fn crawl_counts(
@@ -546,6 +663,7 @@ criterion_group!(
     bench_parallel_table,
     bench_cached_recrawl,
     bench_persistent_recrawl,
-    bench_budgeted
+    bench_budgeted,
+    bench_server_roundtrip
 );
 criterion_main!(benches);

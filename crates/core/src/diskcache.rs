@@ -229,6 +229,35 @@ fn read_record(file: &mut File, entry: IndexEntry) -> Option<(CacheKey, u64, Ste
     decode_payload(&payload)
 }
 
+/// Take the exclusive advisory lock on `dir/cache.lock`, failing fast
+/// (no blocking, no retry) when another [`DiskCache`] already writes
+/// this directory. The error names the directory and the remedy so a
+/// misconfigured fleet member diagnoses itself from the message alone.
+fn acquire_writer_lock(dir: &Path) -> io::Result<File> {
+    let lock_path = dir.join("cache.lock");
+    let lock = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(&lock_path)?;
+    match lock.try_lock() {
+        Ok(()) => Ok(lock),
+        Err(fs::TryLockError::WouldBlock) => Err(io::Error::new(
+            io::ErrorKind::WouldBlock,
+            format!(
+                "disk cache directory {} is already owned by a live writer \
+                 (advisory lock {} is held); point this instance at its own \
+                 directory, or wait for the owner to exit — the lock is \
+                 released automatically when the owning process dies",
+                dir.display(),
+                lock_path.display()
+            ),
+        )),
+        Err(fs::TryLockError::Error(e)) => Err(e),
+    }
+}
+
 /// An append-only persistent [`StepCache`] backend (see the module
 /// docs for the segment format and correctness argument).
 ///
@@ -249,6 +278,11 @@ fn read_record(file: &mut File, entry: IndexEntry) -> Option<(CacheKey, u64, Ste
 pub struct DiskCache {
     path: PathBuf,
     inner: Mutex<DiskInner>,
+    /// Held (never read) for the lifetime of the cache: the advisory
+    /// writer lock on `cache.lock` in the segment directory. The OS
+    /// releases it when this handle drops — including on a crash, so a
+    /// dead writer never wedges the directory.
+    _writer_lock: File,
     hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
@@ -262,9 +296,19 @@ impl DiskCache {
     /// to rebuild the key index. A segment with a missing, foreign, or
     /// version-mismatched header is restarted empty; a torn tail is
     /// truncated at the last verified record.
+    ///
+    /// The directory is guarded by an **advisory writer lock**
+    /// (`cache.lock`): the segment is a single append stream, so two
+    /// live writers would interleave appends and corrupt each other's
+    /// records. A second open of the same directory — from another
+    /// process of the fleet or another handle in this one — fails fast
+    /// with [`io::ErrorKind::WouldBlock`] and a clear message instead.
+    /// The lock dies with the handle (even on a crash), so recovery is
+    /// automatic.
     pub fn open(dir: impl AsRef<Path>) -> io::Result<DiskCache> {
         let dir = dir.as_ref();
         fs::create_dir_all(dir)?;
+        let writer_lock = acquire_writer_lock(dir)?;
         let path = dir.join("cache.seg");
         let mut file = OpenOptions::new()
             .read(true)
@@ -286,6 +330,7 @@ impl DiskCache {
         Ok(DiskCache {
             path,
             inner: Mutex::new(DiskInner { file, index, tail }),
+            _writer_lock: writer_lock,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
@@ -734,6 +779,33 @@ mod tests {
     }
 
     #[test]
+    fn second_writer_on_one_directory_fails_fast_until_the_first_drops() {
+        let dir = Scratch::new("lock");
+        let first = DiskCache::open(dir.path()).unwrap();
+        // A second open of the same directory must refuse immediately —
+        // two live writers would interleave appends into one segment.
+        let second = DiskCache::open(dir.path());
+        let err = second.expect_err("advisory lock must refuse a second writer");
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("already owned by a live writer") && msg.contains("cache.lock"),
+            "error must name the conflict and the lock file: {msg}"
+        );
+        // The tiered wrapper goes through the same guard.
+        assert!(TieredStepCache::open(dir.path(), 64).is_err());
+        // A *different* directory is unaffected.
+        let other = Scratch::new("lock-other");
+        drop(DiskCache::open(other.path()).unwrap());
+        // Dropping the owner releases the lock; reopen succeeds and the
+        // data written by the first owner is still served.
+        first.insert_with_epoch(key(9), scores(0.5, 1), 3);
+        drop(first);
+        let reopened = DiskCache::open(dir.path()).unwrap();
+        assert_eq!(reopened.get(&key(9)).unwrap(), scores(0.5, 1));
+    }
+
+    #[test]
     fn latest_insert_wins_within_and_across_opens() {
         let dir = Scratch::new("latest");
         {
@@ -884,7 +956,10 @@ mod tests {
         assert!(tiered.get(&key(1)).is_some());
         assert_eq!(tiered.l1().stats().hits, 1);
         assert_eq!(tiered.l2().stats().hits, 0);
-        // Simulate a restart: L1 cold, L2 warm, hit promotes.
+        // Simulate a restart: L1 cold, L2 warm, hit promotes. (A real
+        // drop, not a shadow — the dying handle must release the
+        // directory's writer lock for the reopen to be admitted.)
+        drop(tiered);
         let tiered = TieredStepCache::open(dir.path(), 64).unwrap();
         assert_eq!(tiered.len(), 1);
         assert!(tiered.get(&key(1)).is_some(), "disk hit");

@@ -94,7 +94,10 @@ pub use request::{
 };
 #[allow(deprecated)]
 pub use service::annotate_batch_with;
-pub use service::{AdaptiveSizer, AdaptiveSizingConfig, AnnotationService};
+pub use service::{
+    AdaptiveSizer, AdaptiveSizingConfig, AnnotationService, BoundedQueue, LaneLedger,
+    QueueRejection, TrafficLane,
+};
 pub use step::{
     AnnotationStep, ColumnState, EmbeddingStep, HeaderStep, LookupStep, RegexOnlyStep, StepContext,
     TableSetup,

@@ -38,8 +38,10 @@ use crate::global::GlobalModel;
 use crate::prediction::TableAnnotation;
 use crate::request::{AnnotationOutcome, BudgetLedger, RequestOptions};
 use crate::system::SigmaTyper;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 use tu_table::Table;
 
 /// Tuning knobs of the [`AnnotationService`] adaptive sizing loop (see
@@ -100,9 +102,19 @@ pub struct AdaptiveSizer {
 impl AdaptiveSizer {
     /// A sizer starting from `initial_capacity` (clamped into the
     /// configured bounds) and `max_threads` worker threads.
+    ///
+    /// The bounds themselves are normalized first (`max_capacity` at
+    /// least 1, `min_capacity` at most `max_capacity`), so an inverted
+    /// configuration degrades to a sane range instead of panicking in
+    /// `clamp` — and every later growth/shrink decision uses the same
+    /// normalized bounds, keeping the capacity inside
+    /// `[min_capacity, max_capacity]` under any batch sequence.
     #[must_use]
     pub fn new(config: AdaptiveSizingConfig, initial_capacity: usize, max_threads: usize) -> Self {
-        let capacity = initial_capacity.clamp(config.min_capacity, config.max_capacity.max(1));
+        let mut config = config;
+        config.max_capacity = config.max_capacity.max(1);
+        config.min_capacity = config.min_capacity.min(config.max_capacity);
+        let capacity = initial_capacity.clamp(config.min_capacity, config.max_capacity);
         AdaptiveSizer {
             config,
             capacity: AtomicUsize::new(capacity),
@@ -186,6 +198,271 @@ impl AdaptiveSizer {
         let delta = stats.since(&baseline);
         *baseline = stats;
         delta
+    }
+}
+
+/// The two production traffic classes of the serving front-end
+/// (ROADMAP item 5's two-lane scheduling): latency-sensitive
+/// interactive requests and throughput-oriented background crawls.
+/// Under load the **crawl lane degrades first** — it gets the tighter
+/// budget window and the earlier admission cutoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficLane {
+    /// A user is waiting on the response: admitted until the queue is
+    /// genuinely full, budgeted generously.
+    Interactive,
+    /// Background/batch traffic: the first to be shed or degraded when
+    /// the service saturates.
+    Crawl,
+}
+
+impl TrafficLane {
+    /// Both lanes, in metrics-reporting order.
+    pub const ALL: [TrafficLane; 2] = [TrafficLane::Interactive, TrafficLane::Crawl];
+
+    /// Parse a lane label (e.g. from an HTTP header), case-insensitive.
+    /// Unknown labels are `None` — callers choose their own default.
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<TrafficLane> {
+        if label.eq_ignore_ascii_case("interactive") {
+            Some(TrafficLane::Interactive)
+        } else if label.eq_ignore_ascii_case("crawl") {
+            Some(TrafficLane::Crawl)
+        } else {
+            None
+        }
+    }
+
+    /// The canonical lower-case label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TrafficLane::Interactive => "interactive",
+            TrafficLane::Crawl => "crawl",
+        }
+    }
+}
+
+/// One traffic lane's **shared, refilling** budget: a
+/// [`BudgetLedger`] per wall-clock window, rolled over when the window
+/// elapses. Every request on the lane charges the *same* ledger — the
+/// lane as a whole has `window_budget` nanoseconds of step work per
+/// window, and when the lane's traffic collectively exhausts it,
+/// requests degrade per their [`DegradationPolicy`] until the next
+/// window opens. An unbudgeted lane (`window_budget == None`) never
+/// rolls and never degrades.
+///
+/// Cumulative spend (all closed windows plus the live one) is kept for
+/// metrics: the serving front-end reports per-lane spend without
+/// resetting it.
+///
+/// [`DegradationPolicy`]: crate::request::DegradationPolicy
+#[derive(Debug)]
+pub struct LaneLedger {
+    lane: TrafficLane,
+    window_budget: Option<u64>,
+    window: Duration,
+    inner: Mutex<LaneWindow>,
+    /// Spend accumulated from closed windows (the live window's spend
+    /// lives in its ledger).
+    rolled_spent: AtomicU64,
+}
+
+#[derive(Debug)]
+struct LaneWindow {
+    ledger: Arc<BudgetLedger>,
+    opened: Instant,
+}
+
+impl LaneLedger {
+    /// A lane ledger granting `window_budget` nanoseconds of step work
+    /// per `window`. `None` means unbudgeted (the ledger is unbounded
+    /// and never rolls).
+    #[must_use]
+    pub fn new(lane: TrafficLane, window_budget: Option<u64>, window: Duration) -> Self {
+        LaneLedger {
+            lane,
+            window_budget,
+            window: window.max(Duration::from_millis(1)),
+            inner: Mutex::new(LaneWindow {
+                ledger: Arc::new(BudgetLedger::from_budget(window_budget)),
+                opened: Instant::now(),
+            }),
+            rolled_spent: AtomicU64::new(0),
+        }
+    }
+
+    /// Which lane this ledger budgets.
+    #[must_use]
+    pub fn lane(&self) -> TrafficLane {
+        self.lane
+    }
+
+    /// The per-window budget (`None` = unbudgeted).
+    #[must_use]
+    pub fn window_budget(&self) -> Option<u64> {
+        self.window_budget
+    }
+
+    /// The live window's shared ledger, rolling the window first if it
+    /// has elapsed. All requests admitted in one window charge the
+    /// same returned ledger.
+    #[must_use]
+    pub fn ledger(&self) -> Arc<BudgetLedger> {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if self.window_budget.is_some() && inner.opened.elapsed() >= self.window {
+            self.rolled_spent
+                .fetch_add(inner.ledger.spent(), Ordering::Relaxed);
+            inner.ledger = Arc::new(BudgetLedger::from_budget(self.window_budget));
+            inner.opened = Instant::now();
+        }
+        Arc::clone(&inner.ledger)
+    }
+
+    /// Cumulative nanoseconds charged on this lane across all windows
+    /// (closed windows plus the live one) — monotone, for metrics.
+    #[must_use]
+    pub fn total_spent_nanos(&self) -> u64 {
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.rolled_spent.load(Ordering::Relaxed) + inner.ledger.spent()
+    }
+
+    /// Nanoseconds left in the live window (`None` = unbudgeted).
+    #[must_use]
+    pub fn remaining_nanos(&self) -> Option<u64> {
+        self.ledger().remaining()
+    }
+}
+
+/// Why a [`BoundedQueue`] push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueRejection {
+    /// The queue is at capacity — the caller should shed load
+    /// (HTTP 503 + `Retry-After`), **never** buffer unboundedly.
+    Full,
+    /// The queue is closed (service shutting down) — no new work is
+    /// admitted.
+    Closed,
+}
+
+/// A bounded MPMC work queue with explicit backpressure and a drain
+/// protocol — the serving front-end's admission point.
+///
+/// * [`push`](BoundedQueue::push) never blocks and never buffers past
+///   `capacity`: a full queue is the caller's signal to shed.
+/// * [`pop`](BoundedQueue::pop) blocks until work arrives, and returns
+///   `None` only once the queue is **closed and drained** — so worker
+///   threads naturally finish every admitted job before exiting, which
+///   is exactly the graceful-shutdown contract (no accepted request is
+///   dropped).
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    inner: Mutex<QueueInner<T>>,
+    available: Condvar,
+}
+
+#[derive(Debug)]
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` items (zero is legal: every
+    /// push is refused — useful for forcing the shed path in tests).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            capacity,
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// The admission bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued (admitted, not yet popped).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .items
+            .len()
+    }
+
+    /// Whether the queue is currently empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking admission: `Err(Full)` at capacity, `Err(Closed)`
+    /// after [`close`](BoundedQueue::close). The rejected item comes
+    /// back to the caller either way.
+    pub fn push(&self, item: T) -> Result<(), (T, QueueRejection)> {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if inner.closed {
+            return Err((item, QueueRejection::Closed));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err((item, QueueRejection::Full));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocking removal: waits for an item, returns `None` once the
+    /// queue is closed **and** drained.
+    #[must_use]
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .available
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Close the queue: every subsequent push is refused, and blocked
+    /// poppers drain the remaining items then observe `None`.
+    pub fn close(&self) {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        inner.closed = true;
+        drop(inner);
+        self.available.notify_all();
     }
 }
 
@@ -433,6 +710,17 @@ impl AnnotationService {
     #[must_use]
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.typer.step_cache().map(|cache| cache.stats())
+    }
+
+    /// Flush the attached step cache's durable state (a no-op for
+    /// purely in-memory caches and uncached services): the
+    /// graceful-shutdown hook — after this returns, a tiered cache's
+    /// disk segment is synced and a warm restart serves hits.
+    pub fn flush(&self) -> std::io::Result<()> {
+        match self.typer.step_cache() {
+            Some(cache) => cache.flush(),
+            None => Ok(()),
+        }
     }
 
     /// The worker budget for the next batch: the configured thread
@@ -1128,6 +1416,193 @@ mod tests {
         let _ = service.annotate_batch(&tables);
         assert_eq!(sizer.thread_target(), 4);
         assert_eq!(service.effective_threads(), 4);
+    }
+
+    #[test]
+    fn traffic_lane_labels_round_trip() {
+        for lane in TrafficLane::ALL {
+            assert_eq!(TrafficLane::from_label(lane.label()), Some(lane));
+        }
+        assert_eq!(
+            TrafficLane::from_label("INTERACTIVE"),
+            Some(TrafficLane::Interactive)
+        );
+        assert_eq!(TrafficLane::from_label("Crawl"), Some(TrafficLane::Crawl));
+        assert_eq!(TrafficLane::from_label("bulk"), None);
+        assert_eq!(TrafficLane::from_label(""), None);
+    }
+
+    #[test]
+    fn lane_ledger_shares_one_window_and_rolls() {
+        let lane = LaneLedger::new(TrafficLane::Crawl, Some(1_000), Duration::from_millis(10));
+        assert_eq!(lane.lane(), TrafficLane::Crawl);
+        assert_eq!(lane.window_budget(), Some(1_000));
+        // Two callers inside one window charge the same ledger.
+        let a = lane.ledger();
+        let b = lane.ledger();
+        a.charge(600);
+        b.charge(600);
+        assert!(a.exhausted() && b.exhausted());
+        assert_eq!(lane.total_spent_nanos(), 1_200);
+        assert_eq!(lane.remaining_nanos(), Some(0));
+        // After the window elapses the budget refills but cumulative
+        // spend is monotone.
+        std::thread::sleep(Duration::from_millis(15));
+        let fresh = lane.ledger();
+        assert!(!fresh.exhausted());
+        assert_eq!(fresh.remaining(), Some(1_000));
+        assert_eq!(lane.total_spent_nanos(), 1_200);
+        fresh.charge(5);
+        assert_eq!(lane.total_spent_nanos(), 1_205);
+    }
+
+    #[test]
+    fn unbudgeted_lane_never_rolls_or_degrades() {
+        let lane = LaneLedger::new(TrafficLane::Interactive, None, Duration::from_millis(1));
+        let ledger = lane.ledger();
+        ledger.charge(u64::MAX / 2);
+        assert!(!ledger.exhausted());
+        assert_eq!(lane.remaining_nanos(), None);
+        std::thread::sleep(Duration::from_millis(3));
+        // Same live ledger after the "window": unbudgeted lanes keep
+        // one cumulative ledger forever.
+        assert_eq!(lane.total_spent_nanos(), u64::MAX / 2);
+    }
+
+    #[test]
+    fn bounded_queue_backpressure_and_drain() {
+        let queue = BoundedQueue::new(2);
+        assert_eq!(queue.capacity(), 2);
+        assert!(queue.is_empty());
+        queue.push(1).unwrap();
+        queue.push(2).unwrap();
+        assert_eq!(queue.len(), 2);
+        // Full: the item comes back with the rejection.
+        let (item, why) = queue.push(3).unwrap_err();
+        assert_eq!((item, why), (3, QueueRejection::Full));
+        // Close: pending items still drain, then poppers see None and
+        // new pushes are refused.
+        queue.close();
+        assert_eq!(queue.push(4).unwrap_err().1, QueueRejection::Closed);
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.pop(), Some(2));
+        assert_eq!(queue.pop(), None);
+        // Zero capacity refuses everything — the forced-shed path.
+        let zero: BoundedQueue<u8> = BoundedQueue::new(0);
+        assert_eq!(zero.push(9).unwrap_err().1, QueueRejection::Full);
+    }
+
+    #[test]
+    fn bounded_queue_close_wakes_blocked_poppers() {
+        let queue = Arc::new(BoundedQueue::<u32>::new(4));
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    let mut got = 0u32;
+                    while let Some(item) = q.pop() {
+                        got += item;
+                    }
+                    got
+                })
+            })
+            .collect();
+        for i in 1..=4 {
+            // Blocked consumers may outpace the producer; retry fulls.
+            loop {
+                match queue.push(i) {
+                    Ok(()) => break,
+                    Err((_, QueueRejection::Full)) => std::thread::yield_now(),
+                    Err((_, QueueRejection::Closed)) => unreachable!(),
+                }
+            }
+        }
+        queue.close();
+        let total: u32 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert_eq!(total, 1 + 2 + 3 + 4, "every admitted item is served");
+    }
+
+    /// Satellite regression: inverted bounds must normalize instead of
+    /// panicking, and a pathological shed/thrash oscillation must stay
+    /// inside `[min_capacity, max_capacity]` and at most the attach-time
+    /// thread count — forever, not just for one step.
+    #[test]
+    fn sizer_bounds_survive_inversion_and_oscillation() {
+        // min > max: normalized (max wins), no panic.
+        let inverted = AdaptiveSizer::new(
+            AdaptiveSizingConfig {
+                min_capacity: 4096,
+                max_capacity: 512,
+                ..AdaptiveSizingConfig::default()
+            },
+            1024,
+            4,
+        );
+        assert_eq!(inverted.capacity_target(), 512);
+        // max 0: degrades to 1.
+        let zeroed = AdaptiveSizer::new(
+            AdaptiveSizingConfig {
+                min_capacity: 0,
+                max_capacity: 0,
+                ..AdaptiveSizingConfig::default()
+            },
+            1024,
+            4,
+        );
+        assert_eq!(zeroed.capacity_target(), 1);
+
+        let config = AdaptiveSizingConfig {
+            min_capacity: 256,
+            max_capacity: 2048,
+            min_lookups: 1,
+            ..AdaptiveSizingConfig::default()
+        };
+        let sizer = AdaptiveSizer::new(config, 1024, 6);
+        let thrash = CacheStats {
+            hits: 0,
+            misses: 100,
+            inserts: 100,
+            evictions: 80,
+            entries: 2048,
+        };
+        let cozy = CacheStats {
+            hits: 99,
+            misses: 1,
+            inserts: 0,
+            evictions: 0,
+            entries: 1,
+        };
+        for round in 0..50 {
+            let _ = sizer.plan_capacity(if round % 2 == 0 { &thrash } else { &cozy });
+            let _ = sizer.plan_threads(if round % 2 == 0 { 1.0 } else { 0.0 });
+            let cap = sizer.capacity_target();
+            assert!(
+                (config.min_capacity..=config.max_capacity).contains(&cap),
+                "round {round}: capacity {cap} escaped the bounds"
+            );
+            let threads = sizer.thread_target();
+            assert!(
+                (1..=6).contains(&threads),
+                "round {round}: thread target {threads} escaped [1, attach-time 6]"
+            );
+        }
+        // Sustained thrash + clean batches pin to the configured caps,
+        // never beyond.
+        for _ in 0..20 {
+            let _ = sizer.plan_capacity(&thrash);
+            let _ = sizer.plan_threads(0.0);
+        }
+        assert_eq!(sizer.capacity_target(), 2048);
+        assert_eq!(sizer.thread_target(), 6);
+    }
+
+    #[test]
+    fn flush_is_safe_for_uncached_and_cached_services() {
+        let uncached = AnnotationService::new(global(), SigmaTyperConfig::default());
+        uncached.flush().expect("uncached flush is a no-op");
+        let cached = AnnotationService::new(global(), SigmaTyperConfig::default()).cached(64);
+        let _ = cached.annotate_batch(&batch(0xF1, 2));
+        cached.flush().expect("in-memory flush succeeds");
     }
 
     #[test]

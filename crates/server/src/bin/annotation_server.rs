@@ -1,0 +1,203 @@
+//! `annotation-server` — the deployable entry point: build a demo
+//! global model, optionally attach the persistent cache tier, serve
+//! HTTP until SIGTERM/SIGINT or `POST /shutdown`, then drain
+//! gracefully and exit 0.
+//!
+//! ```text
+//! annotation-server [--addr 127.0.0.1:8844] [--workers N]
+//!                   [--queue-capacity N] [--cache-dir DIR]
+//!                   [--interactive-budget-nanos N]
+//!                   [--crawl-budget-nanos N]
+//!                   [--budget-window-ms N]
+//! ```
+
+use sigmatyper::{train_global, DurableEpochSource, SigmaTyper, TieredStepCache, TrainingConfig};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tu_server::{AnnotationServer, ServerConfig};
+
+/// Set by the signal handler; polled by the main loop. A `static`
+/// because C signal handlers can't capture state.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+/// Raw libc signal plumbing: std exposes no signal API and crates.io
+/// is off the table, so register a minimal async-signal-safe handler
+/// (one relaxed store) for SIGINT and SIGTERM ourselves.
+#[cfg(unix)]
+mod sig {
+    use super::SIGNALLED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALLED.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        // SAFETY: `on_signal` only performs an atomic store, which is
+        // async-signal-safe; the handler pointer outlives the process.
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+}
+
+struct Args {
+    addr: String,
+    workers: Option<usize>,
+    queue_capacity: usize,
+    cache_dir: Option<String>,
+    interactive_budget_nanos: Option<u64>,
+    crawl_budget_nanos: Option<u64>,
+    budget_window_ms: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: annotation-server [--addr HOST:PORT] [--workers N] [--queue-capacity N]\n\
+         \x20                        [--cache-dir DIR] [--interactive-budget-nanos N]\n\
+         \x20                        [--crawl-budget-nanos N] [--budget-window-ms N]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:8844".to_owned(),
+        workers: None,
+        queue_capacity: 64,
+        cache_dir: None,
+        interactive_budget_nanos: None,
+        crawl_budget_nanos: None,
+        budget_window_ms: 1000,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--workers" => args.workers = Some(parse_num(&value("--workers"), "--workers")),
+            "--queue-capacity" => {
+                args.queue_capacity = parse_num(&value("--queue-capacity"), "--queue-capacity");
+            }
+            "--cache-dir" => args.cache_dir = Some(value("--cache-dir")),
+            "--interactive-budget-nanos" => {
+                args.interactive_budget_nanos = Some(parse_num(
+                    &value("--interactive-budget-nanos"),
+                    "--interactive-budget-nanos",
+                ));
+            }
+            "--crawl-budget-nanos" => {
+                args.crawl_budget_nanos = Some(parse_num(
+                    &value("--crawl-budget-nanos"),
+                    "--crawl-budget-nanos",
+                ));
+            }
+            "--budget-window-ms" => {
+                args.budget_window_ms =
+                    parse_num(&value("--budget-window-ms"), "--budget-window-ms");
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("error: {flag} got {s:?}, expected a non-negative integer");
+        usage()
+    })
+}
+
+/// The demo global model: the builtin ontology trained on a generated
+/// database-like corpus, the same shape the examples and benches use.
+/// A real deployment would feed its own corpus here.
+fn build_typer(args: &Args) -> std::io::Result<SigmaTyper> {
+    let ontology = tu_ontology::builtin_ontology();
+    let corpus =
+        tu_corpus::generate_corpus(&ontology, &tu_corpus::CorpusConfig::database_like(42, 40));
+    let global = Arc::new(train_global(ontology, &corpus, &TrainingConfig::fast()));
+    let mut builder = SigmaTyper::builder(global);
+    if let Some(dir) = &args.cache_dir {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir)?;
+        let tier = TieredStepCache::open(dir.join("cache"), 1 << 16)?;
+        let epochs = DurableEpochSource::open(dir.join("epoch"))?;
+        builder = builder
+            .step_cache(Arc::new(tier))
+            .epoch_source(Arc::new(epochs));
+    }
+    Ok(builder.build())
+}
+
+fn main() -> ExitCode {
+    sig::install();
+    let args = parse_args();
+    let typer = match build_typer(&args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: failed to open cache tier: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut config = ServerConfig {
+        queue_capacity: args.queue_capacity,
+        interactive_budget_nanos: args.interactive_budget_nanos,
+        crawl_budget_nanos: args.crawl_budget_nanos,
+        budget_window: Duration::from_millis(args.budget_window_ms.max(1)),
+        ..ServerConfig::default()
+    };
+    if let Some(workers) = args.workers {
+        config.workers = workers.max(1);
+    }
+    let server = match AnnotationServer::start(args.addr.as_str(), typer, &config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: failed to bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    // CI and scripts scrape this line for the bound (possibly
+    // ephemeral) port; keep the format stable.
+    println!("listening on {}", server.local_addr());
+
+    while !SIGNALLED.load(Ordering::Relaxed) && !server.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    println!("draining for shutdown");
+    match server.shutdown() {
+        Ok(()) => {
+            println!("shutdown complete");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cache flush during shutdown failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,674 @@
+//! Long-running HTTP/1.1 + JSON annotation server over the SigmaTyper
+//! sync core — the front-end that turns the engine of PRs 1–6 into the
+//! paper's actual deployment shape: one shared global model serving
+//! live traffic (§4), with the two-lane budgets of ROADMAP item 5 at
+//! the door.
+//!
+//! # Architecture
+//!
+//! ```text
+//! clients ──HTTP──▶ httpshim (1 thread/conn) ──▶ BoundedQueue ──▶ worker pool ──▶ SigmaTyper
+//!                        │ 503 + Retry-After ◀──┘ (full)              │
+//!                        ◀──────────────── reply channel ◀────────────┘
+//! ```
+//!
+//! * **Admission** ([`BoundedQueue`]): every request is queued or shed
+//!   — never buffered without bound. A full queue answers
+//!   `503 Service Unavailable` with `Retry-After`. The **crawl lane is
+//!   cut off at half capacity**, so background traffic sheds first and
+//!   interactive requests keep the remaining headroom.
+//! * **Lanes** ([`LaneLedger`]): each traffic class (selected by the
+//!   `x-sigma-lane` header) charges one shared, per-window refilling
+//!   [`BudgetLedger`]; when a lane's window drains, its requests
+//!   degrade per their policy while the other lane is untouched.
+//! * **Workers**: a fixed pool popping jobs and driving the sync core —
+//!   singles via [`SigmaTyper::annotate_request_shared`], batches via
+//!   the [`AnnotationService`] two-level scheduler.
+//! * **Feedback**: `POST /feedback` takes the customer write lock,
+//!   runs the paper's adaptation loop, and bumps the epoch — connected
+//!   clients observe the invalidation on their next request.
+//! * **Graceful shutdown** ([`AnnotationServer::shutdown`]): stop
+//!   accepting, drain every in-flight response, close the queue, join
+//!   the workers, [`flush`](AnnotationService::flush) the cache tier.
+//!   No admitted request is dropped; a durable epoch file stays
+//!   consistent for a warm restart.
+//!
+//! # Endpoints
+//!
+//! | Method | Path              | Body / effect |
+//! |--------|-------------------|---------------|
+//! | POST   | `/annotate`       | `{"table": …, "options"?: …}` → one outcome |
+//! | POST   | `/annotate_batch` | `{"tables": […], "options"?: …}` → outcomes in order |
+//! | POST   | `/feedback`       | `{"table": …, "col_idx": n, "type": "name"}` → adaptation + epoch bump |
+//! | GET    | `/metrics`        | queue depth, in-flight, per-lane spend/shed, cache stats + delta |
+//! | GET    | `/healthz`        | liveness |
+//! | POST   | `/shutdown`       | request graceful drain (for operators/CI) |
+//!
+//! [`BudgetLedger`]: sigmatyper::BudgetLedger
+
+#![warn(missing_docs)]
+
+pub mod wire;
+
+use httpshim::{HttpServer, Request, Response};
+use jsonshim::Json;
+use sigmatyper::cache::CacheStats;
+use sigmatyper::executor::CascadeExecutor;
+use sigmatyper::request::{AnnotationOutcome, BudgetLedger, RequestOptions};
+use sigmatyper::service::{
+    AnnotationService, BoundedQueue, LaneLedger, QueueRejection, TrafficLane,
+};
+use sigmatyper::SigmaTyper;
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Serving knobs of an [`AnnotationServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads popping the admission queue.
+    pub workers: usize,
+    /// Admission bound: requests beyond this shed with 503. Zero is
+    /// legal (everything sheds — the degenerate load-test shape).
+    pub queue_capacity: usize,
+    /// Interactive lane: step-work budget per window (`None` =
+    /// unbudgeted).
+    pub interactive_budget_nanos: Option<u64>,
+    /// Crawl lane: step-work budget per window (`None` = unbudgeted).
+    /// Size this tighter than interactive — the crawl lane is the one
+    /// that degrades first by design.
+    pub crawl_budget_nanos: Option<u64>,
+    /// Length of one lane-budget window.
+    pub budget_window: Duration,
+    /// `Retry-After` seconds advertised on 503 responses.
+    pub retry_after_secs: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: std::thread::available_parallelism().map_or(2, std::num::NonZero::get),
+            queue_capacity: 64,
+            interactive_budget_nanos: None,
+            crawl_budget_nanos: None,
+            budget_window: Duration::from_secs(1),
+            retry_after_secs: 1,
+        }
+    }
+}
+
+/// A job admitted into the queue: the parsed request plus the reply
+/// channel its connection thread blocks on.
+enum Job {
+    Single {
+        table: tu_table::Table,
+        options: RequestOptions,
+        lane: TrafficLane,
+        reply: mpsc::Sender<String>,
+    },
+    Batch {
+        tables: Vec<tu_table::Table>,
+        options: RequestOptions,
+        lane: TrafficLane,
+        reply: mpsc::Sender<String>,
+    },
+}
+
+/// Per-lane serving counters. `served`/`shed` count *requests* (a
+/// batch is one request); together they account for every arrival —
+/// the `/metrics` contract.
+#[derive(Debug, Default)]
+struct LaneCounters {
+    served: AtomicU64,
+    shed: AtomicU64,
+    degraded: AtomicU64,
+}
+
+struct LaneState {
+    ledger: LaneLedger,
+    counters: LaneCounters,
+}
+
+struct ServerState {
+    typer: RwLock<SigmaTyper>,
+    queue: BoundedQueue<Job>,
+    lanes: [LaneState; 2],
+    in_flight: AtomicUsize,
+    workers: usize,
+    retry_after_secs: u32,
+    shutdown_requested: AtomicBool,
+    /// Baseline for the `/metrics` cache delta: stats at the previous
+    /// scrape.
+    metrics_baseline: Mutex<CacheStats>,
+}
+
+impl ServerState {
+    fn lane(&self, lane: TrafficLane) -> &LaneState {
+        &self.lanes[match lane {
+            TrafficLane::Interactive => 0,
+            TrafficLane::Crawl => 1,
+        }]
+    }
+
+    /// Lane-aware admission: the crawl lane is refused once the queue
+    /// is half full (background traffic sheds first); interactive
+    /// requests are admitted until genuinely full.
+    fn admit(&self, lane: TrafficLane, job: Job) -> Result<(), QueueRejection> {
+        if lane == TrafficLane::Crawl && self.queue.len() >= self.queue.capacity() / 2 {
+            return Err(QueueRejection::Full);
+        }
+        self.queue.push(job).map_err(|(_, why)| why)
+    }
+
+    fn shed_response(&self, lane: TrafficLane, why: QueueRejection) -> Response {
+        self.lane(lane)
+            .counters
+            .shed
+            .fetch_add(1, Ordering::Relaxed);
+        let detail = match why {
+            QueueRejection::Full => "annotation queue is full",
+            QueueRejection::Closed => "server is draining for shutdown",
+        };
+        Response::status(503)
+            .with_header("Retry-After", &self.retry_after_secs.to_string())
+            .with_json(
+                Json::object(vec![
+                    ("error", Json::from(detail)),
+                    ("lane", Json::from(lane.label())),
+                ])
+                .to_string(),
+            )
+    }
+}
+
+/// A running annotation server: HTTP front-end, admission queue, and
+/// worker pool over one customer [`SigmaTyper`].
+pub struct AnnotationServer {
+    http: HttpServer,
+    state: Arc<ServerState>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl AnnotationServer {
+    /// Bind `addr` (port 0 for ephemeral) and start serving `typer`
+    /// under `config`. The typer keeps whatever cache/epoch plumbing it
+    /// was built with — attach a
+    /// [`TieredStepCache`](sigmatyper::diskcache::TieredStepCache) and
+    /// a [`DurableEpochSource`](sigmatyper::diskcache::DurableEpochSource)
+    /// for a warm-restartable deployment.
+    pub fn start<A: ToSocketAddrs>(
+        addr: A,
+        typer: SigmaTyper,
+        config: &ServerConfig,
+    ) -> io::Result<AnnotationServer> {
+        let state = Arc::new(ServerState {
+            typer: RwLock::new(typer),
+            queue: BoundedQueue::new(config.queue_capacity),
+            lanes: [
+                LaneState {
+                    ledger: LaneLedger::new(
+                        TrafficLane::Interactive,
+                        config.interactive_budget_nanos,
+                        config.budget_window,
+                    ),
+                    counters: LaneCounters::default(),
+                },
+                LaneState {
+                    ledger: LaneLedger::new(
+                        TrafficLane::Crawl,
+                        config.crawl_budget_nanos,
+                        config.budget_window,
+                    ),
+                    counters: LaneCounters::default(),
+                },
+            ],
+            in_flight: AtomicUsize::new(0),
+            workers: config.workers.max(1),
+            retry_after_secs: config.retry_after_secs,
+            shutdown_requested: AtomicBool::new(false),
+            metrics_baseline: Mutex::new(CacheStats::default()),
+        });
+        let workers = (0..state.workers)
+            .map(|i| {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("annotate-worker-{i}"))
+                    .spawn(move || worker_loop(&state))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        let handler_state = Arc::clone(&state);
+        let http = HttpServer::bind(addr, move |req: &Request| route(&handler_state, req))?;
+        Ok(AnnotationServer {
+            http,
+            state,
+            workers,
+        })
+    }
+
+    /// The bound address.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.http.local_addr()
+    }
+
+    /// Whether a client asked for a drain via `POST /shutdown` (the
+    /// binary's main loop polls this alongside its signal flag).
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        self.state.shutdown_requested.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stop accepting, drain every in-flight
+    /// response, close the queue, join the workers, and flush the
+    /// cache tier. Returns the flush result — epoch durability needs
+    /// no work here because [`DurableEpochSource`] persists
+    /// write-ahead on every advance.
+    ///
+    /// [`DurableEpochSource`]: sigmatyper::diskcache::DurableEpochSource
+    pub fn shutdown(mut self) -> io::Result<()> {
+        // 1. Stop accepting; connection threads finish the request
+        //    they are serving (each blocks on its worker's reply).
+        self.http.shutdown();
+        self.http.join();
+        // 2. No connections remain, so no new jobs can arrive: close
+        //    the queue and let the workers drain what was admitted.
+        self.state.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // 3. Durable state: sync the cache segment.
+        let typer = self
+            .state
+            .typer
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match typer.step_cache() {
+            Some(cache) => cache.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+/// One worker: pop until the queue closes and drains, annotate, reply.
+fn worker_loop(state: &ServerState) {
+    while let Some(job) = state.queue.pop() {
+        state.in_flight.fetch_add(1, Ordering::SeqCst);
+        let (body, reply) = match job {
+            Job::Single {
+                table,
+                options,
+                lane,
+                reply,
+            } => (serve_single(state, &table, &options, lane), reply),
+            Job::Batch {
+                tables,
+                options,
+                lane,
+                reply,
+            } => (serve_batch(state, &tables, &options, lane), reply),
+        };
+        // Decrement before replying: a client that scrapes `/metrics`
+        // right after its response must not observe its own finished
+        // request as still in flight.
+        state.in_flight.fetch_sub(1, Ordering::SeqCst);
+        let _ = reply.send(body);
+    }
+}
+
+/// Resolve the ledger a single request charges. An unbudgeted request
+/// charges the lane's shared window ledger directly (so concurrent
+/// traffic on the lane collectively drains one budget, and lane spend
+/// metrics accumulate). A request carrying its own budget gets a local
+/// ledger capped by what its lane has left, charged back to the lane
+/// when done.
+fn serve_single(
+    state: &ServerState,
+    table: &tu_table::Table,
+    options: &RequestOptions,
+    lane: TrafficLane,
+) -> String {
+    let typer = state
+        .typer
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    // Mirror `SigmaTyper::annotate_request`: per-request parallelism
+    // overrides resolve into the executor, so an HTTP annotate is the
+    // same computation as the direct call.
+    let mut config = *typer.config();
+    if let Some(policy) = options.parallelism {
+        config.parallelism = policy;
+    }
+    if let Some(threads) = options.column_threads {
+        config.column_threads = threads;
+    }
+    let executor = CascadeExecutor::from_config(&config);
+    let lane_ledger = state.lane(lane).ledger.ledger();
+    let (request_budget, _) = options.resolved();
+    let outcome = match request_budget {
+        None => typer.annotate_request_shared(table, &executor, options, &lane_ledger),
+        Some(budget) => {
+            let capped = match lane_ledger.remaining() {
+                Some(lane_left) => budget.min(lane_left),
+                None => budget,
+            };
+            let local = BudgetLedger::bounded(capped);
+            let outcome = typer.annotate_request_shared(table, &executor, options, &local);
+            lane_ledger.charge(local.spent());
+            outcome
+        }
+    };
+    finish_outcomes(state, std::slice::from_ref(&outcome), lane);
+    wire::outcome_to_json(&outcome, typer.ontology()).to_string()
+}
+
+/// Batches ride the existing two-level scheduler
+/// ([`AnnotationService::annotate_batch_request`]), which owns one
+/// batch-wide ledger. The lane budget still binds: the batch's budget
+/// is capped at the lane window's remainder on entry, and its spend is
+/// charged back to the lane ledger when the batch completes.
+fn serve_batch(
+    state: &ServerState,
+    tables: &[tu_table::Table],
+    options: &RequestOptions,
+    lane: TrafficLane,
+) -> String {
+    let typer = state
+        .typer
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let lane_ledger = state.lane(lane).ledger.ledger();
+    let (request_budget, _) = options.resolved();
+    let effective = match (request_budget, lane_ledger.remaining()) {
+        (Some(b), Some(lane_left)) => Some(b.min(lane_left)),
+        (Some(b), None) => Some(b),
+        (None, Some(lane_left)) => Some(lane_left),
+        (None, None) => None,
+    };
+    let mut batch_options = *options;
+    batch_options.budget_nanos = effective;
+    let service = AnnotationService::for_customer(typer.clone()).with_threads(state.workers);
+    let outcomes = service.annotate_batch_request(tables, &batch_options);
+    lane_ledger.charge(outcomes.iter().map(|o| o.degradation.spent_nanos).sum());
+    finish_outcomes(state, &outcomes, lane);
+    let body = Json::object(vec![(
+        "outcomes",
+        Json::Arr(
+            outcomes
+                .iter()
+                .map(|o| wire::outcome_to_json(o, typer.ontology()))
+                .collect(),
+        ),
+    )]);
+    body.to_string()
+}
+
+fn finish_outcomes(state: &ServerState, outcomes: &[AnnotationOutcome], lane: TrafficLane) {
+    let counters = &state.lane(lane).counters;
+    counters.served.fetch_add(1, Ordering::Relaxed);
+    let degraded = outcomes.iter().filter(|o| o.degraded()).count() as u64;
+    counters.degraded.fetch_add(degraded, Ordering::Relaxed);
+}
+
+fn lane_from_request(req: &Request) -> Result<TrafficLane, Response> {
+    match req.header("x-sigma-lane") {
+        None => Ok(TrafficLane::Interactive),
+        Some(label) => TrafficLane::from_label(label).ok_or_else(|| {
+            bad_request(&format!(
+                "unknown lane {label:?}: expected \"interactive\" or \"crawl\""
+            ))
+        }),
+    }
+}
+
+fn bad_request(message: &str) -> Response {
+    Response::status(400).with_json(Json::object(vec![("error", Json::from(message))]).to_string())
+}
+
+fn parse_body(req: &Request) -> Result<Json, Response> {
+    let body = req
+        .body_str()
+        .ok_or_else(|| bad_request("request body must be UTF-8"))?;
+    Json::parse(body).map_err(|e| bad_request(&format!("invalid JSON body: {e}")))
+}
+
+/// Admit a job and block this connection thread on the worker's reply.
+fn enqueue_and_wait(
+    state: &ServerState,
+    lane: TrafficLane,
+    build: impl FnOnce(mpsc::Sender<String>) -> Job,
+) -> Response {
+    let (tx, rx) = mpsc::channel();
+    match state.admit(lane, build(tx)) {
+        Ok(()) => match rx.recv() {
+            Ok(body) => Response::json(body),
+            Err(_) => Response::status(500)
+                .with_json(Json::object(vec![("error", Json::from("worker died"))]).to_string()),
+        },
+        Err(why) => state.shed_response(lane, why),
+    }
+}
+
+fn handle_annotate(state: &ServerState, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let lane = match lane_from_request(req) {
+        Ok(lane) => lane,
+        Err(resp) => return resp,
+    };
+    let table_json = body.get("table").unwrap_or(&body);
+    let table = match wire::table_from_json(table_json) {
+        Ok(t) => t,
+        Err(e) => return bad_request(&e),
+    };
+    let options = match wire::options_from_json(body.get("options")) {
+        Ok(o) => o,
+        Err(e) => return bad_request(&e),
+    };
+    enqueue_and_wait(state, lane, |reply| Job::Single {
+        table,
+        options,
+        lane,
+        reply,
+    })
+}
+
+fn handle_annotate_batch(state: &ServerState, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let lane = match lane_from_request(req) {
+        Ok(lane) => lane,
+        Err(resp) => return resp,
+    };
+    let Some(tables_json) = body.get("tables").and_then(Json::as_array) else {
+        return bad_request("batch body must have a \"tables\" array");
+    };
+    let mut tables = Vec::with_capacity(tables_json.len());
+    for (i, t) in tables_json.iter().enumerate() {
+        match wire::table_from_json(t) {
+            Ok(table) => tables.push(table),
+            Err(e) => return bad_request(&format!("table {i}: {e}")),
+        }
+    }
+    let options = match wire::options_from_json(body.get("options")) {
+        Ok(o) => o,
+        Err(e) => return bad_request(&e),
+    };
+    enqueue_and_wait(state, lane, |reply| Job::Batch {
+        tables,
+        options,
+        lane,
+        reply,
+    })
+}
+
+/// `POST /feedback`: the paper's adaptation loop over HTTP. Takes the
+/// customer write lock (adaptation is single-writer by design), so it
+/// serializes against in-flight annotates; the epoch bump it performs
+/// invalidates stale cache entries for every subsequent request.
+fn handle_feedback(state: &ServerState, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let Some(table_json) = body.get("table") else {
+        return bad_request("feedback body must have a \"table\"");
+    };
+    let table = match wire::table_from_json(table_json) {
+        Ok(t) => t,
+        Err(e) => return bad_request(&e),
+    };
+    let Some(col_idx) = body.get("col_idx").and_then(Json::as_usize) else {
+        return bad_request("feedback body must have an integer \"col_idx\"");
+    };
+    if col_idx >= table.n_cols() {
+        return bad_request(&format!(
+            "col_idx {col_idx} out of range for a {}-column table",
+            table.n_cols()
+        ));
+    }
+    let Some(type_name) = body.get("type").and_then(Json::as_str) else {
+        return bad_request("feedback body must have a string \"type\"");
+    };
+    let mut typer = state
+        .typer
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let Some(ty) = typer.ontology().lookup_exact(type_name) else {
+        return bad_request(&format!("unknown type {type_name:?}"));
+    };
+    typer.feedback(&table, col_idx, ty, None);
+    let epoch = typer.cache_epoch();
+    Response::json(
+        Json::object(vec![("ok", Json::from(true)), ("epoch", Json::from(epoch))]).to_string(),
+    )
+}
+
+fn lane_metrics(state: &ServerState, lane: TrafficLane) -> Json {
+    let ls = state.lane(lane);
+    Json::object(vec![
+        (
+            "served",
+            Json::from(ls.counters.served.load(Ordering::Relaxed)),
+        ),
+        ("shed", Json::from(ls.counters.shed.load(Ordering::Relaxed))),
+        (
+            "degraded",
+            Json::from(ls.counters.degraded.load(Ordering::Relaxed)),
+        ),
+        ("spent_nanos", Json::from(ls.ledger.total_spent_nanos())),
+        ("window_budget_nanos", Json::from(ls.ledger.window_budget())),
+        (
+            "window_remaining_nanos",
+            Json::from(ls.ledger.remaining_nanos()),
+        ),
+    ])
+}
+
+fn cache_stats_json(stats: &CacheStats) -> Json {
+    Json::object(vec![
+        ("hits", Json::from(stats.hits)),
+        ("misses", Json::from(stats.misses)),
+        ("inserts", Json::from(stats.inserts)),
+        ("evictions", Json::from(stats.evictions)),
+        ("entries", Json::from(stats.entries)),
+    ])
+}
+
+fn handle_metrics(state: &ServerState) -> Response {
+    let typer = state
+        .typer
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let cache = typer.step_cache().map(|c| c.stats());
+    let epoch = typer.cache_epoch();
+    drop(typer);
+    let (cache_json, delta_json) = match cache {
+        Some(stats) => {
+            let mut baseline = state
+                .metrics_baseline
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let delta = stats.since(&baseline);
+            *baseline = stats;
+            (cache_stats_json(&stats), cache_stats_json(&delta))
+        }
+        None => (Json::Null, Json::Null),
+    };
+    let mut served = 0u64;
+    let mut shed = 0u64;
+    for lane in TrafficLane::ALL {
+        let c = &state.lane(lane).counters;
+        served += c.served.load(Ordering::Relaxed);
+        shed += c.shed.load(Ordering::Relaxed);
+    }
+    let shed_rate = if served + shed == 0 {
+        0.0
+    } else {
+        shed as f64 / (served + shed) as f64
+    };
+    let body = Json::object(vec![
+        ("queue_depth", Json::from(state.queue.len())),
+        ("queue_capacity", Json::from(state.queue.capacity())),
+        (
+            "in_flight",
+            Json::from(state.in_flight.load(Ordering::SeqCst)),
+        ),
+        ("workers", Json::from(state.workers)),
+        ("epoch", Json::from(epoch)),
+        (
+            "lanes",
+            Json::object(vec![
+                (
+                    TrafficLane::Interactive.label(),
+                    lane_metrics(state, TrafficLane::Interactive),
+                ),
+                (
+                    TrafficLane::Crawl.label(),
+                    lane_metrics(state, TrafficLane::Crawl),
+                ),
+            ]),
+        ),
+        ("shed_rate", Json::from(shed_rate)),
+        ("cache", cache_json),
+        ("cache_delta", delta_json),
+    ]);
+    Response::json(body.to_string())
+}
+
+fn route(state: &ServerState, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/annotate") => handle_annotate(state, req),
+        ("POST", "/annotate_batch") => handle_annotate_batch(state, req),
+        ("POST", "/feedback") => handle_feedback(state, req),
+        ("GET", "/metrics") => handle_metrics(state),
+        ("GET", "/healthz") => {
+            Response::json(Json::object(vec![("ok", Json::from(true))]).to_string())
+        }
+        ("POST", "/shutdown") => {
+            state.shutdown_requested.store(true, Ordering::SeqCst);
+            Response::json(
+                Json::object(vec![
+                    ("ok", Json::from(true)),
+                    ("draining", Json::from(true)),
+                ])
+                .to_string(),
+            )
+        }
+        (
+            _,
+            "/annotate" | "/annotate_batch" | "/feedback" | "/metrics" | "/healthz" | "/shutdown",
+        ) => Response::status(405)
+            .with_json(Json::object(vec![("error", Json::from("method not allowed"))]).to_string()),
+        _ => Response::status(404)
+            .with_json(Json::object(vec![("error", Json::from("no such endpoint"))]).to_string()),
+    }
+}

@@ -1,0 +1,99 @@
+//! Smoke client for the annotation server: POST a table to
+//! `/annotate`, print the per-column decisions, then scrape
+//! `/metrics`.
+//!
+//! By default it starts an in-process server on an ephemeral port (so
+//! `cargo run --example annotate_client` is self-contained); set
+//! `SIGMA_SERVER_ADDR=host:port` to target an already-running
+//! `annotation-server` instead — CI launches the binary and drives
+//! this example against it.
+
+use httpshim::HttpClient;
+use jsonshim::Json;
+use sigmatyper::{train_global, SigmaTyper, TrainingConfig};
+use std::sync::Arc;
+use tu_corpus::{generate_corpus, CorpusConfig};
+use tu_ontology::builtin_ontology;
+use tu_server::{AnnotationServer, ServerConfig};
+
+fn main() {
+    // An in-process fallback server keeps the example self-contained.
+    let (addr, server) = match std::env::var("SIGMA_SERVER_ADDR") {
+        Ok(addr) => (addr, None),
+        Err(_) => {
+            let ontology = builtin_ontology();
+            let corpus = generate_corpus(&ontology, &CorpusConfig::database_like(42, 40));
+            let global = Arc::new(train_global(ontology, &corpus, &TrainingConfig::fast()));
+            let typer = SigmaTyper::builder(global).build();
+            let server = AnnotationServer::start("127.0.0.1:0", typer, &ServerConfig::default())
+                .expect("start in-process server");
+            (server.local_addr().to_string(), Some(server))
+        }
+    };
+    println!("annotating against {addr}");
+    let mut client = HttpClient::connect(addr.as_str()).expect("connect");
+
+    let body = r#"{
+        "table": {
+            "name": "contacts",
+            "columns": [
+                {"header": "full name", "values": ["Ada Lovelace", "Alan Turing", "Grace Hopper"]},
+                {"header": "email", "values": ["ada@example.org", "alan@example.org", "grace@example.org"]},
+                {"header": "city", "values": ["London", "Manchester", "Arlington"]}
+            ]
+        }
+    }"#;
+    let resp = client
+        .post_json("/annotate", body, &[("x-sigma-lane", "interactive")])
+        .expect("POST /annotate");
+    assert_eq!(resp.status, 200, "annotate failed: {}", resp.body_str());
+    let outcome = Json::parse(&resp.body_str()).expect("outcome json");
+    println!("column decisions:");
+    for col in outcome
+        .get("columns")
+        .and_then(Json::as_array)
+        .expect("columns")
+    {
+        let idx = col.get("col_idx").and_then(Json::as_u64).unwrap_or(0);
+        let predicted = col
+            .get("predicted")
+            .and_then(Json::as_str)
+            .unwrap_or("(abstained)");
+        let confidence = col.get("confidence").and_then(Json::as_f64).unwrap_or(0.0);
+        let steps = col
+            .get("steps_run")
+            .and_then(Json::as_array)
+            .map(|s| {
+                s.iter()
+                    .filter_map(Json::as_str)
+                    .collect::<Vec<_>>()
+                    .join(" -> ")
+            })
+            .unwrap_or_default();
+        println!("  col {idx}: {predicted:<12} confidence {confidence:.3}  via {steps}");
+    }
+
+    let metrics = client.get("/metrics").expect("GET /metrics");
+    assert_eq!(metrics.status, 200);
+    let m = Json::parse(&metrics.body_str()).expect("metrics json");
+    let served: u64 = ["interactive", "crawl"]
+        .iter()
+        .filter_map(|lane| {
+            m.get("lanes")
+                .and_then(|l| l.get(lane))
+                .and_then(|l| l.get("served"))
+                .and_then(Json::as_u64)
+        })
+        .sum();
+    println!(
+        "metrics: served {served}, queue depth {}, epoch {}",
+        m.get("queue_depth").and_then(Json::as_u64).unwrap_or(0),
+        m.get("epoch").and_then(Json::as_u64).unwrap_or(0),
+    );
+    assert!(served >= 1, "metrics must account the served request");
+
+    if let Some(server) = server {
+        server.shutdown().expect("graceful shutdown");
+        println!("in-process server drained cleanly");
+    }
+}

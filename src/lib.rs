@@ -17,5 +17,6 @@ pub use tu_ml as ml;
 pub use tu_ontology as ontology;
 pub use tu_profile as profile;
 pub use tu_regex as regex;
+pub use tu_server as server;
 pub use tu_table as table;
 pub use tu_text as text;

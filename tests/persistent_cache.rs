@@ -184,6 +184,10 @@ fn truncated_segment_is_cold_never_garbage() {
     for (a, b) in reference.iter().zip(&after) {
         assert_identical(a, b);
     }
+    // Release the advisory writer lock before reopening below
+    // (shadowing alone would keep the old handle — and its lock —
+    // alive to the end of scope).
+    drop(typer);
 
     // Sever the whole file down to a bare header: fully cold, still
     // correct.
@@ -237,10 +241,12 @@ fn adaptation_in_one_process_invalidates_entries_read_by_another() {
     assert_eq!(hits, 0, "no pre-correction score may be served");
 
     // Compaction under the live epoch reclaims A's unreachable
-    // entries while keeping B's fresh ones.
-    let cache = TieredStepCache::open(scratch.0.join("cache"), 1 << 14).expect("reopen tier");
+    // entries while keeping B's fresh ones. Dropping the typer first
+    // releases the directory's advisory writer lock, else the reopen
+    // would (correctly) refuse a second live writer.
     let live = typer.cache_epoch();
     drop(typer);
+    let cache = TieredStepCache::open(scratch.0.join("cache"), 1 << 14).expect("reopen tier");
     let before_len = cache.l2().len();
     let dropped = cache.compact(&[live]).expect("compact");
     assert!(dropped > 0, "stale-epoch entries were reclaimed");

@@ -1,0 +1,500 @@
+//! End-to-end tests of the HTTP annotation server: the loopback wire
+//! path must be **bit-identical** to the direct in-process call, the
+//! bounded queue must shed with 503 (crawl lane first), feedback must
+//! invalidate the warm cache through an epoch bump, and graceful
+//! shutdown must lose no in-flight response while leaving the disk
+//! tier consistent for a warm restart.
+
+use httpshim::HttpClient;
+use jsonshim::Json;
+use sigmatyper::{
+    train_global, AnnotationRequest, DurableEpochSource, GlobalModel, SigmaTyper, TieredStepCache,
+    TrainingConfig,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+use tu_corpus::{generate_corpus, CorpusConfig};
+use tu_ontology::builtin_ontology;
+use tu_server::{AnnotationServer, ServerConfig};
+use tu_table::Table;
+
+/// Temp dir removed on drop, pass or fail.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!(
+            "sigmatyper-server-http-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn demo_global(seed: u64) -> (Arc<GlobalModel>, Vec<Table>) {
+    let ontology = builtin_ontology();
+    let corpus = generate_corpus(&ontology, &CorpusConfig::database_like(seed, 24));
+    let global = Arc::new(train_global(ontology, &corpus, &TrainingConfig::fast()));
+    let tables = corpus.tables.iter().map(|at| at.table.clone()).collect();
+    (global, tables)
+}
+
+fn demo_typer(seed: u64) -> (SigmaTyper, Vec<Table>) {
+    let (global, tables) = demo_global(seed);
+    (SigmaTyper::builder(global).build(), tables)
+}
+
+/// Encode a [`Table`] into the server's request wire format.
+fn table_to_request_json(table: &Table) -> String {
+    let columns: Vec<Json> = table
+        .columns()
+        .iter()
+        .map(|col| {
+            let values: Vec<Json> = col.values.iter().map(|v| Json::from(v.render())).collect();
+            Json::object(vec![
+                ("header", Json::from(col.name.as_str())),
+                ("values", Json::Arr(values)),
+            ])
+        })
+        .collect();
+    Json::object(vec![
+        ("name", Json::from(table.name.as_str())),
+        ("columns", Json::Arr(columns)),
+    ])
+    .to_string()
+}
+
+/// The request body for `POST /annotate`.
+fn annotate_body(table: &Table) -> String {
+    format!(r#"{{"table":{}}}"#, table_to_request_json(table))
+}
+
+/// A wire round trip re-types cells from rendered strings, so the
+/// direct baseline must annotate the same re-typed table the server
+/// sees — decode through the same codec the server uses.
+fn wire_table(table: &Table) -> Table {
+    let doc = Json::parse(&table_to_request_json(table)).expect("wire table json");
+    tu_server::wire::table_from_json(&doc).expect("wire table decode")
+}
+
+/// Zero out `degradation.spent_nanos` — wall-clock telemetry, the one
+/// legitimately nondeterministic field of an outcome. Everything else
+/// (predictions, confidences to the bit, step traces, skip reports)
+/// must match exactly.
+fn normalize_outcome(outcome: &Json) -> String {
+    let mut v = outcome.clone();
+    if let Json::Obj(fields) = &mut v {
+        for (key, value) in fields.iter_mut() {
+            if key == "degradation" {
+                if let Json::Obj(report) = value {
+                    for (rk, rv) in report.iter_mut() {
+                        if rk == "spent_nanos" {
+                            *rv = Json::from(0u64);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    v.to_string()
+}
+
+fn normalize_body(body: &str) -> String {
+    normalize_outcome(&Json::parse(body).expect("outcome json"))
+}
+
+#[test]
+fn concurrent_http_annotate_is_bit_identical_to_direct() {
+    let (typer, tables) = demo_typer(41);
+    let tables: Vec<Table> = tables.into_iter().take(4).collect();
+    let server = AnnotationServer::start(
+        "127.0.0.1:0",
+        typer.clone(),
+        &ServerConfig {
+            workers: 2,
+            queue_capacity: 64,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.local_addr();
+
+    // The golden baselines: direct annotate of exactly the table the
+    // wire delivers, encoded by the same codec the server replies
+    // with. Any drift — a lossy float, a reordered key, a different
+    // cascade decision — breaks equality.
+    let expected: Vec<String> = tables
+        .iter()
+        .map(|t| {
+            let outcome = typer.annotate_request(&AnnotationRequest::new(&wire_table(t)));
+            normalize_outcome(&tu_server::wire::outcome_to_json(
+                &outcome,
+                typer.ontology(),
+            ))
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for worker in 0..4 {
+            let tables = &tables;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = HttpClient::connect(addr).expect("connect");
+                for round in 0..3 {
+                    let i = (worker + round) % tables.len();
+                    let lane = if worker % 2 == 0 {
+                        [("x-sigma-lane", "interactive")]
+                    } else {
+                        [("x-sigma-lane", "crawl")]
+                    };
+                    let resp = client
+                        .post_json("/annotate", &annotate_body(&tables[i]), &lane)
+                        .expect("annotate");
+                    assert_eq!(resp.status, 200, "body: {}", resp.body_str());
+                    assert_eq!(
+                        normalize_body(&resp.body_str()),
+                        expected[i],
+                        "HTTP outcome diverged from direct annotate (table {i})"
+                    );
+                }
+            });
+        }
+    });
+
+    // The batch endpoint rides the two-level scheduler but must agree
+    // with the same baselines, in order.
+    let mut client = HttpClient::connect(addr).expect("connect");
+    let batch_body = format!(
+        r#"{{"tables":[{}]}}"#,
+        tables
+            .iter()
+            .map(table_to_request_json)
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let resp = client
+        .post_json("/annotate_batch", &batch_body, &[])
+        .expect("batch");
+    assert_eq!(resp.status, 200, "body: {}", resp.body_str());
+    let parsed = Json::parse(&resp.body_str()).expect("batch json");
+    let outcomes = parsed
+        .get("outcomes")
+        .and_then(Json::as_array)
+        .expect("outcomes array");
+    assert_eq!(outcomes.len(), tables.len());
+    for (i, outcome) in outcomes.iter().enumerate() {
+        assert_eq!(
+            normalize_outcome(outcome),
+            expected[i],
+            "batch outcome {i} diverged from direct annotate"
+        );
+    }
+
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn saturated_queue_sheds_crawl_first_and_metrics_account_for_everything() {
+    let (typer, tables) = demo_typer(42);
+    let table = &tables[0];
+
+    // Capacity 1: the crawl lane's half-capacity cutoff is 0, so crawl
+    // is always shed while interactive is still served — deterministic
+    // "crawl degrades first" without racing the worker.
+    let server = AnnotationServer::start(
+        "127.0.0.1:0",
+        typer.clone(),
+        &ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start server");
+    let mut client = HttpClient::connect(server.local_addr()).expect("connect");
+
+    let crawl = client
+        .post_json(
+            "/annotate",
+            &annotate_body(table),
+            &[("x-sigma-lane", "crawl")],
+        )
+        .expect("crawl request");
+    assert_eq!(crawl.status, 503, "crawl must shed on a saturated queue");
+    assert_eq!(crawl.header("Retry-After"), Some("1"));
+    let shed_body = Json::parse(&crawl.body_str()).expect("shed json");
+    assert_eq!(
+        shed_body.get("lane").and_then(Json::as_str),
+        Some("crawl"),
+        "shed response must name the lane"
+    );
+
+    let interactive = client
+        .post_json("/annotate", &annotate_body(table), &[])
+        .expect("interactive request");
+    assert_eq!(
+        interactive.status, 200,
+        "interactive must still be served while crawl sheds"
+    );
+
+    let metrics = client.get("/metrics").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    let m = Json::parse(&metrics.body_str()).expect("metrics json");
+    let lane = |name: &str, field: &str| {
+        m.get("lanes")
+            .and_then(|l| l.get(name))
+            .and_then(|l| l.get(field))
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("metrics missing lanes.{name}.{field}"))
+    };
+    // Every arrival is accounted: 1 interactive served, 1 crawl shed.
+    assert_eq!(lane("interactive", "served"), 1);
+    assert_eq!(lane("interactive", "shed"), 0);
+    assert_eq!(lane("crawl", "served"), 0);
+    assert_eq!(lane("crawl", "shed"), 1);
+    assert_eq!(m.get("shed_rate").and_then(Json::as_f64), Some(0.5));
+    assert_eq!(m.get("queue_depth").and_then(Json::as_u64), Some(0));
+    assert_eq!(m.get("in_flight").and_then(Json::as_u64), Some(0));
+    server.shutdown().expect("shutdown");
+
+    // Capacity 0: even interactive sheds — the hard backpressure
+    // floor; nothing is ever buffered without bound.
+    let server = AnnotationServer::start(
+        "127.0.0.1:0",
+        typer,
+        &ServerConfig {
+            workers: 1,
+            queue_capacity: 0,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start server");
+    let mut client = HttpClient::connect(server.local_addr()).expect("connect");
+    let resp = client
+        .post_json("/annotate", &annotate_body(table), &[])
+        .expect("request");
+    assert_eq!(resp.status, 503);
+    assert_eq!(resp.header("Retry-After"), Some("1"));
+
+    // Unknown endpoints and wrong methods are refused crisply.
+    assert_eq!(client.get("/nope").expect("404").status, 404);
+    assert_eq!(client.get("/annotate").expect("405").status, 405);
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn feedback_bumps_epoch_and_invalidates_the_warm_cache() {
+    let scratch = Scratch::new("feedback");
+    let (global, tables) = demo_global(43);
+    let table = &tables[0];
+    let tier = TieredStepCache::open(scratch.0.join("cache"), 1 << 14).expect("open tier");
+    let epochs = DurableEpochSource::open(scratch.0.join("epoch")).expect("open epochs");
+    let typer = SigmaTyper::builder(global)
+        .step_cache(Arc::new(tier))
+        .epoch_source(Arc::new(epochs))
+        .build();
+    let server = AnnotationServer::start(
+        "127.0.0.1:0",
+        typer,
+        &ServerConfig {
+            workers: 1,
+            queue_capacity: 8,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start server");
+    let mut client = HttpClient::connect(server.local_addr()).expect("connect");
+
+    let scrape = |client: &mut HttpClient| -> Json {
+        let resp = client.get("/metrics").expect("metrics");
+        assert_eq!(resp.status, 200);
+        Json::parse(&resp.body_str()).expect("metrics json")
+    };
+    let cache_field = |m: &Json, section: &str, field: &str| {
+        m.get(section)
+            .and_then(|c| c.get(field))
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("metrics missing {section}.{field}"))
+    };
+
+    // Cold, then warm: the second annotate of the same table must be
+    // served from the cache tier.
+    let first = client
+        .post_json("/annotate", &annotate_body(table), &[])
+        .expect("cold annotate");
+    assert_eq!(first.status, 200);
+    // The scrape's value is irrelevant; what matters is its side
+    // effect of resetting the /metrics cache_delta baseline, so the
+    // warm annotate's delta below covers only the warm request.
+    scrape(&mut client);
+    let second = client
+        .post_json("/annotate", &annotate_body(table), &[])
+        .expect("warm annotate");
+    assert_eq!(second.status, 200);
+    assert_eq!(
+        normalize_body(&second.body_str()),
+        normalize_body(&first.body_str()),
+        "warm annotate must reproduce the cold outcome"
+    );
+    let warm = scrape(&mut client);
+    assert!(
+        cache_field(&warm, "cache_delta", "hits") > 0,
+        "second annotate must hit the warm cache: {warm}"
+    );
+    let epoch_before = warm.get("epoch").and_then(Json::as_u64).expect("epoch");
+
+    // Feedback: the adaptation loop runs and the epoch advances, so
+    // every warm entry keyed under the old epoch is dead.
+    let feedback_body = format!(
+        r#"{{"table":{},"col_idx":0,"type":"name"}}"#,
+        table_to_request_json(table)
+    );
+    let fb = client
+        .post_json("/feedback", &feedback_body, &[])
+        .expect("feedback");
+    assert_eq!(fb.status, 200, "body: {}", fb.body_str());
+    let fb_json = Json::parse(&fb.body_str()).expect("feedback json");
+    assert_eq!(fb_json.get("ok").and_then(Json::as_bool), Some(true));
+    let epoch_after = fb_json
+        .get("epoch")
+        .and_then(Json::as_u64)
+        .expect("feedback epoch");
+    assert!(
+        epoch_after > epoch_before,
+        "feedback must bump the epoch ({epoch_before} -> {epoch_after})"
+    );
+
+    // The same table recomputes now — misses, not hits.
+    let third = client
+        .post_json("/annotate", &annotate_body(table), &[])
+        .expect("post-feedback annotate");
+    assert_eq!(third.status, 200);
+    let after = scrape(&mut client);
+    assert!(
+        cache_field(&after, "cache_delta", "misses") > 0,
+        "post-feedback annotate must miss the invalidated cache: {after}"
+    );
+    assert_eq!(
+        after.get("epoch").and_then(Json::as_u64),
+        Some(epoch_after),
+        "metrics must observe the new epoch"
+    );
+
+    // Unknown type names are a client error, not a crash.
+    let bad = client
+        .post_json(
+            "/feedback",
+            &format!(
+                r#"{{"table":{},"col_idx":0,"type":"no-such-type"}}"#,
+                table_to_request_json(table)
+            ),
+            &[],
+        )
+        .expect("bad feedback");
+    assert_eq!(bad.status, 400);
+
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_and_leaves_disk_state_warm() {
+    let scratch = Scratch::new("shutdown");
+    let (global, tables) = demo_global(44);
+    let tier = TieredStepCache::open(scratch.0.join("cache"), 1 << 14).expect("open tier");
+    let epochs = DurableEpochSource::open(scratch.0.join("epoch")).expect("open epochs");
+    let typer = SigmaTyper::builder(global)
+        .step_cache(Arc::new(tier))
+        .epoch_source(Arc::new(epochs))
+        .build();
+    let server = AnnotationServer::start(
+        "127.0.0.1:0",
+        typer,
+        &ServerConfig {
+            workers: 1,
+            queue_capacity: 16,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.local_addr();
+
+    // Feedback once so a warm restart has a non-zero epoch to agree
+    // on, then record it.
+    let mut client = HttpClient::connect(addr).expect("connect");
+    let fb = client
+        .post_json(
+            "/feedback",
+            &format!(
+                r#"{{"table":{},"col_idx":0,"type":"name"}}"#,
+                table_to_request_json(&tables[0])
+            ),
+            &[],
+        )
+        .expect("feedback");
+    assert_eq!(fb.status, 200);
+    let epoch = Json::parse(&fb.body_str())
+        .expect("feedback json")
+        .get("epoch")
+        .and_then(Json::as_u64)
+        .expect("epoch");
+
+    // A client notices the drain request; in-flight annotates still
+    // complete with full bodies.
+    let resp = client.post_json("/shutdown", "{}", &[]).expect("shutdown");
+    assert_eq!(resp.status, 200);
+    assert!(server.shutdown_requested(), "POST /shutdown must latch");
+
+    let clients: Vec<_> = (0..3)
+        .map(|i| {
+            let table = tables[i % tables.len()].clone();
+            std::thread::spawn(move || {
+                let mut client = HttpClient::connect(addr).expect("connect");
+                client
+                    .post_json("/annotate", &annotate_body(&table), &[])
+                    .expect("in-flight annotate")
+            })
+        })
+        .collect();
+    // Let the requests reach the queue before draining.
+    std::thread::sleep(Duration::from_millis(100));
+    server.shutdown().expect("graceful shutdown");
+    for handle in clients {
+        let resp = handle.join().expect("client thread");
+        assert_eq!(
+            resp.status,
+            200,
+            "an admitted request was dropped during shutdown: {}",
+            resp.body_str()
+        );
+        let body = Json::parse(&resp.body_str()).expect("response json");
+        assert!(
+            body.get("columns").and_then(Json::as_array).is_some(),
+            "drained response must be a complete outcome"
+        );
+    }
+
+    // The advisory lock is released and the tier reopens warm: entries
+    // on disk, durable epoch exactly where the server left it.
+    let reopened = TieredStepCache::open(scratch.0.join("cache"), 1 << 14)
+        .expect("reopen tier after shutdown");
+    assert!(
+        sigmatyper::StepCache::len(&reopened) > 0,
+        "flushed cache must survive shutdown"
+    );
+    drop(reopened);
+    let epochs = DurableEpochSource::open(scratch.0.join("epoch")).expect("reopen epochs");
+    assert_eq!(
+        sigmatyper::EpochSource::current(&epochs),
+        epoch,
+        "durable epoch must match the last feedback bump"
+    );
+}
