@@ -1,0 +1,614 @@
+//! Pluggable embedding-inference backends: the [`EmbeddingBackend`]
+//! trait and the four built-in implementations behind
+//! [`EmbeddingBackendKind`].
+//!
+//! The table-embedding step is the dominant cold-path cost of the
+//! cascade, and "run the MLP head" is a seam with many profitable
+//! implementations: the reference f32 forward pass, an i8-quantized
+//! weight path, a blocked (8-lane, SIMD-friendly) f32 matmul, and a
+//! batched whole-frontier path that amortizes one matmul per executor
+//! chunk. Long-range, a remote model server is just another backend
+//! behind the same trait (PAPERS.md's LLM line).
+//!
+//! # Contract
+//!
+//! Backends differ **only** in how they evaluate the MLP head.
+//! Featurization ([`TableEmbeddingModel::features_with_context`]),
+//! temperature calibration, and candidate thresholding
+//! ([`TableEmbeddingModel::scores_from_logits`]) are shared, so every
+//! backend scores the same feature vector through the same calibration
+//! tail. Each backend declares an [`AccuracyClass`]:
+//!
+//! * [`BitExact`](AccuracyClass::BitExact) — produces the same bits as
+//!   [`ReferenceF32`] ([`BatchedFrontier`] evaluates each output
+//!   element in the reference accumulation order; only the loop
+//!   nesting changes).
+//! * [`Approximate`](AccuracyClass::Approximate) — numerically close
+//!   but not bit-identical ([`QuantizedI8`] rounds weights and
+//!   activations to i8; [`BlockedSimd`] reassociates the f32
+//!   accumulation into 8 independent lanes). The golden-tolerance
+//!   suite (`tests/embed_backends.rs`) holds these within tolerance on
+//!   the e1–e8 eval corpora.
+//!
+//! Because approximate backends may change scores, the selected
+//! backend is part of the cache fingerprint
+//! ([`SigmaTyperConfig::fingerprint_into`]): cached step results from
+//! one backend are never served to another. The default
+//! ([`ReferenceF32`]) is fingerprinted as the *absence* of a backend
+//! tag, so seed-era fingerprints — and any persisted cache tier built
+//! before backends existed — stay valid.
+//!
+//! [`SigmaTyperConfig::fingerprint_into`]: crate::config::SigmaTyperConfig::fingerprint_into
+
+use crate::embedstep::TableEmbeddingModel;
+use crate::prediction::StepScores;
+use std::any::Any;
+use std::fmt;
+use tu_ml::Mlp;
+use tu_table::Column;
+
+/// Opaque per-model state a backend computes once per table (weight
+/// quantization, layout transforms) and reuses across every column —
+/// carried inside the [`EmbeddingStep`](crate::step::EmbeddingStep)'s
+/// table setup, so column-parallel chunks share one copy.
+pub type BackendState = Box<dyn Any + Send + Sync>;
+
+/// How a backend's scores relate to the reference implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccuracyClass {
+    /// Bit-identical to [`ReferenceF32`] on every input.
+    BitExact,
+    /// Numerically close, not bit-identical; held within a golden
+    /// tolerance on the e1–e8 eval corpora.
+    Approximate,
+}
+
+/// One embedding-inference strategy over a [`TableEmbeddingModel`].
+///
+/// Implementations are stateless values (per-model working state rides
+/// the [`BackendState`] returned by
+/// [`prepare`](EmbeddingBackend::prepare)), shared by reference across
+/// the executor's worker threads — hence `Send + Sync`.
+pub trait EmbeddingBackend: fmt::Debug + Send + Sync {
+    /// Stable wire name of this backend (what
+    /// [`EmbeddingBackendKind::parse`] accepts and the server's
+    /// `embedding_backend` option carries).
+    fn name(&self) -> &'static str;
+
+    /// Whether this backend reproduces [`ReferenceF32`]'s bits or only
+    /// approximates them.
+    fn accuracy_class(&self) -> AccuracyClass;
+
+    /// Phrase vector of one raw header under `model`'s embedder — the
+    /// unit of the neighbor-context encoding. The default delegates to
+    /// [`TableEmbeddingModel::header_vector`]; a remote backend would
+    /// encode through its own service here.
+    fn encode_header(&self, model: &TableEmbeddingModel, header: &str) -> Vec<f32> {
+        model.header_vector(header)
+    }
+
+    /// Per-model working state computed once per `(model, table)` and
+    /// passed back into every predict call — e.g. [`QuantizedI8`]'s i8
+    /// weight copy. The default has none.
+    fn prepare(&self, model: &TableEmbeddingModel) -> Option<BackendState> {
+        let _ = model;
+        None
+    }
+
+    /// Score one column with a precomputed neighbor context (the
+    /// backend-dispatched form of
+    /// [`TableEmbeddingModel::predict_with_context`]). `state` is the
+    /// value [`prepare`](EmbeddingBackend::prepare) returned for this
+    /// model, when the caller amortized one; implementations must also
+    /// work from `None` (recomputing per call).
+    fn predict_with_context(
+        &self,
+        model: &TableEmbeddingModel,
+        state: Option<&BackendState>,
+        column: &Column,
+        context: &[f32],
+    ) -> StepScores;
+
+    /// Score a whole frontier chunk in one call: one `(column,
+    /// context)` pair per pending column, one [`StepScores`] out per
+    /// pair, in order. The default maps
+    /// [`predict_with_context`](EmbeddingBackend::predict_with_context);
+    /// [`BatchedFrontier`] overrides it to run one matmul per layer
+    /// over the whole chunk.
+    fn predict_batch(
+        &self,
+        model: &TableEmbeddingModel,
+        state: Option<&BackendState>,
+        items: &[(&Column, &[f32])],
+    ) -> Vec<StepScores> {
+        items
+            .iter()
+            .map(|(column, context)| self.predict_with_context(model, state, column, context))
+            .collect()
+    }
+}
+
+/// Selector for the built-in backends — the `Copy` value that rides
+/// [`SigmaTyperConfig`](crate::config::SigmaTyperConfig),
+/// [`RequestOptions`](crate::request::RequestOptions), and the server's
+/// `embedding_backend` option. Resolve to the actual implementation
+/// with [`EmbeddingBackendKind::backend`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EmbeddingBackendKind {
+    /// The reference f32 MLP forward pass — the default, bit-identical
+    /// to the seed transcription.
+    #[default]
+    ReferenceF32,
+    /// i8-quantized weights with one scale per layer and dynamic
+    /// per-vector activation quantization.
+    QuantizedI8,
+    /// Blocked f32 matmul with 8 independent accumulator lanes (manual
+    /// f32x8-style, no external deps).
+    BlockedSimd,
+    /// Whole-frontier batched evaluation: one matmul per layer per
+    /// executor chunk instead of per column. Bit-exact.
+    BatchedFrontier,
+}
+
+impl EmbeddingBackendKind {
+    /// Every built-in backend, in fingerprint-tag order.
+    pub const ALL: [EmbeddingBackendKind; 4] = [
+        EmbeddingBackendKind::ReferenceF32,
+        EmbeddingBackendKind::QuantizedI8,
+        EmbeddingBackendKind::BlockedSimd,
+        EmbeddingBackendKind::BatchedFrontier,
+    ];
+
+    /// The implementation behind this selector.
+    #[must_use]
+    pub fn backend(self) -> &'static dyn EmbeddingBackend {
+        match self {
+            EmbeddingBackendKind::ReferenceF32 => &ReferenceF32,
+            EmbeddingBackendKind::QuantizedI8 => &QuantizedI8,
+            EmbeddingBackendKind::BlockedSimd => &BlockedSimd,
+            EmbeddingBackendKind::BatchedFrontier => &BatchedFrontier,
+        }
+    }
+
+    /// Stable wire name (`"reference_f32"`, `"quantized_i8"`,
+    /// `"blocked_simd"`, `"batched_frontier"`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        self.backend().name()
+    }
+
+    /// Parse a wire name back into a selector. Unknown names are a
+    /// typed [`UnknownBackendError`] (never a panic) so servers can
+    /// turn them into a 400 with the valid names listed.
+    ///
+    /// # Errors
+    /// Returns [`UnknownBackendError`] when `name` matches no built-in
+    /// backend.
+    pub fn parse(name: &str) -> Result<Self, UnknownBackendError> {
+        Self::ALL
+            .into_iter()
+            .find(|kind| kind.label() == name)
+            .ok_or_else(|| UnknownBackendError {
+                requested: name.to_owned(),
+            })
+    }
+
+    /// Nonzero fingerprint tag for non-default backends (the default is
+    /// fingerprinted as absence — see the [module docs](self)).
+    #[must_use]
+    pub(crate) fn fingerprint_tag(self) -> u8 {
+        match self {
+            EmbeddingBackendKind::ReferenceF32 => 0,
+            EmbeddingBackendKind::QuantizedI8 => 1,
+            EmbeddingBackendKind::BlockedSimd => 2,
+            EmbeddingBackendKind::BatchedFrontier => 3,
+        }
+    }
+}
+
+/// A backend name that matches no built-in backend — the typed error
+/// [`EmbeddingBackendKind::parse`] returns, rendered with the valid
+/// names so a server 400 is self-explanatory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownBackendError {
+    /// The name that failed to parse.
+    pub requested: String,
+}
+
+impl fmt::Display for UnknownBackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown embedding backend {:?}: expected one of ",
+            self.requested
+        )?;
+        for (i, kind) in EmbeddingBackendKind::ALL.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{:?}", kind.label())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for UnknownBackendError {}
+
+/// The reference backend: the model's own f32 forward pass, bit for
+/// bit. Always the default; every golden-equivalence suite runs
+/// against it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReferenceF32;
+
+impl EmbeddingBackend for ReferenceF32 {
+    fn name(&self) -> &'static str {
+        "reference_f32"
+    }
+
+    fn accuracy_class(&self) -> AccuracyClass {
+        AccuracyClass::BitExact
+    }
+
+    fn predict_with_context(
+        &self,
+        model: &TableEmbeddingModel,
+        _state: Option<&BackendState>,
+        column: &Column,
+        context: &[f32],
+    ) -> StepScores {
+        model.predict_with_context(column, context)
+    }
+}
+
+/// i8-quantized inference: weights are rounded once per model to i8
+/// with one f32 scale per layer ([`prepare`](EmbeddingBackend::prepare)
+/// pays this once per table); activations are quantized dynamically per
+/// vector. The inner product accumulates in i32 — integer adds are
+/// associative, so the compiler is free to vectorize the i8×i8→i32
+/// kernel — and dequantizes with `weight_scale × activation_scale`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QuantizedI8;
+
+/// One layer's quantized parameters.
+#[derive(Debug)]
+struct QuantizedLayer {
+    cols: usize,
+    q: Vec<i8>,
+    scale: f32,
+    bias: Vec<f32>,
+}
+
+/// The per-model state [`QuantizedI8`] prepares: every layer quantized.
+#[derive(Debug)]
+struct QuantizedMlp {
+    layers: Vec<QuantizedLayer>,
+}
+
+/// Round an f32 slice to i8 at `scale` (symmetric, clamped to ±127).
+fn quantize_i8(values: &[f32], scale: f32) -> Vec<i8> {
+    values
+        .iter()
+        .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
+        .collect()
+}
+
+/// Symmetric quantization scale for a slice: `max|v| / 127`, with 1.0
+/// for an all-zero slice so the division stays finite.
+fn i8_scale(values: &[f32]) -> f32 {
+    let max = values.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    if max > 0.0 {
+        max / 127.0
+    } else {
+        1.0
+    }
+}
+
+impl QuantizedMlp {
+    fn from_model(model: &TableEmbeddingModel) -> Self {
+        let mlp = model.mlp();
+        let layers = (0..mlp.n_layers())
+            .map(|i| {
+                let (w, b) = mlp.layer_params(i);
+                let scale = i8_scale(w.data());
+                QuantizedLayer {
+                    cols: w.cols,
+                    q: quantize_i8(w.data(), scale),
+                    scale,
+                    bias: b.to_vec(),
+                }
+            })
+            .collect();
+        QuantizedMlp { layers }
+    }
+
+    fn logits(&self, features: &[f32]) -> Vec<f32> {
+        let mut cur = features.to_vec();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let a_scale = i8_scale(&cur);
+            let qx = quantize_i8(&cur, a_scale);
+            let out_scale = layer.scale * a_scale;
+            let rows = layer.bias.len();
+            let mut z = vec![0.0f32; rows];
+            for (r, zr) in z.iter_mut().enumerate() {
+                let row = &layer.q[r * layer.cols..(r + 1) * layer.cols];
+                let acc: i32 = row
+                    .iter()
+                    .zip(&qx)
+                    .map(|(&w, &a)| i32::from(w) * i32::from(a))
+                    .sum();
+                *zr = acc as f32 * out_scale + layer.bias[r];
+            }
+            if li + 1 != self.layers.len() {
+                for v in &mut z {
+                    *v = v.max(0.0); // ReLU
+                }
+            }
+            cur = z;
+        }
+        cur
+    }
+}
+
+impl EmbeddingBackend for QuantizedI8 {
+    fn name(&self) -> &'static str {
+        "quantized_i8"
+    }
+
+    fn accuracy_class(&self) -> AccuracyClass {
+        AccuracyClass::Approximate
+    }
+
+    fn prepare(&self, model: &TableEmbeddingModel) -> Option<BackendState> {
+        Some(Box::new(QuantizedMlp::from_model(model)))
+    }
+
+    fn predict_with_context(
+        &self,
+        model: &TableEmbeddingModel,
+        state: Option<&BackendState>,
+        column: &Column,
+        context: &[f32],
+    ) -> StepScores {
+        let f = model.features_with_context(column, context);
+        let logits = match state.and_then(|s| s.downcast_ref::<QuantizedMlp>()) {
+            Some(qm) => qm.logits(&f),
+            None => QuantizedMlp::from_model(model).logits(&f),
+        };
+        model.scores_from_logits(&logits)
+    }
+}
+
+/// Blocked f32 inference: each dot product runs over 8 independent
+/// accumulator lanes (a manual f32x8), so the compiler can keep the
+/// multiply-adds in vector registers instead of the reference path's
+/// serial dependency chain. Reassociating f32 addition changes the
+/// bits, hence [`Approximate`](AccuracyClass::Approximate).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlockedSimd;
+
+/// 8-lane blocked dot product. The lane reduction tree is fixed
+/// (pairwise over strides of 4 and 2) so results are deterministic
+/// across calls and platforms — approximate relative to the reference,
+/// but stable.
+fn blocked_dot(row: &[f32], x: &[f32]) -> f32 {
+    const LANES: usize = 8;
+    let mut acc = [0.0f32; LANES];
+    let blocks = row.len() / LANES;
+    for i in 0..blocks {
+        let r = &row[i * LANES..(i + 1) * LANES];
+        let v = &x[i * LANES..(i + 1) * LANES];
+        for l in 0..LANES {
+            acc[l] += r[l] * v[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for i in blocks * LANES..row.len() {
+        tail += row[i] * x[i];
+    }
+    let half = [
+        acc[0] + acc[4],
+        acc[1] + acc[5],
+        acc[2] + acc[6],
+        acc[3] + acc[7],
+    ];
+    ((half[0] + half[2]) + (half[1] + half[3])) + tail
+}
+
+/// Blocked forward pass over the model's own f32 weights.
+fn blocked_logits(mlp: &Mlp, features: &[f32]) -> Vec<f32> {
+    let mut cur = features.to_vec();
+    for li in 0..mlp.n_layers() {
+        let (w, b) = mlp.layer_params(li);
+        let mut z = vec![0.0f32; w.rows];
+        for (r, zr) in z.iter_mut().enumerate() {
+            *zr = blocked_dot(w.row(r), &cur) + b[r];
+        }
+        if li + 1 != mlp.n_layers() {
+            for v in &mut z {
+                *v = v.max(0.0); // ReLU
+            }
+        }
+        cur = z;
+    }
+    cur
+}
+
+impl EmbeddingBackend for BlockedSimd {
+    fn name(&self) -> &'static str {
+        "blocked_simd"
+    }
+
+    fn accuracy_class(&self) -> AccuracyClass {
+        AccuracyClass::Approximate
+    }
+
+    fn predict_with_context(
+        &self,
+        model: &TableEmbeddingModel,
+        _state: Option<&BackendState>,
+        column: &Column,
+        context: &[f32],
+    ) -> StepScores {
+        let f = model.features_with_context(column, context);
+        model.scores_from_logits(&blocked_logits(model.mlp(), &f))
+    }
+}
+
+/// Whole-frontier batched inference: featurize every pending column,
+/// then walk the layers once with the column loop *inside* — one
+/// logical matmul per layer per chunk, so each weight row is streamed
+/// through cache once per chunk instead of once per column. Every
+/// output element accumulates in the reference order
+/// ([`tu_ml::Matrix::matvec_into`]), so the result is bit-exact; only
+/// the loop nesting is amortized.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchedFrontier;
+
+/// Layer-major forward pass over a batch of feature vectors, reference
+/// accumulation order per element.
+fn batched_logits(mlp: &Mlp, batch: &mut [Vec<f32>]) {
+    for li in 0..mlp.n_layers() {
+        let (w, b) = mlp.layer_params(li);
+        let last = li + 1 == mlp.n_layers();
+        for x in batch.iter_mut() {
+            let mut z = vec![0.0f32; w.rows];
+            w.matvec_into(x, &mut z);
+            for (zi, &bi) in z.iter_mut().zip(b) {
+                *zi += bi;
+            }
+            if !last {
+                for v in &mut z {
+                    *v = v.max(0.0); // ReLU
+                }
+            }
+            *x = z;
+        }
+    }
+}
+
+impl EmbeddingBackend for BatchedFrontier {
+    fn name(&self) -> &'static str {
+        "batched_frontier"
+    }
+
+    fn accuracy_class(&self) -> AccuracyClass {
+        AccuracyClass::BitExact
+    }
+
+    fn predict_with_context(
+        &self,
+        model: &TableEmbeddingModel,
+        state: Option<&BackendState>,
+        column: &Column,
+        context: &[f32],
+    ) -> StepScores {
+        self.predict_batch(model, state, &[(column, context)])
+            .pop()
+            .expect("one score per item")
+    }
+
+    fn predict_batch(
+        &self,
+        model: &TableEmbeddingModel,
+        _state: Option<&BackendState>,
+        items: &[(&Column, &[f32])],
+    ) -> Vec<StepScores> {
+        let mut batch: Vec<Vec<f32>> = items
+            .iter()
+            .map(|(column, context)| model.features_with_context(column, context))
+            .collect();
+        batched_logits(model.mlp(), &mut batch);
+        batch
+            .iter()
+            .map(|logits| model.scores_from_logits(logits))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_round_trip_through_labels() {
+        for kind in EmbeddingBackendKind::ALL {
+            assert_eq!(EmbeddingBackendKind::parse(kind.label()), Ok(kind));
+            assert_eq!(kind.backend().name(), kind.label());
+        }
+        assert_eq!(EmbeddingBackendKind::default().label(), "reference_f32");
+    }
+
+    #[test]
+    fn unknown_backend_is_a_typed_listing_error() {
+        let err = EmbeddingBackendKind::parse("warp_drive").unwrap_err();
+        assert_eq!(err.requested, "warp_drive");
+        let msg = err.to_string();
+        for kind in EmbeddingBackendKind::ALL {
+            assert!(msg.contains(kind.label()), "{msg}");
+        }
+        // It is a real std error, usable behind `dyn Error`.
+        let dynamic: Box<dyn std::error::Error> = Box::new(err);
+        assert!(dynamic.to_string().contains("warp_drive"));
+    }
+
+    #[test]
+    fn accuracy_classes_are_declared() {
+        use EmbeddingBackendKind as K;
+        assert_eq!(
+            K::ReferenceF32.backend().accuracy_class(),
+            AccuracyClass::BitExact
+        );
+        assert_eq!(
+            K::BatchedFrontier.backend().accuracy_class(),
+            AccuracyClass::BitExact
+        );
+        assert_eq!(
+            K::QuantizedI8.backend().accuracy_class(),
+            AccuracyClass::Approximate
+        );
+        assert_eq!(
+            K::BlockedSimd.backend().accuracy_class(),
+            AccuracyClass::Approximate
+        );
+    }
+
+    #[test]
+    fn fingerprint_tags_are_distinct_and_default_is_zero() {
+        let mut seen = std::collections::HashSet::new();
+        for kind in EmbeddingBackendKind::ALL {
+            assert!(seen.insert(kind.fingerprint_tag()));
+        }
+        assert_eq!(EmbeddingBackendKind::default().fingerprint_tag(), 0);
+    }
+
+    #[test]
+    fn blocked_dot_matches_reference_within_tolerance() {
+        let row: Vec<f32> = (0..67)
+            .map(|i| ((i * 37) % 19) as f32 * 0.13 - 1.1)
+            .collect();
+        let x: Vec<f32> = (0..67)
+            .map(|i| ((i * 53) % 23) as f32 * 0.07 - 0.8)
+            .collect();
+        let reference: f32 = row.iter().zip(&x).map(|(a, b)| a * b).sum();
+        let blocked = blocked_dot(&row, &x);
+        assert!(
+            (reference - blocked).abs() <= reference.abs().max(1.0) * 1e-5,
+            "blocked {blocked} vs reference {reference}"
+        );
+        // Degenerate shapes.
+        assert_eq!(blocked_dot(&[], &[]), 0.0);
+        assert_eq!(blocked_dot(&[2.0], &[3.0]), 6.0);
+    }
+
+    #[test]
+    fn i8_quantization_round_trips_within_scale() {
+        let values = [0.5f32, -1.0, 0.0, 0.25, -0.125];
+        let scale = i8_scale(&values);
+        let q = quantize_i8(&values, scale);
+        for (&v, &qi) in values.iter().zip(&q) {
+            let back = f32::from(qi) * scale;
+            assert!((v - back).abs() <= scale / 2.0 + 1e-7, "{v} -> {back}");
+        }
+        assert_eq!(i8_scale(&[0.0, 0.0]), 1.0);
+    }
+}

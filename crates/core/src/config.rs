@@ -1,5 +1,6 @@
 //! System configuration: thresholds, step weights, and sizes.
 
+use crate::backend::EmbeddingBackendKind;
 use crate::cache::StableHasher;
 use crate::executor::ParallelismPolicy;
 use crate::prediction::StepId;
@@ -55,6 +56,16 @@ pub struct SigmaTyperConfig {
     /// which also keeps them out of the cache fingerprint — a budget
     /// changes which steps run, never what an executed step scores.
     pub column_threads: usize,
+    /// Inference backend of the table-embedding step (see
+    /// [`crate::backend`]). The default,
+    /// [`ReferenceF32`](crate::backend::ReferenceF32), is bit-identical
+    /// to the seed transcription; the others trade bits for speed.
+    /// Unlike the execution-strategy fields this **is** fingerprinted
+    /// (when non-default): approximate backends score differently, so
+    /// their cache entries must never cross-serve. A request may
+    /// override it per call via
+    /// [`RequestOptions::embedding_backend`](crate::request::RequestOptions::embedding_backend).
+    pub embedding_backend: EmbeddingBackendKind,
 }
 
 impl SigmaTyperConfig {
@@ -107,6 +118,7 @@ impl SigmaTyperConfig {
             // fingerprinted (see above).
             parallelism: _,
             column_threads: _,
+            embedding_backend,
         } = *self;
         h.write_f64(cascade_threshold);
         h.write_f64(tau);
@@ -119,6 +131,15 @@ impl SigmaTyperConfig {
         h.write_u8(u8::from(enable_header));
         h.write_u8(u8::from(enable_lookup));
         h.write_u8(u8::from(enable_embedding));
+        // The embedding backend is hashed only when non-default: the
+        // default (`ReferenceF32`) is fingerprinted as *absence* so
+        // seed-era fingerprints — and any persisted disk-cache tier
+        // written before backends existed — remain valid verbatim.
+        // Approximate backends score differently, so each non-default
+        // backend contributes its own tag and never cross-serves.
+        if embedding_backend != EmbeddingBackendKind::ReferenceF32 {
+            h.write_u8(embedding_backend.fingerprint_tag());
+        }
     }
 }
 
@@ -138,6 +159,7 @@ impl Default for SigmaTyperConfig {
             enable_embedding: true,
             parallelism: ParallelismPolicy::default(),
             column_threads: 0,
+            embedding_backend: EmbeddingBackendKind::ReferenceF32,
         }
     }
 }
@@ -256,10 +278,27 @@ mod tests {
                 enable_embedding: false,
                 ..base
             },
+            SigmaTyperConfig {
+                embedding_backend: EmbeddingBackendKind::QuantizedI8,
+                ..base
+            },
+            SigmaTyperConfig {
+                embedding_backend: EmbeddingBackendKind::BlockedSimd,
+                ..base
+            },
+            SigmaTyperConfig {
+                embedding_backend: EmbeddingBackendKind::BatchedFrontier,
+                ..base
+            },
         ];
         for (i, v) in variants.iter().enumerate() {
             assert_ne!(finish(&base), finish(v), "variant {i} did not move");
         }
+        // Distinct non-default backends must land on distinct
+        // fingerprints — their cached scores may legitimately differ.
+        assert_ne!(finish(&variants[11]), finish(&variants[12]));
+        assert_ne!(finish(&variants[11]), finish(&variants[13]));
+        assert_ne!(finish(&variants[12]), finish(&variants[13]));
         // Execution strategy must NOT move the fingerprint: parallel
         // and sequential runs are bit-identical (golden suite), and
         // service workers carrying different budget shares must keep
@@ -285,6 +324,39 @@ mod tests {
                 "execution-strategy variant {i} moved the fingerprint"
             );
         }
+    }
+
+    /// `ReferenceF32` (the default) must keep seed-era fingerprints
+    /// byte-stable: the backend field is hashed only when non-default,
+    /// so configs written before backends existed — including every
+    /// entry in a persisted disk-cache tier — hash to exactly the same
+    /// value today. This replays the seed-era write sequence by hand
+    /// and demands equality, not merely determinism.
+    #[test]
+    fn reference_backend_keeps_seed_era_fingerprints() {
+        let base = SigmaTyperConfig::default();
+        assert_eq!(base.embedding_backend, EmbeddingBackendKind::ReferenceF32);
+        let mut h = StableHasher::new();
+        base.fingerprint_into(&mut h);
+        let today = h.finish128();
+
+        let mut seed_era = StableHasher::new();
+        seed_era.write_f64(base.cascade_threshold);
+        seed_era.write_f64(base.tau);
+        seed_era.write_usize(base.top_k);
+        seed_era.write_f64(base.weight_header);
+        seed_era.write_f64(base.weight_lookup);
+        seed_era.write_f64(base.weight_embedding);
+        seed_era.write_f64(base.range_lf_scale);
+        seed_era.write_usize(base.lookup_sample);
+        seed_era.write_u8(u8::from(base.enable_header));
+        seed_era.write_u8(u8::from(base.enable_lookup));
+        seed_era.write_u8(u8::from(base.enable_embedding));
+        assert_eq!(
+            today,
+            seed_era.finish128(),
+            "default-backend fingerprint diverged from the seed-era scheme"
+        );
     }
 
     #[test]

@@ -89,16 +89,46 @@ impl TableEmbeddingModel {
     /// context (see [`TableEmbeddingModel::context_of`]).
     #[must_use]
     pub fn predict_with_context(&self, column: &Column, context: &[f32]) -> StepScores {
+        let f = self.features_with_context(column, context);
+        self.scores_from_features(&f)
+    }
+
+    /// The exact feature vector the predict paths score: column
+    /// features, the precomputed neighbor context appended, scaled
+    /// in place. Public so [`EmbeddingBackend`] implementations share
+    /// the reference featurization bit for bit and differ only in how
+    /// they run the MLP head.
+    ///
+    /// [`EmbeddingBackend`]: crate::backend::EmbeddingBackend
+    #[must_use]
+    pub fn features_with_context(&self, column: &Column, context: &[f32]) -> Vec<f32> {
         let mut f = self.extractor.extract(column);
         f.extend_from_slice(context);
         self.scaler.transform_inplace(&mut f);
-        self.scores_from_features(&f)
+        f
+    }
+
+    /// The MLP head. Read access for alternative inference backends
+    /// (see [`crate::backend`]): they quantize, block, or batch these
+    /// weights but never mutate them.
+    #[must_use]
+    pub fn mlp(&self) -> &Mlp {
+        &self.mlp
     }
 
     /// Shared tail of the predict paths: calibrated probabilities →
     /// thresholded, truncated candidate list.
     fn scores_from_features(&self, f: &[f32]) -> StepScores {
-        let probs = self.temperature.apply(&self.mlp.logits(f));
+        self.scores_from_logits(&self.mlp.logits(f))
+    }
+
+    /// Calibrated candidate scores from raw logits: temperature
+    /// scaling, the 0.01 probability floor, and top-8 truncation —
+    /// every backend funnels its logits through this one tail so the
+    /// calibration and thresholding rules cannot drift per backend.
+    #[must_use]
+    pub fn scores_from_logits(&self, logits: &[f32]) -> StepScores {
+        let probs = self.temperature.apply(logits);
         let cands: Vec<Candidate> = probs
             .iter()
             .enumerate()

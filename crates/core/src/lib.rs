@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod backend;
 pub mod cache;
 pub mod cascade;
 pub mod config;
@@ -67,6 +68,10 @@ pub mod service;
 pub mod step;
 pub mod system;
 
+pub use backend::{
+    AccuracyClass, BackendState, BatchedFrontier, BlockedSimd, EmbeddingBackend,
+    EmbeddingBackendKind, QuantizedI8, ReferenceF32, UnknownBackendError,
+};
 pub use cache::{
     column_fingerprints, CacheContext, CacheKey, CacheStats, ColumnFingerprint, EpochSource,
     ShardedLruCache, StableHasher, StepCache,
@@ -92,8 +97,6 @@ pub use request::{
     DegradationPolicy, DegradationReport, RequestOptions, SkipReason, SkippedStep,
     TelemetryVerbosity,
 };
-#[allow(deprecated)]
-pub use service::annotate_batch_with;
 pub use service::{
     AdaptiveSizer, AdaptiveSizingConfig, AnnotationService, BoundedQueue, LaneLedger,
     QueueRejection, TrafficLane,

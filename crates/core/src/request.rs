@@ -53,6 +53,7 @@
 //! to exercise these paths; it is an operational chaos knob, not a
 //! tuning surface — production callers should set budgets per request.
 
+use crate::backend::EmbeddingBackendKind;
 use crate::cost::CostModel;
 use crate::executor::ParallelismPolicy;
 use crate::prediction::{StepId, TableAnnotation};
@@ -128,6 +129,15 @@ pub struct RequestOptions {
     pub bypass_cache: bool,
     /// How much telemetry the returned annotation retains.
     pub telemetry: TelemetryVerbosity,
+    /// Override the embedding-inference backend for this request only
+    /// (`None` = use
+    /// [`SigmaTyperConfig::embedding_backend`](crate::config::SigmaTyperConfig::embedding_backend)).
+    /// Unlike the execution overrides above, a backend override *does*
+    /// move the cache fingerprint when it selects a non-default
+    /// backend: approximate backends score differently, so their
+    /// cached step results must never cross-serve (see
+    /// [`crate::backend`]).
+    pub embedding_backend: Option<EmbeddingBackendKind>,
 }
 
 impl RequestOptions {
@@ -170,6 +180,16 @@ impl RequestOptions {
     #[must_use]
     pub fn with_telemetry(mut self, verbosity: TelemetryVerbosity) -> Self {
         self.telemetry = verbosity;
+        self
+    }
+
+    /// Builder-style: override the embedding-inference backend for
+    /// this request only (see
+    /// [`crate::backend::EmbeddingBackendKind`] for the built-in
+    /// choices and their accuracy classes).
+    #[must_use]
+    pub fn with_embedding_backend(mut self, backend: EmbeddingBackendKind) -> Self {
+        self.embedding_backend = Some(backend);
         self
     }
 

@@ -832,22 +832,6 @@ fn column_budget(budget: usize, outer: usize, worker: usize) -> usize {
     (base + usize::from(worker < budget % outer)).max(1)
 }
 
-/// Annotate `tables` with the same (shared, read-only) customer
-/// instance on a `threads`-wide worker budget.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `AnnotationService::for_customer(typer).with_threads(n).annotate_batch(tables)` \
-            — the service front-end carries the customer's configured cascade"
-)]
-#[must_use]
-pub fn annotate_batch_with(
-    typer: &SigmaTyper,
-    tables: &[Table],
-    threads: usize,
-) -> Vec<TableAnnotation> {
-    two_level_annotate(typer, tables, threads)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1022,19 +1006,6 @@ mod tests {
         // The cache is one shared store, not per-worker copies.
         let cache = service.typer().step_cache().expect("cache configured");
         assert!(!cache.is_empty());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_free_function_still_matches_service() {
-        let service = AnnotationService::new(global(), SigmaTyperConfig::default()).with_threads(3);
-        let tables = batch(0x12, 5);
-        let via_service = service.annotate_batch(&tables);
-        let via_free = annotate_batch_with(service.typer(), &tables, 3);
-        assert_eq!(via_service.len(), via_free.len());
-        for (a, b) in via_service.iter().zip(&via_free) {
-            assert_identical(a, b);
-        }
     }
 
     /// Two-level budget split: a batch smaller than the worker budget

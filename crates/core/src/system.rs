@@ -1,6 +1,7 @@
 //! The SigmaTyper orchestrator: cascade, aggregation, and adaptation.
 
 use crate::aggregate::{apply_tau, soft_majority_vote_with};
+use crate::backend::EmbeddingBackendKind;
 use crate::cache::{CacheContext, EpochSource, ShardedLruCache, StepCache};
 use crate::cascade::Cascade;
 use crate::config::SigmaTyperConfig;
@@ -237,6 +238,35 @@ impl SigmaTyperBuilder {
     #[must_use]
     pub fn column_threads(mut self, threads: usize) -> Self {
         self.config.column_threads = threads;
+        self
+    }
+
+    /// Select the embedding-inference backend for this instance (see
+    /// [`crate::backend`] for the built-in choices). The default,
+    /// [`EmbeddingBackendKind::ReferenceF32`], is bit-identical to the
+    /// original hardwired f32 path; `QuantizedI8` and `BlockedSimd`
+    /// trade bit-identity for raw speed (held within a golden
+    /// tolerance on the eval corpora), and `BatchedFrontier` amortizes
+    /// one matmul per frontier chunk while staying bit-exact. A
+    /// request may override the choice per call via
+    /// [`RequestOptions::with_embedding_backend`]. Non-default
+    /// backends fingerprint their own cache keys, so switching never
+    /// serves one backend's cached scores to another.
+    ///
+    /// ```
+    /// use sigmatyper::{EmbeddingBackendKind, SigmaTyper, TrainingConfig};
+    /// # use tu_corpus::{generate_corpus, CorpusConfig};
+    /// # use tu_ontology::builtin_ontology;
+    /// # let ontology = builtin_ontology();
+    /// # let corpus = generate_corpus(&ontology, &CorpusConfig::database_like(3, 6));
+    /// # let global = sigmatyper::train_global(ontology, &corpus, &TrainingConfig::fast());
+    /// let typer = SigmaTyper::builder(std::sync::Arc::new(global))
+    ///     .embedding_backend(EmbeddingBackendKind::QuantizedI8)
+    ///     .build();
+    /// ```
+    #[must_use]
+    pub fn embedding_backend(mut self, backend: EmbeddingBackendKind) -> Self {
+        self.config.embedding_backend = backend;
         self
     }
 
@@ -544,12 +574,13 @@ impl SigmaTyper {
     /// hands each table worker its share of the batch-wide budget.
     /// Any executor produces bit-identical annotations; only the wall
     /// clock differs.
+    ///
+    /// A thin wrapper over [`SigmaTyper::annotate_request_with`] with
+    /// default options — every public entry point funnels into the one
+    /// request core, [`SigmaTyper::annotate_request_shared`].
     #[must_use]
     pub fn annotate_with(&self, table: &Table, executor: &CascadeExecutor) -> TableAnnotation {
-        let options = RequestOptions::default();
-        let (budget, _) = options.resolved();
-        let ledger = BudgetLedger::from_budget(budget);
-        self.annotate_request_shared(table, executor, &options, &ledger)
+        self.annotate_request_with(&AnnotationRequest::new(table), executor)
             .into_annotation()
     }
 
@@ -573,6 +604,14 @@ impl SigmaTyper {
         ledger: &BudgetLedger,
     ) -> AnnotationOutcome {
         let (_, policy) = options.resolved();
+        // Apply the per-request backend override *here*, on the config
+        // handed to the executor: the cache fingerprint is derived from
+        // this same config inside `run_budgeted`, so a non-default
+        // backend automatically separates its cache keys.
+        let mut config = self.config;
+        if let Some(backend) = options.embedding_backend {
+            config.embedding_backend = backend;
+        }
         let cache_ctx = if options.bypass_cache {
             None
         } else {
@@ -589,7 +628,7 @@ impl SigmaTyper {
             table,
             &self.global,
             &self.local,
-            &self.config,
+            &config,
             cache_ctx,
             Some(BudgetContext {
                 ledger,
@@ -599,16 +638,16 @@ impl SigmaTyper {
         );
         let (per_column, timings) = budgeted.trace;
 
-        let weight_of = |id: StepId| self.cascade.weight(id, &self.config);
+        let weight_of = |id: StepId| self.cascade.weight(id, &config);
         let columns = per_column
             .into_iter()
             .enumerate()
             .map(|(ci, steps)| {
                 let executed: Vec<(StepId, &StepScores)> =
                     steps.iter().map(|(s, sc)| (*s, sc)).collect();
-                let mut top_k = soft_majority_vote_with(&executed, &self.config, &weight_of);
+                let mut top_k = soft_majority_vote_with(&executed, &config, &weight_of);
                 self.prefer_specific(&mut top_k);
-                let (predicted, confidence) = apply_tau(&top_k, self.config.tau);
+                let (predicted, confidence) = apply_tau(&top_k, config.tau);
                 let (steps_run, step_scores): (Vec<StepId>, Vec<StepScores>) =
                     steps.into_iter().unzip();
                 ColumnAnnotation {
@@ -624,8 +663,7 @@ impl SigmaTyper {
         let mut annotation = TableAnnotation { columns, timings };
         // Feed the cost model before telemetry is stripped — the EWMA
         // is observation-only and never changes this annotation.
-        self.cost
-            .observe(&annotation, self.config.cascade_threshold);
+        self.cost.observe(&annotation, config.cascade_threshold);
         match options.telemetry {
             TelemetryVerbosity::Full => {}
             TelemetryVerbosity::TimingsOnly => {

@@ -8,7 +8,9 @@
 //!   becomes the empty cell); typing them is the *server's* job.
 //! * **Options in** (all fields optional): `{"budget_nanos": u64,
 //!   "policy": "strict"|"drop_tail"|"best_effort", "bypass_cache":
-//!   bool, "telemetry": "full"|"timings_only"|"minimal"}`.
+//!   bool, "telemetry": "full"|"timings_only"|"minimal",
+//!   "embedding_backend": "reference_f32"|"quantized_i8"|
+//!   "blocked_simd"|"batched_frontier"}`.
 //! * **Outcome out**: per-column decisions (predicted type *name* or
 //!   `null` on abstention, confidence, top-k, steps run) plus the full
 //!   [`DegradationReport`].
@@ -20,6 +22,7 @@
 //! suite asserts.
 
 use jsonshim::Json;
+use sigmatyper::backend::EmbeddingBackendKind;
 use sigmatyper::request::{
     AnnotationOutcome, DegradationPolicy, DegradationReport, RequestOptions, SkipReason,
     TelemetryVerbosity,
@@ -117,6 +120,16 @@ pub fn options_from_json(v: Option<&Json>) -> Result<RequestOptions, String> {
                 ))
             }
         });
+    }
+    if let Some(backend) = v.get("embedding_backend") {
+        let label = backend
+            .as_str()
+            .ok_or("\"embedding_backend\" must be a string")?;
+        // `parse` is the typed-error path: an unknown name becomes an
+        // `UnknownBackendError` listing the valid names, which we
+        // surface verbatim as the 400 body — never a panic.
+        let kind = EmbeddingBackendKind::parse(label).map_err(|e| e.to_string())?;
+        options = options.with_embedding_backend(kind);
     }
     Ok(options)
 }
@@ -267,7 +280,7 @@ mod tests {
     fn options_decode_with_lossless_budget() {
         assert_eq!(options_from_json(None).unwrap(), RequestOptions::default());
         let doc = format!(
-            r#"{{"budget_nanos":{},"policy":"drop_tail","bypass_cache":true,"telemetry":"minimal"}}"#,
+            r#"{{"budget_nanos":{},"policy":"drop_tail","bypass_cache":true,"telemetry":"minimal","embedding_backend":"quantized_i8"}}"#,
             u64::MAX
         );
         let options = options_from_json(Some(&Json::parse(&doc).unwrap())).unwrap();
@@ -275,6 +288,10 @@ mod tests {
         assert_eq!(options.policy, DegradationPolicy::DropTailSteps);
         assert!(options.bypass_cache);
         assert_eq!(options.telemetry, TelemetryVerbosity::Minimal);
+        assert_eq!(
+            options.embedding_backend,
+            Some(EmbeddingBackendKind::QuantizedI8)
+        );
 
         let bad = Json::parse(r#"{"policy":"fastest"}"#).unwrap();
         assert!(options_from_json(Some(&bad))
@@ -282,5 +299,25 @@ mod tests {
             .contains("fastest"));
         let frac = Json::parse(r#"{"budget_nanos":1.5}"#).unwrap();
         assert!(options_from_json(Some(&frac)).is_err());
+    }
+
+    /// An unknown backend name is a typed parse error surfaced as the
+    /// 400 body — it names the rejected value and every valid name,
+    /// and the server never panics on it.
+    #[test]
+    fn unknown_embedding_backend_is_a_listing_error() {
+        for kind in EmbeddingBackendKind::ALL {
+            let doc = format!(r#"{{"embedding_backend":"{}"}}"#, kind.label());
+            let options = options_from_json(Some(&Json::parse(&doc).unwrap())).unwrap();
+            assert_eq!(options.embedding_backend, Some(kind));
+        }
+        let bad = Json::parse(r#"{"embedding_backend":"warp_drive"}"#).unwrap();
+        let err = options_from_json(Some(&bad)).unwrap_err();
+        assert!(err.contains("warp_drive"), "{err}");
+        for kind in EmbeddingBackendKind::ALL {
+            assert!(err.contains(kind.label()), "{err}");
+        }
+        let not_a_string = Json::parse(r#"{"embedding_backend":7}"#).unwrap();
+        assert!(options_from_json(Some(&not_a_string)).is_err());
     }
 }
