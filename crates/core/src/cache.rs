@@ -81,7 +81,7 @@ use crate::prediction::{StepId, StepScores};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use tu_table::{Table, Value};
+use tu_table::{Column, ColumnDelta, Table, Value};
 
 /// A deterministic 128-bit streaming hasher (two FNV-1a/64 lanes with
 /// distinct offset bases, avalanche-finalized).
@@ -256,6 +256,156 @@ impl CacheKey {
     }
 }
 
+/// Longest fingerprint delta chain before
+/// [`ColumnHashState::apply_delta`] collapses back to a fresh full
+/// rehash of the column.
+///
+/// The chained hash is bit-exact at any length (property-tested), so
+/// the cap is not about hash quality — it bounds how far a retained
+/// mid-state may drift from its last full-rehash checkpoint before the
+/// next delta re-anchors it against the actual materialized values.
+pub const MAX_FINGERPRINT_CHAIN: usize = 16;
+
+/// A retained mid-state of one column's content hash, extendable by
+/// append-only deltas without rehashing the values already absorbed.
+///
+/// The column content hash absorbs the header, then every cell in
+/// order, then a trailing row count. Cells are self-delimiting (type
+/// tag plus length-prefixed payloads) and the count comes *last*, so
+/// the state after `name + cells` is a valid prefix of the hash of any
+/// extension of the column: an
+/// [`ColumnDeltaKind::Appended`](tu_table::ColumnDeltaKind::Appended)
+/// delta
+/// folds just the new cells into the retained hasher — O(delta), not
+/// O(column) — and [`content_hash`](ColumnHashState::content_hash)
+/// stays bit-identical to hashing the materialized column from
+/// scratch. Non-append deltas (truncations, rewrites, header changes)
+/// have no incremental structure in an append-only hash and collapse
+/// to a fresh full rehash, as does the chain once it exceeds
+/// [`MAX_FINGERPRINT_CHAIN`].
+#[derive(Debug, Clone)]
+pub struct ColumnHashState {
+    hasher: StableHasher,
+    len: usize,
+    chain_len: usize,
+}
+
+impl ColumnHashState {
+    /// Hash `col` from scratch (a fresh base fingerprint: chain length
+    /// zero).
+    #[must_use]
+    pub fn of(col: &Column) -> Self {
+        let mut hasher = StableHasher::new();
+        hasher.write_str(&col.name);
+        for v in &col.values {
+            hasher.write_value(v);
+        }
+        ColumnHashState {
+            hasher,
+            len: col.values.len(),
+            chain_len: 0,
+        }
+    }
+
+    /// Advance the state over `delta`, where `col` is the column the
+    /// delta produces (the new crawl's column).
+    ///
+    /// Returns `true` when the delta was folded in incrementally
+    /// (append-only, header unchanged, chain below the cap); `false`
+    /// when the state collapsed to a fresh full rehash of `col`. In
+    /// both cases the resulting
+    /// [`content_hash`](ColumnHashState::content_hash) equals
+    /// `ColumnHashState::of(col).content_hash()` exactly.
+    pub fn apply_delta(&mut self, col: &Column, delta: &ColumnDelta) -> bool {
+        if !delta.header_changed {
+            if delta.is_empty() {
+                return true;
+            }
+            if self.chain_len < MAX_FINGERPRINT_CHAIN {
+                if let Some(appended) = delta.appended() {
+                    for v in appended {
+                        self.hasher.write_value(v);
+                    }
+                    self.len += appended.len();
+                    self.chain_len += 1;
+                    debug_assert_eq!(self.len, col.values.len());
+                    return true;
+                }
+            }
+        }
+        *self = ColumnHashState::of(col);
+        false
+    }
+
+    /// The column content hash of the current state — bit-identical to
+    /// hashing the materialized column from scratch.
+    #[must_use]
+    pub fn content_hash(&self) -> [u64; 2] {
+        let mut h = self.hasher.clone();
+        h.write_usize(self.len);
+        h.finish128()
+    }
+
+    /// Rows absorbed so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no rows have been absorbed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Deltas folded in since the last full rehash.
+    #[must_use]
+    pub fn chain_len(&self) -> usize {
+        self.chain_len
+    }
+}
+
+/// Shared-base fingerprint derivation from precomputed per-column
+/// content hashes (the common tail of [`column_fingerprints`] and
+/// [`column_fingerprints_chained`]).
+fn fingerprints_from_col_hashes(
+    table: &Table,
+    step_ids: &[StepId],
+    config: &SigmaTyperConfig,
+    epoch: u64,
+    col_hashes: &[[u64; 2]],
+) -> Vec<ColumnFingerprint> {
+    // Shared base: everything that identifies the run as a whole. The
+    // table name is included because a custom step may read it through
+    // `ctx.table` (conservative: affects hit rate, never correctness).
+    let mut base = StableHasher::new();
+    base.write_str(&table.name);
+    base.write_usize(table.n_rows());
+    base.write_usize(step_ids.len());
+    for id in step_ids {
+        base.write_u64(u64::from(id.raw()));
+    }
+    config.fingerprint_into(&mut base);
+    base.write_u64(epoch);
+    base.write_usize(col_hashes.len());
+    for ch in col_hashes {
+        base.write_u64(ch[0]);
+        base.write_u64(ch[1]);
+    }
+
+    col_hashes
+        .iter()
+        .enumerate()
+        .map(|(ci, ch)| {
+            let mut h = base.clone();
+            h.write_usize(ci);
+            h.write_u64(ch[0]);
+            h.write_u64(ch[1]);
+            ColumnFingerprint(h.finish128())
+        })
+        .collect()
+}
+
 /// Compute the per-column fingerprints for one annotation run of
 /// `table` under a cascade executing `step_ids` in order, the given
 /// config, and the customer's current cache `epoch`.
@@ -274,46 +424,47 @@ pub fn column_fingerprints(
     let col_hashes: Vec<[u64; 2]> = table
         .columns()
         .iter()
-        .map(|col| {
-            let mut h = StableHasher::new();
-            h.write_str(&col.name);
-            h.write_usize(col.values.len());
-            for v in &col.values {
-                h.write_value(v);
-            }
-            h.finish128()
-        })
+        .map(|col| ColumnHashState::of(col).content_hash())
         .collect();
+    fingerprints_from_col_hashes(table, step_ids, config, epoch, &col_hashes)
+}
 
-    // Shared base: everything that identifies the run as a whole. The
-    // table name is included because a custom step may read it through
-    // `ctx.table` (conservative: affects hit rate, never correctness).
-    let mut base = StableHasher::new();
-    base.write_str(&table.name);
-    base.write_usize(table.n_rows());
-    base.write_usize(step_ids.len());
-    for id in step_ids {
-        base.write_u64(u64::from(id.raw()));
+/// [`column_fingerprints`] from retained [`ColumnHashState`]s instead
+/// of rehashing every cell — the delta-chain fast path for recrawls.
+///
+/// `states` must hold one state per column of `table`, already
+/// advanced over the deltas that produced this crawl (see
+/// [`ColumnHashState::apply_delta`]). Because a state's content hash
+/// is bit-identical to a fresh rehash, the fingerprints returned here
+/// equal [`column_fingerprints`] on the same inputs — so exact cache
+/// hits keep working unchanged — while the per-crawl hashing cost
+/// drops from O(cells) to O(changed cells).
+///
+/// # Panics
+/// When `states` does not match the table shape (one state per
+/// column, each state's absorbed row count equal to the table's).
+#[must_use]
+pub fn column_fingerprints_chained(
+    table: &Table,
+    step_ids: &[StepId],
+    config: &SigmaTyperConfig,
+    epoch: u64,
+    states: &[ColumnHashState],
+) -> Vec<ColumnFingerprint> {
+    assert_eq!(
+        states.len(),
+        table.n_cols(),
+        "one hash state per table column"
+    );
+    for s in states {
+        assert_eq!(
+            s.len(),
+            table.n_rows(),
+            "hash state rows must match the table"
+        );
     }
-    config.fingerprint_into(&mut base);
-    base.write_u64(epoch);
-    base.write_usize(col_hashes.len());
-    for ch in &col_hashes {
-        base.write_u64(ch[0]);
-        base.write_u64(ch[1]);
-    }
-
-    col_hashes
-        .iter()
-        .enumerate()
-        .map(|(ci, ch)| {
-            let mut h = base.clone();
-            h.write_usize(ci);
-            h.write_u64(ch[0]);
-            h.write_u64(ch[1]);
-            ColumnFingerprint(h.finish128())
-        })
-        .collect()
+    let col_hashes: Vec<[u64; 2]> = states.iter().map(ColumnHashState::content_hash).collect();
+    fingerprints_from_col_hashes(table, step_ids, config, epoch, &col_hashes)
 }
 
 /// A pluggable store of per-step annotation results.
@@ -841,6 +992,80 @@ mod tests {
             ..config
         };
         assert_ne!(base, column_fingerprints(&t, &steps, &tweaked, 0));
+    }
+
+    #[test]
+    fn chained_hash_state_matches_fresh_rehash() {
+        let base = Column::from_raw("city", &["Oslo", "Lima"]);
+        let grown = Column::from_raw("city", &["Oslo", "Lima", "Kyiv"]);
+        let delta = ColumnDelta::between(&base, &grown);
+        let mut state = ColumnHashState::of(&base);
+        assert_eq!(
+            state.content_hash(),
+            ColumnHashState::of(&base).content_hash()
+        );
+        assert!(state.apply_delta(&grown, &delta), "append must chain");
+        assert_eq!(state.chain_len(), 1);
+        assert_eq!(state.len(), 3);
+        assert_eq!(
+            state.content_hash(),
+            ColumnHashState::of(&grown).content_hash()
+        );
+        // Empty deltas neither change the hash nor lengthen the chain.
+        let noop = ColumnDelta::between(&grown, &grown.clone());
+        assert!(state.apply_delta(&grown, &noop));
+        assert_eq!(state.chain_len(), 1);
+        // The chained fingerprints equal the fresh ones bit for bit.
+        let t = Table::new("t", vec![grown.clone()]).unwrap();
+        let config = SigmaTyperConfig::default();
+        let steps = [StepId::HEADER, StepId::LOOKUP];
+        assert_eq!(
+            column_fingerprints_chained(&t, &steps, &config, 3, std::slice::from_ref(&state)),
+            column_fingerprints(&t, &steps, &config, 3)
+        );
+    }
+
+    #[test]
+    fn non_append_deltas_collapse_the_chain() {
+        let base = Column::from_raw("c", &["a", "b", "c"]);
+        let mut state = ColumnHashState::of(&base);
+        let grown = Column::from_raw("c", &["a", "b", "c", "d"]);
+        assert!(state.apply_delta(&grown, &ColumnDelta::between(&base, &grown)));
+        for (name, new) in [
+            ("truncated", Column::from_raw("c", &["a", "b"])),
+            ("rewritten", Column::from_raw("c", &["x", "b", "c"])),
+            ("renamed", Column::from_raw("d", &["a", "b", "c"])),
+        ] {
+            let mut s = state.clone();
+            let chained = s.apply_delta(&new, &ColumnDelta::between(&grown, &new));
+            assert!(!chained, "{name} delta must collapse");
+            assert_eq!(s.chain_len(), 0, "{name} resets the chain");
+            assert_eq!(s.content_hash(), ColumnHashState::of(&new).content_hash());
+        }
+    }
+
+    #[test]
+    fn chain_cap_collapses_to_fresh_rehash() {
+        let mut col = Column::from_raw("n", &["0"]);
+        let mut state = ColumnHashState::of(&col);
+        for i in 1..=MAX_FINGERPRINT_CHAIN {
+            let mut grown = col.clone();
+            grown.values.push(Value::Int(i as i64));
+            let chained = state.apply_delta(&grown, &ColumnDelta::between(&col, &grown));
+            assert!(chained, "delta {i} fits under the cap");
+            assert_eq!(state.chain_len(), i);
+            col = grown;
+        }
+        // One past the cap: full rehash, chain reset, hash still exact.
+        let mut grown = col.clone();
+        grown.values.push(Value::Int(-1));
+        let chained = state.apply_delta(&grown, &ColumnDelta::between(&col, &grown));
+        assert!(!chained, "delta past the cap must collapse");
+        assert_eq!(state.chain_len(), 0);
+        assert_eq!(
+            state.content_hash(),
+            ColumnHashState::of(&grown).content_hash()
+        );
     }
 
     #[test]

@@ -66,6 +66,18 @@ pub struct SigmaTyperConfig {
     /// override it per call via
     /// [`RequestOptions::embedding_backend`](crate::request::RequestOptions::embedding_backend).
     pub embedding_backend: EmbeddingBackendKind,
+    /// Base sensitivity threshold for delta-aware recrawls: when an
+    /// annotation request carries a base table
+    /// ([`AnnotationRequest::with_base`](crate::request::AnnotationRequest::with_base)),
+    /// a cacheable step reuses the base crawl's cached scores for a
+    /// column whose [`movement`](tu_table::ColumnDelta::movement)
+    /// stayed at or below this threshold scaled by the step's own
+    /// [`sensitivity_factor`](crate::step::AnnotationStep::sensitivity_factor).
+    /// `0.0` disables approximation entirely — any real change re-runs
+    /// every step, so incremental recrawls are bit-identical to full
+    /// recomputation. A request may override it per call via
+    /// [`RequestOptions::delta_sensitivity`](crate::request::RequestOptions::delta_sensitivity).
+    pub delta_sensitivity: f64,
 }
 
 impl SigmaTyperConfig {
@@ -119,6 +131,14 @@ impl SigmaTyperConfig {
             parallelism: _,
             column_threads: _,
             embedding_backend,
+            // Deliberately not fingerprinted: the sensitivity gate only
+            // decides whether a step *re-runs* or *reuses the base
+            // crawl's entry* — reused scores are never inserted under
+            // the new fingerprint (the executor suppresses those
+            // writes), so no cached entry ever depends on this value.
+            // Hashing it would cold-start the cache on every threshold
+            // tune without guarding anything.
+            delta_sensitivity: _,
         } = *self;
         h.write_f64(cascade_threshold);
         h.write_f64(tau);
@@ -160,6 +180,7 @@ impl Default for SigmaTyperConfig {
             parallelism: ParallelismPolicy::default(),
             column_threads: 0,
             embedding_backend: EmbeddingBackendKind::ReferenceF32,
+            delta_sensitivity: 0.05,
         }
     }
 }
@@ -224,6 +245,9 @@ mod tests {
         assert!(c.cascade_threshold > c.tau);
         assert!(c.top_k >= 1);
         assert!(c.range_lf_scale < c.cascade_threshold);
+        // Strictly below 1.0: a fully rewritten column (movement ≥ 1)
+        // must never slip through the default reuse gate.
+        assert!(c.delta_sensitivity >= 0.0 && c.delta_sensitivity < 1.0);
         let t = TrainingConfig::default();
         assert!(t.calibration_fraction > 0.0 && t.calibration_fraction < 1.0);
         assert!(TrainingConfig::fast().epochs < t.epochs);
@@ -314,6 +338,14 @@ mod tests {
             },
             SigmaTyperConfig {
                 column_threads: 7,
+                ..base
+            },
+            // The delta-reuse sensitivity gates reuse of *base-crawl*
+            // entries; it never changes what an executed step scores
+            // or what gets inserted, so tuning it must not cold-start
+            // the cache.
+            SigmaTyperConfig {
+                delta_sensitivity: 0.4,
                 ..base
             },
         ];

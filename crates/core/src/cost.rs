@@ -220,6 +220,7 @@ mod tests {
             cache_inserts: 0,
             chunks: usize::from(columns > 0),
             parallel_nanos: parallel,
+            delta_reused: 0,
         }
     }
 

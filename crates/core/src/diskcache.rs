@@ -6,9 +6,9 @@
 //! *across* crawler restarts, not within one. This module provides the
 //! out-of-process tier:
 //!
-//! * [`DiskCache`] — an append-only segment file of
+//! * [`DiskCache`] — an append-only set of segment files of
 //!   `CacheKey → StepScores` records keyed by the cross-run-stable
-//!   128-bit fingerprints of [`crate::cache`]. The segment carries a
+//!   128-bit fingerprints of [`crate::cache`]. Each segment carries a
 //!   versioned header and a per-record checksum; a torn or corrupt
 //!   tail is truncated at open (cold, never wrong), and a segment
 //!   written by a different [`DISK_FORMAT_VERSION`] is discarded
@@ -22,7 +22,7 @@
 //!   using it, invalidating the stale entries for every process
 //!   sharing the file.
 //!
-//! # Segment format (version 1)
+//! # Segment format (version 2)
 //!
 //! ```text
 //! header  := b"SGTC" ‖ version:u32le ‖ reserved:[0u8; 8]      (16 bytes)
@@ -37,10 +37,21 @@
 //! contract: a disk hit is byte-identical to the insert.
 //!
 //! Records only append; a key overwritten later simply wins in the
-//! in-memory index (rebuilt at open by scanning forward). The
-//! [`compact`](DiskCache::compact) pass rewrites the segment keeping
-//! only entries whose recorded epoch is still reachable, reclaiming
-//! space from superseded keys and adapted-away epochs.
+//! in-memory index (rebuilt at open by scanning forward).
+//!
+//! # Segment rotation
+//!
+//! Writes land in the **active** segment (`cache.seg`). When it grows
+//! past the size limit it is sealed — synced, renamed to
+//! `cache-<seq>.seg` — and a fresh active segment starts, so no single
+//! file grows without bound and sealed segments become immutable (and
+//! safely skippable by backup/rsync once copied). Open discovers the
+//! rolled segments, scans them oldest-first, then scans the active
+//! segment last, so "latest wins" holds across the whole set. The
+//! [`compact`](DiskCache::compact) pass merges *all* segments into one
+//! fresh active segment keeping only entries whose recorded epoch is
+//! still reachable, reclaiming space from superseded keys and
+//! adapted-away epochs, then deletes the rolled files.
 //!
 //! [`ShardedLruCache`]: crate::cache::ShardedLruCache
 //! [`SigmaTyper`]: crate::system::SigmaTyper
@@ -61,7 +72,18 @@ use tu_ontology::TypeId;
 /// changes the hashed fields (or this file layout) must bump the
 /// version, and a mismatched artifact is discarded as cold instead of
 /// being trusted.
-pub const DISK_FORMAT_VERSION: u32 = 1;
+///
+/// History: v1 → v2 moved the column length to a trailing position in
+/// the column content hash (enabling [`crate::cache::ColumnHashState`]
+/// delta chains), changing every fingerprint bit pattern — v1 segments
+/// hold keys no v2 process can ever look up, so they restart cold.
+pub const DISK_FORMAT_VERSION: u32 = 2;
+
+/// Default size limit of the active segment before it rolls (see the
+/// module docs on segment rotation). Deployments with other churn
+/// profiles pick their own limit through
+/// [`DiskCache::open_with_segment_limit`].
+pub const DEFAULT_MAX_SEGMENT_BYTES: u64 = 64 << 20;
 
 const SEGMENT_MAGIC: [u8; 4] = *b"SGTC";
 const EPOCH_MAGIC: [u8; 4] = *b"SGTE";
@@ -144,7 +166,10 @@ fn write_header(file: &mut File) -> io::Result<()> {
 
 #[derive(Debug, Clone, Copy)]
 struct IndexEntry {
-    /// Offset of the record's `payload_len` field in the segment.
+    /// Which segment holds the record: an index into
+    /// [`DiskInner::segments`] (the active segment is always last).
+    segment: u32,
+    /// Offset of the record's `payload_len` field in its segment.
     offset: u64,
     payload_len: u32,
     epoch: u64,
@@ -156,32 +181,57 @@ impl IndexEntry {
     }
 }
 
+/// One open segment file plus its current path (the path changes when
+/// the active segment is sealed and renamed — the handle survives the
+/// rename).
 #[derive(Debug)]
-struct DiskInner {
+struct Segment {
     file: File,
-    index: HashMap<CacheKey, IndexEntry>,
-    /// Append position: one past the last verified record.
-    tail: u64,
+    path: PathBuf,
 }
 
-/// Scan an open segment, rebuilding the key index. Returns the index
-/// plus the verified tail; a tail of 0 means "header invalid — start
-/// the segment over". Scanning stops at the first torn or corrupt
-/// record: everything before it is trusted (checksummed), everything
-/// after is unreachable anyway since offsets only grow.
-fn scan_segment(file: &mut File) -> io::Result<(HashMap<CacheKey, IndexEntry>, u64)> {
+#[derive(Debug)]
+struct DiskInner {
+    /// Rolled segments oldest-first, then the active segment last.
+    segments: Vec<Segment>,
+    index: HashMap<CacheKey, IndexEntry>,
+    /// Append position in the active segment: one past the last
+    /// verified record.
+    tail: u64,
+    /// Sequence number the next sealed segment will be renamed to.
+    next_seq: u64,
+}
+
+impl DiskInner {
+    fn active(&mut self) -> &mut Segment {
+        self.segments
+            .last_mut()
+            .expect("a DiskCache always holds an active segment")
+    }
+}
+
+/// Scan an open segment, merging its records into the shared key
+/// index under segment id `segment`. Returns the verified tail; a
+/// tail of 0 means "header invalid — nothing trusted". Scanning stops
+/// at the first torn or corrupt record: everything before it is
+/// trusted (checksummed), everything after is unreachable anyway
+/// since offsets only grow.
+fn scan_segment_into(
+    file: &mut File,
+    segment: u32,
+    index: &mut HashMap<CacheKey, IndexEntry>,
+) -> io::Result<u64> {
     let len = file.metadata()?.len();
     if len < HEADER_LEN {
-        return Ok((HashMap::new(), 0));
+        return Ok(0);
     }
     file.seek(SeekFrom::Start(0))?;
     let mut reader = BufReader::new(&mut *file);
     let mut header = [0u8; HEADER_LEN as usize];
     reader.read_exact(&mut header)?;
     if header[..4] != SEGMENT_MAGIC || header[4..8] != DISK_FORMAT_VERSION.to_le_bytes() {
-        return Ok((HashMap::new(), 0));
+        return Ok(0);
     }
-    let mut index = HashMap::new();
     let mut offset = HEADER_LEN;
     while offset < len {
         let mut len4 = [0u8; 4];
@@ -190,6 +240,7 @@ fn scan_segment(file: &mut File) -> io::Result<(HashMap<CacheKey, IndexEntry>, u
         }
         let payload_len = u32::from_le_bytes(len4) as usize;
         let entry = IndexEntry {
+            segment,
             offset,
             payload_len: payload_len as u32,
             epoch: 0,
@@ -213,7 +264,17 @@ fn scan_segment(file: &mut File) -> io::Result<(HashMap<CacheKey, IndexEntry>, u
         index.insert(key, IndexEntry { epoch, ..entry });
         offset += entry.total_len();
     }
-    Ok((index, offset))
+    Ok(offset)
+}
+
+/// Parse the sequence number out of a rolled segment's file name
+/// (`cache-<seq>.seg`); `None` for anything else in the directory.
+fn rolled_segment_seq(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    name.strip_prefix("cache-")?
+        .strip_suffix(".seg")?
+        .parse()
+        .ok()
 }
 
 /// Read and verify one record's scores at a known index entry.
@@ -276,7 +337,11 @@ fn acquire_writer_lock(dir: &Path) -> io::Result<File> {
 /// ```
 #[derive(Debug)]
 pub struct DiskCache {
+    /// Path of the active segment (`<dir>/cache.seg`).
     path: PathBuf,
+    dir: PathBuf,
+    /// Roll the active segment once its tail passes this size.
+    max_segment_bytes: u64,
     inner: Mutex<DiskInner>,
     /// Held (never read) for the lifetime of the cache: the advisory
     /// writer lock on `cache.lock` in the segment directory. The OS
@@ -306,9 +371,40 @@ impl DiskCache {
     /// The lock dies with the handle (even on a crash), so recovery is
     /// automatic.
     pub fn open(dir: impl AsRef<Path>) -> io::Result<DiskCache> {
+        Self::open_with_segment_limit(dir, DEFAULT_MAX_SEGMENT_BYTES)
+    }
+
+    /// [`open`](DiskCache::open) with an explicit active-segment size
+    /// limit instead of [`DEFAULT_MAX_SEGMENT_BYTES`]. A record is
+    /// never split: the segment rolls after the append that crosses
+    /// the limit, so one oversized record still lands intact.
+    pub fn open_with_segment_limit(
+        dir: impl AsRef<Path>,
+        max_segment_bytes: u64,
+    ) -> io::Result<DiskCache> {
         let dir = dir.as_ref();
         fs::create_dir_all(dir)?;
         let writer_lock = acquire_writer_lock(dir)?;
+        // Rolled segments first, oldest-first, so later segments (and
+        // finally the active one) win duplicate keys.
+        let mut rolled: Vec<(u64, PathBuf)> = fs::read_dir(dir)?
+            .filter_map(|entry| {
+                let path = entry.ok()?.path();
+                rolled_segment_seq(&path).map(|seq| (seq, path))
+            })
+            .collect();
+        rolled.sort_unstable_by_key(|(seq, _)| *seq);
+        let next_seq = rolled.last().map_or(0, |(seq, _)| seq + 1);
+        let mut segments = Vec::with_capacity(rolled.len() + 1);
+        let mut index = HashMap::new();
+        for (_, path) in rolled {
+            let mut file = OpenOptions::new().read(true).open(&path)?;
+            // A rolled segment is immutable: a foreign or torn one
+            // contributes nothing (cold, never wrong) but stays
+            // tracked so compaction reclaims the file.
+            scan_segment_into(&mut file, segments.len() as u32, &mut index)?;
+            segments.push(Segment { file, path });
+        }
         let path = dir.join("cache.seg");
         let mut file = OpenOptions::new()
             .read(true)
@@ -316,20 +412,31 @@ impl DiskCache {
             .create(true)
             .truncate(false)
             .open(&path)?;
-        let (index, tail) = scan_segment(&mut file)?;
-        let (index, tail) = if tail == 0 {
+        let tail = scan_segment_into(&mut file, segments.len() as u32, &mut index)?;
+        let tail = if tail == 0 {
             file.set_len(0)?;
             file.seek(SeekFrom::Start(0))?;
             write_header(&mut file)?;
-            (HashMap::new(), HEADER_LEN)
+            HEADER_LEN
         } else {
             // Drop torn bytes so the next append starts clean.
             file.set_len(tail)?;
-            (index, tail)
+            tail
         };
+        segments.push(Segment {
+            file,
+            path: path.clone(),
+        });
         Ok(DiskCache {
             path,
-            inner: Mutex::new(DiskInner { file, index, tail }),
+            dir: dir.to_path_buf(),
+            max_segment_bytes,
+            inner: Mutex::new(DiskInner {
+                segments,
+                index,
+                tail,
+                next_seq,
+            }),
             _writer_lock: writer_lock,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -338,10 +445,17 @@ impl DiskCache {
         })
     }
 
-    /// Path of the backing segment file.
+    /// Path of the active segment file.
     #[must_use]
     pub fn segment_path(&self) -> &Path {
         &self.path
+    }
+
+    /// How many segment files currently back the cache (rolled plus
+    /// the active one). 1 until the first roll.
+    #[must_use]
+    pub fn segment_count(&self) -> usize {
+        self.lock().segments.len()
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, DiskInner> {
@@ -352,21 +466,26 @@ impl DiskCache {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    /// Rewrite the segment keeping only entries whose recorded epoch
-    /// appears in `live_epochs`, dropping superseded duplicates and
-    /// adapted-away epochs. Returns how many index entries were
+    /// Rewrite all segments into one fresh active segment keeping only
+    /// entries whose recorded epoch appears in `live_epochs`, dropping
+    /// superseded duplicates and adapted-away epochs, then delete the
+    /// rolled segment files. Returns how many index entries were
     /// dropped. The rewrite goes through a temp file and an atomic
     /// rename, so a crash mid-compaction leaves either the old or the
-    /// new segment intact.
+    /// new active segment intact (rolled files are only removed after
+    /// the rename lands — a crash between the two at worst leaves
+    /// stale rolled files whose keys the merged segment overrides).
     ///
     /// Entries written through epoch-less [`StepCache::insert`] carry
     /// [`UNKNOWN_EPOCH`]; list it in `live_epochs` to keep them.
     pub fn compact(&self, live_epochs: &[u64]) -> io::Result<usize> {
-        let mut inner = self.lock();
+        let mut guard = self.lock();
+        let inner = &mut *guard;
         let mut entries: Vec<(CacheKey, IndexEntry)> =
             inner.index.iter().map(|(k, e)| (*k, *e)).collect();
-        // Preserve append order so "latest wins" stays true on rescan.
-        entries.sort_by_key(|(_, e)| e.offset);
+        // Preserve append order — segment-major, then offset — so
+        // "latest wins" stays true on rescan.
+        entries.sort_by_key(|(_, e)| (e.segment, e.offset));
         let tmp_path = self.path.with_extension("seg.tmp");
         let mut tmp = File::create(&tmp_path)?;
         write_header(&mut tmp)?;
@@ -378,9 +497,10 @@ impl DiskCache {
                 dropped += 1;
                 continue;
             }
-            inner.file.seek(SeekFrom::Start(entry.offset))?;
+            let file = &mut inner.segments[entry.segment as usize].file;
+            file.seek(SeekFrom::Start(entry.offset))?;
             let mut rec = vec![0u8; entry.total_len() as usize];
-            inner.file.read_exact(&mut rec)?;
+            file.read_exact(&mut rec)?;
             let payload = &rec[4..4 + entry.payload_len as usize];
             if rec[4 + entry.payload_len as usize..] != checksum(payload) {
                 dropped += 1;
@@ -390,6 +510,7 @@ impl DiskCache {
             index.insert(
                 key,
                 IndexEntry {
+                    segment: 0,
                     offset: tail,
                     ..entry
                 },
@@ -398,22 +519,57 @@ impl DiskCache {
         }
         tmp.sync_data()?;
         fs::rename(&tmp_path, &self.path)?;
-        inner.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        for seg in &inner.segments {
+            if seg.path != self.path {
+                let _ = fs::remove_file(&seg.path);
+            }
+        }
+        let file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        inner.segments = vec![Segment {
+            file,
+            path: self.path.clone(),
+        }];
         inner.index = index;
         inner.tail = tail;
         self.dropped.fetch_add(dropped as u64, Ordering::Relaxed);
         Ok(dropped)
+    }
+
+    /// Seal the active segment — sync, rename to `cache-<seq>.seg` —
+    /// and start a fresh one. Best-effort: on failure the oversized
+    /// active segment keeps accepting appends (correctness never
+    /// depends on rotation).
+    fn roll_active(&self, inner: &mut DiskInner) -> io::Result<()> {
+        let seq = inner.next_seq;
+        let rolled_path = self.dir.join(format!("cache-{seq:06}.seg"));
+        let active = inner.active();
+        active.file.sync_data()?;
+        fs::rename(&active.path, &rolled_path)?;
+        // The open handle survives the rename and keeps serving reads.
+        active.path = rolled_path;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&self.path)?;
+        write_header(&mut file)?;
+        inner.segments.push(Segment {
+            file,
+            path: self.path.clone(),
+        });
+        inner.tail = HEADER_LEN;
+        inner.next_seq = seq + 1;
+        Ok(())
     }
 }
 
 impl StepCache for DiskCache {
     fn get(&self, key: &CacheKey) -> Option<StepScores> {
         let mut inner = self.lock();
-        let found = inner
-            .index
-            .get(key)
-            .copied()
-            .and_then(|entry| read_record(&mut inner.file, entry))
+        let entry = inner.index.get(key).copied();
+        let found = entry
+            .and_then(|entry| read_record(&mut inner.segments[entry.segment as usize].file, entry))
             .and_then(|(k, _, scores)| (k == *key).then_some(scores));
         drop(inner);
         match found {
@@ -438,20 +594,26 @@ impl StepCache for DiskCache {
         rec.extend_from_slice(&checksum(&payload));
         let mut inner = self.lock();
         let offset = inner.tail;
-        let mut ok = inner.file.seek(SeekFrom::Start(offset)).is_ok();
+        let segment = inner.segments.len() as u32 - 1;
+        let active = &mut inner.active().file;
+        let mut ok = active.seek(SeekFrom::Start(offset)).is_ok();
         if ok {
-            ok = inner.file.write_all(&rec).is_ok();
+            ok = active.write_all(&rec).is_ok();
         }
         if ok {
             inner.index.insert(
                 key,
                 IndexEntry {
+                    segment,
                     offset,
                     payload_len: payload.len() as u32,
                     epoch,
                 },
             );
             inner.tail = offset + rec.len() as u64;
+            if inner.tail >= self.max_segment_bytes {
+                let _ = self.roll_active(&mut inner);
+            }
             drop(inner);
             self.inserts.fetch_add(1, Ordering::Relaxed);
         }
@@ -467,9 +629,22 @@ impl StepCache for DiskCache {
     fn clear(&self) {
         let mut inner = self.lock();
         inner.index.clear();
-        // Best-effort truncate; on failure the orphaned records are
-        // unreachable in this process and rescanned only after reopen.
-        if inner.file.set_len(HEADER_LEN).is_ok() {
+        // Drop the rolled segments (truncating any file that refuses
+        // deletion so its records can't be resurrected at reopen),
+        // then truncate the active one. Best-effort throughout; on
+        // failure the orphaned records are unreachable in this process
+        // and rescanned only after reopen.
+        let active_path = self.path.clone();
+        inner.segments.retain_mut(|seg| {
+            if seg.path == active_path {
+                return true;
+            }
+            if fs::remove_file(&seg.path).is_err() {
+                let _ = seg.file.set_len(0);
+            }
+            false
+        });
+        if inner.active().file.set_len(HEADER_LEN).is_ok() {
             inner.tail = HEADER_LEN;
         }
     }
@@ -485,7 +660,7 @@ impl StepCache for DiskCache {
     }
 
     fn flush(&self) -> io::Result<()> {
-        self.lock().file.sync_data()
+        self.lock().active().file.sync_data()
     }
 }
 
@@ -928,6 +1103,100 @@ mod tests {
         cache.insert(key(6), scores(0.6, 1));
         assert_eq!(cache.compact(&[2, UNKNOWN_EPOCH]).unwrap(), 0);
         assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn rotation_rolls_at_threshold_and_latest_wins_across_segments() {
+        let dir = Scratch::new("rotate");
+        {
+            // Tiny limit: every record crosses it, so every insert
+            // seals the active segment.
+            let cache = DiskCache::open_with_segment_limit(dir.path(), 64).unwrap();
+            assert_eq!(cache.segment_count(), 1);
+            for n in 0..5 {
+                cache.insert_with_epoch(key(n), scores(0.5, 2), 1);
+            }
+            assert!(cache.segment_count() > 1, "active segment must roll");
+            // Records sealed into rolled segments stay readable.
+            for n in 0..5 {
+                assert_eq!(cache.get(&key(n)).unwrap(), scores(0.5, 2));
+            }
+            // Overwrite a key that lives in a rolled segment: the
+            // fresher record in a later segment must win.
+            cache.insert_with_epoch(key(0), scores(0.9, 1), 1);
+            assert_eq!(cache.get(&key(0)).unwrap(), scores(0.9, 1));
+            assert_eq!(cache.len(), 5);
+            cache.flush().unwrap();
+        }
+        // Reopen (default limit) discovers the rolled segments and
+        // merges them oldest-first — latest still wins.
+        let cache = DiskCache::open(dir.path()).unwrap();
+        assert!(cache.segment_count() > 1);
+        assert_eq!(cache.len(), 5);
+        assert_eq!(cache.get(&key(0)).unwrap(), scores(0.9, 1));
+        for n in 1..5 {
+            assert_eq!(cache.get(&key(n)).unwrap(), scores(0.5, 2));
+        }
+    }
+
+    #[test]
+    fn compaction_merges_all_segments_into_one_and_deletes_rolled_files() {
+        let dir = Scratch::new("rotate-compact");
+        let cache = DiskCache::open_with_segment_limit(dir.path(), 64).unwrap();
+        for n in 0..4 {
+            cache.insert_with_epoch(key(n), scores(0.5, 1), 1);
+        }
+        cache.insert_with_epoch(key(9), scores(0.9, 1), 2);
+        assert!(cache.segment_count() > 1);
+        let dropped = cache.compact(&[1]).unwrap();
+        assert_eq!(dropped, 1, "only the epoch-2 entry is unreachable");
+        assert_eq!(cache.segment_count(), 1, "compaction merges to one segment");
+        assert_eq!(cache.len(), 4);
+        for n in 0..4 {
+            assert_eq!(cache.get(&key(n)).unwrap(), scores(0.5, 1));
+        }
+        assert_eq!(cache.get(&key(9)), None);
+        // The rolled files are gone from disk: only the active
+        // segment, the lock, and the temp-free directory remain.
+        let seg_files: Vec<_> = fs::read_dir(dir.path())
+            .unwrap()
+            .filter_map(|e| {
+                let name = e.unwrap().file_name().into_string().unwrap();
+                name.ends_with(".seg").then_some(name)
+            })
+            .collect();
+        assert_eq!(seg_files, vec!["cache.seg".to_string()]);
+        // Post-compaction appends and a reopen both work; rotation
+        // continues from a fresh sequence space without collisions.
+        for n in 10..14 {
+            cache.insert_with_epoch(key(n), scores(0.4, 1), 1);
+        }
+        assert!(cache.segment_count() > 1);
+        cache.flush().unwrap();
+        drop(cache);
+        let cache = DiskCache::open(dir.path()).unwrap();
+        assert_eq!(cache.len(), 8);
+        assert_eq!(cache.get(&key(12)).unwrap(), scores(0.4, 1));
+    }
+
+    #[test]
+    fn clear_removes_rolled_segments_too() {
+        let dir = Scratch::new("rotate-clear");
+        let cache = DiskCache::open_with_segment_limit(dir.path(), 64).unwrap();
+        for n in 0..4 {
+            cache.insert_with_epoch(key(n), scores(0.5, 1), 1);
+        }
+        assert!(cache.segment_count() > 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.segment_count(), 1);
+        cache.insert_with_epoch(key(7), scores(0.7, 1), 1);
+        cache.flush().unwrap();
+        drop(cache);
+        let cache = DiskCache::open(dir.path()).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&key(0)).is_none(), "cleared entries stay gone");
+        assert_eq!(cache.get(&key(7)).unwrap(), scores(0.7, 1));
     }
 
     #[test]

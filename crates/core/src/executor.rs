@@ -101,6 +101,43 @@ pub fn forced_column_parallelism() -> bool {
     })
 }
 
+/// Inputs for the delta-aware recrawl path of
+/// [`CascadeExecutor::run_budgeted`]: precomputed fingerprints for the
+/// new crawl (typically derived through fingerprint delta chains, see
+/// [`column_fingerprints_chained`](crate::cache::column_fingerprints_chained)),
+/// the base crawl's fingerprints, and how far each column's signal
+/// moved.
+///
+/// With a delta context installed, a cacheable step that misses the
+/// exact cache for a column whose movement is at or below
+/// `sensitivity ×`
+/// [`sensitivity_factor`](crate::step::AnnotationStep::sensitivity_factor)
+/// reuses the *base* crawl's cached scores for that column instead of
+/// re-running — entered into the trace exactly like a cache hit, and
+/// counted in [`StepTiming::delta_reused`]. Reused scores are **never
+/// inserted** under the new fingerprint, and once any reuse fires, the
+/// executor stops inserting later steps' fresh results too: those ran
+/// under an approximated cross-column context, and the cache contract
+/// ("equal fingerprints ⇒ bit-identical scores") only admits entries
+/// from unapproximated runs.
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaContext<'a> {
+    /// Fingerprints of the new crawl's columns — must be bit-identical
+    /// to what
+    /// [`column_fingerprints`]
+    /// would compute for the table (delta chains guarantee this), so
+    /// exact cache hits keep working unchanged.
+    pub fingerprints: &'a [ColumnFingerprint],
+    /// Fingerprints of the base crawl's columns, for reuse lookups.
+    pub base_fingerprints: &'a [ColumnFingerprint],
+    /// Per-column [`movement`](tu_table::ColumnDelta::movement), in
+    /// column order of the new crawl.
+    pub movements: &'a [f64],
+    /// Base sensitivity threshold; `0.0` disables reuse entirely
+    /// (bit-identical to a from-scratch run).
+    pub sensitivity: f64,
+}
+
 /// Runs a [`Cascade`] over tables: frontier tracking, cache consults,
 /// and (policy-permitting) column-parallel step execution.
 ///
@@ -214,7 +251,7 @@ impl CascadeExecutor {
         config: &SigmaTyperConfig,
         cache: Option<CacheContext<'_>>,
     ) -> CascadeTrace {
-        self.run_budgeted(cascade, table, global, local, config, cache, None)
+        self.run_budgeted(cascade, table, global, local, config, cache, None, None)
             .trace
     }
 
@@ -227,8 +264,14 @@ impl CascadeExecutor {
     /// [`Strict`](crate::request::DegradationPolicy::Strict) policy)
     /// the walk is identical to the unbudgeted one, which is what
     /// keeps plain `annotate` calls bit-identical to default requests.
+    ///
+    /// An optional [`DeltaContext`] engages the delta-aware recrawl
+    /// path (see its docs): precomputed fingerprints replace the
+    /// per-run rehash, and sufficiently still columns reuse the base
+    /// crawl's cached scores. With `delta == None` — or a sensitivity
+    /// of 0 — the walk is bit-identical to a from-scratch run.
     #[must_use]
-    #[allow(clippy::too_many_arguments)] // run()'s signature + the budget context
+    #[allow(clippy::too_many_arguments)] // run()'s signature + the budget and delta contexts
     pub fn run_budgeted(
         &self,
         cascade: &Cascade,
@@ -238,6 +281,7 @@ impl CascadeExecutor {
         config: &SigmaTyperConfig,
         cache: Option<CacheContext<'_>>,
         budget: Option<BudgetContext<'_>>,
+        delta: Option<DeltaContext<'_>>,
     ) -> BudgetedTrace {
         let n = table.n_cols();
         let normalized: Vec<String> = table
@@ -245,13 +289,32 @@ impl CascadeExecutor {
             .iter()
             .map(|h| tu_text::normalize_header(h))
             .collect();
-        // One pass over the table's cells, shared by every step.
-        let fingerprints: Option<Vec<ColumnFingerprint>> =
-            cache.map(|cc| column_fingerprints(table, &cascade.step_ids(), config, cc.epoch));
+        // The delta path only matters with a cache to reuse from, and
+        // its slices must cover every column.
+        let delta = delta.filter(|d| {
+            cache.is_some()
+                && d.fingerprints.len() == n
+                && d.base_fingerprints.len() == n
+                && d.movements.len() == n
+        });
+        // One pass over the table's cells, shared by every step — or,
+        // on the delta path, the chained fingerprints computed by the
+        // caller from retained hash states (bit-identical, O(changed
+        // cells) instead of O(cells)).
+        let fingerprints: Option<Vec<ColumnFingerprint>> = cache.map(|cc| match delta {
+            Some(d) => d.fingerprints.to_vec(),
+            None => column_fingerprints(table, &cascade.step_ids(), config, cc.epoch),
+        });
         let mut per_column: Vec<Vec<(StepId, StepScores)>> = vec![Vec::new(); n];
         let mut timings = Vec::with_capacity(cascade.len());
         let mut skipped: Vec<SkippedStep> = Vec::new();
         let mut charged_nanos = 0u64;
+        let mut total_delta_reused = 0usize;
+        // Once any step reused base-crawl scores, later steps run under
+        // an approximated cross-column context: their fresh results are
+        // real for this response but must not be inserted under the new
+        // fingerprint (the cache admits only unapproximated runs).
+        let mut tainted = false;
         // Degradation engages only under a non-Strict budget context;
         // Strict charges the ledger but never drops.
         let degrade = budget.filter(|b| b.policy != DegradationPolicy::Strict);
@@ -315,15 +378,26 @@ impl CascadeExecutor {
                         cache_inserts: 0,
                         chunks: 0,
                         parallel_nanos: 0,
+                        delta_reused: 0,
                     });
                     continue;
                 }
             }
 
             // Phase 1: build the pending-column frontier — skip gates
-            // first, then (for cacheable steps) the cache.
+            // first, then (for cacheable steps) the exact cache, then
+            // the delta-reuse gate: an exact miss on a column whose
+            // signal moved less than the step's sensitivity threshold
+            // is answered from the *base* crawl's entry instead of
+            // re-running. At sensitivity 0 the threshold is 0 and any
+            // real change has positive movement, so reuse never fires
+            // and the walk stays bit-identical to a from-scratch run.
             let step_cache = cache.filter(|_| step.cacheable());
+            let reuse_threshold = delta
+                .map(|d| d.sensitivity * step.sensitivity_factor())
+                .unwrap_or(0.0);
             let (mut hits, mut misses) = (0usize, 0usize);
+            let mut delta_reused = 0usize;
             let mut cached_scores: Vec<(usize, StepScores)> = Vec::new();
             let mut frontier: Vec<usize> = Vec::new();
             for (ci, state) in states.iter().enumerate() {
@@ -338,6 +412,16 @@ impl CascadeExecutor {
                         continue;
                     }
                     misses += 1;
+                    if let Some(d) = delta {
+                        if reuse_threshold > 0.0 && d.movements[ci] <= reuse_threshold {
+                            let base_key = CacheKey::for_step(d.base_fingerprints[ci], step.id());
+                            if let Some(scores) = cc.cache.get(&base_key) {
+                                delta_reused += 1;
+                                cached_scores.push((ci, scores));
+                                continue;
+                            }
+                        }
+                    }
                 }
                 frontier.push(ci);
             }
@@ -386,9 +470,16 @@ impl CascadeExecutor {
 
             // Phase 3: write back — cache inserts, then the trace.
             // Each column gains at most one entry per step, so the
-            // write-back order cannot influence later steps.
+            // write-back order cannot influence later steps. Inserts
+            // are suppressed once an *earlier* step reused base-crawl
+            // scores: this step's frontier ran under an approximated
+            // context, and a cached entry must only ever come from an
+            // unapproximated run. (Reuse at this step taints later
+            // steps, not this one — the per-column context above was
+            // computed at step start, before any of this step's
+            // results existed.)
             let mut inserts = 0usize;
-            if let Some(cc) = step_cache {
+            if let Some(cc) = step_cache.filter(|_| !tainted) {
                 for (&ci, scores) in frontier.iter().zip(&results) {
                     if let Some(fp) = states[ci].fingerprint {
                         // Epoch-tagged insert: persistent backends
@@ -403,6 +494,8 @@ impl CascadeExecutor {
                     }
                 }
             }
+            tainted |= delta_reused > 0;
+            total_delta_reused += delta_reused;
             let columns = frontier.len();
             for (ci, scores) in cached_scores {
                 per_column[ci].push((step.id(), scores));
@@ -420,6 +513,7 @@ impl CascadeExecutor {
                 cache_inserts: inserts,
                 chunks,
                 parallel_nanos,
+                delta_reused,
             };
             if let Some(b) = budget {
                 // Charge the larger of wall-clock and summed in-chunk
@@ -435,6 +529,7 @@ impl CascadeExecutor {
             trace: (per_column, timings),
             skipped,
             charged_nanos,
+            delta_reused: total_delta_reused,
         }
     }
 
@@ -540,6 +635,11 @@ pub struct BudgetedTrace {
     pub skipped: Vec<SkippedStep>,
     /// Nanoseconds charged against the ledger for this table.
     pub charged_nanos: u64,
+    /// Total `(step, column)` pairs answered from the base crawl's
+    /// cache on the delta-aware path (the sum of
+    /// [`StepTiming::delta_reused`] across steps); 0 without a
+    /// [`DeltaContext`].
+    pub delta_reused: usize,
 }
 
 /// Clamp a `u128` nanosecond count into the ledger's `u64` domain

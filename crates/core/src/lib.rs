@@ -73,8 +73,9 @@ pub use backend::{
     EmbeddingBackendKind, QuantizedI8, ReferenceF32, UnknownBackendError,
 };
 pub use cache::{
-    column_fingerprints, CacheContext, CacheKey, CacheStats, ColumnFingerprint, EpochSource,
-    ShardedLruCache, StableHasher, StepCache,
+    column_fingerprints, column_fingerprints_chained, CacheContext, CacheKey, CacheStats,
+    ColumnFingerprint, ColumnHashState, EpochSource, ShardedLruCache, StableHasher, StepCache,
+    MAX_FINGERPRINT_CHAIN,
 };
 pub use cascade::Cascade;
 pub use config::{SigmaTyperConfig, TrainingConfig};
@@ -83,7 +84,9 @@ pub use diskcache::{
     DiskCache, DurableEpochSource, TieredStepCache, DISK_FORMAT_VERSION, UNKNOWN_EPOCH,
 };
 pub use embedstep::{train_embedding_model, TableEmbeddingModel};
-pub use executor::{forced_column_parallelism, BudgetedTrace, CascadeExecutor, ParallelismPolicy};
+pub use executor::{
+    forced_column_parallelism, BudgetedTrace, CascadeExecutor, DeltaContext, ParallelismPolicy,
+};
 pub use global::{train_global, GlobalModel};
 pub use headerstep::HeaderMatcher;
 pub use local::LocalModel;

@@ -210,6 +210,14 @@ pub struct StepTiming {
     /// [`run_batch`]: crate::step::AnnotationStep::run_batch
     /// [`nanos`]: StepTiming::nanos
     pub parallel_nanos: u128,
+    /// Columns answered by reusing the *base crawl's* cached scores on
+    /// a delta-aware recrawl — the column's content moved, but by less
+    /// than the step's sensitivity threshold (see
+    /// [`AnnotationRequest::with_base`](crate::request::AnnotationRequest::with_base)).
+    /// Counted separately from [`cache_hits`](StepTiming::cache_hits),
+    /// which remain exact-fingerprint hits; always 0 outside
+    /// delta-aware requests and at sensitivity 0.
+    pub delta_reused: usize,
 }
 
 /// Final annotation of one column.
@@ -400,6 +408,7 @@ mod tests {
             cache_inserts: 0,
             chunks: 1,
             parallel_nanos: nanos,
+            delta_reused: 0,
         }
     }
 

@@ -138,6 +138,13 @@ pub struct RequestOptions {
     /// cached step results must never cross-serve (see
     /// [`crate::backend`]).
     pub embedding_backend: Option<EmbeddingBackendKind>,
+    /// Override the delta-reuse sensitivity threshold for this request
+    /// only (`None` = use
+    /// [`SigmaTyperConfig::delta_sensitivity`](crate::config::SigmaTyperConfig::delta_sensitivity)).
+    /// Only consulted when the request carries a base table
+    /// ([`AnnotationRequest::with_base`]); `Some(0.0)` forces an
+    /// incremental recrawl to be bit-identical to full recomputation.
+    pub delta_sensitivity: Option<f64>,
 }
 
 impl RequestOptions {
@@ -190,6 +197,16 @@ impl RequestOptions {
     #[must_use]
     pub fn with_embedding_backend(mut self, backend: EmbeddingBackendKind) -> Self {
         self.embedding_backend = Some(backend);
+        self
+    }
+
+    /// Builder-style: override the delta-reuse sensitivity threshold
+    /// (see
+    /// [`SigmaTyperConfig::delta_sensitivity`](crate::config::SigmaTyperConfig::delta_sensitivity)).
+    /// Negative values are clamped to `0.0` (bit-identical recrawls).
+    #[must_use]
+    pub fn with_delta_sensitivity(mut self, sensitivity: f64) -> Self {
+        self.delta_sensitivity = Some(sensitivity.max(0.0));
         self
     }
 
@@ -274,6 +291,10 @@ pub struct AnnotationRequest<'a> {
     pub table: &'a Table,
     /// Budget, policy, and execution overrides.
     pub options: RequestOptions,
+    /// A previous crawl of the same table, enabling the delta-aware
+    /// recrawl path (see [`with_base`](AnnotationRequest::with_base)).
+    /// `None` = annotate from scratch.
+    pub base: Option<&'a Table>,
 }
 
 impl<'a> AnnotationRequest<'a> {
@@ -284,13 +305,45 @@ impl<'a> AnnotationRequest<'a> {
         AnnotationRequest {
             table,
             options: RequestOptions::default(),
+            base: None,
         }
     }
 
     /// A request with explicit options.
     #[must_use]
     pub fn with_options(table: &'a Table, options: RequestOptions) -> Self {
-        AnnotationRequest { table, options }
+        AnnotationRequest {
+            table,
+            options,
+            base: None,
+        }
+    }
+
+    /// Builder-style: mark this request as a recrawl of `base` (a
+    /// previous crawl of the same table), enabling delta-aware
+    /// re-annotation: per-column deltas are diffed against the base,
+    /// fingerprints for append-only columns are derived through
+    /// delta chains instead of full rehashes, and cacheable steps
+    /// whose input signal moved less than their sensitivity threshold
+    /// reuse the base crawl's cached scores instead of re-running.
+    ///
+    /// Always sound to pass: columns that changed beyond the
+    /// thresholds (or a table whose shape changed) simply fall back to
+    /// full recomputation, and at sensitivity `0` the result is
+    /// bit-identical to a from-scratch annotate.
+    #[must_use]
+    pub fn with_base(mut self, base: &'a Table) -> Self {
+        self.base = Some(base);
+        self
+    }
+
+    /// Builder-style: override the delta-reuse sensitivity threshold
+    /// (meaningful together with
+    /// [`with_base`](AnnotationRequest::with_base)).
+    #[must_use]
+    pub fn with_delta_sensitivity(mut self, sensitivity: f64) -> Self {
+        self.options = self.options.with_delta_sensitivity(sensitivity);
+        self
     }
 
     /// Builder-style: set the nanosecond budget.
@@ -389,6 +442,12 @@ pub struct DegradationReport {
     /// Every step that was skipped or truncated, in cascade order.
     /// Empty when nothing degraded.
     pub skipped: Vec<SkippedStep>,
+    /// Total `(step, column)` pairs answered by reusing the base
+    /// crawl's cached scores on a delta-aware recrawl (the sum of
+    /// [`StepTiming::delta_reused`](crate::prediction::StepTiming::delta_reused)
+    /// across steps). Always 0 outside
+    /// [`AnnotationRequest::with_base`] requests and at sensitivity 0.
+    pub delta_reused: usize,
 }
 
 impl DegradationReport {
@@ -584,6 +643,7 @@ mod tests {
         assert_eq!(opts.column_threads, None);
         assert!(!opts.bypass_cache);
         assert_eq!(opts.telemetry, TelemetryVerbosity::Full);
+        assert_eq!(opts.delta_sensitivity, None);
     }
 
     #[test]
@@ -594,13 +654,18 @@ mod tests {
             .with_parallelism(ParallelismPolicy::Off)
             .with_column_threads(2)
             .with_cache_bypassed()
-            .with_telemetry(TelemetryVerbosity::Minimal);
+            .with_telemetry(TelemetryVerbosity::Minimal)
+            .with_delta_sensitivity(0.1);
         assert_eq!(opts.budget_nanos, Some(500));
         assert_eq!(opts.policy, DegradationPolicy::BestEffort);
         assert_eq!(opts.parallelism, Some(ParallelismPolicy::Off));
         assert_eq!(opts.column_threads, Some(2));
         assert!(opts.bypass_cache);
         assert_eq!(opts.telemetry, TelemetryVerbosity::Minimal);
+        assert_eq!(opts.delta_sensitivity, Some(0.1));
+        // Negative sensitivities clamp to the bit-identical regime.
+        let clamped = RequestOptions::default().with_delta_sensitivity(-3.0);
+        assert_eq!(clamped.delta_sensitivity, Some(0.0));
     }
 
     #[test]
@@ -708,6 +773,7 @@ mod tests {
                     ran: 1,
                 },
             ],
+            delta_reused: 0,
         };
         assert!(report.degraded());
         assert!(report.over_budget());
@@ -718,6 +784,7 @@ mod tests {
             spent_nanos: 42,
             remaining_nanos: None,
             skipped: vec![],
+            delta_reused: 0,
         };
         assert!(!clean.degraded());
         assert!(!clean.over_budget());

@@ -680,6 +680,34 @@ impl AnnotationService {
         tables: &[Table],
         options: &RequestOptions,
     ) -> Vec<AnnotationOutcome> {
+        self.annotate_batch_request_with_bases(tables, &vec![None; tables.len()], options)
+    }
+
+    /// [`annotate_batch_request`](AnnotationService::annotate_batch_request)
+    /// for **incremental recrawls**: `bases[i]` is the previously
+    /// annotated version of `tables[i]` (or `None` for a first crawl).
+    /// Each table with a base runs the delta-aware path of
+    /// [`SigmaTyper::annotate_request_shared_with_base`] — chained
+    /// fingerprints instead of full rehashes, and per-step reuse of
+    /// the base crawl's cached scores for columns whose delta movement
+    /// stays under the sensitivity threshold (`options`'
+    /// `delta_sensitivity`, defaulting to the customer config). At
+    /// sensitivity 0 the batch is bit-identical to a from-scratch
+    /// [`annotate_batch_request`](AnnotationService::annotate_batch_request).
+    ///
+    /// `bases` is positional and must be exactly as long as `tables`.
+    #[must_use]
+    pub fn annotate_batch_request_with_bases(
+        &self,
+        tables: &[Table],
+        bases: &[Option<&Table>],
+        options: &RequestOptions,
+    ) -> Vec<AnnotationOutcome> {
+        assert_eq!(
+            tables.len(),
+            bases.len(),
+            "one base slot (Some or None) per table"
+        );
         let (budget, _) = options.resolved();
         let ledger = BudgetLedger::from_budget(budget);
         let policy = options
@@ -690,8 +718,8 @@ impl AnnotationService {
             tables,
             self.effective_threads(),
             policy,
-            &|typer, table, executor| {
-                typer.annotate_request_shared(table, executor, options, &ledger)
+            &|typer, i, table, executor| {
+                typer.annotate_request_shared_with_base(table, bases[i], executor, options, &ledger)
             },
         );
         let degraded = outcomes.iter().filter(|o| o.degraded()).count();
@@ -754,9 +782,13 @@ impl AnnotationService {
 /// plain [`SigmaTyper::annotate_with`].
 fn two_level_annotate(typer: &SigmaTyper, tables: &[Table], budget: usize) -> Vec<TableAnnotation> {
     let policy = typer.config().parallelism;
-    two_level_run(typer, tables, budget, policy, &|typer, table, executor| {
-        typer.annotate_with(table, executor)
-    })
+    two_level_run(
+        typer,
+        tables,
+        budget,
+        policy,
+        &|typer, _, table, executor| typer.annotate_with(table, executor),
+    )
 }
 
 /// The shared scheduling core: `budget` worker threads split across
@@ -769,7 +801,7 @@ fn two_level_run<T: Send + Sync>(
     tables: &[Table],
     budget: usize,
     policy: ParallelismPolicy,
-    annotate_one: &(dyn Fn(&SigmaTyper, &Table, &CascadeExecutor) -> T + Sync),
+    annotate_one: &(dyn Fn(&SigmaTyper, usize, &Table, &CascadeExecutor) -> T + Sync),
 ) -> Vec<T> {
     let n = tables.len();
     if n == 0 {
@@ -789,7 +821,8 @@ fn two_level_run<T: Send + Sync>(
         let executor = executor_for(0);
         return tables
             .iter()
-            .map(|t| annotate_one(typer, t, &executor))
+            .enumerate()
+            .map(|(i, t)| annotate_one(typer, i, t, &executor))
             .collect();
     }
     // Level 1: a dynamic queue instead of pre-cut shards, so one slow
@@ -809,7 +842,7 @@ fn two_level_run<T: Send + Sync>(
                 if i >= n {
                     break;
                 }
-                let ann = annotate_one(typer, &tables[i], &executor);
+                let ann = annotate_one(typer, i, &tables[i], &executor);
                 assert!(
                     slots[i].set(ann).is_ok(),
                     "queue indices are unique; every slot is filled exactly once"
@@ -840,6 +873,7 @@ mod tests {
     use std::sync::OnceLock;
     use tu_corpus::{generate_corpus, CorpusConfig};
     use tu_ontology::builtin_ontology;
+    use tu_table::Column;
 
     fn global() -> Arc<GlobalModel> {
         static GLOBAL: OnceLock<Arc<GlobalModel>> = OnceLock::new();
@@ -877,6 +911,60 @@ mod tests {
                 assert_eq!(sa.candidates, sb.candidates);
             }
         }
+    }
+
+    /// `table` after a recrawl that appended `extra` rows (recycled
+    /// from the head of each column, so the appends look like more of
+    /// the same data).
+    fn recrawled(table: &Table, extra: usize) -> Table {
+        let columns = table
+            .columns()
+            .iter()
+            .map(|c| {
+                let mut values = c.values.clone();
+                for i in 0..extra {
+                    values.push(c.values[i % c.values.len()].clone());
+                }
+                Column::new(c.name.clone(), values)
+            })
+            .collect();
+        Table::new(table.name.clone(), columns).expect("still rectangular")
+    }
+
+    #[test]
+    fn batch_with_bases_reuses_base_scores_and_is_exact_at_zero_sensitivity() {
+        use crate::request::RequestOptions;
+        let service = AnnotationService::new(global(), SigmaTyperConfig::default())
+            .with_threads(4)
+            .cached(1 << 14);
+        let bases = batch(0xBA5E, 4);
+        let _ = service.annotate_batch_request(&bases, &RequestOptions::default());
+        let tables: Vec<Table> = bases.iter().map(|t| recrawled(t, 1)).collect();
+        let base_refs: Vec<Option<&Table>> = bases.iter().map(Some).collect();
+
+        // A generous sensitivity: the one-row appends reuse the base
+        // crawl's cached scores instead of re-running cacheable steps.
+        let relaxed = RequestOptions::default().with_delta_sensitivity(0.5);
+        let reusing = service.annotate_batch_request_with_bases(&tables, &base_refs, &relaxed);
+        let reused: usize = reusing.iter().map(|o| o.degradation.delta_reused).sum();
+        assert!(reused > 0, "small appends must reuse base-crawl scores");
+
+        // Sensitivity 0 turns reuse off entirely and is bit-identical
+        // to annotating the recrawled tables from scratch.
+        let zero = RequestOptions::default().with_delta_sensitivity(0.0);
+        let strict = service.annotate_batch_request_with_bases(&tables, &base_refs, &zero);
+        let uncached_service = AnnotationService::new(global(), SigmaTyperConfig::default());
+        let fresh = uncached_service.annotate_batch_request(&tables, &RequestOptions::default());
+        for (a, b) in strict.iter().zip(&fresh) {
+            assert_eq!(a.degradation.delta_reused, 0, "sensitivity 0 never reuses");
+            assert_identical(&a.annotation, &b.annotation);
+        }
+
+        // Bases are positional: a length mismatch is a caller bug.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            service.annotate_batch_request_with_bases(&tables, &base_refs[..1], &zero)
+        }));
+        assert!(result.is_err(), "mismatched bases length must panic");
     }
 
     #[test]

@@ -273,6 +273,25 @@ pub trait AnnotationStep: std::fmt::Debug + Send + Sync {
     fn cacheable(&self) -> bool {
         true
     }
+
+    /// How tolerant this step's signal is to small column deltas, as a
+    /// multiplier on the request's base sensitivity threshold (see
+    /// [`SigmaTyperConfig::delta_sensitivity`](crate::config::SigmaTyperConfig::delta_sensitivity)).
+    /// During a delta-aware recrawl a cacheable step reuses the base
+    /// crawl's cached scores for a column whose
+    /// [`movement`](tu_table::ColumnDelta::movement) is at or below
+    /// `base_sensitivity × sensitivity_factor()`.
+    ///
+    /// Defaults to `1.0`. Steps whose signal aggregates over the whole
+    /// column — so a few appended rows barely move it — may return a
+    /// larger factor (the built-in [`EmbeddingStep`] does); steps that
+    /// key on individual values should stay at or below `1.0`. The
+    /// factor never affects what an executed step scores, only whether
+    /// it re-runs, and reuse is disabled entirely at base sensitivity
+    /// `0`.
+    fn sensitivity_factor(&self) -> f64 {
+        1.0
+    }
 }
 
 /// Built-in step 1: header matching (syntactic + semantic), with the
@@ -511,6 +530,15 @@ impl AnnotationStep for EmbeddingStep {
             Some(setup) => self.scores_with(ctx, cols, setup),
             None => self.run_batch(ctx, cols),
         }
+    }
+
+    /// The embedding signal is a mean over sampled cell vectors: a few
+    /// appended rows shift the column embedding proportionally to
+    /// their mass, so the step tolerates twice the base movement
+    /// before a re-run pays for itself — and it is the most expensive
+    /// step, so each avoided re-run is worth the most.
+    fn sensitivity_factor(&self) -> f64 {
+        2.0
     }
 }
 
@@ -843,6 +871,16 @@ mod tests {
         assert!(LookupStep.cacheable());
         assert!(EmbeddingStep.cacheable());
         assert!(RegexOnlyStep.cacheable());
+    }
+
+    #[test]
+    fn sensitivity_factors_default_to_one_with_embedding_more_tolerant() {
+        assert_eq!(HeaderStep.sensitivity_factor(), 1.0);
+        assert_eq!(LookupStep.sensitivity_factor(), 1.0);
+        assert_eq!(RegexOnlyStep.sensitivity_factor(), 1.0);
+        // Aggregate signal: tolerates more movement than value-keyed
+        // steps before a re-run pays for itself.
+        assert!(EmbeddingStep.sensitivity_factor() > 1.0);
     }
 
     /// The batch overrides must be bit-identical to mapping `run` over

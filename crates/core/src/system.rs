@@ -2,11 +2,14 @@
 
 use crate::aggregate::{apply_tau, soft_majority_vote_with};
 use crate::backend::EmbeddingBackendKind;
-use crate::cache::{CacheContext, EpochSource, ShardedLruCache, StepCache};
+use crate::cache::{
+    column_fingerprints, column_fingerprints_chained, CacheContext, ColumnFingerprint,
+    ColumnHashState, EpochSource, ShardedLruCache, StepCache,
+};
 use crate::cascade::Cascade;
 use crate::config::SigmaTyperConfig;
 use crate::cost::CostModel;
-use crate::executor::{CascadeExecutor, ParallelismPolicy};
+use crate::executor::{CascadeExecutor, DeltaContext, ParallelismPolicy};
 use crate::global::GlobalModel;
 use crate::local::LocalModel;
 use crate::prediction::{Candidate, ColumnAnnotation, StepId, StepScores, TableAnnotation};
@@ -19,7 +22,7 @@ use std::sync::Arc;
 use tu_corpus::Corpus;
 use tu_dp::{infer_lfs, mine_weak_labels, Demonstration, InferConfig, MiningConfig};
 use tu_ontology::{Category, Ontology, TypeId, ValueKind};
-use tu_table::Table;
+use tu_table::{Table, TableDelta};
 
 /// One customer's SigmaTyper instance: the shared global model plus this
 /// customer's local model (Figure 2's `Customer_i` box), annotating
@@ -564,7 +567,13 @@ impl SigmaTyper {
     ) -> AnnotationOutcome {
         let (budget, _) = request.options.resolved();
         let ledger = BudgetLedger::from_budget(budget);
-        self.annotate_request_shared(request.table, executor, &request.options, &ledger)
+        self.annotate_request_shared_with_base(
+            request.table,
+            request.base,
+            executor,
+            &request.options,
+            &ledger,
+        )
     }
 
     /// [`SigmaTyper::annotate`] through an explicitly constructed
@@ -603,6 +612,27 @@ impl SigmaTyper {
         options: &RequestOptions,
         ledger: &BudgetLedger,
     ) -> AnnotationOutcome {
+        self.annotate_request_shared_with_base(table, None, executor, options, ledger)
+    }
+
+    /// [`SigmaTyper::annotate_request_shared`] with an optional base
+    /// crawl, enabling the delta-aware recrawl path (see
+    /// [`AnnotationRequest::with_base`]): per-column deltas are diffed
+    /// against `base`, the new crawl's fingerprints are derived
+    /// through fingerprint delta chains (O(changed cells) instead of
+    /// rehashing the table), and cacheable steps whose input signal
+    /// moved less than their sensitivity threshold reuse the base
+    /// crawl's cached scores. Falls back to the plain path when the
+    /// table's shape changed, the cache is off, or `base` is `None`.
+    #[must_use]
+    pub fn annotate_request_shared_with_base(
+        &self,
+        table: &Table,
+        base: Option<&Table>,
+        executor: &CascadeExecutor,
+        options: &RequestOptions,
+        ledger: &BudgetLedger,
+    ) -> AnnotationOutcome {
         let (_, policy) = options.resolved();
         // Apply the per-request backend override *here*, on the config
         // handed to the executor: the cache fingerprint is derived from
@@ -623,6 +653,56 @@ impl SigmaTyper {
                 epoch: self.cache_epoch(),
             })
         };
+        // Delta-aware recrawl: diff against the base crawl, advance
+        // retained column-hash states over the deltas (chained
+        // fingerprints are bit-identical to fresh ones), and hand the
+        // executor the base fingerprints + per-column movements for
+        // the sensitivity-gated reuse path. A shape change (column
+        // count) diffs to `None` and falls back to a full recompute.
+        // Owned backing for the borrowed `DeltaContext` handed to the
+        // executor below.
+        struct DeltaData {
+            fingerprints: Vec<ColumnFingerprint>,
+            base_fingerprints: Vec<ColumnFingerprint>,
+            movements: Vec<f64>,
+            sensitivity: f64,
+        }
+        let delta_data: Option<DeltaData> = match (base, cache_ctx) {
+            (Some(base), Some(cc)) => TableDelta::between(base, table).map(|table_delta| {
+                let step_ids = self.cascade.step_ids();
+                let base_fps = column_fingerprints(base, &step_ids, &config, cc.epoch);
+                let states: Vec<ColumnHashState> = base
+                    .columns()
+                    .iter()
+                    .zip(table.columns())
+                    .zip(&table_delta.columns)
+                    .map(|((base_col, new_col), delta)| {
+                        let mut state = ColumnHashState::of(base_col);
+                        state.apply_delta(new_col, delta);
+                        state
+                    })
+                    .collect();
+                let new_fps =
+                    column_fingerprints_chained(table, &step_ids, &config, cc.epoch, &states);
+                let sensitivity = options
+                    .delta_sensitivity
+                    .unwrap_or(config.delta_sensitivity)
+                    .max(0.0);
+                DeltaData {
+                    fingerprints: new_fps,
+                    base_fingerprints: base_fps,
+                    movements: table_delta.movements(),
+                    sensitivity,
+                }
+            }),
+            _ => None,
+        };
+        let delta_ctx = delta_data.as_ref().map(|d| DeltaContext {
+            fingerprints: &d.fingerprints,
+            base_fingerprints: &d.base_fingerprints,
+            movements: &d.movements,
+            sensitivity: d.sensitivity,
+        });
         let budgeted = executor.run_budgeted(
             &self.cascade,
             table,
@@ -635,6 +715,7 @@ impl SigmaTyper {
                 policy,
                 cost: Some(&self.cost),
             }),
+            delta_ctx,
         );
         let (per_column, timings) = budgeted.trace;
 
@@ -686,6 +767,7 @@ impl SigmaTyper {
                 spent_nanos: budgeted.charged_nanos,
                 remaining_nanos: ledger.remaining(),
                 skipped: budgeted.skipped,
+                delta_reused: budgeted.delta_reused,
             },
         }
     }

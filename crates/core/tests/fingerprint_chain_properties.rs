@@ -1,0 +1,174 @@
+//! Property tests for fingerprint delta chains (`cache.rs`): a
+//! [`ColumnHashState`] advanced delta-by-delta must produce the exact
+//! content hash of rehashing the materialized column from scratch —
+//! at *every* chain length, through the chain cap's collapse, and for
+//! every delta shape (appends, truncations, rewrites, renames). The
+//! whole incremental-recrawl path hangs on this equality: a chained
+//! fingerprint that drifted from the fresh one would silently split
+//! the cache key space.
+
+use proptest::prelude::*;
+use sigmatyper::{
+    column_fingerprints, column_fingerprints_chained, ColumnHashState, SigmaTyperConfig, StepId,
+    MAX_FINGERPRINT_CHAIN,
+};
+use tu_table::{Column, ColumnDelta, Table};
+
+/// One rendered cell: empty string is the null cell, the rest span
+/// digits, words, and mixed shapes so type tags and length prefixes
+/// all get exercised.
+fn cell(kind: u8, n: u32) -> String {
+    match kind % 5 {
+        0 => String::new(),
+        1 => n.to_string(),
+        2 => ["oslo", "lima", "quito", "cairo"][(n % 4) as usize].to_string(),
+        3 => format!("id-{n}"),
+        _ => format!("{} {}", n, n / 2),
+    }
+}
+
+fn cells_strategy(max: usize) -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec((0u8..5, 0u32..1000), 0..max)
+        .prop_map(|raw| raw.into_iter().map(|(k, n)| cell(k, n)).collect())
+}
+
+/// A run of recrawls: the base column plus append batches (possibly
+/// empty — an unchanged recrawl), long enough to push past the chain
+/// cap.
+fn chain_strategy() -> impl Strategy<Value = (Vec<String>, Vec<Vec<String>>)> {
+    (
+        cells_strategy(20),
+        prop::collection::vec(cells_strategy(4), 0..MAX_FINGERPRINT_CHAIN + 4),
+    )
+}
+
+fn column(values: &[String]) -> Column {
+    Column::from_raw("col", values)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The core invariant, at every chain length: fold each append
+    /// into the hash state and the content hash equals a fresh rehash
+    /// of the materialized column — before the cap, at the cap, and
+    /// after the collapse the cap forces.
+    #[test]
+    fn chained_hash_equals_fresh_rehash_at_every_chain_length(
+        chain in chain_strategy()
+    ) {
+        let (base, batches) = chain;
+        let mut values = base;
+        let mut state = ColumnHashState::of(&column(&values));
+        prop_assert_eq!(
+            state.content_hash(),
+            ColumnHashState::of(&column(&values)).content_hash()
+        );
+        for batch in batches {
+            let old = column(&values);
+            values.extend(batch.iter().cloned());
+            let new = column(&values);
+            let delta = ColumnDelta::between(&old, &new);
+            let incremental = state.apply_delta(&new, &delta);
+            // Below the cap, a pure append always folds in place; the
+            // collapse only ever happens at the cap.
+            if !incremental {
+                prop_assert_eq!(state.chain_len(), 0, "collapse resets the chain");
+            }
+            prop_assert!(state.chain_len() <= MAX_FINGERPRINT_CHAIN);
+            prop_assert_eq!(
+                state.content_hash(),
+                ColumnHashState::of(&new).content_hash(),
+                "chained hash diverged from fresh rehash"
+            );
+            prop_assert_eq!(state.len(), values.len());
+        }
+    }
+
+    /// Non-append deltas (truncation, rewrite, rename) collapse the
+    /// chain — and the collapsed state is still exactly the fresh
+    /// hash of the new column.
+    #[test]
+    fn non_append_deltas_collapse_to_the_fresh_hash(
+        base in cells_strategy(20),
+        replacement in cells_strategy(20),
+        renamed in any::<bool>(),
+    ) {
+        let old = column(&base);
+        let new = if renamed {
+            Column::from_raw("renamed", &replacement)
+        } else {
+            column(&replacement)
+        };
+        let delta = ColumnDelta::between(&old, &new);
+        // Skip the pure-append / unchanged shapes: they are the other
+        // property's subject, and this one targets collapsing deltas.
+        if !delta.header_changed && (delta.is_empty() || delta.appended().is_some()) {
+            continue;
+        }
+        let mut state = ColumnHashState::of(&old);
+        prop_assert!(!state.apply_delta(&new, &delta), "must report a full rehash");
+        prop_assert_eq!(state.chain_len(), 0);
+        prop_assert_eq!(
+            state.content_hash(),
+            ColumnHashState::of(&new).content_hash()
+        );
+    }
+
+    /// The table-level derivation agrees: fingerprints computed from
+    /// chained per-column states are bit-identical to
+    /// [`column_fingerprints`] over the materialized table, for every
+    /// column and whatever mix of deltas the columns saw.
+    #[test]
+    fn chained_table_fingerprints_match_fresh_ones(
+        cols in prop::collection::vec(
+            (cells_strategy(12), prop::collection::vec(cells_strategy(3), 0..4)),
+            1..4
+        ),
+        epoch in 0u64..1000,
+    ) {
+        // Grow each column through its own append history; rows must
+        // stay rectangular, so pad every column to the tallest.
+        let n_cols = cols.len();
+        let mut histories: Vec<Vec<String>> = Vec::with_capacity(n_cols);
+        let mut states: Vec<ColumnHashState> = Vec::with_capacity(n_cols);
+        for (i, (base, batches)) in cols.into_iter().enumerate() {
+            let name = format!("c{i}");
+            let mut values = base;
+            let mut state = ColumnHashState::of(&Column::from_raw(&name, &values));
+            for batch in batches {
+                let old = Column::from_raw(&name, &values);
+                values.extend(batch.iter().cloned());
+                let new = Column::from_raw(&name, &values);
+                let delta = ColumnDelta::between(&old, &new);
+                state.apply_delta(&new, &delta);
+            }
+            histories.push(values);
+            states.push(state);
+        }
+        let tallest = histories.iter().map(Vec::len).max().unwrap_or(0);
+        for (i, values) in histories.iter_mut().enumerate() {
+            while values.len() < tallest {
+                let old = Column::from_raw(format!("c{i}"), &*values);
+                values.push(String::new());
+                let new = Column::from_raw(format!("c{i}"), &*values);
+                let delta = ColumnDelta::between(&old, &new);
+                states[i].apply_delta(&new, &delta);
+            }
+        }
+        let table = Table::new(
+            "t",
+            histories
+                .iter()
+                .enumerate()
+                .map(|(i, values)| Column::from_raw(format!("c{i}"), values))
+                .collect(),
+        )
+        .expect("padded rectangular");
+        let config = SigmaTyperConfig::default();
+        let steps = [StepId::HEADER, StepId::LOOKUP, StepId::EMBEDDING];
+        let fresh = column_fingerprints(&table, &steps, &config, epoch);
+        let chained = column_fingerprints_chained(&table, &steps, &config, epoch, &states);
+        prop_assert_eq!(fresh, chained);
+    }
+}

@@ -106,6 +106,9 @@ impl Default for ServerConfig {
 enum Job {
     Single {
         table: tu_table::Table,
+        /// Previously crawled version of `table`, when the client sent
+        /// one: the request becomes an incremental recrawl.
+        base: Option<tu_table::Table>,
         options: RequestOptions,
         lane: TrafficLane,
         reply: mpsc::Sender<String>,
@@ -126,6 +129,10 @@ struct LaneCounters {
     served: AtomicU64,
     shed: AtomicU64,
     degraded: AtomicU64,
+    /// Total per-column step evaluations answered from the *base*
+    /// crawl's cache entries on delta-aware requests (the sum of
+    /// every outcome's `delta_reused`).
+    delta_reused: AtomicU64,
 }
 
 struct LaneState {
@@ -301,10 +308,14 @@ fn worker_loop(state: &ServerState) {
         let (body, reply) = match job {
             Job::Single {
                 table,
+                base,
                 options,
                 lane,
                 reply,
-            } => (serve_single(state, &table, &options, lane), reply),
+            } => (
+                serve_single(state, &table, base.as_ref(), &options, lane),
+                reply,
+            ),
             Job::Batch {
                 tables,
                 options,
@@ -329,6 +340,7 @@ fn worker_loop(state: &ServerState) {
 fn serve_single(
     state: &ServerState,
     table: &tu_table::Table,
+    base: Option<&tu_table::Table>,
     options: &RequestOptions,
     lane: TrafficLane,
 ) -> String {
@@ -350,14 +362,17 @@ fn serve_single(
     let lane_ledger = state.lane(lane).ledger.ledger();
     let (request_budget, _) = options.resolved();
     let outcome = match request_budget {
-        None => typer.annotate_request_shared(table, &executor, options, &lane_ledger),
+        None => {
+            typer.annotate_request_shared_with_base(table, base, &executor, options, &lane_ledger)
+        }
         Some(budget) => {
             let capped = match lane_ledger.remaining() {
                 Some(lane_left) => budget.min(lane_left),
                 None => budget,
             };
             let local = BudgetLedger::bounded(capped);
-            let outcome = typer.annotate_request_shared(table, &executor, options, &local);
+            let outcome =
+                typer.annotate_request_shared_with_base(table, base, &executor, options, &local);
             lane_ledger.charge(local.spent());
             outcome
         }
@@ -412,6 +427,11 @@ fn finish_outcomes(state: &ServerState, outcomes: &[AnnotationOutcome], lane: Tr
     counters.served.fetch_add(1, Ordering::Relaxed);
     let degraded = outcomes.iter().filter(|o| o.degraded()).count() as u64;
     counters.degraded.fetch_add(degraded, Ordering::Relaxed);
+    let reused: u64 = outcomes
+        .iter()
+        .map(|o| o.degradation.delta_reused as u64)
+        .sum();
+    counters.delta_reused.fetch_add(reused, Ordering::Relaxed);
 }
 
 fn lane_from_request(req: &Request) -> Result<TrafficLane, Response> {
@@ -467,12 +487,24 @@ fn handle_annotate(state: &ServerState, req: &Request) -> Response {
         Ok(t) => t,
         Err(e) => return bad_request(&e),
     };
+    // Optional previously-crawled version: its presence turns the
+    // request into an incremental recrawl (delta-aware cache reuse
+    // under the options' `delta_sensitivity`).
+    let base = match body.get("base") {
+        None => None,
+        Some(v) if v.is_null() => None,
+        Some(v) => match wire::table_from_json(v) {
+            Ok(t) => Some(t),
+            Err(e) => return bad_request(&format!("base: {e}")),
+        },
+    };
     let options = match wire::options_from_json(body.get("options")) {
         Ok(o) => o,
         Err(e) => return bad_request(&e),
     };
     enqueue_and_wait(state, lane, |reply| Job::Single {
         table,
+        base,
         options,
         lane,
         reply,
@@ -563,6 +595,10 @@ fn lane_metrics(state: &ServerState, lane: TrafficLane) -> Json {
         (
             "degraded",
             Json::from(ls.counters.degraded.load(Ordering::Relaxed)),
+        ),
+        (
+            "delta_reused",
+            Json::from(ls.counters.delta_reused.load(Ordering::Relaxed)),
         ),
         ("spent_nanos", Json::from(ls.ledger.total_spent_nanos())),
         ("window_budget_nanos", Json::from(ls.ledger.window_budget())),

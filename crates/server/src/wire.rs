@@ -10,7 +10,12 @@
 //!   "policy": "strict"|"drop_tail"|"best_effort", "bypass_cache":
 //!   bool, "telemetry": "full"|"timings_only"|"minimal",
 //!   "embedding_backend": "reference_f32"|"quantized_i8"|
-//!   "blocked_simd"|"batched_frontier"}`.
+//!   "blocked_simd"|"batched_frontier",
+//!   "delta_sensitivity": f64 ≥ 0}`.
+//! * **Base table in**: `POST /annotate` additionally accepts a
+//!   `"base"` table (same shape as `"table"`) — the previously crawled
+//!   version, turning the request into an incremental recrawl with
+//!   delta-aware cache reuse.
 //! * **Outcome out**: per-column decisions (predicted type *name* or
 //!   `null` on abstention, confidence, top-k, steps run) plus the full
 //!   [`DegradationReport`].
@@ -131,6 +136,19 @@ pub fn options_from_json(v: Option<&Json>) -> Result<RequestOptions, String> {
         let kind = EmbeddingBackendKind::parse(label).map_err(|e| e.to_string())?;
         options = options.with_embedding_backend(kind);
     }
+    if let Some(sensitivity) = v.get("delta_sensitivity") {
+        if !sensitivity.is_null() {
+            let s = sensitivity
+                .as_f64()
+                .ok_or("\"delta_sensitivity\" must be a number")?;
+            if !s.is_finite() || s < 0.0 {
+                return Err(format!(
+                    "\"delta_sensitivity\" must be a finite number >= 0, got {s}"
+                ));
+            }
+            options = options.with_delta_sensitivity(s);
+        }
+    }
     Ok(options)
 }
 
@@ -198,6 +216,7 @@ fn report_to_json(report: &DegradationReport) -> Json {
         ("budget_nanos", Json::from(report.budget_nanos)),
         ("spent_nanos", Json::from(report.spent_nanos)),
         ("remaining_nanos", Json::from(report.remaining_nanos)),
+        ("delta_reused", Json::from(report.delta_reused)),
         (
             "skipped",
             Json::Arr(
@@ -280,7 +299,7 @@ mod tests {
     fn options_decode_with_lossless_budget() {
         assert_eq!(options_from_json(None).unwrap(), RequestOptions::default());
         let doc = format!(
-            r#"{{"budget_nanos":{},"policy":"drop_tail","bypass_cache":true,"telemetry":"minimal","embedding_backend":"quantized_i8"}}"#,
+            r#"{{"budget_nanos":{},"policy":"drop_tail","bypass_cache":true,"telemetry":"minimal","embedding_backend":"quantized_i8","delta_sensitivity":0.125}}"#,
             u64::MAX
         );
         let options = options_from_json(Some(&Json::parse(&doc).unwrap())).unwrap();
@@ -292,6 +311,7 @@ mod tests {
             options.embedding_backend,
             Some(EmbeddingBackendKind::QuantizedI8)
         );
+        assert_eq!(options.delta_sensitivity, Some(0.125));
 
         let bad = Json::parse(r#"{"policy":"fastest"}"#).unwrap();
         assert!(options_from_json(Some(&bad))
@@ -299,6 +319,13 @@ mod tests {
             .contains("fastest"));
         let frac = Json::parse(r#"{"budget_nanos":1.5}"#).unwrap();
         assert!(options_from_json(Some(&frac)).is_err());
+        for doc in [
+            r#"{"delta_sensitivity":"high"}"#,
+            r#"{"delta_sensitivity":-0.1}"#,
+        ] {
+            let err = options_from_json(Some(&Json::parse(doc).unwrap())).unwrap_err();
+            assert!(err.contains("delta_sensitivity"), "{doc} -> {err}");
+        }
     }
 
     /// An unknown backend name is a typed parse error surfaced as the

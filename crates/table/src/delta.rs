@@ -1,0 +1,382 @@
+//! Column/table deltas between two crawls of the same table.
+//!
+//! The production setting the paper targets is a catalog repeatedly
+//! recrawling slowly changing warehouses: between two crawls most
+//! columns are byte-identical and the rest usually just grew by a few
+//! rows. A [`ColumnDelta`] classifies one column's change against a
+//! base crawl — unchanged, appended rows, truncated rows, or rewritten
+//! — plus whether the header moved, and a [`TableDelta`] wraps one
+//! delta per column. Downstream, the annotation pipeline uses deltas
+//! twice:
+//!
+//! * **fingerprint delta chains** — an append-only delta extends a
+//!   retained column-hash mid-state instead of rehashing every value;
+//! * **sensitivity-gated step reuse** — a step whose input signal
+//!   moved less than its threshold (see [`ColumnDelta::movement`])
+//!   reuses the base crawl's cached scores instead of re-running.
+
+use crate::column::Column;
+use crate::table::Table;
+use crate::value::Value;
+
+/// How one column's values changed relative to a base crawl.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnDeltaKind {
+    /// Byte-identical values.
+    Unchanged,
+    /// The base values are a strict prefix of the new ones; `values`
+    /// holds the appended suffix.
+    Appended {
+        /// The rows appended after the base crawl's last row.
+        values: Vec<Value>,
+    },
+    /// The new values are a strict prefix of the base ones.
+    Truncated {
+        /// How many trailing rows were removed.
+        removed: usize,
+    },
+    /// Anything else — in-place edits, reorders, or wholesale
+    /// replacement. No incremental structure to exploit.
+    Rewritten,
+}
+
+/// One column's change between two crawls: the value-level
+/// [`ColumnDeltaKind`] plus whether the header moved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDelta {
+    /// The value-level change.
+    pub kind: ColumnDeltaKind,
+    /// Did the header change? Header-sensitive signals (header match,
+    /// embedding context) see a completely different input, so a
+    /// header change always reads as infinite [`movement`].
+    ///
+    /// [`movement`]: ColumnDelta::movement
+    pub header_changed: bool,
+    base_len: usize,
+    new_len: usize,
+    /// Character-class drift of the appended suffix against the base
+    /// values (L1 distance of the class fractions, in `[0, 2]`); `0`
+    /// for non-append deltas.
+    drift: f64,
+}
+
+/// Fractions of ASCII-digit / letter / whitespace / other characters
+/// over the rendered non-null values — a four-number sketch of what
+/// the value-shape signals (regex bank, char features) consume.
+fn char_class_fractions(values: &[Value]) -> [f64; 4] {
+    let mut counts = [0usize; 4];
+    for v in values {
+        if v.is_null() {
+            continue;
+        }
+        for c in v.render().chars() {
+            let slot = if c.is_ascii_digit() {
+                0
+            } else if c.is_alphabetic() {
+                1
+            } else if c.is_whitespace() {
+                2
+            } else {
+                3
+            };
+            counts[slot] += 1;
+        }
+    }
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return [0.0; 4];
+    }
+    counts.map(|c| c as f64 / total as f64)
+}
+
+fn null_fraction(values: &[Value]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|v| v.is_null()).count() as f64 / values.len() as f64
+}
+
+impl ColumnDelta {
+    /// Diff `new` against `base`.
+    ///
+    /// The comparison is a prefix scan — one pass over the shared
+    /// rows, cheaper than hashing them — and for appends it also
+    /// sketches the character-class drift of the appended suffix so
+    /// [`movement`](ColumnDelta::movement) reflects *what* was
+    /// appended, not just how much.
+    #[must_use]
+    pub fn between(base: &Column, new: &Column) -> Self {
+        let header_changed = base.name != new.name;
+        let (base_len, new_len) = (base.len(), new.len());
+        let shared = base_len.min(new_len);
+        let prefix_equal = base.values[..shared] == new.values[..shared];
+        let kind = if !prefix_equal {
+            ColumnDeltaKind::Rewritten
+        } else if new_len == base_len {
+            ColumnDeltaKind::Unchanged
+        } else if new_len > base_len {
+            ColumnDeltaKind::Appended {
+                values: new.values[base_len..].to_vec(),
+            }
+        } else {
+            ColumnDeltaKind::Truncated {
+                removed: base_len - new_len,
+            }
+        };
+        let drift = match &kind {
+            ColumnDeltaKind::Appended { values } => {
+                let base_frac = char_class_fractions(&base.values);
+                let app_frac = char_class_fractions(values);
+                base_frac
+                    .iter()
+                    .zip(&app_frac)
+                    .map(|(b, a)| (b - a).abs())
+                    .sum()
+            }
+            _ => 0.0,
+        };
+        ColumnDelta {
+            kind,
+            header_changed,
+            base_len,
+            new_len,
+            drift,
+        }
+    }
+
+    /// `true` when nothing changed at all (values byte-identical,
+    /// header identical) — the only delta with zero
+    /// [`movement`](ColumnDelta::movement).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.kind == ColumnDeltaKind::Unchanged && !self.header_changed
+    }
+
+    /// Row count of the base crawl's column.
+    #[must_use]
+    pub fn base_len(&self) -> usize {
+        self.base_len
+    }
+
+    /// Row count of the new crawl's column.
+    #[must_use]
+    pub fn new_len(&self) -> usize {
+        self.new_len
+    }
+
+    /// The appended suffix, when this is an append delta.
+    #[must_use]
+    pub fn appended(&self) -> Option<&[Value]> {
+        match &self.kind {
+            ColumnDeltaKind::Appended { values } => Some(values),
+            _ => None,
+        }
+    }
+
+    /// How far the column's annotation-relevant signals moved, as a
+    /// dimensionless score:
+    ///
+    /// * `0.0` **exactly and only** for an empty delta — the
+    ///   guarantee that makes a sensitivity threshold of `0` collapse
+    ///   to full recomputation (any real change has positive
+    ///   movement, so nothing is ever reused that an exact cache hit
+    ///   would not also have served);
+    /// * `+∞` for header changes and rewrites — no incremental
+    ///   structure, always recompute;
+    /// * for appends/truncations, the maximum of the growth fraction
+    ///   (changed rows over the larger crawl), the null-fraction
+    ///   shift, and the growth-weighted character-class drift of the
+    ///   appended suffix.
+    #[must_use]
+    pub fn movement(&self) -> f64 {
+        if self.header_changed {
+            return f64::INFINITY;
+        }
+        match &self.kind {
+            ColumnDeltaKind::Unchanged => 0.0,
+            ColumnDeltaKind::Rewritten => f64::INFINITY,
+            ColumnDeltaKind::Appended { values } => {
+                let grow = values.len() as f64 / self.new_len.max(1) as f64;
+                let null_shift = {
+                    let appended_nulls = null_fraction(values);
+                    // The appended slice dilutes the base null
+                    // fraction by at most its own mass.
+                    grow * appended_nulls
+                };
+                grow.max(null_shift).max(grow * self.drift)
+            }
+            ColumnDeltaKind::Truncated { removed } => *removed as f64 / self.base_len.max(1) as f64,
+        }
+    }
+
+    /// Materialize the column this delta produces when applied to
+    /// `base`. The inverse of [`between`](ColumnDelta::between):
+    /// `ColumnDelta::between(&b, &n).apply(&b)` reconstructs `n` for
+    /// every kind except [`Rewritten`](ColumnDeltaKind::Rewritten),
+    /// which returns `None` (the delta does not carry the new
+    /// values).
+    #[must_use]
+    pub fn apply(&self, base: &Column) -> Option<Column> {
+        if self.header_changed {
+            return None;
+        }
+        let mut values = base.values.clone();
+        match &self.kind {
+            ColumnDeltaKind::Unchanged => {}
+            ColumnDeltaKind::Appended { values: app } => values.extend(app.iter().cloned()),
+            ColumnDeltaKind::Truncated { removed } => {
+                values.truncate(values.len().saturating_sub(*removed));
+            }
+            ColumnDeltaKind::Rewritten => return None,
+        }
+        Some(Column::new(base.name.clone(), values))
+    }
+}
+
+/// One [`ColumnDelta`] per column between two crawls of the same
+/// table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableDelta {
+    /// Per-column deltas, in column order of the new crawl.
+    pub columns: Vec<ColumnDelta>,
+}
+
+impl TableDelta {
+    /// Diff `new` against `base`, column by positional index.
+    ///
+    /// Returns `None` when the column count changed — columns can no
+    /// longer be matched positionally, so callers fall back to a full
+    /// recomputation.
+    #[must_use]
+    pub fn between(base: &Table, new: &Table) -> Option<Self> {
+        if base.n_cols() != new.n_cols() {
+            return None;
+        }
+        Some(TableDelta {
+            columns: base
+                .columns()
+                .iter()
+                .zip(new.columns())
+                .map(|(b, n)| ColumnDelta::between(b, n))
+                .collect(),
+        })
+    }
+
+    /// `true` when every column's delta is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.columns.iter().all(ColumnDelta::is_empty)
+    }
+
+    /// Per-column [`ColumnDelta::movement`], in column order.
+    #[must_use]
+    pub fn movements(&self) -> Vec<f64> {
+        self.columns.iter().map(ColumnDelta::movement).collect()
+    }
+
+    /// The largest per-column movement (0 for an empty table).
+    #[must_use]
+    pub fn max_movement(&self) -> f64 {
+        self.movements().into_iter().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(name: &str, vals: &[&str]) -> Column {
+        Column::from_raw(name, vals)
+    }
+
+    #[test]
+    fn classifies_unchanged_append_truncate_rewrite() {
+        let base = col("c", &["a", "b", "c"]);
+        let same = ColumnDelta::between(&base, &base.clone());
+        assert_eq!(same.kind, ColumnDeltaKind::Unchanged);
+        assert!(same.is_empty());
+        assert_eq!(same.movement(), 0.0);
+
+        let grown = col("c", &["a", "b", "c", "d"]);
+        let d = ColumnDelta::between(&base, &grown);
+        assert_eq!(d.appended().unwrap().len(), 1);
+        assert!(d.movement() > 0.0 && d.movement().is_finite());
+        assert_eq!(d.apply(&base).unwrap(), grown);
+
+        let shrunk = col("c", &["a", "b"]);
+        let d = ColumnDelta::between(&base, &shrunk);
+        assert_eq!(d.kind, ColumnDeltaKind::Truncated { removed: 1 });
+        assert!((d.movement() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(d.apply(&base).unwrap(), shrunk);
+
+        let edited = col("c", &["a", "X", "c"]);
+        let d = ColumnDelta::between(&base, &edited);
+        assert_eq!(d.kind, ColumnDeltaKind::Rewritten);
+        assert_eq!(d.movement(), f64::INFINITY);
+        assert!(d.apply(&base).is_none());
+    }
+
+    #[test]
+    fn header_change_is_infinite_movement() {
+        let base = col("c", &["a"]);
+        let renamed = col("d", &["a"]);
+        let d = ColumnDelta::between(&base, &renamed);
+        assert_eq!(d.kind, ColumnDeltaKind::Unchanged);
+        assert!(d.header_changed);
+        assert!(!d.is_empty());
+        assert_eq!(d.movement(), f64::INFINITY);
+        assert!(d.apply(&base).is_none());
+    }
+
+    #[test]
+    fn movement_is_zero_only_for_empty_deltas() {
+        // The sensitivity-0 bit-identity contract leans on this: any
+        // real change must read as strictly positive movement.
+        let base = col("c", &["a", "b"]);
+        for new in [
+            col("c", &["a", "b", ""]),  // appended null
+            col("c", &["a", "b", "b"]), // appended duplicate
+            col("c", &["a"]),           // truncated
+            col("c", &["b", "a"]),      // reordered
+            col("x", &["a", "b"]),      // renamed
+        ] {
+            let d = ColumnDelta::between(&base, &new);
+            assert!(d.movement() > 0.0, "{new:?} must have positive movement");
+        }
+    }
+
+    #[test]
+    fn drifted_appends_move_more_than_homogeneous_ones() {
+        let raw: Vec<String> = (0..100).map(|i| format!("value_{i}")).collect();
+        let base = Column::from_raw("c", &raw);
+        let mut same: Vec<String> = raw.clone();
+        same.push("value_x".into());
+        let mut odd: Vec<String> = raw.clone();
+        odd.push("!!!###$$$%%%&&&***???".into());
+        let homogeneous = ColumnDelta::between(&base, &Column::from_raw("c", &same));
+        let drifted = ColumnDelta::between(&base, &Column::from_raw("c", &odd));
+        assert!(drifted.movement() > homogeneous.movement());
+    }
+
+    #[test]
+    fn table_delta_matches_columns_positionally() {
+        let base = Table::new("t", vec![col("a", &["1", "2"]), col("b", &["x", "y"])]).unwrap();
+        let new = Table::new(
+            "t",
+            vec![col("a", &["1", "2", "3"]), col("b", &["x", "y", "z"])],
+        )
+        .unwrap();
+        let d = TableDelta::between(&base, &new).unwrap();
+        assert_eq!(d.columns.len(), 2);
+        assert!(!d.is_empty());
+        assert!(d.movements().iter().all(|m| *m > 0.0 && m.is_finite()));
+        assert!(d.max_movement() > 0.0);
+        // Identical tables: empty delta, zero movement.
+        let same = TableDelta::between(&base, &base.clone()).unwrap();
+        assert!(same.is_empty());
+        assert_eq!(same.max_movement(), 0.0);
+        // Column-count changes defeat positional matching.
+        let wider = Table::new("t", vec![col("a", &["1"])]).unwrap();
+        assert!(TableDelta::between(&base, &wider).is_none());
+    }
+}

@@ -12,10 +12,12 @@
 
 pub mod column;
 pub mod csv;
+pub mod delta;
 pub mod stats;
 pub mod table;
 pub mod value;
 
 pub use column::Column;
+pub use delta::{ColumnDelta, ColumnDeltaKind, TableDelta};
 pub use table::{Table, TableBuilder, TableError};
 pub use value::{DataType, Date, Value};

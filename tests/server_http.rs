@@ -498,3 +498,127 @@ fn graceful_shutdown_drains_in_flight_and_leaves_disk_state_warm() {
         "durable epoch must match the last feedback bump"
     );
 }
+
+/// `POST /annotate` with a `"base"` table is the incremental-recrawl
+/// path over HTTP: after a cold crawl of the base, re-annotating an
+/// appended version with the base attached reuses the base crawl's
+/// cached scores — visible in the outcome's `degradation.delta_reused`
+/// and the per-lane `/metrics` counter — while `delta_sensitivity: 0`
+/// stays bit-identical to annotating the new table from scratch.
+#[test]
+fn annotate_with_base_reuses_cache_and_is_exact_at_zero_sensitivity() {
+    use sigmatyper::ShardedLruCache;
+    use tu_table::Column;
+
+    let (global, tables) = demo_global(44);
+    let base = wire_table(&tables[0]);
+    // The recrawl: one more row per column, recycled from the head so
+    // the appended data looks like more of the same.
+    let appended: Vec<Column> = base
+        .columns()
+        .iter()
+        .map(|c| {
+            let mut values = c.values.clone();
+            values.push(c.values[0].clone());
+            Column::new(c.name.clone(), values)
+        })
+        .collect();
+    let new = Table::new(base.name.clone(), appended).expect("rectangular");
+
+    let typer = SigmaTyper::builder(Arc::clone(&global))
+        .step_cache(Arc::new(ShardedLruCache::new(1 << 14)))
+        .build();
+    let server = AnnotationServer::start(
+        "127.0.0.1:0",
+        typer,
+        &ServerConfig {
+            workers: 1,
+            queue_capacity: 8,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start server");
+    let mut client = HttpClient::connect(server.local_addr()).expect("connect");
+
+    // Cold crawl of the base fills the cache under the base's
+    // fingerprints.
+    let cold = client
+        .post_json("/annotate", &annotate_body(&base), &[])
+        .expect("cold annotate");
+    assert_eq!(cold.status, 200, "body: {}", cold.body_str());
+
+    // Warm recrawl: new table + base + a sensitivity generous enough
+    // for the one-row append. Cacheable steps answer from the base
+    // crawl's entries.
+    let recrawl_body = format!(
+        r#"{{"table":{},"base":{},"options":{{"delta_sensitivity":0.5}}}}"#,
+        table_to_request_json(&new),
+        table_to_request_json(&base)
+    );
+    let warm = client
+        .post_json("/annotate", &recrawl_body, &[])
+        .expect("warm recrawl");
+    assert_eq!(warm.status, 200, "body: {}", warm.body_str());
+    let warm_json = Json::parse(&warm.body_str()).expect("outcome json");
+    let reused = warm_json
+        .get("degradation")
+        .and_then(|d| d.get("delta_reused"))
+        .and_then(Json::as_u64)
+        .expect("degradation.delta_reused");
+    assert!(
+        reused > 0,
+        "recrawl must reuse base-crawl scores: {warm_json}"
+    );
+
+    let metrics = client.get("/metrics").expect("metrics");
+    let m = Json::parse(&metrics.body_str()).expect("metrics json");
+    let lane_reused = m
+        .get("lanes")
+        .and_then(|l| l.get("interactive"))
+        .and_then(|l| l.get("delta_reused"))
+        .and_then(Json::as_u64)
+        .expect("lanes.interactive.delta_reused");
+    assert_eq!(
+        lane_reused, reused,
+        "metrics must accumulate the reuse count"
+    );
+
+    // Sensitivity 0: reuse off, and the outcome is bit-identical to a
+    // from-scratch annotate of the new table (fresh uncached typer, so
+    // nothing can leak in from the base crawl).
+    let strict_body = format!(
+        r#"{{"table":{},"base":{},"options":{{"delta_sensitivity":0.0}}}}"#,
+        table_to_request_json(&new),
+        table_to_request_json(&base)
+    );
+    let strict = client
+        .post_json("/annotate", &strict_body, &[])
+        .expect("strict recrawl");
+    assert_eq!(strict.status, 200, "body: {}", strict.body_str());
+    let fresh_typer = SigmaTyper::builder(global).build();
+    let expected = fresh_typer.annotate_request(&AnnotationRequest::new(&wire_table(&new)));
+    assert_eq!(
+        normalize_body(&strict.body_str()),
+        normalize_outcome(&tu_server::wire::outcome_to_json(
+            &expected,
+            fresh_typer.ontology(),
+        )),
+        "sensitivity 0 must be bit-identical to a from-scratch annotate"
+    );
+
+    // A malformed base is a 400 naming the field, not a panic.
+    let bad = client
+        .post_json(
+            "/annotate",
+            &format!(
+                r#"{{"table":{},"base":{{"columns":"nope"}}}}"#,
+                table_to_request_json(&new)
+            ),
+            &[],
+        )
+        .expect("bad base");
+    assert_eq!(bad.status, 400);
+    assert!(bad.body_str().contains("base"), "{}", bad.body_str());
+
+    server.shutdown().expect("shutdown");
+}
