@@ -952,6 +952,78 @@ fn bench_embed_backends(c: &mut Criterion) {
     group.finish();
 }
 
+/// The load lab end to end: a small seeded workload replayed through
+/// the in-process serving stack (bounded queue, worker pool, the
+/// server's shaper path), fairness shaping on vs the accounting-only
+/// baseline. Before timing, the lab's own acceptance contract is
+/// checked once: workload generation replays bit-identically, both
+/// reports validate their accounting, and on an unsaturated,
+/// unbudgeted target the shaped and unshapen replays serve everything
+/// and digest identically — shaping never changes results, only who
+/// degrades first under pressure.
+fn bench_load_lab(c: &mut Criterion) {
+    use tu_loadlab::{generate_workload, run_in_process, TargetConfig, WorkloadConfig};
+
+    let f = BenchFixture::new();
+    let config = WorkloadConfig::smoke(0xBE0);
+    let workload = generate_workload(&f.lab.global.ontology, &config);
+    assert_eq!(
+        workload.digest(),
+        generate_workload(&f.lab.global.ontology, &config).digest(),
+        "workload generation must replay bit-identically"
+    );
+    let shaped_target = TargetConfig::default();
+    let unshapen_target = TargetConfig {
+        shaping: false,
+        ..TargetConfig::default()
+    };
+
+    // Acceptance: both stacks account every operation, serve the whole
+    // (unsaturated) workload, and agree on every result.
+    let shaped = run_in_process(Arc::clone(&f.lab.global), &workload, &shaped_target);
+    let unshapen = run_in_process(Arc::clone(&f.lab.global), &workload, &unshapen_target);
+    shaped.validate().expect("shaped report accounts every op");
+    unshapen
+        .validate()
+        .expect("unshapen report accounts every op");
+    let total = shaped.bucket(None, None);
+    assert_eq!(total.served, workload.ops.len() as u64);
+    assert_eq!(total.degraded, 0, "unbudgeted replay must not degrade");
+    assert_eq!(
+        shaped.deterministic_digest(),
+        unshapen.deterministic_digest(),
+        "shaping must not change results on an unsaturated target"
+    );
+    println!(
+        "pipeline/load_lab  {} ops, shaped p99 {}ns vs unshapen p99 {}ns",
+        total.submitted,
+        total.p99_latency_nanos,
+        unshapen.bucket(None, None).p99_latency_nanos
+    );
+
+    let mut group = c.benchmark_group("pipeline/load_lab");
+    group.sample_size(10);
+    group.bench_function("shaped_replay", |b| {
+        b.iter(|| {
+            black_box(run_in_process(
+                Arc::clone(&f.lab.global),
+                black_box(&workload),
+                &shaped_target,
+            ))
+        })
+    });
+    group.bench_function("unshapen_replay", |b| {
+        b.iter(|| {
+            black_box(run_in_process(
+                Arc::clone(&f.lab.global),
+                black_box(&workload),
+                &unshapen_target,
+            ))
+        })
+    });
+    group.finish();
+}
+
 /// Crawl once; per step return `(name, columns_run, hits, inserts)`
 /// summed over the corpus.
 fn crawl_counts(
@@ -984,6 +1056,7 @@ criterion_group!(
     bench_incremental_recrawl,
     bench_budgeted,
     bench_server_roundtrip,
-    bench_embed_backends
+    bench_embed_backends,
+    bench_load_lab
 );
 criterion_main!(benches);

@@ -45,7 +45,7 @@ use crate::config::SigmaTyperConfig;
 use crate::global::GlobalModel;
 use crate::local::LocalModel;
 use crate::prediction::{StepId, StepScores, StepTiming};
-use crate::request::{BudgetContext, DegradationPolicy, SkipReason, SkippedStep};
+use crate::request::{BudgetContext, BudgetLedger, DegradationPolicy, SkipReason, SkippedStep};
 use crate::step::{AnnotationStep, ColumnState, StepContext};
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -464,9 +464,33 @@ impl CascadeExecutor {
             }
 
             // Phase 2: run the uncached frontier in chunks, inline or
-            // column-parallel.
-            let (results, chunks, parallel_nanos) =
-                self.run_frontier(step.as_ref(), &frontier, &ctx_for);
+            // column-parallel. Under BestEffort the ledger is charged
+            // *between chunks* too, so an over-budget frontier stops
+            // early instead of finishing (ROADMAP 5b) — the other
+            // policies never interrupt mid-step (DropTailSteps drops
+            // whole steps; Strict never degrades).
+            let interrupt = degrade
+                .filter(|b| b.policy == DegradationPolicy::BestEffort)
+                .map(|b| b.ledger);
+            let run = self.run_frontier(step.as_ref(), &frontier, &ctx_for, interrupt);
+
+            // A mid-step stop left part of the frontier unrun: account
+            // it as a truncation. When the predictive gate already
+            // recorded one for this step, tighten its `ran` count;
+            // otherwise this is a fresh truncation event.
+            if run.pairs.len() < frontier.len() {
+                let completed = run.pairs.len();
+                match skipped.last_mut() {
+                    Some(last) if last.step == step.id() => last.ran = completed,
+                    _ => skipped.push(SkippedStep {
+                        step: step.id(),
+                        name: step.name().to_owned(),
+                        reason: SkipReason::FrontierTruncated,
+                        pending: frontier.len(),
+                        ran: completed,
+                    }),
+                }
+            }
 
             // Phase 3: write back — cache inserts, then the trace.
             // Each column gains at most one entry per step, so the
@@ -480,8 +504,8 @@ impl CascadeExecutor {
             // results existed.)
             let mut inserts = 0usize;
             if let Some(cc) = step_cache.filter(|_| !tainted) {
-                for (&ci, scores) in frontier.iter().zip(&results) {
-                    if let Some(fp) = states[ci].fingerprint {
+                for (ci, scores) in &run.pairs {
+                    if let Some(fp) = states[*ci].fingerprint {
                         // Epoch-tagged insert: persistent backends
                         // record which epoch produced the entry so
                         // compaction can drop adapted-away epochs.
@@ -496,11 +520,11 @@ impl CascadeExecutor {
             }
             tainted |= delta_reused > 0;
             total_delta_reused += delta_reused;
-            let columns = frontier.len();
+            let columns = run.pairs.len();
             for (ci, scores) in cached_scores {
                 per_column[ci].push((step.id(), scores));
             }
-            for (ci, scores) in frontier.into_iter().zip(results) {
+            for (ci, scores) in run.pairs {
                 per_column[ci].push((step.id(), scores));
             }
             let timing = StepTiming {
@@ -511,17 +535,20 @@ impl CascadeExecutor {
                 cache_hits: hits,
                 cache_misses: misses,
                 cache_inserts: inserts,
-                chunks,
-                parallel_nanos,
+                chunks: run.chunks_run,
+                parallel_nanos: run.busy_nanos,
                 delta_reused,
             };
             if let Some(b) = budget {
                 // Charge the larger of wall-clock and summed in-chunk
                 // time: column parallelism must not make a step look
-                // cheaper than the CPU it burned.
-                let charge = saturating_u64(timing.nanos.max(timing.parallel_nanos));
-                b.ledger.charge(charge);
-                charged_nanos = charged_nanos.saturating_add(charge);
+                // cheaper than the CPU it burned. In-chunk charges
+                // already on the ledger (BestEffort's mid-step
+                // re-checks) are netted out so the step's total charge
+                // is identical to the one-shot accounting.
+                let total = saturating_u64(timing.nanos.max(timing.parallel_nanos));
+                b.ledger.charge(total.saturating_sub(run.charged_nanos));
+                charged_nanos = charged_nanos.saturating_add(total);
             }
             timings.push(timing);
         }
@@ -533,16 +560,28 @@ impl CascadeExecutor {
         }
     }
 
-    /// Execute one step over its frontier: `(scores in frontier
-    /// order, chunk count, summed in-chunk nanos)`.
+    /// Execute one step over its frontier, optionally re-checking an
+    /// interrupt ledger **between chunks**.
+    ///
+    /// With `interrupt == None` (Strict, DropTailSteps, unbudgeted)
+    /// every planned chunk runs — identical to the historical one-shot
+    /// behavior. With an interrupt ledger (BestEffort), each worker
+    /// charges its chunk's busy nanoseconds as it finishes and stops
+    /// before its *next* chunk once the ledger is exhausted — the
+    /// first chunk of every share always runs, so forward progress is
+    /// guaranteed even on a born-exhausted ledger. Results carry their
+    /// column index, so a mid-step stop simply leaves the unrun
+    /// columns without this step's vote (they abstain or fall back,
+    /// never fabricate).
     fn run_frontier<'a>(
         &self,
         step: &dyn AnnotationStep,
         frontier: &[usize],
         ctx_for: &(dyn Fn(usize) -> StepContext<'a> + Sync),
-    ) -> (Vec<StepScores>, usize, u128) {
+        interrupt: Option<&BudgetLedger>,
+    ) -> FrontierRun {
         if frontier.is_empty() {
-            return (Vec::new(), 0, 0);
+            return FrontierRun::default();
         }
         let (chunk_size, workers) = self.plan(frontier.len());
         let chunks: Vec<&[usize]> = frontier.chunks(chunk_size).collect();
@@ -568,55 +607,78 @@ impl CascadeExecutor {
             );
             (scores, busy)
         };
+        // One worker's share of the chunks, run sequentially with the
+        // mid-step re-check between its own chunks.
+        let run_share = |worker_chunks: &[&[usize]]| -> FrontierRun {
+            let mut share = FrontierRun::default();
+            for (k, chunk) in worker_chunks.iter().enumerate() {
+                if k > 0 && interrupt.is_some_and(BudgetLedger::exhausted) {
+                    break;
+                }
+                let (scores, nanos) = run_chunk(chunk);
+                share.busy_nanos += nanos;
+                share.chunks_run += 1;
+                if let Some(ledger) = interrupt {
+                    let charge = saturating_u64(nanos);
+                    ledger.charge(charge);
+                    share.charged_nanos = share.charged_nanos.saturating_add(charge);
+                }
+                share.pairs.extend(chunk.iter().copied().zip(scores));
+            }
+            share
+        };
         if workers <= 1 {
             // Inline: still one run_batch call per chunk, so a
             // FixedChunk policy exercises the batch path even with a
             // budget of one.
-            let mut out = Vec::with_capacity(frontier.len());
-            let mut busy = 0u128;
-            for chunk in &chunks {
-                let (scores, nanos) = run_chunk(chunk);
-                out.extend(scores);
-                busy += nanos;
-            }
-            return (out, chunks.len(), busy);
+            return run_share(&chunks);
         }
         // Parallel: contiguous runs of chunks per worker, results
         // rejoined in frontier order — worker scheduling can never
-        // change the output, only the wall clock. The first worker's
-        // share runs inline on the calling thread (which would
-        // otherwise just block in the scope join), so a budget of W
-        // occupies exactly W threads instead of W busy + 1 parked.
-        let run_share = |worker_chunks: &[&[usize]]| -> (Vec<StepScores>, u128) {
-            let mut scores = Vec::new();
-            let mut busy = 0u128;
-            for chunk in worker_chunks {
-                let (s, nanos) = run_chunk(chunk);
-                scores.extend(s);
-                busy += nanos;
-            }
-            (scores, busy)
-        };
+        // change *computed* output, only the wall clock (and, under an
+        // interrupt ledger, where each share stops). The first
+        // worker's share runs inline on the calling thread (which
+        // would otherwise just block in the scope join), so a budget
+        // of W occupies exactly W threads instead of W busy + 1
+        // parked.
         let per_worker = chunks.len().div_ceil(workers);
         let shares: Vec<&[&[usize]]> = chunks.chunks(per_worker).collect();
-        let mut out = Vec::with_capacity(frontier.len());
-        let mut busy = 0u128;
+        let mut out = FrontierRun::default();
         std::thread::scope(|scope| {
             let run_share = &run_share;
             let handles: Vec<_> = shares[1..]
                 .iter()
                 .map(|worker_chunks| scope.spawn(move || run_share(worker_chunks)))
                 .collect();
-            let (scores, nanos) = run_share(shares[0]);
-            out.extend(scores);
-            busy += nanos;
+            out.merge(run_share(shares[0]));
             for handle in handles {
-                let (scores, nanos) = handle.join().expect("column worker panicked");
-                out.extend(scores);
-                busy += nanos;
+                out.merge(handle.join().expect("column worker panicked"));
             }
         });
-        (out, chunks.len(), busy)
+        out
+    }
+}
+
+/// What one [`CascadeExecutor::run_frontier`] call produced: per-column
+/// scores tagged with their column index (a mid-step stop leaves
+/// gaps), the chunks actually run, the summed in-chunk busy time, and
+/// how much of it was already charged to the interrupt ledger.
+#[derive(Debug, Default)]
+struct FrontierRun {
+    pairs: Vec<(usize, StepScores)>,
+    chunks_run: usize,
+    busy_nanos: u128,
+    charged_nanos: u64,
+}
+
+impl FrontierRun {
+    /// Fold another share's results in (shares are joined in frontier
+    /// order, so `pairs` stays sorted by column position).
+    fn merge(&mut self, other: FrontierRun) {
+        self.pairs.extend(other.pairs);
+        self.chunks_run += other.chunks_run;
+        self.busy_nanos += other.busy_nanos;
+        self.charged_nanos = self.charged_nanos.saturating_add(other.charged_nanos);
     }
 }
 

@@ -67,6 +67,7 @@ pub mod request;
 pub mod service;
 pub mod step;
 pub mod system;
+pub mod tenant;
 
 pub use backend::{
     AccuracyClass, BackendState, BatchedFrontier, BlockedSimd, EmbeddingBackend,
@@ -109,3 +110,7 @@ pub use step::{
     TableSetup,
 };
 pub use system::{SigmaTyper, SigmaTyperBuilder};
+pub use tenant::{
+    admission_cutoff, LaneCounters, ShapedBudget, TenantId, TenantLaneSnapshot, TenantRegistry,
+    TenantSnapshot, TrafficShaper, ANONYMOUS_TENANT,
+};

@@ -57,6 +57,7 @@ use crate::backend::EmbeddingBackendKind;
 use crate::cost::CostModel;
 use crate::executor::ParallelismPolicy;
 use crate::prediction::{StepId, TableAnnotation};
+use crate::tenant::TenantId;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 use tu_table::Table;
@@ -145,6 +146,14 @@ pub struct RequestOptions {
     /// ([`AnnotationRequest::with_base`]); `Some(0.0)` forces an
     /// incremental recrawl to be bit-identical to full recomputation.
     pub delta_sensitivity: Option<f64>,
+    /// Which tenant this request is accounted to, when traffic shaping
+    /// is active (`None` = unattributed — no tenant bookkeeping). Set
+    /// by the server from the `x-sigma-tenant` header or by the load
+    /// lab; ids are only meaningful against the
+    /// [`TenantRegistry`](crate::tenant::TenantRegistry) that interned
+    /// them. Attribution never changes annotation results — only
+    /// scheduling, shedding, and accounting.
+    pub tenant: Option<TenantId>,
 }
 
 impl RequestOptions {
@@ -207,6 +216,14 @@ impl RequestOptions {
     #[must_use]
     pub fn with_delta_sensitivity(mut self, sensitivity: f64) -> Self {
         self.delta_sensitivity = Some(sensitivity.max(0.0));
+        self
+    }
+
+    /// Builder-style: attribute this request to a tenant (see the
+    /// [`tenant`](RequestOptions::tenant) field).
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = Some(tenant);
         self
     }
 
@@ -448,6 +465,11 @@ pub struct DegradationReport {
     /// across steps). Always 0 outside
     /// [`AnnotationRequest::with_base`] requests and at sensitivity 0.
     pub delta_reused: usize,
+    /// The tenant this request was accounted to
+    /// ([`RequestOptions::tenant`]), echoed back for callers
+    /// correlating outcomes with per-tenant metrics. `None` for
+    /// unattributed requests.
+    pub tenant: Option<TenantId>,
 }
 
 impl DegradationReport {
@@ -644,6 +666,7 @@ mod tests {
         assert!(!opts.bypass_cache);
         assert_eq!(opts.telemetry, TelemetryVerbosity::Full);
         assert_eq!(opts.delta_sensitivity, None);
+        assert_eq!(opts.tenant, None);
     }
 
     #[test]
@@ -774,6 +797,7 @@ mod tests {
                 },
             ],
             delta_reused: 0,
+            tenant: None,
         };
         assert!(report.degraded());
         assert!(report.over_budget());
@@ -785,6 +809,7 @@ mod tests {
             remaining_nanos: None,
             skipped: vec![],
             delta_reused: 0,
+            tenant: None,
         };
         assert!(!clean.degraded());
         assert!(!clean.over_budget());

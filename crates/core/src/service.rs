@@ -38,6 +38,7 @@ use crate::global::GlobalModel;
 use crate::prediction::TableAnnotation;
 use crate::request::{AnnotationOutcome, BudgetLedger, RequestOptions};
 use crate::system::SigmaTyper;
+use crate::tenant::{ShapedBudget, TrafficShaper, ANONYMOUS_TENANT};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -272,6 +273,10 @@ pub struct LaneLedger {
 struct LaneWindow {
     ledger: Arc<BudgetLedger>,
     opened: Instant,
+    /// Monotone window counter: bumped on every roll. Consumers (the
+    /// tenant registry's deficit replenishment) use the sequence to
+    /// detect rolls without holding the lock between observations.
+    seq: u64,
 }
 
 impl LaneLedger {
@@ -287,6 +292,7 @@ impl LaneLedger {
             inner: Mutex::new(LaneWindow {
                 ledger: Arc::new(BudgetLedger::from_budget(window_budget)),
                 opened: Instant::now(),
+                seq: 0,
             }),
             rolled_spent: AtomicU64::new(0),
         }
@@ -304,22 +310,58 @@ impl LaneLedger {
         self.window_budget
     }
 
+    /// The window length.
+    #[must_use]
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
     /// The live window's shared ledger, rolling the window first if it
     /// has elapsed. All requests admitted in one window charge the
     /// same returned ledger.
     #[must_use]
     pub fn ledger(&self) -> Arc<BudgetLedger> {
+        self.ledger_with_seq().0
+    }
+
+    /// The live window's shared ledger plus its window sequence number
+    /// (0 for the first window, bumped on every roll). The sequence
+    /// lets per-window consumers — the tenant registry's deficit
+    /// replenishment — detect exactly how many windows elapsed since
+    /// they last looked.
+    #[must_use]
+    pub fn ledger_with_seq(&self) -> (Arc<BudgetLedger>, u64) {
         let mut inner = self
             .inner
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         if self.window_budget.is_some() && inner.opened.elapsed() >= self.window {
+            // Credit every fully-elapsed window so a long-idle lane
+            // replenishes per-window consumers the right number of
+            // times, not just once.
+            let elapsed = inner.opened.elapsed().as_nanos();
+            let window = self.window.as_nanos().max(1);
+            let rolls = u64::try_from(elapsed / window).unwrap_or(u64::MAX);
             self.rolled_spent
                 .fetch_add(inner.ledger.spent(), Ordering::Relaxed);
             inner.ledger = Arc::new(BudgetLedger::from_budget(self.window_budget));
             inner.opened = Instant::now();
+            inner.seq = inner.seq.saturating_add(rolls.max(1));
         }
-        Arc::clone(&inner.ledger)
+        (Arc::clone(&inner.ledger), inner.seq)
+    }
+
+    /// Wall-clock time until the live window refills (`None` =
+    /// unbudgeted, never refills). Zero when the window is already
+    /// overdue — the next [`ledger`](LaneLedger::ledger) call rolls it.
+    #[must_use]
+    pub fn window_remaining(&self) -> Option<Duration> {
+        self.window_budget?;
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        Some(self.window.saturating_sub(inner.opened.elapsed()))
     }
 
     /// Cumulative nanoseconds charged on this lane across all windows
@@ -703,13 +745,33 @@ impl AnnotationService {
         bases: &[Option<&Table>],
         options: &RequestOptions,
     ) -> Vec<AnnotationOutcome> {
+        let (budget, _) = options.resolved();
+        let ledger = BudgetLedger::from_budget(budget);
+        self.annotate_batch_request_on_ledger(tables, bases, options, &ledger)
+    }
+
+    /// The shared-ledger core of the request-level batch entry points:
+    /// run the batch charging the **caller-provided** ledger instead of
+    /// resolving a fresh one from `options`. This is how a serving
+    /// front-end makes a batch draw on a lane window ledger (all
+    /// concurrent lane traffic collectively drains one budget) or on a
+    /// tenant-capped local ledger — `options.budget_nanos` is ignored
+    /// here; the ledger *is* the budget.
+    ///
+    /// `bases` is positional and must be exactly as long as `tables`.
+    #[must_use]
+    pub fn annotate_batch_request_on_ledger(
+        &self,
+        tables: &[Table],
+        bases: &[Option<&Table>],
+        options: &RequestOptions,
+        ledger: &BudgetLedger,
+    ) -> Vec<AnnotationOutcome> {
         assert_eq!(
             tables.len(),
             bases.len(),
             "one base slot (Some or None) per table"
         );
-        let (budget, _) = options.resolved();
-        let ledger = BudgetLedger::from_budget(budget);
         let policy = options
             .parallelism
             .unwrap_or(self.typer.config().parallelism);
@@ -719,11 +781,65 @@ impl AnnotationService {
             self.effective_threads(),
             policy,
             &|typer, i, table, executor| {
-                typer.annotate_request_shared_with_base(table, bases[i], executor, options, &ledger)
+                typer.annotate_request_shared_with_base(table, bases[i], executor, options, ledger)
             },
         );
         let degraded = outcomes.iter().filter(|o| o.degraded()).count();
         self.adapt_after_batch(degraded, outcomes.len());
+        outcomes
+    }
+
+    /// Traffic-shaped batch annotation: resolve the request's budget
+    /// through `shaper` ([`TrafficShaper::request_budget`] — lane
+    /// window remainder ∧ tenant fairness cap ∧ explicit request
+    /// budget), run the batch on the granted ledger, then settle the
+    /// spend back into lane, tenant, and serving counters. The tenant
+    /// is taken from `options.tenant`, defaulting to the shaper's
+    /// [`ANONYMOUS_TENANT`] account;
+    /// every returned [`DegradationReport`] echoes it.
+    ///
+    /// When shaping imposes nothing — unbudgeted request, tenant in
+    /// quota with the lane window as the tighter bound — the batch
+    /// charges the lane's shared window ledger exactly as an unshapen
+    /// request would, so results are bit-identical to the unshapen
+    /// path. Shaping changes scheduling and shedding, never results.
+    ///
+    /// [`DegradationReport`]: crate::request::DegradationReport
+    #[must_use]
+    pub fn annotate_batch_request_shaped(
+        &self,
+        tables: &[Table],
+        bases: &[Option<&Table>],
+        options: &RequestOptions,
+        shaper: &TrafficShaper,
+        lane: TrafficLane,
+    ) -> Vec<AnnotationOutcome> {
+        let tenant = options
+            .tenant
+            .unwrap_or_else(|| shaper.registry().intern(ANONYMOUS_TENANT));
+        let mut options = *options;
+        options.tenant = Some(tenant);
+        let (budget, _) = options.resolved();
+        let grant = shaper.request_budget(lane, tenant, budget);
+        let outcomes = match &grant {
+            ShapedBudget::Shared(ledger) => {
+                self.annotate_batch_request_on_ledger(tables, bases, &options, ledger)
+            }
+            ShapedBudget::Local { cap_nanos, .. } => {
+                let local = BudgetLedger::bounded(*cap_nanos);
+                self.annotate_batch_request_on_ledger(tables, bases, &options, &local)
+            }
+        };
+        let spent: u64 = outcomes
+            .iter()
+            .map(|o| o.degradation.spent_nanos)
+            .fold(0, u64::saturating_add);
+        let degraded = outcomes.iter().filter(|o| o.degraded()).count() as u64;
+        let delta_reused = outcomes
+            .iter()
+            .map(|o| o.degradation.delta_reused as u64)
+            .fold(0, u64::saturating_add);
+        shaper.settle(lane, tenant, &grant, spent, degraded, delta_reused);
         outcomes
     }
 

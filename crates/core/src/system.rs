@@ -768,6 +768,7 @@ impl SigmaTyper {
                 remaining_nanos: ledger.remaining(),
                 skipped: budgeted.skipped,
                 delta_reused: budgeted.delta_reused,
+                tenant: options.tenant,
             },
         }
     }

@@ -1,0 +1,50 @@
+//! CI smoke leg for the load lab: generate a small seeded workload,
+//! replay it in process through the shaped serving stack, validate the
+//! report's accounting, and print the structured report JSON.
+//!
+//! Exits non-zero if generation is non-deterministic or the report
+//! violates its accounting contract — the cheap invariants that make
+//! the rest of the lab trustworthy.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use tu_corpus::{generate_corpus, CorpusConfig};
+use tu_loadlab::{generate_workload, run_in_process, TargetConfig, WorkloadConfig};
+use tu_ontology::builtin_ontology;
+
+fn main() -> ExitCode {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7u64);
+    let ontology = builtin_ontology();
+    let config = WorkloadConfig::smoke(seed);
+    let workload = generate_workload(&ontology, &config);
+    let replay = generate_workload(&ontology, &config);
+    if workload.digest() != replay.digest() {
+        eprintln!("FAIL: workload generation is not deterministic for seed {seed}");
+        return ExitCode::FAILURE;
+    }
+
+    let corpus = generate_corpus(&ontology, &CorpusConfig::database_like(seed, 16));
+    let global = Arc::new(sigmatyper::train_global(
+        builtin_ontology(),
+        &corpus,
+        &sigmatyper::TrainingConfig::fast(),
+    ));
+    let report = run_in_process(global, &workload, &TargetConfig::default());
+    if let Err(why) = report.validate() {
+        eprintln!("FAIL: load report accounting violated: {why}");
+        return ExitCode::FAILURE;
+    }
+    if report.results.len() != workload.ops.len() {
+        eprintln!(
+            "FAIL: {} operations submitted, {} results reported",
+            workload.ops.len(),
+            report.results.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("{}", report.to_json());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,349 @@
+//! Seeded deterministic workload generation.
+//!
+//! A workload is a flat operation list; every structural choice —
+//! which tenant, which lane, which pooled table, whether the table is
+//! churned or recrawled — is drawn from one seeded RNG, so the same
+//! [`WorkloadConfig`] always yields the same operations, byte for
+//! byte. Realism knobs mirror the traffic the paper's deployment
+//! serves: many small interactive lookups, few huge background crawl
+//! tables, a heavy-tailed tenant distribution, and enough churn to
+//! keep the step cache honest.
+
+use rand::prelude::*;
+use sigmatyper::service::TrafficLane;
+use sigmatyper::StableHasher;
+use tu_corpus::{generate_corpus, CorpusConfig};
+use tu_ontology::Ontology;
+use tu_table::{Column, Table};
+
+/// Knobs of a generated workload. All rates are probabilities in
+/// `[0, 1]` drawn independently per operation.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Master seed: same seed, same workload.
+    pub seed: u64,
+    /// Total operations to generate.
+    pub operations: usize,
+    /// Number of tenants, named `tenant-0` … `tenant-N-1`, all at
+    /// fairness weight 1.0. Traffic volume across them is zipfian
+    /// (see [`zipf_s`](WorkloadConfig::zipf_s)), so `tenant-0` is the
+    /// heavy hitter.
+    pub tenants: usize,
+    /// Zipf exponent for tenant traffic share (`share_k ∝ 1/(k+1)^s`).
+    /// At `s = 2.0` with 4 tenants, `tenant-0` sends ~10x the traffic
+    /// of `tenant-2`.
+    pub zipf_s: f64,
+    /// Fraction of operations on the crawl lane (the rest are
+    /// interactive).
+    pub crawl_fraction: f64,
+    /// Fraction of *crawl* operations drawn from the huge-table pool
+    /// instead of the small pool.
+    pub huge_fraction: f64,
+    /// Fraction of operations whose table is churned — mutated and
+    /// renamed so nothing in the cache matches (cache-hostile).
+    pub churn_rate: f64,
+    /// Fraction of *crawl* operations replayed as incremental
+    /// recrawls: the op carries the pooled table as `base` and an
+    /// appended-row mutation as the new crawl.
+    pub recrawl_rate: f64,
+    /// Small-table pool size (web-like profile).
+    pub small_pool: usize,
+    /// Huge-table pool size (database-like profile, row-inflated).
+    pub huge_pool: usize,
+    /// Row multiplier for the huge pool: each pooled table's columns
+    /// are cyclically extended to `rows × multiplier`.
+    pub huge_rows_multiplier: usize,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            seed: 0,
+            operations: 96,
+            tenants: 4,
+            zipf_s: 2.0,
+            crawl_fraction: 0.4,
+            huge_fraction: 0.5,
+            churn_rate: 0.2,
+            recrawl_rate: 0.3,
+            small_pool: 12,
+            huge_pool: 2,
+            huge_rows_multiplier: 8,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// A small mix for smoke tests and CI: every traffic class is
+    /// present, nothing is slow.
+    #[must_use]
+    pub fn smoke(seed: u64) -> Self {
+        WorkloadConfig {
+            seed,
+            operations: 32,
+            small_pool: 8,
+            huge_pool: 1,
+            huge_rows_multiplier: 4,
+            ..WorkloadConfig::default()
+        }
+    }
+}
+
+/// One replayable operation.
+#[derive(Debug, Clone)]
+pub struct LabOp {
+    /// Position in the workload (stable identifier for reports).
+    pub id: usize,
+    /// Index into [`Workload::tenants`].
+    pub tenant: usize,
+    /// Which admission lane the operation targets.
+    pub lane: TrafficLane,
+    /// The table to annotate.
+    pub table: Table,
+    /// Previously crawled version for incremental recrawls.
+    pub base: Option<Table>,
+}
+
+/// A generated operation sequence plus its tenant roster.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// `(name, fairness weight)` per tenant, indexed by
+    /// [`LabOp::tenant`].
+    pub tenants: Vec<(String, f64)>,
+    /// The operations, in submission order.
+    pub ops: Vec<LabOp>,
+}
+
+impl Workload {
+    /// Structural fingerprint of the workload: tenants, and per
+    /// operation the tenant/lane/table shape and sampled cell content.
+    /// Two workloads from the same config digest identically; any
+    /// drift in generation shows up here.
+    #[must_use]
+    pub fn digest(&self) -> [u64; 2] {
+        let mut h = StableHasher::new();
+        h.write_usize(self.tenants.len());
+        for (name, weight) in &self.tenants {
+            h.write_str(name);
+            h.write_f64(*weight);
+        }
+        h.write_usize(self.ops.len());
+        for op in &self.ops {
+            h.write_usize(op.id);
+            h.write_usize(op.tenant);
+            h.write_str(op.lane.label());
+            digest_table(&mut h, &op.table);
+            match &op.base {
+                None => h.write_u8(0),
+                Some(base) => {
+                    h.write_u8(1);
+                    digest_table(&mut h, base);
+                }
+            }
+        }
+        h.finish128()
+    }
+}
+
+/// Hash a table's name, shape, headers, and the first and last row —
+/// enough to catch any generation drift without rehashing inflated
+/// bodies cell by cell.
+fn digest_table(h: &mut StableHasher, table: &Table) {
+    h.write_str(&table.name);
+    h.write_usize(table.n_rows());
+    h.write_usize(table.n_cols());
+    for col in table.columns() {
+        h.write_str(&col.name);
+        if let Some(first) = col.values.first() {
+            h.write_value(first);
+        }
+        if let Some(last) = col.values.last() {
+            h.write_value(last);
+        }
+    }
+}
+
+/// Cumulative zipfian tenant shares for `n` tenants at exponent `s`.
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let weights: Vec<f64> = (0..n).map(|k| 1.0 / ((k + 1) as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    weights
+        .iter()
+        .map(|w| {
+            acc += w / total;
+            acc
+        })
+        .collect()
+}
+
+fn zipf_pick(rng: &mut StdRng, cdf: &[f64]) -> usize {
+    let u: f64 = rng.random();
+    cdf.iter().position(|&c| u < c).unwrap_or(cdf.len() - 1)
+}
+
+/// Append one recycled row (a seeded pick from the existing rows) to
+/// every column — the minimal mutation that still moves every
+/// column's fingerprint.
+fn append_row(table: &Table, rng: &mut StdRng) -> Table {
+    let row = rng.random_range(0..table.n_rows().max(1));
+    let columns: Vec<Column> = table
+        .columns()
+        .iter()
+        .map(|c| {
+            let mut values = c.values.clone();
+            if let Some(v) = c.values.get(row) {
+                values.push(v.clone());
+            }
+            Column::new(c.name.clone(), values)
+        })
+        .collect();
+    Table::new(table.name.clone(), columns).expect("appending a row keeps the table rectangular")
+}
+
+/// Cyclically extend every column to `multiplier ×` the row count —
+/// the huge-crawl shape: few tables, lots of rows, same value
+/// distribution.
+fn inflate_table(table: &Table, multiplier: usize) -> Table {
+    let target = table.n_rows() * multiplier.max(1);
+    let columns: Vec<Column> = table
+        .columns()
+        .iter()
+        .map(|c| {
+            let values = (0..target)
+                .map(|i| c.values[i % c.values.len()].clone())
+                .collect();
+            Column::new(c.name.clone(), values)
+        })
+        .collect();
+    Table::new(table.name.clone(), columns).expect("inflation keeps the table rectangular")
+}
+
+/// Generate the workload for `config`: pools from `tu_corpus`, then
+/// one seeded draw per operation. Deterministic — see
+/// [`Workload::digest`].
+#[must_use]
+pub fn generate_workload(ontology: &Ontology, config: &WorkloadConfig) -> Workload {
+    let small_corpus = generate_corpus(
+        ontology,
+        &CorpusConfig::web_like(config.seed.wrapping_add(1), config.small_pool.max(1)),
+    );
+    let huge_corpus = generate_corpus(
+        ontology,
+        &CorpusConfig::database_like(config.seed.wrapping_add(2), config.huge_pool.max(1)),
+    );
+    let small: Vec<Table> = small_corpus
+        .tables
+        .iter()
+        .map(|at| at.table.clone())
+        .collect();
+    let huge: Vec<Table> = huge_corpus
+        .tables
+        .iter()
+        .map(|at| inflate_table(&at.table, config.huge_rows_multiplier))
+        .collect();
+
+    let tenants: Vec<(String, f64)> = (0..config.tenants.max(1))
+        .map(|i| (format!("tenant-{i}"), 1.0))
+        .collect();
+    let cdf = zipf_cdf(tenants.len(), config.zipf_s);
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let ops = (0..config.operations)
+        .map(|id| {
+            let tenant = zipf_pick(&mut rng, &cdf);
+            let lane = if rng.random_bool(config.crawl_fraction) {
+                TrafficLane::Crawl
+            } else {
+                TrafficLane::Interactive
+            };
+            let pool = if lane == TrafficLane::Crawl && rng.random_bool(config.huge_fraction) {
+                &huge
+            } else {
+                &small
+            };
+            let mut table = pool[rng.random_range(0..pool.len())].clone();
+            if rng.random_bool(config.churn_rate) {
+                // Churn: new content *and* a new name, so neither the
+                // fingerprint nor anything keyed off the table matches
+                // a cached entry.
+                table = append_row(&table, &mut rng);
+                table.name = format!("{}#churn{id}", table.name);
+            }
+            let base = if lane == TrafficLane::Crawl && rng.random_bool(config.recrawl_rate) {
+                let base = table.clone();
+                table = append_row(&table, &mut rng);
+                Some(base)
+            } else {
+                None
+            };
+            LabOp {
+                id,
+                tenant,
+                lane,
+                table,
+                base,
+            }
+        })
+        .collect();
+    Workload { tenants, ops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tu_ontology::builtin_ontology;
+
+    #[test]
+    fn same_seed_same_workload_different_seed_different() {
+        let ontology = builtin_ontology();
+        let a = generate_workload(&ontology, &WorkloadConfig::smoke(7));
+        let b = generate_workload(&ontology, &WorkloadConfig::smoke(7));
+        let c = generate_workload(&ontology, &WorkloadConfig::smoke(8));
+        assert_eq!(a.digest(), b.digest(), "seeded generation must replay");
+        assert_ne!(a.digest(), c.digest(), "different seeds must diverge");
+    }
+
+    #[test]
+    fn zipf_skew_makes_tenant_zero_the_heavy_hitter() {
+        let ontology = builtin_ontology();
+        let config = WorkloadConfig {
+            operations: 400,
+            ..WorkloadConfig::default()
+        };
+        let w = generate_workload(&ontology, &config);
+        let mut counts = vec![0usize; config.tenants];
+        for op in &w.ops {
+            counts[op.tenant] += 1;
+        }
+        assert!(
+            counts[0] >= 8 * counts[2].max(1),
+            "zipf s=2.0 must give tenant-0 an order of magnitude more \
+             traffic than tenant-2: {counts:?}"
+        );
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "every tenant must appear: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn mix_contains_every_traffic_class() {
+        let ontology = builtin_ontology();
+        let w = generate_workload(&ontology, &WorkloadConfig::default());
+        assert!(w.ops.iter().any(|o| o.lane == TrafficLane::Crawl));
+        assert!(w.ops.iter().any(|o| o.lane == TrafficLane::Interactive));
+        assert!(w.ops.iter().any(|o| o.base.is_some()), "recrawls present");
+        assert!(
+            w.ops.iter().any(|o| o.table.name.contains("#churn")),
+            "churned tables present"
+        );
+        let huge_rows = w.ops.iter().map(|o| o.table.n_rows()).max().unwrap_or(0);
+        let small_rows = w.ops.iter().map(|o| o.table.n_rows()).min().unwrap_or(0);
+        assert!(
+            huge_rows >= 4 * small_rows.max(1),
+            "huge crawl tables must dwarf the small interactive ones \
+             ({small_rows} vs {huge_rows} rows)"
+        );
+    }
+}

@@ -9,6 +9,7 @@
 //!                   [--interactive-budget-nanos N]
 //!                   [--crawl-budget-nanos N]
 //!                   [--budget-window-ms N]
+//!                   [--tenant-weight NAME=W ...]
 //! ```
 
 use sigmatyper::{train_global, DurableEpochSource, SigmaTyper, TieredStepCache, TrainingConfig};
@@ -65,13 +66,15 @@ struct Args {
     interactive_budget_nanos: Option<u64>,
     crawl_budget_nanos: Option<u64>,
     budget_window_ms: u64,
+    tenant_weights: Vec<(String, f64)>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: annotation-server [--addr HOST:PORT] [--workers N] [--queue-capacity N]\n\
          \x20                        [--cache-dir DIR] [--interactive-budget-nanos N]\n\
-         \x20                        [--crawl-budget-nanos N] [--budget-window-ms N]"
+         \x20                        [--crawl-budget-nanos N] [--budget-window-ms N]\n\
+         \x20                        [--tenant-weight NAME=W ...]"
     );
     std::process::exit(2)
 }
@@ -85,6 +88,7 @@ fn parse_args() -> Args {
         interactive_budget_nanos: None,
         crawl_budget_nanos: None,
         budget_window_ms: 1000,
+        tenant_weights: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -116,6 +120,25 @@ fn parse_args() -> Args {
             "--budget-window-ms" => {
                 args.budget_window_ms =
                     parse_num(&value("--budget-window-ms"), "--budget-window-ms");
+            }
+            // Repeatable: each occurrence pre-registers one tenant
+            // with its fairness weight. Unregistered tenants (and the
+            // anonymous default) are observed at weight 1.0.
+            "--tenant-weight" => {
+                let spec = value("--tenant-weight");
+                let Some((name, weight)) = spec.split_once('=') else {
+                    eprintln!("error: --tenant-weight got {spec:?}, expected NAME=WEIGHT");
+                    usage()
+                };
+                let weight: f64 = weight.parse().unwrap_or(-1.0);
+                if name.is_empty() || !weight.is_finite() || weight <= 0.0 {
+                    eprintln!(
+                        "error: --tenant-weight got {spec:?}, expected a non-empty name \
+                         and a positive weight"
+                    );
+                    usage()
+                }
+                args.tenant_weights.push((name.to_owned(), weight));
             }
             "--help" | "-h" => usage(),
             other => {
@@ -170,6 +193,7 @@ fn main() -> ExitCode {
         interactive_budget_nanos: args.interactive_budget_nanos,
         crawl_budget_nanos: args.crawl_budget_nanos,
         budget_window: Duration::from_millis(args.budget_window_ms.max(1)),
+        tenant_weights: args.tenant_weights.clone(),
         ..ServerConfig::default()
     };
     if let Some(workers) = args.workers {

@@ -12,15 +12,28 @@
 //!                        ◀──────────────── reply channel ◀────────────┘
 //! ```
 //!
-//! * **Admission** ([`BoundedQueue`]): every request is queued or shed
-//!   — never buffered without bound. A full queue answers
-//!   `503 Service Unavailable` with `Retry-After`. The **crawl lane is
-//!   cut off at half capacity**, so background traffic sheds first and
-//!   interactive requests keep the remaining headroom.
+//! * **Admission** ([`BoundedQueue`] + [`TrafficShaper`]): every
+//!   request is queued or shed — never buffered without bound. A full
+//!   queue answers `503 Service Unavailable` with a `Retry-After`
+//!   derived from the shedding lane's actual window-refill time (the
+//!   configured constant is the floor). Cutoffs are tiered by lane
+//!   *and* tenant standing: over-quota crawl sheds at a quarter of
+//!   capacity, in-quota crawl and over-quota interactive at half, and
+//!   in-quota interactive only when the queue is genuinely full —
+//!   crawl before interactive, heavy tenants before light ones.
 //! * **Lanes** ([`LaneLedger`]): each traffic class (selected by the
 //!   `x-sigma-lane` header) charges one shared, per-window refilling
 //!   [`BudgetLedger`]; when a lane's window drains, its requests
 //!   degrade per their policy while the other lane is untouched.
+//! * **Tenants** ([`TenantRegistry`]): the `x-sigma-tenant` header
+//!   names the account a request's spend is charged to (absent =
+//!   the shared `anonymous` account). Per-tenant weighted deficits
+//!   decide who is over quota: an over-quota tenant's requests run
+//!   under a cap carved from the lane window's *unreserved* remainder
+//!   (in-quota tenants' outstanding deficits are protected), so heavy
+//!   tenants degrade first while light tenants keep their entitlement.
+//!   Shaping never changes annotation results — only scheduling,
+//!   shedding, and which requests degrade.
 //! * **Workers**: a fixed pool popping jobs and driving the sync core —
 //!   singles via [`SigmaTyper::annotate_request_shared`], batches via
 //!   the [`AnnotationService`] two-level scheduler.
@@ -40,11 +53,12 @@
 //! | POST   | `/annotate`       | `{"table": …, "options"?: …}` → one outcome |
 //! | POST   | `/annotate_batch` | `{"tables": […], "options"?: …}` → outcomes in order |
 //! | POST   | `/feedback`       | `{"table": …, "col_idx": n, "type": "name"}` → adaptation + epoch bump |
-//! | GET    | `/metrics`        | queue depth, in-flight, per-lane spend/shed, cache stats + delta |
+//! | GET    | `/metrics`        | queue depth, in-flight, per-lane spend/shed, per-tenant counters, cache stats + delta |
 //! | GET    | `/healthz`        | liveness |
 //! | POST   | `/shutdown`       | request graceful drain (for operators/CI) |
 //!
 //! [`BudgetLedger`]: sigmatyper::BudgetLedger
+//! [`LaneLedger`]: sigmatyper::LaneLedger
 
 #![warn(missing_docs)]
 
@@ -54,18 +68,23 @@ use httpshim::{HttpServer, Request, Response};
 use jsonshim::Json;
 use sigmatyper::cache::CacheStats;
 use sigmatyper::executor::CascadeExecutor;
-use sigmatyper::request::{AnnotationOutcome, BudgetLedger, RequestOptions};
-use sigmatyper::service::{
-    AnnotationService, BoundedQueue, LaneLedger, QueueRejection, TrafficLane,
+use sigmatyper::request::{BudgetLedger, RequestOptions};
+use sigmatyper::service::{AnnotationService, BoundedQueue, QueueRejection, TrafficLane};
+use sigmatyper::tenant::{
+    ShapedBudget, TenantId, TenantRegistry, TenantSnapshot, TrafficShaper, ANONYMOUS_TENANT,
 };
 use sigmatyper::SigmaTyper;
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Longest accepted `x-sigma-tenant` value: tenant names are interned
+/// forever, so unbounded attacker-chosen names would be a memory leak.
+const MAX_TENANT_NAME_LEN: usize = 128;
 
 /// Serving knobs of an [`AnnotationServer`].
 #[derive(Debug, Clone)]
@@ -84,8 +103,16 @@ pub struct ServerConfig {
     pub crawl_budget_nanos: Option<u64>,
     /// Length of one lane-budget window.
     pub budget_window: Duration,
-    /// `Retry-After` seconds advertised on 503 responses.
+    /// Floor for the `Retry-After` seconds advertised on 503
+    /// responses. When the shedding lane is budgeted, the actual hint
+    /// is the time until that lane's window refills, never below this.
     pub retry_after_secs: u32,
+    /// Tenants registered at startup with explicit fairness weights
+    /// (`(name, weight)`); weight is relative share of each lane's
+    /// window. Tenants not listed here are interned on first sight at
+    /// weight 1.0, as is the `anonymous` account for requests without
+    /// an `x-sigma-tenant` header.
+    pub tenant_weights: Vec<(String, f64)>,
 }
 
 impl Default for ServerConfig {
@@ -97,6 +124,7 @@ impl Default for ServerConfig {
             crawl_budget_nanos: None,
             budget_window: Duration::from_secs(1),
             retry_after_secs: 1,
+            tenant_weights: Vec::new(),
         }
     }
 }
@@ -111,39 +139,24 @@ enum Job {
         base: Option<tu_table::Table>,
         options: RequestOptions,
         lane: TrafficLane,
+        tenant: TenantId,
         reply: mpsc::Sender<String>,
     },
     Batch {
         tables: Vec<tu_table::Table>,
         options: RequestOptions,
         lane: TrafficLane,
+        tenant: TenantId,
         reply: mpsc::Sender<String>,
     },
-}
-
-/// Per-lane serving counters. `served`/`shed` count *requests* (a
-/// batch is one request); together they account for every arrival —
-/// the `/metrics` contract.
-#[derive(Debug, Default)]
-struct LaneCounters {
-    served: AtomicU64,
-    shed: AtomicU64,
-    degraded: AtomicU64,
-    /// Total per-column step evaluations answered from the *base*
-    /// crawl's cache entries on delta-aware requests (the sum of
-    /// every outcome's `delta_reused`).
-    delta_reused: AtomicU64,
-}
-
-struct LaneState {
-    ledger: LaneLedger,
-    counters: LaneCounters,
 }
 
 struct ServerState {
     typer: RwLock<SigmaTyper>,
     queue: BoundedQueue<Job>,
-    lanes: [LaneState; 2],
+    /// Lane ledgers, lane/tenant counters, and the tenant registry —
+    /// every admission and budget decision flows through here.
+    shaper: TrafficShaper,
     in_flight: AtomicUsize,
     workers: usize,
     retry_after_secs: u32,
@@ -154,34 +167,34 @@ struct ServerState {
 }
 
 impl ServerState {
-    fn lane(&self, lane: TrafficLane) -> &LaneState {
-        &self.lanes[match lane {
-            TrafficLane::Interactive => 0,
-            TrafficLane::Crawl => 1,
-        }]
+    /// Lane- and tenant-tiered admission (see [`TrafficShaper::admit`]):
+    /// over-quota crawl sheds at a quarter of capacity, in-quota crawl
+    /// and over-quota interactive at half, in-quota interactive only
+    /// when genuinely full. The shaper records the shed against both
+    /// the lane and the tenant.
+    fn admit(&self, lane: TrafficLane, tenant: TenantId, job: Job) -> Result<(), QueueRejection> {
+        self.shaper.admit(&self.queue, lane, tenant, job)
     }
 
-    /// Lane-aware admission: the crawl lane is refused once the queue
-    /// is half full (background traffic sheds first); interactive
-    /// requests are admitted until genuinely full.
-    fn admit(&self, lane: TrafficLane, job: Job) -> Result<(), QueueRejection> {
-        if lane == TrafficLane::Crawl && self.queue.len() >= self.queue.capacity() / 2 {
-            return Err(QueueRejection::Full);
+    /// `Retry-After` for a shed on `lane`: time until the lane's
+    /// budget window refills (rounded up), floored at the configured
+    /// constant. Unbudgeted lanes have no refill event, so they
+    /// advertise the floor.
+    fn retry_after_secs(&self, lane: TrafficLane) -> u64 {
+        let floor = u64::from(self.retry_after_secs);
+        match self.shaper.lane_ledger(lane).window_remaining() {
+            Some(left) => floor.max(left.as_secs_f64().ceil() as u64),
+            None => floor,
         }
-        self.queue.push(job).map_err(|(_, why)| why)
     }
 
     fn shed_response(&self, lane: TrafficLane, why: QueueRejection) -> Response {
-        self.lane(lane)
-            .counters
-            .shed
-            .fetch_add(1, Ordering::Relaxed);
         let detail = match why {
             QueueRejection::Full => "annotation queue is full",
             QueueRejection::Closed => "server is draining for shutdown",
         };
         Response::status(503)
-            .with_header("Retry-After", &self.retry_after_secs.to_string())
+            .with_header("Retry-After", &self.retry_after_secs(lane).to_string())
             .with_json(
                 Json::object(vec![
                     ("error", Json::from(detail)),
@@ -212,27 +225,19 @@ impl AnnotationServer {
         typer: SigmaTyper,
         config: &ServerConfig,
     ) -> io::Result<AnnotationServer> {
+        let registry = Arc::new(TenantRegistry::new());
+        for (name, weight) in &config.tenant_weights {
+            registry.register(name, *weight);
+        }
         let state = Arc::new(ServerState {
             typer: RwLock::new(typer),
             queue: BoundedQueue::new(config.queue_capacity),
-            lanes: [
-                LaneState {
-                    ledger: LaneLedger::new(
-                        TrafficLane::Interactive,
-                        config.interactive_budget_nanos,
-                        config.budget_window,
-                    ),
-                    counters: LaneCounters::default(),
-                },
-                LaneState {
-                    ledger: LaneLedger::new(
-                        TrafficLane::Crawl,
-                        config.crawl_budget_nanos,
-                        config.budget_window,
-                    ),
-                    counters: LaneCounters::default(),
-                },
-            ],
+            shaper: TrafficShaper::new(
+                registry,
+                config.interactive_budget_nanos,
+                config.crawl_budget_nanos,
+                config.budget_window,
+            ),
             in_flight: AtomicUsize::new(0),
             workers: config.workers.max(1),
             retry_after_secs: config.retry_after_secs,
@@ -311,17 +316,19 @@ fn worker_loop(state: &ServerState) {
                 base,
                 options,
                 lane,
+                tenant,
                 reply,
             } => (
-                serve_single(state, &table, base.as_ref(), &options, lane),
+                serve_single(state, &table, base.as_ref(), &options, lane, tenant),
                 reply,
             ),
             Job::Batch {
                 tables,
                 options,
                 lane,
+                tenant,
                 reply,
-            } => (serve_batch(state, &tables, &options, lane), reply),
+            } => (serve_batch(state, &tables, &options, lane, tenant), reply),
         };
         // Decrement before replying: a client that scrapes `/metrics`
         // right after its response must not observe its own finished
@@ -331,18 +338,22 @@ fn worker_loop(state: &ServerState) {
     }
 }
 
-/// Resolve the ledger a single request charges. An unbudgeted request
-/// charges the lane's shared window ledger directly (so concurrent
-/// traffic on the lane collectively drains one budget, and lane spend
-/// metrics accumulate). A request carrying its own budget gets a local
-/// ledger capped by what its lane has left, charged back to the lane
-/// when done.
+/// Resolve the ledger a single request charges through the shaper.
+/// An unbudgeted request from an in-quota tenant charges the lane's
+/// shared window ledger directly — the bit-exact unshapen path, so
+/// concurrent traffic on the lane collectively drains one budget and
+/// lane spend metrics accumulate. A request with its own budget, or
+/// from an over-quota tenant, runs on a local ledger capped by the
+/// tighter of request budget, tenant cap, and lane remainder;
+/// [`TrafficShaper::settle`] charges its spend back to the lane and
+/// the tenant account either way.
 fn serve_single(
     state: &ServerState,
     table: &tu_table::Table,
     base: Option<&tu_table::Table>,
     options: &RequestOptions,
     lane: TrafficLane,
+    tenant: TenantId,
 ) -> String {
     let typer = state
         .typer
@@ -359,57 +370,52 @@ fn serve_single(
         config.column_threads = threads;
     }
     let executor = CascadeExecutor::from_config(&config);
-    let lane_ledger = state.lane(lane).ledger.ledger();
+    let mut options = *options;
+    options.tenant = Some(tenant);
     let (request_budget, _) = options.resolved();
-    let outcome = match request_budget {
-        None => {
-            typer.annotate_request_shared_with_base(table, base, &executor, options, &lane_ledger)
+    let grant = state.shaper.request_budget(lane, tenant, request_budget);
+    let outcome = match &grant {
+        ShapedBudget::Shared(ledger) => {
+            typer.annotate_request_shared_with_base(table, base, &executor, &options, ledger)
         }
-        Some(budget) => {
-            let capped = match lane_ledger.remaining() {
-                Some(lane_left) => budget.min(lane_left),
-                None => budget,
-            };
-            let local = BudgetLedger::bounded(capped);
-            let outcome =
-                typer.annotate_request_shared_with_base(table, base, &executor, options, &local);
-            lane_ledger.charge(local.spent());
-            outcome
+        ShapedBudget::Local { cap_nanos, .. } => {
+            let local = BudgetLedger::bounded(*cap_nanos);
+            typer.annotate_request_shared_with_base(table, base, &executor, &options, &local)
         }
     };
-    finish_outcomes(state, std::slice::from_ref(&outcome), lane);
+    state.shaper.settle(
+        lane,
+        tenant,
+        &grant,
+        outcome.degradation.spent_nanos,
+        u64::from(outcome.degraded()),
+        outcome.degradation.delta_reused as u64,
+    );
     wire::outcome_to_json(&outcome, typer.ontology()).to_string()
 }
 
-/// Batches ride the existing two-level scheduler
-/// ([`AnnotationService::annotate_batch_request`]), which owns one
-/// batch-wide ledger. The lane budget still binds: the batch's budget
-/// is capped at the lane window's remainder on entry, and its spend is
-/// charged back to the lane ledger when the batch completes.
+/// Batches ride the existing two-level scheduler through
+/// [`AnnotationService::annotate_batch_request_shaped`], which owns
+/// one batch-wide ledger bounded by the shaper's grant (lane window
+/// remainder ∧ tenant cap ∧ request budget) and settles the batch's
+/// spend back to the lane and tenant when it completes.
 fn serve_batch(
     state: &ServerState,
     tables: &[tu_table::Table],
     options: &RequestOptions,
     lane: TrafficLane,
+    tenant: TenantId,
 ) -> String {
     let typer = state
         .typer
         .read()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
-    let lane_ledger = state.lane(lane).ledger.ledger();
-    let (request_budget, _) = options.resolved();
-    let effective = match (request_budget, lane_ledger.remaining()) {
-        (Some(b), Some(lane_left)) => Some(b.min(lane_left)),
-        (Some(b), None) => Some(b),
-        (None, Some(lane_left)) => Some(lane_left),
-        (None, None) => None,
-    };
-    let mut batch_options = *options;
-    batch_options.budget_nanos = effective;
+    let mut options = *options;
+    options.tenant = Some(tenant);
     let service = AnnotationService::for_customer(typer.clone()).with_threads(state.workers);
-    let outcomes = service.annotate_batch_request(tables, &batch_options);
-    lane_ledger.charge(outcomes.iter().map(|o| o.degradation.spent_nanos).sum());
-    finish_outcomes(state, &outcomes, lane);
+    let bases: Vec<Option<&tu_table::Table>> = vec![None; tables.len()];
+    let outcomes =
+        service.annotate_batch_request_shaped(tables, &bases, &options, &state.shaper, lane);
     let body = Json::object(vec![(
         "outcomes",
         Json::Arr(
@@ -422,18 +428,6 @@ fn serve_batch(
     body.to_string()
 }
 
-fn finish_outcomes(state: &ServerState, outcomes: &[AnnotationOutcome], lane: TrafficLane) {
-    let counters = &state.lane(lane).counters;
-    counters.served.fetch_add(1, Ordering::Relaxed);
-    let degraded = outcomes.iter().filter(|o| o.degraded()).count() as u64;
-    counters.degraded.fetch_add(degraded, Ordering::Relaxed);
-    let reused: u64 = outcomes
-        .iter()
-        .map(|o| o.degradation.delta_reused as u64)
-        .sum();
-    counters.delta_reused.fetch_add(reused, Ordering::Relaxed);
-}
-
 fn lane_from_request(req: &Request) -> Result<TrafficLane, Response> {
     match req.header("x-sigma-lane") {
         None => Ok(TrafficLane::Interactive),
@@ -442,6 +436,23 @@ fn lane_from_request(req: &Request) -> Result<TrafficLane, Response> {
                 "unknown lane {label:?}: expected \"interactive\" or \"crawl\""
             ))
         }),
+    }
+}
+
+/// Resolve the tenant a request bills to from its `x-sigma-tenant`
+/// header. Absent → the shared `anonymous` account; present → interned
+/// on first sight (weight 1.0 unless pre-registered via
+/// [`ServerConfig::tenant_weights`]). Empty or oversized names are
+/// rejected — interned names live forever, so unbounded
+/// attacker-chosen values would leak memory.
+fn tenant_from_request(state: &ServerState, req: &Request) -> Result<TenantId, Response> {
+    match req.header("x-sigma-tenant") {
+        None => Ok(state.shaper.registry().intern(ANONYMOUS_TENANT)),
+        Some("") => Err(bad_request("x-sigma-tenant must not be empty when present")),
+        Some(name) if name.len() > MAX_TENANT_NAME_LEN => Err(bad_request(&format!(
+            "x-sigma-tenant is limited to {MAX_TENANT_NAME_LEN} bytes"
+        ))),
+        Some(name) => Ok(state.shaper.registry().intern(name)),
     }
 }
 
@@ -460,10 +471,11 @@ fn parse_body(req: &Request) -> Result<Json, Response> {
 fn enqueue_and_wait(
     state: &ServerState,
     lane: TrafficLane,
+    tenant: TenantId,
     build: impl FnOnce(mpsc::Sender<String>) -> Job,
 ) -> Response {
     let (tx, rx) = mpsc::channel();
-    match state.admit(lane, build(tx)) {
+    match state.admit(lane, tenant, build(tx)) {
         Ok(()) => match rx.recv() {
             Ok(body) => Response::json(body),
             Err(_) => Response::status(500)
@@ -480,6 +492,10 @@ fn handle_annotate(state: &ServerState, req: &Request) -> Response {
     };
     let lane = match lane_from_request(req) {
         Ok(lane) => lane,
+        Err(resp) => return resp,
+    };
+    let tenant = match tenant_from_request(state, req) {
+        Ok(tenant) => tenant,
         Err(resp) => return resp,
     };
     let table_json = body.get("table").unwrap_or(&body);
@@ -502,11 +518,12 @@ fn handle_annotate(state: &ServerState, req: &Request) -> Response {
         Ok(o) => o,
         Err(e) => return bad_request(&e),
     };
-    enqueue_and_wait(state, lane, |reply| Job::Single {
+    enqueue_and_wait(state, lane, tenant, |reply| Job::Single {
         table,
         base,
         options,
         lane,
+        tenant,
         reply,
     })
 }
@@ -518,6 +535,10 @@ fn handle_annotate_batch(state: &ServerState, req: &Request) -> Response {
     };
     let lane = match lane_from_request(req) {
         Ok(lane) => lane,
+        Err(resp) => return resp,
+    };
+    let tenant = match tenant_from_request(state, req) {
+        Ok(tenant) => tenant,
         Err(resp) => return resp,
     };
     let Some(tables_json) = body.get("tables").and_then(Json::as_array) else {
@@ -534,10 +555,11 @@ fn handle_annotate_batch(state: &ServerState, req: &Request) -> Response {
         Ok(o) => o,
         Err(e) => return bad_request(&e),
     };
-    enqueue_and_wait(state, lane, |reply| Job::Batch {
+    enqueue_and_wait(state, lane, tenant, |reply| Job::Batch {
         tables,
         options,
         lane,
+        tenant,
         reply,
     })
 }
@@ -585,28 +607,56 @@ fn handle_feedback(state: &ServerState, req: &Request) -> Response {
 }
 
 fn lane_metrics(state: &ServerState, lane: TrafficLane) -> Json {
-    let ls = state.lane(lane);
+    let counters = state.shaper.counters(lane);
+    let ledger = state.shaper.lane_ledger(lane);
     Json::object(vec![
-        (
-            "served",
-            Json::from(ls.counters.served.load(Ordering::Relaxed)),
-        ),
-        ("shed", Json::from(ls.counters.shed.load(Ordering::Relaxed))),
-        (
-            "degraded",
-            Json::from(ls.counters.degraded.load(Ordering::Relaxed)),
-        ),
-        (
-            "delta_reused",
-            Json::from(ls.counters.delta_reused.load(Ordering::Relaxed)),
-        ),
-        ("spent_nanos", Json::from(ls.ledger.total_spent_nanos())),
-        ("window_budget_nanos", Json::from(ls.ledger.window_budget())),
+        ("served", Json::from(counters.served())),
+        ("shed", Json::from(counters.shed())),
+        ("degraded", Json::from(counters.degraded())),
+        ("delta_reused", Json::from(counters.delta_reused())),
+        ("spent_nanos", Json::from(ledger.total_spent_nanos())),
+        ("window_budget_nanos", Json::from(ledger.window_budget())),
         (
             "window_remaining_nanos",
-            Json::from(ls.ledger.remaining_nanos()),
+            Json::from(ledger.remaining_nanos()),
         ),
     ])
+}
+
+/// Per-tenant `/metrics` object: one entry per interned tenant with
+/// its fairness weight and per-lane spend/deficit/serving counters.
+fn tenant_metrics(snapshots: &[TenantSnapshot]) -> Json {
+    Json::object(
+        snapshots
+            .iter()
+            .map(|t| {
+                let lanes = t
+                    .lanes
+                    .iter()
+                    .map(|l| {
+                        (
+                            l.lane.label(),
+                            Json::object(vec![
+                                ("spent_nanos", Json::from(l.spent_nanos)),
+                                ("deficit_nanos", Json::from(l.deficit_nanos)),
+                                ("served", Json::from(l.served)),
+                                ("shed", Json::from(l.shed)),
+                                ("degraded", Json::from(l.degraded)),
+                                ("over_quota", Json::from(l.over_quota)),
+                            ]),
+                        )
+                    })
+                    .collect();
+                (
+                    t.name.as_str(),
+                    Json::object(vec![
+                        ("weight", Json::from(t.weight)),
+                        ("lanes", Json::object(lanes)),
+                    ]),
+                )
+            })
+            .collect(),
+    )
 }
 
 fn cache_stats_json(stats: &CacheStats) -> Json {
@@ -642,9 +692,9 @@ fn handle_metrics(state: &ServerState) -> Response {
     let mut served = 0u64;
     let mut shed = 0u64;
     for lane in TrafficLane::ALL {
-        let c = &state.lane(lane).counters;
-        served += c.served.load(Ordering::Relaxed);
-        shed += c.shed.load(Ordering::Relaxed);
+        let c = state.shaper.counters(lane);
+        served += c.served();
+        shed += c.shed();
     }
     let shed_rate = if served + shed == 0 {
         0.0
@@ -674,6 +724,10 @@ fn handle_metrics(state: &ServerState) -> Response {
             ]),
         ),
         ("shed_rate", Json::from(shed_rate)),
+        (
+            "tenants",
+            tenant_metrics(&state.shaper.registry().snapshot()),
+        ),
         ("cache", cache_json),
         ("cache_delta", delta_json),
     ]);

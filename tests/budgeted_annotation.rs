@@ -264,6 +264,56 @@ fn fixed_chunk_zero_columns_clamps_end_to_end() {
     assert!(degenerate.annotation.columns.iter().all(|c| c.abstained()));
 }
 
+/// Mid-step budget re-checks (ROADMAP 5b): under `BestEffort` with
+/// single-column chunks, a budget the first chunk already blows must
+/// stop the step *mid-frontier* — some columns ran (forward progress
+/// is guaranteed: every worker's first chunk is unconditional), the
+/// rest never did — instead of finishing all columns and only then
+/// noticing the overrun. No cost-model estimate exists on a fresh
+/// typer, so the predictive gate stays silent and the truncation can
+/// only come from the in-flight re-check.
+#[test]
+fn best_effort_rechecks_budget_between_chunks() {
+    let st = typer();
+    let cols = 8;
+    let table = opaque_table(cols);
+    let outcome = st.annotate_request(
+        &AnnotationRequest::new(&table)
+            .with_parallelism(ParallelismPolicy::FixedChunk { columns: 1 })
+            .with_column_threads(2)
+            .with_budget_nanos(1)
+            .with_policy(DegradationPolicy::BestEffort),
+    );
+    assert!(outcome.degraded());
+    let first = &outcome.degradation.skipped[0];
+    assert_eq!(first.reason, SkipReason::FrontierTruncated);
+    assert_eq!(first.pending, cols);
+    assert!(
+        first.ran >= 1 && first.ran < cols,
+        "the first chunk runs, the re-check stops the rest: {first:?}"
+    );
+    // Every later step found the ledger exhausted up front.
+    for later in &outcome.degradation.skipped[1..] {
+        assert_eq!(later.reason, SkipReason::BudgetExhausted, "{later:?}");
+        assert_eq!(later.ran, 0);
+    }
+    assert_eq!(outcome.degradation.remaining_nanos, Some(0));
+    // Columns the stop left without any executed step abstain; columns
+    // that ran decided from executed evidence only — never fabricate.
+    let ran_some = outcome
+        .annotation
+        .columns
+        .iter()
+        .filter(|c| !c.steps_run.is_empty())
+        .count();
+    assert_eq!(ran_some, first.ran);
+    for col in &outcome.annotation.columns {
+        if col.steps_run.is_empty() {
+            assert!(col.abstained());
+        }
+    }
+}
+
 /// The batch front-end under a shared zero budget: every table
 /// degrades (degrade-don't-queue), order is preserved, nothing panics
 /// — in every environment.

@@ -291,6 +291,122 @@ fn saturated_queue_sheds_crawl_first_and_metrics_account_for_everything() {
     server.shutdown().expect("shutdown");
 }
 
+/// `x-sigma-tenant` routes each request's spend to a tenant account:
+/// a tenant that burns through its weighted share of a budgeted crawl
+/// window goes over quota, sheds at the tightened quarter-capacity
+/// cutoff with a `Retry-After` derived from the window's refill time,
+/// and shows up over-quota in the `/metrics` `tenants` object — while
+/// an equal-weight tenant that spent nothing is still served.
+#[test]
+fn tenant_over_quota_sheds_first_with_window_refill_retry_hint() {
+    let (typer, tables) = demo_typer(45);
+    let table = &tables[0];
+
+    // Crawl window: microscopic budget, hour-long window. One real
+    // annotate overruns the heavy tenant's whole entitlement, and the
+    // window never refills mid-test, so standings are deterministic.
+    let server = AnnotationServer::start(
+        "127.0.0.1:0",
+        typer,
+        &ServerConfig {
+            workers: 1,
+            // Capacity 2: floor(2 * 0.25) = 0, so an over-quota crawl
+            // request always sheds, while in-quota crawl (cutoff 0.5,
+            // threshold 1) is admitted whenever the queue is idle.
+            queue_capacity: 2,
+            crawl_budget_nanos: Some(10_000),
+            budget_window: Duration::from_secs(3600),
+            tenant_weights: vec![("heavy".to_string(), 1.0), ("light".to_string(), 1.0)],
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start server");
+    let mut client = HttpClient::connect(server.local_addr()).expect("connect");
+    let crawl_as = |client: &mut HttpClient, tenant: &str| {
+        client
+            .post_json(
+                "/annotate",
+                &annotate_body(table),
+                &[("x-sigma-lane", "crawl"), ("x-sigma-tenant", tenant)],
+            )
+            .expect("crawl annotate")
+    };
+
+    // First heavy request: in quota (burst credit), served — and its
+    // real spend dwarfs the 10 µs entitlement.
+    let first = crawl_as(&mut client, "heavy");
+    assert_eq!(first.status, 200, "body: {}", first.body_str());
+
+    // Second heavy request: over quota, shed at the quarter cutoff.
+    let second = crawl_as(&mut client, "heavy");
+    assert_eq!(second.status, 503, "over-quota crawl must shed first");
+    let retry_secs: u64 = second
+        .header("Retry-After")
+        .expect("Retry-After header")
+        .parse()
+        .expect("integer Retry-After");
+    assert!(
+        retry_secs > 1,
+        "Retry-After must reflect the window's refill time, got {retry_secs}"
+    );
+
+    // Standings while heavy is shedding: heavy over quota with its
+    // overrun charged, light untouched and in quota.
+    let tenant_crawl = |m: &Json, name: &str, field: &str| -> Json {
+        m.get("tenants")
+            .and_then(|t| t.get(name))
+            .and_then(|t| t.get("lanes"))
+            .and_then(|l| l.get("crawl"))
+            .and_then(|l| l.get(field))
+            .cloned()
+            .unwrap_or_else(|| panic!("metrics missing tenants.{name}.lanes.crawl.{field}"))
+    };
+    let m = Json::parse(&client.get("/metrics").expect("metrics").body_str()).expect("metrics");
+    assert_eq!(tenant_crawl(&m, "heavy", "served").as_u64(), Some(1));
+    assert_eq!(tenant_crawl(&m, "heavy", "shed").as_u64(), Some(1));
+    assert_eq!(
+        tenant_crawl(&m, "heavy", "over_quota").as_bool(),
+        Some(true)
+    );
+    assert_eq!(
+        tenant_crawl(&m, "light", "over_quota").as_bool(),
+        Some(false)
+    );
+    assert!(
+        tenant_crawl(&m, "heavy", "spent_nanos")
+            .as_u64()
+            .unwrap_or(0)
+            > 10_000,
+        "heavy's charged spend must overrun its entitlement"
+    );
+
+    // The equal-weight tenant with no spend is still served.
+    let light = crawl_as(&mut client, "light");
+    assert_eq!(
+        light.status,
+        200,
+        "in-quota tenant must be served while the heavy one sheds: {}",
+        light.body_str()
+    );
+    let m = Json::parse(&client.get("/metrics").expect("metrics").body_str()).expect("metrics");
+    assert_eq!(tenant_crawl(&m, "light", "served").as_u64(), Some(1));
+    assert_eq!(tenant_crawl(&m, "light", "shed").as_u64(), Some(0));
+
+    // Tenant names are interned forever, so unbounded values are
+    // refused, not leaked.
+    let oversized = "t".repeat(200);
+    let bad = client
+        .post_json(
+            "/annotate",
+            &annotate_body(table),
+            &[("x-sigma-tenant", oversized.as_str())],
+        )
+        .expect("oversized tenant");
+    assert_eq!(bad.status, 400, "body: {}", bad.body_str());
+
+    server.shutdown().expect("shutdown");
+}
+
 #[test]
 fn feedback_bumps_epoch_and_invalidates_the_warm_cache() {
     let scratch = Scratch::new("feedback");
